@@ -1,0 +1,555 @@
+//! Delta-net* — the interval/atom-based incremental verifier.
+//!
+//! Following the published design: the header space is cut into **atoms**
+//! — maximal intervals not crossed by any rule boundary. Every rule is
+//! lowered to a set of half-open intervals; inserting a rule splits atoms
+//! at its boundaries and pushes the rule into a per-device priority list
+//! on every covered atom. The forwarding action of an atom on a device is
+//! the head of that list.
+//!
+//! The "#predicate operations" analog counted here is the number of
+//! **atom operations**: atom splits plus per-atom rule insertions,
+//! removals and label (winner) changes. For destination-prefix rules each
+//! rule covers one interval and few atoms; for the multi-field/suffix
+//! matches of LNet-ecmp/LNet-smr the interval lowering explodes —
+//! reproducing the degradation the paper reports.
+
+use flash_netmodel::{ActionId, DeviceId, HeaderLayout, Match, RuleOp, RuleUpdate, ACTION_DROP};
+#[cfg(test)]
+use flash_netmodel::Rule;
+use std::collections::{BTreeMap, HashMap};
+
+/// Interval-expansion cap: a single rule lowering to more intervals than
+/// this is rejected (prevents runaway memory on adversarial inputs).
+const INTERVAL_CAP: usize = 1 << 22;
+
+/// Per-atom, per-device rule stack ordered by descending priority.
+/// Entries are `(priority, tiebreak, action)`.
+type RuleStack = Vec<(i64, u64, ActionId)>;
+
+#[derive(Clone, Debug, Default)]
+struct Atom {
+    /// Per-device priority stacks. Devices absent → default drop.
+    stacks: HashMap<DeviceId, RuleStack>,
+}
+
+/// The Delta-net* verifier state.
+pub struct DeltaNet {
+    layout: HeaderLayout,
+    /// Atom starting points → atom state. The atom at key `lo` spans to
+    /// the next key (or the end of the space).
+    atoms: BTreeMap<u128, Atom>,
+    space_end: u128,
+    /// Atom operations performed (the #predicate-operations analog).
+    ops: u64,
+    /// Rules currently installed (device, match-hash, priority) → intervals,
+    /// so deletes need not re-lower.
+    installed: HashMap<(DeviceId, u64, i64), Vec<(u128, u128)>>,
+    /// Action id → next hop (None = drop/deliver), taught through
+    /// [`DeltaNet::note_action`]; Delta-net's loop check walks these.
+    action_hops: HashMap<ActionId, Option<DeviceId>>,
+}
+
+impl DeltaNet {
+    pub fn new(layout: HeaderLayout) -> Self {
+        let space_end = 1u128 << layout.total_bits();
+        let mut atoms = BTreeMap::new();
+        atoms.insert(0u128, Atom::default());
+        DeltaNet {
+            layout,
+            atoms,
+            space_end,
+            ops: 0,
+            installed: HashMap::new(),
+            action_hops: HashMap::new(),
+        }
+    }
+
+    /// Number of atoms currently materialized.
+    pub fn atom_count(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Atom operations so far.
+    pub fn op_count(&self) -> u64 {
+        self.ops
+    }
+
+    /// Approximate resident bytes: atoms plus every per-atom stack entry.
+    pub fn approx_bytes(&self) -> usize {
+        let stack_entries: usize = self
+            .atoms
+            .values()
+            .map(|a| a.stacks.values().map(|s| s.len()).sum::<usize>())
+            .sum();
+        self.atoms.len() * 64 + stack_entries * 24 + self.installed.len() * 64
+    }
+
+    /// Ensures an atom boundary exists at `point`, splitting the covering
+    /// atom (cloning its stacks — the cost Delta-net pays on splits).
+    fn cut(&mut self, point: u128) {
+        if point == 0 || point >= self.space_end {
+            return;
+        }
+        let (&lo, atom) = self
+            .atoms
+            .range(..=point)
+            .next_back()
+            .expect("atom map covers the space");
+        if lo == point {
+            return;
+        }
+        let clone = atom.clone();
+        self.ops += 1; // split
+        self.atoms.insert(point, clone);
+    }
+
+    fn stack_push(stack: &mut RuleStack, entry: (i64, u64, ActionId)) {
+        // Insert keeping descending (priority, tiebreak) order.
+        let pos = stack
+            .binary_search_by(|e| (entry.0, entry.1).cmp(&(e.0, e.1)))
+            .unwrap_or_else(|p| p);
+        stack.insert(pos, entry);
+    }
+
+    fn stack_remove(stack: &mut RuleStack, entry: (i64, u64, ActionId)) -> bool {
+        if let Some(p) = stack.iter().position(|e| *e == entry) {
+            stack.remove(p);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Teaches the verifier an action's next hop (`None` = drop/deliver).
+    /// Adapters call this once per interned action; the incremental loop
+    /// check walks these mappings.
+    pub fn note_action(&mut self, act: ActionId, hop: Option<DeviceId>) {
+        self.action_hops.insert(act, hop);
+    }
+
+    /// Applies one native rule update and runs Delta-net's incremental
+    /// loop check on the atoms whose forwarding label changed on `dev`
+    /// (the real-time checking the original system was built for).
+    /// Returns the first loop found as `(witness point, device cycle)`.
+    pub fn apply_and_check(
+        &mut self,
+        dev: DeviceId,
+        update: &RuleUpdate,
+    ) -> Result<Option<(u128, Vec<DeviceId>)>, String> {
+        let changed = self.apply_tracking(dev, update)?;
+        for lo in changed {
+            if let Some(cycle) = self.loop_at(lo) {
+                return Ok(Some((lo, cycle)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Walks the winner chain of the atom containing `point` from every
+    /// device with a rule there, looking for a forwarding cycle.
+    fn loop_at(&self, point: u128) -> Option<Vec<DeviceId>> {
+        let (_, atom) = self.atoms.range(..=point).next_back()?;
+        let devices: Vec<DeviceId> = atom.stacks.keys().copied().collect();
+        for &start in &devices {
+            let mut path: Vec<DeviceId> = Vec::new();
+            let mut cur = start;
+            loop {
+                if let Some(pos) = path.iter().position(|&d| d == cur) {
+                    return Some(path[pos..].to_vec());
+                }
+                path.push(cur);
+                let act = atom
+                    .stacks
+                    .get(&cur)
+                    .and_then(|s| s.first())
+                    .map(|e| e.2)
+                    .unwrap_or(ACTION_DROP);
+                match self.action_hops.get(&act).copied().flatten() {
+                    Some(nh) => cur = nh,
+                    None => break, // drop / deliver / unknown action
+                }
+            }
+        }
+        None
+    }
+
+    /// Applies an update and returns the lower bounds of atoms whose
+    /// winning action changed on `dev`.
+    fn apply_tracking(
+        &mut self,
+        dev: DeviceId,
+        update: &RuleUpdate,
+    ) -> Result<Vec<u128>, String> {
+        let spans = update
+            .rule
+            .mat
+            .to_intervals(&self.layout, INTERVAL_CAP)
+            .ok_or_else(|| "interval blow-up".to_string())?;
+        // Snapshot winners over the affected span (before any splits).
+        let winner = |atoms: &BTreeMap<u128, Atom>, k: u128| -> ActionId {
+            atoms
+                .range(..=k)
+                .next_back()
+                .and_then(|(_, a)| a.stacks.get(&dev).and_then(|s| s.first()).map(|e| e.2))
+                .unwrap_or(ACTION_DROP)
+        };
+        let before: Vec<(u128, ActionId)> = spans
+            .iter()
+            .flat_map(|&(lo, hi)| {
+                let mut v: Vec<(u128, ActionId)> = vec![(lo, winner(&self.atoms, lo))];
+                v.extend(
+                    self.atoms
+                        .range(lo..hi)
+                        .map(|(&k, a)| {
+                            (
+                                k,
+                                a.stacks
+                                    .get(&dev)
+                                    .and_then(|s| s.first())
+                                    .map(|e| e.2)
+                                    .unwrap_or(ACTION_DROP),
+                            )
+                        }),
+                );
+                v
+            })
+            .collect();
+        self.apply(dev, update)?;
+        let mut changed = Vec::new();
+        for &(lo, hi) in &spans {
+            for (&k, a) in self.atoms.range(lo..hi) {
+                let now = a
+                    .stacks
+                    .get(&dev)
+                    .and_then(|s| s.first())
+                    .map(|e| e.2)
+                    .unwrap_or(ACTION_DROP);
+                let was = before
+                    .iter()
+                    .rev()
+                    .find(|(b, _)| *b <= k)
+                    .map(|(_, a)| *a)
+                    .unwrap_or(ACTION_DROP);
+                if now != was {
+                    changed.push(k);
+                }
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Applies one native rule update. Returns `Err` when the match's
+    /// interval lowering exceeds the safety cap.
+    pub fn apply(&mut self, dev: DeviceId, update: &RuleUpdate) -> Result<(), String> {
+        let rule = &update.rule;
+        let key = (
+            dev,
+            flash_netmodel::fib::match_hash(&rule.mat),
+            rule.priority,
+        );
+        let intervals = match update.op {
+            RuleOp::Insert => {
+                let ivs = rule
+                    .mat
+                    .to_intervals(&self.layout, INTERVAL_CAP)
+                    .ok_or_else(|| {
+                        format!(
+                            "rule lowering exceeds {INTERVAL_CAP} intervals (non-prefix match)"
+                        )
+                    })?;
+                self.installed.insert(key, ivs.clone());
+                ivs
+            }
+            RuleOp::Delete => self
+                .installed
+                .remove(&key)
+                .ok_or_else(|| "delete of unknown rule".to_string())?,
+        };
+        let tiebreak = key.1;
+        let entry = (rule.priority, tiebreak, rule.action);
+        for (lo, hi) in intervals {
+            self.cut(lo);
+            self.cut(hi);
+            // Visit every atom in [lo, hi).
+            let keys: Vec<u128> = self.atoms.range(lo..hi).map(|(&k, _)| k).collect();
+            for k in keys {
+                let atom = self.atoms.get_mut(&k).unwrap();
+                let stack = atom.stacks.entry(dev).or_default();
+                self.ops += 1;
+                match update.op {
+                    RuleOp::Insert => Self::stack_push(stack, entry),
+                    RuleOp::Delete => {
+                        Self::stack_remove(stack, entry);
+                        if stack.is_empty() {
+                            atom.stacks.remove(&dev);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies a whole sequence; stops at the first lowering failure.
+    pub fn apply_all(
+        &mut self,
+        seq: &[(DeviceId, RuleUpdate)],
+    ) -> Result<(), String> {
+        for (d, u) in seq {
+            self.apply(*d, u)?;
+        }
+        Ok(())
+    }
+
+    /// The forwarding action of `dev` for the atom containing `point`.
+    pub fn action_at(&self, dev: DeviceId, point: u128) -> ActionId {
+        let (_, atom) = self
+            .atoms
+            .range(..=point)
+            .next_back()
+            .expect("atom map covers the space");
+        atom.stacks
+            .get(&dev)
+            .and_then(|s| s.first())
+            .map(|e| e.2)
+            .unwrap_or(ACTION_DROP)
+    }
+
+    /// Groups atoms by their network-wide winner vector — the equivalence
+    /// classes, for cross-checking against the BDD-based verifiers.
+    /// Returns the number of distinct behaviours.
+    pub fn class_count(&self) -> usize {
+        let mut classes: std::collections::HashSet<Vec<(DeviceId, ActionId)>> =
+            std::collections::HashSet::new();
+        for atom in self.atoms.values() {
+            let mut vector: Vec<(DeviceId, ActionId)> = atom
+                .stacks
+                .iter()
+                .filter_map(|(&d, s)| s.first().map(|e| (d, e.2)))
+                .filter(|(_, a)| *a != ACTION_DROP)
+                .collect();
+            vector.sort_unstable();
+            classes.insert(vector);
+        }
+        classes.len()
+    }
+
+    /// Compiles a `Match` lowering size estimate without applying it.
+    pub fn lowering_size(&self, m: &Match) -> Option<usize> {
+        m.to_intervals(&self.layout, INTERVAL_CAP).map(|v| v.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_netmodel::{ActionTable, FieldId, MatchKind};
+
+    fn l8() -> HeaderLayout {
+        HeaderLayout::new(&[("dst", 8)])
+    }
+
+    fn rule(l: &HeaderLayout, v: u64, len: u32, prio: i64, a: ActionId) -> Rule {
+        Rule::new(Match::dst_prefix(l, v, len), prio, a)
+    }
+
+    #[test]
+    fn insert_creates_atoms() {
+        let l = l8();
+        let mut at = ActionTable::new();
+        let a1 = at.fwd(DeviceId(1));
+        let mut dn = DeltaNet::new(l.clone());
+        dn.apply(DeviceId(0), &RuleUpdate::insert(rule(&l, 0xA0, 4, 1, a1)))
+            .unwrap();
+        // Atoms: [0,0xA0), [0xA0,0xB0), [0xB0,0x100) → 3
+        assert_eq!(dn.atom_count(), 3);
+        assert_eq!(dn.action_at(DeviceId(0), 0xA5), a1);
+        assert_eq!(dn.action_at(DeviceId(0), 0x50), ACTION_DROP);
+    }
+
+    #[test]
+    fn priority_shadowing() {
+        let l = l8();
+        let mut at = ActionTable::new();
+        let a1 = at.fwd(DeviceId(1));
+        let a2 = at.fwd(DeviceId(2));
+        let mut dn = DeltaNet::new(l.clone());
+        dn.apply(DeviceId(0), &RuleUpdate::insert(rule(&l, 0xA0, 4, 1, a1))).unwrap();
+        dn.apply(DeviceId(0), &RuleUpdate::insert(rule(&l, 0xA8, 5, 2, a2))).unwrap();
+        assert_eq!(dn.action_at(DeviceId(0), 0xA9), a2, "higher priority wins");
+        assert_eq!(dn.action_at(DeviceId(0), 0xA1), a1);
+    }
+
+    #[test]
+    fn delete_restores_lower_rule() {
+        let l = l8();
+        let mut at = ActionTable::new();
+        let a1 = at.fwd(DeviceId(1));
+        let a2 = at.fwd(DeviceId(2));
+        let mut dn = DeltaNet::new(l.clone());
+        let high = rule(&l, 0xA8, 5, 2, a2);
+        dn.apply(DeviceId(0), &RuleUpdate::insert(rule(&l, 0xA0, 4, 1, a1))).unwrap();
+        dn.apply(DeviceId(0), &RuleUpdate::insert(high.clone())).unwrap();
+        dn.apply(DeviceId(0), &RuleUpdate::delete(high)).unwrap();
+        assert_eq!(dn.action_at(DeviceId(0), 0xA9), a1);
+    }
+
+    #[test]
+    fn delete_unknown_rule_errors() {
+        let l = l8();
+        let mut at = ActionTable::new();
+        let a1 = at.fwd(DeviceId(1));
+        let mut dn = DeltaNet::new(l.clone());
+        assert!(dn
+            .apply(DeviceId(0), &RuleUpdate::delete(rule(&l, 0xA0, 4, 1, a1)))
+            .is_err());
+    }
+
+    #[test]
+    fn suffix_match_explodes_ops() {
+        // A suffix rule on an 8-bit space lowers to 2^(8-len) intervals:
+        // the LNet-smr degradation in miniature.
+        let l = l8();
+        let mut at = ActionTable::new();
+        let a1 = at.fwd(DeviceId(1));
+        let mut dn_prefix = DeltaNet::new(l.clone());
+        let mut dn_suffix = DeltaNet::new(l.clone());
+        dn_prefix
+            .apply(DeviceId(0), &RuleUpdate::insert(rule(&l, 0xA0, 4, 1, a1)))
+            .unwrap();
+        let sfx = Rule::new(
+            Match::any(&l).with(FieldId(0), MatchKind::Suffix { value: 0x1, len: 4 }),
+            1,
+            a1,
+        );
+        dn_suffix
+            .apply(DeviceId(0), &RuleUpdate::insert(sfx))
+            .unwrap();
+        assert!(dn_suffix.op_count() > 4 * dn_prefix.op_count());
+        assert!(dn_suffix.atom_count() > dn_prefix.atom_count());
+    }
+
+    #[test]
+    fn class_count_matches_behaviour() {
+        let l = l8();
+        let mut at = ActionTable::new();
+        let a1 = at.fwd(DeviceId(1));
+        let mut dn = DeltaNet::new(l.clone());
+        // Two disjoint prefixes with the same action on the same device:
+        // one non-default class + the default class.
+        dn.apply(DeviceId(0), &RuleUpdate::insert(rule(&l, 0xA0, 4, 1, a1))).unwrap();
+        dn.apply(DeviceId(0), &RuleUpdate::insert(rule(&l, 0x50, 4, 1, a1))).unwrap();
+        assert_eq!(dn.class_count(), 2);
+    }
+
+    #[test]
+    fn incremental_loop_check_finds_and_clears_loops() {
+        let l = l8();
+        let mut at = ActionTable::new();
+        let fwd_d1 = at.fwd(DeviceId(1));
+        let fwd_d0 = at.fwd(DeviceId(0));
+        let mut dn = DeltaNet::new(l.clone());
+        dn.note_action(fwd_d1, Some(DeviceId(1)));
+        dn.note_action(fwd_d0, Some(DeviceId(0)));
+        dn.note_action(ACTION_DROP, None);
+        // d0 → d1 for 0xA0/4: no loop yet.
+        let r0 = rule(&l, 0xA0, 4, 1, fwd_d1);
+        assert_eq!(
+            dn.apply_and_check(DeviceId(0), &RuleUpdate::insert(r0)).unwrap(),
+            None
+        );
+        // d1 → d0 for the overlapping 0xA8/5: loop on that span.
+        let r1 = rule(&l, 0xA8, 5, 1, fwd_d0);
+        let (witness, cycle) = dn
+            .apply_and_check(DeviceId(1), &RuleUpdate::insert(r1.clone()))
+            .unwrap()
+            .expect("loop expected");
+        assert!((0xA8..0xB0).contains(&witness));
+        assert_eq!(cycle.len(), 2);
+        // Deleting d1's rule clears it; the delete itself reports no
+        // loop on the changed atoms.
+        assert_eq!(
+            dn.apply_and_check(DeviceId(1), &RuleUpdate::delete(r1)).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn loop_check_ignores_non_overlapping_updates() {
+        let l = l8();
+        let mut at = ActionTable::new();
+        let fwd_d1 = at.fwd(DeviceId(1));
+        let fwd_d0 = at.fwd(DeviceId(0));
+        let mut dn = DeltaNet::new(l.clone());
+        dn.note_action(fwd_d1, Some(DeviceId(1)));
+        dn.note_action(fwd_d0, Some(DeviceId(0)));
+        // d0 → d1 on 0xA0/4; d1 → d0 on the DISJOINT 0x50/4: no loop.
+        dn.apply_and_check(DeviceId(0), &RuleUpdate::insert(rule(&l, 0xA0, 4, 1, fwd_d1)))
+            .unwrap();
+        let res = dn
+            .apply_and_check(DeviceId(1), &RuleUpdate::insert(rule(&l, 0x50, 4, 1, fwd_d0)))
+            .unwrap();
+        assert_eq!(res, None);
+    }
+
+    #[test]
+    fn agrees_with_flash_model_on_random_prefix_workload() {
+        use flash_imt::{ModelManager, ModelManagerConfig};
+        let l = HeaderLayout::new(&[("dst", 10)]);
+        let mut at = ActionTable::new();
+        let mut dn = DeltaNet::new(l.clone());
+        let mut mm = ModelManager::new(ModelManagerConfig::whole_space(l.clone()));
+        // Deterministic pseudo-random workload.
+        let mut state = 0xDEADBEEFu64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut installed: Vec<(DeviceId, Rule)> = Vec::new();
+        for step in 0..160 {
+            let dev = DeviceId((next() % 4) as u32);
+            if step % 5 == 4 && !installed.is_empty() {
+                let i = (next() as usize) % installed.len();
+                let (d, r) = installed.swap_remove(i);
+                dn.apply(d, &RuleUpdate::delete(r.clone())).unwrap();
+                mm.submit(d, [RuleUpdate::delete(r)]);
+            } else {
+                let len = 2 + (next() % 7) as u32;
+                let v = (next() >> 32) & ((1 << 10) - 1);
+                let v = (v >> (10 - len)) << (10 - len);
+                let a = at.fwd(DeviceId(100 + (next() % 5) as u32));
+                let r = Rule::new(Match::dst_prefix(&l, v, len), len as i64, a);
+                // skip duplicates
+                if installed.iter().any(|(d2, r2)| *d2 == dev && r2.mat == r.mat && r2.priority == r.priority) {
+                    continue;
+                }
+                dn.apply(dev, &RuleUpdate::insert(r.clone())).unwrap();
+                mm.submit(dev, [RuleUpdate::insert(r.clone())]);
+                installed.push((dev, r));
+            }
+            mm.flush();
+        }
+        let (bdd, pat, model) = mm.parts_mut();
+        model.check_invariants(bdd).unwrap();
+        assert_eq!(dn.class_count(), model.len(), "EC counts must agree");
+        // Spot-check point behaviours.
+        for p in 0..1024u128 {
+            if p % 37 != 0 {
+                continue;
+            }
+            let bits: Vec<bool> = (0..10).map(|i| (p >> (9 - i)) & 1 == 1).collect();
+            let entry = model.classify(bdd, &bits).unwrap();
+            for d in 0..4u32 {
+                let flash_act = pat.get(entry.vector, DeviceId(d));
+                assert_eq!(
+                    dn.action_at(DeviceId(d), p),
+                    flash_act,
+                    "point {p} device {d}"
+                );
+            }
+        }
+    }
+}

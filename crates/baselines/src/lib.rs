@@ -1,0 +1,29 @@
+//! Reimplementations of the systems Flash is compared against.
+//!
+//! The paper's authors had no access to Delta-net's or APKeep's source
+//! code and reimplemented both from the published pseudocode, calling
+//! them Delta-net* and APKeep* (§5.1). This crate does the same in Rust:
+//!
+//! * [`deltanet`] — **Delta-net\*** [NSDI'17]: the data plane as a set of
+//!   *atoms* (disjoint integer intervals over the header space); each rule
+//!   is lowered to intervals, each atom tracks a per-device priority list.
+//!   Extremely fast for destination-prefix rules (one interval per rule),
+//!   degrades when matches are multi-field or suffix/ternary (one rule →
+//!   many intervals) — the degradation Table 3 shows on LNet-ecmp/smr.
+//! * [`apkeep`] — **APKeep\*** [NSDI'20]: per-update equivalence-class
+//!   maintenance on BDDs. Each single rule update computes its effective
+//!   predicate against the device's rule list and transfers header space
+//!   between classes via the cross product. No block aggregation: the
+//!   per-update redundancy is exactly what Fast IMT's MR² removes.
+//! * [`strategies`] — **PUV / BUV**: per-update and block-update
+//!   verification drivers that check properties on the transient model
+//!   (the strategies CE2D is compared with in Figure 8); they report
+//!   transient errors that CE2D provably never reports.
+
+pub mod apkeep;
+pub mod deltanet;
+pub mod strategies;
+
+pub use apkeep::ApKeep;
+pub use deltanet::DeltaNet;
+pub use strategies::{ReportKind, StrategyReport, VerificationStrategy};

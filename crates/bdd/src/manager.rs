@@ -1,0 +1,569 @@
+//! The BDD manager: node arena, unique table, computed caches, Boolean
+//! operations, model counting and garbage collection.
+
+use std::collections::HashMap;
+
+/// Index of a BDD node inside a [`Bdd`] manager.
+///
+/// Node ids are only meaningful relative to the manager that produced them.
+/// Because nodes are hash-consed, two predicates are logically equal if and
+/// only if their `NodeId`s are equal.
+pub type NodeId = u32;
+
+/// The constant-false predicate (empty header set).
+pub const FALSE: NodeId = 0;
+/// The constant-true predicate (full header space).
+pub const TRUE: NodeId = 1;
+
+/// Sentinel variable index used by the two terminal nodes.
+const TERMINAL_VAR: u32 = u32::MAX;
+
+/// A single decision node: test `var`; follow `low` on 0, `high` on 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+struct Node {
+    var: u32,
+    low: NodeId,
+    high: NodeId,
+}
+
+/// Binary-operation identifiers for the computed cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Op {
+    And,
+    Or,
+    Xor,
+    Diff,
+}
+
+/// Counters describing the size and activity of a manager.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BddStats {
+    /// Live node count (including the two terminals).
+    pub nodes: usize,
+    /// Number of top-level Boolean operations performed so far. This is the
+    /// "#predicate operations" metric of Table 3 in the paper.
+    pub ops: u64,
+    /// Number of garbage collections performed.
+    pub gcs: u64,
+    /// Approximate resident bytes (arena + unique table + caches).
+    pub approx_bytes: usize,
+}
+
+/// A shared BDD manager over a fixed number of Boolean variables.
+///
+/// All predicates produced by one manager live in a single arena and share
+/// structure. The manager is deliberately `!Sync`: Flash gives each subspace
+/// verifier its own manager, mirroring the paper's one-verifier-per-subspace
+/// design, so no locking is needed on the hot path.
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, NodeId>,
+    bin_cache: HashMap<(Op, NodeId, NodeId), NodeId>,
+    not_cache: HashMap<NodeId, NodeId>,
+    num_vars: u32,
+    ops: u64,
+    gcs: u64,
+}
+
+impl Bdd {
+    /// Creates a manager over `num_vars` Boolean variables (bits of the
+    /// packet header). Variable 0 is tested first.
+    pub fn new(num_vars: u32) -> Self {
+        let mut bdd = Bdd {
+            nodes: Vec::with_capacity(1 << 12),
+            unique: HashMap::with_capacity(1 << 12),
+            bin_cache: HashMap::with_capacity(1 << 12),
+            not_cache: HashMap::with_capacity(1 << 10),
+            num_vars,
+            ops: 0,
+            gcs: 0,
+        };
+        // Terminal nodes occupy slots 0 (false) and 1 (true).
+        bdd.nodes.push(Node { var: TERMINAL_VAR, low: 0, high: 0 });
+        bdd.nodes.push(Node { var: TERMINAL_VAR, low: 1, high: 1 });
+        bdd
+    }
+
+    /// Number of header bits this manager reasons about.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Snapshot of size/activity counters.
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            nodes: self.nodes.len(),
+            ops: self.ops,
+            gcs: self.gcs,
+            approx_bytes: self.approx_bytes(),
+        }
+    }
+
+    /// Approximate memory footprint in bytes: the node arena plus the hash
+    /// tables. Used for the "Memory Usage" column of Table 3.
+    pub fn approx_bytes(&self) -> usize {
+        self.nodes.len() * std::mem::size_of::<Node>()
+            + self.unique.capacity()
+                * (std::mem::size_of::<Node>() + std::mem::size_of::<NodeId>() + 8)
+            + self.bin_cache.capacity() * 24
+            + self.not_cache.capacity() * 16
+    }
+
+    /// Total number of top-level Boolean operations performed.
+    pub fn op_count(&self) -> u64 {
+        self.ops
+    }
+
+    /// Resets the predicate-operation counter (used between benchmark runs).
+    pub fn reset_op_count(&mut self) {
+        self.ops = 0;
+    }
+
+    /// Rolls back `n` counted operations. Used by the encoders, whose
+    /// internal disjunctions are not "predicate operations" in the paper's
+    /// accounting (a match predicate arrives pre-built from the FIB).
+    pub(crate) fn uncount_ops(&mut self, n: u64) {
+        self.ops = self.ops.saturating_sub(n);
+    }
+
+    #[inline]
+    fn var_of(&self, n: NodeId) -> u32 {
+        self.nodes[n as usize].var
+    }
+
+    #[inline]
+    fn low_of(&self, n: NodeId) -> NodeId {
+        self.nodes[n as usize].low
+    }
+
+    #[inline]
+    fn high_of(&self, n: NodeId) -> NodeId {
+        self.nodes[n as usize].high
+    }
+
+    /// Hash-consing constructor: returns the canonical node for
+    /// `if var then high else low`, applying the reduction rule.
+    pub(crate) fn mk(&mut self, var: u32, low: NodeId, high: NodeId) -> NodeId {
+        if low == high {
+            return low;
+        }
+        let node = Node { var, low, high };
+        if let Some(&id) = self.unique.get(&node) {
+            return id;
+        }
+        let id = self.nodes.len() as NodeId;
+        self.nodes.push(node);
+        self.unique.insert(node, id);
+        id
+    }
+
+    /// The predicate "bit `var` is 1".
+    pub fn var(&mut self, var: u32) -> NodeId {
+        debug_assert!(var < self.num_vars, "variable out of range");
+        self.mk(var, FALSE, TRUE)
+    }
+
+    /// The predicate "bit `var` is 0".
+    pub fn nvar(&mut self, var: u32) -> NodeId {
+        debug_assert!(var < self.num_vars, "variable out of range");
+        self.mk(var, TRUE, FALSE)
+    }
+
+    /// Conjunction `a ∧ b`. Counts as one predicate operation.
+    pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.ops += 1;
+        self.and_rec(a, b)
+    }
+
+    /// Disjunction `a ∨ b`. Counts as one predicate operation.
+    pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.ops += 1;
+        self.or_rec(a, b)
+    }
+
+    /// Negation `¬a`. Counts as one predicate operation.
+    pub fn not(&mut self, a: NodeId) -> NodeId {
+        self.ops += 1;
+        self.not_rec(a)
+    }
+
+    /// Difference `a ∧ ¬b`. Counts as one predicate operation (Flash uses
+    /// this to subtract covered header space without materializing `¬b`).
+    pub fn diff(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.ops += 1;
+        self.diff_rec(a, b)
+    }
+
+    /// Exclusive or `a ⊕ b`. Counts as one predicate operation.
+    pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.ops += 1;
+        self.xor_rec(a, b)
+    }
+
+    /// If-then-else `(c ∧ t) ∨ (¬c ∧ e)`, composed from cached primitives.
+    pub fn ite(&mut self, c: NodeId, t: NodeId, e: NodeId) -> NodeId {
+        let ct = self.and(c, t);
+        let ne = self.diff(e, c);
+        self.or(ct, ne)
+    }
+
+    fn and_rec(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if a == b {
+            return a;
+        }
+        if a == FALSE || b == FALSE {
+            return FALSE;
+        }
+        if a == TRUE {
+            return b;
+        }
+        if b == TRUE {
+            return a;
+        }
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        if let Some(&r) = self.bin_cache.get(&(Op::And, a, b)) {
+            return r;
+        }
+        let (va, vb) = (self.var_of(a), self.var_of(b));
+        let top = va.min(vb);
+        let (a0, a1) = if va == top {
+            (self.low_of(a), self.high_of(a))
+        } else {
+            (a, a)
+        };
+        let (b0, b1) = if vb == top {
+            (self.low_of(b), self.high_of(b))
+        } else {
+            (b, b)
+        };
+        let low = self.and_rec(a0, b0);
+        let high = self.and_rec(a1, b1);
+        let r = self.mk(top, low, high);
+        self.bin_cache.insert((Op::And, a, b), r);
+        r
+    }
+
+    fn or_rec(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if a == b {
+            return a;
+        }
+        if a == TRUE || b == TRUE {
+            return TRUE;
+        }
+        if a == FALSE {
+            return b;
+        }
+        if b == FALSE {
+            return a;
+        }
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        if let Some(&r) = self.bin_cache.get(&(Op::Or, a, b)) {
+            return r;
+        }
+        let (va, vb) = (self.var_of(a), self.var_of(b));
+        let top = va.min(vb);
+        let (a0, a1) = if va == top {
+            (self.low_of(a), self.high_of(a))
+        } else {
+            (a, a)
+        };
+        let (b0, b1) = if vb == top {
+            (self.low_of(b), self.high_of(b))
+        } else {
+            (b, b)
+        };
+        let low = self.or_rec(a0, b0);
+        let high = self.or_rec(a1, b1);
+        let r = self.mk(top, low, high);
+        self.bin_cache.insert((Op::Or, a, b), r);
+        r
+    }
+
+    fn not_rec(&mut self, a: NodeId) -> NodeId {
+        match a {
+            FALSE => return TRUE,
+            TRUE => return FALSE,
+            _ => {}
+        }
+        if let Some(&r) = self.not_cache.get(&a) {
+            return r;
+        }
+        let var = self.var_of(a);
+        let (l, h) = (self.low_of(a), self.high_of(a));
+        let low = self.not_rec(l);
+        let high = self.not_rec(h);
+        let r = self.mk(var, low, high);
+        self.not_cache.insert(a, r);
+        self.not_cache.insert(r, a);
+        r
+    }
+
+    fn diff_rec(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if a == FALSE || b == TRUE || a == b {
+            return FALSE;
+        }
+        if b == FALSE {
+            return a;
+        }
+        if a == TRUE {
+            return self.not_rec(b);
+        }
+        if let Some(&r) = self.bin_cache.get(&(Op::Diff, a, b)) {
+            return r;
+        }
+        let (va, vb) = (self.var_of(a), self.var_of(b));
+        let top = va.min(vb);
+        let (a0, a1) = if va == top {
+            (self.low_of(a), self.high_of(a))
+        } else {
+            (a, a)
+        };
+        let (b0, b1) = if vb == top {
+            (self.low_of(b), self.high_of(b))
+        } else {
+            (b, b)
+        };
+        let low = self.diff_rec(a0, b0);
+        let high = self.diff_rec(a1, b1);
+        let r = self.mk(top, low, high);
+        self.bin_cache.insert((Op::Diff, a, b), r);
+        r
+    }
+
+    fn xor_rec(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        if a == b {
+            return FALSE;
+        }
+        if a == FALSE {
+            return b;
+        }
+        if b == FALSE {
+            return a;
+        }
+        if a == TRUE {
+            return self.not_rec(b);
+        }
+        if b == TRUE {
+            return self.not_rec(a);
+        }
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        if let Some(&r) = self.bin_cache.get(&(Op::Xor, a, b)) {
+            return r;
+        }
+        let (va, vb) = (self.var_of(a), self.var_of(b));
+        let top = va.min(vb);
+        let (a0, a1) = if va == top {
+            (self.low_of(a), self.high_of(a))
+        } else {
+            (a, a)
+        };
+        let (b0, b1) = if vb == top {
+            (self.low_of(b), self.high_of(b))
+        } else {
+            (b, b)
+        };
+        let low = self.xor_rec(a0, b0);
+        let high = self.xor_rec(a1, b1);
+        let r = self.mk(top, low, high);
+        self.bin_cache.insert((Op::Xor, a, b), r);
+        r
+    }
+
+    /// Existential quantification of a contiguous variable range:
+    /// `∃ x_offset … x_{offset+width-1}. a` — the header set reachable by
+    /// assigning the field arbitrarily. This is the primitive behind
+    /// header-rewrite support (NAT/tunnels): rewriting a field first
+    /// forgets its old value, then constrains the new one. Counts as one
+    /// predicate operation.
+    pub fn exists_range(&mut self, a: NodeId, offset: u32, width: u32) -> NodeId {
+        self.ops += 1;
+        let mut memo = HashMap::new();
+        self.exists_rec(a, offset, offset + width, &mut memo)
+    }
+
+    fn exists_rec(
+        &mut self,
+        a: NodeId,
+        lo: u32,
+        hi: u32,
+        memo: &mut HashMap<NodeId, NodeId>,
+    ) -> NodeId {
+        if a <= TRUE {
+            return a;
+        }
+        let var = self.var_of(a);
+        if var >= hi {
+            // Entirely below the quantified range: unchanged.
+            return a;
+        }
+        if let Some(&r) = memo.get(&a) {
+            return r;
+        }
+        let (l, h) = (self.low_of(a), self.high_of(a));
+        let low = self.exists_rec(l, lo, hi, memo);
+        let high = self.exists_rec(h, lo, hi, memo);
+        let r = if var >= lo {
+            // A quantified variable: either branch may be taken.
+            self.or_rec(low, high)
+        } else {
+            self.mk(var, low, high)
+        };
+        memo.insert(a, r);
+        r
+    }
+
+    /// Rewrites the `width`-bit field at `offset` to the constant `value`
+    /// in every header selected by `a`: `(∃ field. a) ∧ (field = value)`.
+    /// The primitive of tunnel/NAT modeling (§7 of the paper). Counts the
+    /// quantification and conjunction as predicate operations.
+    pub fn rewrite_field(&mut self, a: NodeId, offset: u32, width: u32, value: u64) -> NodeId {
+        let forgotten = self.exists_range(a, offset, width);
+        let constrained = self.exact(offset, width, value);
+        self.and(forgotten, constrained)
+    }
+
+    /// True when the two predicates select disjoint header sets.
+    pub fn disjoint(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.and(a, b) == FALSE
+    }
+
+    /// True when `a` selects a subset of the headers `b` selects.
+    pub fn implies(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.diff(a, b) == FALSE
+    }
+
+    /// Number of satisfying assignments over all `num_vars` variables,
+    /// as `f64` (header spaces easily exceed `u64`; the paper's header
+    /// space is 2^104 in the general multi-field case).
+    pub fn sat_count(&self, a: NodeId) -> f64 {
+        let mut memo: HashMap<NodeId, f64> = HashMap::new();
+        let frac = self.sat_frac(a, &mut memo);
+        frac * 2f64.powi(self.num_vars as i32)
+    }
+
+    /// Fraction of the header space selected by `a`, in `[0, 1]`.
+    pub fn sat_fraction(&self, a: NodeId) -> f64 {
+        let mut memo: HashMap<NodeId, f64> = HashMap::new();
+        self.sat_frac(a, &mut memo)
+    }
+
+    fn sat_frac(&self, a: NodeId, memo: &mut HashMap<NodeId, f64>) -> f64 {
+        match a {
+            FALSE => return 0.0,
+            TRUE => return 1.0,
+            _ => {}
+        }
+        if let Some(&f) = memo.get(&a) {
+            return f;
+        }
+        let l = self.sat_frac(self.low_of(a), memo);
+        let h = self.sat_frac(self.high_of(a), memo);
+        let f = 0.5 * (l + h);
+        memo.insert(a, f);
+        f
+    }
+
+    /// Extracts one satisfying assignment as a bit vector (length
+    /// `num_vars`), or `None` when the predicate is false. Unconstrained
+    /// bits are reported as `false`.
+    pub fn any_sat(&self, a: NodeId) -> Option<Vec<bool>> {
+        if a == FALSE {
+            return None;
+        }
+        let mut bits = vec![false; self.num_vars as usize];
+        let mut cur = a;
+        while cur != TRUE {
+            let v = self.var_of(cur) as usize;
+            if self.low_of(cur) != FALSE {
+                bits[v] = false;
+                cur = self.low_of(cur);
+            } else {
+                bits[v] = true;
+                cur = self.high_of(cur);
+            }
+        }
+        Some(bits)
+    }
+
+    /// Evaluates the predicate on a concrete header given as a bit vector.
+    pub fn eval(&self, a: NodeId, bits: &[bool]) -> bool {
+        let mut cur = a;
+        while cur != TRUE && cur != FALSE {
+            let v = self.var_of(cur) as usize;
+            cur = if bits[v] { self.high_of(cur) } else { self.low_of(cur) };
+        }
+        cur == TRUE
+    }
+
+    /// Number of decision nodes reachable from `a` (excluding terminals) —
+    /// the conventional "BDD size" measure.
+    pub fn size_of(&self, a: NodeId) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![a];
+        while let Some(n) = stack.pop() {
+            if n <= TRUE || !seen.insert(n) {
+                continue;
+            }
+            stack.push(self.low_of(n));
+            stack.push(self.high_of(n));
+        }
+        seen.len()
+    }
+
+    /// Mark-compact garbage collection.
+    ///
+    /// Retains exactly the nodes reachable from `roots`, rebuilds the arena
+    /// and unique table, drops the operation caches, and returns the new ids
+    /// of the roots (in input order). Every `NodeId` not passed as a root is
+    /// invalidated.
+    pub fn gc(&mut self, roots: &[NodeId]) -> Vec<NodeId> {
+        self.gcs += 1;
+        let old_nodes = std::mem::take(&mut self.nodes);
+        self.unique.clear();
+        self.bin_cache.clear();
+        self.not_cache.clear();
+
+        self.nodes.push(Node { var: TERMINAL_VAR, low: 0, high: 0 });
+        self.nodes.push(Node { var: TERMINAL_VAR, low: 1, high: 1 });
+
+        let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
+        remap.insert(FALSE, FALSE);
+        remap.insert(TRUE, TRUE);
+
+        // Iterative post-order copy so deep chains do not overflow the stack.
+        for &root in roots {
+            let mut stack = vec![(root, false)];
+            while let Some((n, expanded)) = stack.pop() {
+                if remap.contains_key(&n) {
+                    continue;
+                }
+                let node = old_nodes[n as usize];
+                if expanded {
+                    let low = remap[&node.low];
+                    let high = remap[&node.high];
+                    let id = self.mk(node.var, low, high);
+                    remap.insert(n, id);
+                } else {
+                    stack.push((n, true));
+                    if !remap.contains_key(&node.high) {
+                        stack.push((node.high, false));
+                    }
+                    if !remap.contains_key(&node.low) {
+                        stack.push((node.low, false));
+                    }
+                }
+            }
+        }
+        roots.iter().map(|r| remap[r]).collect()
+    }
+}
+
+impl std::fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bdd")
+            .field("num_vars", &self.num_vars)
+            .field("nodes", &self.nodes.len())
+            .field("ops", &self.ops)
+            .finish()
+    }
+}

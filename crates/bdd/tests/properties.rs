@@ -1,0 +1,179 @@
+//! Property-based tests: the BDD engine must agree with a brute-force truth
+//! table over a small variable count, and its algebra must satisfy the
+//! Boolean-lattice laws.
+
+use flash_bdd::{Bdd, NodeId, FALSE, TRUE};
+use proptest::prelude::*;
+
+const VARS: u32 = 6;
+
+/// A tiny expression language we can evaluate both through the BDD engine
+/// and by brute force.
+#[derive(Clone, Debug)]
+enum Expr {
+    Var(u32),
+    Not(Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Xor(Box<Expr>, Box<Expr>),
+    Diff(Box<Expr>, Box<Expr>),
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (0..VARS).prop_map(Expr::Var);
+    leaf.prop_recursive(4, 32, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Expr::Diff(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn build(bdd: &mut Bdd, e: &Expr) -> NodeId {
+    match e {
+        Expr::Var(v) => bdd.var(*v),
+        Expr::Not(a) => {
+            let a = build(bdd, a);
+            bdd.not(a)
+        }
+        Expr::And(a, b) => {
+            let (a, b) = (build(bdd, a), build(bdd, b));
+            bdd.and(a, b)
+        }
+        Expr::Or(a, b) => {
+            let (a, b) = (build(bdd, a), build(bdd, b));
+            bdd.or(a, b)
+        }
+        Expr::Xor(a, b) => {
+            let (a, b) = (build(bdd, a), build(bdd, b));
+            bdd.xor(a, b)
+        }
+        Expr::Diff(a, b) => {
+            let (a, b) = (build(bdd, a), build(bdd, b));
+            bdd.diff(a, b)
+        }
+    }
+}
+
+fn truth(e: &Expr, bits: &[bool]) -> bool {
+    match e {
+        Expr::Var(v) => bits[*v as usize],
+        Expr::Not(a) => !truth(a, bits),
+        Expr::And(a, b) => truth(a, bits) && truth(b, bits),
+        Expr::Or(a, b) => truth(a, bits) || truth(b, bits),
+        Expr::Xor(a, b) => truth(a, bits) ^ truth(b, bits),
+        Expr::Diff(a, b) => truth(a, bits) && !truth(b, bits),
+    }
+}
+
+fn assignments() -> impl Iterator<Item = Vec<bool>> {
+    (0u32..(1 << VARS)).map(|m| (0..VARS).map(|i| (m >> i) & 1 == 1).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bdd_matches_truth_table(e in arb_expr()) {
+        let mut bdd = Bdd::new(VARS);
+        let n = build(&mut bdd, &e);
+        for bits in assignments() {
+            prop_assert_eq!(bdd.eval(n, &bits), truth(&e, &bits));
+        }
+    }
+
+    #[test]
+    fn sat_count_matches_truth_table(e in arb_expr()) {
+        let mut bdd = Bdd::new(VARS);
+        let n = build(&mut bdd, &e);
+        let expect = assignments().filter(|b| truth(&e, b)).count() as f64;
+        prop_assert_eq!(bdd.sat_count(n), expect);
+    }
+
+    #[test]
+    fn canonical_form_is_unique(e in arb_expr()) {
+        // Double negation and re-building produce the identical node id.
+        let mut bdd = Bdd::new(VARS);
+        let n1 = build(&mut bdd, &e);
+        let neg = bdd.not(n1);
+        let n2 = bdd.not(neg);
+        prop_assert_eq!(n1, n2);
+        let n3 = build(&mut bdd, &e);
+        prop_assert_eq!(n1, n3);
+    }
+
+    #[test]
+    fn lattice_laws(a in arb_expr(), b in arb_expr(), c in arb_expr()) {
+        let mut bdd = Bdd::new(VARS);
+        let (x, y, z) = (build(&mut bdd, &a), build(&mut bdd, &b), build(&mut bdd, &c));
+        // commutativity
+        prop_assert_eq!(bdd.and(x, y), bdd.and(y, x));
+        prop_assert_eq!(bdd.or(x, y), bdd.or(y, x));
+        // associativity
+        let xy = bdd.and(x, y);
+        let yz = bdd.and(y, z);
+        prop_assert_eq!(bdd.and(xy, z), bdd.and(x, yz));
+        // distributivity
+        let y_or_z = bdd.or(y, z);
+        let lhs = bdd.and(x, y_or_z);
+        let xz = bdd.and(x, z);
+        let rhs = bdd.or(xy, xz);
+        prop_assert_eq!(lhs, rhs);
+        // complement
+        let nx = bdd.not(x);
+        prop_assert_eq!(bdd.and(x, nx), FALSE);
+        prop_assert_eq!(bdd.or(x, nx), TRUE);
+    }
+
+    #[test]
+    fn gc_preserves_semantics(e in arb_expr(), f in arb_expr()) {
+        let mut bdd = Bdd::new(VARS);
+        let n = build(&mut bdd, &e);
+        let m = build(&mut bdd, &f);
+        let truth_n: Vec<bool> = assignments().map(|b| truth(&e, &b)).collect();
+        let truth_m: Vec<bool> = assignments().map(|b| truth(&f, &b)).collect();
+        let roots = bdd.gc(&[n, m]);
+        for (i, bits) in assignments().enumerate() {
+            prop_assert_eq!(bdd.eval(roots[0], &bits), truth_n[i]);
+            prop_assert_eq!(bdd.eval(roots[1], &bits), truth_m[i]);
+        }
+    }
+
+    #[test]
+    fn any_sat_is_a_model(e in arb_expr()) {
+        let mut bdd = Bdd::new(VARS);
+        let n = build(&mut bdd, &e);
+        match bdd.any_sat(n) {
+            Some(w) => prop_assert!(bdd.eval(n, &w)),
+            None => prop_assert_eq!(n, FALSE),
+        }
+    }
+
+    #[test]
+    fn range_encoder_correct(lo in 0u64..64, len in 0u64..64) {
+        let hi = (lo + len).min(63);
+        let mut bdd = Bdd::new(VARS);
+        let r = bdd.range(0, 6, lo, hi);
+        for v in 0u64..64 {
+            let bits: Vec<bool> = (0..6).map(|i| (v >> (5 - i)) & 1 == 1).collect();
+            prop_assert_eq!(bdd.eval(r, &bits), v >= lo && v <= hi);
+        }
+    }
+
+    #[test]
+    fn ternary_encoder_correct(value in 0u64..64, mask in 0u64..64) {
+        let mut bdd = Bdd::new(VARS);
+        let t = bdd.ternary(0, 6, value, mask);
+        for v in 0u64..64 {
+            let bits: Vec<bool> = (0..6).map(|i| (v >> (5 - i)) & 1 == 1).collect();
+            prop_assert_eq!(bdd.eval(t, &bits), (v & mask) == (value & mask));
+        }
+    }
+}

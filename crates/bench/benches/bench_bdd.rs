@@ -1,0 +1,101 @@
+//! Micro-benchmarks of the BDD predicate engine — the substrate every
+//! verifier in Table 3 sits on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flash_bdd::Bdd;
+
+fn bench_prefix_encode(c: &mut Criterion) {
+    c.bench_function("bdd/prefix_encode_1k", |b| {
+        b.iter_batched(
+            || Bdd::new(32),
+            |mut bdd| {
+                for i in 0..1000u64 {
+                    std::hint::black_box(bdd.prefix(0, 32, i << 12, 20));
+                }
+                bdd
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_disjunction_chain(c: &mut Criterion) {
+    c.bench_function("bdd/or_chain_1k_prefixes", |b| {
+        b.iter_batched(
+            || {
+                let mut bdd = Bdd::new(32);
+                let preds: Vec<_> = (0..1000u64).map(|i| bdd.prefix(0, 32, i << 12, 20)).collect();
+                (bdd, preds)
+            },
+            |(mut bdd, preds)| {
+                let mut acc = flash_bdd::FALSE;
+                for p in preds {
+                    acc = bdd.or(acc, p);
+                }
+                std::hint::black_box(acc)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_effective_predicate(c: &mut Criterion) {
+    // m ∧ ¬(shadow) — the core operation of the map phase.
+    c.bench_function("bdd/diff_against_shadow", |b| {
+        b.iter_batched(
+            || {
+                let mut bdd = Bdd::new(32);
+                let mut shadow = flash_bdd::FALSE;
+                for i in 0..500u64 {
+                    let p = bdd.prefix(0, 32, i << 13, 19);
+                    shadow = bdd.or(shadow, p);
+                }
+                let m = bdd.prefix(0, 32, 0xAB << 20, 12);
+                (bdd, m, shadow)
+            },
+            |(mut bdd, m, shadow)| std::hint::black_box(bdd.diff(m, shadow)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sat_count(c: &mut Criterion) {
+    c.bench_function("bdd/sat_count", |b| {
+        let mut bdd = Bdd::new(32);
+        let mut acc = flash_bdd::FALSE;
+        for i in 0..200u64 {
+            let p = bdd.prefix(0, 32, i << 14, 18);
+            acc = bdd.or(acc, p);
+        }
+        b.iter(|| std::hint::black_box(bdd.sat_count(acc)))
+    });
+}
+
+fn bench_gc(c: &mut Criterion) {
+    c.bench_function("bdd/gc_10k_nodes", |b| {
+        b.iter_batched(
+            || {
+                let mut bdd = Bdd::new(32);
+                let mut keep = Vec::new();
+                for i in 0..500u64 {
+                    let p = bdd.prefix(0, 32, i << 12, 20);
+                    let q = bdd.not(p);
+                    if i % 10 == 0 {
+                        keep.push(q);
+                    }
+                }
+                (bdd, keep)
+            },
+            |(mut bdd, keep)| std::hint::black_box(bdd.gc(&keep)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_prefix_encode, bench_disjunction_chain, bench_effective_predicate,
+              bench_sat_count, bench_gc
+);
+criterion_main!(benches);

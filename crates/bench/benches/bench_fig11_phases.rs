@@ -1,0 +1,60 @@
+//! Figure 11 as criterion benches: the three construction pipelines whose
+//! phase breakdown `repro fig11` prints — APKeep*, Flash in per-update
+//! mode, and Flash in block mode — on the I2-trace storm.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flash_baselines::ApKeep;
+use flash_imt::{ModelManager, ModelManagerConfig};
+use flash_workloads::settings::{Scale, Setting, SettingName};
+use flash_workloads::updates;
+
+fn phases_benches(c: &mut Criterion) {
+    let setting = Setting::build(
+        SettingName::I2Trace,
+        Scale {
+            lnet_k: 4,
+            prefixes_per_tor: 1,
+            trace_rules_per_device: 60,
+        },
+    );
+    let seq = updates::insert_all(&setting.fibs);
+
+    c.bench_function("fig11/apkeep", |b| {
+        b.iter_batched(
+            || ApKeep::new(setting.fibs.layout.clone()),
+            |mut ap| {
+                ap.apply_all(&seq);
+                std::hint::black_box(ap.model().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    for (label, bst) in [("flash_per_update", 1usize), ("flash_block", usize::MAX)] {
+        c.bench_function(&format!("fig11/{label}"), |b| {
+            b.iter_batched(
+                || {
+                    ModelManager::new(ModelManagerConfig {
+                        bst,
+                        ..ModelManagerConfig::whole_space(setting.fibs.layout.clone())
+                    })
+                },
+                |mut mm| {
+                    for (d, u) in &seq {
+                        mm.submit(*d, [u.clone()]);
+                    }
+                    mm.flush();
+                    std::hint::black_box(mm.model().len())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = phases_benches
+);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Figure 12 as a criterion bench: one reachability check via the
+//! decremental graph query (DGQ) versus model traversal (MT), on a
+//! mid-construction fat-tree model.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flash_ce2d::{ModelTraversal, RegexVerifier};
+use flash_imt::{ModelManager, ModelManagerConfig};
+use flash_netmodel::{Match, RuleUpdate};
+use flash_spec::{parse_path_expr, Requirement};
+use flash_workloads::{fat_tree, fibgen};
+use std::sync::Arc;
+
+fn dgq_vs_mt(c: &mut Criterion) {
+    let ft = fat_tree(4, 8);
+    let fibs = fibgen::generate(&ft, fibgen::FibDiscipline::Apsp, 1);
+    let layout = fibs.layout.clone();
+    let actions = Arc::new(fibs.actions.clone());
+    let all_tors = ft.all_tors();
+    let dst_tors = ft.tors[0].clone();
+
+    // Build the model from the first half of the switches.
+    let half = fibs.fibs.len() / 2;
+    let build_mgr = || {
+        let mut mgr = ModelManager::new(ModelManagerConfig::whole_space(layout.clone()));
+        for fib in fibs.fibs.iter().take(half) {
+            let block: Vec<RuleUpdate> =
+                fib.rules.iter().cloned().map(RuleUpdate::insert).collect();
+            mgr.submit(fib.device, block);
+        }
+        mgr.flush();
+        mgr
+    };
+
+    c.bench_function("fig12/mt_all_pair_check", |b| {
+        let mut mgr = build_mgr();
+        let mt = ModelTraversal::new(ft.topo.clone(), actions.clone());
+        b.iter(|| {
+            let (_, pat, model) = mgr.parts_mut();
+            std::hint::black_box(mt.all_pair_reachability(pat, model, &all_tors, &dst_tors))
+        })
+    });
+
+    c.bench_function("fig12/dgq_incremental_check", |b| {
+        // Each iteration: verifier absorbs one device's sync and answers.
+        b.iter_batched(
+            || {
+                let mut mgr = build_mgr();
+                let (_, value, len) = ft.tor_prefix[0];
+                let req = Requirement::new(
+                    "pair",
+                    Match::dst_prefix(&layout, value, len),
+                    vec![all_tors[4]],
+                    parse_path_expr(&format!(
+                        "{} .* {}",
+                        ft.topo.name(all_tors[4]),
+                        ft.topo.name(dst_tors[0])
+                    ))
+                    .unwrap(),
+                );
+                let v = RegexVerifier::new(
+                    ft.topo.clone(),
+                    actions.clone(),
+                    req,
+                    vec![],
+                    mgr.bdd_mut(),
+                    &layout,
+                );
+                (mgr, v)
+            },
+            |(mut mgr, mut v)| {
+                let synced: Vec<_> = fibs.fibs.iter().take(half).map(|f| f.device).collect();
+                let (bdd, pat, model) = mgr.parts_mut();
+                std::hint::black_box(v.on_model_update(bdd, pat, model, &synced))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = dgq_vs_mt
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 7 as a criterion bench: model construction time at several
+//! block size thresholds on the LNet-apsp storm.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flash_imt::{ModelManager, ModelManagerConfig};
+use flash_workloads::settings::{Scale, Setting, SettingName};
+use flash_workloads::updates;
+
+fn bst_benches(c: &mut Criterion) {
+    let setting = Setting::build(
+        SettingName::LNetApsp,
+        Scale {
+            lnet_k: 4,
+            prefixes_per_tor: 2,
+            trace_rules_per_device: 0,
+        },
+    );
+    let seq = updates::insert_all(&setting.fibs);
+    let n = seq.len();
+
+    for fraction in [0.01f64, 0.04, 0.25, 1.0] {
+        let bst = ((n as f64 * fraction) as usize).max(1);
+        c.bench_function(&format!("fig7/bst_{fraction}"), |b| {
+            b.iter_batched(
+                || {
+                    ModelManager::new(ModelManagerConfig {
+                        bst,
+                        ..ModelManagerConfig::whole_space(setting.fibs.layout.clone())
+                    })
+                },
+                |mut mm| {
+                    for (d, u) in &seq {
+                        mm.submit(*d, [u.clone()]);
+                    }
+                    mm.flush();
+                    std::hint::black_box(mm.model().len())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bst_benches
+);
+criterion_main!(benches);

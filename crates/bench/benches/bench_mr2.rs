@@ -1,0 +1,126 @@
+//! MR² ablation: block decomposition with and without the two reduce
+//! operators (the aggregation DESIGN.md calls out), plus the merge-based
+//! decomposition itself.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flash_bdd::Bdd;
+use flash_imt::mr2::{
+    calculate_atomic_overwrites, merge_block_and_diff, reduce_by_action, reduce_by_predicate,
+};
+use flash_imt::{InverseModel, PatStore};
+use flash_netmodel::{ActionTable, DeviceId, Fib, HeaderLayout, Match, Rule, RuleUpdate};
+
+/// A block of `k` rule inserts across `devs` devices sharing predicates
+/// (the aggregation-friendly shape of real network-wide flows).
+fn block(layout: &HeaderLayout, devs: u32, per_dev: u64) -> Vec<(DeviceId, Vec<RuleUpdate>)> {
+    let mut at = ActionTable::new();
+    (0..devs)
+        .map(|d| {
+            let updates = (0..per_dev)
+                .map(|i| {
+                    let a = at.fwd(DeviceId(1000 + d));
+                    RuleUpdate::insert(Rule::new(
+                        Match::dst_prefix(layout, i << 6, 10),
+                        10,
+                        a,
+                    ))
+                })
+                .collect();
+            (DeviceId(d), updates)
+        })
+        .collect()
+}
+
+type Prepared = (Bdd, PatStore, InverseModel, Vec<flash_imt::AtomicOverwrite>);
+
+fn prepare(layout: &HeaderLayout) -> Prepared {
+    let mut bdd = Bdd::new(layout.total_bits());
+    let pat = PatStore::new();
+    let model = InverseModel::new(flash_bdd::TRUE);
+    let mut atomics = Vec::new();
+    for (dev, updates) in block(layout, 16, 64) {
+        let mut fib = Fib::new(layout);
+        let res = merge_block_and_diff(&mut fib, &updates);
+        atomics.extend(calculate_atomic_overwrites(
+            &mut bdd,
+            layout,
+            dev,
+            &fib,
+            &res.diff,
+            flash_bdd::TRUE,
+        ));
+    }
+    (bdd, pat, model, atomics)
+}
+
+fn bench_decompose(c: &mut Criterion) {
+    let layout = HeaderLayout::new(&[("dst", 16)]);
+    c.bench_function("mr2/decompose_16x64", |b| {
+        b.iter_batched(
+            || (Bdd::new(16), block(&layout, 16, 64)),
+            |(mut bdd, blocks)| {
+                let mut n = 0;
+                for (dev, updates) in &blocks {
+                    let mut fib = Fib::new(&layout);
+                    let res = merge_block_and_diff(&mut fib, updates);
+                    n += calculate_atomic_overwrites(
+                        &mut bdd,
+                        &layout,
+                        *dev,
+                        &fib,
+                        &res.diff,
+                        flash_bdd::TRUE,
+                    )
+                    .len();
+                }
+                std::hint::black_box(n)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_apply_with_reduce(c: &mut Criterion) {
+    let layout = HeaderLayout::new(&[("dst", 16)]);
+    c.bench_function("mr2/apply_with_reduce", |b| {
+        b.iter_batched(
+            || prepare(&layout),
+            |(mut bdd, mut pat, mut model, atomics)| {
+                let reduced = reduce_by_action(&mut bdd, &atomics);
+                let compact = reduce_by_predicate(&reduced);
+                model.apply_overwrites(&mut bdd, &mut pat, &compact);
+                std::hint::black_box(model.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_apply_without_reduce(c: &mut Criterion) {
+    // Ablation: apply every atomic overwrite individually (what a
+    // reduce-free Fast IMT would do) — each one is a model cross product.
+    let layout = HeaderLayout::new(&[("dst", 16)]);
+    c.bench_function("mr2/apply_without_reduce", |b| {
+        b.iter_batched(
+            || prepare(&layout),
+            |(mut bdd, mut pat, mut model, atomics)| {
+                for a in &atomics {
+                    let ow = flash_imt::Overwrite {
+                        pred: a.pred,
+                        writes: vec![(a.device, a.action)],
+                    };
+                    model.apply_overwrite(&mut bdd, &mut pat, &ow);
+                }
+                std::hint::black_box(model.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_decompose, bench_apply_with_reduce, bench_apply_without_reduce
+);
+criterion_main!(benches);

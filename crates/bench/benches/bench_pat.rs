@@ -1,0 +1,78 @@
+//! Persistent action tree ablation (§3.4, "Persistent Action Tree"):
+//! overwriting a few devices in a large action vector via the PAT versus
+//! the naive array copy the paper compares against.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flash_imt::{PatStore, PAT_NIL};
+use flash_netmodel::{ActionId, DeviceId};
+
+const N: u32 = 4096; // devices in the vector
+
+fn bench_pat_overwrite(c: &mut Criterion) {
+    c.bench_function("pat/overwrite_1_of_4096", |b| {
+        b.iter_batched(
+            || {
+                let mut pat = PatStore::new();
+                let mut t = PAT_NIL;
+                for i in 0..N {
+                    t = pat.set(t, DeviceId(i), ActionId(1 + (i % 7)));
+                }
+                (pat, t)
+            },
+            |(mut pat, t)| {
+                // 100 single-device overwrites, each producing a new vector.
+                let mut cur = t;
+                for i in 0..100u32 {
+                    cur = pat.overwrite(cur, &[(DeviceId(i * 37 % N), ActionId(9))]);
+                }
+                std::hint::black_box(cur)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_array_overwrite(c: &mut Criterion) {
+    c.bench_function("pat/naive_array_overwrite_1_of_4096", |b| {
+        b.iter_batched(
+            || (0..N).map(|i| ActionId(1 + (i % 7))).collect::<Vec<_>>(),
+            |base| {
+                // The naive alternative: copy the whole vector per overwrite.
+                let mut vectors = Vec::with_capacity(100);
+                let mut cur = base;
+                for i in 0..100u32 {
+                    let mut next = cur.clone();
+                    next[(i * 37 % N) as usize] = ActionId(9);
+                    vectors.push(cur);
+                    cur = next;
+                }
+                std::hint::black_box((vectors, cur))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_pat_equality(c: &mut Criterion) {
+    // Vector equality is the hot comparison when the model dedups
+    // classes; PAT makes it O(1).
+    c.bench_function("pat/equality_check", |b| {
+        let mut pat = PatStore::new();
+        let mut t1 = PAT_NIL;
+        for i in 0..N {
+            t1 = pat.set(t1, DeviceId(i), ActionId(1));
+        }
+        let mut t2 = PAT_NIL;
+        for i in (0..N).rev() {
+            t2 = pat.set(t2, DeviceId(i), ActionId(1));
+        }
+        b.iter(|| std::hint::black_box(t1 == t2))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pat_overwrite, bench_array_overwrite, bench_pat_equality
+);
+criterion_main!(benches);

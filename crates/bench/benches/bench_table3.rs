@@ -1,0 +1,76 @@
+//! Table 3 as criterion benches: model construction per setting for
+//! Flash, APKeep* and Delta-net* (reduced scales so the suite finishes;
+//! the `repro table3` binary prints the full paper-style rows).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use flash_baselines::{ApKeep, DeltaNet};
+use flash_imt::{ModelManager, ModelManagerConfig};
+use flash_workloads::settings::{Scale, Setting, SettingName};
+use flash_workloads::updates;
+
+fn quick_scale() -> Scale {
+    Scale {
+        lnet_k: 4,
+        prefixes_per_tor: 1,
+        trace_rules_per_device: 30,
+    }
+}
+
+fn bench_setting(c: &mut Criterion, name: SettingName, include_deltanet: bool) {
+    let setting = Setting::build(name, quick_scale());
+    let seq = updates::insert_all(&setting.fibs);
+    let label = name.label();
+
+    c.bench_function(&format!("table3/{label}/flash"), |b| {
+        b.iter_batched(
+            || ModelManager::new(ModelManagerConfig::whole_space(setting.fibs.layout.clone())),
+            |mut mm| {
+                for (d, u) in &seq {
+                    mm.submit(*d, [u.clone()]);
+                }
+                mm.flush();
+                std::hint::black_box(mm.model().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function(&format!("table3/{label}/apkeep"), |b| {
+        b.iter_batched(
+            || ApKeep::new(setting.fibs.layout.clone()),
+            |mut ap| {
+                ap.apply_all(&seq);
+                std::hint::black_box(ap.model().len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    if include_deltanet {
+        c.bench_function(&format!("table3/{label}/deltanet"), |b| {
+            b.iter_batched(
+                || DeltaNet::new(setting.fibs.layout.clone()),
+                |mut dn| {
+                    dn.apply_all(&seq).expect("prefix workload lowers cleanly");
+                    std::hint::black_box(dn.class_count())
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn table3_benches(c: &mut Criterion) {
+    bench_setting(c, SettingName::LNetApsp, true);
+    bench_setting(c, SettingName::LNetEcmp, false); // interval blow-up
+    bench_setting(c, SettingName::LNetSmr, false); // interval blow-up
+    bench_setting(c, SettingName::StanfordTrace, true);
+    bench_setting(c, SettingName::I2Trace, true);
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = table3_benches
+);
+criterion_main!(benches);

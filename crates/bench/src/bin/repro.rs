@@ -1,0 +1,344 @@
+//! `repro` — regenerates every table and figure of the paper's
+//! evaluation as text rows.
+//!
+//! ```text
+//! repro <experiment> [--quick]
+//!   table3 | fig6 | fig7 | fig8 | fig9 | fig10 | fig11 | fig12
+//!   fig14 | fig15 | fig18 | overhead | settings | all
+//! ```
+//!
+//! `--quick` shrinks every scale knob for a fast smoke run (used by CI);
+//! the default scales are the ones documented in EXPERIMENTS.md.
+
+use flash_bench::*;
+use flash_workloads::settings::{Scale, Setting, SettingName};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .unwrap_or("all");
+
+    let scale = if quick {
+        Scale {
+            lnet_k: 4,
+            prefixes_per_tor: 1,
+            trace_rules_per_device: 40,
+        }
+    } else {
+        Scale::default()
+    };
+    let deadline = if quick {
+        Duration::from_secs(10)
+    } else {
+        Duration::from_secs(120)
+    };
+
+    let run = |name: &str| which == "all" || which == name;
+
+    if run("settings") {
+        print_settings(scale);
+    }
+    if run("table3") {
+        print_table3(scale, deadline);
+    }
+    if run("fig6") {
+        print_fig6(scale, deadline);
+    }
+    if run("fig7") {
+        print_fig7(scale);
+    }
+    if run("fig8") {
+        print_fig8();
+    }
+    if run("fig9") {
+        print_fig9(if quick { 10 } else { 50 });
+    }
+    if run("fig10") {
+        print_fig10(if quick { 10 } else { 50 });
+    }
+    if run("fig11") {
+        print_fig11(scale);
+    }
+    if run("fig12") || run("fig18") {
+        print_fig12_18(scale, quick);
+    }
+    if run("fig14") {
+        print_fig14(if quick { 200 } else { 2000 });
+    }
+    if run("fig15") {
+        print_fig15(quick);
+    }
+    if run("overhead") {
+        print_overhead(scale);
+    }
+}
+
+fn header(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn print_settings(scale: Scale) {
+    header("Table 2 — evaluation settings (scaled; see EXPERIMENTS.md)");
+    println!(
+        "{:<16} {:>9} {:>9} {:>10}",
+        "Setting", "|V|", "|E|", "FIB rules"
+    );
+    for name in SettingName::all() {
+        let s = Setting::build(name, scale);
+        println!(
+            "{:<16} {:>9} {:>9} {:>10}",
+            name.label(),
+            s.topo.device_count(),
+            s.topo.link_count(),
+            s.fibs.total_rules()
+        );
+    }
+}
+
+fn result_cells(r: &Option<ConstructionResult>, flash_time: Duration) -> (String, String, String) {
+    match r {
+        Some(r) => (
+            format!("{} ({})", r.time.cell(), r.time.speedup_vs(flash_time)),
+            mib(r.memory_bytes),
+            format!("{}", r.ops / 100),
+        ),
+        None => ("n/a (interval blow-up)".into(), "-".into(), "-".into()),
+    }
+}
+
+fn print_construction_rows(rows: &[Table3Row]) {
+    println!(
+        "{:<16} {:>8} | {:>22} {:>16} {:>10} | {:>10} {:>8} {:>8} | {:>10} {:>8} {:>8}",
+        "Setting", "rules",
+        "Delta-net* t(s)", "APKeep* t(s)", "Flash t(s)",
+        "DN MB", "AP MB", "FL MB",
+        "DN op/100", "AP op/100", "FL op/100"
+    );
+    for row in rows {
+        let ft = row.flash.time.duration();
+        let (dn_t, dn_m, dn_o) = result_cells(&row.deltanet, ft);
+        let ap = Some(row.apkeep.clone());
+        let (ap_t, ap_m, ap_o) = result_cells(&ap, ft);
+        println!(
+            "{:<16} {:>8} | {:>22} {:>16} {:>10} | {:>10} {:>8} {:>8} | {:>10} {:>8} {:>8}",
+            row.setting,
+            row.rules,
+            dn_t,
+            ap_t,
+            row.flash.time.cell(),
+            dn_m,
+            ap_m,
+            mib(row.flash.memory_bytes),
+            dn_o,
+            ap_o,
+            row.flash.ops / 100,
+        );
+    }
+}
+
+fn print_table3(scale: Scale, deadline: Duration) {
+    header("Table 3 — overall performance (time / memory / #predicate ops)");
+    let rows = table3(scale, deadline);
+    print_construction_rows(&rows);
+    println!("\n(speedups are relative to Flash; 'op/100' = predicate operations / 100)");
+}
+
+fn print_fig6(scale: Scale, deadline: Duration) {
+    header("Figure 6 — update storms, no partition (LNet-ecmp / LNet-smr)");
+    let rows = fig6(scale, deadline);
+    print_construction_rows(&rows);
+}
+
+fn print_fig7(scale: Scale) {
+    header("Figure 7 — block size threshold vs normalized update speed");
+    let fractions = [0.01, 0.02, 0.04, 0.1, 0.25, 0.5, 1.0];
+    // The sweep reruns every setting once per fraction; trim the trace
+    // scales so the whole figure stays minutes, not hours.
+    let scale = Scale {
+        trace_rules_per_device: (scale.trace_rules_per_device / 4).max(20),
+        ..scale
+    };
+    println!("{:<16} {}", "Setting", fractions.map(|f| format!("{f:>8}")).join(""));
+    for name in SettingName::all() {
+        let setting = Setting::build(name, scale);
+        let points = fig7_sweep(&setting.fibs, &fractions);
+        let cells: String = points
+            .iter()
+            .map(|p| format!("{:>8.2}", p.normalized_speed))
+            .collect();
+        println!("{:<16} {}", name.label(), cells);
+    }
+    println!("(columns = BST / FIB scale; values = T_baseline / T_x)");
+}
+
+fn print_fig8() {
+    header("Figure 8 — FIB update arrivals and verification reports (I2-OpenR-loop)");
+    let tl = fig8(1);
+    println!("arrivals (time ms, device, epoch):");
+    for (t, dev, epoch) in &tl.arrivals {
+        println!("  x {t:>9.2} ms  {dev:<6} epoch={epoch:016x}");
+    }
+    let print_reports = |name: &str, pts: &[(f64, bool)], transients: usize| {
+        println!("{name} reports ({} transient loop(s)):", transients);
+        for (t, is_loop) in pts {
+            println!(
+                "  . {t:>9.2} ms  {}",
+                if *is_loop { "LOOP" } else { "no-loop" }
+            );
+        }
+    };
+    print_reports("PUV ", &tl.puv, tl.puv_transients);
+    print_reports("BUV ", &tl.buv, tl.buv_transients);
+    print_reports("CE2D", &tl.ce2d, tl.ce2d_transients);
+    println!(
+        "\nPUV/BUV report transient loops; CE2D reports {} — consistent by construction.",
+        tl.ce2d_transients
+    );
+}
+
+fn print_cdf(name: &str, stats: &Stats) {
+    println!("{name}: n={}", stats.len());
+    for q in [10.0, 25.0, 50.0, 68.0, 75.0, 90.0, 95.0, 100.0] {
+        println!("  p{q:<4} {:>10.1} ms", stats.percentile(q));
+    }
+    println!(
+        "  fraction detected < 800 ms: {:.2}   < 60 s tail: {:.2}",
+        stats.fraction_below(800.0),
+        stats.fraction_below(59_000.0)
+    );
+}
+
+fn print_fig9(trials: u64) {
+    header("Figure 9 — CE2D report time under long-tail arrivals (CDF)");
+    let openr = longtail_openr_trials(trials, 1);
+    print_cdf("I2-OpenR/1buggy-loop-lt", &openr);
+    let trace = longtail_trace_trials(trials, 1, 200);
+    print_cdf("I2-trace-loop-lt", &trace);
+}
+
+fn print_fig10(trials: u64) {
+    header("Figure 10 — early loop detection vs #dampened switches (CDF)");
+    for d in [1usize, 3, 5, 7] {
+        let stats = longtail_trace_trials(trials, d, 200);
+        println!(
+            "D={d}: median {:>9.1} ms   p90 {:>9.1} ms   detected-early fraction {:.2}",
+            stats.median(),
+            stats.percentile(90.0),
+            stats.fraction_below(800.0)
+        );
+    }
+}
+
+fn print_fig11(scale: Scale) {
+    header("Figure 11 — time breakdown of model construction (I2-trace)");
+    let b = fig11(scale);
+    println!(
+        "{:<24} {:>12} {:>12} {:>12}",
+        "", "compute(s)", "aggregate(s)", "apply(s)"
+    );
+    let row = |name: &str, t: (f64, f64, f64)| {
+        println!("{:<24} {:>12.3} {:>12.3} {:>12.3}", name, t.0, t.1, t.2);
+    };
+    row("APKeep*", b.apkeep);
+    row("Flash (per-update)", b.flash_per_update);
+    row("Flash", b.flash);
+}
+
+fn print_fig12_18(scale: Scale, quick: bool) {
+    header("Figure 12 — all-pair ToR reachability: DGQ vs MT (CDF of check time)");
+    let pairs = if quick { 12 } else { 48 };
+    let series = fig12(scale.lnet_k, scale.prefixes_per_tor, pairs);
+    let mut dgq = Stats::default();
+    let mut mt = Stats::default();
+    for v in &series.dgq_ms {
+        dgq.push(*v);
+    }
+    for v in &series.mt_ms {
+        mt.push(*v);
+    }
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10}",
+        "", "median", "mean", "p99", "max"
+    );
+    println!(
+        "{:<6} {:>10.3} {:>10.3} {:>10.3} {:>10.3}  (ms)",
+        "DGQ",
+        dgq.median(),
+        dgq.mean(),
+        dgq.percentile(99.0),
+        dgq.max()
+    );
+    println!(
+        "{:<6} {:>10.3} {:>10.3} {:>10.3} {:>10.3}  (ms)",
+        "MT",
+        mt.median(),
+        mt.mean(),
+        mt.percentile(99.0),
+        mt.max()
+    );
+    println!(
+        "p99 improvement: {:.0}x",
+        mt.percentile(99.0) / dgq.percentile(99.0).max(1e-9)
+    );
+
+    header("Figure 18 — verification time vs #processed updates");
+    println!("{:>12} {:>12} {:>12}", "#updates", "DGQ (ms)", "MT (ms)");
+    let step = (series.processed.len() / 12).max(1);
+    for i in (0..series.processed.len()).step_by(step) {
+        println!(
+            "{:>12} {:>12.3} {:>12.3}",
+            series.processed[i], series.dgq_ms[i], series.mt_ms[i]
+        );
+    }
+}
+
+fn print_fig14(prefixes: usize) {
+    header("Figure 14 — cumulative update arrivals after link events");
+    let pts = fig14(prefixes);
+    println!("{:>12} {:>12}", "time (ms)", "cum updates");
+    for (t, c) in &pts {
+        println!("{t:>12.1} {c:>12}");
+    }
+    if let Some((t_last, total)) = pts.last() {
+        println!("({total} updates total, last at {t_last:.1} ms)");
+    }
+}
+
+fn print_fig15(quick: bool) {
+    header("Figure 15 — update storm in network planning (pod addition)");
+    let rows = if quick {
+        fig15(&[(4, 2), (8, 4)])
+    } else {
+        fig15(&[(4, 2), (8, 4), (16, 8), (16, 16)])
+    };
+    println!("{:>4} {:>4} {:>12} {:>12}", "K", "P", "|R|", "|dR|");
+    for r in rows {
+        println!(
+            "{:>4} {:>4} {:>12} {:>12}",
+            r.k, r.p, r.total_rules, r.delta_rules
+        );
+    }
+}
+
+fn print_overhead(scale: Scale) {
+    header("§5.5 — computational overhead and operational cost (LNet-ecmp)");
+    let o = overhead(scale);
+    println!("switches:              {}", o.switches);
+    println!("rules:                 {}", o.rules);
+    println!("subspaces (pods):      {}", o.subspaces);
+    println!("construction wall:     {:?}", o.construction_wall);
+    println!("slowest subspace CPU:  {:?}", o.max_subspace_cpu);
+    println!("verifier memory total: {} MiB", mib(o.total_memory_bytes));
+    println!("vCPUs (1/subspace):    {}", o.vcpus);
+    println!(
+        "c6g.8xlarge instances: {}  => dedicated ${:.2}/hour",
+        o.instances, o.dedicated_cost_per_hour
+    );
+}

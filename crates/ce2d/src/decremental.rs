@@ -1,0 +1,366 @@
+//! Decremental single-source reachability (the "DGQ" structure).
+//!
+//! The verification graph only ever loses edges as devices synchronize
+//! (§4.2: "the set of possible requirement-compliant paths … are
+//! monotonically decreasing"). This structure maintains the set of nodes
+//! reachable from a source set under edge deletions:
+//!
+//! * a reachability tree is maintained (every reached node has a parent
+//!   edge that is still present);
+//! * deleting a non-tree edge is O(1);
+//! * deleting a tree edge detaches a subtree, which the structure tries to
+//!   reattach through surviving in-edges; nodes that cannot be reattached
+//!   become unreachable (and never come back — the graph is decremental).
+//!
+//! Queries (`is_reached`, `reachable_count`) are O(1), matching the
+//! practical algorithms studied in the paper's reference 41.
+
+/// Dense node id within one reachability instance.
+pub type NodeIdx = u32;
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// Decremental reachability from a fixed source set.
+#[derive(Clone, Debug)]
+pub struct DecrementalReach {
+    /// Current out-edges (edges are removed, never added).
+    out: Vec<Vec<NodeIdx>>,
+    /// Current in-edges (kept in sync with `out`).
+    inn: Vec<Vec<NodeIdx>>,
+    /// Reachability-tree parent of each reached node (`NO_PARENT` for
+    /// sources and unreached nodes).
+    parent: Vec<u32>,
+    /// Children lists of the reachability tree.
+    children: Vec<Vec<NodeIdx>>,
+    reached: Vec<bool>,
+    is_source: Vec<bool>,
+    reached_count: usize,
+    /// Total edges removed so far (statistics).
+    removed_edges: u64,
+}
+
+impl DecrementalReach {
+    /// Builds the structure over a graph given as out-adjacency lists,
+    /// computing initial reachability from `sources` by BFS.
+    pub fn new(out: Vec<Vec<NodeIdx>>, sources: &[NodeIdx]) -> Self {
+        let n = out.len();
+        let mut inn = vec![Vec::new(); n];
+        for (u, vs) in out.iter().enumerate() {
+            for &v in vs {
+                inn[v as usize].push(u as NodeIdx);
+            }
+        }
+        let mut s = DecrementalReach {
+            out,
+            inn,
+            parent: vec![NO_PARENT; n],
+            children: vec![Vec::new(); n],
+            reached: vec![false; n],
+            is_source: vec![false; n],
+            reached_count: 0,
+            removed_edges: 0,
+        };
+        let mut queue = std::collections::VecDeque::new();
+        for &src in sources {
+            if !s.reached[src as usize] {
+                s.reached[src as usize] = true;
+                s.is_source[src as usize] = true;
+                s.reached_count += 1;
+                queue.push_back(src);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for i in 0..s.out[u as usize].len() {
+                let v = s.out[u as usize][i];
+                if !s.reached[v as usize] {
+                    s.reached[v as usize] = true;
+                    s.reached_count += 1;
+                    s.parent[v as usize] = u;
+                    s.children[u as usize].push(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+        s
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// O(1): is `v` still reachable from the source set?
+    pub fn is_reached(&self, v: NodeIdx) -> bool {
+        self.reached[v as usize]
+    }
+
+    /// O(1): how many nodes are still reachable?
+    pub fn reached_count(&self) -> usize {
+        self.reached_count
+    }
+
+    pub fn removed_edges(&self) -> u64 {
+        self.removed_edges
+    }
+
+    /// Current out-neighbors of `u`.
+    pub fn successors(&self, u: NodeIdx) -> &[NodeIdx] {
+        &self.out[u as usize]
+    }
+
+    /// Whether the edge `(u, v)` is still present.
+    pub fn has_edge(&self, u: NodeIdx, v: NodeIdx) -> bool {
+        self.out[u as usize].contains(&v)
+    }
+
+    /// Removes the edge `(u, v)`; no-op if already absent. Unreachable
+    /// nodes are reported through [`Self::is_reached`].
+    pub fn remove_edge(&mut self, u: NodeIdx, v: NodeIdx) {
+        let pos = match self.out[u as usize].iter().position(|&x| x == v) {
+            Some(p) => p,
+            None => return,
+        };
+        self.out[u as usize].swap_remove(pos);
+        if let Some(p) = self.inn[v as usize].iter().position(|&x| x == u) {
+            self.inn[v as usize].swap_remove(p);
+        }
+        self.removed_edges += 1;
+
+        if !self.reached[u as usize] || self.parent[v as usize] != u {
+            return; // non-tree edge: O(1)
+        }
+        // Tree edge removed: the subtree rooted at v is orphaned.
+        self.detach_children(u, v);
+        self.repair(v);
+    }
+
+    fn detach_children(&mut self, parent: NodeIdx, child: NodeIdx) {
+        if let Some(p) = self.children[parent as usize]
+            .iter()
+            .position(|&x| x == child)
+        {
+            self.children[parent as usize].swap_remove(p);
+        }
+    }
+
+    /// Attempts to reattach the orphaned subtree rooted at `root`.
+    fn repair(&mut self, root: NodeIdx) {
+        // Collect the orphaned subtree.
+        let mut orphan = Vec::new();
+        let mut in_orphan = std::collections::HashSet::new();
+        let mut stack = vec![root];
+        while let Some(x) = stack.pop() {
+            if in_orphan.insert(x) {
+                orphan.push(x);
+                stack.extend(self.children[x as usize].iter().copied());
+            }
+        }
+        // Try to reattach orphans through surviving in-edges from reached
+        // non-orphan nodes. Fixpoint: each successful reattachment rescues
+        // the node's whole remaining subtree.
+        let mut progress = true;
+        while progress {
+            progress = false;
+            let mut i = 0;
+            while i < orphan.len() {
+                let x = orphan[i];
+                let found = self.inn[x as usize]
+                    .iter()
+                    .copied()
+                    .find(|&y| self.reached[y as usize] && !in_orphan.contains(&y));
+                if let Some(y) = found {
+                    // Rescue x and its entire current subtree. Detach x
+                    // from its old parent first — a stale child entry
+                    // would corrupt later subtree walks.
+                    let old_parent = self.parent[x as usize];
+                    if old_parent != NO_PARENT {
+                        self.detach_children(old_parent, x);
+                    }
+                    self.parent[x as usize] = y;
+                    self.children[y as usize].push(x);
+                    let mut rescue = vec![x];
+                    while let Some(z) = rescue.pop() {
+                        in_orphan.remove(&z);
+                        if let Some(p) = orphan.iter().position(|&o| o == z) {
+                            orphan.swap_remove(p);
+                        }
+                        rescue.extend(self.children[z as usize].iter().copied());
+                    }
+                    progress = true;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        // Whatever is left becomes unreachable for good.
+        for &x in &orphan {
+            if self.is_source[x as usize] {
+                // Sources are roots; they are never unreached. (A source in
+                // the orphan set can only happen if it was reparented —
+                // sources have NO_PARENT so they never enter a subtree.)
+                continue;
+            }
+            self.reached[x as usize] = false;
+            self.reached_count -= 1;
+            self.parent[x as usize] = NO_PARENT;
+            // Their children lists only reference other orphans.
+            self.children[x as usize].clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force oracle.
+    fn bfs_reachable(out: &[Vec<NodeIdx>], sources: &[NodeIdx]) -> Vec<bool> {
+        let mut reached = vec![false; out.len()];
+        let mut q: Vec<NodeIdx> = sources.to_vec();
+        for &s in sources {
+            reached[s as usize] = true;
+        }
+        while let Some(u) = q.pop() {
+            for &v in &out[u as usize] {
+                if !reached[v as usize] {
+                    reached[v as usize] = true;
+                    q.push(v);
+                }
+            }
+        }
+        reached
+    }
+
+    fn chain(n: usize) -> Vec<Vec<NodeIdx>> {
+        (0..n)
+            .map(|i| {
+                if i + 1 < n {
+                    vec![(i + 1) as NodeIdx]
+                } else {
+                    vec![]
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn initial_bfs() {
+        let g = chain(5);
+        let r = DecrementalReach::new(g, &[0]);
+        assert_eq!(r.reached_count(), 5);
+        assert!(r.is_reached(4));
+    }
+
+    #[test]
+    fn chain_break_unreaches_suffix() {
+        let g = chain(5);
+        let mut r = DecrementalReach::new(g, &[0]);
+        r.remove_edge(2, 3);
+        assert!(r.is_reached(2));
+        assert!(!r.is_reached(3));
+        assert!(!r.is_reached(4));
+        assert_eq!(r.reached_count(), 3);
+    }
+
+    #[test]
+    fn non_tree_edge_removal_keeps_reachability() {
+        // 0 -> 1 -> 2 and 0 -> 2 (one of them is a non-tree edge).
+        let g = vec![vec![1, 2], vec![2], vec![]];
+        let mut r = DecrementalReach::new(g, &[0]);
+        r.remove_edge(0, 2); // may or may not be the tree edge
+        assert!(r.is_reached(2), "still reachable via 0->1->2");
+        r.remove_edge(1, 2);
+        assert!(!r.is_reached(2));
+    }
+
+    #[test]
+    fn reattach_through_alternative_parent() {
+        // diamond: 0->1, 0->2, 1->3, 2->3, 3->4
+        let g = vec![vec![1, 2], vec![3], vec![3], vec![4], vec![]];
+        let mut r = DecrementalReach::new(g, &[0]);
+        // Remove whichever path the tree chose; 3 must survive via the other.
+        r.remove_edge(1, 3);
+        assert!(r.is_reached(3));
+        assert!(r.is_reached(4));
+        r.remove_edge(2, 3);
+        assert!(!r.is_reached(3));
+        assert!(!r.is_reached(4));
+    }
+
+    #[test]
+    fn cycle_does_not_self_sustain() {
+        // 0 -> 1 -> 2 -> 1 (cycle 1-2). Removing 0->1 must kill 1 and 2
+        // even though they point at each other.
+        let g = vec![vec![1], vec![2], vec![1]];
+        let mut r = DecrementalReach::new(g, &[0]);
+        r.remove_edge(0, 1);
+        assert!(!r.is_reached(1), "cycle must not keep itself alive");
+        assert!(!r.is_reached(2));
+        assert_eq!(r.reached_count(), 1);
+    }
+
+    #[test]
+    fn multiple_sources() {
+        let g = vec![vec![2], vec![2], vec![3], vec![]];
+        let mut r = DecrementalReach::new(g, &[0, 1]);
+        r.remove_edge(0, 2);
+        assert!(r.is_reached(2), "still fed by source 1");
+        r.remove_edge(1, 2);
+        assert!(!r.is_reached(2));
+        assert!(r.is_reached(0) && r.is_reached(1), "sources stay reached");
+    }
+
+    #[test]
+    fn removing_absent_edge_is_noop() {
+        let g = chain(3);
+        let mut r = DecrementalReach::new(g, &[0]);
+        r.remove_edge(0, 2);
+        r.remove_edge(2, 0);
+        assert_eq!(r.reached_count(), 3);
+    }
+
+    #[test]
+    fn randomized_against_bfs_oracle() {
+        // Deterministic pseudo-random graph + deletion order, cross-checked
+        // against a from-scratch BFS after every deletion.
+        let n = 30usize;
+        let mut seed = 0x12345678u64;
+        let mut rng = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let mut out: Vec<Vec<NodeIdx>> = vec![Vec::new(); n];
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && rng() % 100 < 12 {
+                    out[u].push(v as NodeIdx);
+                    edges.push((u as NodeIdx, v as NodeIdx));
+                }
+            }
+        }
+        let sources = [0 as NodeIdx, 1];
+        let mut dec = DecrementalReach::new(out.clone(), &sources);
+        // Shuffle edges deterministically.
+        for i in (1..edges.len()).rev() {
+            let j = (rng() as usize) % (i + 1);
+            edges.swap(i, j);
+        }
+        for (u, v) in edges {
+            dec.remove_edge(u, v);
+            // Mirror on the oracle graph.
+            if let Some(p) = out[u as usize].iter().position(|&x| x == v) {
+                out[u as usize].swap_remove(p);
+            }
+            let oracle = bfs_reachable(&out, &sources);
+            for x in 0..n {
+                assert_eq!(
+                    dec.is_reached(x as NodeIdx),
+                    oracle[x],
+                    "mismatch at node {x} after removing ({u},{v})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Epoch tags and happens-before tracking (§4.1).
+//!
+//! Every FIB update arrives tagged with an *epoch* — an identifier of the
+//! network state the sender's routing software computed from. The tracker
+//! maintains, per device, the most recent tag, and a set of **active**
+//! epochs: tags with no known successor on any device. An active epoch is
+//! a potential converged state and deserves a verifier; an epoch observed
+//! to be superseded anywhere can never be the converged state and its
+//! verifier is stopped.
+
+use flash_netmodel::DeviceId;
+use std::collections::{HashMap, HashSet};
+
+/// An epoch tag. The paper computes it as a hash of the (key, version)
+/// pairs of the routing state store; any unique 64-bit identifier works.
+pub type EpochTag = u64;
+
+/// What happened when an update's tag was observed.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EpochEvent {
+    /// The tag just became active (a verifier should be started).
+    pub newly_active: bool,
+    /// Tags that just became inactive (their verifiers should stop).
+    pub deactivated: Vec<EpochTag>,
+    /// The tag was already known inactive when observed (its updates go to
+    /// the queue but no verifier is spawned).
+    pub observed_inactive: bool,
+}
+
+/// Tracks per-device epoch progression and the active-epoch set.
+#[derive(Clone, Debug, Default)]
+pub struct EpochTracker {
+    latest: HashMap<DeviceId, EpochTag>,
+    active: HashSet<EpochTag>,
+    inactive: HashSet<EpochTag>,
+}
+
+impl EpochTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `dev` sent updates tagged `tag`. Serialized delivery
+    /// per device is assumed (the paper's agent requirement): a device's
+    /// tags arrive in the order they were generated, so the previous tag
+    /// of the same device happens-before `tag`.
+    pub fn observe(&mut self, dev: DeviceId, tag: EpochTag) -> EpochEvent {
+        let mut ev = EpochEvent::default();
+        if let Some(&old) = self.latest.get(&dev) {
+            if old == tag {
+                // Same epoch, more updates: nothing changes.
+                ev.observed_inactive = self.inactive.contains(&tag);
+                return ev;
+            }
+            // old ≺ tag: old can no longer be the converged state.
+            if self.active.remove(&old) {
+                ev.deactivated.push(old);
+            }
+            self.inactive.insert(old);
+        }
+        self.latest.insert(dev, tag);
+        if self.inactive.contains(&tag) {
+            ev.observed_inactive = true;
+        } else if self.active.insert(tag) {
+            ev.newly_active = true;
+        }
+        ev
+    }
+
+    /// Is `tag` currently a potential converged state?
+    pub fn is_active(&self, tag: EpochTag) -> bool {
+        self.active.contains(&tag)
+    }
+
+    pub fn active_epochs(&self) -> impl Iterator<Item = EpochTag> + '_ {
+        self.active.iter().copied()
+    }
+
+    /// The most recent tag observed from a device.
+    pub fn latest_of(&self, dev: DeviceId) -> Option<EpochTag> {
+        self.latest.get(&dev).copied()
+    }
+
+    /// Devices whose most recent tag equals `tag` — the *synchronized*
+    /// devices of that epoch (they have computed their FIB from this state
+    /// and, being its latest, are presumed converged on it).
+    pub fn synchronized(&self, tag: EpochTag) -> Vec<DeviceId> {
+        let mut v: Vec<DeviceId> = self
+            .latest
+            .iter()
+            .filter(|(_, &t)| t == tag)
+            .map(|(&d, _)| d)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u32) -> DeviceId {
+        DeviceId(i)
+    }
+
+    #[test]
+    fn first_observation_activates() {
+        let mut tr = EpochTracker::new();
+        let ev = tr.observe(d(0), 10);
+        assert!(ev.newly_active);
+        assert!(tr.is_active(10));
+        assert_eq!(tr.synchronized(10), vec![d(0)]);
+    }
+
+    #[test]
+    fn same_tag_twice_is_quiet() {
+        let mut tr = EpochTracker::new();
+        tr.observe(d(0), 10);
+        let ev = tr.observe(d(0), 10);
+        assert_eq!(ev, EpochEvent::default());
+    }
+
+    #[test]
+    fn successor_deactivates_predecessor() {
+        let mut tr = EpochTracker::new();
+        tr.observe(d(0), 10);
+        let ev = tr.observe(d(0), 20);
+        assert!(ev.newly_active);
+        assert_eq!(ev.deactivated, vec![10]);
+        assert!(!tr.is_active(10));
+        assert!(tr.is_active(20));
+    }
+
+    #[test]
+    fn paper_figure4_scenario() {
+        // t1=[1,0] from S; t2=[0,1] from A,B; then t3=[1,1] from S,A,B;
+        // then E reports t2 (late) and finally t3.
+        let (t1, t2, t3) = (1u64, 2, 3);
+        let (s, a, b, e) = (d(0), d(1), d(2), d(3));
+        let mut tr = EpochTracker::new();
+        assert!(tr.observe(s, t1).newly_active);
+        assert!(tr.observe(a, t2).newly_active);
+        assert!(!tr.observe(b, t2).newly_active, "t2 already active");
+        assert!(tr.is_active(t1) && tr.is_active(t2));
+
+        // t3 arrives on S: t1 deactivates, t3 activates.
+        let ev = tr.observe(s, t3);
+        assert!(ev.newly_active);
+        assert_eq!(ev.deactivated, vec![t1]);
+        // t3 on A and B: t2 deactivates when A reports.
+        let ev = tr.observe(a, t3);
+        assert_eq!(ev.deactivated, vec![t2]);
+        tr.observe(b, t3);
+        assert!(tr.is_active(t3));
+        assert!(!tr.is_active(t1) && !tr.is_active(t2));
+
+        // E reports the stale t2: it must NOT reactivate.
+        let ev = tr.observe(e, t2);
+        assert!(ev.observed_inactive);
+        assert!(!ev.newly_active);
+        assert!(!tr.is_active(t2));
+
+        // E finally reaches t3: synchronized set of t3 is everyone.
+        tr.observe(e, t3);
+        assert_eq!(tr.synchronized(t3), vec![s, a, b, e]);
+    }
+
+    #[test]
+    fn reverted_tag_stays_inactive() {
+        // A device that flaps back to an old tag must not reactivate it
+        // (the old tag has a known successor somewhere).
+        let mut tr = EpochTracker::new();
+        tr.observe(d(0), 1);
+        tr.observe(d(0), 2);
+        let ev = tr.observe(d(1), 1);
+        assert!(ev.observed_inactive);
+        assert!(!tr.is_active(1));
+    }
+
+    #[test]
+    fn synchronized_tracks_latest_only() {
+        let mut tr = EpochTracker::new();
+        tr.observe(d(0), 1);
+        tr.observe(d(1), 1);
+        tr.observe(d(0), 2);
+        assert_eq!(tr.synchronized(1), vec![d(1)]);
+        assert_eq!(tr.synchronized(2), vec![d(0)]);
+    }
+}

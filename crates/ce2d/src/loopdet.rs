@@ -1,0 +1,487 @@
+//! Algorithm 3: fast consistent partial loop detection (§4.3, App. D.3).
+//!
+//! A loop among synchronized devices is *consistent*: it will exist in the
+//! converged state no matter what the still-unsynchronized devices do,
+//! because synchronized devices will not change their FIB within the
+//! epoch. The verifier therefore reports a loop as soon as one closes
+//! inside the synchronized subset.
+//!
+//! Two techniques keep this cheap:
+//!
+//! * **Hyper-node compression** — every connected component of
+//!   unsynchronized devices collapses into one hyper node that can
+//!   forward anywhere its members could, avoiding path enumeration inside
+//!   the component (Figure 5);
+//! * **Incremental detection** — if the previous state had no loop, a new
+//!   deterministic loop must pass through a newly synchronized device, so
+//!   the search starts only from those.
+
+use flash_bdd::{Bdd, NodeId};
+use flash_imt::{InverseModel, PatStore};
+use flash_netmodel::{ActionTable, DeviceId, Topology};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// The outcome of a loop check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LoopVerdict {
+    /// A loop through synchronized devices only — consistent: it is
+    /// guaranteed in the converged state. Carries the device cycle and the
+    /// predicate of the equivalence class exhibiting it.
+    LoopFound {
+        cycle: Vec<DeviceId>,
+        ec_pred: NodeId,
+    },
+    /// No loop can exist: all devices synchronized, none found.
+    NoLoop,
+    /// Loops through unsynchronized devices remain possible.
+    Unknown,
+}
+
+/// A node in the compressed (hyper) graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum HyperNode {
+    /// A synchronized device.
+    Sync(DeviceId),
+    /// A compressed component of unsynchronized devices (by component id).
+    Hyper(u32),
+}
+
+/// Consistent partial loop detector for one model.
+pub struct LoopVerifier {
+    topo: Arc<Topology>,
+    actions: Arc<ActionTable>,
+    sync: HashSet<DeviceId>,
+    /// Deterministic loops already reported (avoid duplicates).
+    reported: HashSet<Vec<DeviceId>>,
+    pub stats: LoopVerifierStats,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LoopVerifierStats {
+    pub searches: u64,
+    pub visited_nodes: u64,
+}
+
+impl LoopVerifier {
+    pub fn new(topo: Arc<Topology>, actions: Arc<ActionTable>) -> Self {
+        LoopVerifier {
+            topo,
+            actions,
+            sync: HashSet::new(),
+            reported: HashSet::new(),
+            stats: LoopVerifierStats::default(),
+        }
+    }
+
+    pub fn synchronized(&self) -> &HashSet<DeviceId> {
+        &self.sync
+    }
+
+    /// Builds the unsynchronized-component map: device → component id, and
+    /// whether each component contains an internal directed cycle.
+    fn build_components(&self) -> (HashMap<DeviceId, u32>, Vec<bool>) {
+        let mut comp: HashMap<DeviceId, u32> = HashMap::new();
+        let mut has_cycle: Vec<bool> = Vec::new();
+        for dev in self.topo.devices() {
+            if self.sync.contains(&dev) || self.topo.is_external(dev) || comp.contains_key(&dev) {
+                continue;
+            }
+            let cid = has_cycle.len() as u32;
+            // Undirected flood over unsynchronized internal devices.
+            let mut members = Vec::new();
+            let mut stack = vec![dev];
+            comp.insert(dev, cid);
+            while let Some(u) = stack.pop() {
+                members.push(u);
+                let neigh = self
+                    .topo
+                    .successors(u)
+                    .iter()
+                    .chain(self.topo.predecessors(u).iter());
+                for &v in neigh {
+                    if !self.sync.contains(&v)
+                        && !self.topo.is_external(v)
+                        && !comp.contains_key(&v)
+                    {
+                        comp.insert(v, cid);
+                        stack.push(v);
+                    }
+                }
+            }
+            // Internal directed cycle? (the paper's `is_biconnected` test —
+            // a component that can loop within itself.)
+            has_cycle.push(component_has_directed_cycle(&self.topo, &members));
+        }
+        (comp, has_cycle)
+    }
+
+    /// Successors of a hyper-graph node under one EC's forwarding.
+    fn hyper_successors(
+        &self,
+        node: HyperNode,
+        comp: &HashMap<DeviceId, u32>,
+        pat: &PatStore,
+        vector: flash_imt::PatId,
+        members_of: &HashMap<u32, Vec<DeviceId>>,
+    ) -> Vec<HyperNode> {
+        let mut out = Vec::new();
+        let push = |n: HyperNode, out: &mut Vec<HyperNode>| {
+            if !out.contains(&n) {
+                out.push(n);
+            }
+        };
+        match node {
+            HyperNode::Sync(dev) => {
+                let act = pat.get(vector, dev);
+                for &nh in self.actions.next_hops(act) {
+                    if self.topo.is_external(nh) {
+                        continue; // leaves the network: no loop this way
+                    }
+                    if let Some(&c) = comp.get(&nh) {
+                        push(HyperNode::Hyper(c), &mut out);
+                    } else if self.sync.contains(&nh) {
+                        push(HyperNode::Sync(nh), &mut out);
+                    }
+                }
+            }
+            HyperNode::Hyper(cid) => {
+                // A hyper node may forward to any topology successor of
+                // any member outside the component.
+                for &m in members_of.get(&cid).map(|v| v.as_slice()).unwrap_or(&[]) {
+                    for &nh in self.topo.successors(m) {
+                        if self.topo.is_external(nh) {
+                            continue;
+                        }
+                        if let Some(&c) = comp.get(&nh) {
+                            if c != cid {
+                                push(HyperNode::Hyper(c), &mut out);
+                            }
+                        } else if self.sync.contains(&nh) {
+                            push(HyperNode::Sync(nh), &mut out);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Processes a model update: `newly_synced` devices just completed
+    /// their epoch FIBs. Returns the strongest consistent verdict.
+    pub fn on_model_update(
+        &mut self,
+        _bdd: &mut Bdd,
+        pat: &PatStore,
+        model: &InverseModel,
+        newly_synced: &[DeviceId],
+    ) -> LoopVerdict {
+        for &d in newly_synced {
+            self.sync.insert(d);
+        }
+        let (comp, comp_cycle) = self.build_components();
+        let mut members_of: HashMap<u32, Vec<DeviceId>> = HashMap::new();
+        for (&d, &c) in &comp {
+            members_of.entry(c).or_default().push(d);
+        }
+
+        let mut potential = false;
+        // Hyper components that can loop internally are potential loops.
+        if comp_cycle.iter().any(|&c| c) {
+            potential = true;
+        }
+
+        for entry in model.entries() {
+            // Incremental: a new deterministic loop must pass through a
+            // newly synchronized device.
+            for &start in newly_synced {
+                if self.topo.is_external(start) {
+                    continue;
+                }
+                self.stats.searches += 1;
+                let mut path: Vec<HyperNode> = Vec::new();
+                let mut on_path: HashSet<HyperNode> = HashSet::new();
+                if let Some(v) = self.dfs(
+                    HyperNode::Sync(start),
+                    &mut path,
+                    &mut on_path,
+                    &comp,
+                    &members_of,
+                    pat,
+                    entry.vector,
+                    entry.pred,
+                    &mut potential,
+                ) {
+                    return v;
+                }
+            }
+        }
+
+        // `NoLoop` is only a consistent verdict when every device is
+        // synchronized, no potential loop remains, AND no loop was ever
+        // found (a previously reported loop persists: synchronized FIBs
+        // do not change within the epoch).
+        if self.reported.is_empty() && !potential && self.all_synchronized() {
+            LoopVerdict::NoLoop
+        } else {
+            LoopVerdict::Unknown
+        }
+    }
+
+    fn all_synchronized(&self) -> bool {
+        self.topo
+            .devices()
+            .filter(|&d| !self.topo.is_external(d))
+            .all(|d| self.sync.contains(&d))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &mut self,
+        node: HyperNode,
+        path: &mut Vec<HyperNode>,
+        on_path: &mut HashSet<HyperNode>,
+        comp: &HashMap<DeviceId, u32>,
+        members_of: &HashMap<u32, Vec<DeviceId>>,
+        pat: &PatStore,
+        vector: flash_imt::PatId,
+        ec_pred: NodeId,
+        potential: &mut bool,
+    ) -> Option<LoopVerdict> {
+        self.stats.visited_nodes += 1;
+        if on_path.contains(&node) {
+            // A cycle closed: it is the path segment from the first
+            // occurrence of `node`. Deterministic iff every node on the
+            // segment is a synchronized device (no hyper node).
+            let pos = path.iter().position(|&n| n == node).unwrap();
+            let segment = &path[pos..];
+            if segment.iter().all(|n| matches!(n, HyperNode::Sync(_))) {
+                let cycle: Vec<DeviceId> = segment
+                    .iter()
+                    .map(|n| match n {
+                        HyperNode::Sync(d) => *d,
+                        HyperNode::Hyper(_) => unreachable!(),
+                    })
+                    .collect();
+                let mut canon = cycle.clone();
+                canon.sort_unstable();
+                if self.reported.insert(canon) {
+                    return Some(LoopVerdict::LoopFound { cycle, ec_pred });
+                }
+            } else {
+                // The cycle passes through a hyper node: only potential.
+                *potential = true;
+            }
+            return None;
+        }
+        path.push(node);
+        on_path.insert(node);
+        let succ = self.hyper_successors(node, comp, pat, vector, members_of);
+        for next in succ {
+            if let Some(v) = self.dfs(
+                next, path, on_path, comp, members_of, pat, vector, ec_pred, potential,
+            ) {
+                path.pop();
+                on_path.remove(&node);
+                return Some(v);
+            }
+        }
+        path.pop();
+        on_path.remove(&node);
+        None
+    }
+}
+
+/// Does the directed subgraph induced by `members` contain a cycle?
+fn component_has_directed_cycle(topo: &Topology, members: &[DeviceId]) -> bool {
+    let set: HashSet<DeviceId> = members.iter().copied().collect();
+    let mut color: HashMap<DeviceId, u8> = HashMap::new(); // 1=gray, 2=black
+    for &start in members {
+        if color.contains_key(&start) {
+            continue;
+        }
+        // Iterative DFS with gray/black coloring.
+        let mut stack = vec![(start, 0usize)];
+        color.insert(start, 1);
+        while let Some(&mut (u, ref mut idx)) = stack.last_mut() {
+            let succs: Vec<DeviceId> = topo
+                .successors(u)
+                .iter()
+                .copied()
+                .filter(|v| set.contains(v))
+                .collect();
+            if *idx < succs.len() {
+                let v = succs[*idx];
+                *idx += 1;
+                match color.get(&v) {
+                    Some(1) => return true, // back edge
+                    Some(_) => {}
+                    None => {
+                        color.insert(v, 1);
+                        stack.push((v, 0));
+                    }
+                }
+            } else {
+                color.insert(u, 2);
+                stack.pop();
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_imt::{ModelManager, ModelManagerConfig};
+    use flash_netmodel::{HeaderLayout, Match, Rule, RuleUpdate};
+
+    /// Figure 5 topology: A, B, C, X fully meshed enough for the examples.
+    fn fig5() -> (Arc<Topology>, HashMap<&'static str, DeviceId>) {
+        let mut t = Topology::new();
+        let mut m = HashMap::new();
+        for n in ["A", "B", "C", "X", "OUT"] {
+            m.insert(n, if n == "OUT" { t.add_external(n) } else { t.add_device(n) });
+        }
+        for (a, b) in [("A", "B"), ("A", "C"), ("A", "X"), ("B", "X"), ("C", "X"), ("B", "C")] {
+            let (x, y) = (m[a], m[b]);
+            t.add_bilink(x, y);
+        }
+        t.add_link(m["C"], m["OUT"]);
+        t.add_link(m["X"], m["OUT"]);
+        (Arc::new(t), m)
+    }
+
+    struct Rig {
+        verifier: LoopVerifier,
+        mgr: ModelManager,
+        actions: Arc<ActionTable>,
+        layout: HeaderLayout,
+    }
+
+    fn rig(topo: &Arc<Topology>) -> Rig {
+        let layout = HeaderLayout::new(&[("dst", 8)]);
+        let mut actions = ActionTable::new();
+        for d in topo.devices() {
+            actions.fwd(d);
+        }
+        let actions = Arc::new(actions);
+        Rig {
+            verifier: LoopVerifier::new(topo.clone(), actions.clone()),
+            mgr: ModelManager::new(ModelManagerConfig::whole_space(layout.clone())),
+            actions,
+            layout,
+        }
+    }
+
+    fn sync(rig: &mut Rig, dev: DeviceId, next: DeviceId) -> LoopVerdict {
+        let mut at = (*rig.actions).clone();
+        let a = at.fwd(next);
+        let r = Rule::new(Match::dst_prefix(&rig.layout, 0x10, 8), 1, a);
+        rig.mgr.submit(dev, [RuleUpdate::insert(r)]);
+        rig.mgr.flush();
+        let (bdd, pat, model) = rig.mgr.parts_mut();
+        rig.verifier.on_model_update(bdd, pat, model, &[dev])
+    }
+
+    #[test]
+    fn figure5a_unknown_when_two_unsynchronized() {
+        // sync = {A, B}: C and X compress to one hyper node; a loop is
+        // possible (B→A→X→B) but not determined.
+        let (topo, m) = fig5();
+        let mut r = rig(&topo);
+        assert_eq!(sync(&mut r, m["B"], m["A"]), LoopVerdict::Unknown);
+        let v = sync(&mut r, m["A"], m["X"]);
+        assert_eq!(v, LoopVerdict::Unknown, "hyper node keeps it undecided");
+    }
+
+    #[test]
+    fn figure5b_loop_via_unsynchronized_is_potential_then_confirmed() {
+        // B→A, A→X with X unsynchronized stays Unknown; once X→B arrives
+        // the synchronized cycle B→A→X→B is deterministic.
+        let (topo, m) = fig5();
+        let mut r = rig(&topo);
+        sync(&mut r, m["B"], m["A"]);
+        sync(&mut r, m["A"], m["X"]);
+        // C synchronized (forwards out): still Unknown — X is free.
+        let v = sync(&mut r, m["C"], m["OUT"]);
+        assert_eq!(v, LoopVerdict::Unknown);
+        // X closes the cycle.
+        let v = sync(&mut r, m["X"], m["B"]);
+        match v {
+            LoopVerdict::LoopFound { cycle, .. } => {
+                let names: HashSet<&str> =
+                    cycle.iter().map(|d| topo.name(*d)).collect();
+                assert_eq!(names, HashSet::from(["A", "B", "X"]));
+            }
+            other => panic!("expected LoopFound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_loop_when_all_drain_out() {
+        let (topo, m) = fig5();
+        let mut r = rig(&topo);
+        sync(&mut r, m["A"], m["C"]);
+        sync(&mut r, m["B"], m["C"]);
+        sync(&mut r, m["X"], m["OUT"]);
+        let v = sync(&mut r, m["C"], m["OUT"]);
+        assert_eq!(v, LoopVerdict::NoLoop);
+    }
+
+    #[test]
+    fn two_node_loop_detected_early() {
+        // A→B, B→A closes immediately even with C, X silent.
+        let (topo, m) = fig5();
+        let mut r = rig(&topo);
+        assert_eq!(sync(&mut r, m["A"], m["B"]), LoopVerdict::Unknown);
+        let v = sync(&mut r, m["B"], m["A"]);
+        match v {
+            LoopVerdict::LoopFound { cycle, .. } => assert_eq!(cycle.len(), 2),
+            other => panic!("expected LoopFound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn drop_breaks_the_loop() {
+        // A→B, B drops: no deterministic loop; with C, X unsynchronized
+        // the verdict stays Unknown (they could still loop).
+        let (topo, m) = fig5();
+        let mut r = rig(&topo);
+        sync(&mut r, m["A"], m["B"]);
+        let layout = r.layout.clone();
+        let rr = Rule::new(
+            Match::dst_prefix(&layout, 0x10, 8),
+            1,
+            flash_netmodel::ACTION_DROP,
+        );
+        r.mgr.submit(m["B"], [RuleUpdate::insert(rr)]);
+        r.mgr.flush();
+        let (bdd, pat, model) = r.mgr.parts_mut();
+        let v = r.verifier.on_model_update(bdd, pat, model, &[m["B"]]);
+        assert_eq!(v, LoopVerdict::Unknown);
+    }
+
+    #[test]
+    fn duplicate_loops_not_rereported() {
+        let (topo, m) = fig5();
+        let mut r = rig(&topo);
+        sync(&mut r, m["A"], m["B"]);
+        let v1 = sync(&mut r, m["B"], m["A"]);
+        assert!(matches!(v1, LoopVerdict::LoopFound { .. }));
+        // Further syncs keep the network looping but must not re-report
+        // the same cycle.
+        let v2 = sync(&mut r, m["C"], m["OUT"]);
+        assert!(!matches!(v2, LoopVerdict::LoopFound { .. }));
+    }
+
+    #[test]
+    fn component_cycle_detection() {
+        let (topo, m) = fig5();
+        assert!(component_has_directed_cycle(
+            &topo,
+            &[m["A"], m["B"], m["C"], m["X"]]
+        ));
+        assert!(!component_has_directed_cycle(&topo, &[m["A"]]));
+    }
+}

@@ -1,0 +1,271 @@
+//! The verification graph: the cross product of the network graph and the
+//! requirement automaton (§4.2).
+//!
+//! Nodes are `(device, DFA state)` pairs, where DFA states are subsets of
+//! NFA states produced by a lazy subset construction. The initial graph
+//! contains every topology path from the sources that can still match the
+//! requirement; as devices synchronize, edges incompatible with their
+//! forwarding action are pruned from a per-equivalence-class copy.
+
+use crate::decremental::{DecrementalReach, NodeIdx};
+use flash_netmodel::{DeviceId, Topology};
+use flash_spec::{Nfa, StateId};
+use std::collections::HashMap;
+
+/// The static template of a verification graph (one per requirement),
+/// cloned into per-EC pruned instances.
+#[derive(Clone, Debug)]
+pub struct ProductGraph {
+    /// `(device, dfa-state)` for each product node. Index 0 is a virtual
+    /// super-source connected to the entry nodes.
+    nodes: Vec<(DeviceId, u32)>,
+    /// Out-adjacency of the full (unpruned) graph, super-source included.
+    out: Vec<Vec<NodeIdx>>,
+    /// Product nodes per device (for pruning).
+    by_device: HashMap<DeviceId, Vec<NodeIdx>>,
+    /// Accepting product nodes.
+    accepts: Vec<NodeIdx>,
+    /// Number of distinct DFA states materialized.
+    dfa_states: usize,
+}
+
+impl ProductGraph {
+    /// Builds the product of `topo` and `nfa` for entry devices `sources`,
+    /// with `dests` resolving the requirement's `>` selector.
+    ///
+    /// Only product nodes reachable from the sources are materialized.
+    pub fn build(topo: &Topology, nfa: &Nfa, sources: &[DeviceId], dests: &[DeviceId]) -> Self {
+        let mut dfa: Vec<Vec<StateId>> = Vec::new();
+        let mut dfa_index: HashMap<Vec<StateId>, u32> = HashMap::new();
+        fn intern_dfa(
+            dfa: &mut Vec<Vec<StateId>>,
+            dfa_index: &mut HashMap<Vec<StateId>, u32>,
+            set: Vec<StateId>,
+        ) -> u32 {
+            if let Some(&i) = dfa_index.get(&set) {
+                return i;
+            }
+            let i = dfa.len() as u32;
+            dfa_index.insert(set.clone(), i);
+            dfa.push(set);
+            i
+        }
+
+        let mut nodes: Vec<(DeviceId, u32)> = vec![(DeviceId(u32::MAX), u32::MAX)]; // super-source
+        let mut node_index: HashMap<(DeviceId, u32), NodeIdx> = HashMap::new();
+        let mut out: Vec<Vec<NodeIdx>> = vec![Vec::new()];
+        let mut by_device: HashMap<DeviceId, Vec<NodeIdx>> = HashMap::new();
+        let mut accepts = Vec::new();
+
+        let q0 = nfa.eps_closure(&[nfa.start()]);
+        let mut work: Vec<NodeIdx> = Vec::new();
+
+        let add_node = |dev: DeviceId,
+                            q: u32,
+                            nodes: &mut Vec<(DeviceId, u32)>,
+                            out: &mut Vec<Vec<NodeIdx>>,
+                            node_index: &mut HashMap<(DeviceId, u32), NodeIdx>,
+                            by_device: &mut HashMap<DeviceId, Vec<NodeIdx>>|
+         -> (NodeIdx, bool) {
+            if let Some(&i) = node_index.get(&(dev, q)) {
+                return (i, false);
+            }
+            let i = nodes.len() as NodeIdx;
+            nodes.push((dev, q));
+            out.push(Vec::new());
+            node_index.insert((dev, q), i);
+            by_device.entry(dev).or_default().push(i);
+            (i, true)
+        };
+
+        for &src in sources {
+            let q1 = nfa.step(&q0, topo, src, dests);
+            if q1.is_empty() {
+                continue;
+            }
+            let accepting = nfa.is_accepting(&q1);
+            let qi = intern_dfa(&mut dfa, &mut dfa_index, q1);
+            let (ni, fresh) = add_node(src, qi, &mut nodes, &mut out, &mut node_index, &mut by_device);
+            out[0].push(ni);
+            if fresh {
+                if accepting {
+                    accepts.push(ni);
+                }
+                work.push(ni);
+            }
+        }
+
+        while let Some(ni) = work.pop() {
+            let (dev, qi) = nodes[ni as usize];
+            let q = dfa[qi as usize].clone();
+            for &next in topo.successors(dev) {
+                let q2 = nfa.step(&q, topo, next, dests);
+                if q2.is_empty() {
+                    continue; // this path can never match
+                }
+                let accepting = nfa.is_accepting(&q2);
+                let q2i = intern_dfa(&mut dfa, &mut dfa_index, q2);
+                let (mi, fresh) =
+                    add_node(next, q2i, &mut nodes, &mut out, &mut node_index, &mut by_device);
+                if !out[ni as usize].contains(&mi) {
+                    out[ni as usize].push(mi);
+                }
+                if fresh {
+                    if accepting {
+                        accepts.push(mi);
+                    }
+                    work.push(mi);
+                }
+            }
+        }
+
+        ProductGraph {
+            nodes,
+            out,
+            by_device,
+            accepts,
+            dfa_states: dfa.len(),
+        }
+    }
+
+    /// Number of product nodes (excluding the super-source).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.out.iter().map(|v| v.len()).sum()
+    }
+
+    pub fn dfa_state_count(&self) -> usize {
+        self.dfa_states
+    }
+
+    pub fn accept_nodes(&self) -> &[NodeIdx] {
+        &self.accepts
+    }
+
+    /// The device of a product node.
+    pub fn device_of(&self, n: NodeIdx) -> DeviceId {
+        self.nodes[n as usize].0
+    }
+
+    /// Product nodes living on `dev`.
+    pub fn nodes_of_device(&self, dev: DeviceId) -> &[NodeIdx] {
+        self.by_device.get(&dev).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Instantiates the decremental reachability structure over this
+    /// graph, rooted at the super-source.
+    pub fn instantiate(&self) -> DecrementalReach {
+        DecrementalReach::new(self.out.clone(), &[0])
+    }
+
+    /// Out-adjacency (for baselines that need to traverse the template).
+    pub fn adjacency(&self) -> &[Vec<NodeIdx>] {
+        &self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_spec::parse_path_expr;
+
+    /// The Figure 3 topology.
+    fn fig3() -> Topology {
+        let mut t = Topology::new();
+        for n in ["S", "A", "B", "E", "C", "D", "Y", "W"] {
+            t.add_device(n);
+        }
+        let d = |n: &str| t.lookup(n).unwrap();
+        let links = [
+            ("S", "A"),
+            ("S", "W"),
+            ("A", "B"),
+            ("A", "W"),
+            ("B", "E"),
+            ("B", "Y"),
+            ("E", "C"),
+            ("W", "A"),
+            ("W", "C"),
+            ("Y", "C"),
+            ("C", "D"),
+            ("E", "Y"),
+        ];
+        let pairs: Vec<(DeviceId, DeviceId)> =
+            links.iter().map(|(a, b)| (d(a), d(b))).collect();
+        for (a, b) in pairs {
+            t.add_bilink(a, b);
+        }
+        t
+    }
+
+    #[test]
+    fn build_figure3_graph() {
+        let t = fig3();
+        let nfa = Nfa::compile(&parse_path_expr("S .* [W|Y] .* D").unwrap());
+        let src = vec![t.lookup("S").unwrap()];
+        let g = ProductGraph::build(&t, &nfa, &src, &[]);
+        assert!(g.node_count() > 0);
+        assert!(!g.accept_nodes().is_empty());
+        // Every accept node must be device D.
+        for &a in g.accept_nodes() {
+            assert_eq!(t.name(g.device_of(a)), "D");
+        }
+        // Initial graph: accept reachable.
+        let r = g.instantiate();
+        assert!(g.accept_nodes().iter().any(|&a| r.is_reached(a)));
+    }
+
+    #[test]
+    fn impossible_requirement_has_no_accepts() {
+        let t = fig3();
+        // Z does not exist in the topology.
+        let nfa = Nfa::compile(&parse_path_expr("S .* Z").unwrap());
+        let src = vec![t.lookup("S").unwrap()];
+        let g = ProductGraph::build(&t, &nfa, &src, &[]);
+        assert!(g.accept_nodes().is_empty());
+    }
+
+    #[test]
+    fn pruning_cuts_reachability() {
+        let t = fig3();
+        let nfa = Nfa::compile(&parse_path_expr("S .* D").unwrap());
+        let s = t.lookup("S").unwrap();
+        let g = ProductGraph::build(&t, &nfa, &[s], &[]);
+        let mut r = g.instantiate();
+        // Prune ALL out-edges of S's product nodes: D becomes unreachable.
+        for &n in g.nodes_of_device(s) {
+            let succ: Vec<_> = r.successors(n).to_vec();
+            for v in succ {
+                r.remove_edge(n, v);
+            }
+        }
+        assert!(!g.accept_nodes().iter().any(|&a| r.is_reached(a)));
+    }
+
+    #[test]
+    fn sources_with_no_match_are_skipped() {
+        let t = fig3();
+        let nfa = Nfa::compile(&parse_path_expr("A .* D").unwrap());
+        // Entering at S cannot match an expression anchored at A.
+        let g = ProductGraph::build(&t, &nfa, &[t.lookup("S").unwrap()], &[]);
+        assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn by_device_index_consistent() {
+        let t = fig3();
+        let nfa = Nfa::compile(&parse_path_expr("S .* D").unwrap());
+        let g = ProductGraph::build(&t, &nfa, &[t.lookup("S").unwrap()], &[]);
+        let mut total = 0;
+        for dev in t.devices() {
+            for &n in g.nodes_of_device(dev) {
+                assert_eq!(g.device_of(n), dev);
+                total += 1;
+            }
+        }
+        assert_eq!(total, g.node_count());
+    }
+}

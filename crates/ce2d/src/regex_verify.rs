@@ -1,0 +1,660 @@
+//! Algorithm 2: fast consistent partial verification for path-regular-
+//! expression requirements (§4.2, Appendix D.2).
+//!
+//! One [`RegexVerifier`] tracks one requirement. It keeps a per-
+//! equivalence-class table of pruned verification graphs (`ecTable` in the
+//! paper). On every model update it:
+//!
+//! 1. splits graph instances for newly created equivalence classes from
+//!    the old class they were carved out of (footnote 12);
+//! 2. prunes, for every newly synchronized device, the product edges that
+//!    disagree with the class's forwarding action;
+//! 3. queries the decremental structure — three-valued verdict:
+//!    * **Unsatisfied** (consistent): no accept node reachable at all;
+//!    * **Satisfied** (consistent): an accept node reachable through
+//!      synchronized devices only;
+//!    * **Unknown** otherwise.
+//!
+//! Anycast (`exactly one of K destinations`), multicast (`all of K`) and
+//! coverage requirements are handled by the variants at the bottom.
+
+use crate::product::ProductGraph;
+use crate::DecrementalReach;
+use flash_bdd::{Bdd, NodeId, FALSE};
+use flash_imt::{InverseModel, PatStore};
+use flash_netmodel::{ActionTable, Action, DeviceId, Topology};
+use flash_spec::{Nfa, Requirement};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Three-valued early-detection verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Consistently satisfied: holds in the converged state regardless of
+    /// the still-missing FIBs.
+    Satisfied,
+    /// Consistently unsatisfied: violated regardless of missing FIBs.
+    Unsatisfied,
+    /// Not yet decidable from the synchronized subset.
+    Unknown,
+}
+
+/// Per-EC state: the pruned graph instance.
+#[derive(Clone)]
+struct EcState {
+    reach: DecrementalReach,
+    /// Devices already pruned into this instance.
+    pruned: HashSet<DeviceId>,
+}
+
+/// Consistent partial verifier for one requirement.
+pub struct RegexVerifier {
+    topo: Arc<Topology>,
+    actions: Arc<ActionTable>,
+    requirement: Requirement,
+    /// Resolved packet-destination devices for the `>` selector (kept for
+    /// introspection; the selector is baked into the template at build).
+    pub dests: Vec<DeviceId>,
+    template: ProductGraph,
+    packet_space: NodeId,
+    /// EC predicate → pruned instance.
+    ec_table: HashMap<NodeId, EcState>,
+    /// Devices synchronized so far (in the epoch this verifier serves).
+    sync: HashSet<DeviceId>,
+    /// Statistics: total pruned edges, verdict queries.
+    pub stats: RegexVerifierStats,
+}
+
+/// Counters for the DGQ-vs-MT comparison.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RegexVerifierStats {
+    pub splits: u64,
+    pub pruned_edges: u64,
+    pub queries: u64,
+}
+
+impl RegexVerifier {
+    /// Builds the verifier: compiles the requirement, builds the product
+    /// template, compiles the packet space to a predicate.
+    pub fn new(
+        topo: Arc<Topology>,
+        actions: Arc<ActionTable>,
+        requirement: Requirement,
+        dests: Vec<DeviceId>,
+        bdd: &mut Bdd,
+        layout: &flash_netmodel::HeaderLayout,
+    ) -> Self {
+        let nfa = Nfa::compile(&requirement.expr);
+        let template = ProductGraph::build(&topo, &nfa, &requirement.sources, &dests);
+        let packet_space = requirement.packet_space.to_bdd(layout, bdd);
+        let mut ec_table = HashMap::new();
+        // Initially one EC covers everything: the full template.
+        ec_table.insert(
+            flash_bdd::TRUE,
+            EcState {
+                reach: template.instantiate(),
+                pruned: HashSet::new(),
+            },
+        );
+        RegexVerifier {
+            topo,
+            actions,
+            requirement,
+            dests,
+            template,
+            packet_space,
+            ec_table,
+            sync: HashSet::new(),
+            stats: RegexVerifierStats::default(),
+        }
+    }
+
+    pub fn requirement(&self) -> &Requirement {
+        &self.requirement
+    }
+
+    pub fn template(&self) -> &ProductGraph {
+        &self.template
+    }
+
+    /// The edges of `dev`'s product nodes that contradict forwarding
+    /// action `act` are removed from `reach`.
+    fn prune_device(
+        template: &ProductGraph,
+        topo: &Topology,
+        actions: &ActionTable,
+        reach: &mut DecrementalReach,
+        dev: DeviceId,
+        act: &Action,
+        stats: &mut RegexVerifierStats,
+    ) {
+        let hops = act.next_hops();
+        for &n in template.nodes_of_device(dev) {
+            let succ: Vec<_> = reach.successors(n).to_vec();
+            for v in succ {
+                let vdev = template.device_of(v);
+                if !hops.contains(&vdev) {
+                    reach.remove_edge(n, v);
+                    stats.pruned_edges += 1;
+                }
+            }
+        }
+        let _ = (topo, actions);
+    }
+
+    /// Processes a model update: `newly_synced` devices just delivered
+    /// their complete FIB for this epoch. Returns the requirement verdict.
+    ///
+    /// `model` must be the post-update inverse model built from exactly
+    /// the synchronized devices' FIBs (consistent model construction).
+    pub fn on_model_update(
+        &mut self,
+        bdd: &mut Bdd,
+        pat: &PatStore,
+        model: &InverseModel,
+        newly_synced: &[DeviceId],
+    ) -> Verdict {
+        for &d in newly_synced {
+            self.sync.insert(d);
+        }
+        if self.requirement.cover {
+            return self.cover_check(bdd, pat, model, newly_synced);
+        }
+
+        // Set of EC predicates in the new model that intersect the packet
+        // space; each needs an up-to-date graph instance.
+        let mut next_table: HashMap<NodeId, EcState> = HashMap::new();
+        let mut any_unknown = false;
+        let mut any_unsat = false;
+        let mut all_sat = true;
+
+        for entry in model.entries() {
+            let overlap = bdd.and(entry.pred, self.packet_space);
+            if overlap == FALSE {
+                continue;
+            }
+            // Find or split the instance for this EC.
+            let mut state = match self.ec_table.remove(&entry.pred) {
+                Some(s) => s,
+                None => {
+                    // Split: find the old EC whose predicate contains this
+                    // one (footnote 12 guarantees a unique parent).
+                    let parent = self
+                        .ec_table
+                        .iter()
+                        .find(|(&p, _)| bdd.implies(entry.pred, p))
+                        .map(|(_, s)| s.clone());
+                    self.stats.splits += 1;
+                    match parent {
+                        Some(p) => p,
+                        None => EcState {
+                            reach: self.template.instantiate(),
+                            pruned: HashSet::new(),
+                        },
+                    }
+                }
+            };
+            // Prune every synchronized device not yet applied to this
+            // instance under this EC's action.
+            let to_prune: Vec<DeviceId> = self
+                .sync
+                .iter()
+                .copied()
+                .filter(|d| !state.pruned.contains(d))
+                .collect();
+            for d in to_prune {
+                let act = self.actions.get(pat.get(entry.vector, d)).clone();
+                Self::prune_device(
+                    &self.template,
+                    &self.topo,
+                    &self.actions,
+                    &mut state.reach,
+                    d,
+                    &act,
+                    &mut self.stats,
+                );
+                state.pruned.insert(d);
+            }
+            // Verdict for this EC.
+            self.stats.queries += 1;
+            let v = self.ec_verdict(&state);
+            match v {
+                Verdict::Unsatisfied => any_unsat = true,
+                Verdict::Unknown => {
+                    any_unknown = true;
+                    all_sat = false;
+                }
+                Verdict::Satisfied => {}
+            }
+            next_table.insert(entry.pred, state);
+        }
+        self.ec_table = next_table;
+
+        if any_unsat {
+            Verdict::Unsatisfied
+        } else if any_unknown || !all_sat {
+            Verdict::Unknown
+        } else {
+            Verdict::Satisfied
+        }
+    }
+
+    /// Coverage semantics (Appendix D.2): *all* paths matching the
+    /// expression must be present. Early detection reduces to checking
+    /// that every synchronized device forwards to **all** of its product
+    /// successors, for every equivalence class intersecting the packet
+    /// space; a single missing branch is a consistent violation.
+    fn cover_check(
+        &mut self,
+        bdd: &mut Bdd,
+        pat: &PatStore,
+        model: &InverseModel,
+        newly_synced: &[DeviceId],
+    ) -> Verdict {
+        for entry in model.entries() {
+            let overlap = bdd.and(entry.pred, self.packet_space);
+            if overlap == FALSE {
+                continue;
+            }
+            // Incremental: previously synchronized devices were already
+            // checked (their FIBs cannot change within the epoch), but a
+            // model split can refine an EC, so recheck all synchronized
+            // devices whose actions this EC constrains — cheap, the sets
+            // are small.
+            for &d in self.sync.iter() {
+                let hops: Vec<DeviceId> = self
+                    .actions
+                    .next_hops(pat.get(entry.vector, d))
+                    .to_vec();
+                for &n in self.template.nodes_of_device(d) {
+                    // Template successors of this product node — every one
+                    // of them is on some matching path and must be covered.
+                    for &succ in self.template.adjacency()[n as usize].iter() {
+                        let vdev = self.template.device_of(succ);
+                        if !hops.contains(&vdev) {
+                            self.stats.queries += 1;
+                            return Verdict::Unsatisfied;
+                        }
+                    }
+                }
+            }
+        }
+        self.stats.queries += 1;
+        let _ = newly_synced;
+        // All checked so far; consistent satisfaction needs every device
+        // that appears in the verification graph to be synchronized.
+        let all_graph_devices_synced = self
+            .topo
+            .devices()
+            .filter(|&d| !self.template.nodes_of_device(d).is_empty())
+            .all(|d| self.sync.contains(&d));
+        if all_graph_devices_synced {
+            Verdict::Satisfied
+        } else {
+            Verdict::Unknown
+        }
+    }
+
+    /// Verdict for one EC instance.
+    fn ec_verdict(&self, state: &EcState) -> Verdict {
+        // Unsatisfied: no accept node reachable at all (O(1) queries).
+        let reachable = self
+            .template
+            .accept_nodes()
+            .iter()
+            .any(|&a| state.reach.is_reached(a));
+        if !reachable {
+            return Verdict::Unsatisfied;
+        }
+        // Satisfied: an accept reachable through synchronized devices only.
+        if self.synchronized_path_exists(state) {
+            return Verdict::Satisfied;
+        }
+        Verdict::Unknown
+    }
+
+    /// BFS over the pruned instance restricted to synchronized devices.
+    fn synchronized_path_exists(&self, state: &EcState) -> bool {
+        let accepts: HashSet<_> = self.template.accept_nodes().iter().copied().collect();
+        let mut seen = HashSet::new();
+        let mut stack = vec![0u32]; // super-source
+        while let Some(n) = stack.pop() {
+            if !seen.insert(n) {
+                continue;
+            }
+            if accepts.contains(&n) {
+                return true;
+            }
+            for &v in state.reach.successors(n) {
+                let dev = self.template.device_of(v);
+                // Only walk through synchronized devices; an accept node
+                // itself must also be synchronized (its delivery behaviour
+                // is then known). External devices never send FIBs — their
+                // behaviour (local delivery) is fixed, so they count as
+                // synchronized.
+                if self.sync.contains(&dev) || self.topo.is_external(dev) {
+                    stack.push(v);
+                }
+            }
+        }
+        false
+    }
+
+    /// The synchronized devices this verifier has seen.
+    pub fn synchronized(&self) -> &HashSet<DeviceId> {
+        &self.sync
+    }
+
+    /// Anycast variant (Appendix D.2): with `K` destination groups, exactly
+    /// one destination group must be reachable per source. This helper
+    /// evaluates a set of independent verifiers (one per destination) and
+    /// combines: exactly-one-Satisfied and rest-Unsatisfied ⇒ Satisfied;
+    /// two Satisfied or all Unsatisfied ⇒ Unsatisfied; else Unknown.
+    pub fn combine_anycast(verdicts: &[Verdict]) -> Verdict {
+        let sat = verdicts.iter().filter(|v| **v == Verdict::Satisfied).count();
+        let unsat = verdicts
+            .iter()
+            .filter(|v| **v == Verdict::Unsatisfied)
+            .count();
+        if sat > 1 || unsat == verdicts.len() {
+            Verdict::Unsatisfied
+        } else if sat == 1 && unsat == verdicts.len() - 1 {
+            Verdict::Satisfied
+        } else {
+            Verdict::Unknown
+        }
+    }
+
+    /// Multicast variant: all destinations must be reachable.
+    pub fn combine_multicast(verdicts: &[Verdict]) -> Verdict {
+        if verdicts.iter().any(|v| *v == Verdict::Unsatisfied) {
+            Verdict::Unsatisfied
+        } else if verdicts.iter().all(|v| *v == Verdict::Satisfied) {
+            Verdict::Satisfied
+        } else {
+            Verdict::Unknown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_imt::{ModelManager, ModelManagerConfig};
+    use flash_netmodel::{HeaderLayout, Match, Rule, RuleUpdate};
+    use flash_spec::parse_path_expr;
+
+    /// Figure 3 network: S-A-B-E-C-D core, waypoints W and Y.
+    fn fig3() -> (Arc<Topology>, HashMap<&'static str, DeviceId>) {
+        let mut t = Topology::new();
+        let mut m = HashMap::new();
+        for n in ["S", "A", "B", "E", "C", "D", "Y", "W"] {
+            m.insert(n, t.add_device(n));
+        }
+        for (a, b) in [
+            ("S", "A"),
+            ("S", "W"),
+            ("A", "B"),
+            ("A", "W"),
+            ("B", "E"),
+            ("B", "Y"),
+            ("E", "C"),
+            ("W", "C"),
+            ("Y", "C"),
+            ("C", "D"),
+        ] {
+            let (x, y) = (m[a], m[b]);
+            t.add_bilink(x, y);
+        }
+        (Arc::new(t), m)
+    }
+
+    fn setup(
+        topo: &Arc<Topology>,
+        m: &HashMap<&'static str, DeviceId>,
+    ) -> (RegexVerifier, ModelManager, Arc<ActionTable>) {
+        let layout = HeaderLayout::new(&[("dst", 8)]);
+        let mut actions = ActionTable::new();
+        // Pre-intern unicast actions for every device so tests can use them.
+        for d in topo.devices() {
+            actions.fwd(d);
+        }
+        let actions = Arc::new(actions);
+        let mut mgr = ModelManager::new(ModelManagerConfig::whole_space(layout.clone()));
+        let req = Requirement::new(
+            "fig3",
+            Match::dst_prefix(&layout, 0x10, 8),
+            vec![m["S"]],
+            parse_path_expr("S .* [W|Y] .* D").unwrap(),
+        );
+        let v = RegexVerifier::new(
+            topo.clone(),
+            actions.clone(),
+            req,
+            vec![],
+            mgr.bdd_mut(),
+            &layout,
+        );
+        (v, mgr, actions)
+    }
+
+    /// Installs a full-FIB unicast route on `dev` toward `next` for the
+    /// whole requirement space and synchronizes it.
+    fn sync_device(
+        v: &mut RegexVerifier,
+        mgr: &mut ModelManager,
+        actions: &Arc<ActionTable>,
+        dev: DeviceId,
+        next: DeviceId,
+    ) -> Verdict {
+        let layout = mgr.layout().clone();
+        let mut at = (**actions).clone();
+        let a = at.fwd(next);
+        let r = Rule::new(Match::dst_prefix(&layout, 0x10, 8), 1, a);
+        mgr.submit(dev, [RuleUpdate::insert(r)]);
+        mgr.flush();
+        let (bdd, pat, model) = mgr.parts_mut();
+        v.on_model_update(bdd, pat, model, &[dev])
+    }
+
+    #[test]
+    fn early_unsatisfied_detection() {
+        // Figure 4(b): after S forwards to A and both A and B bypass the
+        // waypoints, the requirement fails before W, Y, C, D report.
+        let (topo, m) = fig3();
+        let (mut v, mut mgr, actions) = setup(&topo, &m);
+        let r1 = sync_device(&mut v, &mut mgr, &actions, m["S"], m["A"]);
+        assert_eq!(r1, Verdict::Unknown, "one node is not enough");
+        let r2 = sync_device(&mut v, &mut mgr, &actions, m["B"], m["E"]);
+        assert_eq!(r2, Verdict::Unknown, "packets could still detour via W");
+        // Update 2 of Figure 4(b): A bounces back to S. Every walk from S
+        // now oscillates S↔A and can never reach W, Y or D → violated no
+        // matter what E, C, D, W, Y do.
+        let r3 = sync_device(&mut v, &mut mgr, &actions, m["A"], m["S"]);
+        assert_eq!(r3, Verdict::Unsatisfied);
+    }
+
+    #[test]
+    fn early_satisfied_detection() {
+        // S→W→C→D satisfies the waypoint; once those four devices are
+        // synchronized the verdict is Satisfied even though A, B, E, Y
+        // never reported.
+        let (topo, m) = fig3();
+        let (mut v, mut mgr, actions) = setup(&topo, &m);
+        assert_eq!(
+            sync_device(&mut v, &mut mgr, &actions, m["S"], m["W"]),
+            Verdict::Unknown
+        );
+        assert_eq!(
+            sync_device(&mut v, &mut mgr, &actions, m["W"], m["C"]),
+            Verdict::Unknown
+        );
+        let verdict = sync_device(&mut v, &mut mgr, &actions, m["C"], m["D"]);
+        // D itself must be synchronized for the path to be final (its
+        // delivery matters). Sync D with a drop (local delivery).
+        if verdict != Verdict::Satisfied {
+            let layout = mgr.layout().clone();
+            let r = Rule::new(
+                Match::dst_prefix(&layout, 0x10, 8),
+                1,
+                flash_netmodel::ACTION_DROP,
+            );
+            mgr.submit(m["D"], [RuleUpdate::insert(r)]);
+            mgr.flush();
+            let (bdd, pat, model) = mgr.parts_mut();
+            let verdict = v.on_model_update(bdd, pat, model, &[m["D"]]);
+            assert_eq!(verdict, Verdict::Satisfied);
+        }
+    }
+
+    #[test]
+    fn ec_split_inherits_pruning() {
+        // Synchronize S to W for half the space, then split the space on
+        // A's action: the child ECs must inherit S's pruning without
+        // touching S again.
+        let (topo, m) = fig3();
+        let (mut v, mut mgr, actions) = setup(&topo, &m);
+        sync_device(&mut v, &mut mgr, &actions, m["S"], m["A"]);
+        let splits_before = v.stats.splits;
+        // A forwards half the requirement space to B, (implicit default
+        // drop for the other half) → the model splits the EC.
+        let layout = mgr.layout().clone();
+        let mut at = (*actions).clone();
+        let ab = at.fwd(m["B"]);
+        let r = Rule::new(Match::dst_prefix(&layout, 0x10, 8).clone(), 1, ab);
+        // Only a sub-prefix:
+        let sub = Rule::new(Match::dst_prefix(&layout, 0x10, 8), 2, ab);
+        let _ = r;
+        mgr.submit(m["A"], [RuleUpdate::insert(sub)]);
+        mgr.flush();
+        let (bdd, pat, model) = mgr.parts_mut();
+        v.on_model_update(bdd, pat, model, &[m["A"]]);
+        assert!(v.stats.splits >= splits_before, "split accounting");
+    }
+
+    #[test]
+    fn drop_action_prunes_everything() {
+        let (topo, m) = fig3();
+        let (mut v, mut mgr, actions) = setup(&topo, &m);
+        // S drops (no explicit rule) but IS synchronized → unsatisfied.
+        let layout = mgr.layout().clone();
+        let r = Rule::new(
+            Match::dst_prefix(&layout, 0x10, 8),
+            1,
+            flash_netmodel::ACTION_DROP,
+        );
+        mgr.submit(m["S"], [RuleUpdate::insert(r)]);
+        mgr.flush();
+        let (bdd, pat, model) = mgr.parts_mut();
+        let verdict = v.on_model_update(bdd, pat, model, &[m["S"]]);
+        let _ = actions;
+        assert_eq!(verdict, Verdict::Unsatisfied);
+    }
+
+    #[test]
+    fn cover_requirement_detects_missing_branch() {
+        // Requirement: BOTH S→A…D and S→W…D families must be present
+        // (`cover S (A|W) .* D`). If S forwards only toward A, a valid
+        // path family is missing → consistent violation at S alone.
+        let (topo, m) = fig3();
+        let layout = HeaderLayout::new(&[("dst", 8)]);
+        let mut actions = ActionTable::new();
+        for d in topo.devices() {
+            actions.fwd(d);
+        }
+        // ECMP S→{A,W} for the covering case.
+        let both = actions.ecmp(vec![m["A"], m["W"]]);
+        let actions = Arc::new(actions);
+        let mut mgr = ModelManager::new(ModelManagerConfig::whole_space(layout.clone()));
+        let req = Requirement::new(
+            "cover-both",
+            Match::dst_prefix(&layout, 0x10, 8),
+            vec![m["S"]],
+            parse_path_expr("S (A|W) .* D").unwrap(),
+        )
+        .with_cover();
+        let mut v = RegexVerifier::new(
+            topo.clone(),
+            actions.clone(),
+            req,
+            vec![],
+            mgr.bdd_mut(),
+            &layout,
+        );
+        // S forwards only to A → missing the W branch.
+        let only_a = flash_netmodel::ActionId(2); // A interned second (after drop, S)
+        let r = Rule::new(Match::dst_prefix(&layout, 0x10, 8), 1, only_a);
+        mgr.submit(m["S"], [RuleUpdate::insert(r)]);
+        mgr.flush();
+        let (bdd, pat, model) = mgr.parts_mut();
+        assert_eq!(
+            v.on_model_update(bdd, pat, model, &[m["S"]]),
+            Verdict::Unsatisfied
+        );
+
+        // Fresh verifier: S uses ECMP over both branches → not yet
+        // decided (downstream devices still unknown).
+        let mut mgr2 = ModelManager::new(ModelManagerConfig::whole_space(layout.clone()));
+        let req2 = Requirement::new(
+            "cover-both",
+            Match::dst_prefix(&layout, 0x10, 8),
+            vec![m["S"]],
+            parse_path_expr("S (A|W) .* D").unwrap(),
+        )
+        .with_cover();
+        let mut v2 = RegexVerifier::new(
+            topo.clone(),
+            actions.clone(),
+            req2,
+            vec![],
+            mgr2.bdd_mut(),
+            &layout,
+        );
+        let r2 = Rule::new(Match::dst_prefix(&layout, 0x10, 8), 1, both);
+        mgr2.submit(m["S"], [RuleUpdate::insert(r2)]);
+        mgr2.flush();
+        let (bdd2, pat2, model2) = mgr2.parts_mut();
+        assert_eq!(
+            v2.on_model_update(bdd2, pat2, model2, &[m["S"]]),
+            Verdict::Unknown
+        );
+    }
+
+    #[test]
+    fn anycast_combination_rules() {
+        use Verdict::*;
+        assert_eq!(
+            RegexVerifier::combine_anycast(&[Satisfied, Unsatisfied, Unsatisfied]),
+            Satisfied
+        );
+        assert_eq!(
+            RegexVerifier::combine_anycast(&[Satisfied, Satisfied, Unsatisfied]),
+            Unsatisfied
+        );
+        assert_eq!(
+            RegexVerifier::combine_anycast(&[Unsatisfied, Unsatisfied]),
+            Unsatisfied
+        );
+        assert_eq!(
+            RegexVerifier::combine_anycast(&[Satisfied, Unknown]),
+            Unknown
+        );
+    }
+
+    #[test]
+    fn multicast_combination_rules() {
+        use Verdict::*;
+        assert_eq!(
+            RegexVerifier::combine_multicast(&[Satisfied, Satisfied]),
+            Satisfied
+        );
+        assert_eq!(
+            RegexVerifier::combine_multicast(&[Satisfied, Unsatisfied]),
+            Unsatisfied
+        );
+        assert_eq!(
+            RegexVerifier::combine_multicast(&[Satisfied, Unknown]),
+            Unknown
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Consistent model construction for **vector-based** control planes
+//! (BGP-style), Appendix D.1.
+//!
+//! Sync-state protocols let every device hash its state store into an
+//! epoch tag. Vector protocols (BGP) have no shared global state, so the
+//! paper instead has each device append *causal information* to its FIB
+//! updates: the message that directly caused the recomputation, and the
+//! messages the device sent right after. The dispatcher runs a
+//! centralized convergence detection (after reference 68): an event's update set
+//! is complete exactly when every announced message has been observed as
+//! consumed — at that point the accumulated FIB updates form a consistent
+//! converged state and can be dispatched to a verifier.
+
+use flash_netmodel::DeviceId;
+use std::collections::{HashMap, HashSet};
+
+/// Identifier of a routing event (e.g. one remote prefix withdrawal).
+pub type EventId = u64;
+/// Identifier of one protocol message (an announcement/withdrawal sent
+/// between two devices).
+pub type MsgId = u64;
+
+/// The causal annotation a device agent attaches to a FIB-update report
+/// (Appendix D.1: "what is the direct cause of an FIB update … and what
+/// is the immediate action after computing an FIB update").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CausalTag {
+    /// The event this report belongs to.
+    pub event: EventId,
+    /// The message whose receipt triggered the recomputation; `None` at
+    /// the event's origin device.
+    pub caused_by: Option<MsgId>,
+    /// Messages the device sent to neighbors as a result.
+    pub sent: Vec<MsgId>,
+}
+
+/// The per-event bookkeeping state.
+#[derive(Clone, Debug, Default)]
+struct EventState {
+    /// Messages announced as sent, not yet observed as consumed.
+    outstanding: HashSet<MsgId>,
+    /// Messages observed as consumed before their send was reported
+    /// (reports may arrive in any order across devices).
+    consumed_early: HashSet<MsgId>,
+    /// The event origin has reported.
+    origin_seen: bool,
+    /// Devices that contributed updates for this event.
+    devices: HashSet<DeviceId>,
+}
+
+impl EventState {
+    fn converged(&self) -> bool {
+        self.origin_seen && self.outstanding.is_empty() && self.consumed_early.is_empty()
+    }
+}
+
+/// Centralized convergence detection over causal-tagged reports.
+///
+/// Reports from one device arrive in order (the same serialized-channel
+/// assumption as epoch tags); across devices any interleaving is fine.
+#[derive(Clone, Debug, Default)]
+pub struct ConvergenceDetector {
+    events: HashMap<EventId, EventState>,
+    converged: HashSet<EventId>,
+}
+
+impl ConvergenceDetector {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observes one causal-tagged report. Returns `true` when the event
+    /// just became converged — the dispatcher should then feed the
+    /// event's accumulated updates to a verifier.
+    pub fn observe(&mut self, device: DeviceId, tag: &CausalTag) -> bool {
+        if self.converged.contains(&tag.event) {
+            // Late duplicate: the protocol guarantees no further messages
+            // for a converged event; tolerate replays.
+            return false;
+        }
+        let st = self.events.entry(tag.event).or_default();
+        st.devices.insert(device);
+        match tag.caused_by {
+            None => st.origin_seen = true,
+            Some(m) => {
+                if !st.outstanding.remove(&m) {
+                    // Consumption observed before the send report.
+                    st.consumed_early.insert(m);
+                }
+            }
+        }
+        for &m in &tag.sent {
+            if !st.consumed_early.remove(&m) {
+                st.outstanding.insert(m);
+            }
+        }
+        if st.converged() {
+            self.converged.insert(tag.event);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Is the event's update set known complete?
+    pub fn is_converged(&self, event: EventId) -> bool {
+        self.converged.contains(&event)
+    }
+
+    /// Devices that contributed updates for an event.
+    pub fn devices_of(&self, event: EventId) -> Vec<DeviceId> {
+        let mut v: Vec<DeviceId> = self
+            .events
+            .get(&event)
+            .map(|s| s.devices.iter().copied().collect())
+            .unwrap_or_default();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of messages still outstanding for an event (0 when
+    /// converged or unknown).
+    pub fn outstanding(&self, event: EventId) -> usize {
+        self.events
+            .get(&event)
+            .map(|s| s.outstanding.len() + s.consumed_early.len())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(i: u32) -> DeviceId {
+        DeviceId(i)
+    }
+
+    fn tag(event: EventId, caused_by: Option<MsgId>, sent: &[MsgId]) -> CausalTag {
+        CausalTag {
+            event,
+            caused_by,
+            sent: sent.to_vec(),
+        }
+    }
+
+    #[test]
+    fn linear_propagation_converges_at_the_end() {
+        // origin d0 --m1--> d1 --m2--> d2 (leaf).
+        let mut det = ConvergenceDetector::new();
+        assert!(!det.observe(d(0), &tag(7, None, &[1])));
+        assert!(!det.observe(d(1), &tag(7, Some(1), &[2])));
+        assert!(det.observe(d(2), &tag(7, Some(2), &[])));
+        assert!(det.is_converged(7));
+        assert_eq!(det.devices_of(7), vec![d(0), d(1), d(2)]);
+    }
+
+    #[test]
+    fn fanout_requires_all_branches() {
+        // d0 sends m1 to d1 and m2 to d2.
+        let mut det = ConvergenceDetector::new();
+        det.observe(d(0), &tag(1, None, &[1, 2]));
+        assert!(!det.observe(d(1), &tag(1, Some(1), &[])));
+        assert_eq!(det.outstanding(1), 1);
+        assert!(det.observe(d(2), &tag(1, Some(2), &[])));
+    }
+
+    #[test]
+    fn out_of_order_reports_handled() {
+        // d1's consumption report arrives before d0's origin report.
+        let mut det = ConvergenceDetector::new();
+        assert!(!det.observe(d(1), &tag(3, Some(9), &[])));
+        assert!(det.observe(d(0), &tag(3, None, &[9])));
+        assert!(det.is_converged(3));
+    }
+
+    #[test]
+    fn independent_events_tracked_separately() {
+        let mut det = ConvergenceDetector::new();
+        det.observe(d(0), &tag(1, None, &[10]));
+        det.observe(d(0), &tag(2, None, &[20]));
+        assert!(det.observe(d(1), &tag(1, Some(10), &[])));
+        assert!(!det.is_converged(2));
+        assert!(det.observe(d(1), &tag(2, Some(20), &[])));
+    }
+
+    #[test]
+    fn relay_chains_with_merging() {
+        // Diamond: d0 → {d1, d2} → d3 (d3 consumes two messages and
+        // recomputes twice, reporting each consumption separately).
+        let mut det = ConvergenceDetector::new();
+        det.observe(d(0), &tag(5, None, &[1, 2]));
+        det.observe(d(1), &tag(5, Some(1), &[3]));
+        det.observe(d(2), &tag(5, Some(2), &[4]));
+        assert!(!det.observe(d(3), &tag(5, Some(3), &[])));
+        assert!(det.observe(d(3), &tag(5, Some(4), &[])));
+    }
+
+    #[test]
+    fn duplicate_reports_after_convergence_ignored() {
+        let mut det = ConvergenceDetector::new();
+        det.observe(d(0), &tag(1, None, &[1]));
+        assert!(det.observe(d(1), &tag(1, Some(1), &[])));
+        assert!(!det.observe(d(1), &tag(1, Some(1), &[])));
+        assert!(det.is_converged(1));
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests for the epoch tracker: the active set must equal, at
+//! every step, the set of tags that (a) are the latest tag of at least
+//! one device and (b) have never been observed to precede another tag on
+//! any device.
+
+use flash_ce2d::{EpochTag, EpochTracker};
+use flash_netmodel::DeviceId;
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+/// Oracle replay of the happens-before rules.
+fn oracle_active(observations: &[(u32, EpochTag)]) -> HashSet<EpochTag> {
+    let mut latest: HashMap<u32, EpochTag> = HashMap::new();
+    let mut superseded: HashSet<EpochTag> = HashSet::new();
+    for &(dev, tag) in observations {
+        if let Some(&old) = latest.get(&dev) {
+            if old != tag {
+                superseded.insert(old);
+            }
+        }
+        latest.insert(dev, tag);
+    }
+    latest
+        .values()
+        .filter(|t| !superseded.contains(t))
+        .copied()
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn active_set_matches_oracle(
+        observations in proptest::collection::vec((0u32..5, 1u64..6), 0..40)
+    ) {
+        let mut tracker = EpochTracker::new();
+        for (i, &(dev, tag)) in observations.iter().enumerate() {
+            tracker.observe(DeviceId(dev), tag);
+            let expect = oracle_active(&observations[..=i]);
+            let got: HashSet<EpochTag> = tracker.active_epochs().collect();
+            prop_assert_eq!(&got, &expect, "after observation {}", i);
+        }
+    }
+
+    #[test]
+    fn deactivations_are_permanent(
+        observations in proptest::collection::vec((0u32..5, 1u64..6), 0..40)
+    ) {
+        let mut tracker = EpochTracker::new();
+        let mut ever_deactivated: HashSet<EpochTag> = HashSet::new();
+        for &(dev, tag) in &observations {
+            let ev = tracker.observe(DeviceId(dev), tag);
+            for d in &ev.deactivated {
+                ever_deactivated.insert(*d);
+            }
+            // A deactivated tag never reactivates.
+            for d in &ever_deactivated {
+                prop_assert!(!tracker.is_active(*d), "tag {} reactivated", d);
+            }
+            // newly_active implies it is actually active now.
+            if ev.newly_active {
+                prop_assert!(tracker.is_active(tag));
+            }
+        }
+    }
+
+    #[test]
+    fn synchronized_sets_partition_devices(
+        observations in proptest::collection::vec((0u32..5, 1u64..6), 1..40)
+    ) {
+        let mut tracker = EpochTracker::new();
+        for &(dev, tag) in &observations {
+            tracker.observe(DeviceId(dev), tag);
+        }
+        // Every device with a latest tag appears in exactly one epoch's
+        // synchronized set.
+        let devices: HashSet<u32> = observations.iter().map(|(d, _)| *d).collect();
+        let mut seen: HashMap<u32, usize> = HashMap::new();
+        let tags: HashSet<EpochTag> = observations.iter().map(|(_, t)| *t).collect();
+        for t in tags {
+            for d in tracker.synchronized(t) {
+                *seen.entry(d.0).or_insert(0) += 1;
+            }
+        }
+        for d in devices {
+            prop_assert_eq!(seen.get(&d).copied().unwrap_or(0), 1, "device {}", d);
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! A text adapter: parse a network description (topology + FIBs +
+//! requirements) from a simple line-based format and feed it to Flash.
+//!
+//! The paper ships Flash as a library and notes that "developers can
+//! easily write adapters that feed rule updates to Flash" (§5.1); this
+//! module is the reference adapter used by the `flash-cli` binary.
+//!
+//! # Format
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! node  s1                    # internal switch
+//! external gw                 # external node (owns prefixes / exits)
+//! link  s1 s2                 # bidirectional link
+//!
+//! fib s1                      # start of s1's FIB
+//!   10.0.1.0/24 2 s2          # prefix, priority, next hop
+//!   10.0.2.0/24 1 ecmp(s2,s3) # ECMP next-hop set
+//!   0.0.0.0/0   0 drop        # explicit drop
+//!
+//! require waypoint 10.0.1.0/24 from s1 path "s1 .* s3 .* gw"
+//! require cover    10.0.0.0/8  from s1 path "s1 (s2|s3) .* gw"
+//! ```
+//!
+//! Destination addresses are IPv4 dotted quads over the 32-bit
+//! [`HeaderLayout::dst_only`] layout.
+
+use crate::verifier::Property;
+use flash_netmodel::{
+    ActionTable, DeviceId, HeaderLayout, Match, Rule, Topology,
+};
+use flash_spec::{parse_path_expr, Requirement};
+use std::sync::Arc;
+
+/// A parsed network bundle ready to verify.
+#[derive(Debug)]
+pub struct NetworkFile {
+    pub topo: Arc<Topology>,
+    pub actions: Arc<ActionTable>,
+    pub layout: HeaderLayout,
+    /// Per-device rule lists, in file order.
+    pub fibs: Vec<(DeviceId, Vec<Rule>)>,
+    pub properties: Vec<Property>,
+}
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdapterError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for AdapterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AdapterError {}
+
+fn err(line: usize, message: impl Into<String>) -> AdapterError {
+    AdapterError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses `a.b.c.d/len` into `(value, len)` over 32 bits.
+pub fn parse_prefix(s: &str, line: usize) -> Result<(u64, u32), AdapterError> {
+    let (addr, len) = s
+        .split_once('/')
+        .ok_or_else(|| err(line, format!("expected prefix a.b.c.d/len, got {s:?}")))?;
+    let len: u32 = len
+        .parse()
+        .map_err(|_| err(line, format!("bad prefix length in {s:?}")))?;
+    if len > 32 {
+        return Err(err(line, format!("prefix length {len} > 32")));
+    }
+    let mut value: u64 = 0;
+    let octets: Vec<&str> = addr.split('.').collect();
+    if octets.len() != 4 {
+        return Err(err(line, format!("expected 4 octets in {addr:?}")));
+    }
+    for o in octets {
+        let b: u64 = o
+            .parse()
+            .map_err(|_| err(line, format!("bad octet {o:?}")))?;
+        if b > 255 {
+            return Err(err(line, format!("octet {b} > 255")));
+        }
+        value = (value << 8) | b;
+    }
+    Ok((value, len))
+}
+
+/// Formats a 32-bit value back into dotted-quad/len (for reports).
+pub fn format_prefix(value: u64, len: u32) -> String {
+    format!(
+        "{}.{}.{}.{}/{}",
+        (value >> 24) & 0xFF,
+        (value >> 16) & 0xFF,
+        (value >> 8) & 0xFF,
+        value & 0xFF,
+        len
+    )
+}
+
+/// Parses the full network file.
+pub fn parse_network(input: &str) -> Result<NetworkFile, AdapterError> {
+    let layout = HeaderLayout::dst_only();
+    let mut topo = Topology::new();
+    let mut actions = ActionTable::new();
+    let mut fibs: Vec<(DeviceId, Vec<Rule>)> = Vec::new();
+    let mut requires: Vec<(usize, String)> = Vec::new();
+    let mut current_fib: Option<usize> = None;
+
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().unwrap();
+        match keyword {
+            "node" | "external" => {
+                current_fib = None;
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "expected a node name"))?;
+                if topo.lookup(name).is_some() {
+                    return Err(err(lineno, format!("duplicate node {name:?}")));
+                }
+                let id = if keyword == "external" {
+                    topo.add_external(name)
+                } else {
+                    topo.add_device(name)
+                };
+                // Labels: key=value pairs after the name.
+                for kv in parts {
+                    if let Some((k, v)) = kv.split_once('=') {
+                        topo.set_label(id, k, v);
+                    } else {
+                        return Err(err(lineno, format!("expected key=value, got {kv:?}")));
+                    }
+                }
+            }
+            "link" => {
+                current_fib = None;
+                let a = parts
+                    .next()
+                    .and_then(|n| topo.lookup(n))
+                    .ok_or_else(|| err(lineno, "unknown link endpoint"))?;
+                let b = parts
+                    .next()
+                    .and_then(|n| topo.lookup(n))
+                    .ok_or_else(|| err(lineno, "unknown link endpoint"))?;
+                topo.add_bilink(a, b);
+            }
+            "fib" => {
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "expected a device name"))?;
+                let dev = topo
+                    .lookup(name)
+                    .ok_or_else(|| err(lineno, format!("unknown device {name:?}")))?;
+                fibs.push((dev, Vec::new()));
+                current_fib = Some(fibs.len() - 1);
+            }
+            "require" => {
+                current_fib = None;
+                requires.push((lineno, line.to_string()));
+            }
+            _ => {
+                // Inside a fib block: "prefix priority action".
+                let Some(fi) = current_fib else {
+                    return Err(err(lineno, format!("unexpected directive {keyword:?}")));
+                };
+                let (value, len) = parse_prefix(keyword, lineno)?;
+                let priority: i64 = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "expected a priority"))?
+                    .parse()
+                    .map_err(|_| err(lineno, "bad priority"))?;
+                let action_str = parts
+                    .next()
+                    .ok_or_else(|| err(lineno, "expected an action"))?;
+                let action = parse_action(action_str, &topo, &mut actions, lineno)?;
+                fibs[fi].1.push(Rule::new(
+                    Match::dst_prefix(&layout, value, len),
+                    priority,
+                    action,
+                ));
+            }
+        }
+    }
+
+    // Requirements are parsed after the topology so names resolve.
+    let mut properties = vec![Property::LoopFreedom];
+    for (lineno, line) in requires {
+        properties.push(parse_require(&line, lineno, &topo, &layout)?);
+    }
+
+    Ok(NetworkFile {
+        topo: Arc::new(topo),
+        actions: Arc::new(actions),
+        layout,
+        fibs,
+        properties,
+    })
+}
+
+fn parse_action(
+    s: &str,
+    topo: &Topology,
+    actions: &mut ActionTable,
+    lineno: usize,
+) -> Result<flash_netmodel::ActionId, AdapterError> {
+    if s == "drop" {
+        return Ok(flash_netmodel::ACTION_DROP);
+    }
+    if let Some(inner) = s.strip_prefix("ecmp(").and_then(|r| r.strip_suffix(')')) {
+        let mut hops = Vec::new();
+        for n in inner.split(',') {
+            let d = topo
+                .lookup(n.trim())
+                .ok_or_else(|| err(lineno, format!("unknown next hop {n:?}")))?;
+            hops.push(d);
+        }
+        if hops.is_empty() {
+            return Err(err(lineno, "empty ecmp() set"));
+        }
+        return Ok(actions.ecmp(hops));
+    }
+    let d = topo
+        .lookup(s)
+        .ok_or_else(|| err(lineno, format!("unknown next hop {s:?}")))?;
+    Ok(actions.fwd(d))
+}
+
+/// `require <name> <prefix> from <src>[,<src>…] path "<expr>"`
+/// with the optional keyword `cover` before the prefix.
+fn parse_require(
+    line: &str,
+    lineno: usize,
+    topo: &Topology,
+    layout: &HeaderLayout,
+) -> Result<Property, AdapterError> {
+    let rest = line.strip_prefix("require").unwrap().trim();
+    let mut parts = rest.split_whitespace();
+    let name = parts
+        .next()
+        .ok_or_else(|| err(lineno, "expected a requirement name"))?;
+    let mut next = parts
+        .next()
+        .ok_or_else(|| err(lineno, "expected a prefix"))?;
+    let cover = next == "cover";
+    if cover {
+        next = parts
+            .next()
+            .ok_or_else(|| err(lineno, "expected a prefix after 'cover'"))?;
+    }
+    let (value, len) = parse_prefix(next, lineno)?;
+    match parts.next() {
+        Some("from") => {}
+        other => return Err(err(lineno, format!("expected 'from', got {other:?}"))),
+    }
+    let srcs_str = parts
+        .next()
+        .ok_or_else(|| err(lineno, "expected source device(s)"))?;
+    let mut sources = Vec::new();
+    for s in srcs_str.split(',') {
+        sources.push(
+            topo.lookup(s.trim())
+                .ok_or_else(|| err(lineno, format!("unknown source {s:?}")))?,
+        );
+    }
+    match parts.next() {
+        Some("path") => {}
+        other => return Err(err(lineno, format!("expected 'path', got {other:?}"))),
+    }
+    // The expression is the quoted remainder of the line. Split on the
+    // standalone keyword (" path ") so device names containing "path"
+    // don't truncate the line.
+    let expr_str = line
+        .split_once(" path ")
+        .map(|(_, e)| e.trim().trim_matches('"'))
+        .filter(|e| !e.is_empty())
+        .ok_or_else(|| err(lineno, "expected a quoted path expression"))?;
+    let expr = parse_path_expr(expr_str)
+        .map_err(|e| err(lineno, format!("bad path expression: {e}")))?;
+    let mut requirement = Requirement::new(
+        name,
+        Match::dst_prefix(layout, value, len),
+        sources,
+        expr,
+    );
+    if cover {
+        requirement = requirement.with_cover();
+    }
+    Ok(Property::Requirement {
+        requirement,
+        dests: vec![],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# Figure-2-style network
+node s1 tier=edge
+node s2
+node s3
+external a
+external gw
+link s1 s2
+link s2 s3
+link s1 s3
+link s1 a
+link s3 gw
+
+fib s1
+  10.0.1.0/24 2 a
+  10.0.2.0/24 1 a
+  0.0.0.0/0   0 s3
+
+fib s2
+  0.0.0.0/0 0 s1
+
+fib s3
+  10.0.1.0/24 2 s1
+  10.0.2.0/24 1 ecmp(s1,s2)
+  0.0.0.0/0   0 gw
+
+require http-detour 10.0.1.0/24 from s3 path "s3 .* s1 a"
+"#;
+
+    #[test]
+    fn parse_prefix_roundtrip() {
+        let (v, l) = parse_prefix("10.0.1.0/24", 1).unwrap();
+        assert_eq!(v, 0x0A000100);
+        assert_eq!(l, 24);
+        assert_eq!(format_prefix(v, l), "10.0.1.0/24");
+        let (v, l) = parse_prefix("0.0.0.0/0", 1).unwrap();
+        assert_eq!((v, l), (0, 0));
+    }
+
+    #[test]
+    fn parse_prefix_errors() {
+        assert!(parse_prefix("10.0.1.0", 1).is_err());
+        assert!(parse_prefix("10.0.1/24", 1).is_err());
+        assert!(parse_prefix("10.0.1.0/33", 1).is_err());
+        assert!(parse_prefix("10.0.1.999/24", 1).is_err());
+    }
+
+    #[test]
+    fn parse_sample_network() {
+        let net = parse_network(SAMPLE).unwrap();
+        assert_eq!(net.topo.device_count(), 5);
+        assert_eq!(net.fibs.len(), 3);
+        assert_eq!(net.fibs[0].1.len(), 3);
+        // labels survive
+        let s1 = net.topo.lookup("s1").unwrap();
+        assert_eq!(net.topo.label(s1, "tier"), Some("edge"));
+        // ECMP action resolved
+        let s3_rules = &net.fibs[2].1;
+        let ecmp_rule = &s3_rules[1];
+        assert_eq!(net.actions.next_hops(ecmp_rule.action).len(), 2);
+        // loop-freedom + 1 requirement
+        assert_eq!(net.properties.len(), 2);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "node a\nlink a b\n";
+        let e = parse_network(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        let bad = "fib nowhere\n";
+        let e = parse_network(bad).unwrap_err();
+        assert_eq!(e.line, 1);
+        let bad = "node a\nnode a\n";
+        let e = parse_network(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        let bad = "10.0.0.0/8 1 x\n";
+        let e = parse_network(bad).unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn cover_requirement_parses() {
+        let src = "node a\nnode b\nlink a b\nrequire r cover 10.0.0.0/8 from a path \"a b\"\n";
+        let net = parse_network(src).unwrap();
+        match &net.properties[1] {
+            Property::Requirement { requirement, .. } => assert!(requirement.cover),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn end_to_end_verification_of_sample() {
+        use crate::verifier::{SubspaceVerifier, SubspaceVerifierConfig};
+        let net = parse_network(SAMPLE).unwrap();
+        let mut v = SubspaceVerifier::new(SubspaceVerifierConfig {
+            topo: net.topo.clone(),
+            actions: net.actions.clone(),
+            layout: net.layout.clone(),
+            subspace: flash_imt::SubspaceSpec::whole(),
+            bst: usize::MAX,
+            properties: net.properties.clone(),
+        });
+        let mut reports = Vec::new();
+        for (dev, rules) in &net.fibs {
+            let updates = rules
+                .iter()
+                .cloned()
+                .map(flash_netmodel::RuleUpdate::insert)
+                .collect();
+            reports.extend(v.ingest_synchronized(*dev, updates));
+        }
+        // The sample routes 10.0.1.0/24 from s3 via s1 to a: satisfied.
+        assert!(reports.iter().any(|r| matches!(
+            r,
+            crate::verifier::PropertyReport::Satisfied { requirement } if requirement == "http-detour"
+        )), "{reports:?}");
+        assert!(!reports
+            .iter()
+            .any(|r| matches!(r, crate::verifier::PropertyReport::LoopFound { .. })));
+    }
+}

@@ -1,0 +1,186 @@
+//! `flash-cli` — verify a network described in the text adapter format.
+//!
+//! ```text
+//! flash-cli check <network-file> [--classes] [--quiet]
+//! ```
+//!
+//! Loads the topology, FIBs and requirements from the file (see
+//! `flash_core::adapter` for the format), streams every FIB through Fast
+//! IMT, runs consistent early detection after each device, and prints
+//! the verdicts plus model statistics. Exit code 1 when any property is
+//! violated.
+
+use flash_core::adapter::{format_prefix, parse_network};
+use flash_core::{PropertyReport, SubspaceVerifier, SubspaceVerifierConfig};
+use flash_imt::SubspaceSpec;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut show_classes = false;
+    let mut quiet = false;
+    let mut it = args.iter();
+    match it.next().map(|s| s.as_str()) {
+        Some("check") => {}
+        _ => {
+            eprintln!("usage: flash-cli check <network-file> [--classes] [--quiet]");
+            return ExitCode::from(2);
+        }
+    }
+    for a in it {
+        match a.as_str() {
+            "--classes" => show_classes = true,
+            "--quiet" => quiet = true,
+            f => files.push(f.to_string()),
+        }
+    }
+    let Some(path) = files.first() else {
+        eprintln!("usage: flash-cli check <network-file> [--classes] [--quiet]");
+        return ExitCode::from(2);
+    };
+
+    let input = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let net = match parse_network(&input) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !quiet {
+        println!(
+            "loaded {}: {} devices, {} links, {} FIBs, {} properties",
+            path,
+            net.topo.device_count(),
+            net.topo.link_count(),
+            net.fibs.len(),
+            net.properties.len()
+        );
+    }
+
+    let mut verifier = SubspaceVerifier::new(SubspaceVerifierConfig {
+        topo: net.topo.clone(),
+        actions: net.actions.clone(),
+        layout: net.layout.clone(),
+        subspace: SubspaceSpec::whole(),
+        bst: usize::MAX,
+        properties: net.properties.clone(),
+    });
+
+    let mut violated = false;
+    let t0 = std::time::Instant::now();
+    for (dev, rules) in &net.fibs {
+        let updates = rules
+            .iter()
+            .cloned()
+            .map(flash_netmodel::RuleUpdate::insert)
+            .collect();
+        for report in verifier.ingest_synchronized(*dev, updates) {
+            match &report {
+                PropertyReport::LoopFound { cycle } => {
+                    violated = true;
+                    let names: Vec<&str> =
+                        cycle.iter().map(|d| net.topo.name(*d)).collect();
+                    println!("VIOLATION loop: {}", names.join(" -> "));
+                }
+                PropertyReport::Unsatisfied { requirement } => {
+                    violated = true;
+                    println!("VIOLATION requirement {requirement:?} cannot be satisfied");
+                }
+                PropertyReport::Satisfied { requirement } => {
+                    if !quiet {
+                        println!("ok: requirement {requirement:?} satisfied");
+                    }
+                }
+                PropertyReport::LoopFreedomHolds => {
+                    if !quiet {
+                        println!("ok: loop freedom holds");
+                    }
+                }
+            }
+        }
+    }
+    let elapsed = t0.elapsed();
+
+    let mgr = verifier.manager();
+    if !quiet {
+        let stats = mgr.stats();
+        println!(
+            "model: {} equivalence classes from {} updates ({} atomic -> {} compact overwrites), \
+             {} predicate ops, {:.1?}",
+            mgr.model().len(),
+            stats.updates_accepted,
+            stats.atomic_overwrites,
+            stats.compact_overwrites,
+            mgr.bdd().op_count(),
+            elapsed
+        );
+    }
+    if show_classes {
+        print_classes(&mut verifier, &net);
+    }
+
+    if violated {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Prints every equivalence class as a witness prefix plus its action
+/// vector.
+fn print_classes(verifier: &mut SubspaceVerifier, net: &flash_core::adapter::NetworkFile) {
+    let topo = net.topo.clone();
+    let actions = net.actions.clone();
+    let mgr = verifier.manager_mut();
+    let (bdd, pat, model) = mgr.parts_mut();
+    println!("equivalence classes:");
+    for (i, e) in model.entries().iter().enumerate() {
+        let frac = bdd.sat_fraction(e.pred);
+        let witness = bdd
+            .any_sat(e.pred)
+            .map(|bits| {
+                let v: u64 = bits.iter().fold(0, |acc, &b| (acc << 1) | b as u64);
+                format_prefix(v, 32)
+            })
+            .unwrap_or_else(|| "-".into());
+        let vector: Vec<String> = pat
+            .entries(e.vector)
+            .iter()
+            .map(|(d, a)| {
+                let hops: Vec<&str> = actions
+                    .next_hops(*a)
+                    .iter()
+                    .map(|h| topo.name(*h))
+                    .collect();
+                format!(
+                    "{}→{}",
+                    topo.name(*d),
+                    if hops.is_empty() {
+                        "drop".to_string()
+                    } else {
+                        hops.join("|")
+                    }
+                )
+            })
+            .collect();
+        println!(
+            "  [{}] {:>6.2}% of space, witness {} : {}",
+            i,
+            frac * 100.0,
+            witness,
+            if vector.is_empty() {
+                "all-default".to_string()
+            } else {
+                vector.join(", ")
+            }
+        );
+    }
+}

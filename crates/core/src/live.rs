@@ -1,0 +1,355 @@
+//! Live (threaded) verification service: one OS thread per subspace,
+//! streaming agent messages through crossbeam channels — the deployment
+//! shape of Figure 1 where the CE2D dispatcher forwards updates to
+//! subspace verifiers running in parallel.
+//!
+//! Data plane verification is CPU-bound, so this is plain threads over
+//! bounded channels (no async runtime): each worker owns one
+//! [`Dispatcher`] restricted to its subspaces; the routing thread fans
+//! messages out by subspace admission; reports flow back over a shared
+//! channel tagged with their wall-clock processing latency.
+
+use crate::dispatcher::{Dispatcher, DispatcherConfig, TimedReport};
+use crate::verifier::Property;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use flash_ce2d::EpochTag;
+use flash_imt::SubspaceSpec;
+use flash_netmodel::{ActionTable, DeviceId, HeaderLayout, RuleUpdate, Topology};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One inbound agent message.
+#[derive(Clone, Debug)]
+pub struct LiveMessage {
+    /// Virtual arrival time (carried through to reports).
+    pub at: u64,
+    pub device: DeviceId,
+    pub epoch: EpochTag,
+    pub updates: Vec<RuleUpdate>,
+}
+
+/// A report emitted by a worker, with measured processing latency.
+#[derive(Clone, Debug)]
+pub struct LiveReport {
+    /// The dispatcher report. Note `report.subspace` indexes the
+    /// *worker's own* subspace subset (subspaces are dealt round-robin:
+    /// global index = `report.subspace * workers + worker`).
+    pub report: TimedReport,
+    /// Wall-clock time the worker spent producing this report's batch.
+    pub processing: std::time::Duration,
+    /// Index of the worker that produced it.
+    pub worker: usize,
+}
+
+enum WorkerMsg {
+    Message(LiveMessage),
+    Shutdown,
+}
+
+/// Handle to a running verification service.
+///
+/// Feed messages with [`LiveVerifier::send`]; reports arrive on
+/// [`LiveVerifier::reports`]. Dropping the handle (or calling
+/// [`LiveVerifier::shutdown`]) stops the workers.
+pub struct LiveVerifier {
+    inputs: Vec<Sender<WorkerMsg>>,
+    /// Which worker handles each subspace.
+    subspace_worker: Vec<usize>,
+    plan: Vec<SubspaceSpec>,
+    layout: HeaderLayout,
+    reports_rx: Receiver<LiveReport>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl LiveVerifier {
+    /// Spawns `workers` threads covering `subspaces` (round-robin
+    /// assignment). Each worker runs a full CE2D dispatcher over its
+    /// subspace subset.
+    pub fn spawn(
+        topo: Arc<Topology>,
+        actions: Arc<ActionTable>,
+        layout: HeaderLayout,
+        subspaces: Vec<SubspaceSpec>,
+        properties: Vec<Property>,
+        bst: usize,
+        workers: usize,
+    ) -> Self {
+        let workers = workers.max(1).min(subspaces.len().max(1));
+        let (reports_tx, reports_rx) = bounded::<LiveReport>(1024);
+        let mut inputs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        // Round-robin subspace → worker map.
+        let subspace_worker: Vec<usize> =
+            (0..subspaces.len()).map(|i| i % workers).collect();
+
+        for w in 0..workers {
+            let my_subspaces: Vec<SubspaceSpec> = subspaces
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| subspace_worker[*i] == w)
+                .map(|(_, s)| *s)
+                .collect();
+            let (tx, rx) = bounded::<WorkerMsg>(1024);
+            inputs.push(tx);
+            let cfg = DispatcherConfig {
+                topo: topo.clone(),
+                actions: actions.clone(),
+                layout: layout.clone(),
+                subspaces: my_subspaces,
+                bst,
+                properties: properties.clone(),
+            };
+            let out = reports_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                worker_loop(cfg, rx, out, w);
+            }));
+        }
+
+        LiveVerifier {
+            inputs,
+            subspace_worker,
+            plan: subspaces,
+            layout,
+            reports_rx,
+            workers: handles,
+        }
+    }
+
+    /// Routes one agent message to every worker whose subspaces its
+    /// updates can affect (all workers when any update is subspace-
+    /// agnostic, e.g. an empty epoch announcement).
+    pub fn send(&self, msg: LiveMessage) {
+        let mut targets: Vec<bool> = vec![false; self.inputs.len()];
+        if msg.updates.is_empty() {
+            // Epoch announcements concern every verifier.
+            targets.iter_mut().for_each(|t| *t = true);
+        } else {
+            for u in &msg.updates {
+                for (i, s) in self.plan.iter().enumerate() {
+                    if s.admits(&u.rule.mat, &self.layout) {
+                        targets[self.subspace_worker[i]] = true;
+                    }
+                }
+            }
+        }
+        for (w, hit) in targets.iter().enumerate() {
+            if *hit {
+                // A full channel applies backpressure to the feed.
+                let _ = self.inputs[w].send(WorkerMsg::Message(msg.clone()));
+            }
+        }
+    }
+
+    /// The report stream.
+    pub fn reports(&self) -> &Receiver<LiveReport> {
+        &self.reports_rx
+    }
+
+    /// Stops all workers and waits for them. Reports already queued stay
+    /// readable on the receiver.
+    pub fn shutdown(mut self) -> Vec<LiveReport> {
+        for tx in &self.inputs {
+            let _ = tx.send(WorkerMsg::Shutdown);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        let mut out = Vec::new();
+        while let Ok(r) = self.reports_rx.try_recv() {
+            out.push(r);
+        }
+        out
+    }
+}
+
+fn worker_loop(
+    cfg: DispatcherConfig,
+    rx: Receiver<WorkerMsg>,
+    out: Sender<LiveReport>,
+    worker: usize,
+) {
+    let mut dispatcher = Dispatcher::new(cfg);
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            WorkerMsg::Shutdown => break,
+            WorkerMsg::Message(m) => {
+                let t0 = std::time::Instant::now();
+                let reports = dispatcher.on_message(m.at, m.device, m.epoch, m.updates);
+                let processing = t0.elapsed();
+                for report in reports {
+                    if out
+                        .send(LiveReport {
+                            report,
+                            processing,
+                            worker,
+                        })
+                        .is_err()
+                    {
+                        return; // receiver gone: stop
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verifier::PropertyReport;
+    use flash_netmodel::{FieldId, Match, Rule};
+
+    fn triangle() -> (Arc<Topology>, Vec<DeviceId>, Arc<ActionTable>, HeaderLayout) {
+        let mut t = Topology::new();
+        let a = t.add_device("a");
+        let b = t.add_device("b");
+        let c = t.add_device("c");
+        t.add_bilink(a, b);
+        t.add_bilink(b, c);
+        t.add_bilink(a, c);
+        let layout = HeaderLayout::dst_only();
+        let mut at = ActionTable::new();
+        for d in [a, b, c] {
+            at.fwd(d);
+        }
+        (Arc::new(t), vec![a, b, c], Arc::new(at), layout)
+    }
+
+    #[test]
+    fn live_loop_detection_single_worker() {
+        let (topo, ids, actions, layout) = triangle();
+        let v = LiveVerifier::spawn(
+            topo,
+            actions,
+            layout.clone(),
+            vec![SubspaceSpec::whole()],
+            vec![Property::LoopFreedom],
+            1,
+            1,
+        );
+        let m = Match::dst_prefix(&layout, 10, 8);
+        let (fwd_a, fwd_b) = (flash_netmodel::ActionId(1), flash_netmodel::ActionId(2));
+        v.send(LiveMessage {
+            at: 1,
+            device: ids[0],
+            epoch: 42,
+            updates: vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_b))],
+        });
+        v.send(LiveMessage {
+            at: 2,
+            device: ids[1],
+            epoch: 42,
+            updates: vec![RuleUpdate::insert(Rule::new(m, 1, fwd_a))],
+        });
+        let report = v
+            .reports()
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("a report should arrive");
+        assert!(matches!(report.report.report, PropertyReport::LoopFound { .. }));
+        assert_eq!(report.report.epoch, 42);
+        v.shutdown();
+    }
+
+    #[test]
+    fn subspace_routing_reaches_the_right_worker() {
+        let (topo, ids, actions, layout) = triangle();
+        // Two subspaces over the dst space, two workers.
+        let subspaces = vec![
+            SubspaceSpec { field: FieldId(0), value: 0, len: 1 },
+            SubspaceSpec { field: FieldId(0), value: 1 << 31, len: 1 },
+        ];
+        let v = LiveVerifier::spawn(
+            topo,
+            actions,
+            layout.clone(),
+            subspaces,
+            vec![Property::LoopFreedom],
+            1,
+            2,
+        );
+        // Loop confined to the low half of the space.
+        let m = Match::dst_prefix(&layout, 10, 8);
+        let (fwd_a, fwd_b) = (flash_netmodel::ActionId(1), flash_netmodel::ActionId(2));
+        v.send(LiveMessage {
+            at: 1,
+            device: ids[0],
+            epoch: 7,
+            updates: vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_b))],
+        });
+        v.send(LiveMessage {
+            at: 2,
+            device: ids[1],
+            epoch: 7,
+            updates: vec![RuleUpdate::insert(Rule::new(m, 1, fwd_a))],
+        });
+        let report = v
+            .reports()
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("a report should arrive");
+        assert_eq!(report.worker, 0, "low-half subspace lives on worker 0");
+        assert_eq!(report.report.subspace, 0);
+        let leftovers = v.shutdown();
+        // No duplicate loop report from the other worker.
+        assert!(leftovers
+            .iter()
+            .all(|r| !matches!(r.report.report, PropertyReport::LoopFound { .. })));
+    }
+
+    #[test]
+    fn shutdown_stops_cleanly_without_traffic() {
+        let (topo, _, actions, layout) = triangle();
+        let v = LiveVerifier::spawn(
+            topo,
+            actions,
+            layout,
+            vec![SubspaceSpec::whole()],
+            vec![Property::LoopFreedom],
+            1,
+            4,
+        );
+        let leftovers = v.shutdown();
+        assert!(leftovers.is_empty());
+    }
+
+    #[test]
+    fn empty_epoch_announcements_reach_all_workers() {
+        let (topo, ids, actions, layout) = triangle();
+        let subspaces = vec![
+            SubspaceSpec { field: FieldId(0), value: 0, len: 1 },
+            SubspaceSpec { field: FieldId(0), value: 1 << 31, len: 1 },
+        ];
+        let v = LiveVerifier::spawn(
+            topo,
+            actions,
+            layout.clone(),
+            subspaces,
+            vec![Property::LoopFreedom],
+            1,
+            2,
+        );
+        // Every device announces epoch 9 with no updates: both workers'
+        // verifiers see all three devices synchronized on an empty data
+        // plane → loop freedom holds, reported by both subspaces.
+        for (i, d) in ids.iter().enumerate() {
+            v.send(LiveMessage {
+                at: i as u64,
+                device: *d,
+                epoch: 9,
+                updates: vec![],
+            });
+        }
+        let mut holds = 0;
+        for _ in 0..2 {
+            if let Ok(r) = v
+                .reports()
+                .recv_timeout(std::time::Duration::from_secs(10))
+            {
+                if r.report.report == PropertyReport::LoopFreedomHolds {
+                    holds += 1;
+                }
+            }
+        }
+        assert_eq!(holds, 2, "both subspace verifiers report the clean verdict");
+        v.shutdown();
+    }
+}

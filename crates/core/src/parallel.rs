@@ -1,0 +1,194 @@
+//! Parallel subspace model construction (§3.4 "Input Space Partition",
+//! §5.5): updates are routed to per-subspace verifiers which run on OS
+//! threads — the deployment shape of the paper's 112-subspace LNet runs.
+//!
+//! Verification is CPU-bound, so plain scoped threads over crossbeam
+//! channels are used (no async runtime): each worker owns one or more
+//! subspace verifiers with their private BDD managers, so the hot path
+//! takes no locks.
+
+use flash_imt::{ModelManager, ModelManagerConfig, SubspacePlan};
+use flash_netmodel::{DeviceId, HeaderLayout, RuleUpdate};
+use std::time::{Duration, Instant};
+
+/// Aggregate results of a parallel construction run.
+#[derive(Clone, Debug, Default)]
+pub struct ParallelStats {
+    /// Wall-clock time for the whole run.
+    pub wall: Duration,
+    /// Sum of per-subspace CPU time (≈ wall × effective parallelism).
+    pub cpu_total: Duration,
+    /// The slowest subspace's CPU time — the critical path when every
+    /// subspace gets its own core (the paper's deployment).
+    pub max_cpu: Duration,
+    /// Per-subspace (classes, predicate ops, approx bytes).
+    pub per_subspace: Vec<(usize, u64, usize)>,
+}
+
+impl ParallelStats {
+    pub fn total_classes(&self) -> usize {
+        self.per_subspace.iter().map(|(c, _, _)| c).sum()
+    }
+
+    pub fn total_ops(&self) -> u64 {
+        self.per_subspace.iter().map(|(_, o, _)| o).sum()
+    }
+
+    pub fn total_bytes(&self) -> usize {
+        self.per_subspace.iter().map(|(_, _, b)| b).sum()
+    }
+
+    pub fn max_subspace_cpu(&self) -> Duration {
+        self.max_cpu
+    }
+}
+
+/// Builds subspace models for `updates` in parallel over `threads` OS
+/// threads, one [`ModelManager`] per subspace.
+///
+/// Updates are routed to every subspace their match can affect; each
+/// manager clips predicates to its subspace universe, so the union of
+/// the resulting models is the whole-network model.
+pub fn parallel_model_construction(
+    plan: &SubspacePlan,
+    layout: &HeaderLayout,
+    updates: &[(DeviceId, RuleUpdate)],
+    bst: usize,
+    threads: usize,
+) -> ParallelStats {
+    let threads = threads.max(1).min(plan.len().max(1));
+
+    // Route updates: per-subspace input queues (built once, sequentially —
+    // this mirrors the dispatcher's cheap syntactic routing).
+    let mut queues: Vec<Vec<(DeviceId, RuleUpdate)>> = vec![Vec::new(); plan.len()];
+    for (dev, u) in updates {
+        for i in plan.route(&u.rule.mat, layout) {
+            queues[i].push((*dev, u.clone()));
+        }
+    }
+
+    let start = Instant::now();
+    let mut per_subspace: Vec<(usize, u64, usize)> = vec![(0, 0, 0); plan.len()];
+    let mut cpu_times: Vec<Duration> = vec![Duration::ZERO; plan.len()];
+
+    // Work-stealing by index chunks: thread t handles subspaces t, t+T, …
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (t, chunk) in queues.chunks(queues.len().div_ceil(threads)).enumerate() {
+            let base = t * queues.len().div_ceil(threads);
+            let plan_ref = &plan.subspaces;
+            let layout = layout.clone();
+            let handle = scope.spawn(move |_| {
+                let mut results = Vec::new();
+                for (off, queue) in chunk.iter().enumerate() {
+                    let idx = base + off;
+                    let t0 = Instant::now();
+                    let mut mgr = ModelManager::new(ModelManagerConfig {
+                        layout: layout.clone(),
+                        subspace: plan_ref[idx],
+                        bst,
+                        filter_updates: false, // already routed
+                        gc_node_threshold: usize::MAX,
+                    });
+                    for (dev, u) in queue {
+                        mgr.submit(*dev, [u.clone()]);
+                    }
+                    mgr.flush();
+                    let cpu = t0.elapsed();
+                    results.push((
+                        idx,
+                        cpu,
+                        (
+                            mgr.model().len(),
+                            mgr.bdd().op_count(),
+                            mgr.approx_bytes(),
+                        ),
+                    ));
+                }
+                results
+            });
+            handles.push(handle);
+        }
+        for h in handles {
+            for (idx, cpu, stats) in h.join().expect("worker panicked") {
+                per_subspace[idx] = stats;
+                cpu_times[idx] = cpu;
+            }
+        }
+    })
+    .expect("thread scope");
+
+    let wall = start.elapsed();
+    let cpu_total = cpu_times.iter().sum();
+    let max_cpu = cpu_times.iter().max().copied().unwrap_or(Duration::ZERO);
+    ParallelStats {
+        wall,
+        cpu_total,
+        max_cpu,
+        per_subspace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_netmodel::{ActionTable, FieldId, Match, Rule};
+
+    #[test]
+    fn parallel_matches_sequential_class_total() {
+        let layout = HeaderLayout::new(&[("dst", 8)]);
+        let mut at = ActionTable::new();
+        let mut updates = Vec::new();
+        for d in 0..4u32 {
+            for i in 0..16u64 {
+                let a = at.fwd(DeviceId(100 + (i % 3) as u32));
+                updates.push((
+                    DeviceId(d),
+                    RuleUpdate::insert(Rule::new(Match::dst_prefix(&layout, i << 4, 4), 4, a)),
+                ));
+            }
+        }
+        // Sequential whole-space baseline.
+        let mut mgr = ModelManager::new(ModelManagerConfig::whole_space(layout.clone()));
+        for (d, u) in &updates {
+            mgr.submit(*d, [u.clone()]);
+        }
+        mgr.flush();
+        let whole_classes = mgr.model().len();
+
+        // 4-subspace parallel run.
+        let plan = SubspacePlan::by_prefix_bits(&layout, FieldId(0), 2);
+        let stats = parallel_model_construction(&plan, &layout, &updates, usize::MAX, 4);
+        // Each subspace model covers a quarter of the space; the number of
+        // distinct behaviours summed over subspaces is >= the whole-space
+        // count and every subspace has at least one class.
+        assert!(stats.total_classes() >= whole_classes);
+        assert_eq!(stats.per_subspace.len(), 4);
+        assert!(stats.per_subspace.iter().all(|(c, _, _)| *c >= 1));
+        assert!(stats.wall > Duration::ZERO);
+        assert!(stats.cpu_total >= stats.max_subspace_cpu());
+    }
+
+    #[test]
+    fn single_subspace_plan_works() {
+        let layout = HeaderLayout::new(&[("dst", 8)]);
+        let mut at = ActionTable::new();
+        let a = at.fwd(DeviceId(5));
+        let updates = vec![(
+            DeviceId(0),
+            RuleUpdate::insert(Rule::new(Match::dst_prefix(&layout, 0xA0, 4), 4, a)),
+        )];
+        let plan = SubspacePlan::single();
+        let stats = parallel_model_construction(&plan, &layout, &updates, usize::MAX, 8);
+        assert_eq!(stats.per_subspace.len(), 1);
+        assert_eq!(stats.per_subspace[0].0, 2);
+    }
+
+    #[test]
+    fn threads_capped_by_subspace_count() {
+        let layout = HeaderLayout::new(&[("dst", 8)]);
+        let plan = SubspacePlan::by_prefix_bits(&layout, FieldId(0), 1);
+        let stats = parallel_model_construction(&plan, &layout, &[], usize::MAX, 64);
+        assert_eq!(stats.per_subspace.len(), 2);
+    }
+}

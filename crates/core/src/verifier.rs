@@ -1,0 +1,305 @@
+//! The subspace verifier: one model manager plus the CE2D verifiers for
+//! the properties the operator registered (Figure 1, left box).
+
+use flash_ce2d::{LoopVerdict, LoopVerifier, RegexVerifier, Verdict};
+use flash_imt::{ModelManager, ModelManagerConfig, SubspaceSpec};
+use flash_netmodel::{ActionTable, DeviceId, HeaderLayout, RuleUpdate, Topology};
+use flash_spec::Requirement;
+use std::sync::Arc;
+
+/// A property to verify.
+#[derive(Clone, Debug)]
+pub enum Property {
+    /// All-pair loop freedom (§4.3).
+    LoopFreedom,
+    /// A path-regular-expression requirement (§4.2, Appendix B). `dests`
+    /// resolves the `>` selector.
+    Requirement {
+        requirement: Requirement,
+        dests: Vec<DeviceId>,
+    },
+}
+
+/// A deterministic (consistent) early-detection report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PropertyReport {
+    /// A consistent forwarding loop.
+    LoopFound {
+        cycle: Vec<DeviceId>,
+    },
+    /// All devices synchronized; no loop exists.
+    LoopFreedomHolds,
+    /// A regex requirement is consistently satisfied.
+    Satisfied { requirement: String },
+    /// A regex requirement is consistently violated.
+    Unsatisfied { requirement: String },
+}
+
+/// Configuration of a [`SubspaceVerifier`].
+#[derive(Clone)]
+pub struct SubspaceVerifierConfig {
+    pub topo: Arc<Topology>,
+    pub actions: Arc<ActionTable>,
+    pub layout: HeaderLayout,
+    pub subspace: SubspaceSpec,
+    /// Block size threshold for Fast IMT (usize::MAX = manual flushing).
+    pub bst: usize,
+    pub properties: Vec<Property>,
+}
+
+/// One subspace verifier: model manager + CE2D verifiers.
+pub struct SubspaceVerifier {
+    mgr: ModelManager,
+    loop_verifier: Option<LoopVerifier>,
+    regex_verifiers: Vec<RegexVerifier>,
+    /// Verdicts already emitted (deduplicated).
+    emitted: std::collections::HashSet<String>,
+}
+
+impl SubspaceVerifier {
+    pub fn new(config: SubspaceVerifierConfig) -> Self {
+        let mut mgr = ModelManager::new(ModelManagerConfig {
+            layout: config.layout.clone(),
+            subspace: config.subspace,
+            bst: config.bst,
+            filter_updates: config.subspace.len > 0,
+            gc_node_threshold: usize::MAX,
+        });
+        let mut loop_verifier = None;
+        let mut regex_verifiers = Vec::new();
+        for p in &config.properties {
+            match p {
+                Property::LoopFreedom => {
+                    loop_verifier = Some(LoopVerifier::new(
+                        config.topo.clone(),
+                        config.actions.clone(),
+                    ));
+                }
+                Property::Requirement { requirement, dests } => {
+                    regex_verifiers.push(RegexVerifier::new(
+                        config.topo.clone(),
+                        config.actions.clone(),
+                        requirement.clone(),
+                        dests.clone(),
+                        mgr.bdd_mut(),
+                        &config.layout,
+                    ));
+                }
+            }
+        }
+        SubspaceVerifier {
+            mgr,
+            loop_verifier,
+            regex_verifiers,
+            emitted: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Access to the underlying model manager (inspection / benchmarks).
+    pub fn manager(&self) -> &ModelManager {
+        &self.mgr
+    }
+
+    pub fn manager_mut(&mut self) -> &mut ModelManager {
+        &mut self.mgr
+    }
+
+    /// Feeds an update block *without* CE2D semantics (pure model
+    /// construction, e.g. the update-storm benchmarks). Respects the BST.
+    pub fn ingest(&mut self, dev: DeviceId, updates: Vec<RuleUpdate>) {
+        self.mgr.submit(dev, updates);
+    }
+
+    /// Flushes buffered updates through Fast IMT.
+    pub fn flush(&mut self) {
+        self.mgr.flush();
+    }
+
+    /// Feeds a device's **complete epoch FIB delta** and marks it
+    /// synchronized, then runs consistent early detection. Returns any
+    /// *new* deterministic reports.
+    pub fn ingest_synchronized(
+        &mut self,
+        dev: DeviceId,
+        updates: Vec<RuleUpdate>,
+    ) -> Vec<PropertyReport> {
+        self.mgr.submit(dev, updates);
+        self.mgr.flush();
+        self.detect(&[dev])
+    }
+
+    /// Applies updates for a device that is *not* yet synchronized in
+    /// this epoch (queued history replay): the model advances but no
+    /// detection fires for it.
+    pub fn ingest_unsynchronized(&mut self, dev: DeviceId, updates: Vec<RuleUpdate>) {
+        self.mgr.submit(dev, updates);
+        self.mgr.flush();
+    }
+
+    /// Runs early detection after `newly_synced` completed their FIBs.
+    pub fn detect(&mut self, newly_synced: &[DeviceId]) -> Vec<PropertyReport> {
+        let mut out = Vec::new();
+        if let Some(lv) = &mut self.loop_verifier {
+            let (bdd, pat, model) = self.mgr.parts_mut();
+            match lv.on_model_update(bdd, pat, model, newly_synced) {
+                LoopVerdict::LoopFound { cycle, .. } => {
+                    let key = format!("loop:{cycle:?}");
+                    if self.emitted.insert(key) {
+                        out.push(PropertyReport::LoopFound { cycle });
+                    }
+                }
+                LoopVerdict::NoLoop => {
+                    if self.emitted.insert("noloop".into()) {
+                        out.push(PropertyReport::LoopFreedomHolds);
+                    }
+                }
+                LoopVerdict::Unknown => {}
+            }
+        }
+        for rv in &mut self.regex_verifiers {
+            let (bdd, pat, model) = self.mgr.parts_mut();
+            let name = rv.requirement().name.clone();
+            match rv.on_model_update(bdd, pat, model, newly_synced) {
+                Verdict::Satisfied => {
+                    if self.emitted.insert(format!("sat:{name}")) {
+                        out.push(PropertyReport::Satisfied { requirement: name });
+                    }
+                }
+                Verdict::Unsatisfied => {
+                    if self.emitted.insert(format!("unsat:{name}")) {
+                        out.push(PropertyReport::Unsatisfied { requirement: name });
+                    }
+                }
+                Verdict::Unknown => {}
+            }
+        }
+        out
+    }
+
+    /// The devices currently synchronized (loop verifier view).
+    pub fn synchronized_count(&self) -> usize {
+        self.loop_verifier
+            .as_ref()
+            .map(|l| l.synchronized().len())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_netmodel::{Match, Rule};
+
+    fn triangle() -> (Arc<Topology>, Vec<DeviceId>, Arc<ActionTable>, HeaderLayout) {
+        let mut t = Topology::new();
+        let a = t.add_device("a");
+        let b = t.add_device("b");
+        let c = t.add_device("c");
+        t.add_bilink(a, b);
+        t.add_bilink(b, c);
+        t.add_bilink(a, c);
+        let layout = HeaderLayout::dst_only();
+        let mut at = ActionTable::new();
+        for d in [a, b, c] {
+            at.fwd(d);
+        }
+        (Arc::new(t), vec![a, b, c], Arc::new(at), layout)
+    }
+
+    fn config(
+        topo: &Arc<Topology>,
+        actions: &Arc<ActionTable>,
+        layout: &HeaderLayout,
+        properties: Vec<Property>,
+    ) -> SubspaceVerifierConfig {
+        SubspaceVerifierConfig {
+            topo: topo.clone(),
+            actions: actions.clone(),
+            layout: layout.clone(),
+            subspace: SubspaceSpec::whole(),
+            bst: 1,
+            properties,
+        }
+    }
+
+    #[test]
+    fn loop_detected_across_ingests() {
+        let (topo, ids, actions, layout) = triangle();
+        let mut v = SubspaceVerifier::new(config(&topo, &actions, &layout, vec![Property::LoopFreedom]));
+        let m = Match::dst_prefix(&layout, 10, 8);
+        let fwd_b = flash_netmodel::ActionId(2); // b is second device interned
+        let fwd_a = flash_netmodel::ActionId(1);
+        let r1 = v.ingest_synchronized(ids[0], vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_b))]);
+        assert!(r1.is_empty());
+        let r2 = v.ingest_synchronized(ids[1], vec![RuleUpdate::insert(Rule::new(m, 1, fwd_a))]);
+        assert!(matches!(r2[0], PropertyReport::LoopFound { .. }));
+    }
+
+    #[test]
+    fn loop_freedom_holds_when_all_synced_clean() {
+        let (topo, ids, actions, layout) = triangle();
+        let mut v = SubspaceVerifier::new(config(&topo, &actions, &layout, vec![Property::LoopFreedom]));
+        let m = Match::dst_prefix(&layout, 10, 8);
+        let fwd_c = flash_netmodel::ActionId(3);
+        v.ingest_synchronized(ids[0], vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_c))]);
+        v.ingest_synchronized(ids[1], vec![RuleUpdate::insert(Rule::new(m, 1, fwd_c))]);
+        let r = v.ingest_synchronized(ids[2], vec![]);
+        assert_eq!(r, vec![PropertyReport::LoopFreedomHolds]);
+    }
+
+    #[test]
+    fn reports_are_deduplicated() {
+        let (topo, ids, actions, layout) = triangle();
+        let mut v = SubspaceVerifier::new(config(&topo, &actions, &layout, vec![Property::LoopFreedom]));
+        let m = Match::dst_prefix(&layout, 10, 8);
+        let (fwd_a, fwd_b) = (flash_netmodel::ActionId(1), flash_netmodel::ActionId(2));
+        v.ingest_synchronized(ids[0], vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_b))]);
+        let r2 = v.ingest_synchronized(ids[1], vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_a))]);
+        assert_eq!(r2.len(), 1);
+        // Another ingest keeps the same loop: no duplicate report.
+        let r3 = v.ingest_synchronized(ids[2], vec![]);
+        assert!(r3.is_empty());
+    }
+
+    #[test]
+    fn regex_requirement_reports() {
+        let (topo, ids, actions, layout) = triangle();
+        let req = Requirement::new(
+            "a-reaches-c",
+            Match::dst_prefix(&layout, 10, 8),
+            vec![ids[0]],
+            flash_spec::parse_path_expr("a .* c").unwrap(),
+        );
+        let mut v = SubspaceVerifier::new(config(
+            &topo,
+            &actions,
+            &layout,
+            vec![Property::Requirement { requirement: req, dests: vec![] }],
+        ));
+        let m = Match::dst_prefix(&layout, 10, 8);
+        let fwd_c = flash_netmodel::ActionId(3);
+        v.ingest_synchronized(ids[0], vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_c))]);
+        // c delivers locally (drop) — synchronize it so the path is final.
+        let r = v.ingest_synchronized(
+            ids[2],
+            vec![RuleUpdate::insert(Rule::new(m, 1, flash_netmodel::ACTION_DROP))],
+        );
+        assert_eq!(
+            r,
+            vec![PropertyReport::Satisfied { requirement: "a-reaches-c".into() }]
+        );
+    }
+
+    #[test]
+    fn storm_mode_ingest_respects_bst() {
+        let (topo, ids, actions, layout) = triangle();
+        let mut cfg = config(&topo, &actions, &layout, vec![]);
+        cfg.bst = usize::MAX;
+        let mut v = SubspaceVerifier::new(cfg);
+        let m = Match::dst_prefix(&layout, 10, 8);
+        v.ingest(ids[0], vec![RuleUpdate::insert(Rule::new(m, 1, flash_netmodel::ActionId(2)))]);
+        assert_eq!(v.manager().model().len(), 1, "buffered");
+        v.flush();
+        assert_eq!(v.manager().model().len(), 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! Fast Inverse Model Transformation (Fast IMT) — the core contribution of
+//! the Flash paper (§3 and Appendix C).
+//!
+//! The inverse model (equivalence-class representation) of a data plane is
+//! a set of pairs `(predicate, action vector)` that are unique, mutually
+//! exclusive and complementary. This crate provides:
+//!
+//! * [`pat`] — the **persistent action tree** (§3.4): a hash-consed
+//!   persistent treap storing action vectors with structural sharing, so
+//!   that overwriting a handful of devices in an `N`-device vector costs
+//!   `O(k · log N)` and vector equality is an integer comparison.
+//! * [`model`] — the [`model::InverseModel`] with its validity invariants
+//!   and the model-overwrite operator `⊗` (Definition 9).
+//! * [`mr2`] — the **MR² algorithm**: Algorithm 1 (merge-based
+//!   decomposition of a native update block into atomic conflict-free
+//!   overwrites), Reduce I (aggregation by action), Reduce II (aggregation
+//!   by predicate), and the phase-instrumented driver used by Figure 11.
+//! * [`manager`] — the model manager of Figure 1: per-device FIB
+//!   snapshots, the block-size-threshold (BST) buffer, subspace filtering,
+//!   and the per-update compatibility mode.
+//! * [`subspace`] — input-space partitioning (§3.4) used to run many
+//!   verifiers in parallel.
+
+pub mod manager;
+pub mod model;
+pub mod mr2;
+pub mod pat;
+pub mod subspace;
+
+pub use manager::{ModelManager, ModelManagerConfig, PhaseTimings, UpdateStats};
+pub use model::{InverseModel, ModelEntry};
+pub use mr2::{AtomicOverwrite, Overwrite};
+pub use pat::{PatId, PatStore, PAT_NIL};
+pub use subspace::{SubspacePlan, SubspaceSpec};

@@ -1,0 +1,470 @@
+//! The model manager of Figure 1: maintains per-device FIB snapshots and
+//! the inverse model, applying update blocks through the MR² pipeline.
+//!
+//! The manager buffers incoming updates and flushes them through Fast IMT
+//! once the **block size threshold** (BST, §5.2 / Figure 7) is reached.
+//! `bst = 1` degenerates to the per-update mode used as a baseline in
+//! Figure 11; `bst = usize::MAX` defers everything to an explicit
+//! [`ModelManager::flush`].
+
+use crate::model::InverseModel;
+use crate::mr2::{
+    calculate_atomic_overwrites, cancel_updates, merge_block_and_diff, reduce_by_action,
+    reduce_by_predicate, AtomicOverwrite,
+};
+use crate::pat::PatStore;
+use crate::subspace::SubspaceSpec;
+use flash_bdd::{Bdd, NodeId};
+use flash_netmodel::{DeviceId, Fib, HeaderLayout, RuleUpdate};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Configuration of a model manager.
+#[derive(Clone, Debug)]
+pub struct ModelManagerConfig {
+    pub layout: HeaderLayout,
+    /// The subspace this manager is responsible for.
+    pub subspace: SubspaceSpec,
+    /// Flush automatically once this many updates are buffered.
+    pub bst: usize,
+    /// Drop updates whose match cannot intersect the subspace (cheap
+    /// syntactic filter) before they are buffered.
+    pub filter_updates: bool,
+    /// Run a BDD garbage collection when, after a flush, the arena holds
+    /// more than this many nodes. `usize::MAX` disables automatic GC.
+    /// Storm workloads produce large transient predicates during the map
+    /// phase; periodic GC keeps the footprint near the live model size.
+    pub gc_node_threshold: usize,
+}
+
+impl ModelManagerConfig {
+    /// Whole-space manager with an effectively infinite BST (explicit
+    /// flushing), the configuration used for the update-storm benchmarks.
+    pub fn whole_space(layout: HeaderLayout) -> Self {
+        ModelManagerConfig {
+            layout,
+            subspace: SubspaceSpec::whole(),
+            bst: usize::MAX,
+            filter_updates: false,
+            gc_node_threshold: usize::MAX,
+        }
+    }
+}
+
+/// Cumulative wall-clock time per MR² phase (Figure 11's breakdown).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Map: merging blocks and computing atomic overwrites.
+    pub compute_atomic: Duration,
+    /// Reduce I + Reduce II.
+    pub aggregate: Duration,
+    /// Applying the compact overwrites to the inverse model.
+    pub apply: Duration,
+}
+
+impl PhaseTimings {
+    pub fn total(&self) -> Duration {
+        self.compute_atomic + self.aggregate + self.apply
+    }
+}
+
+/// Counters describing the work a manager has performed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UpdateStats {
+    /// Native updates accepted (post subspace filter).
+    pub updates_accepted: u64,
+    /// Native updates rejected by the subspace filter.
+    pub updates_filtered: u64,
+    /// Flushes performed.
+    pub flushes: u64,
+    /// Atomic overwrites produced by the map phase.
+    pub atomic_overwrites: u64,
+    /// Compact overwrites after both reduces.
+    pub compact_overwrites: u64,
+}
+
+/// The model manager: FIB snapshots + inverse model + MR² driver.
+pub struct ModelManager {
+    config: ModelManagerConfig,
+    bdd: Bdd,
+    pat: PatStore,
+    model: InverseModel,
+    clip: NodeId,
+    fibs: HashMap<DeviceId, Fib>,
+    pending: Vec<(DeviceId, RuleUpdate)>,
+    timings: PhaseTimings,
+    stats: UpdateStats,
+}
+
+impl ModelManager {
+    pub fn new(config: ModelManagerConfig) -> Self {
+        let mut bdd = Bdd::new(config.layout.total_bits());
+        let clip = config.subspace.universe(&config.layout, &mut bdd);
+        let model = InverseModel::new(clip);
+        ModelManager {
+            config,
+            bdd,
+            pat: PatStore::new(),
+            model,
+            clip,
+            fibs: HashMap::new(),
+            pending: Vec::new(),
+            timings: PhaseTimings::default(),
+            stats: UpdateStats::default(),
+        }
+    }
+
+    pub fn layout(&self) -> &HeaderLayout {
+        &self.config.layout
+    }
+
+    pub fn model(&self) -> &InverseModel {
+        &self.model
+    }
+
+    pub fn bdd(&self) -> &Bdd {
+        &self.bdd
+    }
+
+    pub fn bdd_mut(&mut self) -> &mut Bdd {
+        &mut self.bdd
+    }
+
+    pub fn pat(&self) -> &PatStore {
+        &self.pat
+    }
+
+    /// Split borrow for consumers (the CE2D verifier) that need predicate
+    /// operations over the current model.
+    pub fn parts_mut(&mut self) -> (&mut Bdd, &mut PatStore, &InverseModel) {
+        (&mut self.bdd, &mut self.pat, &self.model)
+    }
+
+    pub fn timings(&self) -> PhaseTimings {
+        self.timings
+    }
+
+    pub fn stats(&self) -> UpdateStats {
+        self.stats
+    }
+
+    /// The FIB snapshot of a device (the default-only table when the
+    /// device has never sent an update).
+    pub fn fib(&mut self, dev: DeviceId) -> &Fib {
+        let layout = &self.config.layout;
+        self.fibs.entry(dev).or_insert_with(|| Fib::new(layout))
+    }
+
+    /// Devices with a tracked FIB snapshot.
+    pub fn devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        self.fibs.keys().copied()
+    }
+
+    /// Approximate resident bytes of the verifier state (BDD arena + PAT
+    /// arena + model entries + rule snapshots).
+    pub fn approx_bytes(&self) -> usize {
+        let rule_bytes: usize = self
+            .fibs
+            .values()
+            .map(|f| f.len() * std::mem::size_of::<flash_netmodel::Rule>())
+            .sum();
+        self.bdd.approx_bytes() + self.pat.approx_bytes() + self.model.approx_bytes() + rule_bytes
+    }
+
+    /// Buffers updates for a device, flushing if the BST is reached.
+    /// Returns `true` when a flush happened.
+    pub fn submit(&mut self, dev: DeviceId, updates: impl IntoIterator<Item = RuleUpdate>) -> bool {
+        for u in updates {
+            if self.config.filter_updates
+                && !self.config.subspace.admits(&u.rule.mat, &self.config.layout)
+            {
+                self.stats.updates_filtered += 1;
+                continue;
+            }
+            self.stats.updates_accepted += 1;
+            self.pending.push((dev, u));
+        }
+        if self.pending.len() >= self.config.bst {
+            self.flush();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of buffered (unapplied) updates.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Applies all buffered updates through the MR² pipeline. Returns the
+    /// devices whose FIB changed.
+    pub fn flush(&mut self) -> Vec<DeviceId> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        self.stats.flushes += 1;
+        let pending = std::mem::take(&mut self.pending);
+
+        // Group by device preserving arrival order.
+        let mut per_device: HashMap<DeviceId, Vec<RuleUpdate>> = HashMap::new();
+        let mut order: Vec<DeviceId> = Vec::new();
+        for (dev, u) in pending {
+            let e = per_device.entry(dev).or_default();
+            if e.is_empty() {
+                order.push(dev);
+            }
+            e.push(u);
+        }
+
+        // ---- Map phase: per-device decomposition into atomic overwrites.
+        let t0 = Instant::now();
+        let mut atomics: Vec<AtomicOverwrite> = Vec::new();
+        for &dev in &order {
+            let block = cancel_updates(&per_device[&dev]);
+            if block.is_empty() {
+                continue;
+            }
+            let layout = self.config.layout.clone();
+            let fib = self
+                .fibs
+                .entry(dev)
+                .or_insert_with(|| Fib::new(&layout));
+            let res = merge_block_and_diff(fib, &block);
+            atomics.extend(calculate_atomic_overwrites(
+                &mut self.bdd,
+                &layout,
+                dev,
+                fib,
+                &res.diff,
+                self.clip,
+            ));
+        }
+        self.timings.compute_atomic += t0.elapsed();
+        self.stats.atomic_overwrites += atomics.len() as u64;
+
+        // ---- Reduce I + II.
+        let t1 = Instant::now();
+        let reduced = reduce_by_action(&mut self.bdd, &atomics);
+        let compact = reduce_by_predicate(&reduced);
+        self.timings.aggregate += t1.elapsed();
+        self.stats.compact_overwrites += compact.len() as u64;
+
+        // ---- Apply phase: cross product against the inverse model.
+        let t2 = Instant::now();
+        self.model
+            .apply_overwrites(&mut self.bdd, &mut self.pat, &compact);
+        self.timings.apply += t2.elapsed();
+
+        if self.bdd.stats().nodes > self.config.gc_node_threshold {
+            self.gc();
+        }
+
+        order
+    }
+
+    /// Runs a BDD garbage collection keeping only the model's predicates.
+    /// Call between large batches to bound memory on storm workloads.
+    pub fn gc(&mut self) {
+        let mut roots = self.model.bdd_roots();
+        roots.push(self.clip);
+        let remapped = self.bdd.gc(&roots);
+        self.clip = remapped[remapped.len() - 1];
+        self.model.remap_bdd(&remapped[..remapped.len() - 1]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_bdd::TRUE;
+    use flash_netmodel::{ActionTable, FieldId, Match, Rule};
+
+    fn l() -> HeaderLayout {
+        HeaderLayout::new(&[("dst", 8)])
+    }
+
+    fn mgr(bst: usize) -> ModelManager {
+        ModelManager::new(ModelManagerConfig {
+            bst,
+            ..ModelManagerConfig::whole_space(l())
+        })
+    }
+
+    #[test]
+    fn empty_manager_has_default_model() {
+        let m = mgr(usize::MAX);
+        assert_eq!(m.model().len(), 1);
+        assert_eq!(m.model().universe(), TRUE);
+    }
+
+    #[test]
+    fn manual_flush_applies_updates() {
+        let mut at = ActionTable::new();
+        let a1 = at.fwd(DeviceId(9));
+        let mut m = mgr(usize::MAX);
+        let layout = l();
+        let r = Rule::new(Match::dst_prefix(&layout, 0xA0, 4), 1, a1);
+        assert!(!m.submit(DeviceId(0), [RuleUpdate::insert(r)]));
+        assert_eq!(m.model().len(), 1, "not applied before flush");
+        let touched = m.flush();
+        assert_eq!(touched, vec![DeviceId(0)]);
+        assert_eq!(m.model().len(), 2);
+        let (bdd, _, model) = m.parts_mut();
+        model.check_invariants(bdd).unwrap();
+    }
+
+    #[test]
+    fn bst_triggers_autoflush() {
+        let mut at = ActionTable::new();
+        let a1 = at.fwd(DeviceId(9));
+        let mut m = mgr(2);
+        let layout = l();
+        let r1 = Rule::new(Match::dst_prefix(&layout, 0xA0, 4), 1, a1);
+        let r2 = Rule::new(Match::dst_prefix(&layout, 0xB0, 4), 1, a1);
+        assert!(!m.submit(DeviceId(0), [RuleUpdate::insert(r1)]));
+        assert!(m.submit(DeviceId(0), [RuleUpdate::insert(r2)]));
+        assert_eq!(m.pending_len(), 0);
+        assert_eq!(m.stats().flushes, 1);
+        assert_eq!(m.model().len(), 2); // one class for both prefixes
+    }
+
+    #[test]
+    fn subspace_filter_rejects_foreign_updates() {
+        let mut at = ActionTable::new();
+        let a1 = at.fwd(DeviceId(9));
+        let layout = l();
+        let mut m = ModelManager::new(ModelManagerConfig {
+            layout: layout.clone(),
+            subspace: SubspaceSpec {
+                field: FieldId(0),
+                value: 0x80,
+                len: 1,
+            },
+            bst: usize::MAX,
+            filter_updates: true,
+            gc_node_threshold: usize::MAX,
+        });
+        let inside = Rule::new(Match::dst_prefix(&layout, 0xA0, 4), 1, a1);
+        let outside = Rule::new(Match::dst_prefix(&layout, 0x20, 4), 1, a1);
+        m.submit(DeviceId(0), [RuleUpdate::insert(inside), RuleUpdate::insert(outside)]);
+        assert_eq!(m.stats().updates_accepted, 1);
+        assert_eq!(m.stats().updates_filtered, 1);
+        m.flush();
+        let (bdd, _, model) = m.parts_mut();
+        model.check_invariants(bdd).unwrap();
+    }
+
+    #[test]
+    fn clipped_model_stays_in_subspace() {
+        let mut at = ActionTable::new();
+        let a1 = at.fwd(DeviceId(9));
+        let layout = l();
+        let mut m = ModelManager::new(ModelManagerConfig {
+            layout: layout.clone(),
+            subspace: SubspaceSpec {
+                field: FieldId(0),
+                value: 0x80,
+                len: 1,
+            },
+            bst: usize::MAX,
+            filter_updates: false,
+            gc_node_threshold: usize::MAX,
+        });
+        // A wildcard-ish rule crossing the subspace boundary is clipped.
+        let r = Rule::new(Match::dst_prefix(&layout, 0x80, 0), 1, a1); // /0 = any dst
+        m.submit(DeviceId(0), [RuleUpdate::insert(r)]);
+        m.flush();
+        let (bdd, _, model) = m.parts_mut();
+        model.check_invariants(bdd).unwrap();
+        // Universe is the half space: total fraction covered is 1/2.
+        let covered: f64 = model
+            .entries()
+            .iter()
+            .map(|e| bdd.sat_fraction(e.pred))
+            .sum();
+        assert!((covered - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn insert_then_delete_restores_model() {
+        let mut at = ActionTable::new();
+        let a1 = at.fwd(DeviceId(9));
+        let layout = l();
+        let mut m = mgr(usize::MAX);
+        let r = Rule::new(Match::dst_prefix(&layout, 0xA0, 4), 1, a1);
+        m.submit(DeviceId(0), [RuleUpdate::insert(r.clone())]);
+        m.flush();
+        assert_eq!(m.model().len(), 2);
+        m.submit(DeviceId(0), [RuleUpdate::delete(r)]);
+        m.flush();
+        assert_eq!(m.model().len(), 1, "deleting the rule restores default");
+        assert_eq!(m.model().entries()[0].vector, crate::pat::PAT_NIL);
+    }
+
+    #[test]
+    fn canceling_updates_in_one_block_are_noops() {
+        let mut at = ActionTable::new();
+        let a1 = at.fwd(DeviceId(9));
+        let layout = l();
+        let mut m = mgr(usize::MAX);
+        let r = Rule::new(Match::dst_prefix(&layout, 0xA0, 4), 1, a1);
+        m.submit(
+            DeviceId(0),
+            [RuleUpdate::insert(r.clone()), RuleUpdate::delete(r)],
+        );
+        m.flush();
+        assert_eq!(m.model().len(), 1);
+        assert_eq!(m.stats().atomic_overwrites, 0);
+    }
+
+    #[test]
+    fn gc_keeps_model_valid() {
+        let mut at = ActionTable::new();
+        let layout = l();
+        let mut m = mgr(usize::MAX);
+        for i in 0..16u64 {
+            let a = at.fwd(DeviceId(100 + i as u32));
+            let r = Rule::new(Match::dst_prefix(&layout, i << 4, 4), 1, a);
+            m.submit(DeviceId(0), [RuleUpdate::insert(r)]);
+        }
+        m.flush();
+        let classes = m.model().len();
+        m.gc();
+        assert_eq!(m.model().len(), classes);
+        let (bdd, _, model) = m.parts_mut();
+        model.check_invariants(bdd).unwrap();
+    }
+
+    #[test]
+    fn auto_gc_fires_above_threshold() {
+        let mut at = ActionTable::new();
+        let layout = l();
+        let mut m = ModelManager::new(ModelManagerConfig {
+            gc_node_threshold: 64,
+            bst: 1,
+            ..ModelManagerConfig::whole_space(layout.clone())
+        });
+        for i in 0..32u64 {
+            let a = at.fwd(DeviceId(100 + i as u32));
+            let r = Rule::new(Match::dst_prefix(&layout, (i * 8) & 0xF8, 5), 1, a);
+            m.submit(DeviceId((i % 4) as u32), [RuleUpdate::insert(r)]);
+        }
+        assert!(m.bdd().stats().gcs > 0, "GC should have fired");
+        let (bdd, _, model) = m.parts_mut();
+        model.check_invariants(bdd).unwrap();
+    }
+
+    #[test]
+    fn timings_accumulate() {
+        let mut at = ActionTable::new();
+        let a1 = at.fwd(DeviceId(9));
+        let layout = l();
+        let mut m = mgr(usize::MAX);
+        let r = Rule::new(Match::dst_prefix(&layout, 0xA0, 4), 1, a1);
+        m.submit(DeviceId(0), [RuleUpdate::insert(r)]);
+        m.flush();
+        let t = m.timings();
+        assert!(t.total() > Duration::ZERO);
+    }
+}

@@ -1,0 +1,166 @@
+//! Input-space partitioning (§3.4).
+//!
+//! Flash partitions the header space into subspaces (one per pod in the
+//! LNet settings, 112 subspaces) and runs an independent verifier per
+//! subspace. A subspace is described by a prefix constraint on one field;
+//! updates whose match cannot overlap the subspace are filtered out before
+//! they reach the model manager, and every predicate inside the manager is
+//! implicitly clipped to the subspace universe.
+
+use flash_bdd::{Bdd, NodeId};
+use flash_netmodel::{FieldId, HeaderLayout, Match, MatchKind};
+
+/// A subspace: the headers whose `field` starts with the top `len` bits of
+/// `value`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SubspaceSpec {
+    pub field: FieldId,
+    pub value: u64,
+    pub len: u32,
+}
+
+impl SubspaceSpec {
+    /// The whole header space (a zero-length prefix).
+    pub fn whole() -> Self {
+        SubspaceSpec {
+            field: FieldId(0),
+            value: 0,
+            len: 0,
+        }
+    }
+
+    /// The subspace universe as a BDD predicate.
+    pub fn universe(&self, layout: &HeaderLayout, bdd: &mut Bdd) -> NodeId {
+        let spec = layout.field(self.field);
+        bdd.prefix(spec.offset, spec.width, self.value, self.len)
+    }
+
+    /// Conservative test: can a rule with this match affect the subspace?
+    pub fn admits(&self, m: &Match, layout: &HeaderLayout) -> bool {
+        let w = layout.field(self.field).width;
+        let mine = MatchKind::Prefix {
+            value: self.value,
+            len: self.len,
+        };
+        m.kind(self.field).may_overlap(&mine, w)
+    }
+}
+
+/// A partition of the header space into disjoint, complementary subspaces.
+#[derive(Clone, Debug)]
+pub struct SubspacePlan {
+    pub subspaces: Vec<SubspaceSpec>,
+}
+
+impl SubspacePlan {
+    /// The trivial plan: a single whole-space verifier.
+    pub fn single() -> Self {
+        SubspacePlan {
+            subspaces: vec![SubspaceSpec::whole()],
+        }
+    }
+
+    /// Splits `field` on its top `bits` bits into `2^bits` equal subspaces
+    /// (the paper partitions LNet by pod — each pod owns a prefix block).
+    pub fn by_prefix_bits(layout: &HeaderLayout, field: FieldId, bits: u32) -> Self {
+        let w = layout.field(field).width;
+        assert!(bits <= w, "cannot split {w}-bit field on {bits} bits");
+        let subspaces = (0..(1u64 << bits))
+            .map(|i| SubspaceSpec {
+                field,
+                value: i << (w - bits),
+                len: bits,
+            })
+            .collect();
+        SubspacePlan { subspaces }
+    }
+
+    /// One subspace per explicit prefix (e.g. one per pod prefix). The
+    /// prefixes must be disjoint; headers outside every prefix fall into a
+    /// catch-all only if `add_catch_all` is set (its predicate is the
+    /// complement, which `universe` cannot express, so the catch-all is
+    /// represented as the zero-length prefix and must be used with rule
+    /// filtering disabled).
+    pub fn by_prefixes(field: FieldId, prefixes: &[(u64, u32)]) -> Self {
+        SubspacePlan {
+            subspaces: prefixes
+                .iter()
+                .map(|&(value, len)| SubspaceSpec { field, value, len })
+                .collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.subspaces.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.subspaces.is_empty()
+    }
+
+    /// Which subspaces a rule match can affect.
+    pub fn route(&self, m: &Match, layout: &HeaderLayout) -> Vec<usize> {
+        self.subspaces
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.admits(m, layout))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l() -> HeaderLayout {
+        HeaderLayout::new(&[("dst", 8), ("src", 8)])
+    }
+
+    #[test]
+    fn whole_space_is_true() {
+        let l = l();
+        let mut bdd = Bdd::new(l.total_bits());
+        let u = SubspaceSpec::whole().universe(&l, &mut bdd);
+        assert_eq!(u, flash_bdd::TRUE);
+    }
+
+    #[test]
+    fn prefix_bits_partition_is_complementary() {
+        let l = l();
+        let mut bdd = Bdd::new(l.total_bits());
+        let plan = SubspacePlan::by_prefix_bits(&l, FieldId(0), 2);
+        assert_eq!(plan.len(), 4);
+        let mut union = flash_bdd::FALSE;
+        for s in &plan.subspaces {
+            let u = s.universe(&l, &mut bdd);
+            assert!(bdd.disjoint(union, u) || union == flash_bdd::FALSE);
+            union = bdd.or(union, u);
+        }
+        assert_eq!(union, flash_bdd::TRUE);
+    }
+
+    #[test]
+    fn routing_filters_by_overlap() {
+        let l = l();
+        let plan = SubspacePlan::by_prefix_bits(&l, FieldId(0), 2);
+        // dst 0b10xx_xxxx falls in subspace 2 only.
+        let m = Match::dst_prefix(&l, 0b1010_0000, 4);
+        assert_eq!(plan.route(&m, &l), vec![2]);
+        // Wildcard dst routes everywhere.
+        let any = Match::any(&l);
+        assert_eq!(plan.route(&any, &l), vec![0, 1, 2, 3]);
+        // A /1 prefix overlaps two subspaces.
+        let half = Match::dst_prefix(&l, 0b1000_0000, 1);
+        assert_eq!(plan.route(&half, &l), vec![2, 3]);
+    }
+
+    #[test]
+    fn explicit_prefix_plan() {
+        let l = l();
+        let plan = SubspacePlan::by_prefixes(FieldId(0), &[(0x10, 4), (0x20, 4)]);
+        assert_eq!(plan.len(), 2);
+        let m = Match::dst_prefix(&l, 0x10, 4);
+        assert_eq!(plan.route(&m, &l), vec![0]);
+    }
+}

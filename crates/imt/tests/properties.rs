@@ -1,0 +1,181 @@
+//! Property-based tests of the Fast IMT stack: the persistent action tree
+//! against a map oracle, and MR² block processing against per-update
+//! processing on arbitrary workloads.
+
+use flash_imt::{ModelManager, ModelManagerConfig, PatStore, PAT_NIL};
+use flash_netmodel::{
+    ActionId, ActionTable, DeviceId, HeaderLayout, Match, Rule, RuleUpdate, ACTION_DROP,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------
+// PAT vs HashMap oracle.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum PatOp {
+    Set(u32, u32),
+    Remove(u32),
+    Overwrite(Vec<(u32, u32)>),
+}
+
+fn arb_pat_op() -> impl Strategy<Value = PatOp> {
+    prop_oneof![
+        (0u32..32, 1u32..8).prop_map(|(d, a)| PatOp::Set(d, a)),
+        (0u32..32).prop_map(PatOp::Remove),
+        proptest::collection::vec((0u32..32, 0u32..8), 1..6).prop_map(PatOp::Overwrite),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pat_matches_hashmap_oracle(ops in proptest::collection::vec(arb_pat_op(), 0..60)) {
+        let mut pat = PatStore::new();
+        let mut t = PAT_NIL;
+        let mut oracle: HashMap<u32, u32> = HashMap::new();
+        for op in ops {
+            match op {
+                PatOp::Set(d, a) => {
+                    t = pat.set(t, DeviceId(d), ActionId(a));
+                    oracle.insert(d, a);
+                }
+                PatOp::Remove(d) => {
+                    t = pat.remove(t, DeviceId(d));
+                    oracle.remove(&d);
+                }
+                PatOp::Overwrite(writes) => {
+                    let w: Vec<(DeviceId, ActionId)> = writes
+                        .iter()
+                        .map(|&(d, a)| (DeviceId(d), ActionId(a)))
+                        .collect();
+                    t = pat.overwrite(t, &w);
+                    for (d, a) in writes {
+                        if a == 0 {
+                            oracle.remove(&d);
+                        } else {
+                            oracle.insert(d, a);
+                        }
+                    }
+                }
+            }
+            // Full agreement after every step.
+            for d in 0u32..32 {
+                let expect = oracle.get(&d).copied().unwrap_or(ACTION_DROP.0);
+                prop_assert_eq!(pat.get(t, DeviceId(d)).0, expect, "device {}", d);
+            }
+            prop_assert_eq!(pat.weight(t), oracle.len());
+        }
+        // Canonical form: rebuilding from entries gives the same id.
+        let entries = pat.entries(t);
+        let rebuilt = pat.from_entries(&entries);
+        prop_assert_eq!(rebuilt, t);
+    }
+}
+
+// ---------------------------------------------------------------------
+// MR² block mode vs per-update mode on arbitrary prefix workloads.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct WlUpdate {
+    dev: u32,
+    value: u64,
+    len: u32,
+    prio: i64,
+    action: u32,
+    insert: bool,
+}
+
+fn arb_workload() -> impl Strategy<Value = Vec<WlUpdate>> {
+    proptest::collection::vec(
+        (0u32..4, 0u64..256, 1u32..=8, 0i64..10, 1u32..6, any::<bool>()).prop_map(
+            |(dev, value, len, prio, action, insert)| WlUpdate {
+                dev,
+                value: (value >> (8 - len)) << (8 - len),
+                len,
+                prio,
+                action,
+                insert,
+            },
+        ),
+        0..50,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn block_mode_equals_per_update_mode(wl in arb_workload()) {
+        let layout = HeaderLayout::new(&[("dst", 8)]);
+        let mut at = ActionTable::new();
+        for i in 0..8u32 {
+            at.fwd(DeviceId(100 + i));
+        }
+        // Normalize the workload into a valid update sequence: inserts of
+        // unseen rules, deletes of installed ones.
+        let mut installed: Vec<(u32, Rule)> = Vec::new();
+        let mut seq: Vec<(DeviceId, RuleUpdate)> = Vec::new();
+        for u in wl {
+            let rule = Rule::new(
+                Match::dst_prefix(&layout, u.value, u.len),
+                u.prio,
+                ActionId(u.action),
+            );
+            if u.insert {
+                if installed
+                    .iter()
+                    .any(|(d, r)| *d == u.dev && r.mat == rule.mat && r.priority == rule.priority)
+                {
+                    continue;
+                }
+                installed.push((u.dev, rule.clone()));
+                seq.push((DeviceId(u.dev), RuleUpdate::insert(rule)));
+            } else if let Some(pos) = installed.iter().position(|(d, _)| *d == u.dev) {
+                let (d, r) = installed.swap_remove(pos);
+                seq.push((DeviceId(d), RuleUpdate::delete(r)));
+            }
+        }
+
+        let build = |bst: usize| {
+            let mut mm = ModelManager::new(ModelManagerConfig {
+                bst,
+                ..ModelManagerConfig::whole_space(layout.clone())
+            });
+            for (d, u) in &seq {
+                mm.submit(*d, [u.clone()]);
+            }
+            mm.flush();
+            mm
+        };
+        let mut block = build(usize::MAX);
+        let mut per = build(1);
+        {
+            let (bdd, _, model) = block.parts_mut();
+            model.check_invariants(bdd).unwrap();
+        }
+        {
+            let (bdd, _, model) = per.parts_mut();
+            model.check_invariants(bdd).unwrap();
+        }
+        prop_assert_eq!(block.model().len(), per.model().len());
+        // Exhaustive behavioural agreement over the 8-bit space.
+        let (bb, bp, bm) = block.parts_mut();
+        let (pb, pp, pm) = per.parts_mut();
+        for h in 0..256u64 {
+            let bits: Vec<bool> = (0..8).map(|i| (h >> (7 - i)) & 1 == 1).collect();
+            let be = bm.classify(bb, &bits).unwrap();
+            let pe = pm.classify(pb, &bits).unwrap();
+            for d in 0..4u32 {
+                prop_assert_eq!(
+                    bp.get(be.vector, DeviceId(d)),
+                    pp.get(pe.vector, DeviceId(d)),
+                    "header {} device {}", h, d
+                );
+            }
+        }
+    }
+}

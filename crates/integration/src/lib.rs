@@ -1,0 +1,7 @@
+//! Host package for the repository-level integration tests in `tests/`.
+//!
+//! The tests exercise cross-crate behaviour: model equivalence between
+//! Flash and the baselines, CE2D consistency over the simulated routing
+//! substrate, forwarding oracles, subspace partitioning, and the full
+//! dispatcher pipeline. See the `[[test]]` entries in this crate's
+//! `Cargo.toml` for the mapping.

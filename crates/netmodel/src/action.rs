@@ -1,0 +1,223 @@
+//! Forwarding actions, interned into dense ids.
+//!
+//! The inverse model stores one action per device per equivalence class;
+//! interning makes action comparison (the hot operation in EC maintenance
+//! and in the persistent action tree) a single integer compare.
+
+use crate::topology::DeviceId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Interned action id. `ACTION_DROP` is always id 0.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ActionId(pub u32);
+
+/// The interned id of [`Action::Drop`].
+pub const ACTION_DROP: ActionId = ActionId(0);
+
+/// A single-field header rewrite applied before forwarding (the §7
+/// tunnel/NAT extension: "header rewrites mostly take place at end
+/// hosts", but middleboxes do exist).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rewrite {
+    /// Index of the rewritten field in the header layout.
+    pub field: u32,
+    /// The constant the field is set to.
+    pub value: u64,
+}
+
+/// A forwarding action: drop, forward to a set of next hops (a singleton
+/// for unicast, multiple entries for ECMP / multicast replication), or
+/// rewrite-then-forward (tunnels / NAT, §7).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// Discard the packet.
+    Drop,
+    /// Forward to every listed next hop. The list is kept sorted so that
+    /// equal next-hop sets intern to the same id.
+    Forward(Vec<DeviceId>),
+    /// Rewrite a header field to a constant, then forward. The plain
+    /// forwarding verifiers treat this like `Forward`; the rewrite-aware
+    /// traversal (`flash-ce2d::rewrite`) follows the header change across
+    /// equivalence classes.
+    Tunnel {
+        /// Next hops (singleton vec, kept as a vec so `next_hops` can
+        /// borrow uniformly).
+        hops: Vec<DeviceId>,
+        rewrite: Rewrite,
+    },
+}
+
+impl Action {
+    /// Unicast forward to a single next hop.
+    pub fn fwd(next: DeviceId) -> Self {
+        Action::Forward(vec![next])
+    }
+
+    /// ECMP forward to several next hops (deduplicated and sorted).
+    pub fn ecmp(mut hops: Vec<DeviceId>) -> Self {
+        hops.sort_unstable();
+        hops.dedup();
+        Action::Forward(hops)
+    }
+
+    /// Rewrite `field` to `value`, then forward to `next`.
+    pub fn tunnel(next: DeviceId, field: u32, value: u64) -> Self {
+        Action::Tunnel {
+            hops: vec![next],
+            rewrite: Rewrite { field, value },
+        }
+    }
+
+    /// The next hops of this action (empty for `Drop`).
+    pub fn next_hops(&self) -> &[DeviceId] {
+        match self {
+            Action::Drop => &[],
+            Action::Forward(h) => h,
+            Action::Tunnel { hops, .. } => hops,
+        }
+    }
+
+    /// The header rewrite this action performs, if any.
+    pub fn rewrite(&self) -> Option<Rewrite> {
+        match self {
+            Action::Tunnel { rewrite, .. } => Some(*rewrite),
+            _ => None,
+        }
+    }
+
+    fn normalized(mut self) -> Self {
+        if let Action::Forward(h) = &mut self {
+            h.sort_unstable();
+            h.dedup();
+        }
+        self
+    }
+}
+
+/// A global intern table for actions.
+///
+/// The table is append-only; `ActionId`s are stable for the lifetime of the
+/// verifier.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ActionTable {
+    actions: Vec<Action>,
+    #[serde(skip)]
+    index: HashMap<Action, ActionId>,
+}
+
+impl Default for ActionTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ActionTable {
+    pub fn new() -> Self {
+        let mut t = ActionTable {
+            actions: Vec::new(),
+            index: HashMap::new(),
+        };
+        let id = t.intern(Action::Drop);
+        debug_assert_eq!(id, ACTION_DROP);
+        t
+    }
+
+    /// Interns an action, returning its dense id.
+    pub fn intern(&mut self, action: Action) -> ActionId {
+        let action = action.normalized();
+        if let Some(&id) = self.index.get(&action) {
+            return id;
+        }
+        let id = ActionId(self.actions.len() as u32);
+        self.index.insert(action.clone(), id);
+        self.actions.push(action);
+        id
+    }
+
+    /// Convenience: intern a unicast forward.
+    pub fn fwd(&mut self, next: DeviceId) -> ActionId {
+        self.intern(Action::fwd(next))
+    }
+
+    /// Convenience: intern an ECMP forward.
+    pub fn ecmp(&mut self, hops: Vec<DeviceId>) -> ActionId {
+        self.intern(Action::ecmp(hops))
+    }
+
+    pub fn get(&self, id: ActionId) -> &Action {
+        &self.actions[id.0 as usize]
+    }
+
+    /// Next hops of an interned action.
+    pub fn next_hops(&self, id: ActionId) -> &[DeviceId] {
+        self.get(id).next_hops()
+    }
+
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Rebuilds the lookup index (needed after deserialization).
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .actions
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.clone(), ActionId(i as u32)))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_is_id_zero() {
+        let mut t = ActionTable::new();
+        assert_eq!(t.intern(Action::Drop), ACTION_DROP);
+        assert_eq!(t.next_hops(ACTION_DROP), &[]);
+    }
+
+    #[test]
+    fn interning_dedups() {
+        let mut t = ActionTable::new();
+        let a = t.fwd(DeviceId(3));
+        let b = t.fwd(DeviceId(3));
+        let c = t.fwd(DeviceId(4));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(t.len(), 3); // drop + two forwards
+    }
+
+    #[test]
+    fn ecmp_is_order_insensitive() {
+        let mut t = ActionTable::new();
+        let a = t.ecmp(vec![DeviceId(2), DeviceId(1)]);
+        let b = t.ecmp(vec![DeviceId(1), DeviceId(2), DeviceId(1)]);
+        assert_eq!(a, b);
+        assert_eq!(t.next_hops(a), &[DeviceId(1), DeviceId(2)]);
+    }
+
+    #[test]
+    fn ecmp_differs_from_unicast() {
+        let mut t = ActionTable::new();
+        let a = t.ecmp(vec![DeviceId(1), DeviceId(2)]);
+        let b = t.fwd(DeviceId(1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rebuild_index_roundtrip() {
+        let mut t = ActionTable::new();
+        let a = t.fwd(DeviceId(9));
+        let mut t2 = t.clone();
+        t2.rebuild_index();
+        assert_eq!(t2.fwd(DeviceId(9)), a);
+    }
+}

@@ -1,0 +1,122 @@
+//! Packet header layouts: how match fields map onto BDD variables.
+//!
+//! A layout is an ordered list of fixed-width fields. Field 0 occupies the
+//! most significant bits of the concatenated header integer and the lowest
+//! BDD variable indices (so destination-prefix rules, the common case, sit
+//! at the top of every BDD).
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a field within a [`HeaderLayout`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FieldId(pub u32);
+
+/// A single fixed-width header field.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldSpec {
+    pub name: String,
+    /// Width in bits (1..=64).
+    pub width: u32,
+    /// First BDD variable of the field (its MSB).
+    pub offset: u32,
+}
+
+/// An ordered set of header fields over which matches are defined.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeaderLayout {
+    fields: Vec<FieldSpec>,
+    total_bits: u32,
+}
+
+impl HeaderLayout {
+    /// Builds a layout from `(name, width)` pairs, assigning offsets in
+    /// order.
+    pub fn new(fields: &[(&str, u32)]) -> Self {
+        let mut out = Vec::with_capacity(fields.len());
+        let mut offset = 0;
+        for (name, width) in fields {
+            assert!(*width >= 1 && *width <= 64, "field width out of range");
+            out.push(FieldSpec {
+                name: (*name).to_string(),
+                width: *width,
+                offset,
+            });
+            offset += width;
+        }
+        HeaderLayout {
+            fields: out,
+            total_bits: offset,
+        }
+    }
+
+    /// The classic single-field layout: a 32-bit destination address.
+    pub fn dst_only() -> Self {
+        Self::new(&[("dst", 32)])
+    }
+
+    /// Destination + source addresses (used by source-match ECMP FIBs).
+    pub fn dst_src(dst_bits: u32, src_bits: u32) -> Self {
+        Self::new(&[("dst", dst_bits), ("src", src_bits)])
+    }
+
+    /// Destination + source + a 16-bit transport port (the HTTP-policy
+    /// example of Figure 2 matches on dport).
+    pub fn dst_src_port() -> Self {
+        Self::new(&[("dst", 32), ("src", 32), ("dport", 16)])
+    }
+
+    pub fn total_bits(&self) -> u32 {
+        self.total_bits
+    }
+
+    pub fn field_count(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn field(&self, id: FieldId) -> &FieldSpec {
+        &self.fields[id.0 as usize]
+    }
+
+    pub fn field_by_name(&self, name: &str) -> Option<FieldId> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FieldId(i as u32))
+    }
+
+    pub fn fields(&self) -> impl Iterator<Item = (FieldId, &FieldSpec)> {
+        self.fields
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (FieldId(i as u32), f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_accumulate() {
+        let l = HeaderLayout::dst_src_port();
+        assert_eq!(l.total_bits(), 80);
+        assert_eq!(l.field(FieldId(0)).offset, 0);
+        assert_eq!(l.field(FieldId(1)).offset, 32);
+        assert_eq!(l.field(FieldId(2)).offset, 64);
+        assert_eq!(l.field_by_name("dport"), Some(FieldId(2)));
+        assert_eq!(l.field_by_name("nope"), None);
+    }
+
+    #[test]
+    fn dst_only_layout() {
+        let l = HeaderLayout::dst_only();
+        assert_eq!(l.total_bits(), 32);
+        assert_eq!(l.field_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width out of range")]
+    fn zero_width_rejected() {
+        HeaderLayout::new(&[("x", 0)]);
+    }
+}

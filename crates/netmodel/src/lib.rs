@@ -1,0 +1,30 @@
+//! The forward model (rule-based representation) of a network data plane.
+//!
+//! This crate holds everything §3.1 of the Flash paper calls the *rule-based
+//! representation* `R = {R_i}`: devices, interned forwarding actions
+//! (including ECMP next-hop sets), multi-field matches, priority rules,
+//! per-device FIB tables kept sorted by priority, and blocks of native rule
+//! updates. It also provides:
+//!
+//! * [`HeaderLayout`] — the bit layout of the packet header fields a data
+//!   plane matches on, mapping matches onto BDD variables;
+//! * [`Match::to_bdd`] — compilation of a match into a predicate;
+//! * [`Match::to_intervals`] — decomposition of a match into maximal
+//!   integer intervals over the concatenated header space, which is what
+//!   the Delta-net* baseline consumes (and where non-prefix matches
+//!   explode, reproducing the paper's LNet-smr/LNet-ecmp observations);
+//! * [`trie::OverlapTrie`] — the multi-dimension prefix trie of §3.4 used
+//!   for fast look-up of overlapping rules.
+
+pub mod action;
+pub mod fib;
+pub mod header;
+pub mod rule;
+pub mod topology;
+pub mod trie;
+
+pub use action::{Action, ActionId, ActionTable, Rewrite, ACTION_DROP};
+pub use fib::{Fib, FibError};
+pub use header::{FieldId, FieldSpec, HeaderLayout};
+pub use rule::{Match, MatchKind, Rule, RuleOp, RuleUpdate, UpdateBlock};
+pub use topology::{DeviceId, Link, PortId, Topology};

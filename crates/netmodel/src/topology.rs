@@ -1,0 +1,204 @@
+//! Network topology: devices, ports and links.
+//!
+//! Flash's verification graph, loop detector and routing substrate all view
+//! the network as a directed graph of devices. External destinations (the
+//! paper's "virtual nodes" attached to external ports, Appendix B) are
+//! modeled as ordinary devices flagged external.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a device (router/switch), dense from 0.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(pub u32);
+
+impl DeviceId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// Identifier of a port on a device (dense per device).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PortId(pub u32);
+
+/// A directed link between two devices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Link {
+    pub from: DeviceId,
+    pub to: DeviceId,
+}
+
+/// A named directed graph of devices.
+///
+/// All adjacency is precomputed into dense vectors so graph walks during
+/// verification are allocation-free.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Topology {
+    names: Vec<String>,
+    name_index: HashMap<String, DeviceId>,
+    external: Vec<bool>,
+    /// Labels attached to devices (e.g. `tier=tor`, `pod=3`); consumed by
+    /// the requirement language's `[label op value]` selectors.
+    labels: Vec<HashMap<String, String>>,
+    out_edges: Vec<Vec<DeviceId>>,
+    in_edges: Vec<Vec<DeviceId>>,
+}
+
+impl Topology {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a device and returns its id. Names must be unique.
+    pub fn add_device(&mut self, name: impl Into<String>) -> DeviceId {
+        self.add_device_full(name, false)
+    }
+
+    /// Adds a device marked external (a virtual node owning prefixes).
+    pub fn add_external(&mut self, name: impl Into<String>) -> DeviceId {
+        self.add_device_full(name, true)
+    }
+
+    fn add_device_full(&mut self, name: impl Into<String>, external: bool) -> DeviceId {
+        let name = name.into();
+        assert!(
+            !self.name_index.contains_key(&name),
+            "duplicate device name {name:?}"
+        );
+        let id = DeviceId(self.names.len() as u32);
+        self.name_index.insert(name.clone(), id);
+        self.names.push(name);
+        self.external.push(external);
+        self.labels.push(HashMap::new());
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
+        id
+    }
+
+    /// Adds a directed link. Idempotent.
+    pub fn add_link(&mut self, from: DeviceId, to: DeviceId) {
+        if !self.out_edges[from.index()].contains(&to) {
+            self.out_edges[from.index()].push(to);
+            self.in_edges[to.index()].push(from);
+        }
+    }
+
+    /// Adds links in both directions.
+    pub fn add_bilink(&mut self, a: DeviceId, b: DeviceId) {
+        self.add_link(a, b);
+        self.add_link(b, a);
+    }
+
+    /// Attaches a `key=value` label to a device.
+    pub fn set_label(&mut self, dev: DeviceId, key: impl Into<String>, value: impl Into<String>) {
+        self.labels[dev.index()].insert(key.into(), value.into());
+    }
+
+    pub fn label(&self, dev: DeviceId, key: &str) -> Option<&str> {
+        self.labels[dev.index()].get(key).map(|s| s.as_str())
+    }
+
+    pub fn device_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Total number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.out_edges.iter().map(|v| v.len()).sum()
+    }
+
+    pub fn name(&self, dev: DeviceId) -> &str {
+        &self.names[dev.index()]
+    }
+
+    pub fn lookup(&self, name: &str) -> Option<DeviceId> {
+        self.name_index.get(name).copied()
+    }
+
+    pub fn is_external(&self, dev: DeviceId) -> bool {
+        self.external[dev.index()]
+    }
+
+    pub fn successors(&self, dev: DeviceId) -> &[DeviceId] {
+        &self.out_edges[dev.index()]
+    }
+
+    pub fn predecessors(&self, dev: DeviceId) -> &[DeviceId] {
+        &self.in_edges[dev.index()]
+    }
+
+    pub fn has_link(&self, from: DeviceId, to: DeviceId) -> bool {
+        self.out_edges[from.index()].contains(&to)
+    }
+
+    pub fn devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        (0..self.names.len() as u32).map(DeviceId)
+    }
+
+    /// Devices matching a predicate over (id, name).
+    pub fn devices_where<'a>(
+        &'a self,
+        mut pred: impl FnMut(DeviceId, &str) -> bool + 'a,
+    ) -> impl Iterator<Item = DeviceId> + 'a {
+        self.devices().filter(move |&d| pred(d, self.name(d)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut t = Topology::new();
+        let a = t.add_device("a");
+        let b = t.add_device("b");
+        let x = t.add_external("internet");
+        t.add_bilink(a, b);
+        t.add_link(b, x);
+        assert_eq!(t.device_count(), 3);
+        assert_eq!(t.link_count(), 3);
+        assert_eq!(t.successors(a), &[b]);
+        assert_eq!(t.predecessors(x), &[b]);
+        assert!(t.is_external(x));
+        assert!(!t.is_external(a));
+        assert_eq!(t.lookup("b"), Some(b));
+        assert_eq!(t.lookup("zzz"), None);
+        assert!(t.has_link(b, a));
+        assert!(!t.has_link(a, x));
+    }
+
+    #[test]
+    fn add_link_idempotent() {
+        let mut t = Topology::new();
+        let a = t.add_device("a");
+        let b = t.add_device("b");
+        t.add_link(a, b);
+        t.add_link(a, b);
+        assert_eq!(t.link_count(), 1);
+    }
+
+    #[test]
+    fn labels() {
+        let mut t = Topology::new();
+        let a = t.add_device("tor-0");
+        t.set_label(a, "tier", "tor");
+        assert_eq!(t.label(a, "tier"), Some("tor"));
+        assert_eq!(t.label(a, "pod"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate device name")]
+    fn duplicate_names_rejected() {
+        let mut t = Topology::new();
+        t.add_device("a");
+        t.add_device("a");
+    }
+}

@@ -1,0 +1,277 @@
+//! Multi-dimension prefix trie for fast look-up of overlapping rules
+//! (§3.4, "Fast Look-up for Overlapped Rules").
+//!
+//! The effective predicate of a rule `r` is only influenced by rules whose
+//! matches overlap `m_r`. For prefix-dominated FIBs the overlapping set is
+//! tiny compared to the table, so Flash indexes rules in a trie and visits
+//! only ancestors and descendants of the queried prefix.
+//!
+//! Design: a binary trie over the *first* field's prefix bits (destination
+//! address — the dominant dimension in every workload of Table 2). Each
+//! trie node stores the rules anchored at that prefix; rules whose first
+//! field is not a prefix/exact match (suffix, ternary, range) go to a
+//! spill list that is always scanned, with per-field `may_overlap`
+//! filtering applied to every candidate. This keeps queries exact
+//! (superset of the true overlap set, later refined by BDD intersection)
+//! while staying simple and allocation-light.
+
+use crate::header::{FieldId, HeaderLayout};
+use crate::rule::{Match, MatchKind};
+
+/// Opaque handle the caller uses to identify stored rules (typically an
+/// index into its own rule vector).
+pub type RuleRef = u32;
+
+#[derive(Debug, Default)]
+struct TrieNode {
+    children: [Option<Box<TrieNode>>; 2],
+    /// `(handle, match)` pairs anchored exactly at this prefix.
+    rules: Vec<(RuleRef, Match)>,
+}
+
+/// A prefix trie over the first header field, with a spill list for
+/// non-prefix first-field matches.
+#[derive(Debug)]
+pub struct OverlapTrie {
+    layout: HeaderLayout,
+    root: TrieNode,
+    spill: Vec<(RuleRef, Match)>,
+    len: usize,
+}
+
+/// The first-field prefix of a match, if it has one.
+fn first_field_prefix(m: &Match) -> Option<(u64, u32)> {
+    match *m.kind(FieldId(0)) {
+        MatchKind::Any => Some((0, 0)),
+        MatchKind::Exact(v) => Some((v, u32::MAX)), // full width, fixed below
+        MatchKind::Prefix { value, len } => Some((value, len)),
+        _ => None,
+    }
+}
+
+impl OverlapTrie {
+    pub fn new(layout: HeaderLayout) -> Self {
+        OverlapTrie {
+            layout,
+            root: TrieNode::default(),
+            spill: Vec::new(),
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn width0(&self) -> u32 {
+        self.layout.field(FieldId(0)).width
+    }
+
+    /// Inserts a rule's match under a caller-chosen handle.
+    pub fn insert(&mut self, handle: RuleRef, m: Match) {
+        self.len += 1;
+        match first_field_prefix(&m) {
+            Some((value, len)) => {
+                let w = self.width0();
+                let len = len.min(w);
+                let mut node = &mut self.root;
+                for i in 0..len {
+                    let bit = ((value >> (w - 1 - i)) & 1) as usize;
+                    node = node.children[bit].get_or_insert_with(Box::default);
+                }
+                node.rules.push((handle, m));
+            }
+            None => self.spill.push((handle, m)),
+        }
+    }
+
+    /// Removes a previously inserted `(handle, match)` pair. Returns true
+    /// when found.
+    pub fn remove(&mut self, handle: RuleRef, m: &Match) -> bool {
+        let removed = match first_field_prefix(m) {
+            Some((value, len)) => {
+                let w = self.width0();
+                let len = len.min(w);
+                let mut node = &mut self.root;
+                for i in 0..len {
+                    let bit = ((value >> (w - 1 - i)) & 1) as usize;
+                    match node.children[bit].as_deref_mut() {
+                        Some(c) => node = c,
+                        None => return false,
+                    }
+                }
+                let before = node.rules.len();
+                node.rules.retain(|(h, mm)| !(*h == handle && mm == m));
+                node.rules.len() != before
+            }
+            None => {
+                let before = self.spill.len();
+                self.spill.retain(|(h, mm)| !(*h == handle && mm == m));
+                self.spill.len() != before
+            }
+        };
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Returns the handles of all stored rules whose match may overlap
+    /// `query` (a conservative superset, filtered per-field).
+    pub fn overlapping(&self, query: &Match) -> Vec<RuleRef> {
+        let mut out = Vec::new();
+        // Spill list: filter by full multi-field overlap check.
+        for (h, m) in &self.spill {
+            if m.may_overlap(query, &self.layout) {
+                out.push(*h);
+            }
+        }
+        match first_field_prefix(query) {
+            None => {
+                // Non-prefix query: every trie rule is a candidate (subject
+                // to the per-field filter); walk the whole trie.
+                self.collect_subtree(&self.root, query, &mut out);
+            }
+            Some((value, len)) => {
+                let w = self.width0();
+                let len = len.min(w);
+                // Ancestors (including root) hold shorter prefixes that
+                // contain the query; the node at the query prefix and its
+                // subtree hold prefixes contained in the query.
+                let mut node = Some(&self.root);
+                for i in 0..=len {
+                    let Some(n) = node else { break };
+                    if i == len {
+                        self.collect_subtree(n, query, &mut out);
+                        break;
+                    }
+                    for (h, m) in &n.rules {
+                        if m.may_overlap(query, &self.layout) {
+                            out.push(*h);
+                        }
+                    }
+                    let bit = ((value >> (w - 1 - i)) & 1) as usize;
+                    node = n.children[bit].as_deref();
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn collect_subtree(&self, node: &TrieNode, query: &Match, out: &mut Vec<RuleRef>) {
+        let mut stack = vec![node];
+        while let Some(n) = stack.pop() {
+            for (h, m) in &n.rules {
+                if m.may_overlap(query, &self.layout) {
+                    out.push(*h);
+                }
+            }
+            for c in n.children.iter().flatten() {
+                stack.push(c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::HeaderLayout;
+
+    fn l8() -> HeaderLayout {
+        HeaderLayout::new(&[("dst", 8), ("src", 8)])
+    }
+
+    #[test]
+    fn ancestors_and_descendants_found() {
+        let l = l8();
+        let mut t = OverlapTrie::new(l.clone());
+        t.insert(0, Match::dst_prefix(&l, 0b1010_0000, 4)); // 1010/4
+        t.insert(1, Match::dst_prefix(&l, 0b1010_1000, 6)); // 101010/6
+        t.insert(2, Match::dst_prefix(&l, 0b1000_0000, 1)); // 1/1
+        t.insert(3, Match::dst_prefix(&l, 0b0100_0000, 2)); // 01/2
+        // query 10101/5: overlaps 0 (ancestor), 1 (descendant), 2 (ancestor)
+        let q = Match::dst_prefix(&l, 0b1010_1000, 5);
+        assert_eq!(t.overlapping(&q), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn wildcard_query_returns_all() {
+        let l = l8();
+        let mut t = OverlapTrie::new(l.clone());
+        for i in 0..10u32 {
+            t.insert(i, Match::dst_prefix(&l, (i as u64) << 4, 4));
+        }
+        let q = Match::any(&l);
+        assert_eq!(t.overlapping(&q).len(), 10);
+    }
+
+    #[test]
+    fn disjoint_prefixes_not_returned() {
+        let l = l8();
+        let mut t = OverlapTrie::new(l.clone());
+        t.insert(0, Match::dst_prefix(&l, 0b1111_0000, 4));
+        let q = Match::dst_prefix(&l, 0b0000_0000, 4);
+        assert!(t.overlapping(&q).is_empty());
+    }
+
+    #[test]
+    fn second_field_filters_candidates() {
+        use crate::rule::MatchKind;
+        let l = l8();
+        let mut t = OverlapTrie::new(l.clone());
+        let m1 = Match::dst_prefix(&l, 0xA0, 4)
+            .with(FieldId(1), MatchKind::Prefix { value: 0x00, len: 1 });
+        let m2 = Match::dst_prefix(&l, 0xA0, 4)
+            .with(FieldId(1), MatchKind::Prefix { value: 0x80, len: 1 });
+        t.insert(1, m1);
+        t.insert(2, m2.clone());
+        // Query constrained to src top-half only overlaps m2.
+        assert_eq!(t.overlapping(&m2), vec![2]);
+    }
+
+    #[test]
+    fn spill_list_for_suffix_matches() {
+        use crate::rule::MatchKind;
+        let l = l8();
+        let mut t = OverlapTrie::new(l.clone());
+        let sfx = Match::any(&l).with(FieldId(0), MatchKind::Suffix { value: 1, len: 1 });
+        t.insert(7, sfx.clone());
+        t.insert(8, Match::dst_prefix(&l, 0xA0, 4));
+        let q = Match::dst_prefix(&l, 0xB0, 4);
+        // suffix rule may overlap anything; prefix 0xA0/4 doesn't overlap 0xB0/4
+        assert_eq!(t.overlapping(&q), vec![7]);
+        assert!(t.remove(7, &sfx));
+        assert!(!t.remove(7, &sfx));
+        assert_eq!(t.overlapping(&q), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn remove_from_trie() {
+        let l = l8();
+        let mut t = OverlapTrie::new(l.clone());
+        let m = Match::dst_prefix(&l, 0xA0, 4);
+        t.insert(0, m.clone());
+        assert_eq!(t.len(), 1);
+        assert!(t.remove(0, &m));
+        assert_eq!(t.len(), 0);
+        assert!(t.overlapping(&m).is_empty());
+    }
+
+    #[test]
+    fn exact_first_field_goes_in_trie() {
+        use crate::rule::MatchKind;
+        let l = l8();
+        let mut t = OverlapTrie::new(l.clone());
+        t.insert(0, Match::any(&l).with(FieldId(0), MatchKind::Exact(0xA5)));
+        let q = Match::dst_prefix(&l, 0xA0, 4);
+        assert_eq!(t.overlapping(&q), vec![0]);
+        let q2 = Match::dst_prefix(&l, 0xB0, 4);
+        assert!(t.overlapping(&q2).is_empty());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property tests for the multi-dimension overlap trie: its candidate set
+//! must (a) be a superset of the truly-overlapping rules (soundness for
+//! the effective-predicate computation) and (b) never contain a pair of
+//! rules whose BDD intersection is empty when both matches are exact
+//! prefix forms (precision on the prefix fast path).
+
+use flash_bdd::Bdd;
+use flash_netmodel::trie::OverlapTrie;
+use flash_netmodel::{FieldId, HeaderLayout, Match, MatchKind};
+use proptest::prelude::*;
+
+fn layout() -> HeaderLayout {
+    HeaderLayout::new(&[("dst", 8), ("src", 4)])
+}
+
+#[derive(Clone, Debug)]
+enum K {
+    Prefix(u64, u32),
+    Exact(u64),
+    Suffix(u64, u32),
+    Any,
+}
+
+fn arb_kind(width: u32) -> impl Strategy<Value = K> {
+    prop_oneof![
+        (0u64..256, 0..=width).prop_map(|(v, l)| K::Prefix(v, l)),
+        (0u64..256).prop_map(K::Exact),
+        (0u64..256, 1..=width.min(4)).prop_map(|(v, l)| K::Suffix(v, l)),
+        Just(K::Any),
+    ]
+}
+
+fn to_kind(k: &K, width: u32) -> MatchKind {
+    match *k {
+        K::Prefix(v, l) => MatchKind::Prefix {
+            value: (v & 0xFF) >> (8u32.saturating_sub(width.min(8))),
+            len: l,
+        },
+        K::Exact(v) => MatchKind::Exact(v & ((1 << width) - 1)),
+        K::Suffix(v, l) => MatchKind::Suffix {
+            value: v & ((1 << width) - 1),
+            len: l,
+        },
+        K::Any => MatchKind::Any,
+    }
+}
+
+fn build_match(l: &HeaderLayout, dst: &K, src: &K) -> Match {
+    Match::any(l)
+        .with(FieldId(0), to_kind(dst, 8))
+        .with(FieldId(1), to_kind(src, 4))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn trie_candidates_superset_of_true_overlaps(
+        rules in proptest::collection::vec((arb_kind(8), arb_kind(4)), 1..20),
+        query in (arb_kind(8), arb_kind(4)),
+    ) {
+        let l = layout();
+        let mut bdd = Bdd::new(l.total_bits());
+        let mut trie = OverlapTrie::new(l.clone());
+        let matches: Vec<Match> = rules
+            .iter()
+            .map(|(d, s)| build_match(&l, d, s))
+            .collect();
+        for (i, m) in matches.iter().enumerate() {
+            trie.insert(i as u32, m.clone());
+        }
+        let q = build_match(&l, &query.0, &query.1);
+        let candidates = trie.overlapping(&q);
+        let qp = q.to_bdd(&l, &mut bdd);
+        for (i, m) in matches.iter().enumerate() {
+            let mp = m.to_bdd(&l, &mut bdd);
+            let truly_overlaps = !bdd.disjoint(qp, mp);
+            if truly_overlaps {
+                prop_assert!(
+                    candidates.contains(&(i as u32)),
+                    "rule {} truly overlaps but was not returned (q={:?}, m={:?})",
+                    i, q, m
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trie_remove_then_query_consistent(
+        rules in proptest::collection::vec((arb_kind(8), arb_kind(4)), 1..15),
+    ) {
+        let l = layout();
+        let mut trie = OverlapTrie::new(l.clone());
+        let matches: Vec<Match> = rules
+            .iter()
+            .map(|(d, s)| build_match(&l, d, s))
+            .collect();
+        for (i, m) in matches.iter().enumerate() {
+            trie.insert(i as u32, m.clone());
+        }
+        // Remove the even-indexed rules; queries must never return them.
+        for (i, m) in matches.iter().enumerate() {
+            if i % 2 == 0 {
+                prop_assert!(trie.remove(i as u32, m));
+            }
+        }
+        prop_assert_eq!(trie.len(), matches.len() / 2);
+        let q = Match::any(&l);
+        let got = trie.overlapping(&q);
+        for i in got {
+            prop_assert!(i % 2 == 1, "removed rule {} returned", i);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! A simulated OpenR-style sync-state routing substrate.
+//!
+//! The Flash paper evaluates CE2D against *real* OpenR instances running
+//! in Mininet, each patched with a ~150-line device agent that tags FIB
+//! updates with an epoch identifier (a hash of the state store's
+//! (key, version) pairs) before sending them to the verifier (§4.1, §5.1).
+//!
+//! This crate substitutes a **discrete-event simulation** with the same
+//! observable interface — a time-ordered stream of
+//! `(arrival time, device, epoch tag, rule updates)` messages — because
+//! CE2D consumes nothing else. The simulation models:
+//!
+//! * a versioned key-value store per device (OpenR's Adj store): every
+//!   link has a version that bumps on every up/down event;
+//! * **flooding** of state changes with a per-hop delay;
+//! * a **decision module** that recomputes shortest-path FIBs after a
+//!   hold-down, with configurable per-device FIB back-off (OpenR's
+//!   `init/max backoff`, used by the paper to create long-tail arrivals);
+//! * the **device agent**: FIB diffs are tagged with the epoch (XOR hash
+//!   of (key, version) pairs, mirroring the paper's Boost hash) and sent
+//!   with a configurable transmission delay and jitter;
+//! * **fault injection**: buggy instances that install looping next hops
+//!   (the `I2-OpenR/1buggy` setting) and per-device dampening delays
+//!   (the `-lt` long-tail settings).
+
+pub mod sim;
+
+pub use sim::{AgentMessage, LinkEvent, OpenRSim, SimConfig, SimTime};

@@ -1,0 +1,134 @@
+//! Abstract syntax of path requirements.
+
+use flash_netmodel::{DeviceId, Match, Topology};
+
+/// How a label selector compares the label value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LabelOp {
+    /// Exact equality.
+    Equals,
+    /// Substring containment.
+    Contains,
+}
+
+/// A selector for a single hop (one device on the path).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HopSel {
+    /// A device named exactly (e.g. `chic`).
+    Id(String),
+    /// Any device (`.`).
+    Any,
+    /// A device carrying a label satisfying the condition
+    /// (e.g. `[tier=tor]`). The device *name* can be selected with the
+    /// pseudo-key `name`.
+    Label {
+        key: String,
+        op: LabelOp,
+        value: String,
+    },
+    /// A packet-destination device (`>`): resolved against the set of
+    /// destination devices supplied when the verification graph is built.
+    Dest,
+}
+
+impl HopSel {
+    /// Does this selector accept device `dev`?
+    ///
+    /// `dests` is the resolved set of packet-destination devices for the
+    /// requirement being checked (used by [`HopSel::Dest`]).
+    pub fn matches(&self, topo: &Topology, dev: DeviceId, dests: &[DeviceId]) -> bool {
+        match self {
+            HopSel::Any => true,
+            HopSel::Id(name) => topo.name(dev) == name,
+            HopSel::Dest => dests.contains(&dev),
+            HopSel::Label { key, op, value } => {
+                let actual = if key == "name" {
+                    Some(topo.name(dev))
+                } else {
+                    topo.label(dev, key)
+                };
+                match (actual, op) {
+                    (Some(a), LabelOp::Equals) => a == value,
+                    (Some(a), LabelOp::Contains) => a.contains(value.as_str()),
+                    (None, _) => false,
+                }
+            }
+        }
+    }
+}
+
+/// A path regular expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PathExpr {
+    /// A single hop.
+    Hop(HopSel),
+    /// Concatenation.
+    Concat(Vec<PathExpr>),
+    /// Alternation.
+    Alt(Vec<PathExpr>),
+    /// Zero or more repetitions.
+    Star(Box<PathExpr>),
+    /// One or more repetitions.
+    Plus(Box<PathExpr>),
+    /// Zero or one occurrence.
+    Optional(Box<PathExpr>),
+    /// The empty path (epsilon); produced by anchors.
+    Epsilon,
+}
+
+impl PathExpr {
+    /// Convenience: a single named hop.
+    pub fn id(name: &str) -> Self {
+        PathExpr::Hop(HopSel::Id(name.to_string()))
+    }
+
+    /// Convenience: `.`.
+    pub fn any() -> Self {
+        PathExpr::Hop(HopSel::Any)
+    }
+
+    /// Convenience: `.*`.
+    pub fn any_star() -> Self {
+        PathExpr::Star(Box::new(Self::any()))
+    }
+}
+
+/// A full verification requirement (Appendix B):
+/// `(packet_space, sources, path_set)`.
+#[derive(Clone, Debug)]
+pub struct Requirement {
+    /// Human-readable name used in reports.
+    pub name: String,
+    /// The packet space the requirement constrains.
+    pub packet_space: Match,
+    /// Entry devices.
+    pub sources: Vec<DeviceId>,
+    /// The path set as a regular expression.
+    pub expr: PathExpr,
+    /// `cover` semantics: *all* matching paths must be present (e.g. "all
+    /// redundant shortest paths should be available"), instead of at least
+    /// one.
+    pub cover: bool,
+}
+
+impl Requirement {
+    pub fn new(
+        name: impl Into<String>,
+        packet_space: Match,
+        sources: Vec<DeviceId>,
+        expr: PathExpr,
+    ) -> Self {
+        Requirement {
+            name: name.into(),
+            packet_space,
+            sources,
+            expr,
+            cover: false,
+        }
+    }
+
+    pub fn with_cover(mut self) -> Self {
+        self.cover = true;
+        self
+    }
+}

@@ -1,0 +1,34 @@
+//! The declarative requirement specification language of Flash
+//! (Appendix B of the paper) and its compilation to an NFA.
+//!
+//! A requirement is a tuple `(packet_space, sources, path_set)`: every
+//! packet in `packet_space` entering the network at any device in
+//! `sources` must be forwarded along at least one device sequence matching
+//! the path regular expression (or along *all* matching paths when the
+//! `cover` keyword is used).
+//!
+//! The expression grammar supported here:
+//!
+//! ```text
+//! expr    := seq ('|' seq)*
+//! seq     := item+
+//! item    := atom ('*' | '+' | '?')?
+//! atom    := IDENT            # a device by name
+//!          | '.'              # any device
+//!          | '>'              # a packet-destination device
+//!          | '^' | '$'        # anchors (accepted, implicit)
+//!          | '(' expr ')'
+//!          | '[' alt ']'      # [W|Y]   — one of several devices
+//!          | '[' cond ']'     # [tier=tor], [name contains "agg"]
+//! cond    := key ('=' | 'contains') value
+//! ```
+//!
+//! Example from Figure 3 of the paper: `S .* [W|Y] .* D`.
+
+pub mod ast;
+pub mod nfa;
+pub mod parser;
+
+pub use ast::{HopSel, LabelOp, PathExpr, Requirement};
+pub use nfa::{Nfa, StateId};
+pub use parser::{parse_path_expr, ParseError};

@@ -1,0 +1,332 @@
+//! Thompson construction from [`PathExpr`] to an NFA over hop selectors.
+//!
+//! The verification graph of §4.2 is the cross product of the network
+//! graph and this automaton: a network path `d0 d1 … dk` is compliant when
+//! the NFA accepts the device sequence, with each transition's [`HopSel`]
+//! resolved against the topology.
+
+use crate::ast::{HopSel, PathExpr};
+use flash_netmodel::{DeviceId, Topology};
+
+/// NFA state index.
+pub type StateId = u32;
+
+/// A nondeterministic finite automaton over hop selectors.
+#[derive(Clone, Debug)]
+pub struct Nfa {
+    /// `eps[s]` — epsilon successors of state `s`.
+    eps: Vec<Vec<StateId>>,
+    /// `trans[s]` — labeled transitions `(selector index, target)`.
+    trans: Vec<Vec<(u32, StateId)>>,
+    /// Interned selectors referenced by transitions.
+    selectors: Vec<HopSel>,
+    start: StateId,
+    accept: StateId,
+}
+
+impl Nfa {
+    /// Compiles a path expression.
+    pub fn compile(expr: &PathExpr) -> Nfa {
+        let mut b = Builder {
+            eps: Vec::new(),
+            trans: Vec::new(),
+            selectors: Vec::new(),
+        };
+        let (start, accept) = b.build(expr);
+        Nfa {
+            eps: b.eps,
+            trans: b.trans,
+            selectors: b.selectors,
+            start,
+            accept,
+        }
+    }
+
+    pub fn state_count(&self) -> usize {
+        self.eps.len()
+    }
+
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    pub fn accept(&self) -> StateId {
+        self.accept
+    }
+
+    pub fn selectors(&self) -> &[HopSel] {
+        &self.selectors
+    }
+
+    /// Epsilon closure of a set of states (returned sorted + deduplicated).
+    pub fn eps_closure(&self, states: &[StateId]) -> Vec<StateId> {
+        let mut seen = vec![false; self.eps.len()];
+        let mut stack: Vec<StateId> = Vec::new();
+        for &s in states {
+            if !seen[s as usize] {
+                seen[s as usize] = true;
+                stack.push(s);
+            }
+        }
+        let mut out = stack.clone();
+        while let Some(s) = stack.pop() {
+            for &t in &self.eps[s as usize] {
+                if !seen[t as usize] {
+                    seen[t as usize] = true;
+                    stack.push(t);
+                    out.push(t);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// One step of the subset construction: from the closed state set
+    /// `from`, consume device `dev` and return the closed successor set.
+    pub fn step(
+        &self,
+        from: &[StateId],
+        topo: &Topology,
+        dev: DeviceId,
+        dests: &[DeviceId],
+    ) -> Vec<StateId> {
+        let mut moved: Vec<StateId> = Vec::new();
+        for &s in from {
+            for &(sel, t) in &self.trans[s as usize] {
+                if self.selectors[sel as usize].matches(topo, dev, dests) {
+                    moved.push(t);
+                }
+            }
+        }
+        moved.sort_unstable();
+        moved.dedup();
+        self.eps_closure(&moved)
+    }
+
+    /// Whether a closed state set is accepting.
+    pub fn is_accepting(&self, states: &[StateId]) -> bool {
+        states.binary_search(&self.accept).is_ok()
+    }
+
+    /// Full-path acceptance test (reference semantics for tests and the
+    /// model-traversal baseline): does the device sequence match?
+    pub fn accepts(&self, topo: &Topology, path: &[DeviceId], dests: &[DeviceId]) -> bool {
+        let mut cur = self.eps_closure(&[self.start]);
+        for &d in path {
+            cur = self.step(&cur, topo, d, dests);
+            if cur.is_empty() {
+                return false;
+            }
+        }
+        self.is_accepting(&cur)
+    }
+}
+
+struct Builder {
+    eps: Vec<Vec<StateId>>,
+    trans: Vec<Vec<(u32, StateId)>>,
+    selectors: Vec<HopSel>,
+}
+
+impl Builder {
+    fn state(&mut self) -> StateId {
+        let id = self.eps.len() as StateId;
+        self.eps.push(Vec::new());
+        self.trans.push(Vec::new());
+        id
+    }
+
+    fn selector(&mut self, sel: &HopSel) -> u32 {
+        if let Some(i) = self.selectors.iter().position(|s| s == sel) {
+            return i as u32;
+        }
+        self.selectors.push(sel.clone());
+        (self.selectors.len() - 1) as u32
+    }
+
+    fn build(&mut self, e: &PathExpr) -> (StateId, StateId) {
+        match e {
+            PathExpr::Epsilon => {
+                let s = self.state();
+                let t = self.state();
+                self.eps[s as usize].push(t);
+                (s, t)
+            }
+            PathExpr::Hop(sel) => {
+                let s = self.state();
+                let t = self.state();
+                let si = self.selector(sel);
+                self.trans[s as usize].push((si, t));
+                (s, t)
+            }
+            PathExpr::Concat(items) => {
+                let mut cur: Option<(StateId, StateId)> = None;
+                for item in items {
+                    let (s, t) = self.build(item);
+                    cur = Some(match cur {
+                        None => (s, t),
+                        Some((cs, ct)) => {
+                            self.eps[ct as usize].push(s);
+                            (cs, t)
+                        }
+                    });
+                }
+                cur.unwrap_or_else(|| {
+                    let s = self.state();
+                    let t = self.state();
+                    self.eps[s as usize].push(t);
+                    (s, t)
+                })
+            }
+            PathExpr::Alt(items) => {
+                let s = self.state();
+                let t = self.state();
+                for item in items {
+                    let (is, it) = self.build(item);
+                    self.eps[s as usize].push(is);
+                    self.eps[it as usize].push(t);
+                }
+                (s, t)
+            }
+            PathExpr::Star(inner) => {
+                let s = self.state();
+                let t = self.state();
+                let (is, it) = self.build(inner);
+                self.eps[s as usize].push(is);
+                self.eps[s as usize].push(t);
+                self.eps[it as usize].push(is);
+                self.eps[it as usize].push(t);
+                (s, t)
+            }
+            PathExpr::Plus(inner) => {
+                // X+ = X X*
+                let first = self.build(inner);
+                let star = self.build(&PathExpr::Star(inner.clone()));
+                self.eps[first.1 as usize].push(star.0);
+                (first.0, star.1)
+            }
+            PathExpr::Optional(inner) => {
+                let s = self.state();
+                let t = self.state();
+                let (is, it) = self.build(inner);
+                self.eps[s as usize].push(is);
+                self.eps[s as usize].push(t);
+                self.eps[it as usize].push(t);
+                (s, t)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_path_expr;
+
+    fn topo() -> (Topology, Vec<DeviceId>) {
+        let mut t = Topology::new();
+        let names = ["S", "A", "B", "W", "Y", "C", "D", "E"];
+        let ids: Vec<DeviceId> = names.iter().map(|n| t.add_device(*n)).collect();
+        (t, ids)
+    }
+
+    fn dev(t: &Topology, name: &str) -> DeviceId {
+        t.lookup(name).unwrap()
+    }
+
+    fn path(t: &Topology, names: &[&str]) -> Vec<DeviceId> {
+        names.iter().map(|n| dev(t, n)).collect()
+    }
+
+    #[test]
+    fn figure3_requirement_acceptance() {
+        let (t, _) = topo();
+        let nfa = Nfa::compile(&parse_path_expr("S .* [W|Y] .* D").unwrap());
+        assert!(nfa.accepts(&t, &path(&t, &["S", "A", "W", "C", "D"]), &[]));
+        assert!(nfa.accepts(&t, &path(&t, &["S", "Y", "D"]), &[]));
+        assert!(!nfa.accepts(&t, &path(&t, &["S", "A", "C", "D"]), &[]), "no waypoint");
+        assert!(!nfa.accepts(&t, &path(&t, &["A", "W", "D"]), &[]), "wrong source");
+        assert!(!nfa.accepts(&t, &path(&t, &["S", "W"]), &[]), "no destination");
+    }
+
+    #[test]
+    fn star_matches_empty() {
+        let (t, _) = topo();
+        let nfa = Nfa::compile(&parse_path_expr("S .* D").unwrap());
+        assert!(nfa.accepts(&t, &path(&t, &["S", "D"]), &[]));
+        assert!(nfa.accepts(&t, &path(&t, &["S", "A", "B", "D"]), &[]));
+    }
+
+    #[test]
+    fn plus_requires_one() {
+        let (t, _) = topo();
+        let nfa = Nfa::compile(&parse_path_expr("S .+ D").unwrap());
+        assert!(!nfa.accepts(&t, &path(&t, &["S", "D"]), &[]));
+        assert!(nfa.accepts(&t, &path(&t, &["S", "A", "D"]), &[]));
+    }
+
+    #[test]
+    fn optional() {
+        let (t, _) = topo();
+        let nfa = Nfa::compile(&parse_path_expr("S A? D").unwrap());
+        assert!(nfa.accepts(&t, &path(&t, &["S", "D"]), &[]));
+        assert!(nfa.accepts(&t, &path(&t, &["S", "A", "D"]), &[]));
+        assert!(!nfa.accepts(&t, &path(&t, &["S", "B", "D"]), &[]));
+    }
+
+    #[test]
+    fn dest_selector() {
+        let (t, _) = topo();
+        let nfa = Nfa::compile(&parse_path_expr("S .* >").unwrap());
+        let dests = vec![dev(&t, "D"), dev(&t, "E")];
+        assert!(nfa.accepts(&t, &path(&t, &["S", "A", "D"]), &dests));
+        assert!(nfa.accepts(&t, &path(&t, &["S", "E"]), &dests));
+        assert!(!nfa.accepts(&t, &path(&t, &["S", "A", "B"]), &dests));
+    }
+
+    #[test]
+    fn label_selector_in_automaton() {
+        let mut t = Topology::new();
+        let s = t.add_device("s");
+        let m = t.add_device("mid");
+        let d = t.add_device("d");
+        t.set_label(m, "tier", "agg");
+        let nfa = Nfa::compile(&parse_path_expr("s [tier=agg] d").unwrap());
+        assert!(nfa.accepts(&t, &[s, m, d], &[]));
+        assert!(!nfa.accepts(&t, &[s, d], &[]));
+        let _ = (s, m, d);
+    }
+
+    #[test]
+    fn alternation_of_sequences() {
+        let (t, _) = topo();
+        let nfa = Nfa::compile(&parse_path_expr("(S A | S B) D").unwrap());
+        assert!(nfa.accepts(&t, &path(&t, &["S", "A", "D"]), &[]));
+        assert!(nfa.accepts(&t, &path(&t, &["S", "B", "D"]), &[]));
+        assert!(!nfa.accepts(&t, &path(&t, &["S", "W", "D"]), &[]));
+    }
+
+    #[test]
+    fn empty_path_and_epsilon() {
+        let (t, _) = topo();
+        let nfa = Nfa::compile(&PathExpr::Epsilon);
+        assert!(nfa.accepts(&t, &[], &[]));
+        let nfa2 = Nfa::compile(&parse_path_expr("S").unwrap());
+        assert!(!nfa2.accepts(&t, &[], &[]));
+    }
+
+    #[test]
+    fn step_is_incremental_acceptance() {
+        let (t, _) = topo();
+        let nfa = Nfa::compile(&parse_path_expr("S .* D").unwrap());
+        let mut cur = nfa.eps_closure(&[nfa.start()]);
+        for name in ["S", "A", "B"] {
+            cur = nfa.step(&cur, &t, dev(&t, name), &[]);
+            assert!(!cur.is_empty());
+            assert!(!nfa.is_accepting(&cur));
+        }
+        cur = nfa.step(&cur, &t, dev(&t, "D"), &[]);
+        assert!(nfa.is_accepting(&cur));
+    }
+}

@@ -1,0 +1,439 @@
+//! A recursive-descent parser for path regular expressions.
+
+use crate::ast::{HopSel, LabelOp, PathExpr};
+
+/// A parse failure with a position and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Dot,
+    Star,
+    Plus,
+    Question,
+    Pipe,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Caret,
+    Dollar,
+    Gt,
+    Equals,
+    Contains,
+    Str(String),
+}
+
+fn tokenize(input: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '.' => {
+                out.push((i, Tok::Dot));
+                i += 1;
+            }
+            '*' => {
+                out.push((i, Tok::Star));
+                i += 1;
+            }
+            '+' => {
+                out.push((i, Tok::Plus));
+                i += 1;
+            }
+            '?' => {
+                out.push((i, Tok::Question));
+                i += 1;
+            }
+            '|' => {
+                out.push((i, Tok::Pipe));
+                i += 1;
+            }
+            '(' => {
+                out.push((i, Tok::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push((i, Tok::RParen));
+                i += 1;
+            }
+            '[' => {
+                out.push((i, Tok::LBracket));
+                i += 1;
+            }
+            ']' => {
+                out.push((i, Tok::RBracket));
+                i += 1;
+            }
+            '^' => {
+                out.push((i, Tok::Caret));
+                i += 1;
+            }
+            '$' => {
+                out.push((i, Tok::Dollar));
+                i += 1;
+            }
+            '>' => {
+                out.push((i, Tok::Gt));
+                i += 1;
+            }
+            '=' => {
+                out.push((i, Tok::Equals));
+                i += 1;
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] as char != '"' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ParseError {
+                        pos: i,
+                        message: "unterminated string".into(),
+                    });
+                }
+                out.push((i, Tok::Str(input[start..j].to_string())));
+                i = j + 1;
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '/' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() {
+                    let cj = bytes[j] as char;
+                    if cj.is_ascii_alphanumeric() || cj == '_' || cj == '-' || cj == '/' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[start..j];
+                if word == "contains" {
+                    out.push((start, Tok::Contains));
+                } else {
+                    out.push((start, Tok::Ident(word.to_string())));
+                }
+                i = j;
+            }
+            other => {
+                return Err(ParseError {
+                    pos: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn here(&self) -> usize {
+        self.toks
+            .get(self.pos)
+            .map(|(p, _)| *p)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            pos: self.here(),
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), ParseError> {
+        match self.next() {
+            Some(t) if t == want => Ok(()),
+            other => Err(ParseError {
+                pos: self.here(),
+                message: format!("expected {want:?}, found {other:?}"),
+            }),
+        }
+    }
+
+    /// expr := seq ('|' seq)*
+    fn expr(&mut self) -> Result<PathExpr, ParseError> {
+        let mut alts = vec![self.seq()?];
+        while self.peek() == Some(&Tok::Pipe) {
+            self.next();
+            alts.push(self.seq()?);
+        }
+        Ok(if alts.len() == 1 {
+            alts.pop().unwrap()
+        } else {
+            PathExpr::Alt(alts)
+        })
+    }
+
+    /// seq := item+
+    fn seq(&mut self) -> Result<PathExpr, ParseError> {
+        let mut items = Vec::new();
+        loop {
+            match self.peek() {
+                Some(Tok::Pipe) | Some(Tok::RParen) | Some(Tok::RBracket) | None => break,
+                _ => items.push(self.item()?),
+            }
+        }
+        // Drop epsilons produced by anchors.
+        items.retain(|e| *e != PathExpr::Epsilon);
+        Ok(match items.len() {
+            0 => PathExpr::Epsilon,
+            1 => items.pop().unwrap(),
+            _ => PathExpr::Concat(items),
+        })
+    }
+
+    /// item := atom ('*' | '+' | '?')?
+    fn item(&mut self) -> Result<PathExpr, ParseError> {
+        let atom = self.atom()?;
+        Ok(match self.peek() {
+            Some(Tok::Star) => {
+                self.next();
+                PathExpr::Star(Box::new(atom))
+            }
+            Some(Tok::Plus) => {
+                self.next();
+                PathExpr::Plus(Box::new(atom))
+            }
+            Some(Tok::Question) => {
+                self.next();
+                PathExpr::Optional(Box::new(atom))
+            }
+            _ => atom,
+        })
+    }
+
+    fn atom(&mut self) -> Result<PathExpr, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(name)) => Ok(PathExpr::Hop(HopSel::Id(name))),
+            Some(Tok::Dot) => Ok(PathExpr::Hop(HopSel::Any)),
+            Some(Tok::Gt) => Ok(PathExpr::Hop(HopSel::Dest)),
+            Some(Tok::Caret) | Some(Tok::Dollar) => Ok(PathExpr::Epsilon),
+            Some(Tok::LParen) => {
+                let inner = self.expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(inner)
+            }
+            Some(Tok::LBracket) => self.bracket(),
+            other => Err(ParseError {
+                pos: self.here(),
+                message: format!("expected an atom, found {other:?}"),
+            }),
+        }
+    }
+
+    /// bracket := ident ('|' ident)* | key ('='|'contains') value
+    fn bracket(&mut self) -> Result<PathExpr, ParseError> {
+        let first = match self.next() {
+            Some(Tok::Ident(w)) => w,
+            other => {
+                return Err(ParseError {
+                    pos: self.here(),
+                    message: format!("expected identifier inside [], found {other:?}"),
+                })
+            }
+        };
+        match self.peek() {
+            Some(Tok::Equals) | Some(Tok::Contains) => {
+                let op = match self.next() {
+                    Some(Tok::Equals) => LabelOp::Equals,
+                    Some(Tok::Contains) => LabelOp::Contains,
+                    _ => unreachable!(),
+                };
+                let value = match self.next() {
+                    Some(Tok::Ident(w)) => w,
+                    Some(Tok::Str(s)) => s,
+                    other => {
+                        return Err(ParseError {
+                            pos: self.here(),
+                            message: format!("expected a value, found {other:?}"),
+                        })
+                    }
+                };
+                self.expect(Tok::RBracket)?;
+                Ok(PathExpr::Hop(HopSel::Label {
+                    key: first,
+                    op,
+                    value,
+                }))
+            }
+            _ => {
+                let mut names = vec![first];
+                while self.peek() == Some(&Tok::Pipe) {
+                    self.next();
+                    match self.next() {
+                        Some(Tok::Ident(w)) => names.push(w),
+                        other => {
+                            return Err(ParseError {
+                                pos: self.here(),
+                                message: format!("expected identifier after |, found {other:?}"),
+                            })
+                        }
+                    }
+                }
+                self.expect(Tok::RBracket)?;
+                Ok(PathExpr::Alt(
+                    names
+                        .into_iter()
+                        .map(|n| PathExpr::Hop(HopSel::Id(n)))
+                        .collect(),
+                ))
+            }
+        }
+    }
+}
+
+/// Parses a path regular expression such as `S .* [W|Y] .* D`.
+pub fn parse_path_expr(input: &str) -> Result<PathExpr, ParseError> {
+    let toks = tokenize(input)?;
+    let mut p = Parser { toks, pos: 0 };
+    let e = p.expr()?;
+    if p.pos != p.toks.len() {
+        return Err(p.err("trailing tokens"));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{HopSel, LabelOp, PathExpr};
+
+    #[test]
+    fn figure3_expression() {
+        // S .* [W|Y] .* D
+        let e = parse_path_expr("S .* [W|Y] .* D").unwrap();
+        match e {
+            PathExpr::Concat(items) => {
+                assert_eq!(items.len(), 5);
+                assert_eq!(items[0], PathExpr::id("S"));
+                assert!(matches!(items[1], PathExpr::Star(_)));
+                assert!(matches!(items[2], PathExpr::Alt(_)));
+                assert_eq!(items[4], PathExpr::id("D"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn anchors_are_ignored() {
+        let a = parse_path_expr("^ S .* > $").unwrap();
+        let b = parse_path_expr("S .* >").unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn label_selectors() {
+        let e = parse_path_expr("[tier=tor] .* [name contains agg]").unwrap();
+        match e {
+            PathExpr::Concat(items) => {
+                assert_eq!(
+                    items[0],
+                    PathExpr::Hop(HopSel::Label {
+                        key: "tier".into(),
+                        op: LabelOp::Equals,
+                        value: "tor".into()
+                    })
+                );
+                assert_eq!(
+                    items[2],
+                    PathExpr::Hop(HopSel::Label {
+                        key: "name".into(),
+                        op: LabelOp::Contains,
+                        value: "agg".into()
+                    })
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quoted_values() {
+        let e = parse_path_expr("[pod=\"3\"]").unwrap();
+        assert_eq!(
+            e,
+            PathExpr::Hop(HopSel::Label {
+                key: "pod".into(),
+                op: LabelOp::Equals,
+                value: "3".into()
+            })
+        );
+    }
+
+    #[test]
+    fn alternation_and_grouping() {
+        let e = parse_path_expr("(A B | C) D").unwrap();
+        match e {
+            PathExpr::Concat(items) => {
+                assert_eq!(items.len(), 2);
+                assert!(matches!(items[0], PathExpr::Alt(_)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn postfix_operators() {
+        assert!(matches!(parse_path_expr("A+").unwrap(), PathExpr::Plus(_)));
+        assert!(matches!(
+            parse_path_expr("A?").unwrap(),
+            PathExpr::Optional(_)
+        ));
+        assert!(matches!(parse_path_expr(".*").unwrap(), PathExpr::Star(_)));
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(parse_path_expr("(A").is_err());
+        assert!(parse_path_expr("[").is_err());
+        assert!(parse_path_expr("A ) B").is_err());
+        assert!(parse_path_expr("[\"unterminated").is_err());
+        assert!(parse_path_expr("{").is_err());
+    }
+
+    #[test]
+    fn hyphenated_and_slash_names() {
+        let e = parse_path_expr("tor-0/1").unwrap();
+        assert_eq!(e, PathExpr::id("tor-0/1"));
+    }
+
+    #[test]
+    fn empty_input_is_epsilon() {
+        assert_eq!(parse_path_expr("").unwrap(), PathExpr::Epsilon);
+        assert_eq!(parse_path_expr("^ $").unwrap(), PathExpr::Epsilon);
+    }
+}

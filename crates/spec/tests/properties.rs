@@ -1,0 +1,146 @@
+//! Property tests: the Thompson NFA must agree with a direct backtracking
+//! interpreter of the path-expression AST on arbitrary expressions and
+//! paths.
+
+use flash_netmodel::{DeviceId, Topology};
+use flash_spec::{HopSel, Nfa, PathExpr};
+use proptest::prelude::*;
+
+const DEVICES: u32 = 5;
+
+fn topo() -> Topology {
+    let mut t = Topology::new();
+    for i in 0..DEVICES {
+        t.add_device(format!("d{i}"));
+    }
+    t
+}
+
+/// Reference semantics: does `expr` match `path[i..]` exactly, consuming
+/// all of it? Classic backtracking with a continuation index set.
+fn matches_ref(expr: &PathExpr, topo: &Topology, path: &[DeviceId], dests: &[DeviceId]) -> bool {
+    fn go(
+        e: &PathExpr,
+        topo: &Topology,
+        path: &[DeviceId],
+        i: usize,
+        dests: &[DeviceId],
+        k: &mut dyn FnMut(usize) -> bool,
+    ) -> bool {
+        match e {
+            PathExpr::Epsilon => k(i),
+            PathExpr::Hop(sel) => {
+                if i < path.len() && sel.matches(topo, path[i], dests) {
+                    k(i + 1)
+                } else {
+                    false
+                }
+            }
+            PathExpr::Concat(items) => {
+                fn chain(
+                    items: &[PathExpr],
+                    topo: &Topology,
+                    path: &[DeviceId],
+                    i: usize,
+                    dests: &[DeviceId],
+                    k: &mut dyn FnMut(usize) -> bool,
+                ) -> bool {
+                    match items.split_first() {
+                        None => k(i),
+                        Some((first, rest)) => go(first, topo, path, i, dests, &mut |j| {
+                            chain(rest, topo, path, j, dests, k)
+                        }),
+                    }
+                }
+                chain(items, topo, path, i, dests, k)
+            }
+            PathExpr::Alt(items) => items.iter().any(|it| go(it, topo, path, i, dests, k)),
+            PathExpr::Star(inner) => {
+                // zero or more; bound the unrolling by the path length.
+                fn star(
+                    inner: &PathExpr,
+                    topo: &Topology,
+                    path: &[DeviceId],
+                    i: usize,
+                    dests: &[DeviceId],
+                    depth: usize,
+                    k: &mut dyn FnMut(usize) -> bool,
+                ) -> bool {
+                    if k(i) {
+                        return true;
+                    }
+                    if depth > path.len() {
+                        return false;
+                    }
+                    go(inner, topo, path, i, dests, &mut |j| {
+                        j > i && star(inner, topo, path, j, dests, depth + 1, k)
+                    })
+                }
+                star(inner, topo, path, i, dests, 0, k)
+            }
+            PathExpr::Plus(inner) => go(inner, topo, path, i, dests, &mut |j| {
+                go(&PathExpr::Star(inner.clone()), topo, path, j, dests, k)
+            }),
+            PathExpr::Optional(inner) => k(i) || go(inner, topo, path, i, dests, k),
+        }
+    }
+    go(expr, topo, path, 0, dests, &mut |i| i == path.len())
+}
+
+fn arb_sel() -> impl Strategy<Value = HopSel> {
+    prop_oneof![
+        (0..DEVICES).prop_map(|i| HopSel::Id(format!("d{i}"))),
+        Just(HopSel::Any),
+        Just(HopSel::Dest),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = PathExpr> {
+    let leaf = prop_oneof![arb_sel().prop_map(PathExpr::Hop), Just(PathExpr::Epsilon)];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(PathExpr::Concat),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(PathExpr::Alt),
+            inner.clone().prop_map(|e| PathExpr::Star(Box::new(e))),
+            inner.clone().prop_map(|e| PathExpr::Plus(Box::new(e))),
+            inner.prop_map(|e| PathExpr::Optional(Box::new(e))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn nfa_agrees_with_backtracking_reference(
+        expr in arb_expr(),
+        path in proptest::collection::vec(0..DEVICES, 0..6),
+        dests in proptest::collection::vec(0..DEVICES, 0..2),
+    ) {
+        let t = topo();
+        let path: Vec<DeviceId> = path.into_iter().map(DeviceId).collect();
+        let dests: Vec<DeviceId> = dests.into_iter().map(DeviceId).collect();
+        let nfa = Nfa::compile(&expr);
+        prop_assert_eq!(
+            nfa.accepts(&t, &path, &dests),
+            matches_ref(&expr, &t, &path, &dests),
+            "expr={:?} path={:?}", expr, path
+        );
+    }
+
+    #[test]
+    fn incremental_stepping_equals_whole_path(
+        expr in arb_expr(),
+        path in proptest::collection::vec(0..DEVICES, 0..6),
+    ) {
+        let t = topo();
+        let path: Vec<DeviceId> = path.into_iter().map(DeviceId).collect();
+        let nfa = Nfa::compile(&expr);
+        // Step-by-step subset construction must agree with accepts().
+        let mut cur = nfa.eps_closure(&[nfa.start()]);
+        for &d in &path {
+            cur = nfa.step(&cur, &t, d, &[]);
+        }
+        prop_assert_eq!(nfa.is_accepting(&cur), nfa.accepts(&t, &path, &[]));
+    }
+}

@@ -1,0 +1,194 @@
+//! Fat-tree / Fabric topology generation — the LNet substitute.
+//!
+//! A `k`-ary fat tree has `k` pods; each pod has `k/2` ToR (edge) and
+//! `k/2` aggregation switches; `(k/2)²` core switches connect the pods.
+//! Every ToR owns a destination prefix block; the pod id is the top bits
+//! of the block, which is exactly how the paper's subspace partition
+//! carves one subspace per pod.
+
+use flash_netmodel::{DeviceId, Topology};
+use std::sync::Arc;
+
+/// A generated fat tree with its structural indexes.
+#[derive(Clone, Debug)]
+pub struct FatTree {
+    pub topo: Arc<Topology>,
+    pub k: u32,
+    /// ToR switches, grouped by pod.
+    pub tors: Vec<Vec<DeviceId>>,
+    /// Aggregation switches, grouped by pod.
+    pub aggs: Vec<Vec<DeviceId>>,
+    /// Core switches.
+    pub cores: Vec<DeviceId>,
+    /// `(owner ToR, prefix value, prefix len)` — one block per ToR,
+    /// extended to `prefixes_per_tor` sub-blocks by the FIB generators.
+    pub tor_prefix: Vec<(DeviceId, u64, u32)>,
+    /// Width in bits of the destination field needed by the addressing.
+    pub dst_bits: u32,
+}
+
+/// Builds a `k`-ary fat tree (`k` even, ≥ 2).
+///
+/// Addressing: the destination field is split as
+/// `[pod bits][tor bits][host bits]`, with `host_bits` left for the FIB
+/// generators. Every switch carries `tier` and `pod` labels consumable by
+/// the requirement language.
+pub fn fat_tree(k: u32, host_bits: u32) -> FatTree {
+    assert!(k >= 2 && k % 2 == 0, "k must be even and >= 2");
+    let mut topo = Topology::new();
+    let half = k / 2;
+
+    let pod_bits = 32 - (k - 1).leading_zeros().max(1);
+    let tor_bits = 32 - (half - 1).leading_zeros().max(1);
+    let dst_bits = pod_bits + tor_bits + host_bits;
+    assert!(dst_bits <= 48, "addressing too wide");
+
+    let mut tors = Vec::with_capacity(k as usize);
+    let mut aggs = Vec::with_capacity(k as usize);
+    for p in 0..k {
+        let mut pod_tors = Vec::with_capacity(half as usize);
+        let mut pod_aggs = Vec::with_capacity(half as usize);
+        for i in 0..half {
+            let t = topo.add_device(format!("tor-{p}-{i}"));
+            topo.set_label(t, "tier", "tor");
+            topo.set_label(t, "pod", p.to_string());
+            pod_tors.push(t);
+        }
+        for i in 0..half {
+            let a = topo.add_device(format!("agg-{p}-{i}"));
+            topo.set_label(a, "tier", "agg");
+            topo.set_label(a, "pod", p.to_string());
+            pod_aggs.push(a);
+        }
+        // Full bipartite ToR–Agg inside a pod.
+        for &t in &pod_tors {
+            for &a in &pod_aggs {
+                topo.add_bilink(t, a);
+            }
+        }
+        tors.push(pod_tors);
+        aggs.push(pod_aggs);
+    }
+    // Core plane: core (i, j) connects to agg i of every pod.
+    let mut cores = Vec::with_capacity((half * half) as usize);
+    for i in 0..half {
+        for j in 0..half {
+            let c = topo.add_device(format!("core-{i}-{j}"));
+            topo.set_label(c, "tier", "core");
+            cores.push(c);
+            for pod_aggs in aggs.iter() {
+                topo.add_bilink(c, pod_aggs[i as usize]);
+            }
+        }
+    }
+
+    // One prefix block per ToR: [pod][tor][*host].
+    let mut tor_prefix = Vec::new();
+    for (p, pod_tors) in tors.iter().enumerate() {
+        for (i, &t) in pod_tors.iter().enumerate() {
+            let value = (((p as u64) << tor_bits | i as u64) << host_bits) as u64;
+            tor_prefix.push((t, value, pod_bits + tor_bits));
+        }
+    }
+
+    FatTree {
+        topo: Arc::new(topo),
+        k,
+        tors,
+        aggs,
+        cores,
+        tor_prefix,
+        dst_bits,
+    }
+}
+
+impl FatTree {
+    pub fn switch_count(&self) -> usize {
+        self.topo.device_count()
+    }
+
+    /// All ToR switches flattened.
+    pub fn all_tors(&self) -> Vec<DeviceId> {
+        self.tors.iter().flatten().copied().collect()
+    }
+
+    /// The pod prefix (value, len) of pod `p` — the subspace boundary used
+    /// for per-pod partitioning.
+    pub fn pod_prefix(&self, p: u32) -> (u64, u32) {
+        let half = self.k / 2;
+        let pod_bits = 32 - (self.k - 1).leading_zeros().max(1);
+        let tor_bits = 32 - (half - 1).leading_zeros().max(1);
+        let host_bits = self.dst_bits - pod_bits - tor_bits;
+        (((p as u64) << (tor_bits + host_bits)), pod_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k4_counts() {
+        let ft = fat_tree(4, 8);
+        // 4 pods × (2 tor + 2 agg) + 4 core = 20 switches
+        assert_eq!(ft.switch_count(), 20);
+        assert_eq!(ft.all_tors().len(), 8);
+        assert_eq!(ft.cores.len(), 4);
+        assert_eq!(ft.tor_prefix.len(), 8);
+        // Each ToR: k/2 uplinks; each agg: k/2 down + k/2 up.
+        let t = ft.tors[0][0];
+        assert_eq!(ft.topo.successors(t).len(), 2);
+        let a = ft.aggs[0][0];
+        assert_eq!(ft.topo.successors(a).len(), 4);
+    }
+
+    #[test]
+    fn k8_counts() {
+        let ft = fat_tree(8, 8);
+        // 8 pods × (4+4) + 16 core = 80
+        assert_eq!(ft.switch_count(), 80);
+        assert_eq!(ft.cores.len(), 16);
+    }
+
+    #[test]
+    fn tor_prefixes_are_disjoint() {
+        let ft = fat_tree(4, 8);
+        for (i, &(_, v1, l1)) in ft.tor_prefix.iter().enumerate() {
+            for &(_, v2, l2) in ft.tor_prefix.iter().skip(i + 1) {
+                assert_eq!(l1, l2);
+                assert_ne!(v1 >> (ft.dst_bits - l1), v2 >> (ft.dst_bits - l2));
+            }
+        }
+    }
+
+    #[test]
+    fn pod_prefix_contains_its_tors() {
+        let ft = fat_tree(4, 8);
+        for p in 0..4u32 {
+            let (pv, pl) = ft.pod_prefix(p);
+            for &(tor, v, _) in &ft.tor_prefix {
+                let in_pod = ft.tors[p as usize].contains(&tor);
+                let covered = (v >> (ft.dst_bits - pl)) == (pv >> (ft.dst_bits - pl));
+                assert_eq!(in_pod, covered, "pod {p} tor {tor}");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_assigned() {
+        let ft = fat_tree(4, 8);
+        let t = ft.tors[2][1];
+        assert_eq!(ft.topo.label(t, "tier"), Some("tor"));
+        assert_eq!(ft.topo.label(t, "pod"), Some("2"));
+        assert_eq!(ft.topo.label(ft.cores[0], "tier"), Some("core"));
+    }
+
+    #[test]
+    fn core_connects_all_pods() {
+        let ft = fat_tree(6, 8);
+        for &c in &ft.cores {
+            // Each core connects to exactly one agg per pod.
+            assert_eq!(ft.topo.successors(c).len(), 6);
+        }
+    }
+}

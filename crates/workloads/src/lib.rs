@@ -1,0 +1,33 @@
+//! Workload generators reproducing the paper's Table 2 settings.
+//!
+//! The paper evaluates on a proprietary Fabric network ("LNet", 6,016
+//! switches, up to 3.7×10⁷ rules) plus three public datasets (Airtel,
+//! Stanford, Internet2). Neither the LNet data plane nor the dataset
+//! files ship with this repository, so this crate *generates* workloads
+//! with the same structure at configurable (laptop) scale:
+//!
+//! * [`fabric`] — a parameterized fat-tree/Fabric topology (the LNet
+//!   substitute) with pod labels on every switch;
+//! * [`fibgen`] — the three FIB disciplines of Table 2:
+//!   `apsp` (StdFIB: all-pair shortest path to rack prefixes),
+//!   `ecmp` (StdFIB* with source-match ECMP) and
+//!   `smr` (suffix-match routing), plus trace-style random-prefix FIBs
+//!   standing in for the Airtel/Stanford/I2 datasets;
+//! * [`updates`] — update sequences ("insert each rule in a sequence and
+//!   then delete it in the same order"), storm batching and long-tail
+//!   arrival schedules;
+//! * [`planning`] — the Appendix A pod-addition planning workload behind
+//!   Figure 15;
+//! * [`settings`] — a registry tying every Table 2 row to its scaled
+//!   parameters here.
+
+pub mod fabric;
+pub mod export;
+pub mod fibgen;
+pub mod planning;
+pub mod settings;
+pub mod updates;
+
+pub use fabric::{fat_tree, FatTree};
+pub use fibgen::{DeviceFib, FibDiscipline, GeneratedFibs};
+pub use settings::{Setting, SettingName};

@@ -1,0 +1,175 @@
+//! The Appendix A network-planning workload (Figure 15): connecting a new
+//! pod to a fat-tree data center and counting the rules created and
+//! modified — the update-storm source for offline verification.
+
+use crate::fabric::fat_tree;
+use crate::fibgen::{generate, FibDiscipline, GeneratedFibs};
+use flash_netmodel::{DeviceId, RuleUpdate};
+
+/// One row of the Figure 15 table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlanningRow {
+    /// Fat-tree parameter.
+    pub k: u32,
+    /// Prefixes per pod.
+    pub p: u32,
+    /// Total rules after the change.
+    pub total_rules: usize,
+    /// Rules created or modified by adding the pod.
+    pub delta_rules: usize,
+}
+
+/// Simulates adding one pod to a `k`-ary fat tree where every pod
+/// advertises `p` prefixes, by diffing the generated FIBs of the
+/// (k-pods-minus-one) network against the full network restricted to
+/// shared devices, plus all rules of the new pod's switches.
+///
+/// Returns the row plus the actual update block (usable as a storm input).
+pub fn pod_addition(k: u32, p: u32) -> (PlanningRow, Vec<(DeviceId, RuleUpdate)>) {
+    let host_bits = 8;
+    // `p` prefixes per pod = p / (k/2) per ToR, at least 1.
+    let per_tor = (p / (k / 2)).max(1);
+    let full = generate(&fat_tree(k, host_bits), FibDiscipline::Apsp, per_tor);
+
+    // The "before" network: same topology, but the last pod's switches
+    // have no rules and no prefixes from the last pod exist anywhere.
+    // Equivalently: drop every rule that involves the last pod's prefixes
+    // or lives on the last pod's devices.
+    let ft = fat_tree(k, host_bits);
+    let last_pod_tors: std::collections::HashSet<DeviceId> =
+        ft.tors[(k - 1) as usize].iter().copied().collect();
+    let last_pod_aggs: std::collections::HashSet<DeviceId> =
+        ft.aggs[(k - 1) as usize].iter().copied().collect();
+    let last_pod_prefix_values: std::collections::HashSet<u64> = ft
+        .tor_prefix
+        .iter()
+        .filter(|(t, _, _)| last_pod_tors.contains(t))
+        .map(|&(_, v, _)| v)
+        .collect();
+
+    let is_new_rule = |dev: DeviceId, r: &flash_netmodel::Rule| {
+        if last_pod_tors.contains(&dev) || last_pod_aggs.contains(&dev) {
+            return true; // new switch: all its rules are new
+        }
+        // Existing switch: rules toward the new pod's prefixes are new.
+        match r.mat.kind(flash_netmodel::FieldId(0)) {
+            flash_netmodel::MatchKind::Prefix { value, .. } => {
+                let tor_block = value & tor_block_mask(&ft, host_bits, per_tor);
+                last_pod_prefix_values
+                    .iter()
+                    .any(|&v| v == tor_block)
+            }
+            _ => false,
+        }
+    };
+
+    let mut delta = Vec::new();
+    for fib in &full.fibs {
+        for r in &fib.rules {
+            if is_new_rule(fib.device, r) {
+                delta.push((fib.device, RuleUpdate::insert(r.clone())));
+            }
+        }
+    }
+
+    let row = PlanningRow {
+        k,
+        p,
+        total_rules: full.total_rules(),
+        delta_rules: delta.len(),
+    };
+    (row, delta)
+}
+
+/// Mask selecting the `[pod][tor]` bits of a destination (clearing the
+/// sub-prefix and host bits).
+fn tor_block_mask(ft: &crate::fabric::FatTree, host_bits: u32, _per_tor: u32) -> u64 {
+    let len = ft.dst_bits - host_bits;
+    ((1u64 << len) - 1) << host_bits
+}
+
+/// The full Figure 15 sweep.
+pub fn figure15_rows(ks: &[(u32, u32)]) -> Vec<PlanningRow> {
+    ks.iter().map(|&(k, p)| pod_addition(k, p).0).collect()
+}
+
+/// The "before" data plane for a pod addition — useful to build the base
+/// model the storm applies to.
+pub fn before_network(k: u32, p: u32) -> GeneratedFibs {
+    let host_bits = 8;
+    let per_tor = (p / (k / 2)).max(1);
+    let ft = fat_tree(k, host_bits);
+    let mut full = generate(&ft, FibDiscipline::Apsp, per_tor);
+    let last_pod: std::collections::HashSet<DeviceId> = ft.tors[(k - 1) as usize]
+        .iter()
+        .chain(ft.aggs[(k - 1) as usize].iter())
+        .copied()
+        .collect();
+    let last_prefixes: std::collections::HashSet<u64> = ft
+        .tor_prefix
+        .iter()
+        .filter(|(t, _, _)| last_pod.contains(t))
+        .map(|&(_, v, _)| v)
+        .collect();
+    let mask = tor_block_mask(&ft, host_bits, per_tor);
+    for fib in &mut full.fibs {
+        if last_pod.contains(&fib.device) {
+            fib.rules.clear();
+            continue;
+        }
+        fib.rules.retain(|r| match r.mat.kind(flash_netmodel::FieldId(0)) {
+            flash_netmodel::MatchKind::Prefix { value, .. } => {
+                !last_prefixes.contains(&(value & mask))
+            }
+            _ => true,
+        });
+    }
+    full
+}
+
+/// Consistency check helper: `before + delta` must equal `full` in rule
+/// count.
+pub fn check_consistency(k: u32, p: u32) -> bool {
+    let (row, delta) = pod_addition(k, p);
+    let before = before_network(k, p);
+    before.total_rules() + delta.len() == row.total_rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k4_row_shape() {
+        let (row, delta) = pod_addition(4, 2);
+        assert_eq!(row.k, 4);
+        assert!(row.total_rules > 0);
+        assert!(row.delta_rules > 0);
+        assert!(row.delta_rules < row.total_rules);
+        assert_eq!(delta.len(), row.delta_rules);
+    }
+
+    #[test]
+    fn delta_plus_before_equals_full() {
+        for (k, p) in [(4, 2), (4, 4), (8, 4)] {
+            assert!(check_consistency(k, p), "k={k} p={p}");
+        }
+    }
+
+    #[test]
+    fn rows_grow_with_k() {
+        let rows = figure15_rows(&[(4, 2), (8, 4)]);
+        assert!(rows[1].total_rules > rows[0].total_rules);
+        assert!(rows[1].delta_rules > rows[0].delta_rules);
+    }
+
+    #[test]
+    fn new_pod_switch_rules_all_in_delta() {
+        let (_, delta) = pod_addition(4, 2);
+        let ft = fat_tree(4, 8);
+        let new_tor = ft.tors[3][0];
+        let count = delta.iter().filter(|(d, _)| *d == new_tor).count();
+        // The new ToR routes to every other pod's prefixes.
+        assert!(count > 0);
+    }
+}

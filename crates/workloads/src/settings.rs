@@ -1,0 +1,197 @@
+//! The Table 2 settings registry: every evaluation setting of the paper,
+//! mapped to its scaled-down parameters here.
+//!
+//! The paper's scales (6,016 switches, 10⁷–10⁸ rules) target a server
+//! fleet; the defaults here target one machine while preserving the
+//! structural properties each setting exists to exercise (rule shape,
+//! update pattern, arrival pattern). Scale knobs are explicit so larger
+//! runs are one parameter away.
+
+use crate::fabric::{fat_tree, FatTree};
+use crate::fibgen::{self, FibDiscipline, GeneratedFibs};
+use std::sync::Arc;
+
+/// The named settings of Table 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SettingName {
+    LNetApsp,
+    LNetEcmp,
+    LNetSmr,
+    AirtelTrace,
+    StanfordTrace,
+    I2Trace,
+}
+
+impl SettingName {
+    pub fn all() -> [SettingName; 6] {
+        [
+            SettingName::LNetApsp,
+            SettingName::LNetEcmp,
+            SettingName::LNetSmr,
+            SettingName::AirtelTrace,
+            SettingName::StanfordTrace,
+            SettingName::I2Trace,
+        ]
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            SettingName::LNetApsp => "LNet-apsp",
+            SettingName::LNetEcmp => "LNet-ecmp",
+            SettingName::LNetSmr => "LNet-smr",
+            SettingName::AirtelTrace => "Airtel-trace",
+            SettingName::StanfordTrace => "Stanford-trace",
+            SettingName::I2Trace => "I2-trace",
+        }
+    }
+}
+
+/// A fully instantiated setting: topology + data plane + metadata.
+pub struct Setting {
+    pub name: SettingName,
+    pub fibs: GeneratedFibs,
+    /// The fat tree when the setting is LNet-based (pod partitioning).
+    pub fabric: Option<FatTree>,
+    pub topo: Arc<flash_netmodel::Topology>,
+}
+
+/// Scale multiplier: 1 = quick CI scale, larger values approach the
+/// paper's scales.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Fat-tree k for the LNet settings (paper: effectively ~48).
+    pub lnet_k: u32,
+    /// Prefixes per ToR (paper: hundreds).
+    pub prefixes_per_tor: u32,
+    /// Rules per device for the trace settings.
+    pub trace_rules_per_device: usize,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale {
+            lnet_k: 8,
+            prefixes_per_tor: 2,
+            trace_rules_per_device: 200,
+        }
+    }
+}
+
+impl Setting {
+    /// Instantiates a Table 2 setting at the given scale. Deterministic.
+    pub fn build(name: SettingName, scale: Scale) -> Setting {
+        match name {
+            SettingName::LNetApsp | SettingName::LNetEcmp | SettingName::LNetSmr => {
+                let ft = fat_tree(scale.lnet_k, 8);
+                let discipline = match name {
+                    SettingName::LNetApsp => FibDiscipline::Apsp,
+                    SettingName::LNetEcmp => FibDiscipline::Ecmp { src_blocks: 4 },
+                    SettingName::LNetSmr => FibDiscipline::Smr { suffix_bits: 2 },
+                    _ => unreachable!(),
+                };
+                let fibs = fibgen::generate(&ft, discipline, scale.prefixes_per_tor);
+                let topo = ft.topo.clone();
+                Setting {
+                    name,
+                    fibs,
+                    fabric: Some(ft),
+                    topo,
+                }
+            }
+            SettingName::AirtelTrace => {
+                // Airtel 1: 68 nodes / 260 directed links, 6.89×10⁴ rules.
+                let topo = fibgen::random_mesh(68, 4, 0xA1);
+                let fibs =
+                    fibgen::trace_fibs(&topo, 24, scale.trace_rules_per_device * 5, 0xA1);
+                Setting {
+                    name,
+                    fibs,
+                    fabric: None,
+                    topo,
+                }
+            }
+            SettingName::StanfordTrace => {
+                // Stanford: 16 nodes / 37 links, 3.84×10³ rules.
+                let topo = fibgen::random_mesh(16, 3, 0x5F);
+                let fibs = fibgen::trace_fibs(&topo, 24, scale.trace_rules_per_device, 0x5F);
+                Setting {
+                    name,
+                    fibs,
+                    fabric: None,
+                    topo,
+                }
+            }
+            SettingName::I2Trace => {
+                // Internet2: 9 nodes / 28 links, 1.26×10⁵ rules.
+                let topo = fibgen::random_mesh(9, 3, 0x12);
+                let fibs =
+                    fibgen::trace_fibs(&topo, 24, scale.trace_rules_per_device * 14, 0x12);
+                Setting {
+                    name,
+                    fibs,
+                    fabric: None,
+                    topo,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_settings_instantiate() {
+        let scale = Scale {
+            lnet_k: 4,
+            prefixes_per_tor: 1,
+            trace_rules_per_device: 20,
+        };
+        for name in SettingName::all() {
+            let s = Setting::build(name, scale);
+            assert!(s.fibs.total_rules() > 0, "{}", name.label());
+            assert!(s.topo.device_count() > 0);
+        }
+    }
+
+    #[test]
+    fn lnet_settings_expose_fabric() {
+        let scale = Scale {
+            lnet_k: 4,
+            prefixes_per_tor: 1,
+            trace_rules_per_device: 20,
+        };
+        assert!(Setting::build(SettingName::LNetApsp, scale).fabric.is_some());
+        assert!(Setting::build(SettingName::I2Trace, scale).fabric.is_none());
+    }
+
+    #[test]
+    fn trace_topology_sizes_match_table2() {
+        let scale = Scale::default();
+        assert_eq!(
+            Setting::build(SettingName::AirtelTrace, scale).topo.device_count(),
+            68
+        );
+        assert_eq!(
+            Setting::build(SettingName::StanfordTrace, scale).topo.device_count(),
+            16
+        );
+        assert_eq!(
+            Setting::build(SettingName::I2Trace, scale).topo.device_count(),
+            9
+        );
+    }
+
+    #[test]
+    fn deterministic_builds() {
+        let scale = Scale {
+            lnet_k: 4,
+            prefixes_per_tor: 1,
+            trace_rules_per_device: 20,
+        };
+        let a = Setting::build(SettingName::AirtelTrace, scale);
+        let b = Setting::build(SettingName::AirtelTrace, scale);
+        assert_eq!(a.fibs.total_rules(), b.fibs.total_rules());
+    }
+}

@@ -1,0 +1,172 @@
+//! Update-sequence generation: storms, insert-then-delete runs, and
+//! long-tail arrival schedules (the "Update Generation" / "Arrival
+//! Pattern" columns of Table 2).
+
+use crate::fibgen::GeneratedFibs;
+use flash_netmodel::{DeviceId, RuleUpdate};
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// A timed update batch headed to the verifier.
+#[derive(Clone, Debug)]
+pub struct TimedBatch {
+    /// Arrival time in microseconds (virtual).
+    pub at: u64,
+    pub device: DeviceId,
+    pub updates: Vec<RuleUpdate>,
+}
+
+/// The paper's storm sequence: "insert each rule in a sequence and then
+/// delete it in the same order" — doubling the update count relative to
+/// the FIB scale.
+pub fn insert_then_delete(fibs: &GeneratedFibs) -> Vec<(DeviceId, RuleUpdate)> {
+    let mut out = Vec::with_capacity(fibs.total_rules() * 2);
+    for f in &fibs.fibs {
+        for r in &f.rules {
+            out.push((f.device, RuleUpdate::insert(r.clone())));
+        }
+    }
+    for f in &fibs.fibs {
+        for r in &f.rules {
+            out.push((f.device, RuleUpdate::delete(r.clone())));
+        }
+    }
+    out
+}
+
+/// Insert-only storm (the bootstrapping workload of Figure 6).
+pub fn insert_all(fibs: &GeneratedFibs) -> Vec<(DeviceId, RuleUpdate)> {
+    let mut out = Vec::with_capacity(fibs.total_rules());
+    for f in &fibs.fibs {
+        for r in &f.rules {
+            out.push((f.device, RuleUpdate::insert(r.clone())));
+        }
+    }
+    out
+}
+
+/// Shuffles a sequence deterministically (updates in a storm arrive
+/// interleaved across devices).
+pub fn shuffle(seq: &mut [(DeviceId, RuleUpdate)], seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    seq.shuffle(&mut rng);
+}
+
+/// Packs a flat sequence into per-device burst batches arriving at `t0`
+/// with i.i.d. jitter up to `jitter` — the "updates burst into the
+/// verifier" arrival pattern.
+pub fn burst_schedule(
+    seq: Vec<(DeviceId, RuleUpdate)>,
+    t0: u64,
+    jitter: u64,
+    seed: u64,
+) -> Vec<TimedBatch> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut per_device: std::collections::HashMap<DeviceId, Vec<RuleUpdate>> =
+        std::collections::HashMap::new();
+    let mut order = Vec::new();
+    for (d, u) in seq {
+        let e = per_device.entry(d).or_default();
+        if e.is_empty() {
+            order.push(d);
+        }
+        e.push(u);
+    }
+    let mut out: Vec<TimedBatch> = order
+        .into_iter()
+        .map(|d| TimedBatch {
+            at: t0 + if jitter > 0 { rng.gen_range(0..jitter) } else { 0 },
+            device: d,
+            updates: per_device.remove(&d).unwrap(),
+        })
+        .collect();
+    out.sort_by_key(|b| b.at);
+    out
+}
+
+/// Applies a long-tail arrival pattern: `dampened` devices are delayed by
+/// `delay` microseconds (the paper's 60 s init/max FIB back-off).
+pub fn dampen(batches: &mut [TimedBatch], dampened: &[DeviceId], delay: u64) {
+    for b in batches.iter_mut() {
+        if dampened.contains(&b.device) {
+            b.at += delay;
+        }
+    }
+    batches.sort_by_key(|b| b.at);
+}
+
+/// Picks `n` random distinct devices to dampen.
+pub fn pick_dampened(devices: &[DeviceId], n: usize, seed: u64) -> Vec<DeviceId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool: Vec<DeviceId> = devices.to_vec();
+    pool.shuffle(&mut rng);
+    pool.truncate(n);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::fat_tree;
+    use crate::fibgen::{generate, FibDiscipline};
+    use flash_netmodel::RuleOp;
+
+    fn small() -> GeneratedFibs {
+        generate(&fat_tree(4, 8), FibDiscipline::Apsp, 1)
+    }
+
+    #[test]
+    fn insert_then_delete_doubles() {
+        let g = small();
+        let seq = insert_then_delete(&g);
+        assert_eq!(seq.len(), g.total_rules() * 2);
+        let inserts = seq.iter().filter(|(_, u)| u.op == RuleOp::Insert).count();
+        assert_eq!(inserts, g.total_rules());
+    }
+
+    #[test]
+    fn shuffle_is_deterministic() {
+        let g = small();
+        let mut a = insert_all(&g);
+        let mut b = insert_all(&g);
+        shuffle(&mut a, 42);
+        shuffle(&mut b, 42);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn burst_schedule_groups_by_device() {
+        let g = small();
+        let seq = insert_all(&g);
+        let total = seq.len();
+        let batches = burst_schedule(seq, 1_000, 500, 3);
+        assert_eq!(batches.iter().map(|b| b.updates.len()).sum::<usize>(), total);
+        // sorted by time
+        assert!(batches.windows(2).all(|w| w[0].at <= w[1].at));
+        // one batch per device
+        let devs: std::collections::HashSet<_> = batches.iter().map(|b| b.device).collect();
+        assert_eq!(devs.len(), batches.len());
+    }
+
+    #[test]
+    fn dampen_delays_chosen_devices() {
+        let g = small();
+        let seq = insert_all(&g);
+        let mut batches = burst_schedule(seq, 0, 100, 3);
+        let victim = batches[0].device;
+        dampen(&mut batches, &[victim], 60_000_000);
+        let vb = batches.iter().find(|b| b.device == victim).unwrap();
+        assert!(vb.at >= 60_000_000);
+        assert_eq!(batches.last().unwrap().device, victim);
+    }
+
+    #[test]
+    fn pick_dampened_distinct() {
+        let devices: Vec<DeviceId> = (0..20).map(DeviceId).collect();
+        let picked = pick_dampened(&devices, 7, 9);
+        assert_eq!(picked.len(), 7);
+        let set: std::collections::HashSet<_> = picked.iter().collect();
+        assert_eq!(set.len(), 7);
+    }
+}

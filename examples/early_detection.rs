@@ -1,0 +1,92 @@
+//! Consistent early detection on a live(-simulated) network.
+//!
+//! The Internet2 topology runs a simulated OpenR control plane. One
+//! switch runs a buggy decision module that installs looping next hops,
+//! and another is dampened (its agent delays 60 seconds — a long-tail
+//! arrival). The CE2D dispatcher detects the consistent loop hundreds of
+//! milliseconds in — long before the dampened switch ever reports —
+//! while never reporting the transient micro-loops of the convergence.
+//!
+//! Run with: `cargo run --release -p flash-core --example early_detection`
+
+use flash_core::{Dispatcher, DispatcherConfig, Property, PropertyReport};
+use flash_imt::SubspaceSpec;
+use flash_netmodel::HeaderLayout;
+use flash_routing::sim::internet2;
+use flash_routing::{LinkEvent, OpenRSim, SimConfig};
+use std::sync::Arc;
+
+fn main() {
+    let topo = internet2();
+    let layout = HeaderLayout::new(&[("dst", 16)]);
+    let mut sim = OpenRSim::new(topo.clone(), layout.clone(), SimConfig::default());
+    for (i, dev) in topo.devices().enumerate() {
+        sim.advertise(dev, (i as u64) << 8, 8);
+    }
+
+    // Fault injection: salt is buggy, kans is dampened for 60 s.
+    let salt = topo.lookup("salt").unwrap();
+    let kans = topo.lookup("kans").unwrap();
+    sim.set_buggy(salt);
+    sim.set_agent_delay(kans, 60_000_000);
+    println!("== simulated Internet2: salt runs buggy OpenR, kans dampened 60s");
+
+    // Boot: initial FIBs (epoch 0).
+    let mut messages = sim.initialize();
+
+    // Two consecutive link failures (the Figure 8 scenario).
+    let chic = topo.lookup("chic").unwrap();
+    let atla = topo.lookup("atla").unwrap();
+    sim.inject(LinkEvent { at: 1_000, a: chic, b: atla, up: false });
+    sim.inject(LinkEvent { at: 50_000, a: chic, b: kans, up: false });
+    messages.extend(sim.run());
+    messages.sort_by_key(|m| m.at);
+    println!("   {} agent messages generated", messages.len());
+
+    // Feed the dispatcher.
+    let actions = Arc::new(sim.actions().clone());
+    let mut dispatcher = Dispatcher::new(DispatcherConfig {
+        topo: topo.clone(),
+        actions,
+        layout,
+        subspaces: vec![SubspaceSpec::whole()],
+        bst: 1,
+        properties: vec![Property::LoopFreedom],
+    });
+
+    let mut first_loop_at = None;
+    for m in &messages {
+        for r in dispatcher.on_message(m.at, m.device, m.epoch, m.updates.clone()) {
+            match &r.report {
+                PropertyReport::LoopFound { cycle } => {
+                    let names: Vec<&str> = cycle.iter().map(|d| topo.name(*d)).collect();
+                    println!(
+                        "   !! consistent loop at t={:.1}ms (epoch {:x}): {}",
+                        r.at as f64 / 1000.0,
+                        r.epoch,
+                        names.join(" -> ")
+                    );
+                    first_loop_at.get_or_insert(r.at);
+                }
+                PropertyReport::LoopFreedomHolds => {
+                    println!("   ok at t={:.1}ms: loop freedom holds", r.at as f64 / 1000.0);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    match first_loop_at {
+        Some(at) => {
+            let last_arrival = messages.last().unwrap().at;
+            println!(
+                "\nCE2D reported the consistent loop at {:.1} ms; waiting for the \
+                 dampened switch would have taken {:.1} ms ({}x later).",
+                at as f64 / 1000.0,
+                last_arrival as f64 / 1000.0,
+                last_arrival / at.max(1)
+            );
+        }
+        None => println!("\nno consistent loop found (try a different seed)"),
+    }
+}

@@ -1,0 +1,83 @@
+//! Round trip: generated workload → adapter text → parsed network →
+//! verified model, equal to the directly-built model. This pins the
+//! exporter and the parser to each other (and exercises the full public
+//! tool chain end to end).
+
+use flash_core::adapter::parse_network;
+use flash_imt::{ModelManager, ModelManagerConfig};
+use flash_netmodel::{DeviceId, RuleUpdate};
+use flash_workloads::{export, fat_tree, fibgen};
+
+#[test]
+fn export_parse_verify_roundtrip_apsp() {
+    let ft = fat_tree(4, 8);
+    let fibs = fibgen::generate(&ft, fibgen::FibDiscipline::Apsp, 1);
+
+    // Direct model over the original workload.
+    let mut direct = ModelManager::new(ModelManagerConfig::whole_space(fibs.layout.clone()));
+    for f in &fibs.fibs {
+        let ups: Vec<RuleUpdate> = f.rules.iter().cloned().map(RuleUpdate::insert).collect();
+        direct.submit(f.device, ups);
+    }
+    direct.flush();
+
+    // Through the text format. (The adapter uses the 32-bit dst layout;
+    // prefixes are re-scaled by the exporter, so EC *counts* must match
+    // even though the bit widths differ.)
+    let text = export::to_network_file(&ft.topo, &fibs).unwrap();
+    let net = parse_network(&text).unwrap();
+    assert_eq!(net.topo.device_count(), ft.topo.device_count());
+    assert_eq!(net.topo.link_count(), ft.topo.link_count());
+
+    let mut parsed = ModelManager::new(ModelManagerConfig::whole_space(net.layout.clone()));
+    for (dev, rules) in &net.fibs {
+        let ups: Vec<RuleUpdate> = rules.iter().cloned().map(RuleUpdate::insert).collect();
+        parsed.submit(*dev, ups);
+    }
+    parsed.flush();
+
+    assert_eq!(
+        direct.model().len(),
+        parsed.model().len(),
+        "equivalence-class count must survive the round trip"
+    );
+    let (bdd, _, model) = parsed.parts_mut();
+    model.check_invariants(bdd).unwrap();
+}
+
+#[test]
+fn roundtrip_preserves_device_names_and_rules() {
+    let ft = fat_tree(4, 8);
+    let fibs = fibgen::generate(&ft, fibgen::FibDiscipline::Apsp, 2);
+    let text = export::to_network_file(&ft.topo, &fibs).unwrap();
+    let net = parse_network(&text).unwrap();
+    // Same total rule count.
+    let original: usize = fibs.fibs.iter().map(|f| f.rules.len()).sum();
+    let parsed: usize = net.fibs.iter().map(|(_, r)| r.len()).sum();
+    assert_eq!(original, parsed);
+    // Every original device resolves by name with its rules intact.
+    for f in &fibs.fibs {
+        if f.rules.is_empty() {
+            continue;
+        }
+        let name = ft.topo.name(f.device);
+        let dev: DeviceId = net.topo.lookup(name).unwrap();
+        let (_, rules) = net.fibs.iter().find(|(d, _)| *d == dev).unwrap();
+        assert_eq!(rules.len(), f.rules.len(), "{name}");
+    }
+}
+
+#[test]
+fn ecmp_roundtrip_preserves_multi_hop_actions() {
+    let ft = fat_tree(4, 8);
+    let fibs = fibgen::generate(&ft, fibgen::FibDiscipline::ApspEcmp, 1);
+    let text = export::to_network_file(&ft.topo, &fibs).unwrap();
+    let net = parse_network(&text).unwrap();
+    let multi = net
+        .fibs
+        .iter()
+        .flat_map(|(_, rs)| rs)
+        .filter(|r| net.actions.next_hops(r.action).len() > 1)
+        .count();
+    assert!(multi > 0, "ECMP sets must survive the round trip");
+}

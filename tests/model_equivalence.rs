@@ -1,0 +1,195 @@
+//! Cross-verifier equivalence: Flash (Fast IMT), APKeep* and Delta-net*
+//! must compute the same inverse model for the same data plane, across
+//! every FIB discipline of Table 2 — insertion storms, deletions and
+//! per-update versus block processing.
+
+use flash_baselines::{ApKeep, DeltaNet};
+use flash_imt::{ModelManager, ModelManagerConfig};
+use flash_netmodel::DeviceId;
+use flash_workloads::{fat_tree, fibgen, updates};
+
+/// Builds the three models from the same update sequence and compares
+/// class counts and point behaviours.
+fn check_equivalence(
+    fibs: &fibgen::GeneratedFibs,
+    seq: &[(DeviceId, flash_netmodel::RuleUpdate)],
+    sample_points: usize,
+    check_deltanet: bool,
+) {
+    let layout = &fibs.layout;
+
+    // Flash: single block.
+    let mut mm = ModelManager::new(ModelManagerConfig::whole_space(layout.clone()));
+    for (d, u) in seq {
+        mm.submit(*d, [u.clone()]);
+    }
+    mm.flush();
+
+    // APKeep*: per update.
+    let mut ap = ApKeep::new(layout.clone());
+    ap.apply_all(seq);
+
+    assert_eq!(
+        mm.model().len(),
+        ap.model().len(),
+        "Flash vs APKeep* class count"
+    );
+
+    // Delta-net*: intervals (skipped when lowering would explode).
+    let mut dn = if check_deltanet {
+        let mut dn = DeltaNet::new(layout.clone());
+        dn.apply_all(seq).expect("lowering within cap");
+        assert_eq!(dn.class_count(), mm.model().len(), "Delta-net* class count");
+        Some(dn)
+    } else {
+        None
+    };
+
+    // Point-wise behaviour comparison on an evenly spaced sample.
+    let bits_total = layout.total_bits();
+    let space = 1u128 << bits_total;
+    let step = (space / sample_points as u128).max(1);
+    let devices: Vec<DeviceId> = fibs.fibs.iter().map(|f| f.device).collect();
+    let (fbdd, fpat, fmodel) = mm.parts_mut();
+    let (abdd, apat, amodel) = ap.parts_mut();
+    let mut p = 0u128;
+    while p < space {
+        let bits: Vec<bool> = (0..bits_total)
+            .map(|i| (p >> (bits_total - 1 - i)) & 1 == 1)
+            .collect();
+        let fe = fmodel.classify(fbdd, &bits).expect("model is complementary");
+        let ae = amodel.classify(abdd, &bits).expect("model is complementary");
+        for &d in devices.iter().take(8) {
+            let fa = fpat.get(fe.vector, d);
+            let aa = apat.get(ae.vector, d);
+            assert_eq!(fa, aa, "Flash vs APKeep* at point {p} device {d}");
+            if let Some(dn) = &mut dn {
+                assert_eq!(dn.action_at(d, p), fa, "Delta-net* at point {p} device {d}");
+            }
+        }
+        p += step;
+    }
+}
+
+#[test]
+fn apsp_insert_storm_equivalence() {
+    let ft = fat_tree(4, 6);
+    let fibs = fibgen::generate(&ft, fibgen::FibDiscipline::Apsp, 1);
+    let seq = updates::insert_all(&fibs);
+    check_equivalence(&fibs, &seq, 64, true);
+}
+
+#[test]
+fn apsp_insert_then_delete_returns_to_default() {
+    let ft = fat_tree(4, 6);
+    let fibs = fibgen::generate(&ft, fibgen::FibDiscipline::Apsp, 1);
+    let seq = updates::insert_then_delete(&fibs);
+    let mut mm = ModelManager::new(ModelManagerConfig::whole_space(fibs.layout.clone()));
+    for (d, u) in &seq {
+        mm.submit(*d, [u.clone()]);
+    }
+    mm.flush();
+    assert_eq!(mm.model().len(), 1, "insert-then-delete must cancel out");
+    // The single class must be the all-default vector.
+    assert_eq!(mm.model().entries()[0].vector, flash_imt::PAT_NIL);
+}
+
+#[test]
+fn ecmp_equivalence_flash_vs_apkeep() {
+    let ft = fat_tree(4, 6);
+    let fibs = fibgen::generate(&ft, fibgen::FibDiscipline::Ecmp { src_blocks: 2 }, 1);
+    let seq = updates::insert_all(&fibs);
+    // Delta-net lowering multiplies here; cross-check only the BDD pair.
+    check_equivalence(&fibs, &seq, 64, false);
+}
+
+#[test]
+fn smr_equivalence_flash_vs_apkeep() {
+    let ft = fat_tree(4, 6);
+    let fibs = fibgen::generate(&ft, fibgen::FibDiscipline::Smr { suffix_bits: 2 }, 1);
+    let seq = updates::insert_all(&fibs);
+    check_equivalence(&fibs, &seq, 64, false);
+}
+
+#[test]
+fn shuffled_arrival_order_gives_same_model() {
+    // The inverse model must not depend on update arrival order when the
+    // net rule set is the same.
+    let ft = fat_tree(4, 6);
+    let fibs = fibgen::generate(&ft, fibgen::FibDiscipline::Apsp, 1);
+    let mut seq_a = updates::insert_all(&fibs);
+    let mut seq_b = updates::insert_all(&fibs);
+    updates::shuffle(&mut seq_a, 1);
+    updates::shuffle(&mut seq_b, 2);
+
+    let build = |seq: &[(DeviceId, flash_netmodel::RuleUpdate)]| {
+        let mut mm = ModelManager::new(ModelManagerConfig::whole_space(fibs.layout.clone()));
+        for (d, u) in seq {
+            mm.submit(*d, [u.clone()]);
+        }
+        mm.flush();
+        mm
+    };
+    let mut a = build(&seq_a);
+    let mut b = build(&seq_b);
+    assert_eq!(a.model().len(), b.model().len());
+    // Same behaviours at sampled points.
+    let bits_total = fibs.layout.total_bits();
+    let (abdd, apat, amodel) = a.parts_mut();
+    let (bbdd, bpat, bmodel) = b.parts_mut();
+    for p in (0..(1u64 << bits_total)).step_by(97) {
+        let bits: Vec<bool> = (0..bits_total)
+            .map(|i| (p >> (bits_total - 1 - i)) & 1 == 1)
+            .collect();
+        let ea = amodel.classify(abdd, &bits).unwrap();
+        let eb = bmodel.classify(bbdd, &bits).unwrap();
+        for f in fibs.fibs.iter().take(6) {
+            assert_eq!(apat.get(ea.vector, f.device), bpat.get(eb.vector, f.device));
+        }
+    }
+}
+
+#[test]
+fn bst_value_does_not_change_the_model() {
+    // Figure 7 varies the BST for speed; the result must be identical.
+    let ft = fat_tree(4, 6);
+    let fibs = fibgen::generate(&ft, fibgen::FibDiscipline::Apsp, 1);
+    let seq = updates::insert_all(&fibs);
+    let mut counts = Vec::new();
+    for bst in [1usize, 8, 64, usize::MAX] {
+        let mut mm = ModelManager::new(ModelManagerConfig {
+            bst,
+            ..ModelManagerConfig::whole_space(fibs.layout.clone())
+        });
+        for (d, u) in &seq {
+            mm.submit(*d, [u.clone()]);
+        }
+        mm.flush();
+        let (bdd, _, model) = mm.parts_mut();
+        model.check_invariants(bdd).unwrap();
+        counts.push(mm.model().len());
+    }
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+}
+
+#[test]
+fn model_invariants_hold_on_all_disciplines() {
+    for discipline in [
+        fibgen::FibDiscipline::Apsp,
+        fibgen::FibDiscipline::Ecmp { src_blocks: 2 },
+        fibgen::FibDiscipline::Smr { suffix_bits: 2 },
+    ] {
+        let ft = fat_tree(4, 6);
+        let fibs = fibgen::generate(&ft, discipline, 1);
+        let seq = updates::insert_all(&fibs);
+        let mut mm = ModelManager::new(ModelManagerConfig::whole_space(fibs.layout.clone()));
+        for (d, u) in &seq {
+            mm.submit(*d, [u.clone()]);
+        }
+        mm.flush();
+        let (bdd, _, model) = mm.parts_mut();
+        model
+            .check_invariants(bdd)
+            .unwrap_or_else(|e| panic!("{discipline:?}: {e}"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Forwarding oracle: for random concrete headers, the inverse model's
+//! action vector must equal a direct highest-priority-rule lookup in
+//! every device's FIB — the definition `R ∼ M` of §3.1 checked
+//! empirically (the formal proof is Appendix C's Theorem 2).
+
+use flash_imt::{ModelManager, ModelManagerConfig};
+use flash_netmodel::{DeviceId, Fib, HeaderLayout};
+use flash_workloads::{fat_tree, fibgen};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn oracle_check(fibs: &fibgen::GeneratedFibs, samples: usize, seed: u64) {
+    let layout = &fibs.layout;
+    let mut mm = ModelManager::new(ModelManagerConfig::whole_space(layout.clone()));
+    let mut oracle_fibs: Vec<(DeviceId, Fib)> = Vec::new();
+    for f in &fibs.fibs {
+        let upd: Vec<_> = f.rules.iter().cloned().map(flash_netmodel::RuleUpdate::insert).collect();
+        mm.submit(f.device, upd.clone());
+        let mut fib = Fib::new(layout);
+        fib.apply(&upd).unwrap();
+        oracle_fibs.push((f.device, fib));
+    }
+    mm.flush();
+    let (bdd, pat, model) = mm.parts_mut();
+    model.check_invariants(bdd).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let bits_total = layout.total_bits();
+    for _ in 0..samples {
+        let bits: Vec<bool> = (0..bits_total).map(|_| rng.gen()).collect();
+        let entry = model.classify(bdd, &bits).expect("complementary");
+        for (dev, fib) in &oracle_fibs {
+            let expect = fib.lookup(layout, bdd, &bits);
+            let got = pat.get(entry.vector, *dev);
+            assert_eq!(got, expect, "device {dev} header {bits:?}");
+        }
+    }
+}
+
+#[test]
+fn apsp_model_matches_fib_lookup() {
+    let ft = fat_tree(4, 6);
+    let fibs = fibgen::generate(&ft, fibgen::FibDiscipline::Apsp, 1);
+    oracle_check(&fibs, 50, 11);
+}
+
+#[test]
+fn ecmp_model_matches_fib_lookup() {
+    let ft = fat_tree(4, 6);
+    let fibs = fibgen::generate(&ft, fibgen::FibDiscipline::Ecmp { src_blocks: 2 }, 1);
+    oracle_check(&fibs, 50, 12);
+}
+
+#[test]
+fn smr_model_matches_fib_lookup() {
+    let ft = fat_tree(4, 6);
+    let fibs = fibgen::generate(&ft, fibgen::FibDiscipline::Smr { suffix_bits: 2 }, 1);
+    oracle_check(&fibs, 50, 13);
+}
+
+#[test]
+fn trace_model_matches_fib_lookup() {
+    let topo = fibgen::random_mesh(12, 3, 5);
+    let fibs = fibgen::trace_fibs(&topo, 12, 40, 5);
+    oracle_check(&fibs, 80, 14);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random small data planes: model == FIB lookup on every header of
+    /// an exhaustive 6-bit space, through random insert/delete churn.
+    #[test]
+    fn random_churn_model_matches_oracle(seed in 0u64..1000) {
+        let layout = HeaderLayout::new(&[("dst", 6)]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut actions = flash_netmodel::ActionTable::new();
+        let mut mm = ModelManager::new(ModelManagerConfig::whole_space(layout.clone()));
+        let devices: Vec<DeviceId> = (0..3).map(DeviceId).collect();
+        let mut oracle: Vec<Fib> = devices.iter().map(|_| Fib::new(&layout)).collect();
+        let mut installed: Vec<(usize, flash_netmodel::Rule)> = Vec::new();
+
+        for _ in 0..40 {
+            let di = rng.gen_range(0..devices.len());
+            if !installed.is_empty() && rng.gen_bool(0.3) {
+                let i = rng.gen_range(0..installed.len());
+                let (d, r) = installed.swap_remove(i);
+                oracle[d].delete(&r).unwrap();
+                mm.submit(devices[d], [flash_netmodel::RuleUpdate::delete(r)]);
+            } else {
+                let len = rng.gen_range(1..=6u32);
+                let v = (rng.gen::<u64>() & 0x3F) >> (6 - len) << (6 - len);
+                let a = actions.fwd(DeviceId(10 + rng.gen_range(0..4)));
+                let r = flash_netmodel::Rule::new(
+                    flash_netmodel::Match::dst_prefix(&layout, v, len),
+                    len as i64,
+                    a,
+                );
+                if oracle[di].insert(r.clone()).is_ok() {
+                    installed.push((di, r.clone()));
+                    mm.submit(devices[di], [flash_netmodel::RuleUpdate::insert(r)]);
+                }
+            }
+            // Randomly flush mid-churn to vary block boundaries.
+            if rng.gen_bool(0.25) {
+                mm.flush();
+            }
+        }
+        mm.flush();
+        let (bdd, pat, model) = mm.parts_mut();
+        model.check_invariants(bdd).unwrap();
+        for h in 0..64u64 {
+            let bits: Vec<bool> = (0..6).map(|i| (h >> (5 - i)) & 1 == 1).collect();
+            let entry = model.classify(bdd, &bits).unwrap();
+            for (i, d) in devices.iter().enumerate() {
+                let expect = oracle[i].lookup(&layout, bdd, &bits);
+                prop_assert_eq!(pat.get(entry.vector, *d), expect, "header {} device {}", h, d);
+            }
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Subspace partitioning correctness: the per-pod subspace models must
+//! jointly equal the whole-space model — same behaviours inside every
+//! subspace, full coverage, and consistent results from the parallel
+//! runner.
+
+use flash_core::parallel_model_construction;
+use flash_imt::{ModelManager, ModelManagerConfig, SubspacePlan, SubspaceSpec};
+use flash_netmodel::FieldId;
+use flash_workloads::{fat_tree, fibgen, updates};
+
+#[test]
+fn subspace_models_agree_with_whole_space_model() {
+    let ft = fat_tree(4, 6);
+    let fibs = fibgen::generate(&ft, fibgen::FibDiscipline::Apsp, 1);
+    let seq = updates::insert_all(&fibs);
+    let layout = fibs.layout.clone();
+
+    // Whole-space model.
+    let mut whole = ModelManager::new(ModelManagerConfig::whole_space(layout.clone()));
+    for (d, u) in &seq {
+        whole.submit(*d, [u.clone()]);
+    }
+    whole.flush();
+
+    // One manager per pod prefix.
+    let pods: Vec<(u64, u32)> = (0..4).map(|p| ft.pod_prefix(p)).collect();
+    let mut subs: Vec<ModelManager> = pods
+        .iter()
+        .map(|&(value, len)| {
+            let mut m = ModelManager::new(ModelManagerConfig {
+                layout: layout.clone(),
+                subspace: SubspaceSpec { field: FieldId(0), value, len },
+                bst: usize::MAX,
+                filter_updates: true,
+                gc_node_threshold: usize::MAX,
+            });
+            for (d, u) in &seq {
+                m.submit(*d, [u.clone()]);
+            }
+            m.flush();
+            m
+        })
+        .collect();
+
+    // Every subspace model is valid, and behaviours match the whole-space
+    // model at sampled points inside the subspace.
+    let bits_total = layout.total_bits();
+    let (wbdd, wpat, wmodel) = whole.parts_mut();
+    for (si, sub) in subs.iter_mut().enumerate() {
+        let devices: Vec<_> = sub.devices().collect();
+        let (sbdd, spat, smodel) = sub.parts_mut();
+        smodel.check_invariants(sbdd).unwrap();
+        let (pv, pl) = pods[si];
+        for off in (0..(1u64 << (bits_total - pl))).step_by(13) {
+            // The pod prefix value is already left-aligned in the field.
+            let point = pv | off;
+            let bits: Vec<bool> = (0..bits_total)
+                .map(|i| (point >> (bits_total - 1 - i)) & 1 == 1)
+                .collect();
+            let we = wmodel.classify(wbdd, &bits).unwrap();
+            let se = smodel.classify(sbdd, &bits).unwrap();
+            for &d in devices.iter().take(6) {
+                assert_eq!(
+                    wpat.get(we.vector, d),
+                    spat.get(se.vector, d),
+                    "pod {si} point {point:#x} device {d}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn subspace_filter_reduces_work() {
+    let ft = fat_tree(4, 6);
+    let fibs = fibgen::generate(&ft, fibgen::FibDiscipline::Apsp, 1);
+    let seq = updates::insert_all(&fibs);
+    let (pv, pl) = ft.pod_prefix(0);
+    let mut sub = ModelManager::new(ModelManagerConfig {
+        layout: fibs.layout.clone(),
+        subspace: SubspaceSpec { field: FieldId(0), value: pv, len: pl },
+        bst: usize::MAX,
+        filter_updates: true,
+        gc_node_threshold: usize::MAX,
+    });
+    for (d, u) in &seq {
+        sub.submit(*d, [u.clone()]);
+    }
+    sub.flush();
+    let stats = sub.stats();
+    assert!(
+        stats.updates_filtered > stats.updates_accepted,
+        "a 1-of-4 pod subspace should reject most updates \
+         (accepted={}, filtered={})",
+        stats.updates_accepted,
+        stats.updates_filtered
+    );
+
+    let mut whole = ModelManager::new(ModelManagerConfig::whole_space(fibs.layout.clone()));
+    for (d, u) in &seq {
+        whole.submit(*d, [u.clone()]);
+    }
+    whole.flush();
+    assert!(
+        sub.bdd().op_count() < whole.bdd().op_count(),
+        "subspace construction must do fewer predicate ops"
+    );
+}
+
+#[test]
+fn parallel_runner_consistent_with_sequential_subspaces() {
+    let ft = fat_tree(4, 6);
+    let fibs = fibgen::generate(&ft, fibgen::FibDiscipline::Apsp, 1);
+    let seq = updates::insert_all(&fibs);
+    let pods: Vec<(u64, u32)> = (0..4).map(|p| ft.pod_prefix(p)).collect();
+    let plan = SubspacePlan::by_prefixes(FieldId(0), &pods);
+
+    let par = parallel_model_construction(&plan, &fibs.layout, &seq, usize::MAX, 4);
+    // Sequential per-subspace construction for comparison.
+    let mut seq_classes = Vec::new();
+    for &(value, len) in &pods {
+        let mut m = ModelManager::new(ModelManagerConfig {
+            layout: fibs.layout.clone(),
+            subspace: SubspaceSpec { field: FieldId(0), value, len },
+            bst: usize::MAX,
+            filter_updates: true,
+            gc_node_threshold: usize::MAX,
+        });
+        for (d, u) in &seq {
+            m.submit(*d, [u.clone()]);
+        }
+        m.flush();
+        seq_classes.push(m.model().len());
+    }
+    let par_classes: Vec<usize> = par.per_subspace.iter().map(|(c, _, _)| *c).collect();
+    assert_eq!(par_classes, seq_classes);
+}
