@@ -130,12 +130,14 @@ mod tests {
     /// A 3-node line where the transient order of updates creates a
     /// micro-loop: initially a→b→c; the "rerouting" sends b's new FIB
     /// (b→a) before a's new FIB (a→c alternative missing → a→b kept).
-    fn scenario() -> (
+    type Scenario = (
         Arc<Topology>,
         Arc<ActionTable>,
         HeaderLayout,
         Vec<(u64, DeviceId, Vec<RuleUpdate>)>,
-    ) {
+    );
+
+    fn scenario() -> Scenario {
         let mut t = Topology::new();
         let a = t.add_device("a");
         let b = t.add_device("b");

@@ -124,8 +124,8 @@ fn exact_match_single_point() {
     let e = bdd.exact(0, 16, 0xBEEF);
     assert_eq!(bdd.sat_count(e), 1.0);
     let mut bits = vec![false; 16];
-    for i in 0..16 {
-        bits[i] = (0xBEEFu64 >> (15 - i)) & 1 == 1;
+    for (i, bit) in bits.iter_mut().enumerate() {
+        *bit = (0xBEEFu64 >> (15 - i)) & 1 == 1;
     }
     assert!(bdd.eval(e, &bits));
     bits[15] = !bits[15];
@@ -184,7 +184,7 @@ fn range_port_like_16bit() {
 #[test]
 fn any_sat_and_eval_agree() {
     let mut bdd = Bdd::new(12);
-    let a = bdd.prefix(0, 12, 0b101100000000 >> 0, 4);
+    let a = bdd.prefix(0, 12, 0b101100000000, 4);
     let w = bdd.any_sat(a).expect("nonempty");
     assert!(bdd.eval(a, &w));
     assert_eq!(bdd.any_sat(FALSE), None);

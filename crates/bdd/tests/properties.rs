@@ -2,6 +2,8 @@
 //! table over a small variable count, and its algebra must satisfy the
 //! Boolean-lattice laws.
 
+#![cfg(feature = "proptest")]
+
 use flash_bdd::{Bdd, NodeId, FALSE, TRUE};
 use proptest::prelude::*;
 

@@ -332,10 +332,10 @@ mod tests {
         };
         let mut out: Vec<Vec<NodeIdx>> = vec![Vec::new(); n];
         let mut edges = Vec::new();
-        for u in 0..n {
+        for (u, out_u) in out.iter_mut().enumerate() {
             for v in 0..n {
                 if u != v && rng() % 100 < 12 {
-                    out[u].push(v as NodeIdx);
+                    out_u.push(v as NodeIdx);
                     edges.push((u as NodeIdx, v as NodeIdx));
                 }
             }
@@ -354,10 +354,10 @@ mod tests {
                 out[u as usize].swap_remove(p);
             }
             let oracle = bfs_reachable(&out, &sources);
-            for x in 0..n {
+            for (x, &reachable) in oracle.iter().enumerate() {
                 assert_eq!(
                     dec.is_reached(x as NodeIdx),
-                    oracle[x],
+                    reachable,
                     "mismatch at node {x} after removing ({u},{v})"
                 );
             }

@@ -367,7 +367,7 @@ impl RegexVerifier {
 
     /// Multicast variant: all destinations must be reachable.
     pub fn combine_multicast(verdicts: &[Verdict]) -> Verdict {
-        if verdicts.iter().any(|v| *v == Verdict::Unsatisfied) {
+        if verdicts.contains(&Verdict::Unsatisfied) {
             Verdict::Unsatisfied
         } else if verdicts.iter().all(|v| *v == Verdict::Satisfied) {
             Verdict::Satisfied

@@ -3,6 +3,8 @@
 //! one device and (b) have never been observed to precede another tag on
 //! any device.
 
+#![cfg(feature = "proptest")]
+
 use flash_ce2d::{EpochTag, EpochTracker};
 use flash_netmodel::DeviceId;
 use proptest::prelude::*;

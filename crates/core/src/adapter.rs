@@ -25,6 +25,7 @@
 //! Destination addresses are IPv4 dotted quads over the 32-bit
 //! [`HeaderLayout::dst_only`] layout.
 
+use crate::error::FlashError;
 use crate::verifier::Property;
 use flash_netmodel::{
     ActionTable, DeviceId, HeaderLayout, Match, Rule, Topology,
@@ -43,30 +44,16 @@ pub struct NetworkFile {
     pub properties: Vec<Property>,
 }
 
-/// A parse failure with its 1-based line number.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct AdapterError {
-    pub line: usize,
-    pub message: String,
-}
+/// Adapter parse failures are [`FlashError::Parse`] values carrying the
+/// 1-based line number; this alias keeps the seed's name working.
+pub type AdapterError = FlashError;
 
-impl std::fmt::Display for AdapterError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
-    }
-}
-
-impl std::error::Error for AdapterError {}
-
-fn err(line: usize, message: impl Into<String>) -> AdapterError {
-    AdapterError {
-        line,
-        message: message.into(),
-    }
+fn err(line: usize, message: impl Into<String>) -> FlashError {
+    FlashError::parse(line, message)
 }
 
 /// Parses `a.b.c.d/len` into `(value, len)` over 32 bits.
-pub fn parse_prefix(s: &str, line: usize) -> Result<(u64, u32), AdapterError> {
+pub fn parse_prefix(s: &str, line: usize) -> Result<(u64, u32), FlashError> {
     let (addr, len) = s
         .split_once('/')
         .ok_or_else(|| err(line, format!("expected prefix a.b.c.d/len, got {s:?}")))?;
@@ -106,7 +93,7 @@ pub fn format_prefix(value: u64, len: u32) -> String {
 }
 
 /// Parses the full network file.
-pub fn parse_network(input: &str) -> Result<NetworkFile, AdapterError> {
+pub fn parse_network(input: &str) -> Result<NetworkFile, FlashError> {
     let layout = HeaderLayout::dst_only();
     let mut topo = Topology::new();
     let mut actions = ActionTable::new();
@@ -121,7 +108,11 @@ pub fn parse_network(input: &str) -> Result<NetworkFile, AdapterError> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let keyword = parts.next().unwrap();
+        let Some(keyword) = parts.next() else {
+            // Unreachable (blank lines are filtered above), but a parse
+            // error beats a panic if the filtering ever changes.
+            return Err(err(lineno, "empty directive"));
+        };
         match keyword {
             "node" | "external" => {
                 current_fib = None;
@@ -215,7 +206,7 @@ fn parse_action(
     topo: &Topology,
     actions: &mut ActionTable,
     lineno: usize,
-) -> Result<flash_netmodel::ActionId, AdapterError> {
+) -> Result<flash_netmodel::ActionId, FlashError> {
     if s == "drop" {
         return Ok(flash_netmodel::ACTION_DROP);
     }
@@ -245,8 +236,11 @@ fn parse_require(
     lineno: usize,
     topo: &Topology,
     layout: &HeaderLayout,
-) -> Result<Property, AdapterError> {
-    let rest = line.strip_prefix("require").unwrap().trim();
+) -> Result<Property, FlashError> {
+    let rest = line
+        .strip_prefix("require")
+        .ok_or_else(|| err(lineno, "expected a 'require' directive"))?
+        .trim();
     let mut parts = rest.split_whitespace();
     let name = parts
         .next()
@@ -376,16 +370,18 @@ require http-detour 10.0.1.0/24 from s3 path "s3 .* s1 a"
     fn parse_errors_carry_line_numbers() {
         let bad = "node a\nlink a b\n";
         let e = parse_network(bad).unwrap_err();
-        assert_eq!(e.line, 2);
+        assert_eq!(e.parse_line(), Some(2));
         let bad = "fib nowhere\n";
         let e = parse_network(bad).unwrap_err();
-        assert_eq!(e.line, 1);
+        assert_eq!(e.parse_line(), Some(1));
         let bad = "node a\nnode a\n";
         let e = parse_network(bad).unwrap_err();
-        assert_eq!(e.line, 2);
+        assert_eq!(e.parse_line(), Some(2));
         let bad = "10.0.0.0/8 1 x\n";
         let e = parse_network(bad).unwrap_err();
-        assert_eq!(e.line, 1);
+        assert_eq!(e.parse_line(), Some(1));
+        assert!(matches!(e, crate::error::FlashError::Parse { .. }));
+        assert!(e.to_string().starts_with("line 1:"));
     }
 
     #[test]

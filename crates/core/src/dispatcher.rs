@@ -12,6 +12,7 @@
 //!   update queue");
 //! * when an epoch is deactivated its verifiers are destroyed.
 
+use crate::error::FlashError;
 use crate::verifier::{Property, PropertyReport, SubspaceVerifier, SubspaceVerifierConfig};
 use flash_ce2d::{EpochTag, EpochTracker};
 use flash_imt::SubspaceSpec;
@@ -59,7 +60,25 @@ pub struct Dispatcher {
 }
 
 impl Dispatcher {
+    /// Validates the configuration before constructing. `bst == 0`
+    /// would make Fast IMT never flush a block boundary correctly, so
+    /// it is rejected rather than silently misbehaving.
+    pub fn try_new(config: DispatcherConfig) -> Result<Self, FlashError> {
+        if config.bst == 0 {
+            return Err(FlashError::Config(
+                "bst (block size threshold) must be >= 1".into(),
+            ));
+        }
+        Ok(Self::new_unchecked(config))
+    }
+
+    /// Infallible constructor kept for existing callers; panics on a
+    /// configuration [`Self::try_new`] rejects.
     pub fn new(config: DispatcherConfig) -> Self {
+        Self::try_new(config).unwrap_or_else(|e| panic!("invalid DispatcherConfig: {e}"))
+    }
+
+    fn new_unchecked(config: DispatcherConfig) -> Self {
         Dispatcher {
             config,
             tracker: EpochTracker::new(),
@@ -289,6 +308,59 @@ mod tests {
         d.on_message(1, ids[0], 2, vec![]);
         assert_eq!(d.active_epochs(), vec![2]);
         assert_eq!(d.verifiers_created, 2);
+    }
+
+    #[test]
+    fn dead_epoch_updates_reach_next_epoch_verifiers_via_replay() {
+        // Updates tagged with an epoch that is *already superseded* go
+        // only into the device's history queue; they must still reach
+        // the verifiers of the next newly-activated epoch through the
+        // seeding replay ("flushes the updates from the device's update
+        // queue").
+        let (topo, ids, actions, layout) = triangle();
+        let mut d = dispatcher(&topo, &actions, &layout);
+        let m = Match::dst_prefix(&layout, 10, 8);
+        let (fwd_a, fwd_c) = (flash_netmodel::ActionId(1), flash_netmodel::ActionId(3));
+        // Epoch 1 active, then superseded by epoch 2.
+        d.on_message(0, ids[0], 1, vec![]);
+        d.on_message(1, ids[0], 2, vec![]);
+        assert_eq!(d.active_epochs(), vec![2]);
+        // c reports the dead epoch 1 with c→a: queued in history only —
+        // no active verifier for epoch 1 exists anymore.
+        let r = d.on_message(2, ids[2], 1, vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_a))]);
+        assert!(r.is_empty(), "dead-epoch updates produce no immediate reports");
+        assert_eq!(d.active_epochs(), vec![2]);
+        // b activates epoch 3: the new verifier set is seeded by replay,
+        // which must include c's dead-epoch rule (c unsynchronized).
+        d.on_message(3, ids[1], 3, vec![]);
+        // a joins epoch 3 with a→c; no loop yet — c is not synchronized.
+        let r = d.on_message(4, ids[0], 3, vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_c))]);
+        assert!(r.iter().all(|x| !matches!(x.report, PropertyReport::LoopFound { .. })));
+        // c synchronizes into epoch 3 with no new updates: the loop
+        // a→c→a closes using the rule that arrived on the dead epoch,
+        // proving history replay carried it into epoch 3's verifiers.
+        let r = d.on_message(5, ids[2], 3, vec![]);
+        assert!(
+            r.iter().any(|x| matches!(x.report, PropertyReport::LoopFound { .. })),
+            "replayed dead-epoch rule must be visible: {r:?}"
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_zero_bst() {
+        let (topo, _, actions, layout) = triangle();
+        let cfg = DispatcherConfig {
+            topo,
+            actions,
+            layout,
+            subspaces: vec![SubspaceSpec::whole()],
+            bst: 0,
+            properties: vec![Property::LoopFreedom],
+        };
+        assert!(matches!(
+            Dispatcher::try_new(cfg),
+            Err(crate::error::FlashError::Config(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! The unified error type of the Flash core crate.
+//!
+//! Dispatcher, verifier, adapter, and live-service APIs that previously
+//! panicked or returned bare values thread [`FlashError`] instead, so a
+//! malformed agent feed or a failing worker degrades into a reportable
+//! condition rather than a process abort. Hand-rolled (`thiserror`-style
+//! Display/Error impls) to stay dependency-light.
+
+/// Any error the Flash core can surface to an embedding application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlashError {
+    /// A network/agent input failed to parse; `line` is 1-based.
+    Parse { line: usize, msg: String },
+    /// A subspace worker panicked. `message` is the stringified panic
+    /// payload when one was available.
+    WorkerPanic { worker: usize, message: String },
+    /// A worker exhausted its restart budget and was abandoned.
+    RestartsExhausted { worker: usize, restarts: u32 },
+    /// A channel endpoint disappeared (worker or consumer gone).
+    ChannelClosed { worker: usize },
+    /// Drain shutdown missed its deadline; `abandoned` lists the workers
+    /// that were still running when the deadline expired.
+    DrainTimeout { abandoned: Vec<usize> },
+    /// An invalid service or fault-plan configuration.
+    Config(String),
+}
+
+impl FlashError {
+    /// Convenience constructor for parse failures.
+    pub fn parse(line: usize, msg: impl Into<String>) -> Self {
+        FlashError::Parse { line, msg: msg.into() }
+    }
+
+    /// The offending input line for [`FlashError::Parse`] errors.
+    pub fn parse_line(&self) -> Option<usize> {
+        match self {
+            FlashError::Parse { line, .. } => Some(*line),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FlashError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlashError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+            FlashError::WorkerPanic { worker, message } => {
+                write!(f, "worker {worker} panicked: {message}")
+            }
+            FlashError::RestartsExhausted { worker, restarts } => {
+                write!(f, "worker {worker} abandoned after {restarts} restarts")
+            }
+            FlashError::ChannelClosed { worker } => {
+                write!(f, "channel to worker {worker} closed")
+            }
+            FlashError::DrainTimeout { abandoned } => {
+                write!(f, "drain deadline expired; abandoned workers {abandoned:?}")
+            }
+            FlashError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FlashError::parse(7, "bad prefix");
+        assert_eq!(e.to_string(), "line 7: bad prefix");
+        assert_eq!(e.parse_line(), Some(7));
+        let e = FlashError::DrainTimeout { abandoned: vec![1, 3] };
+        assert!(e.to_string().contains("[1, 3]"));
+        assert_eq!(e.parse_line(), None);
+    }
+}

@@ -59,12 +59,23 @@
 //! ```
 
 pub mod adapter;
+pub mod channel;
 pub mod dispatcher;
+pub mod error;
+pub mod fault;
 pub mod live;
 pub mod parallel;
+pub mod supervise;
 pub mod verifier;
 
+pub use channel::{Backpressure, ChannelStats, SendOutcome};
 pub use dispatcher::{Dispatcher, DispatcherConfig, TimedReport};
-pub use live::{LiveMessage, LiveReport, LiveVerifier};
+pub use error::FlashError;
+pub use fault::{FaultPlan, FaultStats, KillSpec};
+pub use live::{
+    DrainOutcome, LiveConfig, LiveMessage, LiveReport, LiveService, LiveVerifier,
+    ServiceStats, WorkerStats,
+};
 pub use parallel::{parallel_model_construction, ParallelStats};
+pub use supervise::{RestartPolicy, WorkerHealth};
 pub use verifier::{Property, PropertyReport, SubspaceVerifier, SubspaceVerifierConfig};

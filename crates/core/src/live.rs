@@ -1,24 +1,46 @@
-//! Live (threaded) verification service: one OS thread per subspace,
-//! streaming agent messages through crossbeam channels — the deployment
-//! shape of Figure 1 where the CE2D dispatcher forwards updates to
-//! subspace verifiers running in parallel.
+//! Live (threaded) verification service — the deployment shape of
+//! Figure 1, hardened for long-running operation.
 //!
-//! Data plane verification is CPU-bound, so this is plain threads over
-//! bounded channels (no async runtime): each worker owns one
-//! [`Dispatcher`] restricted to its subspaces; the routing thread fans
-//! messages out by subspace admission; reports flow back over a shared
-//! channel tagged with their wall-clock processing latency.
+//! One OS thread per worker, each owning a CE2D [`Dispatcher`]
+//! restricted to its round-robin share of the subspaces. On top of the
+//! seed's plain fan-out, the service adds the fault-tolerance layer:
+//!
+//! * **supervision** — workers run under `catch_unwind` and are
+//!   respawned after a panic by replaying their journaled message
+//!   history (epoch replay; see [`crate::supervise`]), with restart
+//!   budgets and exponential backoff;
+//! * **backpressure policy** — inbound queues are policy channels
+//!   ([`Backpressure::Block`] / [`Backpressure::DropOldest`] /
+//!   [`Backpressure::Shed`]) with per-worker drop and depth counters
+//!   surfaced through [`LiveService::stats`];
+//! * **ingress dedup** — messages are identified by `(device, epoch,
+//!   at)` and delivered to workers at most once, which makes
+//!   at-least-once agent transports (duplicates, retransmitted drops)
+//!   safe;
+//! * **graceful drain** — [`LiveService::drain`] closes the inbound
+//!   channels, lets workers flush everything already queued, joins them
+//!   under a deadline, and reports the ones it had to abandon;
+//! * **fault injection** — an optional seeded [`FaultPlan`] perturbs
+//!   the ingress stream and kills chosen workers, for chaos tests.
 
-use crate::dispatcher::{Dispatcher, DispatcherConfig, TimedReport};
+use crate::channel::{policy_channel, Backpressure, ChannelProbe, ChannelStats, PolicySender};
+use crate::dispatcher::{DispatcherConfig, TimedReport};
+use crate::error::FlashError;
+use crate::fault::{FaultInjector, FaultPlan, FaultStats};
+use crate::supervise::{run_supervised, RestartPolicy, WorkerFaults, WorkerHealth, WorkerShared};
 use crate::verifier::Property;
-use crossbeam::channel::{bounded, Receiver, Sender};
 use flash_ce2d::EpochTag;
 use flash_imt::SubspaceSpec;
 use flash_netmodel::{ActionTable, DeviceId, HeaderLayout, RuleUpdate, Topology};
-use std::sync::Arc;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-/// One inbound agent message.
+/// One inbound agent message. `(device, epoch, at)` is the message's
+/// identity for ingress deduplication: redelivered copies are dropped.
 #[derive(Clone, Debug)]
 pub struct LiveMessage {
     /// Virtual arrival time (carried through to reports).
@@ -32,39 +54,160 @@ pub struct LiveMessage {
 #[derive(Clone, Debug)]
 pub struct LiveReport {
     /// The dispatcher report. Note `report.subspace` indexes the
-    /// *worker's own* subspace subset (subspaces are dealt round-robin:
-    /// global index = `report.subspace * workers + worker`).
+    /// *worker's own* subspace subset; use
+    /// [`LiveReport::global_subspace`] for the service-wide index.
     pub report: TimedReport,
     /// Wall-clock time the worker spent producing this report's batch.
     pub processing: std::time::Duration,
     /// Index of the worker that produced it.
     pub worker: usize,
+    /// Worker count of the producing service (for the round-robin
+    /// subspace index math).
+    pub total_workers: usize,
 }
 
-enum WorkerMsg {
-    Message(LiveMessage),
-    Shutdown,
+impl LiveReport {
+    /// Round-robin subspace math: worker `w` owns global subspaces
+    /// `{ g : g % workers == w }` in increasing order, so local index
+    /// `l` on worker `w` is global subspace `l * workers + w`.
+    pub fn global_subspace_index(worker: usize, local_idx: usize, workers: usize) -> usize {
+        local_idx * workers.max(1) + worker
+    }
+
+    /// The service-wide index of the subspace this report is about.
+    pub fn global_subspace(&self) -> usize {
+        Self::global_subspace_index(self.worker, self.report.subspace, self.total_workers)
+    }
 }
 
-/// Handle to a running verification service.
+/// Tuning knobs of a [`LiveService`].
+#[derive(Clone, Debug)]
+pub struct LiveConfig {
+    /// Per-worker inbound queue capacity.
+    pub capacity: usize,
+    /// What senders do when a worker's queue is full.
+    pub backpressure: Backpressure,
+    /// Panic supervision budget.
+    pub restart: RestartPolicy,
+    /// Optional seeded fault injection (chaos testing).
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            capacity: 1024,
+            backpressure: Backpressure::Block,
+            restart: RestartPolicy::default(),
+            faults: None,
+        }
+    }
+}
+
+/// Per-worker counters reported by [`LiveService::stats`].
+#[derive(Clone, Debug)]
+pub struct WorkerStats {
+    pub worker: usize,
+    /// Respawns after panics.
+    pub restarts: u32,
+    /// Messages processed, including epoch-replayed ones.
+    pub batches: u64,
+    pub health: WorkerHealth,
+    /// Inbound channel counters (drops, peak depth, enqueued).
+    pub channel: ChannelStats,
+    /// Current inbound queue depth.
+    pub depth: usize,
+    /// Most recent failure, if any.
+    pub last_error: Option<FlashError>,
+}
+
+/// Service-wide counters.
+#[derive(Clone, Debug)]
+pub struct ServiceStats {
+    pub workers: Vec<WorkerStats>,
+    /// Ingress messages dropped as redelivered duplicates.
+    pub deduplicated: u64,
+    /// Messages that targeted a worker whose channel had closed
+    /// (abandoned or already drained).
+    pub lost_to_dead_workers: u64,
+    /// Injector counters when fault injection is enabled.
+    pub faults: Option<FaultStats>,
+}
+
+impl ServiceStats {
+    pub fn total_restarts(&self) -> u32 {
+        self.workers.iter().map(|w| w.restarts).sum()
+    }
+
+    pub fn total_dropped(&self) -> u64 {
+        self.workers.iter().map(|w| w.channel.dropped).sum::<u64>()
+            + self.lost_to_dead_workers
+    }
+}
+
+/// Outcome of [`LiveService::drain`].
+#[derive(Debug)]
+pub struct DrainOutcome {
+    /// Every report still queued when the workers stopped.
+    pub reports: Vec<LiveReport>,
+    /// Workers that missed the deadline and were abandoned un-joined.
+    pub abandoned: Vec<usize>,
+    /// Final service counters.
+    pub stats: ServiceStats,
+}
+
+impl DrainOutcome {
+    /// `Err(FlashError::DrainTimeout)` when any worker was abandoned.
+    pub fn ok(&self) -> Result<(), FlashError> {
+        if self.abandoned.is_empty() {
+            Ok(())
+        } else {
+            Err(FlashError::DrainTimeout {
+                abandoned: self.abandoned.clone(),
+            })
+        }
+    }
+}
+
+/// Handle to a running, supervised verification service.
 ///
-/// Feed messages with [`LiveVerifier::send`]; reports arrive on
-/// [`LiveVerifier::reports`]. Dropping the handle (or calling
-/// [`LiveVerifier::shutdown`]) stops the workers.
-pub struct LiveVerifier {
-    inputs: Vec<Sender<WorkerMsg>>,
-    /// Which worker handles each subspace.
+/// Feed messages with [`LiveService::send`]; reports arrive on
+/// [`LiveService::reports`]. Stop with [`LiveService::drain`] (deadline)
+/// or [`LiveService::shutdown`] (generous default deadline).
+pub struct LiveService {
+    inputs: Vec<PolicySender<LiveMessage>>,
+    probes: Vec<ChannelProbe<LiveMessage>>,
+    shared: Vec<Arc<WorkerShared>>,
+    /// Which worker handles each global subspace.
     subspace_worker: Vec<usize>,
     plan: Vec<SubspaceSpec>,
     layout: HeaderLayout,
     reports_rx: Receiver<LiveReport>,
     workers: Vec<JoinHandle<()>>,
+    injector: Option<Mutex<FaultInjector>>,
+    seen: Mutex<HashSet<(DeviceId, EpochTag, u64)>>,
+    deduplicated: AtomicU64,
+    lost_to_dead: AtomicU64,
 }
 
-impl LiveVerifier {
+impl std::fmt::Debug for LiveService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveService")
+            .field("workers", &self.inputs.len())
+            .field("subspaces", &self.plan.len())
+            .field("fault_injection", &self.injector.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The seed's name for the service, kept as an alias for existing
+/// callers (examples, tests, downstream code).
+pub type LiveVerifier = LiveService;
+
+impl LiveService {
     /// Spawns `workers` threads covering `subspaces` (round-robin
-    /// assignment). Each worker runs a full CE2D dispatcher over its
-    /// subspace subset.
+    /// assignment) with the default [`LiveConfig`]: blocking
+    /// backpressure, default restart budget, no fault injection.
     pub fn spawn(
         topo: Arc<Topology>,
         actions: Arc<ActionTable>,
@@ -74,9 +217,42 @@ impl LiveVerifier {
         bst: usize,
         workers: usize,
     ) -> Self {
+        Self::spawn_with(
+            topo,
+            actions,
+            layout,
+            subspaces,
+            properties,
+            bst,
+            workers,
+            LiveConfig::default(),
+        )
+        .expect("default LiveConfig is always valid")
+    }
+
+    /// Spawns the service with explicit fault-tolerance configuration.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn_with(
+        topo: Arc<Topology>,
+        actions: Arc<ActionTable>,
+        layout: HeaderLayout,
+        subspaces: Vec<SubspaceSpec>,
+        properties: Vec<Property>,
+        bst: usize,
+        workers: usize,
+        config: LiveConfig,
+    ) -> Result<Self, FlashError> {
         let workers = workers.max(1).min(subspaces.len().max(1));
-        let (reports_tx, reports_rx) = bounded::<LiveReport>(1024);
+        if config.capacity == 0 {
+            return Err(FlashError::Config("capacity must be >= 1".into()));
+        }
+        if let Some(plan) = &config.faults {
+            plan.validate(workers)?;
+        }
+        let (reports_tx, reports_rx) = mpsc::channel::<LiveReport>();
         let mut inputs = Vec::with_capacity(workers);
+        let mut probes = Vec::with_capacity(workers);
+        let mut shared = Vec::with_capacity(workers);
         let mut handles = Vec::with_capacity(workers);
         // Round-robin subspace → worker map.
         let subspace_worker: Vec<usize> =
@@ -89,8 +265,11 @@ impl LiveVerifier {
                 .filter(|(i, _)| subspace_worker[*i] == w)
                 .map(|(_, s)| *s)
                 .collect();
-            let (tx, rx) = bounded::<WorkerMsg>(1024);
+            let (tx, rx) = policy_channel::<LiveMessage>(config.capacity, config.backpressure);
+            probes.push(tx.probe());
             inputs.push(tx);
+            let ws = Arc::new(WorkerShared::new());
+            shared.push(ws.clone());
             let cfg = DispatcherConfig {
                 topo: topo.clone(),
                 actions: actions.clone(),
@@ -99,26 +278,74 @@ impl LiveVerifier {
                 bst,
                 properties: properties.clone(),
             };
+            let faults = WorkerFaults {
+                kill_after: config.faults.as_ref().and_then(|p| p.kill_for(w)),
+                delay: config.faults.as_ref().and_then(|p| p.worker_delay),
+            };
             let out = reports_tx.clone();
+            let restart = config.restart;
             handles.push(std::thread::spawn(move || {
-                worker_loop(cfg, rx, out, w);
+                run_supervised(cfg, rx, out, w, workers, restart, ws, faults);
             }));
         }
 
-        LiveVerifier {
+        Ok(LiveService {
             inputs,
+            probes,
+            shared,
             subspace_worker,
             plan: subspaces,
             layout,
             reports_rx,
             workers: handles,
+            injector: config
+                .faults
+                .map(|p| Mutex::new(FaultInjector::new(p))),
+            seen: Mutex::new(HashSet::new()),
+            deduplicated: AtomicU64::new(0),
+            lost_to_dead: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Round-robin subspace math for this service's worker count (see
+    /// [`LiveReport::global_subspace_index`]).
+    pub fn global_subspace(&self, worker: usize, local_idx: usize) -> usize {
+        LiveReport::global_subspace_index(worker, local_idx, self.worker_count())
+    }
+
+    /// Feeds one agent message through the (optional) fault injector,
+    /// then routes each resulting delivery to every worker whose
+    /// subspaces its updates can affect (all workers when any update is
+    /// subspace-agnostic, e.g. an empty epoch announcement).
+    pub fn send(&self, msg: LiveMessage) {
+        match &self.injector {
+            Some(inj) => {
+                let deliveries = inj.lock().unwrap().offer(msg);
+                for d in deliveries {
+                    self.deliver(d);
+                }
+            }
+            None => self.deliver(msg),
         }
     }
 
-    /// Routes one agent message to every worker whose subspaces its
-    /// updates can affect (all workers when any update is subspace-
-    /// agnostic, e.g. an empty epoch announcement).
-    pub fn send(&self, msg: LiveMessage) {
+    fn deliver(&self, msg: LiveMessage) {
+        // Ingress dedup: at-least-once transports may redeliver; each
+        // (device, epoch, at) identity is processed at most once.
+        if !self
+            .seen
+            .lock()
+            .unwrap()
+            .insert((msg.device, msg.epoch, msg.at))
+        {
+            self.deduplicated.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
         let mut targets: Vec<bool> = vec![false; self.inputs.len()];
         if msg.updates.is_empty() {
             // Epoch announcements concern every verifier.
@@ -133,9 +360,10 @@ impl LiveVerifier {
             }
         }
         for (w, hit) in targets.iter().enumerate() {
-            if *hit {
-                // A full channel applies backpressure to the feed.
-                let _ = self.inputs[w].send(WorkerMsg::Message(msg.clone()));
+            if *hit && self.inputs[w].send(msg.clone()).is_err() {
+                // Worker abandoned (or already drained): count, don't
+                // wedge the feed.
+                self.lost_to_dead.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -145,57 +373,91 @@ impl LiveVerifier {
         &self.reports_rx
     }
 
-    /// Stops all workers and waits for them. Reports already queued stay
-    /// readable on the receiver.
-    pub fn shutdown(mut self) -> Vec<LiveReport> {
-        for tx in &self.inputs {
-            let _ = tx.send(WorkerMsg::Shutdown);
+    /// Current service counters.
+    pub fn stats(&self) -> ServiceStats {
+        let workers = self
+            .shared
+            .iter()
+            .enumerate()
+            .map(|(w, ws)| WorkerStats {
+                worker: w,
+                restarts: ws.restarts.load(Ordering::SeqCst),
+                batches: ws.batches.load(Ordering::SeqCst),
+                health: ws.health(),
+                channel: self.probes[w].stats(),
+                depth: self.probes[w].depth(),
+                last_error: ws.last_error.lock().unwrap().clone(),
+            })
+            .collect();
+        ServiceStats {
+            workers,
+            deduplicated: self.deduplicated.load(Ordering::Relaxed),
+            lost_to_dead_workers: self.lost_to_dead.load(Ordering::Relaxed),
+            faults: self
+                .injector
+                .as_ref()
+                .map(|i| i.lock().unwrap().stats()),
         }
-        for h in self.workers.drain(..) {
-            let _ = h.join();
-        }
-        let mut out = Vec::new();
-        while let Ok(r) = self.reports_rx.try_recv() {
-            out.push(r);
-        }
-        out
     }
-}
 
-fn worker_loop(
-    cfg: DispatcherConfig,
-    rx: Receiver<WorkerMsg>,
-    out: Sender<LiveReport>,
-    worker: usize,
-) {
-    let mut dispatcher = Dispatcher::new(cfg);
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            WorkerMsg::Shutdown => break,
-            WorkerMsg::Message(m) => {
-                let t0 = std::time::Instant::now();
-                let reports = dispatcher.on_message(m.at, m.device, m.epoch, m.updates);
-                let processing = t0.elapsed();
-                for report in reports {
-                    if out
-                        .send(LiveReport {
-                            report,
-                            processing,
-                            worker,
-                        })
-                        .is_err()
-                    {
-                        return; // receiver gone: stop
-                    }
-                }
+    /// Graceful drain: releases any messages the fault injector still
+    /// holds, closes the inbound channels (workers flush everything
+    /// already queued, then exit), joins workers until `deadline`, and
+    /// returns the queued reports plus the workers it had to abandon.
+    pub fn drain(mut self, deadline: Duration) -> DrainOutcome {
+        // 1. Retransmit everything the injector still holds.
+        if let Some(inj) = &self.injector {
+            let held = inj.lock().unwrap().flush();
+            for m in held {
+                self.deliver(m);
             }
         }
+        // 2. Closing the channels is the drain signal: receivers hand
+        //    out all queued messages before reporting disconnection.
+        self.inputs.clear();
+        // 3. Join under the deadline.
+        let t0 = Instant::now();
+        loop {
+            let all_done = self.shared.iter().all(|ws| ws.done.load(Ordering::SeqCst));
+            if all_done || t0.elapsed() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut abandoned = Vec::new();
+        for (w, h) in self.workers.drain(..).enumerate() {
+            if self.shared[w].done.load(Ordering::SeqCst) {
+                let _ = h.join();
+            } else {
+                // Deliberately leaked: the thread may be wedged. Its
+                // channel is closed, so it can make no further progress
+                // visible to consumers.
+                abandoned.push(w);
+            }
+        }
+        let stats = self.stats();
+        let mut reports = Vec::new();
+        while let Ok(r) = self.reports_rx.try_recv() {
+            reports.push(r);
+        }
+        DrainOutcome {
+            reports,
+            abandoned,
+            stats,
+        }
+    }
+
+    /// Stops all workers and waits for them (generous 30 s deadline).
+    /// Reports already queued are returned.
+    pub fn shutdown(self) -> Vec<LiveReport> {
+        self.drain(Duration::from_secs(30)).reports
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::KillSpec;
     use crate::verifier::PropertyReport;
     use flash_netmodel::{FieldId, Match, Rule};
 
@@ -247,6 +509,7 @@ mod tests {
             .expect("a report should arrive");
         assert!(matches!(report.report.report, PropertyReport::LoopFound { .. }));
         assert_eq!(report.report.epoch, 42);
+        assert_eq!(report.global_subspace(), 0);
         v.shutdown();
     }
 
@@ -288,6 +551,10 @@ mod tests {
             .expect("a report should arrive");
         assert_eq!(report.worker, 0, "low-half subspace lives on worker 0");
         assert_eq!(report.report.subspace, 0);
+        assert_eq!(
+            report.global_subspace(),
+            v.global_subspace(report.worker, report.report.subspace)
+        );
         let leftovers = v.shutdown();
         // No duplicate loop report from the other worker.
         assert!(leftovers
@@ -351,5 +618,258 @@ mod tests {
         }
         assert_eq!(holds, 2, "both subspace verifiers report the clean verdict");
         v.shutdown();
+    }
+
+    #[test]
+    fn duplicate_ingress_messages_are_filtered() {
+        let (topo, ids, actions, layout) = triangle();
+        let v = LiveVerifier::spawn(
+            topo,
+            actions,
+            layout.clone(),
+            vec![SubspaceSpec::whole()],
+            vec![Property::LoopFreedom],
+            1,
+            1,
+        );
+        let msg = LiveMessage {
+            at: 1,
+            device: ids[0],
+            epoch: 3,
+            updates: vec![],
+        };
+        v.send(msg.clone());
+        v.send(msg.clone());
+        v.send(msg);
+        let stats = v.stats();
+        assert_eq!(stats.deduplicated, 2);
+        v.shutdown();
+    }
+
+    #[test]
+    fn worker_panic_is_supervised_and_restarted_once() {
+        let (topo, ids, actions, layout) = triangle();
+        let cfg = LiveConfig {
+            faults: Some(FaultPlan {
+                kill_workers: vec![KillSpec { worker: 0, after_batches: 1 }],
+                ..FaultPlan::default()
+            }),
+            ..LiveConfig::default()
+        };
+        let v = LiveService::spawn_with(
+            topo,
+            actions,
+            layout.clone(),
+            vec![SubspaceSpec::whole()],
+            vec![Property::LoopFreedom],
+            1,
+            1,
+            cfg,
+        )
+        .unwrap();
+        let m = Match::dst_prefix(&layout, 10, 8);
+        let (fwd_a, fwd_b) = (flash_netmodel::ActionId(1), flash_netmodel::ActionId(2));
+        // First message triggers the injected kill before processing;
+        // supervision must replay it and still find the loop.
+        v.send(LiveMessage {
+            at: 1,
+            device: ids[0],
+            epoch: 5,
+            updates: vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_b))],
+        });
+        v.send(LiveMessage {
+            at: 2,
+            device: ids[1],
+            epoch: 5,
+            updates: vec![RuleUpdate::insert(Rule::new(m, 1, fwd_a))],
+        });
+        let report = v
+            .reports()
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("the service must not hang after a worker panic");
+        assert!(matches!(report.report.report, PropertyReport::LoopFound { .. }));
+        let stats = v.stats();
+        assert_eq!(stats.workers[0].restarts, 1);
+        assert!(matches!(
+            stats.workers[0].last_error,
+            Some(FlashError::WorkerPanic { worker: 0, .. })
+        ));
+        let out = v.drain(Duration::from_secs(10));
+        assert!(out.ok().is_ok());
+        assert!(out.abandoned.is_empty());
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_abandons_worker_without_wedging_send() {
+        let (topo, ids, actions, layout) = triangle();
+        let cfg = LiveConfig {
+            capacity: 2,
+            restart: RestartPolicy {
+                max_restarts: 0,
+                backoff_base: Duration::from_millis(1),
+                backoff_cap: Duration::from_millis(2),
+            },
+            faults: Some(FaultPlan {
+                kill_workers: vec![KillSpec { worker: 0, after_batches: 1 }],
+                ..FaultPlan::default()
+            }),
+            ..LiveConfig::default()
+        };
+        let v = LiveService::spawn_with(
+            topo,
+            actions,
+            layout,
+            vec![SubspaceSpec::whole()],
+            vec![Property::LoopFreedom],
+            1,
+            1,
+            cfg,
+        )
+        .unwrap();
+        for at in 0..20 {
+            v.send(LiveMessage {
+                at,
+                device: ids[(at % 3) as usize],
+                epoch: 1,
+                updates: vec![],
+            });
+        }
+        // Give the supervisor a moment to abandon the worker, then keep
+        // sending: Block backpressure must not wedge on a dead worker.
+        std::thread::sleep(Duration::from_millis(50));
+        for at in 20..40 {
+            v.send(LiveMessage {
+                at,
+                device: ids[(at % 3) as usize],
+                epoch: 1,
+                updates: vec![],
+            });
+        }
+        let stats = v.stats();
+        assert_eq!(stats.workers[0].health, WorkerHealth::Abandoned);
+        assert!(matches!(
+            stats.workers[0].last_error,
+            Some(FlashError::RestartsExhausted { worker: 0, restarts: 0 })
+        ));
+        assert!(stats.lost_to_dead_workers > 0);
+        let out = v.drain(Duration::from_secs(5));
+        assert!(out.ok().is_ok(), "abandoned supervisor still exits");
+    }
+
+    #[test]
+    fn shed_backpressure_bounds_queue_depth_under_stalled_consumer() {
+        let (topo, ids, actions, layout) = triangle();
+        let cfg = LiveConfig {
+            capacity: 1024,
+            backpressure: Backpressure::Shed { max_lag: 8 },
+            faults: Some(FaultPlan {
+                // Stall the consumer so the queue actually fills.
+                worker_delay: Some(Duration::from_millis(40)),
+                ..FaultPlan::default()
+            }),
+            ..LiveConfig::default()
+        };
+        let v = LiveService::spawn_with(
+            topo,
+            actions,
+            layout,
+            vec![SubspaceSpec::whole()],
+            vec![Property::LoopFreedom],
+            1,
+            1,
+            cfg,
+        )
+        .unwrap();
+        for at in 0..200 {
+            v.send(LiveMessage {
+                at,
+                device: ids[(at % 3) as usize],
+                epoch: 1,
+                updates: vec![],
+            });
+        }
+        let stats = v.stats();
+        assert!(
+            stats.workers[0].channel.max_depth <= 8,
+            "queue depth {} exceeded max_lag",
+            stats.workers[0].channel.max_depth
+        );
+        assert!(stats.workers[0].channel.dropped > 0, "drop counter visible");
+        assert!(stats.total_dropped() > 0);
+        // Drain must still terminate promptly: only ≤ max_lag messages
+        // are queued.
+        let out = v.drain(Duration::from_secs(10));
+        assert!(out.ok().is_ok());
+    }
+
+    #[test]
+    fn drop_oldest_keeps_service_current() {
+        let (topo, ids, actions, layout) = triangle();
+        let cfg = LiveConfig {
+            capacity: 4,
+            backpressure: Backpressure::DropOldest,
+            faults: Some(FaultPlan {
+                worker_delay: Some(Duration::from_millis(20)),
+                ..FaultPlan::default()
+            }),
+            ..LiveConfig::default()
+        };
+        let v = LiveService::spawn_with(
+            topo,
+            actions,
+            layout,
+            vec![SubspaceSpec::whole()],
+            vec![Property::LoopFreedom],
+            1,
+            1,
+            cfg,
+        )
+        .unwrap();
+        for at in 0..50 {
+            v.send(LiveMessage {
+                at,
+                device: ids[(at % 3) as usize],
+                epoch: 1,
+                updates: vec![],
+            });
+        }
+        let stats = v.stats();
+        assert!(stats.workers[0].channel.dropped > 0);
+        assert!(stats.workers[0].channel.max_depth <= 4);
+        v.shutdown();
+    }
+
+    #[test]
+    fn spawn_with_rejects_invalid_config() {
+        let (topo, _, actions, layout) = triangle();
+        let bad = LiveConfig { capacity: 0, ..LiveConfig::default() };
+        let err = LiveService::spawn_with(
+            topo.clone(),
+            actions.clone(),
+            layout.clone(),
+            vec![SubspaceSpec::whole()],
+            vec![Property::LoopFreedom],
+            1,
+            1,
+            bad,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FlashError::Config(_)));
+        let bad = LiveConfig {
+            faults: Some(FaultPlan { drop_prob: 2.0, ..FaultPlan::default() }),
+            ..LiveConfig::default()
+        };
+        let err = LiveService::spawn_with(
+            topo,
+            actions,
+            layout,
+            vec![SubspaceSpec::whole()],
+            vec![Property::LoopFreedom],
+            1,
+            1,
+            bad,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FlashError::Config(_)));
     }
 }

@@ -2,10 +2,10 @@
 //! §5.5): updates are routed to per-subspace verifiers which run on OS
 //! threads — the deployment shape of the paper's 112-subspace LNet runs.
 //!
-//! Verification is CPU-bound, so plain scoped threads over crossbeam
-//! channels are used (no async runtime): each worker owns one or more
-//! subspace verifiers with their private BDD managers, so the hot path
-//! takes no locks.
+//! Verification is CPU-bound, so plain `std::thread::scope` threads are
+//! used (no async runtime, no external crates): each worker owns one or
+//! more subspace verifiers with their private BDD managers, so the hot
+//! path takes no locks.
 
 use flash_imt::{ModelManager, ModelManagerConfig, SubspacePlan};
 use flash_netmodel::{DeviceId, HeaderLayout, RuleUpdate};
@@ -72,13 +72,13 @@ pub fn parallel_model_construction(
     let mut cpu_times: Vec<Duration> = vec![Duration::ZERO; plan.len()];
 
     // Work-stealing by index chunks: thread t handles subspaces t, t+T, …
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (t, chunk) in queues.chunks(queues.len().div_ceil(threads)).enumerate() {
             let base = t * queues.len().div_ceil(threads);
             let plan_ref = &plan.subspaces;
             let layout = layout.clone();
-            let handle = scope.spawn(move |_| {
+            let handle = scope.spawn(move || {
                 let mut results = Vec::new();
                 for (off, queue) in chunk.iter().enumerate() {
                     let idx = base + off;
@@ -115,8 +115,7 @@ pub fn parallel_model_construction(
                 cpu_times[idx] = cpu;
             }
         }
-    })
-    .expect("thread scope");
+    });
 
     let wall = start.elapsed();
     let cpu_total = cpu_times.iter().sum();

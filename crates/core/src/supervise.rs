@@ -1,0 +1,304 @@
+//! Worker supervision: `catch_unwind` isolation plus epoch-replay
+//! recovery.
+//!
+//! Each live-service worker runs its CE2D dispatcher inside
+//! [`std::panic::catch_unwind`]. When the worker panics, the supervisor
+//! (the same OS thread, one frame up) rebuilds a fresh [`Dispatcher`]
+//! and **replays the worker's journaled message history** through it —
+//! the paper's epoch-replay mechanism ("flushes the updates from the
+//! device's update queue"), reused for crash recovery: replaying the
+//! same epoch-tagged messages deterministically reconstructs the
+//! tracker, per-device histories, and per-epoch verifier sets. Reports
+//! already delivered before the crash are suppressed by an emitted-set
+//! that lives *outside* the unwind boundary, so consumers see each
+//! verdict exactly once.
+//!
+//! Restarts are budgeted by [`RestartPolicy`]: exponential backoff
+//! (capped) between respawns, and after `max_restarts` failures the
+//! worker is abandoned — its receiver drops, so senders observe a
+//! disconnected channel instead of blocking forever.
+
+use crate::channel::PolicyReceiver;
+use crate::dispatcher::{Dispatcher, DispatcherConfig};
+use crate::error::FlashError;
+use crate::live::{LiveMessage, LiveReport};
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How a supervisor responds to worker panics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Panics tolerated before the worker is abandoned.
+    pub max_restarts: u32,
+    /// Backoff before the first respawn; doubles per restart.
+    pub backoff_base: Duration,
+    /// Upper bound on the backoff.
+    pub backoff_cap: Duration,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            max_restarts: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(500),
+        }
+    }
+}
+
+impl RestartPolicy {
+    /// Backoff before restart number `n` (1-based): `base * 2^(n-1)`,
+    /// capped.
+    pub fn backoff_for(&self, n: u32) -> Duration {
+        let shift = n.saturating_sub(1).min(16);
+        self.backoff_cap
+            .min(self.backoff_base.saturating_mul(1u32 << shift))
+    }
+}
+
+/// Lifecycle state of a supervised worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerHealth {
+    /// Processing (or between restarts).
+    Running,
+    /// Exited normally after its input channel drained and closed.
+    Exited,
+    /// Exhausted its restart budget; no longer consuming input.
+    Abandoned,
+}
+
+/// State a supervised worker shares with the service handle.
+pub(crate) struct WorkerShared {
+    /// Times the worker has been respawned after a panic.
+    pub restarts: AtomicU32,
+    /// Messages processed, *including* replayed ones.
+    pub batches: AtomicU64,
+    /// Latch ensuring an injected kill fires exactly once.
+    pub kill_fired: AtomicBool,
+    /// Set when the supervisor thread is about to return.
+    pub done: AtomicBool,
+    pub health: Mutex<WorkerHealth>,
+    /// Most recent failure, if any.
+    pub last_error: Mutex<Option<FlashError>>,
+}
+
+impl WorkerShared {
+    pub fn new() -> Self {
+        WorkerShared {
+            restarts: AtomicU32::new(0),
+            batches: AtomicU64::new(0),
+            kill_fired: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            health: Mutex::new(WorkerHealth::Running),
+            last_error: Mutex::new(None),
+        }
+    }
+
+    pub fn health(&self) -> WorkerHealth {
+        *self.health.lock().unwrap()
+    }
+}
+
+/// Faults the supervisor injects into its own worker (from a
+/// [`crate::fault::FaultPlan`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct WorkerFaults {
+    /// Panic once after this many processed batches.
+    pub kill_after: Option<u64>,
+    /// Minimum per-batch processing time.
+    pub delay: Option<Duration>,
+}
+
+enum ExitReason {
+    /// Input channel closed after draining: graceful shutdown.
+    Drained,
+    /// Report consumer gone; nothing left to do.
+    OutputClosed,
+}
+
+/// Supervisor entry point: runs on the worker's OS thread and owns the
+/// journal and emitted-set across restarts.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_supervised(
+    cfg: DispatcherConfig,
+    rx: PolicyReceiver<LiveMessage>,
+    out: mpsc::Sender<LiveReport>,
+    worker: usize,
+    total_workers: usize,
+    policy: RestartPolicy,
+    shared: Arc<WorkerShared>,
+    faults: WorkerFaults,
+) {
+    // Both survive panics: the journal feeds epoch replay, the emitted
+    // set keeps replayed verdicts from reaching the consumer twice.
+    let mut journal: Vec<LiveMessage> = Vec::new();
+    let mut emitted: HashSet<String> = HashSet::new();
+    loop {
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            run_once(
+                &cfg,
+                &rx,
+                &out,
+                worker,
+                total_workers,
+                &shared,
+                &mut journal,
+                &mut emitted,
+                faults,
+            )
+        }));
+        match attempt {
+            Ok(ExitReason::Drained) | Ok(ExitReason::OutputClosed) => {
+                *shared.health.lock().unwrap() = WorkerHealth::Exited;
+                break;
+            }
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                let n = shared.restarts.load(Ordering::SeqCst) + 1;
+                if n > policy.max_restarts {
+                    *shared.last_error.lock().unwrap() =
+                        Some(FlashError::RestartsExhausted {
+                            worker,
+                            restarts: n - 1,
+                        });
+                    *shared.health.lock().unwrap() = WorkerHealth::Abandoned;
+                    break;
+                }
+                *shared.last_error.lock().unwrap() =
+                    Some(FlashError::WorkerPanic { worker, message });
+                shared.restarts.store(n, Ordering::SeqCst);
+                std::thread::sleep(policy.backoff_for(n));
+                // Loop: run_once rebuilds the dispatcher and replays.
+            }
+        }
+    }
+    shared.done.store(true, Ordering::SeqCst);
+    // Returning drops `rx`: senders to an abandoned worker observe a
+    // disconnected channel instead of blocking.
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_once(
+    cfg: &DispatcherConfig,
+    rx: &PolicyReceiver<LiveMessage>,
+    out: &mpsc::Sender<LiveReport>,
+    worker: usize,
+    total_workers: usize,
+    shared: &WorkerShared,
+    journal: &mut Vec<LiveMessage>,
+    emitted: &mut HashSet<String>,
+    faults: WorkerFaults,
+) -> ExitReason {
+    let mut dispatcher = Dispatcher::new(cfg.clone());
+    // Epoch replay: re-feed the journaled history in arrival order. The
+    // fresh dispatcher deterministically reconstructs tracker state,
+    // per-device update queues, and per-epoch verifier sets; `emitted`
+    // silences the verdicts that already reached the consumer.
+    for m in journal.iter() {
+        let m = m.clone();
+        if process(&mut dispatcher, m, out, worker, total_workers, shared, emitted, faults)
+            .is_err()
+        {
+            return ExitReason::OutputClosed;
+        }
+    }
+    // Live phase: journal *before* processing, so a crash mid-batch
+    // replays the batch that killed us.
+    while let Ok(m) = rx.recv() {
+        journal.push(m.clone());
+        if process(&mut dispatcher, m, out, worker, total_workers, shared, emitted, faults)
+            .is_err()
+        {
+            return ExitReason::OutputClosed;
+        }
+    }
+    ExitReason::Drained
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process(
+    dispatcher: &mut Dispatcher,
+    m: LiveMessage,
+    out: &mpsc::Sender<LiveReport>,
+    worker: usize,
+    total_workers: usize,
+    shared: &WorkerShared,
+    emitted: &mut HashSet<String>,
+    faults: WorkerFaults,
+) -> Result<(), ()> {
+    let batch = shared.batches.fetch_add(1, Ordering::SeqCst) + 1;
+    if let Some(k) = faults.kill_after {
+        if batch >= k && !shared.kill_fired.swap(true, Ordering::SeqCst) {
+            panic!("injected fault: killing worker {worker} after {batch} batches");
+        }
+    }
+    if let Some(d) = faults.delay {
+        std::thread::sleep(d);
+    }
+    let t0 = Instant::now();
+    let reports = dispatcher.on_message(m.at, m.device, m.epoch, m.updates);
+    let processing = t0.elapsed();
+    for report in reports {
+        // Replay determinism gives replayed verdicts the same identity
+        // as their pre-crash originals; only new verdicts pass.
+        let key = format!(
+            "{}|{}|{}|{:?}",
+            report.at, report.epoch, report.subspace, report.report
+        );
+        if !emitted.insert(key) {
+            continue;
+        }
+        let lr = LiveReport {
+            report,
+            processing,
+            worker,
+            total_workers,
+        };
+        if out.send(lr).is_err() {
+            return Err(());
+        }
+    }
+    Ok(())
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let p = RestartPolicy {
+            max_restarts: 10,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(70),
+        };
+        assert_eq!(p.backoff_for(1), Duration::from_millis(10));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(20));
+        assert_eq!(p.backoff_for(3), Duration::from_millis(40));
+        assert_eq!(p.backoff_for(4), Duration::from_millis(70));
+        assert_eq!(p.backoff_for(30), Duration::from_millis(70));
+    }
+
+    #[test]
+    fn panic_message_extraction() {
+        let p: Box<dyn std::any::Any + Send> = Box::new("boom");
+        assert_eq!(panic_message(p.as_ref()), "boom");
+        let p: Box<dyn std::any::Any + Send> = Box::new(String::from("kapow"));
+        assert_eq!(panic_message(p.as_ref()), "kapow");
+        let p: Box<dyn std::any::Any + Send> = Box::new(17u32);
+        assert_eq!(panic_message(p.as_ref()), "non-string panic payload");
+    }
+}

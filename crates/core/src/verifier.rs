@@ -1,6 +1,7 @@
 //! The subspace verifier: one model manager plus the CE2D verifiers for
 //! the properties the operator registered (Figure 1, left box).
 
+use crate::error::FlashError;
 use flash_ce2d::{LoopVerdict, LoopVerifier, RegexVerifier, Verdict};
 use flash_imt::{ModelManager, ModelManagerConfig, SubspaceSpec};
 use flash_netmodel::{ActionTable, DeviceId, HeaderLayout, RuleUpdate, Topology};
@@ -57,7 +58,26 @@ pub struct SubspaceVerifier {
 }
 
 impl SubspaceVerifier {
+    /// Validates the configuration before constructing: `bst == 0`
+    /// never flushes correctly and is rejected as
+    /// [`FlashError::Config`].
+    pub fn try_new(config: SubspaceVerifierConfig) -> Result<Self, FlashError> {
+        if config.bst == 0 {
+            return Err(FlashError::Config(
+                "bst (block size threshold) must be >= 1".into(),
+            ));
+        }
+        Ok(Self::new_unchecked(config))
+    }
+
+    /// Infallible constructor kept for existing callers; panics on a
+    /// configuration [`Self::try_new`] rejects.
     pub fn new(config: SubspaceVerifierConfig) -> Self {
+        Self::try_new(config)
+            .unwrap_or_else(|e| panic!("invalid SubspaceVerifierConfig: {e}"))
+    }
+
+    fn new_unchecked(config: SubspaceVerifierConfig) -> Self {
         let mut mgr = ModelManager::new(ModelManagerConfig {
             layout: config.layout.clone(),
             subspace: config.subspace,
@@ -288,6 +308,17 @@ mod tests {
             r,
             vec![PropertyReport::Satisfied { requirement: "a-reaches-c".into() }]
         );
+    }
+
+    #[test]
+    fn try_new_rejects_zero_bst() {
+        let (topo, _, actions, layout) = triangle();
+        let mut cfg = config(&topo, &actions, &layout, vec![Property::LoopFreedom]);
+        cfg.bst = 0;
+        assert!(matches!(
+            SubspaceVerifier::try_new(cfg),
+            Err(FlashError::Config(_))
+        ));
     }
 
     #[test]

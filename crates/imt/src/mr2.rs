@@ -529,7 +529,7 @@ mod tests {
         let mut bdd = Bdd::new(l.total_bits());
         let mut pat = crate::pat::PatStore::new();
         let mut model = crate::model::InverseModel::new(TRUE);
-        let mut fibs = vec![Fib::new(&l), Fib::new(&l), Fib::new(&l)];
+        let mut fibs = [Fib::new(&l), Fib::new(&l), Fib::new(&l)];
 
         // Initial data plane (Figure 2 left): S1 forwards the two subnets
         // to A, default to S3; S2 default to S1... (abridged: S1 rules only

@@ -2,6 +2,8 @@
 //! against a map oracle, and MR² block processing against per-update
 //! processing on arbitrary workloads.
 
+#![cfg(feature = "proptest")]
+
 use flash_imt::{ModelManager, ModelManagerConfig, PatStore, PAT_NIL};
 use flash_netmodel::{
     ActionId, ActionTable, DeviceId, HeaderLayout, Match, Rule, RuleUpdate, ACTION_DROP,

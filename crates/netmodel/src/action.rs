@@ -5,11 +5,10 @@
 //! and in the persistent action tree) a single integer compare.
 
 use crate::topology::DeviceId;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Interned action id. `ACTION_DROP` is always id 0.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ActionId(pub u32);
 
 /// The interned id of [`Action::Drop`].
@@ -18,7 +17,7 @@ pub const ACTION_DROP: ActionId = ActionId(0);
 /// A single-field header rewrite applied before forwarding (the §7
 /// tunnel/NAT extension: "header rewrites mostly take place at end
 /// hosts", but middleboxes do exist).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Rewrite {
     /// Index of the rewritten field in the header layout.
     pub field: u32,
@@ -29,7 +28,7 @@ pub struct Rewrite {
 /// A forwarding action: drop, forward to a set of next hops (a singleton
 /// for unicast, multiple entries for ECMP / multicast replication), or
 /// rewrite-then-forward (tunnels / NAT, §7).
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Action {
     /// Discard the packet.
     Drop,
@@ -99,10 +98,9 @@ impl Action {
 ///
 /// The table is append-only; `ActionId`s are stable for the lifetime of the
 /// verifier.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ActionTable {
     actions: Vec<Action>,
-    #[serde(skip)]
     index: HashMap<Action, ActionId>,
 }
 

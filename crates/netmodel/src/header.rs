@@ -5,14 +5,13 @@
 //! BDD variable indices (so destination-prefix rules, the common case, sit
 //! at the top of every BDD).
 
-use serde::{Deserialize, Serialize};
 
 /// Index of a field within a [`HeaderLayout`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct FieldId(pub u32);
 
 /// A single fixed-width header field.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FieldSpec {
     pub name: String,
     /// Width in bits (1..=64).
@@ -22,7 +21,7 @@ pub struct FieldSpec {
 }
 
 /// An ordered set of header fields over which matches are defined.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HeaderLayout {
     fields: Vec<FieldSpec>,
     total_bits: u32,

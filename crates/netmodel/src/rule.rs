@@ -9,10 +9,9 @@
 use crate::action::ActionId;
 use crate::header::{FieldId, HeaderLayout};
 use flash_bdd::{Bdd, NodeId};
-use serde::{Deserialize, Serialize};
 
 /// A constraint on a single header field.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MatchKind {
     /// No constraint (wildcard).
     Any,
@@ -113,7 +112,7 @@ fn top_bits(value: u64, w: u32, len: u32) -> u64 {
 }
 
 /// A multi-field match: one [`MatchKind`] per layout field.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Match {
     kinds: Vec<MatchKind>,
 }
@@ -304,7 +303,7 @@ fn field_intervals(kind: &MatchKind, w: u32) -> Vec<(u128, u128)> {
 }
 
 /// A forwarding rule: `⟨match, priority, action⟩`.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Rule {
     pub mat: Match,
     pub priority: i64,
@@ -322,14 +321,14 @@ impl Rule {
 }
 
 /// Insert or delete — the two native rule-update operations.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum RuleOp {
     Insert,
     Delete,
 }
 
 /// One native rule update for one device.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RuleUpdate {
     pub op: RuleOp,
     pub rule: Rule,

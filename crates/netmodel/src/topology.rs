@@ -5,11 +5,10 @@
 //! paper's "virtual nodes" attached to external ports, Appendix B) are
 //! modeled as ordinary devices flagged external.
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of a device (router/switch), dense from 0.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DeviceId(pub u32);
 
 impl DeviceId {
@@ -25,11 +24,11 @@ impl std::fmt::Display for DeviceId {
 }
 
 /// Identifier of a port on a device (dense per device).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PortId(pub u32);
 
 /// A directed link between two devices.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Link {
     pub from: DeviceId,
     pub to: DeviceId,
@@ -39,7 +38,7 @@ pub struct Link {
 ///
 /// All adjacency is precomputed into dense vectors so graph walks during
 /// verification are allocation-free.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Topology {
     names: Vec<String>,
     name_index: HashMap<String, DeviceId>,

@@ -4,6 +4,8 @@
 //! rules whose BDD intersection is empty when both matches are exact
 //! prefix forms (precision on the prefix fast path).
 
+#![cfg(feature = "proptest")]
+
 use flash_bdd::Bdd;
 use flash_netmodel::trie::OverlapTrie;
 use flash_netmodel::{FieldId, HeaderLayout, Match, MatchKind};

@@ -2,6 +2,8 @@
 //! interpreter of the path-expression AST on arbitrary expressions and
 //! paths.
 
+#![cfg(feature = "proptest")]
+
 use flash_netmodel::{DeviceId, Topology};
 use flash_spec::{HopSel, Nfa, PathExpr};
 use proptest::prelude::*;

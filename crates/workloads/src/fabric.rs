@@ -34,7 +34,7 @@ pub struct FatTree {
 /// generators. Every switch carries `tier` and `pod` labels consumable by
 /// the requirement language.
 pub fn fat_tree(k: u32, host_bits: u32) -> FatTree {
-    assert!(k >= 2 && k % 2 == 0, "k must be even and >= 2");
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2");
     let mut topo = Topology::new();
     let half = k / 2;
 
@@ -86,7 +86,7 @@ pub fn fat_tree(k: u32, host_bits: u32) -> FatTree {
     let mut tor_prefix = Vec::new();
     for (p, pod_tors) in tors.iter().enumerate() {
         for (i, &t) in pod_tors.iter().enumerate() {
-            let value = (((p as u64) << tor_bits | i as u64) << host_bits) as u64;
+            let value = ((p as u64) << tor_bits | i as u64) << host_bits;
             tor_prefix.push((t, value, pod_bits + tor_bits));
         }
     }

@@ -47,7 +47,7 @@ fn main() {
         let (bdd, pat, model) = mgr.parts_mut();
         let initial = untunneled.to_bdd(&layout, bdd);
         let plain_next = pat.get(
-            model.classify(bdd, &vec![false; 16]).unwrap().vector,
+            model.classify(bdd, &[false; 16]).unwrap().vector,
             core,
         );
         println!(

@@ -13,6 +13,8 @@
 //! unsynchronized device picks any neighbor or drop) and check the
 //! early-detection verdict against ground truth.
 
+#![cfg(feature = "proptest")]
+
 use flash_ce2d::{LoopVerdict, LoopVerifier, RegexVerifier, Verdict};
 use flash_imt::{ModelManager, ModelManagerConfig};
 use flash_netmodel::{

@@ -1,0 +1,194 @@
+//! Chaos test: the supervised live pipeline must converge to the same
+//! verification verdicts under injected faults (message drop with
+//! retransmission, duplication, reordering, and a worker kill) as a
+//! fault-free run over the identical workload.
+//!
+//! The workload is the OpenR initialization burst over the Internet2
+//! topology: one insert-only message per device, all tagged with the
+//! same epoch. For such workloads the final report set is
+//! order-independent — every loop detected early among a synchronized
+//! subset persists in the final data plane, and the clean verdict only
+//! fires at full synchronization — which is what makes exact
+//! set-equality a sound oracle under reordering.
+
+use flash_core::{
+    Backpressure, FaultPlan, KillSpec, LiveConfig, LiveMessage, LiveReport, LiveService,
+    Property, PropertyReport,
+};
+use flash_imt::SubspaceSpec;
+use flash_netmodel::{FieldId, HeaderLayout};
+use flash_routing::sim::internet2;
+use flash_routing::{OpenRSim, SimConfig};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn workload(buggy: bool) -> (
+    Arc<flash_netmodel::Topology>,
+    Arc<flash_netmodel::ActionTable>,
+    HeaderLayout,
+    Vec<LiveMessage>,
+) {
+    let topo = internet2();
+    let layout = HeaderLayout::new(&[("dst", 16)]);
+    let mut sim = OpenRSim::new(topo.clone(), layout.clone(), SimConfig::default());
+    for (i, dev) in topo.devices().enumerate() {
+        sim.advertise(dev, (i as u64) << 8, 8);
+    }
+    if buggy {
+        sim.set_buggy(topo.lookup("salt").unwrap());
+    }
+    let mut msgs = sim.initialize();
+    msgs.sort_by_key(|m| m.at);
+    let live = msgs
+        .into_iter()
+        .map(|m| LiveMessage {
+            at: m.at,
+            device: m.device,
+            epoch: m.epoch,
+            updates: m.updates,
+        })
+        .collect();
+    (topo, Arc::new(sim.actions().clone()), layout, live)
+}
+
+fn two_subspaces() -> Vec<SubspaceSpec> {
+    vec![
+        SubspaceSpec { field: FieldId(0), value: 0, len: 1 },
+        SubspaceSpec { field: FieldId(0), value: 1 << 15, len: 1 },
+    ]
+}
+
+/// A report reduced to its order-independent identity:
+/// `(epoch, global subspace, normalized verdict)`. Loop cycles are
+/// rotated to start at their smallest device so the same cycle
+/// discovered from a different entry point compares equal.
+fn normalize(reports: &[LiveReport]) -> BTreeSet<(u64, usize, String)> {
+    reports
+        .iter()
+        .map(|r| {
+            let verdict = match &r.report.report {
+                PropertyReport::LoopFound { cycle } => {
+                    let mut c = cycle.clone();
+                    if let Some(min) = c
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, d)| **d)
+                        .map(|(i, _)| i)
+                    {
+                        c.rotate_left(min);
+                    }
+                    format!("loop:{c:?}")
+                }
+                other => format!("{other:?}"),
+            };
+            (r.report.epoch, r.global_subspace(), verdict)
+        })
+        .collect()
+}
+
+fn run(buggy: bool, config: LiveConfig) -> (BTreeSet<(u64, usize, String)>, flash_core::ServiceStats, Vec<usize>) {
+    let (topo, actions, layout, msgs) = workload(buggy);
+    let service = LiveService::spawn_with(
+        topo,
+        actions,
+        layout,
+        two_subspaces(),
+        vec![Property::LoopFreedom],
+        1,
+        2,
+        config,
+    )
+    .expect("config is valid");
+    for m in msgs {
+        service.send(m);
+    }
+    let out = service.drain(Duration::from_secs(60));
+    out.ok().expect("no worker may be abandoned at the deadline");
+    (normalize(&out.reports), out.stats, out.abandoned)
+}
+
+fn chaos_plan() -> FaultPlan {
+    FaultPlan {
+        seed: 0xF1A5,
+        drop_prob: 0.25,
+        dup_prob: 0.25,
+        reorder_prob: 0.25,
+        max_hold: 4,
+        kill_workers: vec![KillSpec { worker: 0, after_batches: 3 }],
+        ..FaultPlan::default()
+    }
+}
+
+#[test]
+fn chaos_run_converges_to_fault_free_verdicts_on_buggy_network() {
+    let (baseline, base_stats, _) = run(true, LiveConfig::default());
+    assert_eq!(base_stats.total_restarts(), 0);
+    assert!(
+        baseline.iter().any(|(_, _, v)| v.starts_with("loop:")),
+        "the fault-free run must find the injected salt loop"
+    );
+
+    let (chaotic, stats, abandoned) = run(
+        true,
+        LiveConfig {
+            faults: Some(chaos_plan()),
+            ..LiveConfig::default()
+        },
+    );
+    assert!(abandoned.is_empty(), "drain must join every worker");
+    assert_eq!(
+        stats.workers[0].restarts, 1,
+        "the killed worker is respawned exactly once"
+    );
+    assert_eq!(stats.workers[1].restarts, 0);
+    let faults = stats.faults.expect("injector stats are recorded");
+    assert!(
+        faults.dropped_then_retransmitted + faults.duplicated + faults.reordered > 0,
+        "the plan's probabilities must actually fire on this workload"
+    );
+    assert_eq!(
+        chaotic, baseline,
+        "faulted run must converge to the fault-free verdict set"
+    );
+}
+
+#[test]
+fn chaos_run_converges_to_fault_free_verdicts_on_clean_network() {
+    let (baseline, _, _) = run(false, LiveConfig::default());
+    assert!(
+        baseline
+            .iter()
+            .any(|(_, _, v)| v == "LoopFreedomHolds"),
+        "the clean network must be certified loop-free"
+    );
+    assert!(baseline.iter().all(|(_, _, v)| !v.starts_with("loop:")));
+
+    let (chaotic, stats, _) = run(
+        false,
+        LiveConfig {
+            backpressure: Backpressure::Block,
+            faults: Some(chaos_plan()),
+            ..LiveConfig::default()
+        },
+    );
+    assert_eq!(stats.workers[0].restarts, 1);
+    assert_eq!(chaotic, baseline);
+}
+
+#[test]
+fn chaos_is_deterministic_per_seed() {
+    let cfg = || LiveConfig {
+        faults: Some(FaultPlan {
+            seed: 42,
+            drop_prob: 0.3,
+            dup_prob: 0.3,
+            reorder_prob: 0.3,
+            ..FaultPlan::default()
+        }),
+        ..LiveConfig::default()
+    };
+    let (_, s1, _) = run(true, cfg());
+    let (_, s2, _) = run(true, cfg());
+    assert_eq!(s1.faults.unwrap(), s2.faults.unwrap(), "same seed, same fault trace");
+}

@@ -3,6 +3,8 @@
 //! every device's FIB — the definition `R ∼ M` of §3.1 checked
 //! empirically (the formal proof is Appendix C's Theorem 2).
 
+#![cfg(feature = "proptest")]
+
 use flash_imt::{ModelManager, ModelManagerConfig};
 use flash_netmodel::{DeviceId, Fib, HeaderLayout};
 use flash_workloads::{fat_tree, fibgen};
