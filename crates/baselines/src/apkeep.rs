@@ -16,7 +16,7 @@
 //! model cross products, which Table 3/Figure 11 show is the dominant
 //! cost under update storms.
 
-use flash_bdd::{Bdd, NodeId, FALSE};
+use flash_bdd::{Pred, PredEngine};
 use flash_imt::{InverseModel, PatStore};
 use flash_netmodel::fib::rule_cmp;
 use flash_netmodel::{DeviceId, Fib, HeaderLayout, RuleOp, RuleUpdate};
@@ -26,7 +26,7 @@ use std::collections::HashMap;
 /// The APKeep* verifier state.
 pub struct ApKeep {
     layout: HeaderLayout,
-    bdd: Bdd,
+    engine: PredEngine,
     pat: PatStore,
     model: InverseModel,
     fibs: HashMap<DeviceId, Fib>,
@@ -40,11 +40,12 @@ pub struct ApKeep {
 
 impl ApKeep {
     pub fn new(layout: HeaderLayout) -> Self {
-        let bdd = Bdd::new(layout.total_bits());
+        let engine = PredEngine::new(layout.total_bits());
+        let universe = engine.true_pred();
         ApKeep {
             layout,
-            model: InverseModel::new(flash_bdd::TRUE),
-            bdd,
+            model: InverseModel::new(universe),
+            engine,
             pat: PatStore::new(),
             fibs: HashMap::new(),
             updates_processed: 0,
@@ -57,20 +58,20 @@ impl ApKeep {
         &self.model
     }
 
-    pub fn bdd(&self) -> &Bdd {
-        &self.bdd
+    pub fn engine(&self) -> &PredEngine {
+        &self.engine
     }
 
     pub fn pat(&self) -> &PatStore {
         &self.pat
     }
 
-    pub fn parts_mut(&mut self) -> (&mut Bdd, &mut PatStore, &InverseModel) {
-        (&mut self.bdd, &mut self.pat, &self.model)
+    pub fn parts_mut(&mut self) -> (&mut PredEngine, &mut PatStore, &InverseModel) {
+        (&mut self.engine, &mut self.pat, &self.model)
     }
 
     pub fn op_count(&self) -> u64 {
-        self.bdd.op_count()
+        self.engine.op_count()
     }
 
     pub fn approx_bytes(&self) -> usize {
@@ -79,7 +80,7 @@ impl ApKeep {
             .values()
             .map(|f| f.len() * std::mem::size_of::<flash_netmodel::Rule>())
             .sum();
-        self.bdd.approx_bytes() + self.pat.approx_bytes() + self.model.approx_bytes() + rule_bytes
+        self.engine.approx_bytes() + self.pat.approx_bytes() + self.model.approx_bytes() + rule_bytes
     }
 
     pub fn updates_processed(&self) -> u64 {
@@ -88,18 +89,18 @@ impl ApKeep {
 
     /// The union of matches of rules strictly above `rule` in `fib`.
     fn shadow_predicate(
-        bdd: &mut Bdd,
+        engine: &mut PredEngine,
         layout: &HeaderLayout,
         fib: &Fib,
         rule: &flash_netmodel::Rule,
-    ) -> NodeId {
-        let mut p = FALSE;
+    ) -> Pred {
+        let mut p = engine.false_pred();
         for r in fib.rules() {
             if rule_cmp(r, rule) != std::cmp::Ordering::Less {
                 break;
             }
-            let m = r.mat.to_bdd(layout, bdd);
-            p = bdd.or(p, m);
+            let m = r.mat.to_pred(layout, engine);
+            p = engine.or(&p, &m);
         }
         p
     }
@@ -121,17 +122,17 @@ impl ApKeep {
                 }
                 let t0 = std::time::Instant::now();
                 let fib = self.fibs.get(&dev).unwrap();
-                let shadow = Self::shadow_predicate(&mut self.bdd, &layout, fib, &update.rule);
-                let m = update.rule.mat.to_bdd(&layout, &mut self.bdd);
-                let eff = self.bdd.diff(m, shadow);
+                let shadow = Self::shadow_predicate(&mut self.engine, &layout, fib, &update.rule);
+                let m = update.rule.mat.to_pred(&layout, &mut self.engine);
+                let eff = self.engine.diff(&m, &shadow);
                 self.time_compute += t0.elapsed();
-                if eff != FALSE {
+                if !eff.is_false() {
                     let t1 = std::time::Instant::now();
                     let ow = Overwrite {
                         pred: eff,
                         writes: vec![(dev, update.rule.action)],
                     };
-                    self.model.apply_overwrite(&mut self.bdd, &mut self.pat, &ow);
+                    self.model.apply_overwrite(&mut self.engine, &mut self.pat, &ow);
                     self.time_apply += t1.elapsed();
                 }
             }
@@ -143,9 +144,9 @@ impl ApKeep {
                 let eff = {
                     let fib = self.fibs.get(&dev).unwrap();
                     let shadow =
-                        Self::shadow_predicate(&mut self.bdd, &layout, fib, &update.rule);
-                    let m = update.rule.mat.to_bdd(&layout, &mut self.bdd);
-                    self.bdd.diff(m, shadow)
+                        Self::shadow_predicate(&mut self.engine, &layout, fib, &update.rule);
+                    let m = update.rule.mat.to_pred(&layout, &mut self.engine);
+                    self.engine.diff(&m, &shadow)
                 };
                 self.time_compute += t0.elapsed();
                 let fib = self.fibs.get_mut(&dev).unwrap();
@@ -163,21 +164,21 @@ impl ApKeep {
                     .cloned()
                     .collect();
                 for r in lower {
-                    if remaining == FALSE {
+                    if remaining.is_false() {
                         break;
                     }
                     let t2 = std::time::Instant::now();
-                    let m = r.mat.to_bdd(&layout, &mut self.bdd);
-                    let part = self.bdd.and(remaining, m);
+                    let m = r.mat.to_pred(&layout, &mut self.engine);
+                    let part = self.engine.and(&remaining, &m);
                     self.time_compute += t2.elapsed();
-                    if part != FALSE {
+                    if !part.is_false() {
                         let t3 = std::time::Instant::now();
                         let ow = Overwrite {
                             pred: part,
                             writes: vec![(dev, r.action)],
                         };
-                        self.model.apply_overwrite(&mut self.bdd, &mut self.pat, &ow);
-                        remaining = self.bdd.diff(remaining, m);
+                        self.model.apply_overwrite(&mut self.engine, &mut self.pat, &ow);
+                        remaining = self.engine.diff(&remaining, &m);
                         self.time_apply += t3.elapsed();
                     }
                 }
@@ -214,8 +215,8 @@ mod tests {
             &RuleUpdate::insert(Rule::new(Match::dst_prefix(&l, 0xA0, 4), 1, a1)),
         );
         assert_eq!(ap.model().len(), 2);
-        let (bdd, _, model) = ap.parts_mut();
-        model.check_invariants(bdd).unwrap();
+        let (engine, _, model) = ap.parts_mut();
+        model.check_invariants(engine).unwrap();
     }
 
     #[test]
@@ -232,10 +233,10 @@ mod tests {
         ap.apply(DeviceId(0), &RuleUpdate::delete(high));
         // Back to a single non-default class covering 0xA0/4 with a1.
         assert_eq!(ap.model().len(), 2);
-        let (bdd, pat, model) = ap.parts_mut();
-        model.check_invariants(bdd).unwrap();
+        let (engine, pat, model) = ap.parts_mut();
+        model.check_invariants(engine).unwrap();
         let bits: Vec<bool> = (0..8).map(|i| (0xA9u8 >> (7 - i)) & 1 == 1).collect();
-        let e = model.classify(bdd, &bits).unwrap();
+        let e = model.classify(engine, &bits).unwrap();
         assert_eq!(pat.get(e.vector, DeviceId(0)), a1);
     }
 
@@ -287,12 +288,12 @@ mod tests {
         let flash_classes = mm.model().len();
         assert_eq!(ap.model().len(), flash_classes);
         // Point-wise agreement.
-        let (fbdd, fpat, fmodel) = mm.parts_mut();
-        let (abdd, apat, amodel) = ap.parts_mut();
+        let (fengine, fpat, fmodel) = mm.parts_mut();
+        let (aengine, apat, amodel) = ap.parts_mut();
         for p in (0..1024u32).step_by(31) {
             let bits: Vec<bool> = (0..10).map(|i| (p >> (9 - i)) & 1 == 1).collect();
-            let fe = fmodel.classify(fbdd, &bits).unwrap();
-            let ae = amodel.classify(abdd, &bits).unwrap();
+            let fe = fmodel.classify(fengine, &bits).unwrap();
+            let ae = amodel.classify(aengine, &bits).unwrap();
             for d in 0..3u32 {
                 assert_eq!(
                     fpat.get(fe.vector, DeviceId(d)),
@@ -325,7 +326,7 @@ mod tests {
         }
         mm.flush();
         assert_eq!(ap.model().len(), mm.model().len());
-        let flash_ops = mm.bdd().op_count();
+        let flash_ops = mm.engine().op_count();
         let apkeep_ops = ap.op_count();
         assert!(
             apkeep_ops > 2 * flash_ops,

@@ -532,8 +532,8 @@ mod tests {
             }
             mm.flush();
         }
-        let (bdd, pat, model) = mm.parts_mut();
-        model.check_invariants(bdd).unwrap();
+        let (engine, pat, model) = mm.parts_mut();
+        model.check_invariants(engine).unwrap();
         assert_eq!(dn.class_count(), model.len(), "EC counts must agree");
         // Spot-check point behaviours.
         for p in 0..1024u128 {
@@ -541,7 +541,7 @@ mod tests {
                 continue;
             }
             let bits: Vec<bool> = (0..10).map(|i| (p >> (9 - i)) & 1 == 1).collect();
-            let entry = model.classify(bdd, &bits).unwrap();
+            let entry = model.classify(engine, &bits).unwrap();
             for d in 0..4u32 {
                 let flash_act = pat.get(entry.vector, DeviceId(d));
                 assert_eq!(

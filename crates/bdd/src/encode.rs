@@ -98,10 +98,9 @@ impl Bdd {
     /// is a single logical "predicate operation" from Flash's perspective;
     /// a match predicate arrives pre-built from the FIB).
     fn or_quiet(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let before = self.op_count();
+        self.quiet_enter();
         let r = self.or(a, b);
-        let counted = self.op_count() - before;
-        self.uncount_ops(counted);
+        self.quiet_exit();
         r
     }
 

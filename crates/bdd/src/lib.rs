@@ -15,8 +15,13 @@
 //! * **Encoders** for the match kinds found in FIBs: exact bits, IPv4-style
 //!   prefixes, suffixes, ternary (value/mask) matches and integer ranges.
 //! * **Model counting** and witness extraction for debugging and tests.
-//! * **Mark-compact garbage collection** so long verification runs with
-//!   millions of transient predicates keep a bounded footprint.
+//! * **Rooted predicate handles with automatic mark-sweep GC**: the
+//!   [`PredEngine`] wrapper hands out ref-counted [`Pred`] handles that keep
+//!   their nodes alive across collections, so long verification runs with
+//!   millions of transient predicates keep a bounded footprint without any
+//!   manual root bookkeeping.
+//! * **Telemetry**: [`EngineTelemetry`] exposes per-op call counts,
+//!   computed-cache hit rates, table occupancy and GC pauses.
 //!
 //! Variable `0` is the root of the ordering (tested first). Encoders lay
 //! fields out most-significant-bit first so that prefix predicates form
@@ -38,8 +43,13 @@
 //! ```
 
 mod encode;
+mod engine;
 mod manager;
 
+pub use engine::{
+    EngineTelemetry, OpCounterGuard, OpKind, OpStats, Pred, PredEngine, RawPred, StaleHandle,
+    DEFAULT_GC_NODE_THRESHOLD,
+};
 pub use manager::{Bdd, BddStats, NodeId, FALSE, TRUE};
 
 #[cfg(test)]

@@ -1,6 +1,12 @@
 //! The BDD manager: node arena, unique table, computed caches, Boolean
 //! operations, model counting and garbage collection.
+//!
+//! This is the *raw* layer: node ids are plain integers with no lifetime
+//! tracking. Consumers outside this crate should use the rooted-handle
+//! wrapper in [`crate::engine`] ([`crate::PredEngine`]), which keeps the
+//! ids below alive across automatic mark-sweep collections.
 
+use crate::engine::{OpKind, OpStats};
 use std::collections::HashMap;
 
 /// Index of a BDD node inside a [`Bdd`] manager.
@@ -17,6 +23,9 @@ pub const TRUE: NodeId = 1;
 
 /// Sentinel variable index used by the two terminal nodes.
 const TERMINAL_VAR: u32 = u32::MAX;
+
+/// Sentinel variable index marking a swept (reusable) arena slot.
+const FREE_VAR: u32 = u32::MAX - 1;
 
 /// A single decision node: test `var`; follow `low` on 0, `high` on 1.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -60,9 +69,16 @@ pub struct Bdd {
     unique: HashMap<Node, NodeId>,
     bin_cache: HashMap<(Op, NodeId, NodeId), NodeId>,
     not_cache: HashMap<NodeId, NodeId>,
+    /// Arena slots reclaimed by [`Bdd::sweep`], reused by [`Bdd::mk`].
+    free: Vec<NodeId>,
     num_vars: u32,
     ops: u64,
     gcs: u64,
+    /// While > 0, top-level operations are not added to the paper's
+    /// "#predicate operations" metric (see [`crate::OpCounterGuard`]).
+    quiet_depth: u32,
+    /// Per-op-kind call and computed-cache hit/miss tallies.
+    tally: [OpStats; OpKind::COUNT],
 }
 
 impl Bdd {
@@ -74,9 +90,12 @@ impl Bdd {
             unique: HashMap::with_capacity(1 << 12),
             bin_cache: HashMap::with_capacity(1 << 12),
             not_cache: HashMap::with_capacity(1 << 10),
+            free: Vec::new(),
             num_vars,
             ops: 0,
             gcs: 0,
+            quiet_depth: 0,
+            tally: [OpStats::default(); OpKind::COUNT],
         };
         // Terminal nodes occupy slots 0 (false) and 1 (true).
         bdd.nodes.push(Node { var: TERMINAL_VAR, low: 0, high: 0 });
@@ -92,11 +111,61 @@ impl Bdd {
     /// Snapshot of size/activity counters.
     pub fn stats(&self) -> BddStats {
         BddStats {
-            nodes: self.nodes.len(),
+            nodes: self.live_count(),
             ops: self.ops,
             gcs: self.gcs,
             approx_bytes: self.approx_bytes(),
         }
+    }
+
+    /// Number of live nodes (arena slots minus swept free slots).
+    pub(crate) fn live_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Total arena slots allocated so far (live + reusable).
+    pub(crate) fn allocated_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Entries in the unique (hash-consing) table.
+    pub(crate) fn unique_len(&self) -> usize {
+        self.unique.len()
+    }
+
+    /// Per-op-kind call / cache tallies.
+    pub(crate) fn tally(&self) -> &[OpStats; OpKind::COUNT] {
+        &self.tally
+    }
+
+    pub(crate) fn quiet_enter(&mut self) {
+        self.quiet_depth += 1;
+    }
+
+    pub(crate) fn quiet_exit(&mut self) {
+        debug_assert!(self.quiet_depth > 0, "unbalanced quiet guard");
+        self.quiet_depth = self.quiet_depth.saturating_sub(1);
+    }
+
+    /// Counts one top-level operation of kind `k`: per-kind calls always,
+    /// the paper's "#predicate operations" metric only outside quiet
+    /// sections.
+    #[inline]
+    fn count_op(&mut self, k: OpKind) {
+        self.tally[k as usize].calls += 1;
+        if self.quiet_depth == 0 {
+            self.ops += 1;
+        }
+    }
+
+    #[inline]
+    fn cache_hit(&mut self, k: OpKind) {
+        self.tally[k as usize].cache_hits += 1;
+    }
+
+    #[inline]
+    fn cache_miss(&mut self, k: OpKind) {
+        self.tally[k as usize].cache_misses += 1;
     }
 
     /// Approximate memory footprint in bytes: the node arena plus the hash
@@ -117,13 +186,6 @@ impl Bdd {
     /// Resets the predicate-operation counter (used between benchmark runs).
     pub fn reset_op_count(&mut self) {
         self.ops = 0;
-    }
-
-    /// Rolls back `n` counted operations. Used by the encoders, whose
-    /// internal disjunctions are not "predicate operations" in the paper's
-    /// accounting (a match predicate arrives pre-built from the FIB).
-    pub(crate) fn uncount_ops(&mut self, n: u64) {
-        self.ops = self.ops.saturating_sub(n);
     }
 
     #[inline]
@@ -151,8 +213,15 @@ impl Bdd {
         if let Some(&id) = self.unique.get(&node) {
             return id;
         }
-        let id = self.nodes.len() as NodeId;
-        self.nodes.push(node);
+        let id = if let Some(id) = self.free.pop() {
+            debug_assert_eq!(self.nodes[id as usize].var, FREE_VAR);
+            self.nodes[id as usize] = node;
+            id
+        } else {
+            let id = self.nodes.len() as NodeId;
+            self.nodes.push(node);
+            id
+        };
         self.unique.insert(node, id);
         id
     }
@@ -171,32 +240,32 @@ impl Bdd {
 
     /// Conjunction `a ∧ b`. Counts as one predicate operation.
     pub fn and(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        self.ops += 1;
+        self.count_op(OpKind::And);
         self.and_rec(a, b)
     }
 
     /// Disjunction `a ∨ b`. Counts as one predicate operation.
     pub fn or(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        self.ops += 1;
+        self.count_op(OpKind::Or);
         self.or_rec(a, b)
     }
 
     /// Negation `¬a`. Counts as one predicate operation.
     pub fn not(&mut self, a: NodeId) -> NodeId {
-        self.ops += 1;
+        self.count_op(OpKind::Not);
         self.not_rec(a)
     }
 
     /// Difference `a ∧ ¬b`. Counts as one predicate operation (Flash uses
     /// this to subtract covered header space without materializing `¬b`).
     pub fn diff(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        self.ops += 1;
+        self.count_op(OpKind::Diff);
         self.diff_rec(a, b)
     }
 
     /// Exclusive or `a ⊕ b`. Counts as one predicate operation.
     pub fn xor(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        self.ops += 1;
+        self.count_op(OpKind::Xor);
         self.xor_rec(a, b)
     }
 
@@ -222,8 +291,10 @@ impl Bdd {
         }
         let (a, b) = if a < b { (a, b) } else { (b, a) };
         if let Some(&r) = self.bin_cache.get(&(Op::And, a, b)) {
+            self.cache_hit(OpKind::And);
             return r;
         }
+        self.cache_miss(OpKind::And);
         let (va, vb) = (self.var_of(a), self.var_of(b));
         let top = va.min(vb);
         let (a0, a1) = if va == top {
@@ -258,8 +329,10 @@ impl Bdd {
         }
         let (a, b) = if a < b { (a, b) } else { (b, a) };
         if let Some(&r) = self.bin_cache.get(&(Op::Or, a, b)) {
+            self.cache_hit(OpKind::Or);
             return r;
         }
+        self.cache_miss(OpKind::Or);
         let (va, vb) = (self.var_of(a), self.var_of(b));
         let top = va.min(vb);
         let (a0, a1) = if va == top {
@@ -286,8 +359,10 @@ impl Bdd {
             _ => {}
         }
         if let Some(&r) = self.not_cache.get(&a) {
+            self.cache_hit(OpKind::Not);
             return r;
         }
+        self.cache_miss(OpKind::Not);
         let var = self.var_of(a);
         let (l, h) = (self.low_of(a), self.high_of(a));
         let low = self.not_rec(l);
@@ -309,8 +384,10 @@ impl Bdd {
             return self.not_rec(b);
         }
         if let Some(&r) = self.bin_cache.get(&(Op::Diff, a, b)) {
+            self.cache_hit(OpKind::Diff);
             return r;
         }
+        self.cache_miss(OpKind::Diff);
         let (va, vb) = (self.var_of(a), self.var_of(b));
         let top = va.min(vb);
         let (a0, a1) = if va == top {
@@ -348,8 +425,10 @@ impl Bdd {
         }
         let (a, b) = if a < b { (a, b) } else { (b, a) };
         if let Some(&r) = self.bin_cache.get(&(Op::Xor, a, b)) {
+            self.cache_hit(OpKind::Xor);
             return r;
         }
+        self.cache_miss(OpKind::Xor);
         let (va, vb) = (self.var_of(a), self.var_of(b));
         let top = va.min(vb);
         let (a0, a1) = if va == top {
@@ -376,7 +455,7 @@ impl Bdd {
     /// forgets its old value, then constrains the new one. Counts as one
     /// predicate operation.
     pub fn exists_range(&mut self, a: NodeId, offset: u32, width: u32) -> NodeId {
-        self.ops += 1;
+        self.count_op(OpKind::Exists);
         let mut memo = HashMap::new();
         self.exists_rec(a, offset, offset + width, &mut memo)
     }
@@ -397,8 +476,10 @@ impl Bdd {
             return a;
         }
         if let Some(&r) = memo.get(&a) {
+            self.cache_hit(OpKind::Exists);
             return r;
         }
+        self.cache_miss(OpKind::Exists);
         let (l, h) = (self.low_of(a), self.high_of(a));
         let low = self.exists_rec(l, lo, hi, memo);
         let high = self.exists_rec(h, lo, hi, memo);
@@ -417,6 +498,9 @@ impl Bdd {
     /// The primitive of tunnel/NAT modeling (§7 of the paper). Counts the
     /// quantification and conjunction as predicate operations.
     pub fn rewrite_field(&mut self, a: NodeId, offset: u32, width: u32, value: u64) -> NodeId {
+        // The composite is tallied per-kind; its `ops` contribution comes
+        // from the quantification and conjunction below, as before.
+        self.tally[OpKind::Rewrite as usize].calls += 1;
         let forgotten = self.exists_range(a, offset, width);
         let constrained = self.exact(offset, width, value);
         self.and(forgotten, constrained)
@@ -522,6 +606,8 @@ impl Bdd {
         self.unique.clear();
         self.bin_cache.clear();
         self.not_cache.clear();
+        // The arena is rebuilt densely, so any free-list slots vanish.
+        self.free.clear();
 
         self.nodes.push(Node { var: TERMINAL_VAR, low: 0, high: 0 });
         self.nodes.push(Node { var: TERMINAL_VAR, low: 1, high: 1 });
@@ -555,6 +641,44 @@ impl Bdd {
             }
         }
         roots.iter().map(|r| remap[r]).collect()
+    }
+
+    /// Non-moving mark-sweep garbage collection: the in-place counterpart of
+    /// [`Bdd::gc`] used by the [`crate::PredEngine`]. Nodes reachable from
+    /// `roots` keep their ids; every other decision node is removed from the
+    /// unique table, poisoned with a sentinel variable, and queued on the
+    /// free list for reuse by `mk`. The operation caches are dropped because
+    /// they may reference dead nodes. Returns the number of reclaimed nodes.
+    pub(crate) fn sweep(&mut self, roots: &[NodeId]) -> usize {
+        self.gcs += 1;
+        let mut live = vec![false; self.nodes.len()];
+        live[FALSE as usize] = true;
+        live[TRUE as usize] = true;
+        let mut stack: Vec<NodeId> = roots.to_vec();
+        while let Some(n) = stack.pop() {
+            let slot = &mut live[n as usize];
+            if *slot {
+                continue;
+            }
+            *slot = true;
+            debug_assert_ne!(self.nodes[n as usize].var, FREE_VAR, "root into freed node");
+            stack.push(self.nodes[n as usize].low);
+            stack.push(self.nodes[n as usize].high);
+        }
+        self.bin_cache.clear();
+        self.not_cache.clear();
+        let mut reclaimed = 0;
+        for (i, alive) in live.iter().enumerate().skip(2) {
+            let node = self.nodes[i];
+            if *alive || node.var == FREE_VAR {
+                continue;
+            }
+            self.unique.remove(&node);
+            self.nodes[i].var = FREE_VAR;
+            self.free.push(i as NodeId);
+            reclaimed += 1;
+        }
+        reclaimed
     }
 }
 

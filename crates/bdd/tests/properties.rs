@@ -179,3 +179,101 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// GC soundness for the rooted predicate engine: collection must never change
+// what a live handle denotes, and handle equality (== node identity) must be
+// stable across any number of collections interleaved with drops.
+
+use flash_bdd::{Pred, PredEngine};
+
+fn build_pred(engine: &mut PredEngine, e: &Expr) -> Pred {
+    match e {
+        Expr::Var(v) => engine.var(*v),
+        Expr::Not(a) => {
+            let a = build_pred(engine, a);
+            engine.not(&a)
+        }
+        Expr::And(a, b) => {
+            let (a, b) = (build_pred(engine, a), build_pred(engine, b));
+            engine.and(&a, &b)
+        }
+        Expr::Or(a, b) => {
+            let (a, b) = (build_pred(engine, a), build_pred(engine, b));
+            engine.or(&a, &b)
+        }
+        Expr::Xor(a, b) => {
+            let (a, b) = (build_pred(engine, a), build_pred(engine, b));
+            engine.xor(&a, &b)
+        }
+        Expr::Diff(a, b) => {
+            let (a, b) = (build_pred(engine, a), build_pred(engine, b));
+            engine.diff(&a, &b)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_collect_preserves_models_and_equivalences(
+        exprs in proptest::collection::vec(arb_expr(), 2..6),
+        drop_mask in proptest::collection::vec(any::<bool>(), 6),
+        rounds in 1usize..4,
+    ) {
+        let mut engine = PredEngine::new(VARS);
+        let preds: Vec<Pred> = exprs.iter().map(|e| build_pred(&mut engine, e)).collect();
+
+        // Drop a random subset (at least one survivor) to create garbage.
+        let mut live: Vec<(usize, Pred)> = Vec::new();
+        for (i, p) in preds.into_iter().enumerate() {
+            if !drop_mask.get(i).copied().unwrap_or(false) || live.is_empty() {
+                live.push((i, p));
+            } // else: p drops here and unroots itself
+        }
+
+        // Record the observable semantics of every live handle.
+        let counts: Vec<f64> = live.iter().map(|(_, p)| engine.sat_count(p)).collect();
+        let equal: Vec<Vec<bool>> = live
+            .iter()
+            .map(|(_, a)| live.iter().map(|(_, b)| a == b).collect())
+            .collect();
+
+        for _ in 0..rounds {
+            engine.collect();
+            for ((i, p), expect) in live.iter().zip(&counts) {
+                prop_assert_eq!(engine.sat_count(p), *expect, "pred {} model count", i);
+                for bits in assignments() {
+                    prop_assert_eq!(engine.eval(p, &bits), truth(&exprs[*i], &bits));
+                }
+            }
+            for (r, (_, a)) in live.iter().enumerate() {
+                for (c, (_, b)) in live.iter().enumerate() {
+                    prop_assert_eq!(a == b, equal[r][c], "equality {}x{} changed", r, c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_auto_gc_agrees_with_uncollected_run(
+        exprs in proptest::collection::vec(arb_expr(), 1..5),
+    ) {
+        // A gc threshold of 1 node makes every finished operation a
+        // collection candidate; the results must match an engine that
+        // never collects.
+        let mut tight = PredEngine::with_gc_threshold(VARS, 1);
+        let mut lax = PredEngine::with_gc_threshold(VARS, usize::MAX);
+        for e in &exprs {
+            let pt = build_pred(&mut tight, e);
+            let pl = build_pred(&mut lax, e);
+            prop_assert_eq!(tight.sat_count(&pt), lax.sat_count(&pl));
+            for bits in assignments() {
+                prop_assert_eq!(tight.eval(&pt, &bits), lax.eval(&pl, &bits));
+                prop_assert_eq!(tight.eval(&pt, &bits), truth(e, &bits));
+            }
+        }
+        prop_assert!(tight.telemetry().gc_runs > 0, "tight engine must have collected");
+    }
+}

@@ -75,18 +75,22 @@ fn bench_gc(c: &mut Criterion) {
     c.bench_function("bdd/gc_10k_nodes", |b| {
         b.iter_batched(
             || {
-                let mut bdd = Bdd::new(32);
+                let mut engine = flash_bdd::PredEngine::new(32);
                 let mut keep = Vec::new();
                 for i in 0..500u64 {
-                    let p = bdd.prefix(0, 32, i << 12, 20);
-                    let q = bdd.not(p);
+                    let p = engine.prefix(0, 32, i << 12, 20);
+                    let q = engine.not(&p);
                     if i % 10 == 0 {
                         keep.push(q);
                     }
+                    // `p` and the intermediate `q`s drop here: garbage.
                 }
-                (bdd, keep)
+                (engine, keep)
             },
-            |(mut bdd, keep)| std::hint::black_box(bdd.gc(&keep)),
+            |(mut engine, keep)| {
+                std::hint::black_box(engine.collect());
+                keep
+            },
             BatchSize::SmallInput,
         )
     });

@@ -62,15 +62,15 @@ fn dgq_vs_mt(c: &mut Criterion) {
                     actions.clone(),
                     req,
                     vec![],
-                    mgr.bdd_mut(),
+                    mgr.engine_mut(),
                     &layout,
                 );
                 (mgr, v)
             },
             |(mut mgr, mut v)| {
                 let synced: Vec<_> = fibs.fibs.iter().take(half).map(|f| f.device).collect();
-                let (bdd, pat, model) = mgr.parts_mut();
-                std::hint::black_box(v.on_model_update(bdd, pat, model, &synced))
+                let (engine, pat, model) = mgr.parts_mut();
+                std::hint::black_box(v.on_model_update(engine, pat, model, &synced))
             },
             BatchSize::SmallInput,
         )

@@ -3,7 +3,7 @@
 //! decomposition itself.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use flash_bdd::Bdd;
+use flash_bdd::PredEngine;
 use flash_imt::mr2::{
     calculate_atomic_overwrites, merge_block_and_diff, reduce_by_action, reduce_by_predicate,
 };
@@ -31,45 +31,48 @@ fn block(layout: &HeaderLayout, devs: u32, per_dev: u64) -> Vec<(DeviceId, Vec<R
         .collect()
 }
 
-type Prepared = (Bdd, PatStore, InverseModel, Vec<flash_imt::AtomicOverwrite>);
+type Prepared = (PredEngine, PatStore, InverseModel, Vec<flash_imt::AtomicOverwrite>);
 
 fn prepare(layout: &HeaderLayout) -> Prepared {
-    let mut bdd = Bdd::new(layout.total_bits());
+    let mut engine = PredEngine::new(layout.total_bits());
     let pat = PatStore::new();
-    let model = InverseModel::new(flash_bdd::TRUE);
+    let universe = engine.true_pred();
+    let model = InverseModel::new(universe);
     let mut atomics = Vec::new();
     for (dev, updates) in block(layout, 16, 64) {
         let mut fib = Fib::new(layout);
         let res = merge_block_and_diff(&mut fib, &updates);
+        let clip = engine.true_pred();
         atomics.extend(calculate_atomic_overwrites(
-            &mut bdd,
+            &mut engine,
             layout,
             dev,
             &fib,
             &res.diff,
-            flash_bdd::TRUE,
+            &clip,
         ));
     }
-    (bdd, pat, model, atomics)
+    (engine, pat, model, atomics)
 }
 
 fn bench_decompose(c: &mut Criterion) {
     let layout = HeaderLayout::new(&[("dst", 16)]);
     c.bench_function("mr2/decompose_16x64", |b| {
         b.iter_batched(
-            || (Bdd::new(16), block(&layout, 16, 64)),
-            |(mut bdd, blocks)| {
+            || (PredEngine::new(16), block(&layout, 16, 64)),
+            |(mut engine, blocks)| {
                 let mut n = 0;
                 for (dev, updates) in &blocks {
                     let mut fib = Fib::new(&layout);
                     let res = merge_block_and_diff(&mut fib, updates);
+                    let clip = engine.true_pred();
                     n += calculate_atomic_overwrites(
-                        &mut bdd,
+                        &mut engine,
                         &layout,
                         *dev,
                         &fib,
                         &res.diff,
-                        flash_bdd::TRUE,
+                        &clip,
                     )
                     .len();
                 }
@@ -85,10 +88,10 @@ fn bench_apply_with_reduce(c: &mut Criterion) {
     c.bench_function("mr2/apply_with_reduce", |b| {
         b.iter_batched(
             || prepare(&layout),
-            |(mut bdd, mut pat, mut model, atomics)| {
-                let reduced = reduce_by_action(&mut bdd, &atomics);
+            |(mut engine, mut pat, mut model, atomics)| {
+                let reduced = reduce_by_action(&mut engine, &atomics);
                 let compact = reduce_by_predicate(&reduced);
-                model.apply_overwrites(&mut bdd, &mut pat, &compact);
+                model.apply_overwrites(&mut engine, &mut pat, &compact);
                 std::hint::black_box(model.len())
             },
             BatchSize::SmallInput,
@@ -103,13 +106,13 @@ fn bench_apply_without_reduce(c: &mut Criterion) {
     c.bench_function("mr2/apply_without_reduce", |b| {
         b.iter_batched(
             || prepare(&layout),
-            |(mut bdd, mut pat, mut model, atomics)| {
+            |(mut engine, mut pat, mut model, atomics)| {
                 for a in &atomics {
                     let ow = flash_imt::Overwrite {
-                        pred: a.pred,
+                        pred: a.pred.clone(),
                         writes: vec![(a.device, a.action)],
                     };
-                    model.apply_overwrite(&mut bdd, &mut pat, &ow);
+                    model.apply_overwrite(&mut engine, &mut pat, &ow);
                 }
                 std::hint::black_box(model.len())
             },

@@ -59,7 +59,7 @@ pub fn construction_compare(
     let flash = ConstructionResult {
         time: Timed::Done(t0.elapsed()),
         memory_bytes: mm.approx_bytes(),
-        ops: mm.bdd().op_count(),
+        ops: mm.engine().op_count(),
         classes: mm.model().len(),
     };
 
@@ -522,7 +522,7 @@ pub fn fig12(k: u32, prefixes_per_tor: u32, pairs: usize) -> DgqMtSeries {
                 actions.clone(),
                 req,
                 vec![],
-                mgr.bdd_mut(),
+                mgr.engine_mut(),
                 &layout,
             ));
             if verifiers.len() >= pairs {
@@ -548,9 +548,9 @@ pub fn fig12(k: u32, prefixes_per_tor: u32, pairs: usize) -> DgqMtSeries {
         // DGQ: feed the model update to every verifier.
         let t0 = Instant::now();
         {
-            let (bdd, pat, model) = mgr.parts_mut();
+            let (engine, pat, model) = mgr.parts_mut();
             for v in verifiers.iter_mut() {
-                v.on_model_update(bdd, pat, model, &[fib.device]);
+                v.on_model_update(engine, pat, model, &[fib.device]);
             }
         }
         series.dgq_ms.push(t0.elapsed().as_secs_f64() * 1000.0);

@@ -16,7 +16,7 @@
 //!   deterministic loop must pass through a newly synchronized device, so
 //!   the search starts only from those.
 
-use flash_bdd::{Bdd, NodeId};
+use flash_bdd::{Pred, PredEngine};
 use flash_imt::{InverseModel, PatStore};
 use flash_netmodel::{ActionTable, DeviceId, Topology};
 use std::collections::{HashMap, HashSet};
@@ -30,7 +30,7 @@ pub enum LoopVerdict {
     /// predicate of the equivalence class exhibiting it.
     LoopFound {
         cycle: Vec<DeviceId>,
-        ec_pred: NodeId,
+        ec_pred: Pred,
     },
     /// No loop can exist: all devices synchronized, none found.
     NoLoop,
@@ -171,7 +171,7 @@ impl LoopVerifier {
     /// their epoch FIBs. Returns the strongest consistent verdict.
     pub fn on_model_update(
         &mut self,
-        _bdd: &mut Bdd,
+        _engine: &mut PredEngine,
         pat: &PatStore,
         model: &InverseModel,
         newly_synced: &[DeviceId],
@@ -209,7 +209,7 @@ impl LoopVerifier {
                     &members_of,
                     pat,
                     entry.vector,
-                    entry.pred,
+                    &entry.pred,
                     &mut potential,
                 ) {
                     return v;
@@ -245,7 +245,7 @@ impl LoopVerifier {
         members_of: &HashMap<u32, Vec<DeviceId>>,
         pat: &PatStore,
         vector: flash_imt::PatId,
-        ec_pred: NodeId,
+        ec_pred: &Pred,
         potential: &mut bool,
     ) -> Option<LoopVerdict> {
         self.stats.visited_nodes += 1;
@@ -266,7 +266,10 @@ impl LoopVerifier {
                 let mut canon = cycle.clone();
                 canon.sort_unstable();
                 if self.reported.insert(canon) {
-                    return Some(LoopVerdict::LoopFound { cycle, ec_pred });
+                    return Some(LoopVerdict::LoopFound {
+                        cycle,
+                        ec_pred: ec_pred.clone(),
+                    });
                 }
             } else {
                 // The cycle passes through a hyper node: only potential.
@@ -380,8 +383,8 @@ mod tests {
         let r = Rule::new(Match::dst_prefix(&rig.layout, 0x10, 8), 1, a);
         rig.mgr.submit(dev, [RuleUpdate::insert(r)]);
         rig.mgr.flush();
-        let (bdd, pat, model) = rig.mgr.parts_mut();
-        rig.verifier.on_model_update(bdd, pat, model, &[dev])
+        let (engine, pat, model) = rig.mgr.parts_mut();
+        rig.verifier.on_model_update(engine, pat, model, &[dev])
     }
 
     #[test]
@@ -457,8 +460,8 @@ mod tests {
         );
         r.mgr.submit(m["B"], [RuleUpdate::insert(rr)]);
         r.mgr.flush();
-        let (bdd, pat, model) = r.mgr.parts_mut();
-        let v = r.verifier.on_model_update(bdd, pat, model, &[m["B"]]);
+        let (engine, pat, model) = r.mgr.parts_mut();
+        let v = r.verifier.on_model_update(engine, pat, model, &[m["B"]]);
         assert_eq!(v, LoopVerdict::Unknown);
     }
 

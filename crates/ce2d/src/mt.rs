@@ -127,10 +127,10 @@ impl ModelTraversal {
         &self,
         pat: &PatStore,
         model: &InverseModel,
-    ) -> Option<(flash_bdd::NodeId, Vec<DeviceId>)> {
+    ) -> Option<(flash_bdd::Pred, Vec<DeviceId>)> {
         for entry in model.entries() {
             if let Some(c) = self.find_loop(pat, entry.vector) {
-                return Some((entry.pred, c));
+                return Some((entry.pred.clone(), c));
             }
         }
         None
@@ -200,7 +200,7 @@ mod tests {
         route(&mut mgr, &at, &layout, ids[1], ids[0]);
         let (_, pat, model) = mgr.parts_mut();
         let (pred, cycle) = mt.find_any_loop(pat, model).expect("loop expected");
-        assert_ne!(pred, flash_bdd::FALSE);
+        assert!(!pred.is_false());
         assert_eq!(cycle.len(), 2);
     }
 

@@ -20,7 +20,7 @@
 
 use crate::product::ProductGraph;
 use crate::DecrementalReach;
-use flash_bdd::{Bdd, NodeId, FALSE};
+use flash_bdd::{EngineTelemetry, Pred, PredEngine};
 use flash_imt::{InverseModel, PatStore};
 use flash_netmodel::{ActionTable, Action, DeviceId, Topology};
 use flash_spec::{Nfa, Requirement};
@@ -56,9 +56,10 @@ pub struct RegexVerifier {
     /// introspection; the selector is baked into the template at build).
     pub dests: Vec<DeviceId>,
     template: ProductGraph,
-    packet_space: NodeId,
-    /// EC predicate → pruned instance.
-    ec_table: HashMap<NodeId, EcState>,
+    packet_space: Pred,
+    /// EC predicate → pruned instance. `Pred` identity is stable across
+    /// engine collections, so this map never needs remapping.
+    ec_table: HashMap<Pred, EcState>,
     /// Devices synchronized so far (in the epoch this verifier serves).
     sync: HashSet<DeviceId>,
     /// Statistics: total pruned edges, verdict queries.
@@ -71,6 +72,9 @@ pub struct RegexVerifierStats {
     pub splits: u64,
     pub pruned_edges: u64,
     pub queries: u64,
+    /// Predicate-engine telemetry snapshot taken at the end of the last
+    /// [`RegexVerifier::on_model_update`] call.
+    pub engine: EngineTelemetry,
 }
 
 impl RegexVerifier {
@@ -81,16 +85,19 @@ impl RegexVerifier {
         actions: Arc<ActionTable>,
         requirement: Requirement,
         dests: Vec<DeviceId>,
-        bdd: &mut Bdd,
+        engine: &mut PredEngine,
         layout: &flash_netmodel::HeaderLayout,
     ) -> Self {
         let nfa = Nfa::compile(&requirement.expr);
         let template = ProductGraph::build(&topo, &nfa, &requirement.sources, &dests);
-        let packet_space = requirement.packet_space.to_bdd(layout, bdd);
+        let packet_space = requirement.packet_space.to_pred(layout, engine);
+        // Pred's interior mutability is only its root refcount; Eq/Hash
+        // use the immutable (node, engine) ids, so it is a sound map key.
+        #[allow(clippy::mutable_key_type)]
         let mut ec_table = HashMap::new();
         // Initially one EC covers everything: the full template.
         ec_table.insert(
-            flash_bdd::TRUE,
+            engine.true_pred(),
             EcState {
                 reach: template.instantiate(),
                 pruned: HashSet::new(),
@@ -149,7 +156,7 @@ impl RegexVerifier {
     /// the synchronized devices' FIBs (consistent model construction).
     pub fn on_model_update(
         &mut self,
-        bdd: &mut Bdd,
+        engine: &mut PredEngine,
         pat: &PatStore,
         model: &InverseModel,
         newly_synced: &[DeviceId],
@@ -158,19 +165,22 @@ impl RegexVerifier {
             self.sync.insert(d);
         }
         if self.requirement.cover {
-            return self.cover_check(bdd, pat, model, newly_synced);
+            let v = self.cover_check(engine, pat, model, newly_synced);
+            self.stats.engine = engine.telemetry();
+            return v;
         }
 
         // Set of EC predicates in the new model that intersect the packet
         // space; each needs an up-to-date graph instance.
-        let mut next_table: HashMap<NodeId, EcState> = HashMap::new();
+        #[allow(clippy::mutable_key_type)]
+        let mut next_table: HashMap<Pred, EcState> = HashMap::new();
         let mut any_unknown = false;
         let mut any_unsat = false;
         let mut all_sat = true;
 
         for entry in model.entries() {
-            let overlap = bdd.and(entry.pred, self.packet_space);
-            if overlap == FALSE {
+            let overlap = engine.and(&entry.pred, &self.packet_space);
+            if overlap.is_false() {
                 continue;
             }
             // Find or split the instance for this EC.
@@ -179,11 +189,11 @@ impl RegexVerifier {
                 None => {
                     // Split: find the old EC whose predicate contains this
                     // one (footnote 12 guarantees a unique parent).
-                    let parent = self
-                        .ec_table
+                    let parents: Vec<Pred> = self.ec_table.keys().cloned().collect();
+                    let parent = parents
                         .iter()
-                        .find(|(&p, _)| bdd.implies(entry.pred, p))
-                        .map(|(_, s)| s.clone());
+                        .find(|p| engine.implies(&entry.pred, p))
+                        .and_then(|p| self.ec_table.get(p).cloned());
                     self.stats.splits += 1;
                     match parent {
                         Some(p) => p,
@@ -226,9 +236,10 @@ impl RegexVerifier {
                 }
                 Verdict::Satisfied => {}
             }
-            next_table.insert(entry.pred, state);
+            next_table.insert(entry.pred.clone(), state);
         }
         self.ec_table = next_table;
+        self.stats.engine = engine.telemetry();
 
         if any_unsat {
             Verdict::Unsatisfied
@@ -246,14 +257,14 @@ impl RegexVerifier {
     /// space; a single missing branch is a consistent violation.
     fn cover_check(
         &mut self,
-        bdd: &mut Bdd,
+        engine: &mut PredEngine,
         pat: &PatStore,
         model: &InverseModel,
         newly_synced: &[DeviceId],
     ) -> Verdict {
         for entry in model.entries() {
-            let overlap = bdd.and(entry.pred, self.packet_space);
-            if overlap == FALSE {
+            let overlap = engine.and(&entry.pred, &self.packet_space);
+            if overlap.is_false() {
                 continue;
             }
             // Incremental: previously synchronized devices were already
@@ -432,7 +443,7 @@ mod tests {
             actions.clone(),
             req,
             vec![],
-            mgr.bdd_mut(),
+            mgr.engine_mut(),
             &layout,
         );
         (v, mgr, actions)
@@ -453,8 +464,8 @@ mod tests {
         let r = Rule::new(Match::dst_prefix(&layout, 0x10, 8), 1, a);
         mgr.submit(dev, [RuleUpdate::insert(r)]);
         mgr.flush();
-        let (bdd, pat, model) = mgr.parts_mut();
-        v.on_model_update(bdd, pat, model, &[dev])
+        let (engine, pat, model) = mgr.parts_mut();
+        v.on_model_update(engine, pat, model, &[dev])
     }
 
     #[test]
@@ -501,8 +512,8 @@ mod tests {
             );
             mgr.submit(m["D"], [RuleUpdate::insert(r)]);
             mgr.flush();
-            let (bdd, pat, model) = mgr.parts_mut();
-            let verdict = v.on_model_update(bdd, pat, model, &[m["D"]]);
+            let (engine, pat, model) = mgr.parts_mut();
+            let verdict = v.on_model_update(engine, pat, model, &[m["D"]]);
             assert_eq!(verdict, Verdict::Satisfied);
         }
     }
@@ -527,8 +538,8 @@ mod tests {
         let _ = r;
         mgr.submit(m["A"], [RuleUpdate::insert(sub)]);
         mgr.flush();
-        let (bdd, pat, model) = mgr.parts_mut();
-        v.on_model_update(bdd, pat, model, &[m["A"]]);
+        let (engine, pat, model) = mgr.parts_mut();
+        v.on_model_update(engine, pat, model, &[m["A"]]);
         assert!(v.stats.splits >= splits_before, "split accounting");
     }
 
@@ -545,8 +556,8 @@ mod tests {
         );
         mgr.submit(m["S"], [RuleUpdate::insert(r)]);
         mgr.flush();
-        let (bdd, pat, model) = mgr.parts_mut();
-        let verdict = v.on_model_update(bdd, pat, model, &[m["S"]]);
+        let (engine, pat, model) = mgr.parts_mut();
+        let verdict = v.on_model_update(engine, pat, model, &[m["S"]]);
         let _ = actions;
         assert_eq!(verdict, Verdict::Unsatisfied);
     }
@@ -578,7 +589,7 @@ mod tests {
             actions.clone(),
             req,
             vec![],
-            mgr.bdd_mut(),
+            mgr.engine_mut(),
             &layout,
         );
         // S forwards only to A → missing the W branch.
@@ -586,9 +597,9 @@ mod tests {
         let r = Rule::new(Match::dst_prefix(&layout, 0x10, 8), 1, only_a);
         mgr.submit(m["S"], [RuleUpdate::insert(r)]);
         mgr.flush();
-        let (bdd, pat, model) = mgr.parts_mut();
+        let (engine, pat, model) = mgr.parts_mut();
         assert_eq!(
-            v.on_model_update(bdd, pat, model, &[m["S"]]),
+            v.on_model_update(engine, pat, model, &[m["S"]]),
             Verdict::Unsatisfied
         );
 
@@ -607,15 +618,15 @@ mod tests {
             actions.clone(),
             req2,
             vec![],
-            mgr2.bdd_mut(),
+            mgr2.engine_mut(),
             &layout,
         );
         let r2 = Rule::new(Match::dst_prefix(&layout, 0x10, 8), 1, both);
         mgr2.submit(m["S"], [RuleUpdate::insert(r2)]);
         mgr2.flush();
-        let (bdd2, pat2, model2) = mgr2.parts_mut();
+        let (engine2, pat2, model2) = mgr2.parts_mut();
         assert_eq!(
-            v2.on_model_update(bdd2, pat2, model2, &[m["S"]]),
+            v2.on_model_update(engine2, pat2, model2, &[m["S"]]),
             Verdict::Unknown
         );
     }

@@ -12,9 +12,10 @@
 //! State space: `(device, EC index)` pairs. At a non-rewriting device the
 //! EC is stable (that is the whole point of the equivalence classes); at
 //! a [`flash_netmodel::Action::Tunnel`] device the class predicate is
-//! transformed with [`flash_bdd::Bdd::rewrite_field`] and re-classified.
+//! transformed with [`flash_bdd::PredEngine::rewrite_field`] and
+//! re-classified.
 
-use flash_bdd::{Bdd, NodeId, FALSE};
+use flash_bdd::{Pred, PredEngine};
 use flash_imt::{InverseModel, PatStore};
 use flash_netmodel::{ActionTable, DeviceId, HeaderLayout, Topology};
 use std::collections::HashSet;
@@ -37,15 +38,15 @@ impl RewriteTraversal {
     }
 
     /// Finds the model entries whose predicate intersects `pred`.
-    fn classify_all(&self, bdd: &mut Bdd, model: &InverseModel, pred: NodeId) -> Vec<usize> {
+    fn classify_all(&self, engine: &mut PredEngine, model: &InverseModel, pred: &Pred) -> Vec<usize> {
         model
             .entries()
             .iter()
             .enumerate()
             .filter(|(_, e)| {
-                // Cheap pre-test via the cache; FALSE intersections are
+                // Cheap pre-test via the cache; empty intersections are
                 // the common case.
-                bdd.and(e.pred, pred) != FALSE
+                !engine.and(&e.pred, pred).is_false()
             })
             .map(|(i, _)| i)
             .collect()
@@ -57,16 +58,16 @@ impl RewriteTraversal {
     #[allow(clippy::too_many_arguments)]
     pub fn reachable(
         &self,
-        bdd: &mut Bdd,
+        engine: &mut PredEngine,
         pat: &PatStore,
         model: &InverseModel,
-        initial: NodeId,
+        initial: &Pred,
         src: DeviceId,
         dests: &[DeviceId],
     ) -> bool {
         let mut seen: HashSet<(DeviceId, usize)> = HashSet::new();
         let mut stack: Vec<(DeviceId, usize)> = Vec::new();
-        for ec in self.classify_all(bdd, model, initial) {
+        for ec in self.classify_all(engine, model, initial) {
             stack.push((src, ec));
         }
         while let Some((dev, ec)) = stack.pop() {
@@ -87,9 +88,9 @@ impl RewriteTraversal {
                 Some(rw) => {
                     // Transform the class predicate and re-classify.
                     let spec = self.layout.field(flash_netmodel::FieldId(rw.field));
-                    let pred = model.entries()[ec].pred;
-                    let rewritten = bdd.rewrite_field(pred, spec.offset, spec.width, rw.value);
-                    for new_ec in self.classify_all(bdd, model, rewritten) {
+                    let pred = model.entries()[ec].pred.clone();
+                    let rewritten = engine.rewrite_field(&pred, spec.offset, spec.width, rw.value);
+                    for new_ec in self.classify_all(engine, model, &rewritten) {
                         for &nh in act.next_hops() {
                             stack.push((nh, new_ec));
                         }
@@ -108,7 +109,7 @@ impl RewriteTraversal {
     /// Returns one witness cycle of devices.
     pub fn find_loop(
         &self,
-        bdd: &mut Bdd,
+        engine: &mut PredEngine,
         pat: &PatStore,
         model: &InverseModel,
     ) -> Option<Vec<DeviceId>> {
@@ -123,7 +124,7 @@ impl RewriteTraversal {
                 let mut path: Vec<(DeviceId, usize)> = Vec::new();
                 let mut on_path: HashSet<(DeviceId, usize)> = HashSet::new();
                 if let Some(cycle) = self.dfs_loop(
-                    bdd,
+                    engine,
                     pat,
                     model,
                     (start, ec),
@@ -141,7 +142,7 @@ impl RewriteTraversal {
     #[allow(clippy::too_many_arguments)]
     fn dfs_loop(
         &self,
-        bdd: &mut Bdd,
+        engine: &mut PredEngine,
         pat: &PatStore,
         model: &InverseModel,
         state: (DeviceId, usize),
@@ -165,9 +166,9 @@ impl RewriteTraversal {
             None => act.next_hops().iter().map(|&nh| (nh, ec)).collect(),
             Some(rw) => {
                 let spec = self.layout.field(flash_netmodel::FieldId(rw.field));
-                let pred = model.entries()[ec].pred;
-                let rewritten = bdd.rewrite_field(pred, spec.offset, spec.width, rw.value);
-                let ecs = self.classify_all(bdd, model, rewritten);
+                let pred = model.entries()[ec].pred.clone();
+                let rewritten = engine.rewrite_field(&pred, spec.offset, spec.width, rw.value);
+                let ecs = self.classify_all(engine, model, &rewritten);
                 act.next_hops()
                     .iter()
                     .flat_map(|&nh| ecs.iter().map(move |&e| (nh, e)))
@@ -175,7 +176,7 @@ impl RewriteTraversal {
             }
         };
         for s in successors {
-            if let Some(c) = self.dfs_loop(bdd, pat, model, s, path, on_path, done) {
+            if let Some(c) = self.dfs_loop(engine, pat, model, s, path, on_path, done) {
                 return Some(c);
             }
         }
@@ -229,15 +230,15 @@ mod tests {
         mgr.flush();
 
         let tr = RewriteTraversal::new(topo, Arc::new(at), layout.clone());
-        let (bdd, pat, model) = mgr.parts_mut();
-        let initial = m_label0.to_bdd(&layout, bdd);
+        let (engine, pat, model) = mgr.parts_mut();
+        let initial = m_label0.to_pred(&layout, engine);
         // Without rewrite-awareness the packet would be dropped at b
         // (label 0 has no rule there); with it, the tunnel relabels to 7
         // and b forwards to c.
-        assert!(tr.reachable(bdd, pat, model, initial, a, &[c]));
+        assert!(tr.reachable(engine, pat, model, &initial, a, &[c]));
         // Packets already labelled 7 entering at a are dropped at a.
-        let initial7 = m_label7.to_bdd(&layout, bdd);
-        assert!(!tr.reachable(bdd, pat, model, initial7, a, &[c]));
+        let initial7 = m_label7.to_pred(&layout, engine);
+        assert!(!tr.reachable(engine, pat, model, &initial7, a, &[c]));
     }
 
     #[test]
@@ -251,10 +252,10 @@ mod tests {
         mgr.submit(b, [RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_c))]);
         mgr.flush();
         let tr = RewriteTraversal::new(topo, Arc::new(at), layout.clone());
-        let (bdd, pat, model) = mgr.parts_mut();
-        let initial = m.to_bdd(&layout, bdd);
-        assert!(tr.reachable(bdd, pat, model, initial, a, &[c]));
-        assert!(!tr.reachable(bdd, pat, model, initial, c, &[a]));
+        let (engine, pat, model) = mgr.parts_mut();
+        let initial = m.to_pred(&layout, engine);
+        assert!(tr.reachable(engine, pat, model, &initial, a, &[c]));
+        assert!(!tr.reachable(engine, pat, model, &initial, c, &[a]));
     }
 
     #[test]
@@ -272,8 +273,8 @@ mod tests {
         mgr.submit(b, [RuleUpdate::insert(Rule::new(m7, 1, t_ba))]);
         mgr.flush();
         let tr = RewriteTraversal::new(topo, Arc::new(at), layout.clone());
-        let (bdd, pat, model) = mgr.parts_mut();
-        let cycle = tr.find_loop(bdd, pat, model).expect("tunnel ping-pong loops");
+        let (engine, pat, model) = mgr.parts_mut();
+        let cycle = tr.find_loop(engine, pat, model).expect("tunnel ping-pong loops");
         assert_eq!(cycle.len(), 2);
     }
 
@@ -291,13 +292,13 @@ mod tests {
         mgr.submit(b, [RuleUpdate::insert(Rule::new(m7, 1, t_bc))]);
         mgr.flush();
         let tr = RewriteTraversal::new(topo, Arc::new(at), layout.clone());
-        let (bdd, pat, model) = mgr.parts_mut();
-        assert!(tr.find_loop(bdd, pat, model).is_none());
+        let (engine, pat, model) = mgr.parts_mut();
+        assert!(tr.find_loop(engine, pat, model).is_none());
         // And the packet reaches c.
         let m0p = {
             let m = Match::any(&layout).with(FieldId(1), flash_netmodel::MatchKind::Exact(0));
-            m.to_bdd(&layout, bdd)
+            m.to_pred(&layout, engine)
         };
-        assert!(tr.reachable(bdd, pat, model, m0p, a, &[c]));
+        assert!(tr.reachable(engine, pat, model, &m0p, a, &[c]));
     }
 }

@@ -119,9 +119,10 @@ fn main() -> ExitCode {
             stats.updates_accepted,
             stats.atomic_overwrites,
             stats.compact_overwrites,
-            mgr.bdd().op_count(),
+            mgr.engine().op_count(),
             elapsed
         );
+        println!("predicates: {}", stats.engine.summary());
     }
     if show_classes {
         print_classes(&mut verifier, &net);
@@ -140,12 +141,12 @@ fn print_classes(verifier: &mut SubspaceVerifier, net: &flash_core::adapter::Net
     let topo = net.topo.clone();
     let actions = net.actions.clone();
     let mgr = verifier.manager_mut();
-    let (bdd, pat, model) = mgr.parts_mut();
+    let (engine, pat, model) = mgr.parts_mut();
     println!("equivalence classes:");
     for (i, e) in model.entries().iter().enumerate() {
-        let frac = bdd.sat_fraction(e.pred);
-        let witness = bdd
-            .any_sat(e.pred)
+        let frac = engine.sat_fraction(&e.pred);
+        let witness = engine
+            .any_sat(&e.pred)
             .map(|bits| {
                 let v: u64 = bits.iter().fold(0, |acc, &b| (acc << 1) | b as u64);
                 format_prefix(v, 32)

@@ -192,6 +192,19 @@ impl Dispatcher {
         self.active.keys().copied().collect()
     }
 
+    /// Aggregate predicate-engine telemetry across every live verifier
+    /// (all subspaces of all active epochs). Additive counters sum;
+    /// see [`flash_bdd::EngineTelemetry::absorb`].
+    pub fn engine_telemetry(&self) -> flash_bdd::EngineTelemetry {
+        let mut total = flash_bdd::EngineTelemetry::default();
+        for set in self.active.values() {
+            for v in &set.verifiers {
+                total.absorb(&v.manager().engine().telemetry());
+            }
+        }
+        total
+    }
+
     /// The tracker (inspection).
     pub fn tracker(&self) -> &EpochTracker {
         &self.tracker

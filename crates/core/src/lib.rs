@@ -76,6 +76,6 @@ pub use live::{
     DrainOutcome, LiveConfig, LiveMessage, LiveReport, LiveService, LiveVerifier,
     ServiceStats, WorkerStats,
 };
-pub use parallel::{parallel_model_construction, ParallelStats};
+pub use parallel::{parallel_model_construction, ParallelStats, SubspaceStats};
 pub use supervise::{RestartPolicy, WorkerHealth};
 pub use verifier::{Property, PropertyReport, SubspaceVerifier, SubspaceVerifierConfig};

@@ -119,6 +119,9 @@ pub struct WorkerStats {
     pub depth: usize,
     /// Most recent failure, if any.
     pub last_error: Option<FlashError>,
+    /// Aggregate predicate-engine telemetry across the worker's live
+    /// verifiers, as of its most recently processed batch.
+    pub engine: flash_bdd::EngineTelemetry,
 }
 
 /// Service-wide counters.
@@ -137,6 +140,16 @@ pub struct ServiceStats {
 impl ServiceStats {
     pub fn total_restarts(&self) -> u32 {
         self.workers.iter().map(|w| w.restarts).sum()
+    }
+
+    /// Service-wide predicate-engine snapshot: every worker's aggregate
+    /// folded together (see [`flash_bdd::EngineTelemetry::absorb`]).
+    pub fn engine_totals(&self) -> flash_bdd::EngineTelemetry {
+        let mut total = flash_bdd::EngineTelemetry::default();
+        for w in &self.workers {
+            total.absorb(&w.engine);
+        }
+        total
     }
 
     pub fn total_dropped(&self) -> u64 {
@@ -387,6 +400,7 @@ impl LiveService {
                 channel: self.probes[w].stats(),
                 depth: self.probes[w].depth(),
                 last_error: ws.last_error.lock().unwrap().clone(),
+                engine: *ws.engine.lock().unwrap(),
             })
             .collect();
         ServiceStats {

@@ -7,9 +7,23 @@
 //! more subspace verifiers with their private BDD managers, so the hot
 //! path takes no locks.
 
+use flash_bdd::EngineTelemetry;
 use flash_imt::{ModelManager, ModelManagerConfig, SubspacePlan};
 use flash_netmodel::{DeviceId, HeaderLayout, RuleUpdate};
 use std::time::{Duration, Instant};
+
+/// Per-subspace results of a parallel construction run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SubspaceStats {
+    /// Number of equivalence classes in the subspace model.
+    pub classes: usize,
+    /// Predicate operations performed by the subspace's engine.
+    pub ops: u64,
+    /// Approximate resident bytes (engine + PAT + model + FIBs).
+    pub bytes: usize,
+    /// Full predicate-engine telemetry for the subspace.
+    pub engine: EngineTelemetry,
+}
 
 /// Aggregate results of a parallel construction run.
 #[derive(Clone, Debug, Default)]
@@ -21,21 +35,26 @@ pub struct ParallelStats {
     /// The slowest subspace's CPU time — the critical path when every
     /// subspace gets its own core (the paper's deployment).
     pub max_cpu: Duration,
-    /// Per-subspace (classes, predicate ops, approx bytes).
-    pub per_subspace: Vec<(usize, u64, usize)>,
+    /// Per-subspace statistics, including engine telemetry.
+    pub per_subspace: Vec<SubspaceStats>,
 }
 
 impl ParallelStats {
     pub fn total_classes(&self) -> usize {
-        self.per_subspace.iter().map(|(c, _, _)| c).sum()
+        self.per_subspace.iter().map(|s| s.classes).sum()
     }
 
     pub fn total_ops(&self) -> u64 {
-        self.per_subspace.iter().map(|(_, o, _)| o).sum()
+        self.per_subspace.iter().map(|s| s.ops).sum()
     }
 
     pub fn total_bytes(&self) -> usize {
-        self.per_subspace.iter().map(|(_, _, b)| b).sum()
+        self.per_subspace.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Total garbage-collection runs across all subspace engines.
+    pub fn total_gc_runs(&self) -> u64 {
+        self.per_subspace.iter().map(|s| s.engine.gc_runs).sum()
     }
 
     pub fn max_subspace_cpu(&self) -> Duration {
@@ -68,7 +87,7 @@ pub fn parallel_model_construction(
     }
 
     let start = Instant::now();
-    let mut per_subspace: Vec<(usize, u64, usize)> = vec![(0, 0, 0); plan.len()];
+    let mut per_subspace: Vec<SubspaceStats> = vec![SubspaceStats::default(); plan.len()];
     let mut cpu_times: Vec<Duration> = vec![Duration::ZERO; plan.len()];
 
     // Work-stealing by index chunks: thread t handles subspaces t, t+T, …
@@ -88,7 +107,7 @@ pub fn parallel_model_construction(
                         subspace: plan_ref[idx],
                         bst,
                         filter_updates: false, // already routed
-                        gc_node_threshold: usize::MAX,
+                        gc_node_threshold: flash_bdd::DEFAULT_GC_NODE_THRESHOLD,
                     });
                     for (dev, u) in queue {
                         mgr.submit(*dev, [u.clone()]);
@@ -98,11 +117,12 @@ pub fn parallel_model_construction(
                     results.push((
                         idx,
                         cpu,
-                        (
-                            mgr.model().len(),
-                            mgr.bdd().op_count(),
-                            mgr.approx_bytes(),
-                        ),
+                        SubspaceStats {
+                            classes: mgr.model().len(),
+                            ops: mgr.engine().op_count(),
+                            bytes: mgr.approx_bytes(),
+                            engine: mgr.engine().telemetry(),
+                        },
                     ));
                 }
                 results
@@ -163,7 +183,7 @@ mod tests {
         // count and every subspace has at least one class.
         assert!(stats.total_classes() >= whole_classes);
         assert_eq!(stats.per_subspace.len(), 4);
-        assert!(stats.per_subspace.iter().all(|(c, _, _)| *c >= 1));
+        assert!(stats.per_subspace.iter().all(|s| s.classes >= 1));
         assert!(stats.wall > Duration::ZERO);
         assert!(stats.cpu_total >= stats.max_subspace_cpu());
     }
@@ -180,7 +200,7 @@ mod tests {
         let plan = SubspacePlan::single();
         let stats = parallel_model_construction(&plan, &layout, &updates, usize::MAX, 8);
         assert_eq!(stats.per_subspace.len(), 1);
-        assert_eq!(stats.per_subspace[0].0, 2);
+        assert_eq!(stats.per_subspace[0].classes, 2);
     }
 
     #[test]

@@ -83,6 +83,9 @@ pub(crate) struct WorkerShared {
     pub health: Mutex<WorkerHealth>,
     /// Most recent failure, if any.
     pub last_error: Mutex<Option<FlashError>>,
+    /// Latest aggregate predicate-engine snapshot across the worker's
+    /// live verifiers (refreshed after every processed batch).
+    pub engine: Mutex<flash_bdd::EngineTelemetry>,
 }
 
 impl WorkerShared {
@@ -94,6 +97,7 @@ impl WorkerShared {
             done: AtomicBool::new(false),
             health: Mutex::new(WorkerHealth::Running),
             last_error: Mutex::new(None),
+            engine: Mutex::new(flash_bdd::EngineTelemetry::default()),
         }
     }
 
@@ -241,6 +245,7 @@ fn process(
     let t0 = Instant::now();
     let reports = dispatcher.on_message(m.at, m.device, m.epoch, m.updates);
     let processing = t0.elapsed();
+    *shared.engine.lock().unwrap() = dispatcher.engine_telemetry();
     for report in reports {
         // Replay determinism gives replayed verdicts the same identity
         // as their pre-crash originals; only new verdicts pass.

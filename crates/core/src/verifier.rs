@@ -83,7 +83,7 @@ impl SubspaceVerifier {
             subspace: config.subspace,
             bst: config.bst,
             filter_updates: config.subspace.len > 0,
-            gc_node_threshold: usize::MAX,
+            gc_node_threshold: flash_bdd::DEFAULT_GC_NODE_THRESHOLD,
         });
         let mut loop_verifier = None;
         let mut regex_verifiers = Vec::new();
@@ -101,7 +101,7 @@ impl SubspaceVerifier {
                         config.actions.clone(),
                         requirement.clone(),
                         dests.clone(),
-                        mgr.bdd_mut(),
+                        mgr.engine_mut(),
                         &config.layout,
                     ));
                 }
@@ -160,8 +160,8 @@ impl SubspaceVerifier {
     pub fn detect(&mut self, newly_synced: &[DeviceId]) -> Vec<PropertyReport> {
         let mut out = Vec::new();
         if let Some(lv) = &mut self.loop_verifier {
-            let (bdd, pat, model) = self.mgr.parts_mut();
-            match lv.on_model_update(bdd, pat, model, newly_synced) {
+            let (engine, pat, model) = self.mgr.parts_mut();
+            match lv.on_model_update(engine, pat, model, newly_synced) {
                 LoopVerdict::LoopFound { cycle, .. } => {
                     let key = format!("loop:{cycle:?}");
                     if self.emitted.insert(key) {
@@ -177,9 +177,9 @@ impl SubspaceVerifier {
             }
         }
         for rv in &mut self.regex_verifiers {
-            let (bdd, pat, model) = self.mgr.parts_mut();
+            let (engine, pat, model) = self.mgr.parts_mut();
             let name = rv.requirement().name.clone();
-            match rv.on_model_update(bdd, pat, model, newly_synced) {
+            match rv.on_model_update(engine, pat, model, newly_synced) {
                 Verdict::Satisfied => {
                     if self.emitted.insert(format!("sat:{name}")) {
                         out.push(PropertyReport::Satisfied { requirement: name });

@@ -6,6 +6,11 @@
 //! `bst = 1` degenerates to the per-update mode used as a baseline in
 //! Figure 11; `bst = usize::MAX` defers everything to an explicit
 //! [`ModelManager::flush`].
+//!
+//! Memory management is delegated to the predicate engine: the model's
+//! entries are rooted [`flash_bdd::Pred`] handles, so the engine's
+//! automatic mark-sweep GC reclaims the map phase's transient predicates
+//! without any root collection or id remapping here.
 
 use crate::model::InverseModel;
 use crate::mr2::{
@@ -14,7 +19,7 @@ use crate::mr2::{
 };
 use crate::pat::PatStore;
 use crate::subspace::SubspaceSpec;
-use flash_bdd::{Bdd, NodeId};
+use flash_bdd::{EngineTelemetry, Pred, PredEngine};
 use flash_netmodel::{DeviceId, Fib, HeaderLayout, RuleUpdate};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -30,10 +35,10 @@ pub struct ModelManagerConfig {
     /// Drop updates whose match cannot intersect the subspace (cheap
     /// syntactic filter) before they are buffered.
     pub filter_updates: bool,
-    /// Run a BDD garbage collection when, after a flush, the arena holds
-    /// more than this many nodes. `usize::MAX` disables automatic GC.
-    /// Storm workloads produce large transient predicates during the map
-    /// phase; periodic GC keeps the footprint near the live model size.
+    /// The engine collects automatically once this many nodes are live.
+    /// `usize::MAX` disables automatic GC. Storm workloads produce large
+    /// transient predicates during the map phase; automatic GC keeps the
+    /// footprint near the live model size.
     pub gc_node_threshold: usize,
 }
 
@@ -46,7 +51,7 @@ impl ModelManagerConfig {
             subspace: SubspaceSpec::whole(),
             bst: usize::MAX,
             filter_updates: false,
-            gc_node_threshold: usize::MAX,
+            gc_node_threshold: flash_bdd::DEFAULT_GC_NODE_THRESHOLD,
         }
     }
 }
@@ -81,15 +86,19 @@ pub struct UpdateStats {
     pub atomic_overwrites: u64,
     /// Compact overwrites after both reduces.
     pub compact_overwrites: u64,
+    /// Snapshot of the predicate-engine telemetry (ops, cache hit rates,
+    /// node counts, GC pauses) at the time [`ModelManager::stats`] was
+    /// called.
+    pub engine: EngineTelemetry,
 }
 
 /// The model manager: FIB snapshots + inverse model + MR² driver.
 pub struct ModelManager {
     config: ModelManagerConfig,
-    bdd: Bdd,
+    engine: PredEngine,
     pat: PatStore,
     model: InverseModel,
-    clip: NodeId,
+    clip: Pred,
     fibs: HashMap<DeviceId, Fib>,
     pending: Vec<(DeviceId, RuleUpdate)>,
     timings: PhaseTimings,
@@ -98,12 +107,15 @@ pub struct ModelManager {
 
 impl ModelManager {
     pub fn new(config: ModelManagerConfig) -> Self {
-        let mut bdd = Bdd::new(config.layout.total_bits());
-        let clip = config.subspace.universe(&config.layout, &mut bdd);
-        let model = InverseModel::new(clip);
+        let mut engine = PredEngine::with_gc_threshold(
+            config.layout.total_bits(),
+            config.gc_node_threshold,
+        );
+        let clip = config.subspace.universe(&config.layout, &mut engine);
+        let model = InverseModel::new(clip.clone());
         ModelManager {
             config,
-            bdd,
+            engine,
             pat: PatStore::new(),
             model,
             clip,
@@ -122,12 +134,12 @@ impl ModelManager {
         &self.model
     }
 
-    pub fn bdd(&self) -> &Bdd {
-        &self.bdd
+    pub fn engine(&self) -> &PredEngine {
+        &self.engine
     }
 
-    pub fn bdd_mut(&mut self) -> &mut Bdd {
-        &mut self.bdd
+    pub fn engine_mut(&mut self) -> &mut PredEngine {
+        &mut self.engine
     }
 
     pub fn pat(&self) -> &PatStore {
@@ -136,16 +148,20 @@ impl ModelManager {
 
     /// Split borrow for consumers (the CE2D verifier) that need predicate
     /// operations over the current model.
-    pub fn parts_mut(&mut self) -> (&mut Bdd, &mut PatStore, &InverseModel) {
-        (&mut self.bdd, &mut self.pat, &self.model)
+    pub fn parts_mut(&mut self) -> (&mut PredEngine, &mut PatStore, &InverseModel) {
+        (&mut self.engine, &mut self.pat, &self.model)
     }
 
     pub fn timings(&self) -> PhaseTimings {
         self.timings
     }
 
+    /// Work counters, including a fresh predicate-engine telemetry
+    /// snapshot.
     pub fn stats(&self) -> UpdateStats {
-        self.stats
+        let mut s = self.stats;
+        s.engine = self.engine.telemetry();
+        s
     }
 
     /// The FIB snapshot of a device (the default-only table when the
@@ -168,7 +184,10 @@ impl ModelManager {
             .values()
             .map(|f| f.len() * std::mem::size_of::<flash_netmodel::Rule>())
             .sum();
-        self.bdd.approx_bytes() + self.pat.approx_bytes() + self.model.approx_bytes() + rule_bytes
+        self.engine.approx_bytes()
+            + self.pat.approx_bytes()
+            + self.model.approx_bytes()
+            + rule_bytes
     }
 
     /// Buffers updates for a device, flushing if the BST is reached.
@@ -219,6 +238,7 @@ impl ModelManager {
 
         // ---- Map phase: per-device decomposition into atomic overwrites.
         let t0 = Instant::now();
+        let clip = self.clip.clone();
         let mut atomics: Vec<AtomicOverwrite> = Vec::new();
         for &dev in &order {
             let block = cancel_updates(&per_device[&dev]);
@@ -232,12 +252,12 @@ impl ModelManager {
                 .or_insert_with(|| Fib::new(&layout));
             let res = merge_block_and_diff(fib, &block);
             atomics.extend(calculate_atomic_overwrites(
-                &mut self.bdd,
+                &mut self.engine,
                 &layout,
                 dev,
                 fib,
                 &res.diff,
-                self.clip,
+                &clip,
             ));
         }
         self.timings.compute_atomic += t0.elapsed();
@@ -245,7 +265,7 @@ impl ModelManager {
 
         // ---- Reduce I + II.
         let t1 = Instant::now();
-        let reduced = reduce_by_action(&mut self.bdd, &atomics);
+        let reduced = reduce_by_action(&mut self.engine, &atomics);
         let compact = reduce_by_predicate(&reduced);
         self.timings.aggregate += t1.elapsed();
         self.stats.compact_overwrites += compact.len() as u64;
@@ -253,31 +273,26 @@ impl ModelManager {
         // ---- Apply phase: cross product against the inverse model.
         let t2 = Instant::now();
         self.model
-            .apply_overwrites(&mut self.bdd, &mut self.pat, &compact);
+            .apply_overwrites(&mut self.engine, &mut self.pat, &compact);
         self.timings.apply += t2.elapsed();
 
-        if self.bdd.stats().nodes > self.config.gc_node_threshold {
-            self.gc();
-        }
-
+        // Transient map-phase predicates dropped above are collected by the
+        // engine's automatic GC the next time its threshold trips; no
+        // manual root bookkeeping needed.
         order
     }
 
-    /// Runs a BDD garbage collection keeping only the model's predicates.
-    /// Call between large batches to bound memory on storm workloads.
-    pub fn gc(&mut self) {
-        let mut roots = self.model.bdd_roots();
-        roots.push(self.clip);
-        let remapped = self.bdd.gc(&roots);
-        self.clip = remapped[remapped.len() - 1];
-        self.model.remap_bdd(&remapped[..remapped.len() - 1]);
+    /// Forces a predicate-engine collection (the engine also collects
+    /// automatically past the configured threshold). Returns the number of
+    /// reclaimed nodes.
+    pub fn gc(&mut self) -> usize {
+        self.engine.collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flash_bdd::TRUE;
     use flash_netmodel::{ActionTable, FieldId, Match, Rule};
 
     fn l() -> HeaderLayout {
@@ -295,7 +310,7 @@ mod tests {
     fn empty_manager_has_default_model() {
         let m = mgr(usize::MAX);
         assert_eq!(m.model().len(), 1);
-        assert_eq!(m.model().universe(), TRUE);
+        assert!(m.model().universe().is_true());
     }
 
     #[test]
@@ -310,8 +325,8 @@ mod tests {
         let touched = m.flush();
         assert_eq!(touched, vec![DeviceId(0)]);
         assert_eq!(m.model().len(), 2);
-        let (bdd, _, model) = m.parts_mut();
-        model.check_invariants(bdd).unwrap();
+        let (engine, _, model) = m.parts_mut();
+        model.check_invariants(engine).unwrap();
     }
 
     #[test]
@@ -351,8 +366,8 @@ mod tests {
         assert_eq!(m.stats().updates_accepted, 1);
         assert_eq!(m.stats().updates_filtered, 1);
         m.flush();
-        let (bdd, _, model) = m.parts_mut();
-        model.check_invariants(bdd).unwrap();
+        let (engine, _, model) = m.parts_mut();
+        model.check_invariants(engine).unwrap();
     }
 
     #[test]
@@ -375,13 +390,13 @@ mod tests {
         let r = Rule::new(Match::dst_prefix(&layout, 0x80, 0), 1, a1); // /0 = any dst
         m.submit(DeviceId(0), [RuleUpdate::insert(r)]);
         m.flush();
-        let (bdd, _, model) = m.parts_mut();
-        model.check_invariants(bdd).unwrap();
+        let (engine, _, model) = m.parts_mut();
+        model.check_invariants(engine).unwrap();
         // Universe is the half space: total fraction covered is 1/2.
         let covered: f64 = model
             .entries()
             .iter()
-            .map(|e| bdd.sat_fraction(e.pred))
+            .map(|e| engine.sat_fraction(&e.pred))
             .sum();
         assert!((covered - 0.5).abs() < 1e-9);
     }
@@ -432,8 +447,8 @@ mod tests {
         let classes = m.model().len();
         m.gc();
         assert_eq!(m.model().len(), classes);
-        let (bdd, _, model) = m.parts_mut();
-        model.check_invariants(bdd).unwrap();
+        let (engine, _, model) = m.parts_mut();
+        model.check_invariants(engine).unwrap();
     }
 
     #[test]
@@ -450,9 +465,9 @@ mod tests {
             let r = Rule::new(Match::dst_prefix(&layout, (i * 8) & 0xF8, 5), 1, a);
             m.submit(DeviceId((i % 4) as u32), [RuleUpdate::insert(r)]);
         }
-        assert!(m.bdd().stats().gcs > 0, "GC should have fired");
-        let (bdd, _, model) = m.parts_mut();
-        model.check_invariants(bdd).unwrap();
+        assert!(m.stats().engine.gc_runs > 0, "auto-GC should have fired");
+        let (engine, _, model) = m.parts_mut();
+        model.check_invariants(engine).unwrap();
     }
 
     #[test]
@@ -466,5 +481,20 @@ mod tests {
         m.flush();
         let t = m.timings();
         assert!(t.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn stats_expose_engine_telemetry() {
+        let mut at = ActionTable::new();
+        let a1 = at.fwd(DeviceId(9));
+        let layout = l();
+        let mut m = mgr(usize::MAX);
+        let r = Rule::new(Match::dst_prefix(&layout, 0xA0, 4), 1, a1);
+        m.submit(DeviceId(0), [RuleUpdate::insert(r)]);
+        m.flush();
+        let s = m.stats();
+        assert!(s.engine.ops > 0);
+        assert!(s.engine.live_nodes > 2);
+        assert!(s.engine.roots_live > 0);
     }
 }

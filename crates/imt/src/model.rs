@@ -6,17 +6,21 @@
 //! (3) complementary (the predicates union to the subspace universe). The
 //! model-overwrite operator `⊗` (Definition 9) is implemented as the
 //! paper's "cross product".
+//!
+//! Predicates are rooted [`Pred`] handles: the model never has to collect
+//! roots or remap ids — the engine's automatic mark-sweep GC keeps every
+//! entry alive for exactly as long as the model holds it.
 
 use crate::mr2::Overwrite;
 use crate::pat::{PatId, PatStore, PAT_NIL};
-use flash_bdd::{Bdd, NodeId, FALSE};
+use flash_bdd::{Pred, PredEngine};
 use std::collections::HashMap;
 
 /// One equivalence class: the headers in `pred` experience exactly the
 /// network-wide forwarding behaviour `vector`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ModelEntry {
-    pub pred: NodeId,
+    pub pred: Pred,
     pub vector: PatId,
 }
 
@@ -25,7 +29,7 @@ pub struct ModelEntry {
 pub struct InverseModel {
     /// The universe predicate of this model's subspace (TRUE for a
     /// whole-network model).
-    universe: NodeId,
+    universe: Pred,
     entries: Vec<ModelEntry>,
     /// vector → index into `entries`, maintaining the uniqueness invariant.
     by_vector: HashMap<PatId, usize>,
@@ -34,21 +38,18 @@ pub struct InverseModel {
 impl InverseModel {
     /// The initial model: the whole `universe` maps to the all-default
     /// action vector (every FIB is just its default rule).
-    pub fn new(universe: NodeId) -> Self {
+    pub fn new(universe: Pred) -> Self {
         let mut by_vector = HashMap::new();
         by_vector.insert(PAT_NIL, 0);
         InverseModel {
+            entries: vec![ModelEntry { pred: universe.clone(), vector: PAT_NIL }],
             universe,
-            entries: vec![ModelEntry {
-                pred: universe,
-                vector: PAT_NIL,
-            }],
             by_vector,
         }
     }
 
-    pub fn universe(&self) -> NodeId {
-        self.universe
+    pub fn universe(&self) -> &Pred {
+        &self.universe
     }
 
     /// Number of equivalence classes.
@@ -65,11 +66,8 @@ impl InverseModel {
     }
 
     /// The entry whose predicate contains the concrete header `bits`.
-    pub fn classify(&self, bdd: &Bdd, bits: &[bool]) -> Option<ModelEntry> {
-        self.entries
-            .iter()
-            .copied()
-            .find(|e| bdd.eval(e.pred, bits))
+    pub fn classify(&self, engine: &PredEngine, bits: &[bool]) -> Option<ModelEntry> {
+        self.entries.iter().find(|e| engine.eval(&e.pred, bits)).cloned()
     }
 
     /// Applies one conflict-free overwrite via the cross product
@@ -78,32 +76,40 @@ impl InverseModel {
     ///
     /// Returns the number of classes whose predicate intersected the
     /// overwrite.
-    pub fn apply_overwrite(&mut self, bdd: &mut Bdd, pat: &mut PatStore, ow: &Overwrite) -> usize {
-        if ow.pred == FALSE || ow.writes.is_empty() {
+    pub fn apply_overwrite(
+        &mut self,
+        engine: &mut PredEngine,
+        pat: &mut PatStore,
+        ow: &Overwrite,
+    ) -> usize {
+        if ow.pred.is_false() || ow.writes.is_empty() {
             return 0;
         }
         let mut touched = 0usize;
         // (new_vector, predicate-to-add) accumulated across splits.
-        let mut moved: Vec<(PatId, NodeId)> = Vec::new();
+        let mut moved: Vec<(PatId, Pred)> = Vec::new();
         let mut i = 0;
         while i < self.entries.len() {
-            let e = self.entries[i];
-            let inter = bdd.and(e.pred, ow.pred);
-            if inter == FALSE {
+            let (e_pred, e_vector) = {
+                let e = &self.entries[i];
+                (e.pred.clone(), e.vector)
+            };
+            let inter = engine.and(&e_pred, &ow.pred);
+            if inter.is_false() {
                 i += 1;
                 continue;
             }
             touched += 1;
-            let new_vec = pat.overwrite(e.vector, &ow.writes);
-            if new_vec == e.vector {
+            let new_vec = pat.overwrite(e_vector, &ow.writes);
+            if new_vec == e_vector {
                 // Overwrite is a no-op for this class (writes repeat the
                 // existing actions); nothing moves.
                 i += 1;
                 continue;
             }
-            let rest = bdd.diff(e.pred, ow.pred);
+            let rest = engine.diff(&e_pred, &ow.pred);
             moved.push((new_vec, inter));
-            if rest == FALSE {
+            if rest.is_false() {
                 // Whole class moves: remove it.
                 self.remove_at(i);
                 // Do not advance i: a new entry occupies this slot.
@@ -113,7 +119,7 @@ impl InverseModel {
             }
         }
         for (vec, pred) in moved {
-            self.add_pred(bdd, vec, pred);
+            self.add_pred(engine, vec, pred);
         }
         touched
     }
@@ -121,13 +127,11 @@ impl InverseModel {
     /// Applies a batch of overwrites in order (they compose by Lemma 1).
     pub fn apply_overwrites(
         &mut self,
-        bdd: &mut Bdd,
+        engine: &mut PredEngine,
         pat: &mut PatStore,
         ows: &[Overwrite],
     ) -> usize {
-        ows.iter()
-            .map(|ow| self.apply_overwrite(bdd, pat, ow))
-            .sum()
+        ows.iter().map(|ow| self.apply_overwrite(engine, pat, ow)).sum()
     }
 
     fn remove_at(&mut self, i: usize) {
@@ -140,13 +144,13 @@ impl InverseModel {
     }
 
     /// Adds `pred` to the class with vector `vec`, creating it if needed.
-    fn add_pred(&mut self, bdd: &mut Bdd, vec: PatId, pred: NodeId) {
-        if pred == FALSE {
+    fn add_pred(&mut self, engine: &mut PredEngine, vec: PatId, pred: Pred) {
+        if pred.is_false() {
             return;
         }
         match self.by_vector.get(&vec) {
             Some(&i) => {
-                let merged = bdd.or(self.entries[i].pred, pred);
+                let merged = engine.or(&self.entries[i].pred, &pred);
                 self.entries[i].pred = merged;
             }
             None => {
@@ -158,50 +162,34 @@ impl InverseModel {
 
     /// Checks the three validity invariants of Definition 6. `O(|M|²)`
     /// predicate work — test/debug use only.
-    pub fn check_invariants(&self, bdd: &mut Bdd) -> Result<(), String> {
+    pub fn check_invariants(&self, engine: &mut PredEngine) -> Result<(), String> {
         // unique vectors
         let mut seen = std::collections::HashSet::new();
         for e in &self.entries {
             if !seen.insert(e.vector) {
                 return Err(format!("duplicate action vector {:?}", e.vector));
             }
-            if e.pred == FALSE {
+            if e.pred.is_false() {
                 return Err("empty predicate in model".into());
             }
         }
         // mutually exclusive
         for i in 0..self.entries.len() {
             for j in (i + 1)..self.entries.len() {
-                if bdd.and(self.entries[i].pred, self.entries[j].pred) != FALSE {
+                if !engine.disjoint(&self.entries[i].pred, &self.entries[j].pred) {
                     return Err(format!("classes {i} and {j} overlap"));
                 }
             }
         }
         // complementary w.r.t. the universe
-        let mut union = FALSE;
+        let mut union = engine.false_pred();
         for e in &self.entries {
-            union = bdd.or(union, e.pred);
+            union = engine.or(&union, &e.pred);
         }
         if union != self.universe {
             return Err("classes do not cover the universe".into());
         }
         Ok(())
-    }
-
-    /// GC support: the BDD roots this model needs kept alive.
-    pub fn bdd_roots(&self) -> Vec<NodeId> {
-        let mut roots: Vec<NodeId> = self.entries.iter().map(|e| e.pred).collect();
-        roots.push(self.universe);
-        roots
-    }
-
-    /// GC support: rewrites predicates after a [`Bdd::gc`] using the root
-    /// list returned by [`Self::bdd_roots`] and the remapped ids.
-    pub fn remap_bdd(&mut self, remapped: &[NodeId]) {
-        for (e, &r) in self.entries.iter_mut().zip(remapped.iter()) {
-            e.pred = r;
-        }
-        self.universe = remapped[self.entries.len()];
     }
 
     /// Approximate resident bytes (entries + index), excluding the shared
@@ -214,10 +202,9 @@ impl InverseModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flash_bdd::TRUE;
     use flash_netmodel::{ActionId, DeviceId};
 
-    fn ow(pred: NodeId, writes: Vec<(u32, u32)>) -> Overwrite {
+    fn ow(pred: Pred, writes: Vec<(u32, u32)>) -> Overwrite {
         Overwrite {
             pred,
             writes: writes
@@ -229,125 +216,128 @@ mod tests {
 
     #[test]
     fn initial_model_is_single_default_class() {
-        let m = InverseModel::new(TRUE);
+        let e = PredEngine::new(8);
+        let m = InverseModel::new(e.true_pred());
         assert_eq!(m.len(), 1);
         assert_eq!(m.entries()[0].vector, PAT_NIL);
-        assert_eq!(m.entries()[0].pred, TRUE);
+        assert!(m.entries()[0].pred.is_true());
     }
 
     #[test]
     fn overwrite_splits_a_class() {
-        let mut bdd = Bdd::new(8);
+        let mut e = PredEngine::new(8);
         let mut pat = PatStore::new();
-        let mut m = InverseModel::new(TRUE);
-        let p = bdd.prefix(0, 8, 0xA0, 4);
-        let touched = m.apply_overwrite(&mut bdd, &mut pat, &ow(p, vec![(0, 1)]));
+        let mut m = InverseModel::new(e.true_pred());
+        let p = e.prefix(0, 8, 0xA0, 4);
+        let touched = m.apply_overwrite(&mut e, &mut pat, &ow(p, vec![(0, 1)]));
         assert_eq!(touched, 1);
         assert_eq!(m.len(), 2);
-        m.check_invariants(&mut bdd).unwrap();
+        m.check_invariants(&mut e).unwrap();
     }
 
     #[test]
     fn overwrite_with_same_action_is_noop() {
-        let mut bdd = Bdd::new(8);
+        let mut e = PredEngine::new(8);
         let mut pat = PatStore::new();
-        let mut m = InverseModel::new(TRUE);
-        let p = bdd.prefix(0, 8, 0xA0, 4);
-        m.apply_overwrite(&mut bdd, &mut pat, &ow(p, vec![(0, 1)]));
+        let mut m = InverseModel::new(e.true_pred());
+        let p = e.prefix(0, 8, 0xA0, 4);
+        m.apply_overwrite(&mut e, &mut pat, &ow(p, vec![(0, 1)]));
         let len = m.len();
         // Rewriting the same action on a sub-predicate must not split.
-        let sub = bdd.prefix(0, 8, 0xA8, 5);
-        m.apply_overwrite(&mut bdd, &mut pat, &ow(sub, vec![(0, 1)]));
+        let sub = e.prefix(0, 8, 0xA8, 5);
+        m.apply_overwrite(&mut e, &mut pat, &ow(sub, vec![(0, 1)]));
         assert_eq!(m.len(), len);
-        m.check_invariants(&mut bdd).unwrap();
+        m.check_invariants(&mut e).unwrap();
     }
 
     #[test]
     fn classes_with_equal_vectors_merge() {
-        let mut bdd = Bdd::new(8);
+        let mut e = PredEngine::new(8);
         let mut pat = PatStore::new();
-        let mut m = InverseModel::new(TRUE);
-        let p1 = bdd.prefix(0, 8, 0xA0, 4);
-        let p2 = bdd.prefix(0, 8, 0xB0, 4);
-        m.apply_overwrite(&mut bdd, &mut pat, &ow(p1, vec![(0, 1)]));
-        m.apply_overwrite(&mut bdd, &mut pat, &ow(p2, vec![(0, 1)]));
+        let mut m = InverseModel::new(e.true_pred());
+        let p1 = e.prefix(0, 8, 0xA0, 4);
+        let p2 = e.prefix(0, 8, 0xB0, 4);
+        m.apply_overwrite(&mut e, &mut pat, &ow(p1, vec![(0, 1)]));
+        m.apply_overwrite(&mut e, &mut pat, &ow(p2, vec![(0, 1)]));
         // Both prefixes map device 0 to action 1 → must be ONE class.
         assert_eq!(m.len(), 2);
-        m.check_invariants(&mut bdd).unwrap();
+        m.check_invariants(&mut e).unwrap();
     }
 
     #[test]
     fn whole_class_moves_when_covered() {
-        let mut bdd = Bdd::new(8);
+        let mut e = PredEngine::new(8);
         let mut pat = PatStore::new();
-        let mut m = InverseModel::new(TRUE);
-        let p = bdd.prefix(0, 8, 0xA0, 4);
-        m.apply_overwrite(&mut bdd, &mut pat, &ow(p, vec![(0, 1)]));
+        let mut m = InverseModel::new(e.true_pred());
+        let p = e.prefix(0, 8, 0xA0, 4);
+        m.apply_overwrite(&mut e, &mut pat, &ow(p.clone(), vec![(0, 1)]));
         // Now overwrite the exact same predicate with a different action:
         // the (p, [0→1]) class must fully move, not leave an empty shell.
-        m.apply_overwrite(&mut bdd, &mut pat, &ow(p, vec![(0, 2)]));
+        m.apply_overwrite(&mut e, &mut pat, &ow(p, vec![(0, 2)]));
         assert_eq!(m.len(), 2);
-        m.check_invariants(&mut bdd).unwrap();
-        for e in m.entries() {
-            assert_ne!(e.pred, FALSE);
+        m.check_invariants(&mut e).unwrap();
+        for entry in m.entries() {
+            assert!(!entry.pred.is_false());
         }
     }
 
     #[test]
     fn classify_finds_the_unique_class() {
-        let mut bdd = Bdd::new(8);
+        let mut e = PredEngine::new(8);
         let mut pat = PatStore::new();
-        let mut m = InverseModel::new(TRUE);
-        let p = bdd.prefix(0, 8, 0xA0, 4);
-        m.apply_overwrite(&mut bdd, &mut pat, &ow(p, vec![(0, 1)]));
+        let mut m = InverseModel::new(e.true_pred());
+        let p = e.prefix(0, 8, 0xA0, 4);
+        m.apply_overwrite(&mut e, &mut pat, &ow(p, vec![(0, 1)]));
         let bits_a: Vec<bool> = (0..8).map(|i| (0xA5u8 >> (7 - i)) & 1 == 1).collect();
-        let e = m.classify(&bdd, &bits_a).unwrap();
-        assert_eq!(pat.get(e.vector, DeviceId(0)), ActionId(1));
+        let entry = m.classify(&e, &bits_a).unwrap();
+        assert_eq!(pat.get(entry.vector, DeviceId(0)), ActionId(1));
         let bits_b: Vec<bool> = (0..8).map(|i| (0x15u8 >> (7 - i)) & 1 == 1).collect();
-        let e = m.classify(&bdd, &bits_b).unwrap();
-        assert_eq!(e.vector, PAT_NIL);
+        let entry = m.classify(&e, &bits_b).unwrap();
+        assert_eq!(entry.vector, PAT_NIL);
     }
 
     #[test]
     fn subspace_universe_respected() {
-        let mut bdd = Bdd::new(8);
+        let mut e = PredEngine::new(8);
         let mut pat = PatStore::new();
-        let universe = bdd.prefix(0, 8, 0x80, 1); // top half of the space
-        let mut m = InverseModel::new(universe);
-        let p = bdd.prefix(0, 8, 0xA0, 4);
-        let clipped = bdd.and(p, universe);
-        m.apply_overwrite(&mut bdd, &mut pat, &ow(clipped, vec![(0, 1)]));
-        m.check_invariants(&mut bdd).unwrap();
+        let universe = e.prefix(0, 8, 0x80, 1); // top half of the space
+        let mut m = InverseModel::new(universe.clone());
+        let p = e.prefix(0, 8, 0xA0, 4);
+        let clipped = e.and(&p, &universe);
+        m.apply_overwrite(&mut e, &mut pat, &ow(clipped, vec![(0, 1)]));
+        m.check_invariants(&mut e).unwrap();
         assert_eq!(m.len(), 2);
     }
 
     #[test]
     fn gc_roundtrip() {
-        let mut bdd = Bdd::new(16);
+        let mut e = PredEngine::new(16);
         let mut pat = PatStore::new();
-        let mut m = InverseModel::new(TRUE);
+        let mut m = InverseModel::new(e.true_pred());
         for i in 0..8u64 {
-            let p = bdd.prefix(0, 16, i << 12, 4);
-            m.apply_overwrite(&mut bdd, &mut pat, &ow(p, vec![(0, (i + 1) as u32)]));
+            let p = e.prefix(0, 16, i << 12, 4);
+            m.apply_overwrite(&mut e, &mut pat, &ow(p, vec![(0, (i + 1) as u32)]));
         }
         let before = m.len();
-        let roots = m.bdd_roots();
-        let remapped = bdd.gc(&roots);
-        m.remap_bdd(&remapped);
+        // The model's handles are roots: a collection must not disturb it.
+        let reclaimed = e.collect();
         assert_eq!(m.len(), before);
-        m.check_invariants(&mut bdd).unwrap();
+        m.check_invariants(&mut e).unwrap();
+        // And a second collection is equally safe.
+        e.collect();
+        m.check_invariants(&mut e).unwrap();
+        let _ = reclaimed;
     }
 
     #[test]
     fn empty_overwrite_is_ignored() {
-        let mut bdd = Bdd::new(8);
+        let mut e = PredEngine::new(8);
         let mut pat = PatStore::new();
-        let mut m = InverseModel::new(TRUE);
-        assert_eq!(
-            m.apply_overwrite(&mut bdd, &mut pat, &ow(FALSE, vec![(0, 1)])),
-            0
-        );
-        assert_eq!(m.apply_overwrite(&mut bdd, &mut pat, &ow(TRUE, vec![])), 0);
+        let mut m = InverseModel::new(e.true_pred());
+        let f = e.false_pred();
+        let t = e.true_pred();
+        assert_eq!(m.apply_overwrite(&mut e, &mut pat, &ow(f, vec![(0, 1)])), 0);
+        assert_eq!(m.apply_overwrite(&mut e, &mut pat, &ow(t, vec![])), 0);
         assert_eq!(m.len(), 1);
     }
 }

@@ -20,17 +20,21 @@
 //!
 //! The result is a short list of compact conflict-free overwrites that the
 //! inverse model applies with its cross-product operator.
+//!
+//! All predicates are rooted [`Pred`] handles, so intermediate shadow
+//! predicates become engine garbage the moment this pipeline drops them and
+//! are reclaimed by the next automatic collection.
 
-use flash_bdd::{Bdd, NodeId, FALSE};
+use flash_bdd::{Pred, PredEngine};
 use flash_netmodel::fib::rule_cmp;
 use flash_netmodel::{ActionId, DeviceId, Fib, HeaderLayout, Rule, RuleOp, RuleUpdate};
 use std::collections::HashMap;
 
 /// An atomic overwrite: set `device`'s action to `action` for the headers
 /// in `pred` (the master predicate of Definition 14).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AtomicOverwrite {
-    pub pred: NodeId,
+    pub pred: Pred,
     pub device: DeviceId,
     pub action: ActionId,
 }
@@ -39,7 +43,7 @@ pub struct AtomicOverwrite {
 /// `(device, action)` write to the headers in `pred`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Overwrite {
-    pub pred: NodeId,
+    pub pred: Pred,
     pub writes: Vec<(DeviceId, ActionId)>,
 }
 
@@ -158,35 +162,33 @@ pub fn merge_block_and_diff(fib: &mut Fib, block: &[RuleUpdate]) -> MergeResult 
 /// "no-overwrite" predicate of Algorithm 1 (L43) stays implicit: the
 /// model's cross product leaves untouched header space in place.
 pub fn calculate_atomic_overwrites(
-    bdd: &mut Bdd,
+    engine: &mut PredEngine,
     layout: &HeaderLayout,
     device: DeviceId,
     fib: &Fib,
     diff: &[Rule],
-    clip: NodeId,
+    clip: &Pred,
 ) -> Vec<AtomicOverwrite> {
     let rules = fib.rules();
     let mut out = Vec::with_capacity(diff.len());
-    let mut p = FALSE; // accumulated union of higher-priority matches
+    let mut p = engine.false_pred(); // accumulated union of higher-priority matches
     let mut ri = 0usize;
     for rd in diff {
         // Advance the cursor until we reach rd's slot in R'.
-        while ri < rules.len()
-            && rule_cmp(&rules[ri], rd) == std::cmp::Ordering::Less
-        {
-            let m = rules[ri].mat.to_bdd(layout, bdd);
-            let m = if clip == flash_bdd::TRUE { m } else { bdd.and(m, clip) };
-            p = bdd.or(p, m);
+        while ri < rules.len() && rule_cmp(&rules[ri], rd) == std::cmp::Ordering::Less {
+            let m = rules[ri].mat.to_pred(layout, engine);
+            let m = if clip.is_true() { m } else { engine.and(&m, clip) };
+            p = engine.or(&p, &m);
             ri += 1;
         }
         debug_assert!(
             ri < rules.len() && rules[ri] == *rd,
             "expanding rule must be present in R'"
         );
-        let m = rd.mat.to_bdd(layout, bdd);
-        let m = if clip == flash_bdd::TRUE { m } else { bdd.and(m, clip) };
-        let eff = bdd.diff(m, p);
-        if eff != FALSE {
+        let m = rd.mat.to_pred(layout, engine);
+        let m = if clip.is_true() { m } else { engine.and(&m, clip) };
+        let eff = engine.diff(&m, &p);
+        if !eff.is_false() {
             out.push(AtomicOverwrite {
                 pred: eff,
                 device,
@@ -211,31 +213,31 @@ pub fn calculate_atomic_overwrites(
 /// multi-dimension prefix trie. Produces exactly the same overwrites;
 /// preferable when `|diff| · overlap degree ≪ |table|`.
 pub fn calculate_atomic_overwrites_trie(
-    bdd: &mut Bdd,
+    engine: &mut PredEngine,
     layout: &HeaderLayout,
     device: DeviceId,
     fib: &Fib,
     trie: &flash_netmodel::trie::OverlapTrie,
     diff: &[Rule],
-    clip: NodeId,
+    clip: &Pred,
 ) -> Vec<AtomicOverwrite> {
     let rules = fib.rules();
     let mut out = Vec::with_capacity(diff.len());
     for rd in diff {
         // Candidate shadowing rules: overlapping AND strictly higher in
         // the total order. Handles are indices into `rules`.
-        let mut p = FALSE;
+        let mut p = engine.false_pred();
         for h in trie.overlapping(&rd.mat) {
             let r = &rules[h as usize];
             if rule_cmp(r, rd) == std::cmp::Ordering::Less {
-                let m = r.mat.to_bdd(layout, bdd);
-                p = bdd.or(p, m);
+                let m = r.mat.to_pred(layout, engine);
+                p = engine.or(&p, &m);
             }
         }
-        let m = rd.mat.to_bdd(layout, bdd);
-        let m = if clip == flash_bdd::TRUE { m } else { bdd.and(m, clip) };
-        let eff = bdd.diff(m, p);
-        if eff != FALSE {
+        let m = rd.mat.to_pred(layout, engine);
+        let m = if clip.is_true() { m } else { engine.and(&m, clip) };
+        let eff = engine.diff(&m, &p);
+        if !eff.is_false() {
             out.push(AtomicOverwrite {
                 pred: eff,
                 device,
@@ -261,17 +263,20 @@ pub fn build_overlap_trie(
 
 /// Reduce I — aggregation by action (Theorem 4): atomic overwrites that
 /// write the same `(device, action)` merge by disjoining predicates.
-pub fn reduce_by_action(bdd: &mut Bdd, atomics: &[AtomicOverwrite]) -> Vec<AtomicOverwrite> {
+pub fn reduce_by_action(
+    engine: &mut PredEngine,
+    atomics: &[AtomicOverwrite],
+) -> Vec<AtomicOverwrite> {
     let mut index: HashMap<(DeviceId, ActionId), usize> = HashMap::new();
     let mut out: Vec<AtomicOverwrite> = Vec::new();
     for a in atomics {
         match index.get(&(a.device, a.action)) {
             Some(&i) => {
-                out[i].pred = bdd.or(out[i].pred, a.pred);
+                out[i].pred = engine.or(&out[i].pred, &a.pred);
             }
             None => {
                 index.insert((a.device, a.action), out.len());
-                out.push(*a);
+                out.push(a.clone());
             }
         }
     }
@@ -283,7 +288,10 @@ pub fn reduce_by_action(bdd: &mut Bdd, atomics: &[AtomicOverwrite]) -> Vec<Atomi
 /// write sets. Conflict-freedom holds because a device contributes at most
 /// one write per predicate after Reduce I.
 pub fn reduce_by_predicate(atomics: &[AtomicOverwrite]) -> Vec<Overwrite> {
-    let mut index: HashMap<NodeId, usize> = HashMap::new();
+    // Pred's interior mutability is only its root refcount; Eq/Hash use
+    // the immutable (node, engine) ids, so it is a sound map key.
+    #[allow(clippy::mutable_key_type)]
+    let mut index: HashMap<Pred, usize> = HashMap::new();
     let mut out: Vec<Overwrite> = Vec::new();
     for a in atomics {
         match index.get(&a.pred) {
@@ -297,9 +305,9 @@ pub fn reduce_by_predicate(atomics: &[AtomicOverwrite]) -> Vec<Overwrite> {
                 }
             }
             None => {
-                index.insert(a.pred, out.len());
+                index.insert(a.pred.clone(), out.len());
                 out.push(Overwrite {
-                    pred: a.pred,
+                    pred: a.pred.clone(),
                     writes: vec![(a.device, a.action)],
                 });
             }
@@ -311,7 +319,6 @@ pub fn reduce_by_predicate(atomics: &[AtomicOverwrite]) -> Vec<Overwrite> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flash_bdd::TRUE;
     use flash_netmodel::{ActionTable, Match};
 
     fn layout() -> HeaderLayout {
@@ -408,16 +415,17 @@ mod tests {
         let mut at = ActionTable::new();
         let a1 = at.fwd(DeviceId(1));
         let a2 = at.fwd(DeviceId(2));
-        let mut bdd = Bdd::new(8);
+        let mut e = PredEngine::new(8);
+        let t = e.true_pred();
         let mut fib = Fib::new(&l);
         // Existing high-priority rule shadows half of the new rule.
         let shadow = rule(&l, 0xA0, 5, 10, a1); // 10100/5
         fib.insert(shadow).unwrap();
         let newr = rule(&l, 0xA0, 4, 5, a2); // 1010/4, shadowed on its 0xA0-0xA7 half
         let res = merge_block_and_diff(&mut fib, &[RuleUpdate::insert(newr)]);
-        let ows = calculate_atomic_overwrites(&mut bdd, &l, DeviceId(0), &fib, &res.diff, TRUE);
+        let ows = calculate_atomic_overwrites(&mut e, &l, DeviceId(0), &fib, &res.diff, &t);
         assert_eq!(ows.len(), 1);
-        assert_eq!(bdd.sat_count(ows[0].pred), 8.0); // 16 - 8 shadowed
+        assert_eq!(e.sat_count(&ows[0].pred), 8.0); // 16 - 8 shadowed
         assert_eq!(ows[0].action, a2);
     }
 
@@ -427,41 +435,42 @@ mod tests {
         let mut at = ActionTable::new();
         let a1 = at.fwd(DeviceId(1));
         let a2 = at.fwd(DeviceId(2));
-        let mut bdd = Bdd::new(8);
+        let mut e = PredEngine::new(8);
+        let t = e.true_pred();
         let mut fib = Fib::new(&l);
         fib.insert(rule(&l, 0xA0, 4, 10, a1)).unwrap();
         // New rule entirely inside the shadow, lower priority.
         let newr = rule(&l, 0xA8, 5, 5, a2);
         let res = merge_block_and_diff(&mut fib, &[RuleUpdate::insert(newr)]);
-        let ows = calculate_atomic_overwrites(&mut bdd, &l, DeviceId(0), &fib, &res.diff, TRUE);
+        let ows = calculate_atomic_overwrites(&mut e, &l, DeviceId(0), &fib, &res.diff, &t);
         assert!(ows.is_empty());
     }
 
     #[test]
     fn reduce_by_action_merges_predicates() {
-        let mut bdd = Bdd::new(8);
-        let p1 = bdd.prefix(0, 8, 0xA0, 4);
-        let p2 = bdd.prefix(0, 8, 0xB0, 4);
+        let mut e = PredEngine::new(8);
+        let p1 = e.prefix(0, 8, 0xA0, 4);
+        let p2 = e.prefix(0, 8, 0xB0, 4);
         let atomics = vec![
-            AtomicOverwrite { pred: p1, device: DeviceId(0), action: ActionId(1) },
-            AtomicOverwrite { pred: p2, device: DeviceId(0), action: ActionId(1) },
-            AtomicOverwrite { pred: p1, device: DeviceId(1), action: ActionId(1) },
+            AtomicOverwrite { pred: p1.clone(), device: DeviceId(0), action: ActionId(1) },
+            AtomicOverwrite { pred: p2.clone(), device: DeviceId(0), action: ActionId(1) },
+            AtomicOverwrite { pred: p1.clone(), device: DeviceId(1), action: ActionId(1) },
         ];
-        let reduced = reduce_by_action(&mut bdd, &atomics);
+        let reduced = reduce_by_action(&mut e, &atomics);
         assert_eq!(reduced.len(), 2);
-        let union = bdd.or(p1, p2);
+        let union = e.or(&p1, &p2);
         assert_eq!(reduced[0].pred, union);
     }
 
     #[test]
     fn reduce_by_predicate_groups_writes() {
-        let mut bdd = Bdd::new(8);
-        let p = bdd.prefix(0, 8, 0xA0, 4);
-        let q = bdd.prefix(0, 8, 0xC0, 4);
+        let mut e = PredEngine::new(8);
+        let p = e.prefix(0, 8, 0xA0, 4);
+        let q = e.prefix(0, 8, 0xC0, 4);
         let atomics = vec![
-            AtomicOverwrite { pred: p, device: DeviceId(0), action: ActionId(1) },
-            AtomicOverwrite { pred: p, device: DeviceId(1), action: ActionId(2) },
-            AtomicOverwrite { pred: q, device: DeviceId(2), action: ActionId(3) },
+            AtomicOverwrite { pred: p.clone(), device: DeviceId(0), action: ActionId(1) },
+            AtomicOverwrite { pred: p.clone(), device: DeviceId(1), action: ActionId(2) },
+            AtomicOverwrite { pred: q.clone(), device: DeviceId(2), action: ActionId(3) },
         ];
         let ows = reduce_by_predicate(&atomics);
         assert_eq!(ows.len(), 2);
@@ -475,7 +484,8 @@ mod tests {
         // whichever shadow-computation strategy is used.
         let l = layout();
         let mut at = ActionTable::new();
-        let mut bdd = Bdd::new(8);
+        let mut e = PredEngine::new(8);
+        let t = e.true_pred();
         let mut fib = Fib::new(&l);
         // A pile of overlapping rules at various priorities.
         let mut state = 0x5EEDu64;
@@ -497,16 +507,16 @@ mod tests {
             .map(|i| RuleUpdate::insert(rule(&l, (i * 40) & 0xE0, 3, 20 + i as i64, a9)))
             .collect();
         let res = merge_block_and_diff(&mut fib, &block);
-        let acc = calculate_atomic_overwrites(&mut bdd, &l, DeviceId(0), &fib, &res.diff, TRUE);
+        let acc = calculate_atomic_overwrites(&mut e, &l, DeviceId(0), &fib, &res.diff, &t);
         let trie = crate::mr2::build_overlap_trie(&l, &fib);
         let via_trie = calculate_atomic_overwrites_trie(
-            &mut bdd,
+            &mut e,
             &l,
             DeviceId(0),
             &fib,
             &trie,
             &res.diff,
-            TRUE,
+            &t,
         );
         assert_eq!(acc.len(), via_trie.len());
         for (a, b) in acc.iter().zip(via_trie.iter()) {
@@ -526,9 +536,10 @@ mod tests {
         let (host_a, gw) = (DeviceId(3), DeviceId(4));
         let http = 0x8u64; // pretend port nibble 0x8 is HTTP
 
-        let mut bdd = Bdd::new(l.total_bits());
+        let mut e = PredEngine::new(l.total_bits());
+        let t = e.true_pred();
         let mut pat = crate::pat::PatStore::new();
-        let mut model = crate::model::InverseModel::new(TRUE);
+        let mut model = crate::model::InverseModel::new(e.true_pred());
         let mut fibs = [Fib::new(&l), Fib::new(&l), Fib::new(&l)];
 
         // Initial data plane (Figure 2 left): S1 forwards the two subnets
@@ -555,13 +566,13 @@ mod tests {
             let block = vec![RuleUpdate::insert(r)];
             let res = merge_block_and_diff(&mut fibs[dev], &block);
             let ows = calculate_atomic_overwrites(
-                &mut bdd, &l, DeviceId(dev as u32), &fibs[dev], &res.diff, TRUE,
+                &mut e, &l, DeviceId(dev as u32), &fibs[dev], &res.diff, &t,
             );
-            let ows = reduce_by_action(&mut bdd, &ows);
+            let ows = reduce_by_action(&mut e, &ows);
             let ows = reduce_by_predicate(&ows);
-            model.apply_overwrites(&mut bdd, &mut pat, &ows);
+            model.apply_overwrites(&mut e, &mut pat, &ows);
         }
-        model.check_invariants(&mut bdd).unwrap();
+        model.check_invariants(&mut e).unwrap();
         let classes_before = model.len();
 
         // The update block: +HTTP rules on all 3 switches (Figure 2 right).
@@ -599,12 +610,12 @@ mod tests {
             let block = cancel_updates(&block);
             let res = merge_block_and_diff(&mut fibs[dev], &block);
             all_atomics.extend(calculate_atomic_overwrites(
-                &mut bdd, &l, DeviceId(dev as u32), &fibs[dev], &res.diff, TRUE,
+                &mut e, &l, DeviceId(dev as u32), &fibs[dev], &res.diff, &t,
             ));
         }
         // 6 native updates → 6 atomic overwrites…
         assert_eq!(all_atomics.len(), 6);
-        let r1 = reduce_by_action(&mut bdd, &all_atomics);
+        let r1 = reduce_by_action(&mut e, &all_atomics);
         // …→ 3 after Reduce I (each device's two HTTP predicates merge)…
         assert_eq!(r1.len(), 3);
         let r2 = reduce_by_predicate(&r1);
@@ -612,8 +623,8 @@ mod tests {
         assert_eq!(r2.len(), 1);
         assert_eq!(r2[0].writes.len(), 3);
 
-        model.apply_overwrites(&mut bdd, &mut pat, &r2);
-        model.check_invariants(&mut bdd).unwrap();
+        model.apply_overwrites(&mut e, &mut pat, &r2);
+        model.check_invariants(&mut e).unwrap();
         // Exactly one new equivalence class (the HTTP-to-subnets class).
         assert_eq!(model.len(), classes_before + 1);
     }

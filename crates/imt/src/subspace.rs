@@ -7,7 +7,7 @@
 //! they reach the model manager, and every predicate inside the manager is
 //! implicitly clipped to the subspace universe.
 
-use flash_bdd::{Bdd, NodeId};
+use flash_bdd::{Pred, PredEngine};
 use flash_netmodel::{FieldId, HeaderLayout, Match, MatchKind};
 
 /// A subspace: the headers whose `field` starts with the top `len` bits of
@@ -29,10 +29,10 @@ impl SubspaceSpec {
         }
     }
 
-    /// The subspace universe as a BDD predicate.
-    pub fn universe(&self, layout: &HeaderLayout, bdd: &mut Bdd) -> NodeId {
+    /// The subspace universe as a rooted predicate.
+    pub fn universe(&self, layout: &HeaderLayout, engine: &mut PredEngine) -> Pred {
         let spec = layout.field(self.field);
-        bdd.prefix(spec.offset, spec.width, self.value, self.len)
+        engine.prefix(spec.offset, spec.width, self.value, self.len)
     }
 
     /// Conservative test: can a rule with this match affect the subspace?
@@ -120,24 +120,24 @@ mod tests {
     #[test]
     fn whole_space_is_true() {
         let l = l();
-        let mut bdd = Bdd::new(l.total_bits());
-        let u = SubspaceSpec::whole().universe(&l, &mut bdd);
-        assert_eq!(u, flash_bdd::TRUE);
+        let mut engine = PredEngine::new(l.total_bits());
+        let u = SubspaceSpec::whole().universe(&l, &mut engine);
+        assert!(u.is_true());
     }
 
     #[test]
     fn prefix_bits_partition_is_complementary() {
         let l = l();
-        let mut bdd = Bdd::new(l.total_bits());
+        let mut engine = PredEngine::new(l.total_bits());
         let plan = SubspacePlan::by_prefix_bits(&l, FieldId(0), 2);
         assert_eq!(plan.len(), 4);
-        let mut union = flash_bdd::FALSE;
+        let mut union = engine.false_pred();
         for s in &plan.subspaces {
-            let u = s.universe(&l, &mut bdd);
-            assert!(bdd.disjoint(union, u) || union == flash_bdd::FALSE);
-            union = bdd.or(union, u);
+            let u = s.universe(&l, &mut engine);
+            assert!(union.is_false() || engine.disjoint(&union, &u));
+            union = engine.or(&union, &u);
         }
-        assert_eq!(union, flash_bdd::TRUE);
+        assert!(union.is_true());
     }
 
     #[test]

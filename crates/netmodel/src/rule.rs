@@ -169,6 +169,13 @@ impl Match {
         acc
     }
 
+    /// Compiles the match into a rooted predicate handle. The raw
+    /// compilation runs under [`flash_bdd::PredEngine::encode`], so the
+    /// result is GC-safe the moment it is returned.
+    pub fn to_pred(&self, layout: &HeaderLayout, engine: &mut flash_bdd::PredEngine) -> flash_bdd::Pred {
+        engine.encode(|bdd| self.to_bdd(layout, bdd))
+    }
+
     /// Conservative overlap test used by the prefix trie to prune.
     pub fn may_overlap(&self, other: &Match, layout: &HeaderLayout) -> bool {
         for (fid, spec) in layout.fields() {

@@ -120,7 +120,9 @@ fn main() {
             "worker {}: {} restart(s), {} batches (incl. replay), health {:?}",
             w.worker, w.restarts, w.batches, w.health
         );
+        println!("         predicates: {}", w.engine.summary());
     }
+    println!("predicates (all workers): {}", out.stats.engine_totals().summary());
     match out.ok() {
         Ok(()) => println!("drain: clean (every worker joined before the deadline)"),
         Err(e) => println!("drain: {e}"),

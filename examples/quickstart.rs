@@ -99,7 +99,7 @@ fn main() {
     println!(
         "   inverse model: {} equivalence classes, {} predicate ops",
         mgr.model().len(),
-        mgr.bdd().op_count()
+        mgr.engine().op_count()
     );
 
     // ---- The HTTP policy block (Figure 2, right): 6 native updates.

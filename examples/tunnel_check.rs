@@ -44,23 +44,23 @@ fn main() {
     println!("== tunnel: ingress encapsulates (label 42), core carries it");
     let traversal = RewriteTraversal::new(topo.clone(), Arc::new(actions.clone()), layout.clone());
     {
-        let (bdd, pat, model) = mgr.parts_mut();
-        let initial = untunneled.to_bdd(&layout, bdd);
+        let (engine, pat, model) = mgr.parts_mut();
+        let initial = untunneled.to_pred(&layout, engine);
         let plain_next = pat.get(
-            model.classify(bdd, &[false; 16]).unwrap().vector,
+            model.classify(engine, &[false; 16]).unwrap().vector,
             core,
         );
         println!(
             "   core's FIB has no rule for untunneled traffic (action id {plain_next:?}) — \
              a header-only analysis sees a blackhole at the core"
         );
-        let reachable = traversal.reachable(bdd, pat, model, initial, ingress, &[egress]);
+        let reachable = traversal.reachable(engine, pat, model, &initial, ingress, &[egress]);
         println!("   rewrite-aware reachability ingress→egress: {reachable}");
         assert!(reachable);
         println!(
             "   model: {} equivalence classes, {} predicate ops",
             model.len(),
-            bdd.op_count()
+            engine.op_count()
         );
     }
 
@@ -72,8 +72,8 @@ fn main() {
     mgr.submit(egress, [RuleUpdate::insert(Rule::new(tunneled, 1, bad_decap))]);
     mgr.flush();
     let traversal = RewriteTraversal::new(topo.clone(), Arc::new(actions), layout.clone());
-    let (bdd, pat, model) = mgr.parts_mut();
-    match traversal.find_loop(bdd, pat, model) {
+    let (engine, pat, model) = mgr.parts_mut();
+    match traversal.find_loop(engine, pat, model) {
         Some(cycle) => {
             let names: Vec<&str> = cycle.iter().map(|d| topo.name(*d)).collect();
             println!(

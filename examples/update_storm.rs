@@ -38,7 +38,7 @@ fn main() {
     }
     mgr.flush();
     let flash_time = t0.elapsed();
-    let flash_ops = mgr.bdd().op_count();
+    let flash_ops = mgr.engine().op_count();
     println!(
         "== Flash (block mode):      {:>10.2?}  {} classes  {} predicate ops",
         flash_time,
@@ -61,7 +61,7 @@ fn main() {
         "== Flash (per-update mode): {:>10.2?}  {} classes  {} predicate ops",
         per_time,
         per.model().len(),
-        per.bdd().op_count()
+        per.engine().op_count()
     );
 
     // ---- Parallel Flash with one subspace per pod.

@@ -41,8 +41,8 @@ fn export_parse_verify_roundtrip_apsp() {
         parsed.model().len(),
         "equivalence-class count must survive the round trip"
     );
-    let (bdd, _, model) = parsed.parts_mut();
-    model.check_invariants(bdd).unwrap();
+    let (engine, _, model) = parsed.parts_mut();
+    model.check_invariants(engine).unwrap();
 }
 
 #[test]

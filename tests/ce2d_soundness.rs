@@ -135,8 +135,8 @@ fn run_loop_verifier(
         };
         mgr.submit(devs[i], [RuleUpdate::insert(rule)]);
         mgr.flush();
-        let (bdd, pat, model) = mgr.parts_mut();
-        let v = verifier.on_model_update(bdd, pat, model, &[devs[i]]);
+        let (engine, pat, model) = mgr.parts_mut();
+        let v = verifier.on_model_update(engine, pat, model, &[devs[i]]);
         if matches!(v, LoopVerdict::LoopFound { .. }) || v == LoopVerdict::NoLoop {
             verdict = v;
         }
@@ -287,7 +287,7 @@ proptest! {
             at.clone(),
             req,
             vec![],
-            mgr.bdd_mut(),
+            mgr.engine_mut(),
             &layout,
         );
         let mut verdict = Verdict::Unknown;
@@ -303,8 +303,8 @@ proptest! {
             };
             mgr.submit(devs[i], [RuleUpdate::insert(rule)]);
             mgr.flush();
-            let (bdd, pat, model) = mgr.parts_mut();
-            let v = verifier.on_model_update(bdd, pat, model, &[devs[i]]);
+            let (engine, pat, model) = mgr.parts_mut();
+            let v = verifier.on_model_update(engine, pat, model, &[devs[i]]);
             if v != Verdict::Unknown {
                 verdict = v;
             }

@@ -50,15 +50,15 @@ fn check_equivalence(
     let space = 1u128 << bits_total;
     let step = (space / sample_points as u128).max(1);
     let devices: Vec<DeviceId> = fibs.fibs.iter().map(|f| f.device).collect();
-    let (fbdd, fpat, fmodel) = mm.parts_mut();
-    let (abdd, apat, amodel) = ap.parts_mut();
+    let (fengine, fpat, fmodel) = mm.parts_mut();
+    let (aengine, apat, amodel) = ap.parts_mut();
     let mut p = 0u128;
     while p < space {
         let bits: Vec<bool> = (0..bits_total)
             .map(|i| (p >> (bits_total - 1 - i)) & 1 == 1)
             .collect();
-        let fe = fmodel.classify(fbdd, &bits).expect("model is complementary");
-        let ae = amodel.classify(abdd, &bits).expect("model is complementary");
+        let fe = fmodel.classify(fengine, &bits).expect("model is complementary");
+        let ae = amodel.classify(aengine, &bits).expect("model is complementary");
         for &d in devices.iter().take(8) {
             let fa = fpat.get(fe.vector, d);
             let aa = apat.get(ae.vector, d);
@@ -135,14 +135,14 @@ fn shuffled_arrival_order_gives_same_model() {
     assert_eq!(a.model().len(), b.model().len());
     // Same behaviours at sampled points.
     let bits_total = fibs.layout.total_bits();
-    let (abdd, apat, amodel) = a.parts_mut();
-    let (bbdd, bpat, bmodel) = b.parts_mut();
+    let (aengine, apat, amodel) = a.parts_mut();
+    let (bengine, bpat, bmodel) = b.parts_mut();
     for p in (0..(1u64 << bits_total)).step_by(97) {
         let bits: Vec<bool> = (0..bits_total)
             .map(|i| (p >> (bits_total - 1 - i)) & 1 == 1)
             .collect();
-        let ea = amodel.classify(abdd, &bits).unwrap();
-        let eb = bmodel.classify(bbdd, &bits).unwrap();
+        let ea = amodel.classify(aengine, &bits).unwrap();
+        let eb = bmodel.classify(bengine, &bits).unwrap();
         for f in fibs.fibs.iter().take(6) {
             assert_eq!(apat.get(ea.vector, f.device), bpat.get(eb.vector, f.device));
         }
@@ -165,8 +165,8 @@ fn bst_value_does_not_change_the_model() {
             mm.submit(*d, [u.clone()]);
         }
         mm.flush();
-        let (bdd, _, model) = mm.parts_mut();
-        model.check_invariants(bdd).unwrap();
+        let (engine, _, model) = mm.parts_mut();
+        model.check_invariants(engine).unwrap();
         counts.push(mm.model().len());
     }
     assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
@@ -187,9 +187,9 @@ fn model_invariants_hold_on_all_disciplines() {
             mm.submit(*d, [u.clone()]);
         }
         mm.flush();
-        let (bdd, _, model) = mm.parts_mut();
+        let (engine, _, model) = mm.parts_mut();
         model
-            .check_invariants(bdd)
+            .check_invariants(engine)
             .unwrap_or_else(|e| panic!("{discipline:?}: {e}"));
     }
 }

@@ -24,16 +24,16 @@ fn oracle_check(fibs: &fibgen::GeneratedFibs, samples: usize, seed: u64) {
         oracle_fibs.push((f.device, fib));
     }
     mm.flush();
-    let (bdd, pat, model) = mm.parts_mut();
-    model.check_invariants(bdd).unwrap();
+    let (engine, pat, model) = mm.parts_mut();
+    model.check_invariants(engine).unwrap();
 
     let mut rng = StdRng::seed_from_u64(seed);
     let bits_total = layout.total_bits();
     for _ in 0..samples {
         let bits: Vec<bool> = (0..bits_total).map(|_| rng.gen()).collect();
-        let entry = model.classify(bdd, &bits).expect("complementary");
+        let entry = model.classify(engine, &bits).expect("complementary");
         for (dev, fib) in &oracle_fibs {
-            let expect = fib.lookup(layout, bdd, &bits);
+            let expect = engine.with_bdd(|bdd| fib.lookup(layout, bdd, &bits));
             let got = pat.get(entry.vector, *dev);
             assert_eq!(got, expect, "device {dev} header {bits:?}");
         }
@@ -110,13 +110,13 @@ proptest! {
             }
         }
         mm.flush();
-        let (bdd, pat, model) = mm.parts_mut();
-        model.check_invariants(bdd).unwrap();
+        let (engine, pat, model) = mm.parts_mut();
+        model.check_invariants(engine).unwrap();
         for h in 0..64u64 {
             let bits: Vec<bool> = (0..6).map(|i| (h >> (5 - i)) & 1 == 1).collect();
-            let entry = model.classify(bdd, &bits).unwrap();
+            let entry = model.classify(engine, &bits).unwrap();
             for (i, d) in devices.iter().enumerate() {
-                let expect = oracle[i].lookup(&layout, bdd, &bits);
+                let expect = engine.with_bdd(|bdd| oracle[i].lookup(&layout, bdd, &bits));
                 prop_assert_eq!(pat.get(entry.vector, *d), expect, "header {} device {}", h, d);
             }
         }

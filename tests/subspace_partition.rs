@@ -45,11 +45,11 @@ fn subspace_models_agree_with_whole_space_model() {
     // Every subspace model is valid, and behaviours match the whole-space
     // model at sampled points inside the subspace.
     let bits_total = layout.total_bits();
-    let (wbdd, wpat, wmodel) = whole.parts_mut();
+    let (wengine, wpat, wmodel) = whole.parts_mut();
     for (si, sub) in subs.iter_mut().enumerate() {
         let devices: Vec<_> = sub.devices().collect();
-        let (sbdd, spat, smodel) = sub.parts_mut();
-        smodel.check_invariants(sbdd).unwrap();
+        let (sengine, spat, smodel) = sub.parts_mut();
+        smodel.check_invariants(sengine).unwrap();
         let (pv, pl) = pods[si];
         for off in (0..(1u64 << (bits_total - pl))).step_by(13) {
             // The pod prefix value is already left-aligned in the field.
@@ -57,8 +57,8 @@ fn subspace_models_agree_with_whole_space_model() {
             let bits: Vec<bool> = (0..bits_total)
                 .map(|i| (point >> (bits_total - 1 - i)) & 1 == 1)
                 .collect();
-            let we = wmodel.classify(wbdd, &bits).unwrap();
-            let se = smodel.classify(sbdd, &bits).unwrap();
+            let we = wmodel.classify(wengine, &bits).unwrap();
+            let se = smodel.classify(sengine, &bits).unwrap();
             for &d in devices.iter().take(6) {
                 assert_eq!(
                     wpat.get(we.vector, d),
@@ -102,7 +102,7 @@ fn subspace_filter_reduces_work() {
     }
     whole.flush();
     assert!(
-        sub.bdd().op_count() < whole.bdd().op_count(),
+        sub.engine().op_count() < whole.engine().op_count(),
         "subspace construction must do fewer predicate ops"
     );
 }
@@ -132,6 +132,6 @@ fn parallel_runner_consistent_with_sequential_subspaces() {
         m.flush();
         seq_classes.push(m.model().len());
     }
-    let par_classes: Vec<usize> = par.per_subspace.iter().map(|(c, _, _)| *c).collect();
+    let par_classes: Vec<usize> = par.per_subspace.iter().map(|s| s.classes).collect();
     assert_eq!(par_classes, seq_classes);
 }
