@@ -94,15 +94,16 @@ impl ApKeep {
         fib: &Fib,
         rule: &flash_netmodel::Rule,
     ) -> Pred {
-        let mut p = engine.false_pred();
+        // Collect the higher-priority matches, then disjoin them with one
+        // batched `or_many` instead of a left fold of binary `or`s.
+        let mut ms: Vec<Pred> = Vec::new();
         for r in fib.rules() {
             if rule_cmp(r, rule) != std::cmp::Ordering::Less {
                 break;
             }
-            let m = r.mat.to_pred(layout, engine);
-            p = engine.or(&p, &m);
+            ms.push(r.mat.to_pred(layout, engine));
         }
-        p
+        engine.or_many(&ms)
     }
 
     /// Applies one native rule update, immediately updating the model.

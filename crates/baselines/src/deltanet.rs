@@ -27,6 +27,11 @@ const INTERVAL_CAP: usize = 1 << 22;
 /// Entries are `(priority, tiebreak, action)`.
 type RuleStack = Vec<(i64, u64, ActionId)>;
 
+/// One `installed`-map bucket: rules sharing a (device, match-hash,
+/// priority) key, disambiguated by their full [`Match`], with their
+/// cached interval lowering.
+type InstalledBucket = Vec<(Match, Vec<(u128, u128)>)>;
+
 #[derive(Clone, Debug, Default)]
 struct Atom {
     /// Per-device priority stacks. Devices absent → default drop.
@@ -42,9 +47,11 @@ pub struct DeltaNet {
     space_end: u128,
     /// Atom operations performed (the #predicate-operations analog).
     ops: u64,
-    /// Rules currently installed (device, match-hash, priority) → intervals,
-    /// so deletes need not re-lower.
-    installed: HashMap<(DeviceId, u64, i64), Vec<(u128, u128)>>,
+    /// Rules currently installed, keyed by (device, match-hash, priority)
+    /// with the hash acting only as a bucket prefilter: each bucket stores
+    /// the full [`Match`] so colliding hashes cannot alias distinct rules.
+    /// Caching the lowered intervals means deletes need not re-lower.
+    installed: HashMap<(DeviceId, u64, i64), InstalledBucket>,
     /// Action id → next hop (None = drop/deliver), taught through
     /// [`DeltaNet::note_action`]; Delta-net's loop check walks these.
     action_hops: HashMap<ActionId, Option<DeviceId>>,
@@ -82,7 +89,9 @@ impl DeltaNet {
             .values()
             .map(|a| a.stacks.values().map(|s| s.len()).sum::<usize>())
             .sum();
-        self.atoms.len() * 64 + stack_entries * 24 + self.installed.len() * 64
+        let installed_entries: usize =
+            self.installed.values().map(|b| b.len()).sum();
+        self.atoms.len() * 64 + stack_entries * 24 + installed_entries * 96
     }
 
     /// Ensures an atom boundary exists at `point`, splitting the covering
@@ -258,13 +267,28 @@ impl DeltaNet {
                             "rule lowering exceeds {INTERVAL_CAP} intervals (non-prefix match)"
                         )
                     })?;
-                self.installed.insert(key, ivs.clone());
+                let bucket = self.installed.entry(key).or_default();
+                match bucket.iter_mut().find(|(m, _)| *m == rule.mat) {
+                    Some((_, slot)) => *slot = ivs.clone(),
+                    None => bucket.push((rule.mat.clone(), ivs.clone())),
+                }
                 ivs
             }
-            RuleOp::Delete => self
-                .installed
-                .remove(&key)
-                .ok_or_else(|| "delete of unknown rule".to_string())?,
+            RuleOp::Delete => {
+                let bucket = self
+                    .installed
+                    .get_mut(&key)
+                    .ok_or_else(|| "delete of unknown rule".to_string())?;
+                let pos = bucket
+                    .iter()
+                    .position(|(m, _)| *m == rule.mat)
+                    .ok_or_else(|| "delete of unknown rule".to_string())?;
+                let (_, ivs) = bucket.swap_remove(pos);
+                if bucket.is_empty() {
+                    self.installed.remove(&key);
+                }
+                ivs
+            }
         };
         let tiebreak = key.1;
         let entry = (rule.priority, tiebreak, rule.action);

@@ -22,7 +22,7 @@
 //! result. This is safe because the engine never collects in the middle of
 //! an operation — only at handle-creation boundaries.
 
-use crate::manager::{Bdd, NodeId, FALSE, TRUE};
+use crate::manager::{Bdd, CacheConfig, NodeId, FALSE, TRUE};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -148,6 +148,10 @@ pub struct EngineTelemetry {
     pub gc_pause_max: Duration,
     /// Approximate resident bytes (arena + tables + caches).
     pub approx_bytes: usize,
+    /// Computed-cache probe-window evictions (replacement-policy churn).
+    pub cache_evictions: u64,
+    /// Computed-cache slot count (summed across engines by `absorb`).
+    pub cache_capacity: usize,
 }
 
 impl EngineTelemetry {
@@ -196,15 +200,20 @@ impl EngineTelemetry {
         self.gc_pause_total += other.gc_pause_total;
         self.gc_pause_max = self.gc_pause_max.max(other.gc_pause_max);
         self.approx_bytes += other.approx_bytes;
+        self.cache_evictions += other.cache_evictions;
+        self.cache_capacity += other.cache_capacity;
     }
 
     /// One-line human-readable digest, used by `flash-cli` and examples.
     pub fn summary(&self) -> String {
         format!(
-            "{} ops ({:.1}% cache hit) | nodes {} live / {} peak ({:.0}% occupancy) | \
+            "{} ops ({:.1}% cache hit, {} slots, {} evictions) | \
+             nodes {} live / {} peak ({:.0}% occupancy) | \
              {} roots | gc: {} runs, {} reclaimed, {:.2} ms max pause | ~{:.1} MiB",
             self.ops,
             self.cache_hit_rate() * 100.0,
+            self.cache_capacity,
+            self.cache_evictions,
             self.live_nodes,
             self.peak_live_nodes,
             self.occupancy * 100.0,
@@ -399,8 +408,14 @@ impl PredEngine {
     /// `usize::MAX` disables automatic collection (explicit
     /// [`PredEngine::collect`] still works).
     pub fn with_gc_threshold(num_vars: u32, threshold: usize) -> Self {
+        Self::with_config(num_vars, threshold, CacheConfig::default())
+    }
+
+    /// Creates an engine with explicit GC-threshold and computed-cache
+    /// sizing.
+    pub fn with_config(num_vars: u32, threshold: usize, cache: CacheConfig) -> Self {
         PredEngine {
-            bdd: Bdd::new(num_vars),
+            bdd: Bdd::with_cache_config(num_vars, cache),
             roots: Rc::new(RefCell::new(RootSet::default())),
             id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
             generation: 0,
@@ -591,6 +606,62 @@ impl PredEngine {
         self.finish(n)
     }
 
+    /// N-ary disjunction `⋁ operands` via a balanced pairwise reduction
+    /// with operand dedup and `TRUE` short-circuit (see [`Bdd::or_many`]).
+    /// An empty operand set yields `FALSE`. Counts as one predicate
+    /// operation.
+    pub fn or_many<'a, I>(&mut self, operands: I) -> Pred
+    where
+        I: IntoIterator<Item = &'a Pred>,
+    {
+        let nodes: Vec<NodeId> = operands
+            .into_iter()
+            .map(|p| {
+                self.check(p);
+                p.node
+            })
+            .collect();
+        let n = self.bdd.or_many(&nodes);
+        self.finish(n)
+    }
+
+    /// N-ary conjunction `⋀ operands`, dual of [`PredEngine::or_many`]. An
+    /// empty operand set yields `TRUE`. Counts as one predicate operation.
+    pub fn and_many<'a, I>(&mut self, operands: I) -> Pred
+    where
+        I: IntoIterator<Item = &'a Pred>,
+    {
+        let nodes: Vec<NodeId> = operands
+            .into_iter()
+            .map(|p| {
+                self.check(p);
+                p.node
+            })
+            .collect();
+        let n = self.bdd.and_many(&nodes);
+        self.finish(n)
+    }
+
+    /// Fused shadow kernel `a ∧ ¬(b₁ ∨ b₂ ∨ …)` — subtracts every `bs`
+    /// predicate from `a` without materializing their union, with an early
+    /// exit once the remainder is empty (see [`Bdd::diff_or`]). Counts as
+    /// one predicate operation.
+    pub fn diff_or<'a, I>(&mut self, a: &Pred, bs: I) -> Pred
+    where
+        I: IntoIterator<Item = &'a Pred>,
+    {
+        self.check(a);
+        let nodes: Vec<NodeId> = bs
+            .into_iter()
+            .map(|p| {
+                self.check(p);
+                p.node
+            })
+            .collect();
+        let n = self.bdd.diff_or(a.node, &nodes);
+        self.finish(n)
+    }
+
     /// If-then-else `(c ∧ t) ∨ (¬c ∧ e)`.
     pub fn ite(&mut self, c: &Pred, t: &Pred, e: &Pred) -> Pred {
         self.check(c);
@@ -715,6 +786,8 @@ impl PredEngine {
             gc_pause_total: self.gc_pause_total,
             gc_pause_max: self.gc_pause_max,
             approx_bytes: self.bdd.approx_bytes(),
+            cache_evictions: self.bdd.cache_evictions(),
+            cache_capacity: self.bdd.cache_capacity(),
         }
     }
 
@@ -961,6 +1034,93 @@ mod tests {
         assert!(t.peak_live_nodes >= t.live_nodes);
         assert!(t.unique_entries + 2 >= t.live_nodes);
         assert!(!t.summary().is_empty());
+    }
+
+    #[test]
+    fn nary_kernels_agree_with_binary_folds() {
+        let mut e = PredEngine::new(16);
+        let ps: Vec<Pred> = (0..9u64).map(|i| e.range(0, 16, i * 50, i * 50 + 80)).collect();
+
+        let or_fold = ps[1..].iter().fold(ps[0].clone(), |acc, p| e.or(&acc, p));
+        let or_kernel = e.or_many(&ps);
+        assert_eq!(or_kernel, or_fold);
+
+        let and_fold = ps[1..].iter().fold(ps[0].clone(), |acc, p| e.and(&acc, p));
+        let and_kernel = e.and_many(&ps);
+        assert_eq!(and_kernel, and_fold);
+
+        let a = e.range(0, 16, 0, 60000);
+        let diff_fold = ps.iter().fold(a.clone(), |acc, p| e.diff(&acc, p));
+        let diff_kernel = e.diff_or(&a, &ps);
+        assert_eq!(diff_kernel, diff_fold);
+
+        // Identity / absorbing elements.
+        let empty: Vec<Pred> = Vec::new();
+        assert!(e.or_many(&empty).is_false());
+        assert!(e.and_many(&empty).is_true());
+        let t = e.true_pred();
+        assert!(e.or_many([&ps[0], &t, &ps[1]]).is_true());
+        let f = e.false_pred();
+        assert!(e.and_many([&ps[0], &f]).is_false());
+    }
+
+    #[test]
+    fn nary_kernels_count_one_op_each() {
+        let mut e = PredEngine::new(16);
+        let ps: Vec<Pred> = (0..7u64).map(|i| e.range(0, 16, i * 100, i * 100 + 150)).collect();
+        let base = e.op_count();
+        let _ = e.or_many(&ps);
+        assert_eq!(e.op_count(), base + 1, "or_many is one issued operation");
+        let a = e.range(0, 16, 0, 40000);
+        let base = e.op_count();
+        let _ = e.diff_or(&a, &ps);
+        assert_eq!(e.op_count(), base + 1, "diff_or is one issued operation");
+    }
+
+    #[test]
+    fn telemetry_reports_cache_capacity_and_evictions() {
+        let mut e =
+            PredEngine::with_config(16, usize::MAX, CacheConfig { initial_capacity: 64, max_capacity: 64 });
+        let t = e.telemetry();
+        assert_eq!(t.cache_capacity, 64);
+        // Hammer a tiny cache until the probe windows fill and evict.
+        for i in 0..400u64 {
+            let a = e.range(0, 16, i * 7 % 50000, i * 11 % 60000 + 100);
+            let b = e.range(0, 16, i * 13 % 40000, i * 17 % 60000 + 200);
+            let _ = e.and(&a, &b);
+        }
+        let t = e.telemetry();
+        assert!(t.cache_evictions > 0, "tiny cache must evict under load");
+        let mut agg = EngineTelemetry::default();
+        agg.absorb(&t);
+        agg.absorb(&t);
+        assert_eq!(agg.cache_evictions, t.cache_evictions * 2);
+        assert_eq!(agg.cache_capacity, t.cache_capacity * 2);
+        assert!(t.summary().contains("evictions"));
+    }
+
+    #[test]
+    fn cache_survives_sweep_without_staleness() {
+        let mut e = PredEngine::with_gc_threshold(16, usize::MAX);
+        let a = e.range(0, 16, 0, 999);
+        let b = e.range(0, 16, 500, 1500);
+        let ab = e.and(&a, &b);
+        let count = e.sat_count(&ab);
+        // Make garbage, then sweep: entries over live nodes must survive
+        // and still be correct; entries over dead nodes must be gone.
+        for v in 0..300u64 {
+            let g = e.exact(0, 16, v * 3);
+            drop(g);
+        }
+        e.collect();
+        let hits_before = e.telemetry().op(OpKind::And).cache_hits;
+        let ab2 = e.and(&a, &b);
+        assert_eq!(ab2, ab);
+        assert_eq!(e.sat_count(&ab2), count);
+        assert!(
+            e.telemetry().op(OpKind::And).cache_hits > hits_before,
+            "live-operand cache entries should survive a sweep"
+        );
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub use engine::{
     EngineTelemetry, OpCounterGuard, OpKind, OpStats, Pred, PredEngine, RawPred, StaleHandle,
     DEFAULT_GC_NODE_THRESHOLD,
 };
-pub use manager::{Bdd, BddStats, NodeId, FALSE, TRUE};
+pub use manager::{Bdd, BddStats, CacheConfig, NodeId, FALSE, TRUE};
 
 #[cfg(test)]
 mod tests;

@@ -35,14 +35,237 @@ struct Node {
     high: NodeId,
 }
 
-/// Binary-operation identifiers for the computed cache.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-enum Op {
-    And,
-    Or,
-    Xor,
-    Diff,
+/// Operation tags for computed-cache keys. Tag 0 marks an empty slot, so
+/// every real operation gets a non-zero tag.
+const TAG_FREE: u8 = 0;
+const TAG_AND: u8 = 1;
+const TAG_OR: u8 = 2;
+const TAG_XOR: u8 = 3;
+const TAG_DIFF: u8 = 4;
+const TAG_NOT: u8 = 5;
+const TAG_EXISTS: u8 = 6;
+
+/// Sizing knobs for the computed cache (see [`ComputedCache`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Initial slot count; rounded up to a power of two.
+    pub initial_capacity: usize,
+    /// Ceiling for thrash-driven growth; rounded up to a power of two.
+    pub max_capacity: usize,
 }
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            initial_capacity: 1 << 13,
+            max_capacity: 1 << 20,
+        }
+    }
+}
+
+/// One computed-cache slot: `op(a, b, c) = result`.
+///
+/// For binary ops `c` is unused (0 = the FALSE terminal, always live); for
+/// `exists` the `b`/`c` words hold the quantified variable range, not node
+/// ids.
+#[derive(Clone, Copy)]
+struct CacheEntry {
+    tag: u8,
+    a: NodeId,
+    b: NodeId,
+    c: NodeId,
+    result: NodeId,
+}
+
+const EMPTY_ENTRY: CacheEntry = CacheEntry { tag: TAG_FREE, a: 0, b: 0, c: 0, result: 0 };
+
+/// Number of slots probed before the insert path evicts.
+const PROBE_LIMIT: usize = 8;
+
+/// The computed cache: a power-of-two, open-addressed table with op-tagged
+/// 3-operand keys and bounded linear probing.
+///
+/// Unlike a `HashMap`, lookups and inserts never allocate and never chase
+/// SipHash; a miss costs at most [`PROBE_LIMIT`] contiguous slot reads.
+/// When an insert finds no free slot in its probe window it **evicts** the
+/// first slot (a plain replacement cache — stale results are harmless,
+/// wrong results are impossible because keys are compared in full). Heavy
+/// eviction churn doubles the table up to `max_capacity`.
+struct ComputedCache {
+    entries: Vec<CacheEntry>,
+    /// `entries.len() - 1`; `entries.len()` is always a power of two.
+    mask: usize,
+    max_capacity: usize,
+    /// Cumulative evictions over the cache's lifetime (telemetry).
+    evictions: u64,
+    /// Evictions since the last resize, driving the growth heuristic.
+    evictions_since_grow: u64,
+}
+
+#[inline]
+fn cache_hash(tag: u8, a: NodeId, b: NodeId, c: NodeId) -> u64 {
+    // splitmix64-style finalizer over the packed key; cheap and well mixed.
+    let mut h = ((a as u64) << 32 | b as u64) ^ ((c as u64) << 8) ^ tag as u64;
+    h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h
+}
+
+impl ComputedCache {
+    fn new(config: CacheConfig) -> Self {
+        let cap = config.initial_capacity.max(PROBE_LIMIT).next_power_of_two();
+        let max = config.max_capacity.max(cap).next_power_of_two();
+        ComputedCache {
+            entries: vec![EMPTY_ENTRY; cap],
+            mask: cap - 1,
+            max_capacity: max,
+            evictions: 0,
+            evictions_since_grow: 0,
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<CacheEntry>()
+    }
+
+    #[inline]
+    fn get(&self, tag: u8, a: NodeId, b: NodeId, c: NodeId) -> Option<NodeId> {
+        let h = cache_hash(tag, a, b, c) as usize;
+        for i in 0..PROBE_LIMIT {
+            let e = &self.entries[(h + i) & self.mask];
+            if e.tag == TAG_FREE {
+                return None;
+            }
+            if e.tag == tag && e.a == a && e.b == b && e.c == c {
+                return Some(e.result);
+            }
+        }
+        None
+    }
+
+    #[inline]
+    fn insert(&mut self, tag: u8, a: NodeId, b: NodeId, c: NodeId, result: NodeId) {
+        let h = cache_hash(tag, a, b, c) as usize;
+        let entry = CacheEntry { tag, a, b, c, result };
+        for i in 0..PROBE_LIMIT {
+            let idx = (h + i) & self.mask;
+            let e = &mut self.entries[idx];
+            if e.tag == TAG_FREE || (e.tag == tag && e.a == a && e.b == b && e.c == c) {
+                *e = entry;
+                return;
+            }
+        }
+        // Probe window full: replace the home slot.
+        self.entries[h & self.mask] = entry;
+        self.evictions += 1;
+        self.evictions_since_grow += 1;
+        if self.evictions_since_grow > self.entries.len() as u64
+            && self.entries.len() < self.max_capacity
+        {
+            self.grow();
+        }
+    }
+
+    /// Doubles the table, rehashing surviving entries. Entries that lose
+    /// the slot race in the new table are simply dropped — it is a cache.
+    fn grow(&mut self) {
+        let old = std::mem::replace(&mut self.entries, vec![EMPTY_ENTRY; (self.mask + 1) * 2]);
+        self.mask = self.entries.len() - 1;
+        self.evictions_since_grow = 0;
+        for e in old {
+            if e.tag == TAG_FREE {
+                continue;
+            }
+            let h = cache_hash(e.tag, e.a, e.b, e.c) as usize;
+            for i in 0..PROBE_LIMIT {
+                let idx = (h + i) & self.mask;
+                if self.entries[idx].tag == TAG_FREE {
+                    self.entries[idx] = e;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Drops every entry (used when node ids are remapped wholesale).
+    fn clear(&mut self) {
+        self.entries.fill(EMPTY_ENTRY);
+    }
+
+    /// Drops exactly the entries that reference a node outside `live`.
+    ///
+    /// Used by the non-moving sweep: surviving nodes keep their ids and
+    /// semantics, so an entry whose operands and result are all still live
+    /// remains correct — keeping it is what lets the hit rate survive
+    /// collections. `exists` entries pack a variable range (not node ids)
+    /// into `b`/`c`, so only `a` and `result` are checked for them.
+    fn retain_live(&mut self, live: &[bool]) {
+        let ok = |n: NodeId| live.get(n as usize).copied().unwrap_or(false);
+        for e in &mut self.entries {
+            if e.tag == TAG_FREE {
+                continue;
+            }
+            let alive = match e.tag {
+                TAG_EXISTS => ok(e.a) && ok(e.result),
+                _ => ok(e.a) && ok(e.b) && ok(e.c) && ok(e.result),
+            };
+            if !alive {
+                *e = EMPTY_ENTRY;
+            }
+        }
+    }
+}
+
+/// A multiplicative hasher for the unique table (FxHash-style). `Node`
+/// keys are three `u32` writes; SipHash is measurable overhead on the
+/// `mk` hot path, and hash-consing needs no DoS resistance.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct FxHasher {
+    hash: u64,
+}
+
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.hash = (self.hash.rotate_left(5) ^ b as u64).wrapping_mul(FX_SEED);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.hash = (self.hash.rotate_left(5) ^ v as u64).wrapping_mul(FX_SEED);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(FX_SEED);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+}
+
+pub(crate) type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
 
 /// Counters describing the size and activity of a manager.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -66,9 +289,8 @@ pub struct BddStats {
 /// design, so no locking is needed on the hot path.
 pub struct Bdd {
     nodes: Vec<Node>,
-    unique: HashMap<Node, NodeId>,
-    bin_cache: HashMap<(Op, NodeId, NodeId), NodeId>,
-    not_cache: HashMap<NodeId, NodeId>,
+    unique: HashMap<Node, NodeId, FxBuildHasher>,
+    cache: ComputedCache,
     /// Arena slots reclaimed by [`Bdd::sweep`], reused by [`Bdd::mk`].
     free: Vec<NodeId>,
     num_vars: u32,
@@ -85,11 +307,15 @@ impl Bdd {
     /// Creates a manager over `num_vars` Boolean variables (bits of the
     /// packet header). Variable 0 is tested first.
     pub fn new(num_vars: u32) -> Self {
+        Self::with_cache_config(num_vars, CacheConfig::default())
+    }
+
+    /// Creates a manager with explicit computed-cache sizing.
+    pub fn with_cache_config(num_vars: u32, cache: CacheConfig) -> Self {
         let mut bdd = Bdd {
             nodes: Vec::with_capacity(1 << 12),
-            unique: HashMap::with_capacity(1 << 12),
-            bin_cache: HashMap::with_capacity(1 << 12),
-            not_cache: HashMap::with_capacity(1 << 10),
+            unique: HashMap::with_capacity_and_hasher(1 << 12, FxBuildHasher::default()),
+            cache: ComputedCache::new(cache),
             free: Vec::new(),
             num_vars,
             ops: 0,
@@ -138,6 +364,16 @@ impl Bdd {
         &self.tally
     }
 
+    /// Cumulative computed-cache evictions (probe-window replacements).
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions()
+    }
+
+    /// Current computed-cache slot count.
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.capacity()
+    }
+
     pub(crate) fn quiet_enter(&mut self) {
         self.quiet_depth += 1;
     }
@@ -174,8 +410,7 @@ impl Bdd {
         self.nodes.len() * std::mem::size_of::<Node>()
             + self.unique.capacity()
                 * (std::mem::size_of::<Node>() + std::mem::size_of::<NodeId>() + 8)
-            + self.bin_cache.capacity() * 24
-            + self.not_cache.capacity() * 16
+            + self.cache.approx_bytes()
     }
 
     /// Total number of top-level Boolean operations performed.
@@ -276,6 +511,99 @@ impl Bdd {
         self.or(ct, ne)
     }
 
+    /// N-ary disjunction `⋁ operands` via a balanced pairwise reduction.
+    ///
+    /// Operands are sorted and deduplicated, `FALSE` (the identity) is
+    /// dropped, and `TRUE` (the absorbing element) short-circuits the whole
+    /// reduction. The reduction then combines adjacent pairs per round
+    /// instead of left-folding, so intermediates are balanced subtrees that
+    /// recur across calls and stay cache-keyable. Counts as **one**
+    /// predicate operation regardless of operand count — the paper's metric
+    /// counts algorithm-issued operations, and the batch is one of them.
+    pub fn or_many(&mut self, operands: &[NodeId]) -> NodeId {
+        self.count_op(OpKind::Or);
+        let mut level = Vec::with_capacity(operands.len());
+        for &n in operands {
+            if n == TRUE {
+                return TRUE;
+            }
+            if n != FALSE {
+                level.push(n);
+            }
+        }
+        self.reduce_pairwise(level, TAG_OR)
+    }
+
+    /// N-ary conjunction `⋀ operands`, dual of [`Bdd::or_many`]: `TRUE` is
+    /// the identity, `FALSE` absorbs. Counts as one predicate operation.
+    pub fn and_many(&mut self, operands: &[NodeId]) -> NodeId {
+        self.count_op(OpKind::And);
+        let mut level = Vec::with_capacity(operands.len());
+        for &n in operands {
+            if n == FALSE {
+                return FALSE;
+            }
+            if n != TRUE {
+                level.push(n);
+            }
+        }
+        if level.is_empty() {
+            return TRUE;
+        }
+        self.reduce_pairwise(level, TAG_AND)
+    }
+
+    /// Balanced pairwise reduction rounds, re-sorting and re-deduplicating
+    /// between rounds so structurally equal intermediates merge early.
+    fn reduce_pairwise(&mut self, mut level: Vec<NodeId>, tag: u8) -> NodeId {
+        let absorbing = if tag == TAG_OR { TRUE } else { FALSE };
+        let identity = if tag == TAG_OR { FALSE } else { TRUE };
+        loop {
+            level.sort_unstable();
+            level.dedup();
+            match level.len() {
+                0 => return identity,
+                1 => return level[0],
+                _ => {}
+            }
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                let r = match pair {
+                    [a] => *a,
+                    [a, b] => {
+                        if tag == TAG_OR {
+                            self.or_rec(*a, *b)
+                        } else {
+                            self.and_rec(*a, *b)
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+                if r == absorbing {
+                    return absorbing;
+                }
+                next.push(r);
+            }
+            level = next;
+        }
+    }
+
+    /// Fused MR² shadow kernel: `a ∧ ¬(b₁ ∨ b₂ ∨ …)` computed as
+    /// successive differences `((a ∧ ¬b₁) ∧ ¬b₂) ∧ …` — the union is never
+    /// materialized, and the running remainder shrinks monotonically with
+    /// an early exit at `FALSE`. Counts as one predicate operation.
+    pub fn diff_or(&mut self, a: NodeId, bs: &[NodeId]) -> NodeId {
+        self.count_op(OpKind::Diff);
+        let mut acc = a;
+        for &b in bs {
+            if acc == FALSE {
+                return FALSE;
+            }
+            acc = self.diff_rec(acc, b);
+        }
+        acc
+    }
+
     fn and_rec(&mut self, a: NodeId, b: NodeId) -> NodeId {
         if a == b {
             return a;
@@ -290,7 +618,7 @@ impl Bdd {
             return a;
         }
         let (a, b) = if a < b { (a, b) } else { (b, a) };
-        if let Some(&r) = self.bin_cache.get(&(Op::And, a, b)) {
+        if let Some(r) = self.cache.get(TAG_AND, a, b, 0) {
             self.cache_hit(OpKind::And);
             return r;
         }
@@ -310,7 +638,7 @@ impl Bdd {
         let low = self.and_rec(a0, b0);
         let high = self.and_rec(a1, b1);
         let r = self.mk(top, low, high);
-        self.bin_cache.insert((Op::And, a, b), r);
+        self.cache.insert(TAG_AND, a, b, 0, r);
         r
     }
 
@@ -328,7 +656,7 @@ impl Bdd {
             return a;
         }
         let (a, b) = if a < b { (a, b) } else { (b, a) };
-        if let Some(&r) = self.bin_cache.get(&(Op::Or, a, b)) {
+        if let Some(r) = self.cache.get(TAG_OR, a, b, 0) {
             self.cache_hit(OpKind::Or);
             return r;
         }
@@ -348,7 +676,7 @@ impl Bdd {
         let low = self.or_rec(a0, b0);
         let high = self.or_rec(a1, b1);
         let r = self.mk(top, low, high);
-        self.bin_cache.insert((Op::Or, a, b), r);
+        self.cache.insert(TAG_OR, a, b, 0, r);
         r
     }
 
@@ -358,7 +686,7 @@ impl Bdd {
             TRUE => return FALSE,
             _ => {}
         }
-        if let Some(&r) = self.not_cache.get(&a) {
+        if let Some(r) = self.cache.get(TAG_NOT, a, 0, 0) {
             self.cache_hit(OpKind::Not);
             return r;
         }
@@ -368,8 +696,8 @@ impl Bdd {
         let low = self.not_rec(l);
         let high = self.not_rec(h);
         let r = self.mk(var, low, high);
-        self.not_cache.insert(a, r);
-        self.not_cache.insert(r, a);
+        self.cache.insert(TAG_NOT, a, 0, 0, r);
+        self.cache.insert(TAG_NOT, r, 0, 0, a);
         r
     }
 
@@ -383,7 +711,7 @@ impl Bdd {
         if a == TRUE {
             return self.not_rec(b);
         }
-        if let Some(&r) = self.bin_cache.get(&(Op::Diff, a, b)) {
+        if let Some(r) = self.cache.get(TAG_DIFF, a, b, 0) {
             self.cache_hit(OpKind::Diff);
             return r;
         }
@@ -403,7 +731,7 @@ impl Bdd {
         let low = self.diff_rec(a0, b0);
         let high = self.diff_rec(a1, b1);
         let r = self.mk(top, low, high);
-        self.bin_cache.insert((Op::Diff, a, b), r);
+        self.cache.insert(TAG_DIFF, a, b, 0, r);
         r
     }
 
@@ -424,7 +752,7 @@ impl Bdd {
             return self.not_rec(a);
         }
         let (a, b) = if a < b { (a, b) } else { (b, a) };
-        if let Some(&r) = self.bin_cache.get(&(Op::Xor, a, b)) {
+        if let Some(r) = self.cache.get(TAG_XOR, a, b, 0) {
             self.cache_hit(OpKind::Xor);
             return r;
         }
@@ -444,7 +772,7 @@ impl Bdd {
         let low = self.xor_rec(a0, b0);
         let high = self.xor_rec(a1, b1);
         let r = self.mk(top, low, high);
-        self.bin_cache.insert((Op::Xor, a, b), r);
+        self.cache.insert(TAG_XOR, a, b, 0, r);
         r
     }
 
@@ -456,17 +784,10 @@ impl Bdd {
     /// predicate operation.
     pub fn exists_range(&mut self, a: NodeId, offset: u32, width: u32) -> NodeId {
         self.count_op(OpKind::Exists);
-        let mut memo = HashMap::new();
-        self.exists_rec(a, offset, offset + width, &mut memo)
+        self.exists_rec(a, offset, offset + width)
     }
 
-    fn exists_rec(
-        &mut self,
-        a: NodeId,
-        lo: u32,
-        hi: u32,
-        memo: &mut HashMap<NodeId, NodeId>,
-    ) -> NodeId {
+    fn exists_rec(&mut self, a: NodeId, lo: u32, hi: u32) -> NodeId {
         if a <= TRUE {
             return a;
         }
@@ -475,21 +796,24 @@ impl Bdd {
             // Entirely below the quantified range: unchanged.
             return a;
         }
-        if let Some(&r) = memo.get(&a) {
+        // Shared-cache memoization keyed on the variable range (not node
+        // ids in `b`/`c`), so repeated quantifications of the same field —
+        // the rewrite_field hot path — hit across calls.
+        if let Some(r) = self.cache.get(TAG_EXISTS, a, lo, hi) {
             self.cache_hit(OpKind::Exists);
             return r;
         }
         self.cache_miss(OpKind::Exists);
         let (l, h) = (self.low_of(a), self.high_of(a));
-        let low = self.exists_rec(l, lo, hi, memo);
-        let high = self.exists_rec(h, lo, hi, memo);
+        let low = self.exists_rec(l, lo, hi);
+        let high = self.exists_rec(h, lo, hi);
         let r = if var >= lo {
             // A quantified variable: either branch may be taken.
             self.or_rec(low, high)
         } else {
             self.mk(var, low, high)
         };
-        memo.insert(a, r);
+        self.cache.insert(TAG_EXISTS, a, lo, hi, r);
         r
     }
 
@@ -604,8 +928,8 @@ impl Bdd {
         self.gcs += 1;
         let old_nodes = std::mem::take(&mut self.nodes);
         self.unique.clear();
-        self.bin_cache.clear();
-        self.not_cache.clear();
+        // Node ids are remapped wholesale, so no cached result survives.
+        self.cache.clear();
         // The arena is rebuilt densely, so any free-list slots vanish.
         self.free.clear();
 
@@ -647,8 +971,10 @@ impl Bdd {
     /// [`Bdd::gc`] used by the [`crate::PredEngine`]. Nodes reachable from
     /// `roots` keep their ids; every other decision node is removed from the
     /// unique table, poisoned with a sentinel variable, and queued on the
-    /// free list for reuse by `mk`. The operation caches are dropped because
-    /// they may reference dead nodes. Returns the number of reclaimed nodes.
+    /// free list for reuse by `mk`. Computed-cache entries survive unless
+    /// they reference a dead node — surviving ids keep their semantics, so
+    /// the hit rate no longer resets to zero at every collection. Returns
+    /// the number of reclaimed nodes.
     pub(crate) fn sweep(&mut self, roots: &[NodeId]) -> usize {
         self.gcs += 1;
         let mut live = vec![false; self.nodes.len()];
@@ -665,8 +991,7 @@ impl Bdd {
             stack.push(self.nodes[n as usize].low);
             stack.push(self.nodes[n as usize].high);
         }
-        self.bin_cache.clear();
-        self.not_cache.clear();
+        self.cache.retain_live(&live);
         let mut reclaimed = 0;
         for (i, alive) in live.iter().enumerate().skip(2) {
             let node = self.nodes[i];

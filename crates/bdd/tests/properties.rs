@@ -277,3 +277,107 @@ proptest! {
         prop_assert!(tight.telemetry().gc_runs > 0, "tight engine must have collected");
     }
 }
+
+// ---------------------------------------------------------------------------
+// N-ary kernel equivalence: or_many/and_many/diff_or must be pointwise
+// identical to the binary folds they replace — the hash-consed engine makes
+// "identical" mean equal handles, not just equal functions — and the
+// agreement must survive a forced collection between building and comparing.
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn or_many_equals_binary_fold(
+        exprs in proptest::collection::vec(arb_expr(), 0..8),
+    ) {
+        let mut engine = PredEngine::new(VARS);
+        let preds: Vec<Pred> = exprs.iter().map(|e| build_pred(&mut engine, e)).collect();
+        let kernel = engine.or_many(&preds);
+        let mut fold = engine.false_pred();
+        for p in &preds {
+            fold = engine.or(&fold, p);
+        }
+        prop_assert_eq!(&kernel, &fold);
+        for bits in assignments() {
+            let expect = exprs.iter().any(|e| truth(e, &bits));
+            prop_assert_eq!(engine.eval(&kernel, &bits), expect);
+        }
+    }
+
+    #[test]
+    fn and_many_equals_binary_fold(
+        exprs in proptest::collection::vec(arb_expr(), 0..8),
+    ) {
+        let mut engine = PredEngine::new(VARS);
+        let preds: Vec<Pred> = exprs.iter().map(|e| build_pred(&mut engine, e)).collect();
+        let kernel = engine.and_many(&preds);
+        let mut fold = engine.true_pred();
+        for p in &preds {
+            fold = engine.and(&fold, p);
+        }
+        prop_assert_eq!(&kernel, &fold);
+        for bits in assignments() {
+            let expect = exprs.iter().all(|e| truth(e, &bits));
+            prop_assert_eq!(engine.eval(&kernel, &bits), expect);
+        }
+    }
+
+    #[test]
+    fn diff_or_equals_binary_fold(
+        a in arb_expr(),
+        bs in proptest::collection::vec(arb_expr(), 0..8),
+    ) {
+        let mut engine = PredEngine::new(VARS);
+        let pa = build_pred(&mut engine, &a);
+        let pbs: Vec<Pred> = bs.iter().map(|e| build_pred(&mut engine, e)).collect();
+        let kernel = engine.diff_or(&pa, &pbs);
+        let mut fold = pa.clone();
+        for p in &pbs {
+            fold = engine.diff(&fold, p);
+        }
+        prop_assert_eq!(&kernel, &fold);
+        for bits in assignments() {
+            let expect = truth(&a, &bits) && !bs.iter().any(|e| truth(e, &bits));
+            prop_assert_eq!(engine.eval(&kernel, &bits), expect);
+        }
+    }
+
+    #[test]
+    fn kernels_agree_with_folds_across_collect(
+        exprs in proptest::collection::vec(arb_expr(), 1..6),
+    ) {
+        let mut engine = PredEngine::new(VARS);
+        let preds: Vec<Pred> = exprs.iter().map(|e| build_pred(&mut engine, e)).collect();
+        let union = engine.or_many(&preds);
+        let inter = engine.and_many(&preds);
+        let shadow = engine.diff_or(&preds[0], &preds[1..]);
+
+        // Force a collection with the kernels' results rooted, then rebuild
+        // the binary folds from scratch: hash-consing must reconverge.
+        engine.collect();
+        let mut fold_or = engine.false_pred();
+        let mut fold_and = engine.true_pred();
+        for p in &preds {
+            fold_or = engine.or(&fold_or, p);
+            fold_and = engine.and(&fold_and, p);
+        }
+        let mut fold_diff = preds[0].clone();
+        for p in &preds[1..] {
+            fold_diff = engine.diff(&fold_diff, p);
+        }
+        prop_assert_eq!(&union, &fold_or);
+        prop_assert_eq!(&inter, &fold_and);
+        prop_assert_eq!(&shadow, &fold_diff);
+        for bits in assignments() {
+            prop_assert_eq!(
+                engine.eval(&union, &bits),
+                exprs.iter().any(|e| truth(e, &bits))
+            );
+            prop_assert_eq!(
+                engine.eval(&inter, &bits),
+                exprs.iter().all(|e| truth(e, &bits))
+            );
+        }
+    }
+}

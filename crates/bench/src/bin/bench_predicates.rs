@@ -6,7 +6,8 @@
 //!
 //! Runs three scenarios against the rooted predicate engine and writes
 //! `BENCH_predicates.json` (machine-readable; one object per scenario
-//! with wall time, op counts, cache hit rate, node peaks and GC pauses):
+//! with wall time, op counts, computed-cache hit rate / capacity /
+//! evictions, node peaks and GC pauses):
 //!
 //! * `bdd_microbench` — prefix encodes plus an or-chain and differences,
 //!   the hot predicate operations of the map phase;
@@ -158,11 +159,13 @@ fn scenario_json(s: &Scenario) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "    \"{}\": {{\n      \"wall_ms\": {:.3},\n      \"ops\": {},\n      \"cache_hit_rate\": {:.4},\n      \"live_nodes\": {},\n      \"peak_live_nodes\": {},\n      \"allocated_nodes\": {},\n      \"occupancy\": {:.4},\n      \"roots_live\": {},\n      \"gc_runs\": {},\n      \"gc_reclaimed_nodes\": {},\n      \"gc_pause_total_ms\": {:.3},\n      \"gc_pause_max_ms\": {:.3},\n      \"approx_mib\": {:.3}",
+        "    \"{}\": {{\n      \"wall_ms\": {:.3},\n      \"ops\": {},\n      \"cache_hit_rate\": {:.4},\n      \"cache_capacity\": {},\n      \"cache_evictions\": {},\n      \"live_nodes\": {},\n      \"peak_live_nodes\": {},\n      \"allocated_nodes\": {},\n      \"occupancy\": {:.4},\n      \"roots_live\": {},\n      \"gc_runs\": {},\n      \"gc_reclaimed_nodes\": {},\n      \"gc_pause_total_ms\": {:.3},\n      \"gc_pause_max_ms\": {:.3},\n      \"approx_mib\": {:.3}",
         s.name,
         s.wall.as_secs_f64() * 1e3,
         t.ops,
         t.cache_hit_rate(),
+        t.cache_capacity,
+        t.cache_evictions,
         t.live_nodes,
         t.peak_live_nodes,
         t.allocated_nodes,

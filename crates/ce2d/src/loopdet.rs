@@ -171,7 +171,7 @@ impl LoopVerifier {
     /// their epoch FIBs. Returns the strongest consistent verdict.
     pub fn on_model_update(
         &mut self,
-        _engine: &mut PredEngine,
+        engine: &mut PredEngine,
         pat: &PatStore,
         model: &InverseModel,
         newly_synced: &[DeviceId],
@@ -191,7 +191,28 @@ impl LoopVerifier {
             potential = true;
         }
 
+        // The search only reads an EC's action vector at *synchronized*
+        // devices, so ECs whose vectors project identically onto the
+        // synchronized set traverse the hyper graph identically. Group
+        // them and run one DFS per group; a found loop's ec_pred is the
+        // batched union of the whole group.
+        let mut synced_devs: Vec<DeviceId> = self.sync.iter().copied().collect();
+        synced_devs.sort_unstable();
+        let mut group_index: HashMap<Vec<flash_netmodel::ActionId>, usize> = HashMap::new();
+        let mut groups: Vec<(flash_imt::PatId, Vec<&Pred>)> = Vec::new();
         for entry in model.entries() {
+            let key: Vec<flash_netmodel::ActionId> =
+                synced_devs.iter().map(|&d| pat.get(entry.vector, d)).collect();
+            match group_index.get(&key) {
+                Some(&i) => groups[i].1.push(&entry.pred),
+                None => {
+                    group_index.insert(key, groups.len());
+                    groups.push((entry.vector, vec![&entry.pred]));
+                }
+            }
+        }
+
+        for (vector, preds) in groups {
             // Incremental: a new deterministic loop must pass through a
             // newly synchronized device.
             for &start in newly_synced {
@@ -201,18 +222,22 @@ impl LoopVerifier {
                 self.stats.searches += 1;
                 let mut path: Vec<HyperNode> = Vec::new();
                 let mut on_path: HashSet<HyperNode> = HashSet::new();
-                if let Some(v) = self.dfs(
+                if let Some(cycle) = self.dfs(
                     HyperNode::Sync(start),
                     &mut path,
                     &mut on_path,
                     &comp,
                     &members_of,
                     pat,
-                    entry.vector,
-                    &entry.pred,
+                    vector,
                     &mut potential,
                 ) {
-                    return v;
+                    let ec_pred = if preds.len() == 1 {
+                        preds[0].clone()
+                    } else {
+                        engine.or_many(preds)
+                    };
+                    return LoopVerdict::LoopFound { cycle, ec_pred };
                 }
             }
         }
@@ -235,6 +260,7 @@ impl LoopVerifier {
             .all(|d| self.sync.contains(&d))
     }
 
+    /// Returns the device cycle of a newly found deterministic loop.
     #[allow(clippy::too_many_arguments)]
     fn dfs(
         &mut self,
@@ -245,9 +271,8 @@ impl LoopVerifier {
         members_of: &HashMap<u32, Vec<DeviceId>>,
         pat: &PatStore,
         vector: flash_imt::PatId,
-        ec_pred: &Pred,
         potential: &mut bool,
-    ) -> Option<LoopVerdict> {
+    ) -> Option<Vec<DeviceId>> {
         self.stats.visited_nodes += 1;
         if on_path.contains(&node) {
             // A cycle closed: it is the path segment from the first
@@ -266,10 +291,7 @@ impl LoopVerifier {
                 let mut canon = cycle.clone();
                 canon.sort_unstable();
                 if self.reported.insert(canon) {
-                    return Some(LoopVerdict::LoopFound {
-                        cycle,
-                        ec_pred: ec_pred.clone(),
-                    });
+                    return Some(cycle);
                 }
             } else {
                 // The cycle passes through a hyper node: only potential.
@@ -282,7 +304,7 @@ impl LoopVerifier {
         let succ = self.hyper_successors(node, comp, pat, vector, members_of);
         for next in succ {
             if let Some(v) = self.dfs(
-                next, path, on_path, comp, members_of, pat, vector, ec_pred, potential,
+                next, path, on_path, comp, members_of, pat, vector, potential,
             ) {
                 path.pop();
                 on_path.remove(&node);

@@ -178,11 +178,19 @@ impl RegexVerifier {
         let mut any_unsat = false;
         let mut all_sat = true;
 
+        // EC predicates are pairwise disjoint: subtracting each matched EC
+        // from the still-unmatched packet space lets the scan stop as soon
+        // as the space is fully accounted for.
+        let mut remaining = self.packet_space.clone();
         for entry in model.entries() {
-            let overlap = engine.and(&entry.pred, &self.packet_space);
+            if remaining.is_false() {
+                break;
+            }
+            let overlap = engine.and(&entry.pred, &remaining);
             if overlap.is_false() {
                 continue;
             }
+            remaining = engine.diff(&remaining, &overlap);
             // Find or split the instance for this EC.
             let mut state = match self.ec_table.remove(&entry.pred) {
                 Some(s) => s,
@@ -262,11 +270,17 @@ impl RegexVerifier {
         model: &InverseModel,
         newly_synced: &[DeviceId],
     ) -> Verdict {
+        // Same disjoint-EC early exit as the main update path.
+        let mut remaining = self.packet_space.clone();
         for entry in model.entries() {
-            let overlap = engine.and(&entry.pred, &self.packet_space);
+            if remaining.is_false() {
+                break;
+            }
+            let overlap = engine.and(&entry.pred, &remaining);
             if overlap.is_false() {
                 continue;
             }
+            remaining = engine.diff(&remaining, &overlap);
             // Incremental: previously synchronized devices were already
             // checked (their FIBs cannot change within the epoch), but a
             // model split can refine an EC, so recheck all synchronized

@@ -39,17 +39,23 @@ impl RewriteTraversal {
 
     /// Finds the model entries whose predicate intersects `pred`.
     fn classify_all(&self, engine: &mut PredEngine, model: &InverseModel, pred: &Pred) -> Vec<usize> {
-        model
-            .entries()
-            .iter()
-            .enumerate()
-            .filter(|(_, e)| {
-                // Cheap pre-test via the cache; empty intersections are
-                // the common case.
-                !engine.and(&e.pred, pred).is_false()
-            })
-            .map(|(i, _)| i)
-            .collect()
+        // Class predicates are pairwise disjoint, so matched classes can
+        // be subtracted from the query; once the remainder is empty no
+        // later class can intersect and the scan stops early.
+        let mut remaining = pred.clone();
+        let mut out = Vec::new();
+        for (i, e) in model.entries().iter().enumerate() {
+            if remaining.is_false() {
+                break;
+            }
+            let inter = engine.and(&e.pred, &remaining);
+            if inter.is_false() {
+                continue;
+            }
+            out.push(i);
+            remaining = engine.diff(&remaining, &inter);
+        }
+        out
     }
 
     /// Can packets whose headers satisfy `initial` reach any device in

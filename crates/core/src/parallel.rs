@@ -90,17 +90,24 @@ pub fn parallel_model_construction(
     let mut per_subspace: Vec<SubspaceStats> = vec![SubspaceStats::default(); plan.len()];
     let mut cpu_times: Vec<Duration> = vec![Duration::ZERO; plan.len()];
 
-    // Work-stealing by index chunks: thread t handles subspaces t, t+T, …
+    // Work-stealing: workers pull the next unclaimed subspace from a shared
+    // atomic cursor, so a thread stuck on a heavy subspace never strands
+    // light ones behind it (static chunking did exactly that).
+    let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for (t, chunk) in queues.chunks(queues.len().div_ceil(threads)).enumerate() {
-            let base = t * queues.len().div_ceil(threads);
+        for _ in 0..threads {
+            let next = &next;
+            let queues = &queues;
             let plan_ref = &plan.subspaces;
             let layout = layout.clone();
             let handle = scope.spawn(move || {
                 let mut results = Vec::new();
-                for (off, queue) in chunk.iter().enumerate() {
-                    let idx = base + off;
+                loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if idx >= queues.len() {
+                        break;
+                    }
                     let t0 = Instant::now();
                     let mut mgr = ModelManager::new(ModelManagerConfig {
                         layout: layout.clone(),
@@ -109,7 +116,7 @@ pub fn parallel_model_construction(
                         filter_updates: false, // already routed
                         gc_node_threshold: flash_bdd::DEFAULT_GC_NODE_THRESHOLD,
                     });
-                    for (dev, u) in queue {
+                    for (dev, u) in &queues[idx] {
                         mgr.submit(*dev, [u.clone()]);
                     }
                     mgr.flush();

@@ -88,18 +88,26 @@ impl InverseModel {
         let mut touched = 0usize;
         // (new_vector, predicate-to-add) accumulated across splits.
         let mut moved: Vec<(PatId, Pred)> = Vec::new();
+        // Class predicates are pairwise disjoint, so the still-unmatched
+        // part of the overwrite shrinks as classes consume it; once it is
+        // empty no later class can intersect and the scan stops early.
+        let mut remaining = ow.pred.clone();
         let mut i = 0;
         while i < self.entries.len() {
+            if remaining.is_false() {
+                break;
+            }
             let (e_pred, e_vector) = {
                 let e = &self.entries[i];
                 (e.pred.clone(), e.vector)
             };
-            let inter = engine.and(&e_pred, &ow.pred);
+            let inter = engine.and(&e_pred, &remaining);
             if inter.is_false() {
                 i += 1;
                 continue;
             }
             touched += 1;
+            remaining = engine.diff(&remaining, &inter);
             let new_vec = pat.overwrite(e_vector, &ow.writes);
             if new_vec == e_vector {
                 // Overwrite is a no-op for this class (writes repeat the
@@ -107,7 +115,7 @@ impl InverseModel {
                 i += 1;
                 continue;
             }
-            let rest = engine.diff(&e_pred, &ow.pred);
+            let rest = engine.diff(&e_pred, &inter);
             moved.push((new_vec, inter));
             if rest.is_false() {
                 // Whole class moves: remove it.
@@ -182,10 +190,7 @@ impl InverseModel {
             }
         }
         // complementary w.r.t. the universe
-        let mut union = engine.false_pred();
-        for e in &self.entries {
-            union = engine.or(&union, &e.pred);
-        }
+        let union = engine.or_many(self.entries.iter().map(|e| &e.pred));
         if union != self.universe {
             return Err("classes do not cover the universe".into());
         }

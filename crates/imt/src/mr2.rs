@@ -27,7 +27,7 @@
 
 use flash_bdd::{Pred, PredEngine};
 use flash_netmodel::fib::rule_cmp;
-use flash_netmodel::{ActionId, DeviceId, Fib, HeaderLayout, Rule, RuleOp, RuleUpdate};
+use flash_netmodel::{ActionId, DeviceId, Fib, HeaderLayout, Match, Rule, RuleOp, RuleUpdate};
 use std::collections::HashMap;
 
 /// An atomic overwrite: set `device`'s action to `action` for the headers
@@ -52,8 +52,12 @@ pub struct Overwrite {
 /// both halves of the pair. Returns the surviving updates in input order.
 pub fn cancel_updates(block: &[RuleUpdate]) -> Vec<RuleUpdate> {
     // Net effect per rule: count inserts as +1 and deletes as -1, keeping
-    // the *last* op's position for ordering.
-    let mut net: HashMap<(u64, i64, ActionId), (i64, usize, RuleOp)> = HashMap::new();
+    // the *last* op's position for ordering. The map is keyed on the match
+    // hash only as a fast-path prefilter — each bucket holds the full
+    // `Match` and is scanned linearly, so two distinct matches that
+    // collide in the 64-bit hash can never cancel each other.
+    type NetBucket = Vec<(Match, i64, usize, RuleOp)>;
+    let mut net: HashMap<(u64, i64, ActionId), NetBucket> = HashMap::new();
     for (pos, u) in block.iter().enumerate() {
         let key = (
             flash_netmodel::fib::match_hash(&u.rule.mat),
@@ -64,10 +68,15 @@ pub fn cancel_updates(block: &[RuleUpdate]) -> Vec<RuleUpdate> {
             RuleOp::Insert => 1,
             RuleOp::Delete => -1,
         };
-        let e = net.entry(key).or_insert((0, pos, u.op));
-        e.0 += delta;
-        e.1 = pos;
-        e.2 = u.op;
+        let bucket = net.entry(key).or_default();
+        match bucket.iter_mut().find(|(m, ..)| *m == u.rule.mat) {
+            Some(e) => {
+                e.1 += delta;
+                e.2 = pos;
+                e.3 = u.op;
+            }
+            None => bucket.push((u.rule.mat.clone(), delta, pos, u.op)),
+        }
     }
     let mut out: Vec<(usize, RuleUpdate)> = Vec::new();
     for (pos, u) in block.iter().enumerate() {
@@ -76,7 +85,10 @@ pub fn cancel_updates(block: &[RuleUpdate]) -> Vec<RuleUpdate> {
             u.rule.priority,
             u.rule.action,
         );
-        if let Some(&(n, last_pos, last_op)) = net.get(&key) {
+        if let Some(&(_, n, last_pos, last_op)) = net
+            .get(&key)
+            .and_then(|bucket| bucket.iter().find(|(m, ..)| *m == u.rule.mat))
+        {
             // Keep only the final surviving op of a non-zero net effect.
             if n != 0 && pos == last_pos && last_op == u.op {
                 out.push((pos, u.clone()));
@@ -173,13 +185,22 @@ pub fn calculate_atomic_overwrites(
     let mut out = Vec::with_capacity(diff.len());
     let mut p = engine.false_pred(); // accumulated union of higher-priority matches
     let mut ri = 0usize;
+    // Incremental suffix reuse: each rule's shadow extends the previous
+    // one via a single batched `or` over the matches the cursor skipped,
+    // instead of one binary `or` per skipped rule.
+    let mut batch: Vec<Pred> = Vec::new();
     for rd in diff {
         // Advance the cursor until we reach rd's slot in R'.
+        batch.clear();
         while ri < rules.len() && rule_cmp(&rules[ri], rd) == std::cmp::Ordering::Less {
             let m = rules[ri].mat.to_pred(layout, engine);
             let m = if clip.is_true() { m } else { engine.and(&m, clip) };
-            p = engine.or(&p, &m);
+            batch.push(m);
             ri += 1;
+        }
+        if !batch.is_empty() {
+            batch.push(p.clone());
+            p = engine.or_many(&batch);
         }
         debug_assert!(
             ri < rules.len() && rules[ri] == *rd,
@@ -226,17 +247,18 @@ pub fn calculate_atomic_overwrites_trie(
     for rd in diff {
         // Candidate shadowing rules: overlapping AND strictly higher in
         // the total order. Handles are indices into `rules`.
-        let mut p = engine.false_pred();
+        let mut shadows: Vec<Pred> = Vec::new();
         for h in trie.overlapping(&rd.mat) {
             let r = &rules[h as usize];
             if rule_cmp(r, rd) == std::cmp::Ordering::Less {
-                let m = r.mat.to_pred(layout, engine);
-                p = engine.or(&p, &m);
+                shadows.push(r.mat.to_pred(layout, engine));
             }
         }
         let m = rd.mat.to_pred(layout, engine);
         let m = if clip.is_true() { m } else { engine.and(&m, clip) };
-        let eff = engine.diff(&m, &p);
+        // Fused shadow subtraction: the overlapping matches are peeled off
+        // one by one with an early exit, never materializing their union.
+        let eff = engine.diff_or(&m, &shadows);
         if !eff.is_false() {
             out.push(AtomicOverwrite {
                 pred: eff,
@@ -267,20 +289,30 @@ pub fn reduce_by_action(
     engine: &mut PredEngine,
     atomics: &[AtomicOverwrite],
 ) -> Vec<AtomicOverwrite> {
+    // Group first, then disjoin each group with one batched `or_many`
+    // instead of a left-fold of binary `or`s per colliding overwrite.
     let mut index: HashMap<(DeviceId, ActionId), usize> = HashMap::new();
-    let mut out: Vec<AtomicOverwrite> = Vec::new();
+    let mut groups: Vec<(DeviceId, ActionId, Vec<&Pred>)> = Vec::new();
     for a in atomics {
         match index.get(&(a.device, a.action)) {
-            Some(&i) => {
-                out[i].pred = engine.or(&out[i].pred, &a.pred);
-            }
+            Some(&i) => groups[i].2.push(&a.pred),
             None => {
-                index.insert((a.device, a.action), out.len());
-                out.push(a.clone());
+                index.insert((a.device, a.action), groups.len());
+                groups.push((a.device, a.action, vec![&a.pred]));
             }
         }
     }
-    out
+    groups
+        .into_iter()
+        .map(|(device, action, preds)| {
+            let pred = if preds.len() == 1 {
+                preds[0].clone()
+            } else {
+                engine.or_many(preds)
+            };
+            AtomicOverwrite { pred, device, action }
+        })
+        .collect()
 }
 
 /// Reduce II — aggregation by predicate (Theorem 5): overwrites with the

@@ -164,7 +164,9 @@ impl Match {
                 }
                 MatchKind::Range { lo, hi } => bdd.range(spec.offset, spec.width, lo, hi),
             };
-            acc = bdd.and(acc, p);
+            // Skip the trivial TRUE ∧ p conjunction: single-field matches
+            // (the common FIB case) compile without issuing any `and`.
+            acc = if acc == flash_bdd::TRUE { p } else { bdd.and(acc, p) };
         }
         acc
     }
