@@ -152,6 +152,9 @@ pub struct EngineTelemetry {
     pub cache_evictions: u64,
     /// Computed-cache slot count (summed across engines by `absorb`).
     pub cache_capacity: usize,
+    /// Allocations satisfied from the swept-slot free list instead of
+    /// growing the node arena.
+    pub freelist_reuses: u64,
 }
 
 impl EngineTelemetry {
@@ -202,6 +205,7 @@ impl EngineTelemetry {
         self.approx_bytes += other.approx_bytes;
         self.cache_evictions += other.cache_evictions;
         self.cache_capacity += other.cache_capacity;
+        self.freelist_reuses += other.freelist_reuses;
     }
 
     /// One-line human-readable digest, used by `flash-cli` and examples.
@@ -209,7 +213,8 @@ impl EngineTelemetry {
         format!(
             "{} ops ({:.1}% cache hit, {} slots, {} evictions) | \
              nodes {} live / {} peak ({:.0}% occupancy) | \
-             {} roots | gc: {} runs, {} reclaimed, {:.2} ms max pause | ~{:.1} MiB",
+             {} roots | gc: {} runs, {} reclaimed, {} slot reuses, \
+             {:.2} ms max pause | ~{:.1} MiB",
             self.ops,
             self.cache_hit_rate() * 100.0,
             self.cache_capacity,
@@ -220,6 +225,7 @@ impl EngineTelemetry {
             self.roots_live,
             self.gc_runs,
             self.gc_reclaimed_nodes,
+            self.freelist_reuses,
             self.gc_pause_max.as_secs_f64() * 1e3,
             self.approx_bytes as f64 / (1024.0 * 1024.0),
         )
@@ -788,6 +794,7 @@ impl PredEngine {
             approx_bytes: self.bdd.approx_bytes(),
             cache_evictions: self.bdd.cache_evictions(),
             cache_capacity: self.bdd.cache_capacity(),
+            freelist_reuses: self.bdd.freelist_reuses(),
         }
     }
 
@@ -1170,5 +1177,9 @@ mod tests {
         for _ in 0..3 {
             assert_eq!(round(), after_first, "free-list reuse should cap the arena");
         }
+        assert!(
+            e.telemetry().freelist_reuses > 0,
+            "telemetry must report free-list reuses"
+        );
     }
 }

@@ -63,7 +63,8 @@ impl Default for CacheConfig {
     }
 }
 
-/// One computed-cache slot: `op(a, b, c) = result`.
+/// One computed-cache slot: `op(a, b, c) = result`, stamped with the GC
+/// generation (`Bdd::gcs`) at insertion time.
 ///
 /// For binary ops `c` is unused (0 = the FALSE terminal, always live); for
 /// `exists` the `b`/`c` words hold the quantified variable range, not node
@@ -75,9 +76,11 @@ struct CacheEntry {
     b: NodeId,
     c: NodeId,
     result: NodeId,
+    gen: u32,
 }
 
-const EMPTY_ENTRY: CacheEntry = CacheEntry { tag: TAG_FREE, a: 0, b: 0, c: 0, result: 0 };
+const EMPTY_ENTRY: CacheEntry =
+    CacheEntry { tag: TAG_FREE, a: 0, b: 0, c: 0, result: 0, gen: 0 };
 
 /// Number of slots probed before the insert path evicts.
 const PROBE_LIMIT: usize = 8;
@@ -91,6 +94,15 @@ const PROBE_LIMIT: usize = 8;
 /// first slot (a plain replacement cache — stale results are harmless,
 /// wrong results are impossible because keys are compared in full). Heavy
 /// eviction churn doubles the table up to `max_capacity`.
+///
+/// Staleness across mark-sweep collections is handled *lazily*: every
+/// entry records the GC generation it was inserted in, and every arena
+/// slot records the generation its current occupant was born in
+/// (`Bdd::born`). A hit is honoured only if every referenced node is
+/// still live **and** was born no later than the entry — i.e. the slot
+/// has not been swept and reused since the result was computed. Sweeps
+/// therefore never scan the cache; invalid entries simply stop matching
+/// and age out under eviction pressure.
 struct ComputedCache {
     entries: Vec<CacheEntry>,
     /// `entries.len() - 1`; `entries.len()` is always a power of two.
@@ -100,6 +112,23 @@ struct ComputedCache {
     evictions: u64,
     /// Evictions since the last resize, driving the growth heuristic.
     evictions_since_grow: u64,
+}
+
+/// True when a cache entry is still trustworthy: every node it references
+/// is live and was born in a generation no later than the entry's — i.e.
+/// the arena slot has not been swept and reused since the result was
+/// computed. `exists` entries pack a variable range (not node ids) into
+/// `b`/`c`, so only `a` and `result` are checked for them.
+#[inline]
+fn entry_valid(e: &CacheEntry, nodes: &[Node], born: &[u32]) -> bool {
+    let ok = |n: NodeId| {
+        let s = n as usize;
+        s < nodes.len() && nodes[s].var != FREE_VAR && born[s] <= e.gen
+    };
+    match e.tag {
+        TAG_EXISTS => ok(e.a) && ok(e.result),
+        _ => ok(e.a) && ok(e.b) && ok(e.c) && ok(e.result),
+    }
 }
 
 #[inline]
@@ -138,8 +167,18 @@ impl ComputedCache {
         self.entries.len() * std::mem::size_of::<CacheEntry>()
     }
 
+    /// Looks up `op(a, b, c)`, validating the entry against the current
+    /// arena state via [`entry_valid`].
     #[inline]
-    fn get(&self, tag: u8, a: NodeId, b: NodeId, c: NodeId) -> Option<NodeId> {
+    fn get(
+        &self,
+        tag: u8,
+        a: NodeId,
+        b: NodeId,
+        c: NodeId,
+        nodes: &[Node],
+        born: &[u32],
+    ) -> Option<NodeId> {
         let h = cache_hash(tag, a, b, c) as usize;
         for i in 0..PROBE_LIMIT {
             let e = &self.entries[(h + i) & self.mask];
@@ -147,20 +186,38 @@ impl ComputedCache {
                 return None;
             }
             if e.tag == tag && e.a == a && e.b == b && e.c == c {
-                return Some(e.result);
+                return if entry_valid(e, nodes, born) { Some(e.result) } else { None };
             }
         }
         None
     }
 
+    /// Inserts `op(a, b, c) = result`. Slots holding entries invalidated
+    /// by a sweep (see [`entry_valid`]) are reclaimed here, on the insert
+    /// probe path — the lazy counterpart of the old sweep-time cache scan,
+    /// paying only where there is actual pressure.
     #[inline]
-    fn insert(&mut self, tag: u8, a: NodeId, b: NodeId, c: NodeId, result: NodeId) {
+    #[allow(clippy::too_many_arguments)] // a hot-path key tuple + arena views; a struct would just rename the problem
+    fn insert(
+        &mut self,
+        tag: u8,
+        a: NodeId,
+        b: NodeId,
+        c: NodeId,
+        result: NodeId,
+        gen: u32,
+        nodes: &[Node],
+        born: &[u32],
+    ) {
         let h = cache_hash(tag, a, b, c) as usize;
-        let entry = CacheEntry { tag, a, b, c, result };
+        let entry = CacheEntry { tag, a, b, c, result, gen };
         for i in 0..PROBE_LIMIT {
             let idx = (h + i) & self.mask;
             let e = &mut self.entries[idx];
-            if e.tag == TAG_FREE || (e.tag == tag && e.a == a && e.b == b && e.c == c) {
+            if e.tag == TAG_FREE
+                || (e.tag == tag && e.a == a && e.b == b && e.c == c)
+                || !entry_valid(e, nodes, born)
+            {
                 *e = entry;
                 return;
             }
@@ -202,28 +259,6 @@ impl ComputedCache {
         self.entries.fill(EMPTY_ENTRY);
     }
 
-    /// Drops exactly the entries that reference a node outside `live`.
-    ///
-    /// Used by the non-moving sweep: surviving nodes keep their ids and
-    /// semantics, so an entry whose operands and result are all still live
-    /// remains correct — keeping it is what lets the hit rate survive
-    /// collections. `exists` entries pack a variable range (not node ids)
-    /// into `b`/`c`, so only `a` and `result` are checked for them.
-    fn retain_live(&mut self, live: &[bool]) {
-        let ok = |n: NodeId| live.get(n as usize).copied().unwrap_or(false);
-        for e in &mut self.entries {
-            if e.tag == TAG_FREE {
-                continue;
-            }
-            let alive = match e.tag {
-                TAG_EXISTS => ok(e.a) && ok(e.result),
-                _ => ok(e.a) && ok(e.b) && ok(e.c) && ok(e.result),
-            };
-            if !alive {
-                *e = EMPTY_ENTRY;
-            }
-        }
-    }
 }
 
 /// A multiplicative hasher for the unique table (FxHash-style). `Node`
@@ -289,10 +324,17 @@ pub struct BddStats {
 /// design, so no locking is needed on the hot path.
 pub struct Bdd {
     nodes: Vec<Node>,
+    /// GC generation (`gcs` at the time) in which each arena slot's current
+    /// occupant was created; parallel to `nodes`. Lets the computed cache
+    /// detect slot reuse without being scanned at sweep time.
+    born: Vec<u32>,
     unique: HashMap<Node, NodeId, FxBuildHasher>,
     cache: ComputedCache,
     /// Arena slots reclaimed by [`Bdd::sweep`], reused by [`Bdd::mk`].
     free: Vec<NodeId>,
+    /// Times `mk` satisfied an allocation from the free list instead of
+    /// growing the arena.
+    freelist_reuses: u64,
     num_vars: u32,
     ops: u64,
     gcs: u64,
@@ -314,9 +356,11 @@ impl Bdd {
     pub fn with_cache_config(num_vars: u32, cache: CacheConfig) -> Self {
         let mut bdd = Bdd {
             nodes: Vec::with_capacity(1 << 12),
+            born: Vec::with_capacity(1 << 12),
             unique: HashMap::with_capacity_and_hasher(1 << 12, FxBuildHasher::default()),
             cache: ComputedCache::new(cache),
             free: Vec::new(),
+            freelist_reuses: 0,
             num_vars,
             ops: 0,
             gcs: 0,
@@ -326,6 +370,8 @@ impl Bdd {
         // Terminal nodes occupy slots 0 (false) and 1 (true).
         bdd.nodes.push(Node { var: TERMINAL_VAR, low: 0, high: 0 });
         bdd.nodes.push(Node { var: TERMINAL_VAR, low: 1, high: 1 });
+        bdd.born.push(0);
+        bdd.born.push(0);
         bdd
     }
 
@@ -374,6 +420,11 @@ impl Bdd {
         self.cache.capacity()
     }
 
+    /// Times `mk` reused a swept arena slot instead of growing the arena.
+    pub fn freelist_reuses(&self) -> u64 {
+        self.freelist_reuses
+    }
+
     pub(crate) fn quiet_enter(&mut self) {
         self.quiet_depth += 1;
     }
@@ -407,7 +458,7 @@ impl Bdd {
     /// Approximate memory footprint in bytes: the node arena plus the hash
     /// tables. Used for the "Memory Usage" column of Table 3.
     pub fn approx_bytes(&self) -> usize {
-        self.nodes.len() * std::mem::size_of::<Node>()
+        self.nodes.len() * (std::mem::size_of::<Node>() + std::mem::size_of::<u32>())
             + self.unique.capacity()
                 * (std::mem::size_of::<Node>() + std::mem::size_of::<NodeId>() + 8)
             + self.cache.approx_bytes()
@@ -451,10 +502,15 @@ impl Bdd {
         let id = if let Some(id) = self.free.pop() {
             debug_assert_eq!(self.nodes[id as usize].var, FREE_VAR);
             self.nodes[id as usize] = node;
+            // Restamping the slot's birth generation is what invalidates
+            // any computed-cache entry minted against its old occupant.
+            self.born[id as usize] = self.gcs as u32;
+            self.freelist_reuses += 1;
             id
         } else {
             let id = self.nodes.len() as NodeId;
             self.nodes.push(node);
+            self.born.push(self.gcs as u32);
             id
         };
         self.unique.insert(node, id);
@@ -618,7 +674,7 @@ impl Bdd {
             return a;
         }
         let (a, b) = if a < b { (a, b) } else { (b, a) };
-        if let Some(r) = self.cache.get(TAG_AND, a, b, 0) {
+        if let Some(r) = self.cache.get(TAG_AND, a, b, 0, &self.nodes, &self.born) {
             self.cache_hit(OpKind::And);
             return r;
         }
@@ -638,7 +694,7 @@ impl Bdd {
         let low = self.and_rec(a0, b0);
         let high = self.and_rec(a1, b1);
         let r = self.mk(top, low, high);
-        self.cache.insert(TAG_AND, a, b, 0, r);
+        self.cache.insert(TAG_AND, a, b, 0, r, self.gcs as u32, &self.nodes, &self.born);
         r
     }
 
@@ -656,7 +712,7 @@ impl Bdd {
             return a;
         }
         let (a, b) = if a < b { (a, b) } else { (b, a) };
-        if let Some(r) = self.cache.get(TAG_OR, a, b, 0) {
+        if let Some(r) = self.cache.get(TAG_OR, a, b, 0, &self.nodes, &self.born) {
             self.cache_hit(OpKind::Or);
             return r;
         }
@@ -676,7 +732,7 @@ impl Bdd {
         let low = self.or_rec(a0, b0);
         let high = self.or_rec(a1, b1);
         let r = self.mk(top, low, high);
-        self.cache.insert(TAG_OR, a, b, 0, r);
+        self.cache.insert(TAG_OR, a, b, 0, r, self.gcs as u32, &self.nodes, &self.born);
         r
     }
 
@@ -686,7 +742,7 @@ impl Bdd {
             TRUE => return FALSE,
             _ => {}
         }
-        if let Some(r) = self.cache.get(TAG_NOT, a, 0, 0) {
+        if let Some(r) = self.cache.get(TAG_NOT, a, 0, 0, &self.nodes, &self.born) {
             self.cache_hit(OpKind::Not);
             return r;
         }
@@ -696,8 +752,8 @@ impl Bdd {
         let low = self.not_rec(l);
         let high = self.not_rec(h);
         let r = self.mk(var, low, high);
-        self.cache.insert(TAG_NOT, a, 0, 0, r);
-        self.cache.insert(TAG_NOT, r, 0, 0, a);
+        self.cache.insert(TAG_NOT, a, 0, 0, r, self.gcs as u32, &self.nodes, &self.born);
+        self.cache.insert(TAG_NOT, r, 0, 0, a, self.gcs as u32, &self.nodes, &self.born);
         r
     }
 
@@ -711,7 +767,7 @@ impl Bdd {
         if a == TRUE {
             return self.not_rec(b);
         }
-        if let Some(r) = self.cache.get(TAG_DIFF, a, b, 0) {
+        if let Some(r) = self.cache.get(TAG_DIFF, a, b, 0, &self.nodes, &self.born) {
             self.cache_hit(OpKind::Diff);
             return r;
         }
@@ -731,7 +787,7 @@ impl Bdd {
         let low = self.diff_rec(a0, b0);
         let high = self.diff_rec(a1, b1);
         let r = self.mk(top, low, high);
-        self.cache.insert(TAG_DIFF, a, b, 0, r);
+        self.cache.insert(TAG_DIFF, a, b, 0, r, self.gcs as u32, &self.nodes, &self.born);
         r
     }
 
@@ -752,7 +808,7 @@ impl Bdd {
             return self.not_rec(a);
         }
         let (a, b) = if a < b { (a, b) } else { (b, a) };
-        if let Some(r) = self.cache.get(TAG_XOR, a, b, 0) {
+        if let Some(r) = self.cache.get(TAG_XOR, a, b, 0, &self.nodes, &self.born) {
             self.cache_hit(OpKind::Xor);
             return r;
         }
@@ -772,7 +828,7 @@ impl Bdd {
         let low = self.xor_rec(a0, b0);
         let high = self.xor_rec(a1, b1);
         let r = self.mk(top, low, high);
-        self.cache.insert(TAG_XOR, a, b, 0, r);
+        self.cache.insert(TAG_XOR, a, b, 0, r, self.gcs as u32, &self.nodes, &self.born);
         r
     }
 
@@ -799,7 +855,7 @@ impl Bdd {
         // Shared-cache memoization keyed on the variable range (not node
         // ids in `b`/`c`), so repeated quantifications of the same field —
         // the rewrite_field hot path — hit across calls.
-        if let Some(r) = self.cache.get(TAG_EXISTS, a, lo, hi) {
+        if let Some(r) = self.cache.get(TAG_EXISTS, a, lo, hi, &self.nodes, &self.born) {
             self.cache_hit(OpKind::Exists);
             return r;
         }
@@ -813,7 +869,7 @@ impl Bdd {
         } else {
             self.mk(var, low, high)
         };
-        self.cache.insert(TAG_EXISTS, a, lo, hi, r);
+        self.cache.insert(TAG_EXISTS, a, lo, hi, r, self.gcs as u32, &self.nodes, &self.born);
         r
     }
 
@@ -932,9 +988,12 @@ impl Bdd {
         self.cache.clear();
         // The arena is rebuilt densely, so any free-list slots vanish.
         self.free.clear();
+        self.born.clear();
 
         self.nodes.push(Node { var: TERMINAL_VAR, low: 0, high: 0 });
         self.nodes.push(Node { var: TERMINAL_VAR, low: 1, high: 1 });
+        self.born.push(0);
+        self.born.push(0);
 
         let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
         remap.insert(FALSE, FALSE);
@@ -971,10 +1030,13 @@ impl Bdd {
     /// [`Bdd::gc`] used by the [`crate::PredEngine`]. Nodes reachable from
     /// `roots` keep their ids; every other decision node is removed from the
     /// unique table, poisoned with a sentinel variable, and queued on the
-    /// free list for reuse by `mk`. Computed-cache entries survive unless
-    /// they reference a dead node — surviving ids keep their semantics, so
-    /// the hit rate no longer resets to zero at every collection. Returns
-    /// the number of reclaimed nodes.
+    /// free list for reuse by `mk`. The computed cache is **not** scanned:
+    /// entries over surviving ids keep their semantics (the hit rate no
+    /// longer resets at every collection), while entries over swept or
+    /// later-reused slots are rejected lazily at lookup time by the
+    /// generation check in [`ComputedCache::get`] — the generation bump
+    /// below is what arms that check. Returns the number of reclaimed
+    /// nodes.
     pub(crate) fn sweep(&mut self, roots: &[NodeId]) -> usize {
         self.gcs += 1;
         let mut live = vec![false; self.nodes.len()];
@@ -991,7 +1053,6 @@ impl Bdd {
             stack.push(self.nodes[n as usize].low);
             stack.push(self.nodes[n as usize].high);
         }
-        self.cache.retain_live(&live);
         let mut reclaimed = 0;
         for (i, alive) in live.iter().enumerate().skip(2) {
             let node = self.nodes[i];

@@ -159,7 +159,7 @@ fn scenario_json(s: &Scenario) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "    \"{}\": {{\n      \"wall_ms\": {:.3},\n      \"ops\": {},\n      \"cache_hit_rate\": {:.4},\n      \"cache_capacity\": {},\n      \"cache_evictions\": {},\n      \"live_nodes\": {},\n      \"peak_live_nodes\": {},\n      \"allocated_nodes\": {},\n      \"occupancy\": {:.4},\n      \"roots_live\": {},\n      \"gc_runs\": {},\n      \"gc_reclaimed_nodes\": {},\n      \"gc_pause_total_ms\": {:.3},\n      \"gc_pause_max_ms\": {:.3},\n      \"approx_mib\": {:.3}",
+        "    \"{}\": {{\n      \"wall_ms\": {:.3},\n      \"ops\": {},\n      \"cache_hit_rate\": {:.4},\n      \"cache_capacity\": {},\n      \"cache_evictions\": {},\n      \"live_nodes\": {},\n      \"peak_live_nodes\": {},\n      \"allocated_nodes\": {},\n      \"occupancy\": {:.4},\n      \"roots_live\": {},\n      \"gc_runs\": {},\n      \"gc_reclaimed_nodes\": {},\n      \"gc_pause_total_ms\": {:.3},\n      \"gc_pause_max_ms\": {:.3},\n      \"freelist_reuses\": {},\n      \"approx_mib\": {:.3}",
         s.name,
         s.wall.as_secs_f64() * 1e3,
         t.ops,
@@ -175,6 +175,7 @@ fn scenario_json(s: &Scenario) -> String {
         t.gc_reclaimed_nodes,
         t.gc_pause_total.as_secs_f64() * 1e3,
         t.gc_pause_max.as_secs_f64() * 1e3,
+        t.freelist_reuses,
         t.approx_bytes as f64 / (1024.0 * 1024.0),
     );
     for (k, v) in &s.extra {

@@ -65,6 +65,8 @@ pub mod error;
 pub mod fault;
 pub mod live;
 pub mod parallel;
+mod pool;
+pub mod shard;
 pub mod supervise;
 pub mod verifier;
 
@@ -77,5 +79,8 @@ pub use live::{
     ServiceStats, WorkerStats,
 };
 pub use parallel::{parallel_model_construction, ParallelStats, SubspaceStats};
+pub use shard::{
+    EpochReport, ShardDrainOutcome, ShardPool, ShardPoolConfig, ShardResult, UpdateBlock,
+};
 pub use supervise::{RestartPolicy, WorkerHealth};
 pub use verifier::{Property, PropertyReport, SubspaceVerifier, SubspaceVerifierConfig};

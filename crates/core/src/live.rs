@@ -23,11 +23,14 @@
 //! * **fault injection** — an optional seeded [`FaultPlan`] perturbs
 //!   the ingress stream and kills chosen workers, for chaos tests.
 
-use crate::channel::{policy_channel, Backpressure, ChannelProbe, ChannelStats, PolicySender};
-use crate::dispatcher::{DispatcherConfig, TimedReport};
+use crate::channel::{Backpressure, ChannelStats};
+use crate::dispatcher::{Dispatcher, DispatcherConfig, TimedReport};
 use crate::error::FlashError;
 use crate::fault::{FaultInjector, FaultPlan, FaultStats};
-use crate::supervise::{run_supervised, RestartPolicy, WorkerFaults, WorkerHealth, WorkerShared};
+use crate::pool::{PoolConfig, WorkerPool};
+use crate::supervise::{
+    OutputClosed, RestartPolicy, SupervisedWorker, WorkerFaults, WorkerHealth,
+};
 use crate::verifier::Property;
 use flash_ce2d::EpochTag;
 use flash_imt::SubspaceSpec;
@@ -36,7 +39,6 @@ use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Receiver;
 use std::sync::{mpsc, Arc, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// One inbound agent message. `(device, epoch, at)` is the message's
@@ -188,15 +190,12 @@ impl DrainOutcome {
 /// [`LiveService::reports`]. Stop with [`LiveService::drain`] (deadline)
 /// or [`LiveService::shutdown`] (generous default deadline).
 pub struct LiveService {
-    inputs: Vec<PolicySender<LiveMessage>>,
-    probes: Vec<ChannelProbe<LiveMessage>>,
-    shared: Vec<Arc<WorkerShared>>,
+    pool: WorkerPool<Arc<LiveMessage>>,
     /// Which worker handles each global subspace.
     subspace_worker: Vec<usize>,
     plan: Vec<SubspaceSpec>,
     layout: HeaderLayout,
     reports_rx: Receiver<LiveReport>,
-    workers: Vec<JoinHandle<()>>,
     injector: Option<Mutex<FaultInjector>>,
     seen: Mutex<HashSet<(DeviceId, EpochTag, u64)>>,
     deduplicated: AtomicU64,
@@ -206,10 +205,65 @@ pub struct LiveService {
 impl std::fmt::Debug for LiveService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("LiveService")
-            .field("workers", &self.inputs.len())
+            .field("workers", &self.pool.worker_count())
             .field("subspaces", &self.plan.len())
             .field("fault_injection", &self.injector.is_some())
             .finish_non_exhaustive()
+    }
+}
+
+/// The live service's worker body: a CE2D [`Dispatcher`] restricted to
+/// this worker's subspace subset, rebuilt by epoch replay after panics.
+///
+/// Jobs arrive as [`Arc<LiveMessage>`]: routing a message to several
+/// overlapping workers (and journaling it for replay) bumps a refcount
+/// instead of deep-cloning the update batch per worker.
+struct DispatcherWorker {
+    cfg: DispatcherConfig,
+    out: mpsc::Sender<LiveReport>,
+    worker: usize,
+    total_workers: usize,
+    /// Verdicts already emitted; survives restarts so replay cannot
+    /// deliver a report twice.
+    emitted: HashSet<String>,
+}
+
+impl SupervisedWorker for DispatcherWorker {
+    type Job = Arc<LiveMessage>;
+    type State = Dispatcher;
+
+    fn build(&mut self) -> Dispatcher {
+        Dispatcher::new(self.cfg.clone())
+    }
+
+    fn process(&mut self, d: &mut Dispatcher, m: Arc<LiveMessage>) -> Result<(), OutputClosed> {
+        let t0 = Instant::now();
+        let reports = d.on_message(m.at, m.device, m.epoch, m.updates.clone());
+        let processing = t0.elapsed();
+        for report in reports {
+            // Replay determinism gives replayed verdicts the same
+            // identity as their pre-crash originals; only new verdicts
+            // pass.
+            let key = format!(
+                "{}|{}|{}|{:?}",
+                report.at, report.epoch, report.subspace, report.report
+            );
+            if !self.emitted.insert(key) {
+                continue;
+            }
+            let lr = LiveReport {
+                report,
+                processing,
+                worker: self.worker,
+                total_workers: self.total_workers,
+            };
+            self.out.send(lr).map_err(|_| OutputClosed)?;
+        }
+        Ok(())
+    }
+
+    fn telemetry(&self, d: &Dispatcher) -> flash_bdd::EngineTelemetry {
+        d.engine_telemetry()
     }
 }
 
@@ -263,54 +317,52 @@ impl LiveService {
             plan.validate(workers)?;
         }
         let (reports_tx, reports_rx) = mpsc::channel::<LiveReport>();
-        let mut inputs = Vec::with_capacity(workers);
-        let mut probes = Vec::with_capacity(workers);
-        let mut shared = Vec::with_capacity(workers);
-        let mut handles = Vec::with_capacity(workers);
         // Round-robin subspace → worker map.
         let subspace_worker: Vec<usize> =
             (0..subspaces.len()).map(|i| i % workers).collect();
 
-        for w in 0..workers {
-            let my_subspaces: Vec<SubspaceSpec> = subspaces
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| subspace_worker[*i] == w)
-                .map(|(_, s)| *s)
-                .collect();
-            let (tx, rx) = policy_channel::<LiveMessage>(config.capacity, config.backpressure);
-            probes.push(tx.probe());
-            inputs.push(tx);
-            let ws = Arc::new(WorkerShared::new());
-            shared.push(ws.clone());
-            let cfg = DispatcherConfig {
-                topo: topo.clone(),
-                actions: actions.clone(),
-                layout: layout.clone(),
-                subspaces: my_subspaces,
-                bst,
-                properties: properties.clone(),
-            };
-            let faults = WorkerFaults {
-                kill_after: config.faults.as_ref().and_then(|p| p.kill_for(w)),
-                delay: config.faults.as_ref().and_then(|p| p.worker_delay),
-            };
-            let out = reports_tx.clone();
-            let restart = config.restart;
-            handles.push(std::thread::spawn(move || {
-                run_supervised(cfg, rx, out, w, workers, restart, ws, faults);
-            }));
-        }
+        let faults = config.faults.clone();
+        let pool = WorkerPool::spawn(
+            PoolConfig {
+                workers,
+                capacity: config.capacity,
+                backpressure: config.backpressure,
+                restart: config.restart,
+            },
+            |w| WorkerFaults {
+                kill_after: faults.as_ref().and_then(|p| p.kill_for(w)),
+                delay: faults.as_ref().and_then(|p| p.worker_delay),
+            },
+            |w| {
+                let my_subspaces: Vec<SubspaceSpec> = subspaces
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| subspace_worker[*i] == w)
+                    .map(|(_, s)| *s)
+                    .collect();
+                DispatcherWorker {
+                    cfg: DispatcherConfig {
+                        topo: topo.clone(),
+                        actions: actions.clone(),
+                        layout: layout.clone(),
+                        subspaces: my_subspaces,
+                        bst,
+                        properties: properties.clone(),
+                    },
+                    out: reports_tx.clone(),
+                    worker: w,
+                    total_workers: workers,
+                    emitted: HashSet::new(),
+                }
+            },
+        );
 
         Ok(LiveService {
-            inputs,
-            probes,
-            shared,
+            pool,
             subspace_worker,
             plan: subspaces,
             layout,
             reports_rx,
-            workers: handles,
             injector: config
                 .faults
                 .map(|p| Mutex::new(FaultInjector::new(p))),
@@ -322,7 +374,7 @@ impl LiveService {
 
     /// Number of worker threads.
     pub fn worker_count(&self) -> usize {
-        self.inputs.len()
+        self.pool.worker_count()
     }
 
     /// Round-robin subspace math for this service's worker count (see
@@ -359,7 +411,7 @@ impl LiveService {
             self.deduplicated.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        let mut targets: Vec<bool> = vec![false; self.inputs.len()];
+        let mut targets: Vec<bool> = vec![false; self.pool.worker_count()];
         if msg.updates.is_empty() {
             // Epoch announcements concern every verifier.
             targets.iter_mut().for_each(|t| *t = true);
@@ -372,8 +424,11 @@ impl LiveService {
                 }
             }
         }
+        // One allocation, shared by every target worker and its journal:
+        // routing only bumps a refcount from here on.
+        let msg = Arc::new(msg);
         for (w, hit) in targets.iter().enumerate() {
-            if *hit && self.inputs[w].send(msg.clone()).is_err() {
+            if *hit && self.pool.send(w, Arc::clone(&msg)).is_err() {
                 // Worker abandoned (or already drained): count, don't
                 // wedge the feed.
                 self.lost_to_dead.fetch_add(1, Ordering::Relaxed);
@@ -388,23 +443,8 @@ impl LiveService {
 
     /// Current service counters.
     pub fn stats(&self) -> ServiceStats {
-        let workers = self
-            .shared
-            .iter()
-            .enumerate()
-            .map(|(w, ws)| WorkerStats {
-                worker: w,
-                restarts: ws.restarts.load(Ordering::SeqCst),
-                batches: ws.batches.load(Ordering::SeqCst),
-                health: ws.health(),
-                channel: self.probes[w].stats(),
-                depth: self.probes[w].depth(),
-                last_error: ws.last_error.lock().unwrap().clone(),
-                engine: *ws.engine.lock().unwrap(),
-            })
-            .collect();
         ServiceStats {
-            workers,
+            workers: self.pool.all_stats(),
             deduplicated: self.deduplicated.load(Ordering::Relaxed),
             lost_to_dead_workers: self.lost_to_dead.load(Ordering::Relaxed),
             faults: self
@@ -428,27 +468,9 @@ impl LiveService {
         }
         // 2. Closing the channels is the drain signal: receivers hand
         //    out all queued messages before reporting disconnection.
-        self.inputs.clear();
+        self.pool.close_inputs();
         // 3. Join under the deadline.
-        let t0 = Instant::now();
-        loop {
-            let all_done = self.shared.iter().all(|ws| ws.done.load(Ordering::SeqCst));
-            if all_done || t0.elapsed() >= deadline {
-                break;
-            }
-            std::thread::sleep(Duration::from_millis(1));
-        }
-        let mut abandoned = Vec::new();
-        for (w, h) in self.workers.drain(..).enumerate() {
-            if self.shared[w].done.load(Ordering::SeqCst) {
-                let _ = h.join();
-            } else {
-                // Deliberately leaked: the thread may be wedged. Its
-                // channel is closed, so it can make no further progress
-                // visible to consumers.
-                abandoned.push(w);
-            }
-        }
+        let abandoned = self.pool.join_with_deadline(deadline);
         let stats = self.stats();
         let mut reports = Vec::new();
         while let Ok(r) = self.reports_rx.try_recv() {

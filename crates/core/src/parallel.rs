@@ -2,13 +2,17 @@
 //! §5.5): updates are routed to per-subspace verifiers which run on OS
 //! threads — the deployment shape of the paper's 112-subspace LNet runs.
 //!
-//! Verification is CPU-bound, so plain `std::thread::scope` threads are
-//! used (no async runtime, no external crates): each worker owns one or
-//! more subspace verifiers with their private BDD managers, so the hot
-//! path takes no locks.
+//! Since PR 4 this is a thin one-shot wrapper over the persistent
+//! [`ShardPool`] ([`crate::shard`]): the update batch becomes a single
+//! routed block, the pool's warm workers build every subspace model,
+//! and the drained epoch report is folded into [`ParallelStats`]. The
+//! hot path takes no locks — each worker owns its shards' private BDD
+//! managers — and subspaces the batch never touches are skipped
+//! without constructing an engine at all.
 
+use crate::shard::{ShardPool, ShardPoolConfig};
 use flash_bdd::EngineTelemetry;
-use flash_imt::{ModelManager, ModelManagerConfig, SubspacePlan};
+use flash_imt::SubspacePlan;
 use flash_netmodel::{DeviceId, HeaderLayout, RuleUpdate};
 use std::time::{Duration, Instant};
 
@@ -75,76 +79,31 @@ pub fn parallel_model_construction(
     bst: usize,
     threads: usize,
 ) -> ParallelStats {
-    let threads = threads.max(1).min(plan.len().max(1));
-
-    // Route updates: per-subspace input queues (built once, sequentially —
-    // this mirrors the dispatcher's cheap syntactic routing).
-    let mut queues: Vec<Vec<(DeviceId, RuleUpdate)>> = vec![Vec::new(); plan.len()];
-    for (dev, u) in updates {
-        for i in plan.route(&u.rule.mat, layout) {
-            queues[i].push((*dev, u.clone()));
-        }
-    }
-
     let start = Instant::now();
+    let mut pool = ShardPool::spawn(ShardPoolConfig::model_only(
+        layout.clone(),
+        plan.clone(),
+        bst,
+        threads,
+    ))
+    .expect("model-only pool config is always valid");
+    pool.submit(updates.to_vec());
+    let out = pool.drain(Duration::from_secs(3600));
+    let wall = start.elapsed();
+
     let mut per_subspace: Vec<SubspaceStats> = vec![SubspaceStats::default(); plan.len()];
     let mut cpu_times: Vec<Duration> = vec![Duration::ZERO; plan.len()];
-
-    // Work-stealing: workers pull the next unclaimed subspace from a shared
-    // atomic cursor, so a thread stuck on a heavy subspace never strands
-    // light ones behind it (static chunking did exactly that).
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..threads {
-            let next = &next;
-            let queues = &queues;
-            let plan_ref = &plan.subspaces;
-            let layout = layout.clone();
-            let handle = scope.spawn(move || {
-                let mut results = Vec::new();
-                loop {
-                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if idx >= queues.len() {
-                        break;
-                    }
-                    let t0 = Instant::now();
-                    let mut mgr = ModelManager::new(ModelManagerConfig {
-                        layout: layout.clone(),
-                        subspace: plan_ref[idx],
-                        bst,
-                        filter_updates: false, // already routed
-                        gc_node_threshold: flash_bdd::DEFAULT_GC_NODE_THRESHOLD,
-                    });
-                    for (dev, u) in &queues[idx] {
-                        mgr.submit(*dev, [u.clone()]);
-                    }
-                    mgr.flush();
-                    let cpu = t0.elapsed();
-                    results.push((
-                        idx,
-                        cpu,
-                        SubspaceStats {
-                            classes: mgr.model().len(),
-                            ops: mgr.engine().op_count(),
-                            bytes: mgr.approx_bytes(),
-                            engine: mgr.engine().telemetry(),
-                        },
-                    ));
-                }
-                results
-            });
-            handles.push(handle);
+    if let Some(epoch) = out.epochs.first() {
+        for r in &epoch.shards {
+            per_subspace[r.shard] = SubspaceStats {
+                classes: r.classes,
+                ops: r.ops,
+                bytes: r.bytes,
+                engine: r.engine,
+            };
+            cpu_times[r.shard] = r.cpu;
         }
-        for h in handles {
-            for (idx, cpu, stats) in h.join().expect("worker panicked") {
-                per_subspace[idx] = stats;
-                cpu_times[idx] = cpu;
-            }
-        }
-    });
-
-    let wall = start.elapsed();
+    }
     let cpu_total = cpu_times.iter().sum();
     let max_cpu = cpu_times.iter().max().copied().unwrap_or(Duration::ZERO);
     ParallelStats {
@@ -158,6 +117,7 @@ pub fn parallel_model_construction(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use flash_imt::{ModelManager, ModelManagerConfig};
     use flash_netmodel::{ActionTable, FieldId, Match, Rule};
 
     #[test]

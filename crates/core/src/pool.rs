@@ -1,0 +1,135 @@
+//! The shared worker-pool scaffolding beneath [`crate::live`] and
+//! [`crate::shard`]: N long-lived OS threads, each running one
+//! [`SupervisedWorker`] behind a policy channel, with per-worker
+//! shared-state probes and a deadline-bounded join.
+//!
+//! The pool knows nothing about *what* the workers do — the live
+//! service plugs in CE2D dispatchers, the shard pool plugs in warm
+//! subspace verifiers — so the chaos-tested supervision, backpressure,
+//! and drain behavior is written (and tested) exactly once.
+
+use crate::channel::{policy_channel, Backpressure, ChannelProbe, Disconnected, SendOutcome};
+use crate::live::WorkerStats;
+use crate::supervise::{run_supervised, RestartPolicy, SupervisedWorker, WorkerFaults, WorkerShared};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Channel/supervision knobs common to every pool.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PoolConfig {
+    pub workers: usize,
+    /// Per-worker inbound queue capacity.
+    pub capacity: usize,
+    pub backpressure: Backpressure,
+    pub restart: RestartPolicy,
+}
+
+/// A pool of supervised workers consuming jobs of type `J`.
+pub(crate) struct WorkerPool<J> {
+    inputs: Vec<crate::channel::PolicySender<J>>,
+    probes: Vec<ChannelProbe<J>>,
+    shared: Vec<Arc<WorkerShared>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<J: Clone + Send + 'static> WorkerPool<J> {
+    /// Spawns `cfg.workers` supervised threads. `make(w)` builds worker
+    /// `w`'s body (sent to its thread); `fault_for(w)` its injected
+    /// faults.
+    pub fn spawn<W>(
+        cfg: PoolConfig,
+        fault_for: impl Fn(usize) -> WorkerFaults,
+        mut make: impl FnMut(usize) -> W,
+    ) -> Self
+    where
+        W: SupervisedWorker<Job = J> + Send + 'static,
+    {
+        let n = cfg.workers.max(1);
+        let mut inputs = Vec::with_capacity(n);
+        let mut probes = Vec::with_capacity(n);
+        let mut shared = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for w in 0..n {
+            let (tx, rx) = policy_channel::<J>(cfg.capacity, cfg.backpressure);
+            probes.push(tx.probe());
+            inputs.push(tx);
+            let ws = Arc::new(WorkerShared::new());
+            shared.push(ws.clone());
+            let worker = make(w);
+            let faults = fault_for(w);
+            let restart = cfg.restart;
+            handles.push(std::thread::spawn(move || {
+                run_supervised(worker, rx, w, restart, ws, faults);
+            }));
+        }
+        WorkerPool { inputs, probes, shared, handles }
+    }
+
+    pub fn worker_count(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Sends a job to worker `w` under its backpressure policy.
+    /// `Err(Disconnected)` means the worker was abandoned or drained.
+    pub fn send(&self, w: usize, job: J) -> Result<SendOutcome, Disconnected> {
+        match self.inputs.get(w) {
+            Some(tx) => tx.send(job),
+            None => Err(Disconnected),
+        }
+    }
+
+    /// Closing the channels is the drain signal: receivers hand out all
+    /// queued jobs before reporting disconnection.
+    pub fn close_inputs(&mut self) {
+        self.inputs.clear();
+    }
+
+    /// Per-worker counter snapshot.
+    pub fn worker_stats(&self, w: usize) -> WorkerStats {
+        let ws = &self.shared[w];
+        WorkerStats {
+            worker: w,
+            restarts: ws.restarts.load(Ordering::SeqCst),
+            batches: ws.batches.load(Ordering::SeqCst),
+            health: ws.health(),
+            channel: self.probes[w].stats(),
+            depth: self.probes[w].depth(),
+            last_error: ws.last_error.lock().unwrap().clone(),
+            engine: *ws.engine.lock().unwrap(),
+        }
+    }
+
+    /// Snapshot for every worker.
+    pub fn all_stats(&self) -> Vec<WorkerStats> {
+        (0..self.worker_count()).map(|w| self.worker_stats(w)).collect()
+    }
+
+    /// True when every supervisor thread has returned.
+    pub fn all_done(&self) -> bool {
+        self.shared.iter().all(|ws| ws.done.load(Ordering::SeqCst))
+    }
+
+    /// Joins workers until `deadline`, returning the indices of workers
+    /// that missed it and were abandoned un-joined. Call
+    /// [`Self::close_inputs`] first, or workers will never exit.
+    pub fn join_with_deadline(&mut self, deadline: Duration) -> Vec<usize> {
+        let t0 = Instant::now();
+        while !self.all_done() && t0.elapsed() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let mut abandoned = Vec::new();
+        for (w, h) in self.handles.drain(..).enumerate() {
+            if self.shared[w].done.load(Ordering::SeqCst) {
+                let _ = h.join();
+            } else {
+                // Deliberately leaked: the thread may be wedged. Its
+                // channel is closed, so it can make no further progress
+                // visible to consumers.
+                abandoned.push(w);
+            }
+        }
+        abandoned
+    }
+}

@@ -1,17 +1,21 @@
-//! Worker supervision: `catch_unwind` isolation plus epoch-replay
-//! recovery.
+//! Worker supervision: `catch_unwind` isolation plus journal-replay
+//! recovery, generic over the work a worker performs.
 //!
-//! Each live-service worker runs its CE2D dispatcher inside
-//! [`std::panic::catch_unwind`]. When the worker panics, the supervisor
-//! (the same OS thread, one frame up) rebuilds a fresh [`Dispatcher`]
-//! and **replays the worker's journaled message history** through it —
+//! Both long-lived worker shapes in this crate — the live service's
+//! CE2D dispatchers ([`crate::live`]) and the shard pool's persistent
+//! subspace verifiers ([`crate::shard`]) — run under the same
+//! supervision loop. A worker implements [`SupervisedWorker`]: `build`
+//! constructs its (possibly `!Send`) processing state on the worker's
+//! own OS thread, and `process` consumes one job. When the worker
+//! panics, the supervisor (the same OS thread, one frame up) rebuilds
+//! fresh state and **replays the journaled job history** through it —
 //! the paper's epoch-replay mechanism ("flushes the updates from the
 //! device's update queue"), reused for crash recovery: replaying the
-//! same epoch-tagged messages deterministically reconstructs the
-//! tracker, per-device histories, and per-epoch verifier sets. Reports
-//! already delivered before the crash are suppressed by an emitted-set
-//! that lives *outside* the unwind boundary, so consumers see each
-//! verdict exactly once.
+//! same jobs deterministically reconstructs trackers, model state, and
+//! verifier sets. Results already delivered before the crash are
+//! suppressed by emitted-sets the worker keeps *outside* the unwind
+//! boundary (in the [`SupervisedWorker`] impl itself, which survives
+//! restarts), so consumers see each verdict exactly once.
 //!
 //! Restarts are budgeted by [`RestartPolicy`]: exponential backoff
 //! (capped) between respawns, and after `max_restarts` failures the
@@ -19,14 +23,11 @@
 //! disconnected channel instead of blocking forever.
 
 use crate::channel::PolicyReceiver;
-use crate::dispatcher::{Dispatcher, DispatcherConfig};
 use crate::error::FlashError;
-use crate::live::{LiveMessage, LiveReport};
-use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// How a supervisor responds to worker panics.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -74,7 +75,7 @@ pub enum WorkerHealth {
 pub(crate) struct WorkerShared {
     /// Times the worker has been respawned after a panic.
     pub restarts: AtomicU32,
-    /// Messages processed, *including* replayed ones.
+    /// Jobs processed, *including* replayed ones.
     pub batches: AtomicU64,
     /// Latch ensuring an injected kill fires exactly once.
     pub kill_fired: AtomicBool,
@@ -116,43 +117,56 @@ pub(crate) struct WorkerFaults {
     pub delay: Option<Duration>,
 }
 
+/// Returned by [`SupervisedWorker::process`] when the result consumer
+/// is gone: the worker has nobody to report to and exits cleanly.
+pub(crate) struct OutputClosed;
+
+/// One supervised, journal-replayed worker body.
+///
+/// The implementing struct itself lives *outside* the `catch_unwind`
+/// boundary and survives restarts — put emitted-set deduplication and
+/// result senders there. The per-run processing state (dispatchers,
+/// model managers, predicate engines — typically `!Send`) lives in
+/// [`SupervisedWorker::State`], built fresh on the worker thread after
+/// every (re)start and reconstructed deterministically by replay.
+pub(crate) trait SupervisedWorker {
+    /// One unit of work; journaled, so cloning must be cheap (`Arc`).
+    type Job: Clone + Send + 'static;
+    /// Per-run processing state, rebuilt after each panic.
+    type State;
+
+    /// Builds fresh processing state (on the worker's own thread).
+    fn build(&mut self) -> Self::State;
+
+    /// Processes one job, sending any results to the worker's output.
+    fn process(&mut self, state: &mut Self::State, job: Self::Job) -> Result<(), OutputClosed>;
+
+    /// Aggregate predicate-engine snapshot of the current state.
+    fn telemetry(&self, state: &Self::State) -> flash_bdd::EngineTelemetry;
+}
+
 enum ExitReason {
     /// Input channel closed after draining: graceful shutdown.
     Drained,
-    /// Report consumer gone; nothing left to do.
+    /// Result consumer gone; nothing left to do.
     OutputClosed,
 }
 
 /// Supervisor entry point: runs on the worker's OS thread and owns the
-/// journal and emitted-set across restarts.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn run_supervised(
-    cfg: DispatcherConfig,
-    rx: PolicyReceiver<LiveMessage>,
-    out: mpsc::Sender<LiveReport>,
-    worker: usize,
-    total_workers: usize,
+/// journal across restarts.
+pub(crate) fn run_supervised<W: SupervisedWorker>(
+    mut worker: W,
+    rx: PolicyReceiver<W::Job>,
+    worker_index: usize,
     policy: RestartPolicy,
     shared: Arc<WorkerShared>,
     faults: WorkerFaults,
 ) {
-    // Both survive panics: the journal feeds epoch replay, the emitted
-    // set keeps replayed verdicts from reaching the consumer twice.
-    let mut journal: Vec<LiveMessage> = Vec::new();
-    let mut emitted: HashSet<String> = HashSet::new();
+    // Survives panics: the journal feeds replay after a restart.
+    let mut journal: Vec<W::Job> = Vec::new();
     loop {
         let attempt = catch_unwind(AssertUnwindSafe(|| {
-            run_once(
-                &cfg,
-                &rx,
-                &out,
-                worker,
-                total_workers,
-                &shared,
-                &mut journal,
-                &mut emitted,
-                faults,
-            )
+            run_once(&mut worker, &rx, worker_index, &shared, &mut journal, faults)
         }));
         match attempt {
             Ok(ExitReason::Drained) | Ok(ExitReason::OutputClosed) => {
@@ -165,17 +179,17 @@ pub(crate) fn run_supervised(
                 if n > policy.max_restarts {
                     *shared.last_error.lock().unwrap() =
                         Some(FlashError::RestartsExhausted {
-                            worker,
+                            worker: worker_index,
                             restarts: n - 1,
                         });
                     *shared.health.lock().unwrap() = WorkerHealth::Abandoned;
                     break;
                 }
                 *shared.last_error.lock().unwrap() =
-                    Some(FlashError::WorkerPanic { worker, message });
+                    Some(FlashError::WorkerPanic { worker: worker_index, message });
                 shared.restarts.store(n, Ordering::SeqCst);
                 std::thread::sleep(policy.backoff_for(n));
-                // Loop: run_once rebuilds the dispatcher and replays.
+                // Loop: run_once rebuilds the state and replays.
             }
         }
     }
@@ -184,88 +198,54 @@ pub(crate) fn run_supervised(
     // disconnected channel instead of blocking.
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_once(
-    cfg: &DispatcherConfig,
-    rx: &PolicyReceiver<LiveMessage>,
-    out: &mpsc::Sender<LiveReport>,
-    worker: usize,
-    total_workers: usize,
+fn run_once<W: SupervisedWorker>(
+    worker: &mut W,
+    rx: &PolicyReceiver<W::Job>,
+    worker_index: usize,
     shared: &WorkerShared,
-    journal: &mut Vec<LiveMessage>,
-    emitted: &mut HashSet<String>,
+    journal: &mut Vec<W::Job>,
     faults: WorkerFaults,
 ) -> ExitReason {
-    let mut dispatcher = Dispatcher::new(cfg.clone());
-    // Epoch replay: re-feed the journaled history in arrival order. The
-    // fresh dispatcher deterministically reconstructs tracker state,
-    // per-device update queues, and per-epoch verifier sets; `emitted`
-    // silences the verdicts that already reached the consumer.
-    for m in journal.iter() {
-        let m = m.clone();
-        if process(&mut dispatcher, m, out, worker, total_workers, shared, emitted, faults)
-            .is_err()
-        {
+    let mut state = worker.build();
+    // Replay: re-feed the journaled history in arrival order. Fresh
+    // state deterministically reconstructs everything the crash threw
+    // away; the worker's own emitted-sets silence results that already
+    // reached the consumer.
+    for job in journal.iter() {
+        if step(worker, &mut state, job.clone(), worker_index, shared, faults).is_err() {
             return ExitReason::OutputClosed;
         }
     }
     // Live phase: journal *before* processing, so a crash mid-batch
     // replays the batch that killed us.
-    while let Ok(m) = rx.recv() {
-        journal.push(m.clone());
-        if process(&mut dispatcher, m, out, worker, total_workers, shared, emitted, faults)
-            .is_err()
-        {
+    while let Ok(job) = rx.recv() {
+        journal.push(job.clone());
+        if step(worker, &mut state, job, worker_index, shared, faults).is_err() {
             return ExitReason::OutputClosed;
         }
     }
     ExitReason::Drained
 }
 
-#[allow(clippy::too_many_arguments)]
-fn process(
-    dispatcher: &mut Dispatcher,
-    m: LiveMessage,
-    out: &mpsc::Sender<LiveReport>,
-    worker: usize,
-    total_workers: usize,
+fn step<W: SupervisedWorker>(
+    worker: &mut W,
+    state: &mut W::State,
+    job: W::Job,
+    worker_index: usize,
     shared: &WorkerShared,
-    emitted: &mut HashSet<String>,
     faults: WorkerFaults,
-) -> Result<(), ()> {
+) -> Result<(), OutputClosed> {
     let batch = shared.batches.fetch_add(1, Ordering::SeqCst) + 1;
     if let Some(k) = faults.kill_after {
         if batch >= k && !shared.kill_fired.swap(true, Ordering::SeqCst) {
-            panic!("injected fault: killing worker {worker} after {batch} batches");
+            panic!("injected fault: killing worker {worker_index} after {batch} batches");
         }
     }
     if let Some(d) = faults.delay {
         std::thread::sleep(d);
     }
-    let t0 = Instant::now();
-    let reports = dispatcher.on_message(m.at, m.device, m.epoch, m.updates);
-    let processing = t0.elapsed();
-    *shared.engine.lock().unwrap() = dispatcher.engine_telemetry();
-    for report in reports {
-        // Replay determinism gives replayed verdicts the same identity
-        // as their pre-crash originals; only new verdicts pass.
-        let key = format!(
-            "{}|{}|{}|{:?}",
-            report.at, report.epoch, report.subspace, report.report
-        );
-        if !emitted.insert(key) {
-            continue;
-        }
-        let lr = LiveReport {
-            report,
-            processing,
-            worker,
-            total_workers,
-        };
-        if out.send(lr).is_err() {
-            return Err(());
-        }
-    }
+    worker.process(state, job)?;
+    *shared.engine.lock().unwrap() = worker.telemetry(state);
     Ok(())
 }
 

@@ -146,6 +146,27 @@ impl ModelManager {
         &self.pat
     }
 
+    /// Canonical fingerprints of the model's equivalence classes: one
+    /// hash per class over its decoded, device-ascending forwarding
+    /// vector (explicit non-drop entries only).
+    ///
+    /// Unlike `PatId`s or predicate node ids, these are stable across
+    /// engines, so the *distinct union* of `class_keys` over the models
+    /// of a partition equals the whole-space class count — the
+    /// cross-shard consistency check used by the sharded pipeline.
+    pub fn class_keys(&self) -> Vec<u64> {
+        use std::hash::{Hash, Hasher};
+        self.model
+            .entries()
+            .iter()
+            .map(|e| {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                self.pat.entries(e.vector).hash(&mut h);
+                h.finish()
+            })
+            .collect()
+    }
+
     /// Split borrow for consumers (the CE2D verifier) that need predicate
     /// operations over the current model.
     pub fn parts_mut(&mut self) -> (&mut PredEngine, &mut PatStore, &InverseModel) {
