@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Render a markdown delta table between two bench_predicates JSON reports.
+
+Usage: bench_diff.py <baseline.json> <fresh.json>
+
+Prints wall-clock, total-op and op_and-call deltas per scenario — meant
+for $GITHUB_STEP_SUMMARY in the non-gating quick-bench CI job, but works
+anywhere. Exit code is always 0: the table is a trend report, not a gate.
+"""
+import json
+import sys
+
+
+def pct(base, new):
+    if not base:
+        return "n/a"
+    return f"{(new - base) / base * 100.0:+.1f}%"
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return
+    with open(sys.argv[1]) as f:
+        base = json.load(f)["scenarios"]
+    with open(sys.argv[2]) as f:
+        fresh = json.load(f)["scenarios"]
+
+    print("### Quick predicate bench vs committed baseline")
+    print()
+    print("| scenario | wall_ms | Δwall | ops | Δops | op_and calls | Δop_and |")
+    print("|---|---|---|---|---|---|---|")
+    for name, b in base.items():
+        n = fresh.get(name)
+        if n is None:
+            print(f"| {name} | {b['wall_ms']:.1f} → gone | | | | | |")
+            continue
+        b_and = b.get("op_and", {}).get("calls", 0)
+        n_and = n.get("op_and", {}).get("calls", 0)
+        print(
+            f"| {name} "
+            f"| {b['wall_ms']:.1f} → {n['wall_ms']:.1f} | {pct(b['wall_ms'], n['wall_ms'])} "
+            f"| {b['ops']} → {n['ops']} | {pct(b['ops'], n['ops'])} "
+            f"| {b_and} → {n_and} | {pct(b_and, n_and)} |"
+        )
+    for name in fresh:
+        if name not in base:
+            print(f"| {name} (new) | {fresh[name]['wall_ms']:.1f} | | {fresh[name]['ops']} | | | |")
+
+
+if __name__ == "__main__":
+    main()

@@ -155,6 +155,9 @@ pub struct EngineTelemetry {
     /// Allocations satisfied from the swept-slot free list instead of
     /// growing the node arena.
     pub freelist_reuses: u64,
+    /// Cell-occupancy probes answered for the class overlap index
+    /// (see [`Bdd::cell_mask`]); probes are cheap and never allocate.
+    pub cell_probes: u64,
 }
 
 impl EngineTelemetry {
@@ -206,16 +209,18 @@ impl EngineTelemetry {
         self.cache_evictions += other.cache_evictions;
         self.cache_capacity += other.cache_capacity;
         self.freelist_reuses += other.freelist_reuses;
+        self.cell_probes += other.cell_probes;
     }
 
     /// One-line human-readable digest, used by `flash-cli` and examples.
     pub fn summary(&self) -> String {
         format!(
             "{} ops ({:.1}% cache hit, {} slots, {} evictions) | \
-             nodes {} live / {} peak ({:.0}% occupancy) | \
+             {} cell probes | nodes {} live / {} peak ({:.0}% occupancy) | \
              {} roots | gc: {} runs, {} reclaimed, {} slot reuses, \
              {:.2} ms max pause | ~{:.1} MiB",
             self.ops,
+            self.cell_probes,
             self.cache_hit_rate() * 100.0,
             self.cache_capacity,
             self.cache_evictions,
@@ -738,6 +743,21 @@ impl PredEngine {
         self.bdd.size_of(a.node)
     }
 
+    /// Coarse cell-occupancy probe over the `k` bits at `offset`: bit `c`
+    /// of the result is set iff `a` is satisfiable in cell `c` of that
+    /// field slice. See [`Bdd::cell_mask`] for the exact laws; the probe
+    /// allocates no nodes and never descends past the cell bits.
+    pub fn cell_mask(&mut self, a: &Pred, offset: u32, k: u32) -> u64 {
+        self.check(a);
+        self.bdd.cell_mask(a.node, offset, k)
+    }
+
+    /// The sorted support set (variables tested anywhere) of `a`.
+    pub fn support(&self, a: &Pred) -> Vec<u32> {
+        self.check(a);
+        self.bdd.support(a.node)
+    }
+
     // ----- counters and telemetry -------------------------------------------
 
     /// Total top-level predicate operations (the paper's Table 3 metric).
@@ -795,6 +815,7 @@ impl PredEngine {
             cache_evictions: self.bdd.cache_evictions(),
             cache_capacity: self.bdd.cache_capacity(),
             freelist_reuses: self.bdd.freelist_reuses(),
+            cell_probes: self.bdd.cell_probes(),
         }
     }
 
@@ -1181,5 +1202,70 @@ mod tests {
             e.telemetry().freelist_reuses > 0,
             "telemetry must report free-list reuses"
         );
+    }
+
+    /// Brute-force cell mask: cell `c` is set iff some header with the top
+    /// `k` bits equal to `c` satisfies the predicate.
+    fn naive_cell_mask(e: &PredEngine, p: &Pred, bits: u32, k: u32) -> u64 {
+        let mut mask = 0u64;
+        for h in 0..(1u64 << bits) {
+            let hb: Vec<bool> = (0..bits).map(|i| (h >> (bits - 1 - i)) & 1 == 1).collect();
+            if e.eval(p, &hb) {
+                mask |= 1u64 << (h >> (bits - k));
+            }
+        }
+        mask
+    }
+
+    #[test]
+    fn cell_mask_matches_brute_force() {
+        let bits = 8u32;
+        let mut e = PredEngine::new(bits);
+        for k in 1..=6u32 {
+            let cases = [
+                e.false_pred(),
+                e.true_pred(),
+                e.exact(0, bits, 0xA7),
+                e.prefix(0, bits, 0b1010_0000, 3),
+                e.range(0, bits, 13, 77),
+                e.var(7), // tests only a bit below every cell boundary
+                e.nvar(0),
+            ];
+            for (i, p) in cases.iter().enumerate() {
+                let got = e.cell_mask(p, 0, k);
+                assert_eq!(got, naive_cell_mask(&e, p, bits, k), "case {i} at k={k}");
+            }
+            // Union law the overlap index depends on.
+            let a = e.range(0, bits, 10, 50);
+            let b = e.range(0, bits, 200, 250);
+            let ab = e.or(&a, &b);
+            let ma = e.cell_mask(&a, 0, k);
+            let mb = e.cell_mask(&b, 0, k);
+            assert_eq!(e.cell_mask(&ab, 0, k), ma | mb, "or law at k={k}");
+        }
+    }
+
+    #[test]
+    fn cell_mask_counts_probes_without_allocating() {
+        let mut e = PredEngine::new(16);
+        let p = e.range(0, 16, 100, 60000);
+        let nodes = e.telemetry().live_nodes;
+        let probes0 = e.telemetry().cell_probes;
+        let m = e.cell_mask(&p, 0, 6);
+        assert_ne!(m, 0);
+        assert_eq!(e.telemetry().live_nodes, nodes, "probe must not allocate");
+        assert_eq!(e.telemetry().cell_probes, probes0 + 1);
+    }
+
+    #[test]
+    fn support_reports_tested_variables() {
+        let mut e = PredEngine::new(16);
+        assert!(e.support(&e.true_pred()).is_empty());
+        assert!(e.support(&e.false_pred()).is_empty());
+        let p = e.exact(4, 4, 0b1010);
+        assert_eq!(e.support(&p), vec![4, 5, 6, 7]);
+        let q = e.var(13);
+        let pq = e.and(&p, &q);
+        assert_eq!(e.support(&pq), vec![4, 5, 6, 7, 13]);
     }
 }

@@ -335,6 +335,8 @@ pub struct Bdd {
     /// Times `mk` satisfied an allocation from the free list instead of
     /// growing the arena.
     freelist_reuses: u64,
+    /// Coarse cell-occupancy probes answered (see [`Bdd::cell_mask`]).
+    cell_probes: u64,
     num_vars: u32,
     ops: u64,
     gcs: u64,
@@ -361,6 +363,7 @@ impl Bdd {
             cache: ComputedCache::new(cache),
             free: Vec::new(),
             freelist_reuses: 0,
+            cell_probes: 0,
             num_vars,
             ops: 0,
             gcs: 0,
@@ -423,6 +426,11 @@ impl Bdd {
     /// Times `mk` reused a swept arena slot instead of growing the arena.
     pub fn freelist_reuses(&self) -> u64 {
         self.freelist_reuses
+    }
+
+    /// Cell-occupancy probes answered by [`Bdd::cell_mask`].
+    pub fn cell_probes(&self) -> u64 {
+        self.cell_probes
     }
 
     pub(crate) fn quiet_enter(&mut self) {
@@ -957,6 +965,79 @@ impl Bdd {
             cur = if bits[v] { self.high_of(cur) } else { self.low_of(cur) };
         }
         cur == TRUE
+    }
+
+    /// Coarse cell-occupancy probe: partitions the `k` header bits starting
+    /// at variable `offset` into `2^k` cells and returns a bitmask whose bit
+    /// `c` is set iff the predicate is satisfiable somewhere in cell `c`
+    /// (i.e. for some assignment of the remaining bits). `k` is capped at 6
+    /// so the mask fits in a `u64`.
+    ///
+    /// The walk never descends past variable `offset + k - 1`, so it visits
+    /// at most `O(2^k · k)` node/depth pairs regardless of predicate size —
+    /// far cheaper than even one `and` against a real operand. Exact laws
+    /// the overlap index relies on: `cell_mask(a ∨ b) = cell_mask(a) |
+    /// cell_mask(b)` and `cell_mask(a ∧ b) ⊆ cell_mask(a) & cell_mask(b)`.
+    pub fn cell_mask(&mut self, a: NodeId, offset: u32, k: u32) -> u64 {
+        debug_assert!((1..=6).contains(&k), "cell mask width must be 1..=6");
+        self.cell_probes += 1;
+        // All cells under `prefix` at `depth`: `span` consecutive bits.
+        let fill = |prefix: u64, depth: u32| -> u64 {
+            let span = 1u64 << (k - depth);
+            if span == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << span) - 1) << (prefix * span)
+            }
+        };
+        let mut mask = 0u64;
+        let mut stack: Vec<(NodeId, u32, u64)> = vec![(a, 0, 0)];
+        while let Some((n, depth, prefix)) = stack.pop() {
+            if n == FALSE {
+                continue;
+            }
+            if depth == k {
+                mask |= 1u64 << prefix;
+                continue;
+            }
+            let v = self.var_of(n); // TRUE has TERMINAL_VAR, beyond any range
+            if v >= offset + k {
+                // Tests nothing in the remaining cell bits and is not FALSE:
+                // satisfiable in every cell under this prefix.
+                mask |= fill(prefix, depth);
+            } else if v < offset + depth {
+                // Variable above the cell range (offset > 0): both branches
+                // continue at the same depth.
+                stack.push((self.low_of(n), depth, prefix));
+                stack.push((self.high_of(n), depth, prefix));
+            } else if v == offset + depth {
+                stack.push((self.low_of(n), depth + 1, prefix << 1));
+                stack.push((self.high_of(n), depth + 1, (prefix << 1) | 1));
+            } else {
+                // Node skips bit `offset + depth`: unconstrained on it.
+                stack.push((n, depth + 1, prefix << 1));
+                stack.push((n, depth + 1, (prefix << 1) | 1));
+            }
+        }
+        mask
+    }
+
+    /// The support set of `a`: the sorted list of variables tested anywhere
+    /// in the diagram. Used to decide whether a predicate is constrained on
+    /// the indexed field at all.
+    pub fn support(&self, a: NodeId) -> Vec<u32> {
+        let mut seen = std::collections::HashSet::new();
+        let mut vars = std::collections::BTreeSet::new();
+        let mut stack = vec![a];
+        while let Some(n) = stack.pop() {
+            if n <= TRUE || !seen.insert(n) {
+                continue;
+            }
+            vars.insert(self.var_of(n));
+            stack.push(self.low_of(n));
+            stack.push(self.high_of(n));
+        }
+        vars.into_iter().collect()
     }
 
     /// Number of decision nodes reachable from `a` (excluding terminals) —

@@ -7,7 +7,7 @@ use flash_bdd::PredEngine;
 use flash_imt::mr2::{
     calculate_atomic_overwrites, merge_block_and_diff, reduce_by_action, reduce_by_predicate,
 };
-use flash_imt::{InverseModel, PatStore};
+use flash_imt::{InverseModel, MatchMemo, PatStore};
 use flash_netmodel::{ActionTable, DeviceId, Fib, HeaderLayout, Match, Rule, RuleUpdate};
 
 /// A block of `k` rule inserts across `devs` devices sharing predicates
@@ -50,6 +50,7 @@ fn prepare(layout: &HeaderLayout) -> Prepared {
             &fib,
             &res.diff,
             &clip,
+            &mut MatchMemo::disabled(),
         ));
     }
     (engine, pat, model, atomics)
@@ -73,6 +74,7 @@ fn bench_decompose(c: &mut Criterion) {
                         &fib,
                         &res.diff,
                         &clip,
+                        &mut MatchMemo::disabled(),
                     )
                     .len();
                 }

@@ -19,7 +19,7 @@
 use flash_bdd::{EngineTelemetry, PredEngine};
 use flash_bench::churn_workload;
 use flash_ce2d::RegexVerifier;
-use flash_imt::{ModelManager, ModelManagerConfig, SubspaceSpec};
+use flash_imt::{ImtTuning, ModelManager, ModelManagerConfig, SubspaceSpec};
 use flash_netmodel::{DeviceId, HeaderLayout, Match, Topology};
 use flash_spec::{parse_path_expr, Requirement};
 use std::fmt::Write as _;
@@ -66,6 +66,7 @@ fn imt_churn(quick: bool) -> Scenario {
         bst: usize::MAX,
         filter_updates: false,
         gc_node_threshold: 4096,
+        tuning: ImtTuning::default(),
     });
     for chunk in updates.chunks(64) {
         for (d, u) in chunk {
@@ -81,6 +82,13 @@ fn imt_churn(quick: bool) -> Scenario {
         extra: vec![
             ("updates", steps as f64),
             ("classes", mgr.model().len() as f64),
+            ("match_memo_hits", stats.match_memo_hits as f64),
+            ("match_memo_misses", stats.match_memo_misses as f64),
+            ("classes_probed", stats.classes_probed as f64),
+            ("classes_pruned", stats.classes_pruned as f64),
+            ("index_rebuilds", stats.index_rebuilds as f64),
+            ("shadow_acc_blocks", stats.shadow_acc_blocks as f64),
+            ("shadow_trie_blocks", stats.shadow_trie_blocks as f64),
         ],
     }
 }
@@ -110,6 +118,7 @@ fn ce2d_long_stream(quick: bool) -> Scenario {
         bst: usize::MAX,
         filter_updates: false,
         gc_node_threshold: 512,
+        tuning: ImtTuning::default(),
     });
     let mut verifier = RegexVerifier::new(
         topo.clone(),
@@ -135,13 +144,18 @@ fn ce2d_long_stream(quick: bool) -> Scenario {
             verdict_flips += 1;
         }
     }
+    let stats = mgr.stats();
     Scenario {
         name: "ce2d_long_stream",
         wall: t0.elapsed(),
-        telemetry: mgr.stats().engine,
+        telemetry: stats.engine,
         extra: vec![
             ("updates", steps as f64),
             ("decided_checks", verdict_flips as f64),
+            ("match_memo_hits", stats.match_memo_hits as f64),
+            ("match_memo_misses", stats.match_memo_misses as f64),
+            ("classes_pruned", stats.classes_pruned as f64),
+            ("shadow_trie_blocks", stats.shadow_trie_blocks as f64),
         ],
     }
 }

@@ -405,6 +405,7 @@ require http-detour 10.0.1.0/24 from s3 path "s3 .* s1 a"
             subspace: flash_imt::SubspaceSpec::whole(),
             bst: usize::MAX,
             properties: net.properties.clone(),
+            tuning: flash_imt::ImtTuning::default(),
         });
         let mut reports = Vec::new();
         for (dev, rules) in &net.fibs {

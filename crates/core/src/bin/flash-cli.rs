@@ -72,6 +72,7 @@ fn main() -> ExitCode {
         subspace: SubspaceSpec::whole(),
         bst: usize::MAX,
         properties: net.properties.clone(),
+        tuning: flash_imt::ImtTuning::default(),
     });
 
     let mut violated = false;

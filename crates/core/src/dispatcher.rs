@@ -103,6 +103,7 @@ impl Dispatcher {
                     subspace,
                     bst: self.config.bst,
                     properties: self.config.properties.clone(),
+                    tuning: flash_imt::ImtTuning::default(),
                 })
             })
             .collect();

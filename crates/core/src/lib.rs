@@ -49,6 +49,7 @@
 //!     subspace: flash_imt::SubspaceSpec::whole(),
 //!     bst: 1,
 //!     properties: vec![Property::LoopFreedom],
+//!     tuning: flash_imt::ImtTuning::default(),
 //! });
 //!
 //! // a→b then b→a: a consistent loop, detected with only 2/3 devices.

@@ -39,7 +39,7 @@ use crate::pool::{PoolConfig, WorkerPool};
 use crate::supervise::{OutputClosed, RestartPolicy, SupervisedWorker, WorkerFaults};
 use crate::verifier::{Property, PropertyReport, SubspaceVerifier, SubspaceVerifierConfig};
 use flash_bdd::EngineTelemetry;
-use flash_imt::SubspacePlan;
+use flash_imt::{ImtTuning, SubspacePlan, UpdateStats};
 use flash_netmodel::{ActionTable, DeviceId, HeaderLayout, RuleUpdate, Topology};
 use std::collections::{HashMap, HashSet};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
@@ -111,6 +111,9 @@ pub struct ShardResult {
     /// model entry over its decoded PAT action vector), collected only
     /// when [`ShardPoolConfig::collect_class_keys`] is set.
     pub class_keys: Vec<u64>,
+    /// Cumulative model-manager work counters (memo hits, overlap-index
+    /// pruning, shadow-strategy choices, ...) after the block.
+    pub stats: UpdateStats,
 }
 
 /// All shard results of one block, in shard order — the pool's
@@ -144,6 +147,15 @@ impl EpochReport {
 
     pub fn total_bytes(&self) -> usize {
         self.shards.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Folded model-manager work counters across all shards.
+    pub fn total_stats(&self) -> UpdateStats {
+        let mut total = UpdateStats::default();
+        for s in &self.shards {
+            total.absorb(&s.stats);
+        }
+        total
     }
 
     /// Sum of per-shard processing time for this block.
@@ -200,6 +212,8 @@ pub struct ShardPoolConfig {
     /// Optional chaos testing: worker kills and per-batch delays (the
     /// ingress perturbations of [`FaultPlan`] do not apply here).
     pub faults: Option<FaultPlan>,
+    /// Fast IMT performance knobs, passed to every shard verifier.
+    pub tuning: ImtTuning,
 }
 
 impl ShardPoolConfig {
@@ -218,6 +232,7 @@ impl ShardPoolConfig {
             restart: RestartPolicy::default(),
             collect_class_keys: false,
             faults: None,
+            tuning: ImtTuning::default(),
         }
     }
 }
@@ -243,6 +258,7 @@ impl ShardWorker {
             subspace: self.cfg.plan.subspaces[shard],
             bst: self.cfg.bst,
             properties: self.cfg.properties.clone(),
+            tuning: self.cfg.tuning,
         })
     }
 
@@ -299,6 +315,7 @@ impl SupervisedWorker for ShardWorker {
                                 engine: EngineTelemetry::default(),
                                 reports: Vec::new(),
                                 class_keys: Vec::new(),
+                                stats: UpdateStats::default(),
                             },
                             Some(v) => {
                                 let mgr = v.manager();
@@ -318,6 +335,7 @@ impl SupervisedWorker for ShardWorker {
                                     } else {
                                         Vec::new()
                                     },
+                                    stats: mgr.stats(),
                                 }
                             }
                         };
@@ -359,6 +377,7 @@ impl SupervisedWorker for ShardWorker {
                         } else {
                             Vec::new()
                         },
+                        stats: mgr.stats(),
                     };
                     self.emit(result)?;
                 }
@@ -631,6 +650,7 @@ mod tests {
             restart: RestartPolicy::default(),
             collect_class_keys: true,
             faults: None,
+            tuning: ImtTuning::default(),
         }
     }
 

@@ -3,7 +3,7 @@
 
 use crate::error::FlashError;
 use flash_ce2d::{LoopVerdict, LoopVerifier, RegexVerifier, Verdict};
-use flash_imt::{ModelManager, ModelManagerConfig, SubspaceSpec};
+use flash_imt::{ImtTuning, ModelManager, ModelManagerConfig, SubspaceSpec};
 use flash_netmodel::{ActionTable, DeviceId, HeaderLayout, RuleUpdate, Topology};
 use flash_spec::Requirement;
 use std::sync::Arc;
@@ -46,6 +46,8 @@ pub struct SubspaceVerifierConfig {
     /// Block size threshold for Fast IMT (usize::MAX = manual flushing).
     pub bst: usize,
     pub properties: Vec<Property>,
+    /// Fast IMT performance knobs, passed through to the model manager.
+    pub tuning: ImtTuning,
 }
 
 /// One subspace verifier: model manager + CE2D verifiers.
@@ -84,6 +86,7 @@ impl SubspaceVerifier {
             bst: config.bst,
             filter_updates: config.subspace.len > 0,
             gc_node_threshold: flash_bdd::DEFAULT_GC_NODE_THRESHOLD,
+            tuning: config.tuning,
         });
         let mut loop_verifier = None;
         let mut regex_verifiers = Vec::new();
@@ -239,6 +242,7 @@ mod tests {
             subspace: SubspaceSpec::whole(),
             bst: 1,
             properties,
+            tuning: ImtTuning::default(),
         }
     }
 

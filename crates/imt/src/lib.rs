@@ -10,7 +10,10 @@
 //!   that overwriting a handful of devices in an `N`-device vector costs
 //!   `O(k · log N)` and vector equality is an integer comparison.
 //! * [`model`] — the [`model::InverseModel`] with its validity invariants
-//!   and the model-overwrite operator `⊗` (Definition 9).
+//!   and the model-overwrite operator `⊗` (Definition 9), plus the cell
+//!   overlap index that localizes which classes an overwrite can touch.
+//! * [`memo`] — the capacity-capped `Match → Pred` cache that encodes
+//!   each FIB match once per lifetime instead of once per block.
 //! * [`mr2`] — the **MR² algorithm**: Algorithm 1 (merge-based
 //!   decomposition of a native update block into atomic conflict-free
 //!   overwrites), Reduce I (aggregation by action), Reduce II (aggregation
@@ -22,13 +25,17 @@
 //!   verifiers in parallel.
 
 pub mod manager;
+pub mod memo;
 pub mod model;
 pub mod mr2;
 pub mod pat;
 pub mod subspace;
 
-pub use manager::{ModelManager, ModelManagerConfig, PhaseTimings, UpdateStats};
-pub use model::{InverseModel, ModelEntry};
+pub use manager::{
+    ImtTuning, ModelManager, ModelManagerConfig, PhaseTimings, ShadowStrategy, UpdateStats,
+};
+pub use memo::MatchMemo;
+pub use model::{IndexStats, InverseModel, ModelEntry};
 pub use mr2::{AtomicOverwrite, Overwrite};
 pub use pat::{PatId, PatStore, PAT_NIL};
 pub use subspace::{SubspacePlan, SubspaceSpec};

@@ -12,17 +12,61 @@
 //! automatic mark-sweep GC reclaims the map phase's transient predicates
 //! without any root collection or id remapping here.
 
+use crate::memo::{MatchMemo, DEFAULT_MATCH_MEMO_CAPACITY};
 use crate::model::InverseModel;
 use crate::mr2::{
-    calculate_atomic_overwrites, cancel_updates, merge_block_and_diff, reduce_by_action,
-    reduce_by_predicate, AtomicOverwrite,
+    build_rule_trie, calculate_atomic_overwrites, calculate_atomic_overwrites_trie,
+    cancel_updates, merge_block_and_diff, reduce_by_action, reduce_by_predicate,
+    AtomicOverwrite,
 };
 use crate::pat::PatStore;
 use crate::subspace::SubspaceSpec;
 use flash_bdd::{EngineTelemetry, Pred, PredEngine};
-use flash_netmodel::{DeviceId, Fib, HeaderLayout, RuleUpdate};
+use flash_netmodel::{DeviceId, Fib, HeaderLayout, RuleOp, RuleTrie, RuleUpdate};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
+
+/// How the map phase computes shadow (higher-priority) predicates for the
+/// expanding rules of a block.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShadowStrategy {
+    /// Per block and device, pick accumulated or trie shadows from a cost
+    /// model on the diff size, the table size, and the measured overlap
+    /// degree (EWMA of rules overlapping a sampled diff rule).
+    #[default]
+    Auto,
+    /// Always the single accumulated disjunction over the whole table
+    /// (Algorithm 1's linear scan). The per-device rule tries are not
+    /// maintained under this forced strategy.
+    Accumulated,
+    /// Always per-rule shadows from the per-device overlap trie.
+    Trie,
+}
+
+/// Performance knobs for the Fast IMT pipeline. The defaults enable every
+/// optimization; tests and benchmarks can disable them individually to
+/// compare against the baseline paths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImtTuning {
+    /// Capacity of the per-manager `Match → Pred` memo threaded through
+    /// the map phase. `0` disables memoization entirely.
+    pub match_memo_capacity: usize,
+    /// Shadow-computation policy for the map phase.
+    pub shadow_strategy: ShadowStrategy,
+    /// Maintain the inverse model's cell overlap index so overwrites probe
+    /// only candidate classes instead of scanning all of them.
+    pub class_index: bool,
+}
+
+impl Default for ImtTuning {
+    fn default() -> Self {
+        ImtTuning {
+            match_memo_capacity: DEFAULT_MATCH_MEMO_CAPACITY,
+            shadow_strategy: ShadowStrategy::Auto,
+            class_index: true,
+        }
+    }
+}
 
 /// Configuration of a model manager.
 #[derive(Clone, Debug)]
@@ -40,6 +84,8 @@ pub struct ModelManagerConfig {
     /// transient predicates during the map phase; automatic GC keeps the
     /// footprint near the live model size.
     pub gc_node_threshold: usize,
+    /// Performance knobs (memoization, overlap index, shadow strategy).
+    pub tuning: ImtTuning,
 }
 
 impl ModelManagerConfig {
@@ -52,6 +98,7 @@ impl ModelManagerConfig {
             bst: usize::MAX,
             filter_updates: false,
             gc_node_threshold: flash_bdd::DEFAULT_GC_NODE_THRESHOLD,
+            tuning: ImtTuning::default(),
         }
     }
 }
@@ -86,10 +133,44 @@ pub struct UpdateStats {
     pub atomic_overwrites: u64,
     /// Compact overwrites after both reduces.
     pub compact_overwrites: u64,
+    /// Match-predicate memo hits (a FIB match re-encoded for free).
+    pub match_memo_hits: u64,
+    /// Match-predicate memo misses (a fresh BDD encoding).
+    pub match_memo_misses: u64,
+    /// Candidate classes probed by indexed overwrite application.
+    pub classes_probed: u64,
+    /// Classes skipped by the overlap index without touching the BDD.
+    pub classes_pruned: u64,
+    /// Full overlap-index rebuilds (including the initial lazy build).
+    pub index_rebuilds: u64,
+    /// Device blocks mapped with the accumulated-disjunction shadows.
+    pub shadow_acc_blocks: u64,
+    /// Device blocks mapped with per-rule trie shadows.
+    pub shadow_trie_blocks: u64,
     /// Snapshot of the predicate-engine telemetry (ops, cache hit rates,
     /// node counts, GC pauses) at the time [`ModelManager::stats`] was
     /// called.
     pub engine: EngineTelemetry,
+}
+
+impl UpdateStats {
+    /// Adds every counter of `other` into `self` — used to aggregate the
+    /// per-shard stats of a partitioned run into one fleet-wide view.
+    pub fn absorb(&mut self, other: &UpdateStats) {
+        self.updates_accepted += other.updates_accepted;
+        self.updates_filtered += other.updates_filtered;
+        self.flushes += other.flushes;
+        self.atomic_overwrites += other.atomic_overwrites;
+        self.compact_overwrites += other.compact_overwrites;
+        self.match_memo_hits += other.match_memo_hits;
+        self.match_memo_misses += other.match_memo_misses;
+        self.classes_probed += other.classes_probed;
+        self.classes_pruned += other.classes_pruned;
+        self.index_rebuilds += other.index_rebuilds;
+        self.shadow_acc_blocks += other.shadow_acc_blocks;
+        self.shadow_trie_blocks += other.shadow_trie_blocks;
+        self.engine.absorb(&other.engine);
+    }
 }
 
 /// The model manager: FIB snapshots + inverse model + MR² driver.
@@ -100,10 +181,22 @@ pub struct ModelManager {
     model: InverseModel,
     clip: Pred,
     fibs: HashMap<DeviceId, Fib>,
+    /// Per-device mirror of the FIB as an overlap trie (minus the default
+    /// rule), maintained incrementally from each merge's applied updates.
+    /// Empty when the shadow strategy is forced to `Accumulated`.
+    tries: HashMap<DeviceId, RuleTrie>,
+    /// EWMA of the measured overlap degree (rules overlapping a sampled
+    /// diff rule) per device — the cost model's α in `|diff|·α < |table|`.
+    overlap_ewma: HashMap<DeviceId, f64>,
+    memo: MatchMemo,
     pending: Vec<(DeviceId, RuleUpdate)>,
     timings: PhaseTimings,
     stats: UpdateStats,
 }
+
+/// Initial overlap-degree estimate before any measurement: pessimistic
+/// enough that tiny diffs still choose the trie, large diffs do not.
+const OVERLAP_EWMA_INIT: f64 = 8.0;
 
 impl ModelManager {
     pub fn new(config: ModelManagerConfig) -> Self {
@@ -112,7 +205,9 @@ impl ModelManager {
             config.gc_node_threshold,
         );
         let clip = config.subspace.universe(&config.layout, &mut engine);
-        let model = InverseModel::new(clip.clone());
+        let mut model = InverseModel::new(clip.clone());
+        model.set_index_enabled(config.tuning.class_index);
+        let memo = MatchMemo::new(config.tuning.match_memo_capacity);
         ModelManager {
             config,
             engine,
@@ -120,6 +215,9 @@ impl ModelManager {
             model,
             clip,
             fibs: HashMap::new(),
+            tries: HashMap::new(),
+            overlap_ewma: HashMap::new(),
+            memo,
             pending: Vec::new(),
             timings: PhaseTimings::default(),
             stats: UpdateStats::default(),
@@ -178,10 +276,16 @@ impl ModelManager {
     }
 
     /// Work counters, including a fresh predicate-engine telemetry
-    /// snapshot.
+    /// snapshot plus the current memo and overlap-index counters.
     pub fn stats(&self) -> UpdateStats {
         let mut s = self.stats;
         s.engine = self.engine.telemetry();
+        s.match_memo_hits = self.memo.hits();
+        s.match_memo_misses = self.memo.misses();
+        let ix = self.model.index_stats();
+        s.classes_probed = ix.probed;
+        s.classes_pruned = ix.pruned;
+        s.index_rebuilds = ix.rebuilds;
         s
     }
 
@@ -260,26 +364,89 @@ impl ModelManager {
         // ---- Map phase: per-device decomposition into atomic overwrites.
         let t0 = Instant::now();
         let clip = self.clip.clone();
+        let strategy = self.config.tuning.shadow_strategy;
+        let maintain_trie = strategy != ShadowStrategy::Accumulated;
         let mut atomics: Vec<AtomicOverwrite> = Vec::new();
         for &dev in &order {
             let block = cancel_updates(&per_device[&dev]);
             if block.is_empty() {
                 continue;
             }
+            // Deleted rules may re-appear later with a different table
+            // around them; their memoized predicates are still valid, but
+            // dropping them keeps the memo biased toward live matches.
+            for u in &block {
+                if u.op == RuleOp::Delete {
+                    self.memo.invalidate(&u.rule.mat);
+                }
+            }
             let layout = self.config.layout.clone();
             let fib = self
                 .fibs
                 .entry(dev)
                 .or_insert_with(|| Fib::new(&layout));
+            if maintain_trie && !self.tries.contains_key(&dev) {
+                // First block for this device: seed the mirror from the
+                // pre-merge snapshot, then replay the applied updates.
+                self.tries.insert(dev, build_rule_trie(&layout, fib));
+            }
             let res = merge_block_and_diff(fib, &block);
-            atomics.extend(calculate_atomic_overwrites(
-                &mut self.engine,
-                &layout,
-                dev,
-                fib,
-                &res.diff,
-                &clip,
-            ));
+            if let Some(trie) = self.tries.get_mut(&dev) {
+                for (op, rule) in &res.applied {
+                    match op {
+                        RuleOp::Insert => trie.insert(rule.clone()),
+                        RuleOp::Delete => {
+                            trie.remove(rule);
+                        }
+                    }
+                }
+            }
+            if res.diff.is_empty() {
+                continue;
+            }
+            // Cost model: per-rule trie shadows beat the single accumulated
+            // scan when probing |diff| rules (≈ α overlaps each) touches
+            // fewer rules than one pass over the table. α is measured by
+            // sampling one trie query per block, so the estimate tracks the
+            // workload even while the accumulated path is being chosen.
+            let use_trie = match strategy {
+                ShadowStrategy::Accumulated => false,
+                ShadowStrategy::Trie => true,
+                ShadowStrategy::Auto => {
+                    let trie = &self.tries[&dev];
+                    let sampled = trie.overlapping(&res.diff[0].mat).count() as f64;
+                    let est = self
+                        .overlap_ewma
+                        .entry(dev)
+                        .or_insert(OVERLAP_EWMA_INIT);
+                    *est = 0.7 * *est + 0.3 * sampled;
+                    res.diff.len() as f64 * *est < fib.len() as f64
+                }
+            };
+            if use_trie {
+                let trie = &self.tries[&dev];
+                atomics.extend(calculate_atomic_overwrites_trie(
+                    &mut self.engine,
+                    &layout,
+                    dev,
+                    trie,
+                    &res.diff,
+                    &clip,
+                    &mut self.memo,
+                ));
+                self.stats.shadow_trie_blocks += 1;
+            } else {
+                atomics.extend(calculate_atomic_overwrites(
+                    &mut self.engine,
+                    &layout,
+                    dev,
+                    fib,
+                    &res.diff,
+                    &clip,
+                    &mut self.memo,
+                ));
+                self.stats.shadow_acc_blocks += 1;
+            }
         }
         self.timings.compute_atomic += t0.elapsed();
         self.stats.atomic_overwrites += atomics.len() as u64;
@@ -380,6 +547,7 @@ mod tests {
             bst: usize::MAX,
             filter_updates: true,
             gc_node_threshold: usize::MAX,
+            tuning: ImtTuning::default(),
         });
         let inside = Rule::new(Match::dst_prefix(&layout, 0xA0, 4), 1, a1);
         let outside = Rule::new(Match::dst_prefix(&layout, 0x20, 4), 1, a1);
@@ -406,6 +574,7 @@ mod tests {
             bst: usize::MAX,
             filter_updates: false,
             gc_node_threshold: usize::MAX,
+            tuning: ImtTuning::default(),
         });
         // A wildcard-ish rule crossing the subspace boundary is clipped.
         let r = Rule::new(Match::dst_prefix(&layout, 0x80, 0), 1, a1); // /0 = any dst

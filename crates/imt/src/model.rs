@@ -24,6 +24,51 @@ pub struct ModelEntry {
     pub vector: PatId,
 }
 
+/// Coarse class overlap index: the first `k` header bits partition the
+/// space into `2^k` cells; each class carries the bitmask of cells its
+/// predicate is satisfiable in (from [`PredEngine::cell_mask`]), and
+/// `cells[c]` lists every class whose mask has bit `c` set. An overwrite
+/// then only probes classes that share at least one cell with it —
+/// almost-all-disjoint class sets (the common case under prefix
+/// workloads) skip almost every provably-false `and`.
+///
+/// Masks are maintained exactly on class add/remove/merge; when a class
+/// *shrinks* (split) the old mask is kept as a conservative superset and
+/// `slack` grows. Conservative masks only cost extra probes, never
+/// correctness, and once slack exceeds the class count the whole index is
+/// rebuilt from fresh probes (the "lazily rebuilt after churn" rule).
+#[derive(Clone, Debug)]
+struct OverlapIndex {
+    offset: u32,
+    k: u32,
+    /// Parallel to `entries`: the (possibly conservative) cell mask.
+    masks: Vec<u64>,
+    /// Cell → indices of classes occupying it. Each class appears at most
+    /// once per cell.
+    cells: Vec<Vec<u32>>,
+    /// Shrinks absorbed since the last rebuild (staleness pressure).
+    slack: usize,
+}
+
+impl OverlapIndex {
+    fn remove_from_cell(cell: &mut Vec<u32>, idx: u32) {
+        if let Some(p) = cell.iter().position(|&x| x == idx) {
+            cell.swap_remove(p);
+        }
+    }
+}
+
+/// Counters describing how much scanning the overlap index avoided.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Candidate classes actually probed by indexed overwrite application.
+    pub probed: u64,
+    /// Classes skipped outright (no shared cell with the overwrite).
+    pub pruned: u64,
+    /// Full index rebuilds (including the initial lazy build).
+    pub rebuilds: u64,
+}
+
 /// The equivalence-class representation `M = {(p_j, y_j)}`.
 #[derive(Clone, Debug)]
 pub struct InverseModel {
@@ -33,6 +78,11 @@ pub struct InverseModel {
     entries: Vec<ModelEntry>,
     /// vector → index into `entries`, maintaining the uniqueness invariant.
     by_vector: HashMap<PatId, usize>,
+    /// The cell-level overlap index; `None` until the first indexed
+    /// overwrite builds it (or always when disabled).
+    index: Option<OverlapIndex>,
+    index_enabled: bool,
+    index_stats: IndexStats,
 }
 
 impl InverseModel {
@@ -45,7 +95,31 @@ impl InverseModel {
             entries: vec![ModelEntry { pred: universe.clone(), vector: PAT_NIL }],
             universe,
             by_vector,
+            index: None,
+            index_enabled: true,
+            index_stats: IndexStats::default(),
         }
+    }
+
+    /// Enables or disables the class overlap index. Disabling drops the
+    /// index and makes every overwrite a full linear scan (the reference
+    /// behaviour); re-enabling pays one lazy rebuild on the next
+    /// overwrite.
+    pub fn set_index_enabled(&mut self, enabled: bool) {
+        self.index_enabled = enabled;
+        if !enabled {
+            self.index = None;
+        }
+    }
+
+    /// Index pruning/probing counters.
+    pub fn index_stats(&self) -> IndexStats {
+        self.index_stats
+    }
+
+    /// Whether the overlap index is currently materialized.
+    pub fn has_index(&self) -> bool {
+        self.index.is_some()
     }
 
     pub fn universe(&self) -> &Pred {
@@ -66,7 +140,29 @@ impl InverseModel {
     }
 
     /// The entry whose predicate contains the concrete header `bits`.
+    ///
+    /// With a materialized overlap index only the classes sharing the
+    /// header's cell are `eval`-scanned (complementarity guarantees the
+    /// owning class is among them, because every mask is a superset of
+    /// the true cell set); otherwise this is a full linear scan.
     pub fn classify(&self, engine: &PredEngine, bits: &[bool]) -> Option<ModelEntry> {
+        if let Some(ix) = &self.index {
+            let mut cell = 0usize;
+            for d in 0..ix.k {
+                let b = *bits.get((ix.offset + d) as usize)?;
+                cell = (cell << 1) | b as usize;
+            }
+            return ix.cells[cell]
+                .iter()
+                .map(|&j| &self.entries[j as usize])
+                .find(|e| engine.eval(&e.pred, bits))
+                .cloned();
+        }
+        self.classify_linear(engine, bits)
+    }
+
+    /// The index-free reference scan behind [`InverseModel::classify`].
+    pub fn classify_linear(&self, engine: &PredEngine, bits: &[bool]) -> Option<ModelEntry> {
         self.entries.iter().find(|e| engine.eval(&e.pred, bits)).cloned()
     }
 
@@ -85,6 +181,43 @@ impl InverseModel {
         if ow.pred.is_false() || ow.writes.is_empty() {
             return 0;
         }
+        if !self.index_enabled {
+            return self.apply_overwrite_scan(engine, pat, ow);
+        }
+        if self.index.is_none() {
+            self.rebuild_index(engine);
+        }
+        if self.index.is_none() {
+            // Degenerate space (no header bits to index on).
+            return self.apply_overwrite_scan(engine, pat, ow);
+        }
+        self.apply_overwrite_indexed(engine, pat, ow)
+    }
+
+    /// The pre-index reference implementation: a full linear scan over
+    /// every class. Retained verbatim for the indexed-vs-linear
+    /// equivalence suite. Drops the index (it would go stale); callers
+    /// wanting the fast path again pay one lazy rebuild.
+    pub fn apply_overwrite_linear(
+        &mut self,
+        engine: &mut PredEngine,
+        pat: &mut PatStore,
+        ow: &Overwrite,
+    ) -> usize {
+        if ow.pred.is_false() || ow.writes.is_empty() {
+            return 0;
+        }
+        self.index = None;
+        self.apply_overwrite_scan(engine, pat, ow)
+    }
+
+    fn apply_overwrite_scan(
+        &mut self,
+        engine: &mut PredEngine,
+        pat: &mut PatStore,
+        ow: &Overwrite,
+    ) -> usize {
+        debug_assert!(self.index.is_none(), "scan path would desync the index");
         let mut touched = 0usize;
         // (new_vector, predicate-to-add) accumulated across splits.
         let mut moved: Vec<(PatId, Pred)> = Vec::new();
@@ -132,6 +265,126 @@ impl InverseModel {
         touched
     }
 
+    /// Index-assisted overwrite application: one cheap cell probe on the
+    /// overwrite predicate, then only the classes sharing a cell are
+    /// `and`-tested. Candidates are visited in **descending** index order
+    /// so `swap_remove` (which only moves the last entry down into the
+    /// removed slot) can never invalidate a not-yet-visited candidate:
+    /// any entry above the current one was either already visited or was
+    /// not a candidate at all.
+    fn apply_overwrite_indexed(
+        &mut self,
+        engine: &mut PredEngine,
+        pat: &mut PatStore,
+        ow: &Overwrite,
+    ) -> usize {
+        let (offset, k) = {
+            let ix = self.index.as_ref().expect("indexed path requires index");
+            (ix.offset, ix.k)
+        };
+        let ow_mask = engine.cell_mask(&ow.pred, offset, k);
+        let mut cand: Vec<u32> = Vec::new();
+        {
+            let ix = self.index.as_ref().expect("indexed path requires index");
+            let mut bits = ow_mask;
+            while bits != 0 {
+                let c = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                cand.extend_from_slice(&ix.cells[c]);
+            }
+        }
+        cand.sort_unstable_by(|a, b| b.cmp(a));
+        cand.dedup();
+        self.index_stats.probed += cand.len() as u64;
+        self.index_stats.pruned += (self.entries.len() - cand.len()) as u64;
+
+        let mut touched = 0usize;
+        let mut moved: Vec<(PatId, Pred)> = Vec::new();
+        let mut remaining = ow.pred.clone();
+        for idx in cand {
+            if remaining.is_false() {
+                break;
+            }
+            let i = idx as usize;
+            let (e_pred, e_vector) = {
+                let e = &self.entries[i];
+                (e.pred.clone(), e.vector)
+            };
+            let inter = engine.and(&e_pred, &remaining);
+            if inter.is_false() {
+                continue;
+            }
+            touched += 1;
+            remaining = engine.diff(&remaining, &inter);
+            let new_vec = pat.overwrite(e_vector, &ow.writes);
+            if new_vec == e_vector {
+                continue;
+            }
+            let rest = engine.diff(&e_pred, &inter);
+            moved.push((new_vec, inter));
+            if rest.is_false() {
+                self.remove_at(i);
+            } else {
+                self.entries[i].pred = rest;
+                // The old mask stays as a conservative superset of the
+                // shrunk predicate's cells; record the staleness.
+                if let Some(ix) = &mut self.index {
+                    ix.slack += 1;
+                }
+            }
+        }
+        for (vec, pred) in moved {
+            self.add_pred(engine, vec, pred);
+        }
+        self.maybe_rebuild_index(engine);
+        touched
+    }
+
+    /// Rebuilds the overlap index from fresh cell probes of every class.
+    pub fn rebuild_index(&mut self, engine: &mut PredEngine) {
+        if !self.index_enabled {
+            return;
+        }
+        let k = engine.num_vars().min(6);
+        if k == 0 {
+            self.index = None;
+            return;
+        }
+        let offset = 0;
+        let mut ix = OverlapIndex {
+            offset,
+            k,
+            masks: Vec::with_capacity(self.entries.len()),
+            cells: vec![Vec::new(); 1usize << k],
+            slack: 0,
+        };
+        for (j, e) in self.entries.iter().enumerate() {
+            let m = engine.cell_mask(&e.pred, offset, k);
+            let mut bits = m;
+            while bits != 0 {
+                let c = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                ix.cells[c].push(j as u32);
+            }
+            ix.masks.push(m);
+        }
+        self.index_stats.rebuilds += 1;
+        self.index = Some(ix);
+    }
+
+    /// Rebuild once accumulated shrink-staleness outweighs the class
+    /// count — conservative masks then prune too little to be worth
+    /// keeping.
+    fn maybe_rebuild_index(&mut self, engine: &mut PredEngine) {
+        let stale = match &self.index {
+            Some(ix) => ix.slack > self.entries.len().max(64),
+            None => false,
+        };
+        if stale {
+            self.rebuild_index(engine);
+        }
+    }
+
     /// Applies a batch of overwrites in order (they compose by Lemma 1).
     pub fn apply_overwrites(
         &mut self,
@@ -149,21 +402,71 @@ impl InverseModel {
             let moved_vec = self.entries[i].vector;
             self.by_vector.insert(moved_vec, i);
         }
+        if let Some(ix) = &mut self.index {
+            // Unhook the removed class from its cells, then repoint the
+            // entry that swap_remove relocated from the end to slot `i`.
+            let dead = ix.masks[i];
+            let mut bits = dead;
+            while bits != 0 {
+                let c = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                OverlapIndex::remove_from_cell(&mut ix.cells[c], i as u32);
+            }
+            ix.masks.swap_remove(i);
+            if i < ix.masks.len() {
+                let old = ix.masks.len() as u32;
+                let mut bits = ix.masks[i];
+                while bits != 0 {
+                    let c = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    for x in ix.cells[c].iter_mut() {
+                        if *x == old {
+                            *x = i as u32;
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Adds `pred` to the class with vector `vec`, creating it if needed.
+    /// Index maintenance here is exact: `cell_mask(a ∨ b) = cell_mask(a)
+    /// | cell_mask(b)`, so merging ORs the masks.
     fn add_pred(&mut self, engine: &mut PredEngine, vec: PatId, pred: Pred) {
         if pred.is_false() {
             return;
         }
+        let mask = match &self.index {
+            Some(ix) => engine.cell_mask(&pred, ix.offset, ix.k),
+            None => 0,
+        };
         match self.by_vector.get(&vec) {
             Some(&i) => {
                 let merged = engine.or(&self.entries[i].pred, &pred);
                 self.entries[i].pred = merged;
+                if let Some(ix) = &mut self.index {
+                    let mut fresh = mask & !ix.masks[i];
+                    while fresh != 0 {
+                        let c = fresh.trailing_zeros() as usize;
+                        fresh &= fresh - 1;
+                        ix.cells[c].push(i as u32);
+                    }
+                    ix.masks[i] |= mask;
+                }
             }
             None => {
-                self.by_vector.insert(vec, self.entries.len());
+                let j = self.entries.len();
+                self.by_vector.insert(vec, j);
                 self.entries.push(ModelEntry { pred, vector: vec });
+                if let Some(ix) = &mut self.index {
+                    let mut bits = mask;
+                    while bits != 0 {
+                        let c = bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        ix.cells[c].push(j as u32);
+                    }
+                    ix.masks.push(mask);
+                }
             }
         }
     }
@@ -193,6 +496,45 @@ impl InverseModel {
         let union = engine.or_many(self.entries.iter().map(|e| &e.pred));
         if union != self.universe {
             return Err("classes do not cover the universe".into());
+        }
+        // overlap-index consistency: every stored mask is a superset of the
+        // true cell mask, and the cell lists mirror the masks exactly.
+        if let Some(ix) = &self.index {
+            if ix.masks.len() != self.entries.len() {
+                return Err("index mask count diverges from class count".into());
+            }
+            let true_masks: Vec<u64> = self
+                .entries
+                .iter()
+                .map(|e| engine.cell_mask(&e.pred, ix.offset, ix.k))
+                .collect();
+            for (j, &tm) in true_masks.iter().enumerate() {
+                if tm & !ix.masks[j] != 0 {
+                    return Err(format!("index mask of class {j} is not a superset"));
+                }
+                let mut bits = ix.masks[j];
+                while bits != 0 {
+                    let c = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if !ix.cells[c].contains(&(j as u32)) {
+                        return Err(format!("class {j} missing from cell {c}"));
+                    }
+                }
+            }
+            for (c, cell) in ix.cells.iter().enumerate() {
+                let mut seen_in_cell = std::collections::HashSet::new();
+                for &j in cell {
+                    if j as usize >= self.entries.len() {
+                        return Err(format!("cell {c} references dead class {j}"));
+                    }
+                    if ix.masks[j as usize] & (1u64 << c) == 0 {
+                        return Err(format!("cell {c} lists class {j} whose mask lacks it"));
+                    }
+                    if !seen_in_cell.insert(j) {
+                        return Err(format!("cell {c} lists class {j} twice"));
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -332,6 +674,78 @@ mod tests {
         e.collect();
         m.check_invariants(&mut e).unwrap();
         let _ = reclaimed;
+    }
+
+    #[test]
+    fn classify_with_index_agrees_with_linear_scan() {
+        let mut e = PredEngine::new(8);
+        let mut pat = PatStore::new();
+        let mut m = InverseModel::new(e.true_pred());
+        for i in 0..12u64 {
+            let p = e.range(0, 8, i * 17, i * 17 + 23);
+            m.apply_overwrite(&mut e, &mut pat, &ow(p, vec![(i as u32 % 3, (i + 1) as u32)]));
+        }
+        assert!(m.has_index(), "overwrites must have built the index");
+        for h in 0..256u64 {
+            let bits: Vec<bool> = (0..8).map(|i| (h >> (7 - i)) & 1 == 1).collect();
+            let via_index = m.classify(&e, &bits).map(|en| en.vector);
+            let via_scan = m.classify_linear(&e, &bits).map(|en| en.vector);
+            assert_eq!(via_index, via_scan, "header {h}");
+        }
+    }
+
+    #[test]
+    fn indexed_and_linear_application_agree() {
+        let mk = |indexed: bool| {
+            let mut e = PredEngine::new(8);
+            let mut pat = PatStore::new();
+            let mut m = InverseModel::new(e.true_pred());
+            m.set_index_enabled(indexed);
+            for i in 0..20u64 {
+                let p = e.range(0, 8, (i * 31) % 240, (i * 31) % 240 + 19);
+                m.apply_overwrite(&mut e, &mut pat, &ow(p, vec![(i as u32 % 4, (i % 5 + 1) as u32)]));
+            }
+            m.check_invariants(&mut e).unwrap();
+            // Order-independent fingerprint: the set of (sat-count, vector
+            // entries) pairs.
+            let mut keys: Vec<(u64, Vec<(u32, u32)>)> = m
+                .entries()
+                .iter()
+                .map(|en| {
+                    (
+                        e.sat_count(&en.pred) as u64,
+                        pat.entries(en.vector)
+                            .into_iter()
+                            .map(|(d, a)| (d.0, a.0))
+                            .collect(),
+                    )
+                })
+                .collect();
+            keys.sort();
+            keys
+        };
+        assert_eq!(mk(true), mk(false));
+    }
+
+    #[test]
+    fn index_prunes_disjoint_classes() {
+        let mut e = PredEngine::new(8);
+        let mut pat = PatStore::new();
+        let mut m = InverseModel::new(e.true_pred());
+        // 16 disjoint /4 classes, then touch exactly one of them.
+        for i in 0..16u64 {
+            let p = e.prefix(0, 8, i << 4, 4);
+            m.apply_overwrite(&mut e, &mut pat, &ow(p, vec![(0, (i + 1) as u32)]));
+        }
+        let before = m.index_stats();
+        let p = e.prefix(0, 8, 0x30, 4);
+        m.apply_overwrite(&mut e, &mut pat, &ow(p, vec![(1, 9)]));
+        let after = m.index_stats();
+        assert!(
+            after.pruned > before.pruned,
+            "a one-cell overwrite against disjoint classes must prune"
+        );
+        m.check_invariants(&mut e).unwrap();
     }
 
     #[test]

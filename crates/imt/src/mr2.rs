@@ -25,9 +25,12 @@
 //! predicates become engine garbage the moment this pipeline drops them and
 //! are reclaimed by the next automatic collection.
 
+use crate::memo::MatchMemo;
 use flash_bdd::{Pred, PredEngine};
 use flash_netmodel::fib::rule_cmp;
-use flash_netmodel::{ActionId, DeviceId, Fib, HeaderLayout, Match, Rule, RuleOp, RuleUpdate};
+use flash_netmodel::{
+    ActionId, DeviceId, Fib, HeaderLayout, Rule, RuleOp, RuleTrie, RuleUpdate,
+};
 use std::collections::HashMap;
 
 /// An atomic overwrite: set `device`'s action to `action` for the headers
@@ -51,13 +54,20 @@ pub struct Overwrite {
 /// the identical rule) from a block. Later updates win; a cancel removes
 /// both halves of the pair. Returns the surviving updates in input order.
 pub fn cancel_updates(block: &[RuleUpdate]) -> Vec<RuleUpdate> {
-    // Net effect per rule: count inserts as +1 and deletes as -1, keeping
-    // the *last* op's position for ordering. The map is keyed on the match
-    // hash only as a fast-path prefilter — each bucket holds the full
-    // `Match` and is scanned linearly, so two distinct matches that
-    // collide in the 64-bit hash can never cancel each other.
-    type NetBucket = Vec<(Match, i64, usize, RuleOp)>;
-    let mut net: HashMap<(u64, i64, ActionId), NetBucket> = HashMap::new();
+    // Net effect per rule in ONE pass: inserts count +1, deletes -1, and
+    // each distinct rule remembers the position of its last op. The map is
+    // keyed on the match hash only as a fast-path prefilter; the match
+    // itself is "interned" as the index of the rule's first occurrence in
+    // the block, so bucket entries need no `Match` clones and two distinct
+    // matches colliding in the 64-bit hash still cannot cancel each other.
+    struct NetEntry {
+        /// Index of the first update carrying this exact match (identity
+        /// representative — compares by `block[rep].rule.mat`).
+        rep: usize,
+        net: i64,
+        last_pos: usize,
+    }
+    let mut net: HashMap<(u64, i64, ActionId), Vec<NetEntry>> = HashMap::new();
     for (pos, u) in block.iter().enumerate() {
         let key = (
             flash_netmodel::fib::match_hash(&u.rule.mat),
@@ -69,33 +79,26 @@ pub fn cancel_updates(block: &[RuleUpdate]) -> Vec<RuleUpdate> {
             RuleOp::Delete => -1,
         };
         let bucket = net.entry(key).or_default();
-        match bucket.iter_mut().find(|(m, ..)| *m == u.rule.mat) {
-            Some(e) => {
-                e.1 += delta;
-                e.2 = pos;
-                e.3 = u.op;
-            }
-            None => bucket.push((u.rule.mat.clone(), delta, pos, u.op)),
-        }
-    }
-    let mut out: Vec<(usize, RuleUpdate)> = Vec::new();
-    for (pos, u) in block.iter().enumerate() {
-        let key = (
-            flash_netmodel::fib::match_hash(&u.rule.mat),
-            u.rule.priority,
-            u.rule.action,
-        );
-        if let Some(&(_, n, last_pos, last_op)) = net
-            .get(&key)
-            .and_then(|bucket| bucket.iter().find(|(m, ..)| *m == u.rule.mat))
+        match bucket
+            .iter_mut()
+            .find(|e| block[e.rep].rule.mat == u.rule.mat)
         {
-            // Keep only the final surviving op of a non-zero net effect.
-            if n != 0 && pos == last_pos && last_op == u.op {
-                out.push((pos, u.clone()));
+            Some(e) => {
+                e.net += delta;
+                e.last_pos = pos;
             }
+            None => bucket.push(NetEntry { rep: pos, net: delta, last_pos: pos }),
         }
     }
-    out.sort_by_key(|(p, _)| *p);
+    // Survivors: the final op of every rule with a non-zero net effect,
+    // re-emitted in input order. Only survivors are cloned.
+    let mut out: Vec<(usize, RuleUpdate)> = net
+        .into_values()
+        .flatten()
+        .filter(|e| e.net != 0)
+        .map(|e| (e.last_pos, block[e.last_pos].clone()))
+        .collect();
+    out.sort_unstable_by_key(|(p, _)| *p);
     out.into_iter().map(|(_, u)| u).collect()
 }
 
@@ -103,6 +106,12 @@ pub fn cancel_updates(block: &[RuleUpdate]) -> Vec<RuleUpdate> {
 pub struct MergeResult {
     /// The expanding rules, in descending priority order.
     pub diff: Vec<Rule>,
+    /// The updates that actually changed the FIB, in merge order: every
+    /// insert, and only the deletes whose rule was present. Consumers
+    /// maintaining a mirror of the FIB (the per-device [`RuleTrie`])
+    /// replay exactly this list, so ignored deletes of missing rules can
+    /// never desynchronize the mirror.
+    pub applied: Vec<(RuleOp, Rule)>,
 }
 
 /// Algorithm 1's `MergeBlockAndDiff`: applies the sorted update block to
@@ -116,6 +125,7 @@ pub fn merge_block_and_diff(fib: &mut Fib, block: &[RuleUpdate]) -> MergeResult 
     let old_rules = fib.rules().to_vec();
     let mut new_rules: Vec<Rule> = Vec::with_capacity(old_rules.len() + sorted.len());
     let mut diff: Vec<Rule> = Vec::new();
+    let mut applied: Vec<(RuleOp, Rule)> = Vec::new();
     let mut higher_deleted = false;
 
     let mut ri = 0usize; // cursor into old_rules
@@ -136,12 +146,14 @@ pub fn merge_block_and_diff(fib: &mut Fib, block: &[RuleUpdate]) -> MergeResult 
             RuleOp::Insert => {
                 diff.push(u.rule.clone()); // new rules always expand
                 new_rules.push(u.rule.clone());
+                applied.push((RuleOp::Insert, u.rule.clone()));
             }
             RuleOp::Delete => {
                 // The deleted rule must be the current head of old_rules.
                 if ri < old_rules.len() && old_rules[ri] == u.rule {
                     ri += 1; // skip it: deleted
                     higher_deleted = true;
+                    applied.push((RuleOp::Delete, u.rule.clone()));
                 }
                 // A delete of a missing rule is ignored (robustness to
                 // out-of-sync feeds; the paper assumes well-formed blocks).
@@ -160,7 +172,7 @@ pub fn merge_block_and_diff(fib: &mut Fib, block: &[RuleUpdate]) -> MergeResult 
 
     *fib = Fib::from_sorted(new_rules);
     diff.sort_by(rule_cmp);
-    MergeResult { diff }
+    MergeResult { diff, applied }
 }
 
 /// Algorithm 1's `CalculateAtomicOverwrite`: computes the effective
@@ -168,7 +180,8 @@ pub fn merge_block_and_diff(fib: &mut Fib, block: &[RuleUpdate]) -> MergeResult 
 /// over the updated table `R'`.
 ///
 /// `clip` (the subspace predicate) is conjoined into every match — TRUE
-/// for a whole-network model.
+/// for a whole-network model. `memo` caches the clipped match predicates
+/// across blocks (pass [`MatchMemo::disabled`] for one-shot callers).
 ///
 /// Returns the atomic overwrites for this device. The complementary
 /// "no-overwrite" predicate of Algorithm 1 (L43) stays implicit: the
@@ -180,6 +193,7 @@ pub fn calculate_atomic_overwrites(
     fib: &Fib,
     diff: &[Rule],
     clip: &Pred,
+    memo: &mut MatchMemo,
 ) -> Vec<AtomicOverwrite> {
     let rules = fib.rules();
     let mut out = Vec::with_capacity(diff.len());
@@ -193,9 +207,7 @@ pub fn calculate_atomic_overwrites(
         // Advance the cursor until we reach rd's slot in R'.
         batch.clear();
         while ri < rules.len() && rule_cmp(&rules[ri], rd) == std::cmp::Ordering::Less {
-            let m = rules[ri].mat.to_pred(layout, engine);
-            let m = if clip.is_true() { m } else { engine.and(&m, clip) };
-            batch.push(m);
+            batch.push(memo.get_or_encode(engine, layout, &rules[ri].mat, clip));
             ri += 1;
         }
         if !batch.is_empty() {
@@ -206,8 +218,7 @@ pub fn calculate_atomic_overwrites(
             ri < rules.len() && rules[ri] == *rd,
             "expanding rule must be present in R'"
         );
-        let m = rd.mat.to_pred(layout, engine);
-        let m = if clip.is_true() { m } else { engine.and(&m, clip) };
+        let m = memo.get_or_encode(engine, layout, &rd.mat, clip);
         let eff = engine.diff(&m, &p);
         if !eff.is_false() {
             out.push(AtomicOverwrite {
@@ -231,31 +242,35 @@ pub fn calculate_atomic_overwrites(
 /// match into the shadow predicate. When expanding rules are few and the
 /// table is large, it is cheaper to compute each expanding rule's shadow
 /// from only the rules whose matches *overlap* it, found through the
-/// multi-dimension prefix trie. Produces exactly the same overwrites;
+/// multi-dimension prefix trie. Produces exactly the same overwrites
+/// (canonical BDDs: logically equal results are the identical node);
 /// preferable when `|diff| · overlap degree ≪ |table|`.
+///
+/// The trie holds the post-merge rule set directly (the FIB's default
+/// rule may be absent — it never shadows anything, sorting after every
+/// real rule). Shadows are clipped like the expanding match itself:
+/// `(m ∧ clip) ∖ (s ∧ clip) = (m ∧ clip) ∧ ¬s`, so the memo's clipped
+/// entries are shared verbatim with the accumulated variant.
 pub fn calculate_atomic_overwrites_trie(
     engine: &mut PredEngine,
     layout: &HeaderLayout,
     device: DeviceId,
-    fib: &Fib,
-    trie: &flash_netmodel::trie::OverlapTrie,
+    trie: &RuleTrie,
     diff: &[Rule],
     clip: &Pred,
+    memo: &mut MatchMemo,
 ) -> Vec<AtomicOverwrite> {
-    let rules = fib.rules();
     let mut out = Vec::with_capacity(diff.len());
     for rd in diff {
         // Candidate shadowing rules: overlapping AND strictly higher in
-        // the total order. Handles are indices into `rules`.
+        // the total order.
         let mut shadows: Vec<Pred> = Vec::new();
-        for h in trie.overlapping(&rd.mat) {
-            let r = &rules[h as usize];
+        for r in trie.overlapping(&rd.mat) {
             if rule_cmp(r, rd) == std::cmp::Ordering::Less {
-                shadows.push(r.mat.to_pred(layout, engine));
+                shadows.push(memo.get_or_encode(engine, layout, &r.mat, clip));
             }
         }
-        let m = rd.mat.to_pred(layout, engine);
-        let m = if clip.is_true() { m } else { engine.and(&m, clip) };
+        let m = memo.get_or_encode(engine, layout, &rd.mat, clip);
         // Fused shadow subtraction: the overlapping matches are peeled off
         // one by one with an early exit, never materializing their union.
         let eff = engine.diff_or(&m, &shadows);
@@ -270,17 +285,15 @@ pub fn calculate_atomic_overwrites_trie(
     out
 }
 
-/// Builds the overlap trie for a FIB, with rule indices as handles
-/// (companion to [`calculate_atomic_overwrites_trie`]).
-pub fn build_overlap_trie(
-    layout: &HeaderLayout,
-    fib: &Fib,
-) -> flash_netmodel::trie::OverlapTrie {
-    let mut trie = flash_netmodel::trie::OverlapTrie::new(layout.clone());
-    for (i, r) in fib.rules().iter().enumerate() {
-        trie.insert(i as u32, r.mat.clone());
-    }
-    trie
+/// Builds the rule-level overlap trie for a FIB, skipping the built-in
+/// default rule — with priority `i64::MIN` it never shadows anything and
+/// would only bloat every overlap query (companion to
+/// [`calculate_atomic_overwrites_trie`]).
+pub fn build_rule_trie(layout: &HeaderLayout, fib: &Fib) -> RuleTrie {
+    RuleTrie::from_rules(
+        layout.clone(),
+        fib.rules().iter().filter(|r| r.priority != i64::MIN),
+    )
 }
 
 /// Reduce I — aggregation by action (Theorem 4): atomic overwrites that
@@ -455,7 +468,9 @@ mod tests {
         fib.insert(shadow).unwrap();
         let newr = rule(&l, 0xA0, 4, 5, a2); // 1010/4, shadowed on its 0xA0-0xA7 half
         let res = merge_block_and_diff(&mut fib, &[RuleUpdate::insert(newr)]);
-        let ows = calculate_atomic_overwrites(&mut e, &l, DeviceId(0), &fib, &res.diff, &t);
+        let ows = calculate_atomic_overwrites(
+            &mut e, &l, DeviceId(0), &fib, &res.diff, &t, &mut MatchMemo::disabled(),
+        );
         assert_eq!(ows.len(), 1);
         assert_eq!(e.sat_count(&ows[0].pred), 8.0); // 16 - 8 shadowed
         assert_eq!(ows[0].action, a2);
@@ -474,7 +489,9 @@ mod tests {
         // New rule entirely inside the shadow, lower priority.
         let newr = rule(&l, 0xA8, 5, 5, a2);
         let res = merge_block_and_diff(&mut fib, &[RuleUpdate::insert(newr)]);
-        let ows = calculate_atomic_overwrites(&mut e, &l, DeviceId(0), &fib, &res.diff, &t);
+        let ows = calculate_atomic_overwrites(
+            &mut e, &l, DeviceId(0), &fib, &res.diff, &t, &mut MatchMemo::disabled(),
+        );
         assert!(ows.is_empty());
     }
 
@@ -539,16 +556,18 @@ mod tests {
             .map(|i| RuleUpdate::insert(rule(&l, (i * 40) & 0xE0, 3, 20 + i as i64, a9)))
             .collect();
         let res = merge_block_and_diff(&mut fib, &block);
-        let acc = calculate_atomic_overwrites(&mut e, &l, DeviceId(0), &fib, &res.diff, &t);
-        let trie = crate::mr2::build_overlap_trie(&l, &fib);
+        let acc = calculate_atomic_overwrites(
+            &mut e, &l, DeviceId(0), &fib, &res.diff, &t, &mut MatchMemo::disabled(),
+        );
+        let trie = crate::mr2::build_rule_trie(&l, &fib);
         let via_trie = calculate_atomic_overwrites_trie(
             &mut e,
             &l,
             DeviceId(0),
-            &fib,
             &trie,
             &res.diff,
             &t,
+            &mut MatchMemo::disabled(),
         );
         assert_eq!(acc.len(), via_trie.len());
         for (a, b) in acc.iter().zip(via_trie.iter()) {
@@ -599,6 +618,7 @@ mod tests {
             let res = merge_block_and_diff(&mut fibs[dev], &block);
             let ows = calculate_atomic_overwrites(
                 &mut e, &l, DeviceId(dev as u32), &fibs[dev], &res.diff, &t,
+                &mut MatchMemo::disabled(),
             );
             let ows = reduce_by_action(&mut e, &ows);
             let ows = reduce_by_predicate(&ows);
@@ -643,6 +663,7 @@ mod tests {
             let res = merge_block_and_diff(&mut fibs[dev], &block);
             all_atomics.extend(calculate_atomic_overwrites(
                 &mut e, &l, DeviceId(dev as u32), &fibs[dev], &res.diff, &t,
+                &mut MatchMemo::disabled(),
             ));
         }
         // 6 native updates → 6 atomic overwrites…

@@ -1,0 +1,168 @@
+//! Equivalence of the overlap-indexed fast paths against their retained
+//! linear references, on randomized workloads:
+//!
+//! * a fully optimized [`ModelManager`] (overlap index + match memo +
+//!   adaptive shadows) against one with every optimization disabled, on
+//!   the same insert/delete churn stream with forced mid-stream GC;
+//! * indexed [`InverseModel::apply_overwrite`] against the index-free
+//!   [`InverseModel::apply_overwrite_linear`] scan on random overwrite
+//!   streams, across forced engine collections and index rebuilds.
+//!
+//! "Equivalent" is byte-exact: identical class-key fingerprint sets, not
+//! merely equal class counts.
+
+use flash_bdd::PredEngine;
+use flash_imt::{
+    ImtTuning, InverseModel, ModelManager, ModelManagerConfig, Overwrite, PatStore,
+    ShadowStrategy,
+};
+use flash_netmodel::{ActionId, DeviceId, HeaderLayout, Match, Rule, RuleUpdate};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn random_rule(rng: &mut StdRng, layout: &HeaderLayout) -> Rule {
+    let len = rng.gen_range(1u32..=12);
+    let value = (rng.gen_range(0u64..1 << 12) >> (12 - len)) << (12 - len);
+    let action = ActionId(rng.gen_range(1u32..6));
+    Rule::new(Match::dst_prefix(layout, value, len), len as i64, action)
+}
+
+/// Random insert/delete churn: ~60% fresh inserts, ~40% deletes of
+/// currently installed rules, spread over `devs` devices.
+fn churn_stream(
+    layout: &HeaderLayout,
+    devs: u32,
+    steps: usize,
+    seed: u64,
+) -> Vec<(DeviceId, RuleUpdate)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut installed: Vec<(DeviceId, Rule)> = Vec::new();
+    let mut out = Vec::new();
+    for _ in 0..steps {
+        if installed.is_empty() || rng.gen_range(0u32..10) < 6 {
+            let d = DeviceId(rng.gen_range(0u32..devs));
+            let r = random_rule(&mut rng, layout);
+            installed.push((d, r.clone()));
+            out.push((d, RuleUpdate::insert(r)));
+        } else {
+            let i = rng.gen_range(0usize..installed.len());
+            let (d, r) = installed.swap_remove(i);
+            out.push((d, RuleUpdate::delete(r)));
+        }
+    }
+    out
+}
+
+#[test]
+fn indexed_manager_matches_linear_manager_on_random_churn() {
+    let layout = HeaderLayout::new(&[("dst", 12)]);
+    let fast_cfg = ModelManagerConfig {
+        gc_node_threshold: 2048,
+        ..ModelManagerConfig::whole_space(layout.clone())
+    };
+    let slow_cfg = ModelManagerConfig {
+        tuning: ImtTuning {
+            match_memo_capacity: 0,
+            shadow_strategy: ShadowStrategy::Accumulated,
+            class_index: false,
+        },
+        ..fast_cfg.clone()
+    };
+    let mut fast = ModelManager::new(fast_cfg);
+    let mut slow = ModelManager::new(slow_cfg);
+
+    let stream = churn_stream(&layout, 8, 1200, 0xD1CE_2024);
+    for (chunk_no, chunk) in stream.chunks(48).enumerate() {
+        for (d, u) in chunk {
+            fast.submit(*d, [u.clone()]);
+            slow.submit(*d, [u.clone()]);
+        }
+        fast.flush();
+        slow.flush();
+        if chunk_no % 5 == 4 {
+            // Forced mark-sweep: rooted model predicates must survive and
+            // the rebuilt-on-demand index must stay consistent.
+            fast.gc();
+            slow.gc();
+        }
+        assert_eq!(
+            fast.model().len(),
+            slow.model().len(),
+            "class count diverged after chunk {chunk_no}"
+        );
+        let mut fk = fast.class_keys();
+        let mut sk = slow.class_keys();
+        fk.sort_unstable();
+        sk.sort_unstable();
+        assert_eq!(fk, sk, "class fingerprints diverged after chunk {chunk_no}");
+    }
+
+    // Make sure the run actually exercised the optimized paths.
+    let fs = fast.stats();
+    let ss = slow.stats();
+    assert!(fs.classes_pruned > 0, "overlap index never pruned a class");
+    assert!(fs.match_memo_hits > 0, "match memo never hit");
+    assert!(
+        fs.shadow_acc_blocks + fs.shadow_trie_blocks > 0,
+        "no shadow strategy recorded"
+    );
+    assert_eq!(ss.classes_probed, 0, "disabled index must not probe");
+    assert_eq!(ss.match_memo_hits + ss.match_memo_misses, 0, "disabled memo must not count");
+    assert_eq!(ss.shadow_trie_blocks, 0, "forced accumulated must never pick the trie");
+
+    let (engine, _, model) = fast.parts_mut();
+    model.check_invariants(engine).unwrap();
+}
+
+#[test]
+fn indexed_overwrites_match_linear_reference_across_collect_and_rebuild() {
+    let mut e = PredEngine::new(10);
+    let mut pat = PatStore::new();
+    let mut indexed = InverseModel::new(e.true_pred());
+    let mut linear = InverseModel::new(e.true_pred());
+    linear.set_index_enabled(false);
+
+    let mut rng = StdRng::seed_from_u64(0x0AB5_EED5);
+    for step in 0..220usize {
+        let len = rng.gen_range(1u32..=8);
+        let value = (rng.gen_range(0u64..1 << 10) >> (10 - len)) << (10 - len);
+        let p = e.prefix(0, 10, value, len);
+        let writes = (0..rng.gen_range(1usize..4))
+            .map(|_| (DeviceId(rng.gen_range(0u32..6)), ActionId(rng.gen_range(0u32..5))))
+            .collect();
+        let ow = Overwrite { pred: p, writes };
+        indexed.apply_overwrite(&mut e, &mut pat, &ow);
+        linear.apply_overwrite_linear(&mut e, &mut pat, &ow);
+
+        if step % 37 == 36 {
+            e.collect();
+        }
+        if step % 53 == 52 {
+            indexed.rebuild_index(&mut e);
+        }
+        if step % 20 == 19 {
+            let fp = |m: &InverseModel| {
+                let mut keys: Vec<(u64, Vec<(u32, u32)>)> = m
+                    .entries()
+                    .iter()
+                    .map(|en| {
+                        (
+                            e.sat_count(&en.pred) as u64,
+                            pat.entries(en.vector)
+                                .into_iter()
+                                .map(|(d, a)| (d.0, a.0))
+                                .collect(),
+                        )
+                    })
+                    .collect();
+                keys.sort();
+                keys
+            };
+            assert_eq!(fp(&indexed), fp(&linear), "models diverged at step {step}");
+            indexed.check_invariants(&mut e).unwrap();
+            linear.check_invariants(&mut e).unwrap();
+        }
+    }
+    assert!(indexed.has_index(), "indexed model lost its index");
+    assert!(indexed.index_stats().pruned > 0, "index never pruned");
+    assert!(!linear.has_index(), "linear model must never build an index");
+}

@@ -7,10 +7,10 @@
 
 use flash_bdd::{Pred, PredEngine};
 use flash_imt::mr2::{
-    build_overlap_trie, calculate_atomic_overwrites, calculate_atomic_overwrites_trie,
+    build_rule_trie, calculate_atomic_overwrites, calculate_atomic_overwrites_trie,
     cancel_updates, merge_block_and_diff,
 };
-use flash_imt::AtomicOverwrite;
+use flash_imt::{AtomicOverwrite, MatchMemo};
 use flash_netmodel::fib::rule_cmp;
 use flash_netmodel::{
     ActionId, DeviceId, Fib, HeaderLayout, Match, Rule, RuleUpdate,
@@ -122,11 +122,33 @@ fn kernelized_overwrites_match_binary_fold_on_random_block() {
 
     let clip: Pred = engine.true_pred();
     let want = fold_reference(&mut engine, &layout, device, &fib, &diff);
-    let got = calculate_atomic_overwrites(&mut engine, &layout, device, &fib, &diff, &clip);
+    let got = calculate_atomic_overwrites(
+        &mut engine,
+        &layout,
+        device,
+        &fib,
+        &diff,
+        &clip,
+        &mut MatchMemo::disabled(),
+    );
     assert_identical("or_many kernel", &got, &want);
 
-    let trie = build_overlap_trie(&layout, &fib);
-    let got_trie =
-        calculate_atomic_overwrites_trie(&mut engine, &layout, device, &fib, &trie, &diff, &clip);
+    // And again with a live memo: the cached clipped predicates must be the
+    // identical hash-consed nodes, not merely equivalent ones.
+    let mut memo = MatchMemo::new(4096);
+    let got_memo =
+        calculate_atomic_overwrites(&mut engine, &layout, device, &fib, &diff, &clip, &mut memo);
+    assert_identical("memoized kernel", &got_memo, &want);
+
+    let trie = build_rule_trie(&layout, &fib);
+    let got_trie = calculate_atomic_overwrites_trie(
+        &mut engine,
+        &layout,
+        device,
+        &trie,
+        &diff,
+        &clip,
+        &mut memo,
+    );
     assert_identical("diff_or trie kernel", &got_trie, &want);
 }

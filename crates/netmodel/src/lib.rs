@@ -28,3 +28,4 @@ pub use fib::{Fib, FibError};
 pub use header::{FieldId, FieldSpec, HeaderLayout};
 pub use rule::{Match, MatchKind, Rule, RuleOp, RuleUpdate, UpdateBlock};
 pub use topology::{DeviceId, Link, PortId, Topology};
+pub use trie::{OverlapTrie, RuleTrie};

@@ -312,7 +312,7 @@ fn field_intervals(kind: &MatchKind, w: u32) -> Vec<(u128, u128)> {
 }
 
 /// A forwarding rule: `⟨match, priority, action⟩`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Rule {
     pub mat: Match,
     pub priority: i64,

@@ -16,7 +16,8 @@
 //! while staying simple and allocation-light.
 
 use crate::header::{FieldId, HeaderLayout};
-use crate::rule::{Match, MatchKind};
+use crate::rule::{Match, MatchKind, Rule};
+use std::collections::HashMap;
 
 /// Opaque handle the caller uses to identify stored rules (typically an
 /// index into its own rule vector).
@@ -178,6 +179,93 @@ impl OverlapTrie {
     }
 }
 
+/// A persistent, incrementally-maintained overlap index over whole
+/// [`Rule`]s.
+///
+/// [`OverlapTrie`] speaks caller-chosen handles; `RuleTrie` owns the
+/// handle bookkeeping so a long-lived consumer (the model manager keeps
+/// one per device, updated as update blocks merge) can insert and remove
+/// by rule value alone. Identical rules may be inserted more than once —
+/// each insertion gets its own handle, and removals pop one occurrence.
+/// Freed handles are recycled, so the backing vector tracks the live FIB
+/// size rather than the insert count.
+#[derive(Debug)]
+pub struct RuleTrie {
+    trie: OverlapTrie,
+    /// Handle → rule; `None` marks a freed slot awaiting reuse.
+    rules: Vec<Option<Rule>>,
+    /// Rule → stack of live handles holding that exact rule.
+    by_rule: HashMap<Rule, Vec<RuleRef>>,
+    free: Vec<RuleRef>,
+}
+
+impl RuleTrie {
+    pub fn new(layout: HeaderLayout) -> Self {
+        RuleTrie {
+            trie: OverlapTrie::new(layout),
+            rules: Vec::new(),
+            by_rule: HashMap::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Builds a trie holding every rule of `rules`.
+    pub fn from_rules<'a, I: IntoIterator<Item = &'a Rule>>(layout: HeaderLayout, rules: I) -> Self {
+        let mut t = Self::new(layout);
+        for r in rules {
+            t.insert(r.clone());
+        }
+        t
+    }
+
+    /// Live rules stored.
+    pub fn len(&self) -> usize {
+        self.trie.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.trie.is_empty()
+    }
+
+    pub fn insert(&mut self, rule: Rule) {
+        let h = match self.free.pop() {
+            Some(h) => h,
+            None => {
+                self.rules.push(None);
+                (self.rules.len() - 1) as RuleRef
+            }
+        };
+        self.trie.insert(h, rule.mat.clone());
+        self.by_rule.entry(rule.clone()).or_default().push(h);
+        self.rules[h as usize] = Some(rule);
+    }
+
+    /// Removes one occurrence of `rule`. Returns false when absent.
+    pub fn remove(&mut self, rule: &Rule) -> bool {
+        let Some(stack) = self.by_rule.get_mut(rule) else {
+            return false;
+        };
+        let h = stack.pop().expect("by_rule never holds empty stacks");
+        if stack.is_empty() {
+            self.by_rule.remove(rule);
+        }
+        let removed = self.trie.remove(h, &rule.mat);
+        debug_assert!(removed, "trie and by_rule must agree");
+        self.rules[h as usize] = None;
+        self.free.push(h);
+        removed
+    }
+
+    /// All stored rules whose match may overlap `query` (a conservative
+    /// superset, later refined by BDD intersection).
+    pub fn overlapping<'a>(&'a self, query: &Match) -> impl Iterator<Item = &'a Rule> + 'a {
+        self.trie
+            .overlapping(query)
+            .into_iter()
+            .map(move |h| self.rules[h as usize].as_ref().expect("live handle"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,6 +349,54 @@ mod tests {
         assert!(t.remove(0, &m));
         assert_eq!(t.len(), 0);
         assert!(t.overlapping(&m).is_empty());
+    }
+
+    #[test]
+    fn rule_trie_tracks_duplicates_and_recycles_handles() {
+        use crate::action::ActionId;
+        let l = l8();
+        let mut t = RuleTrie::new(l.clone());
+        let r1 = Rule::new(Match::dst_prefix(&l, 0xA0, 4), 4, ActionId(1));
+        let r2 = Rule::new(Match::dst_prefix(&l, 0xA8, 5), 5, ActionId(2));
+        t.insert(r1.clone());
+        t.insert(r1.clone()); // duplicate: its own handle
+        t.insert(r2.clone());
+        assert_eq!(t.len(), 3);
+        let q = Match::dst_prefix(&l, 0xA8, 5);
+        let hits: Vec<&Rule> = t.overlapping(&q).collect();
+        assert_eq!(hits.len(), 3, "both copies of r1 and r2 overlap");
+        assert!(t.remove(&r1));
+        assert_eq!(t.overlapping(&q).count(), 2);
+        assert!(t.remove(&r1));
+        assert!(!t.remove(&r1), "no third copy to remove");
+        assert_eq!(t.len(), 1);
+        // Freed handles are reused: inserting again keeps the slot count.
+        let slots = t.rules.len();
+        t.insert(r1.clone());
+        t.insert(r1.clone());
+        assert_eq!(t.rules.len(), slots);
+        assert_eq!(t.overlapping(&q).count(), 3);
+    }
+
+    #[test]
+    fn rule_trie_from_rules_matches_incremental() {
+        use crate::action::ActionId;
+        let l = l8();
+        let rules: Vec<Rule> = (0..8u64)
+            .map(|i| Rule::new(Match::dst_prefix(&l, i << 5, 3), 3, ActionId(1 + i as u32 % 3)))
+            .collect();
+        let bulk = RuleTrie::from_rules(l.clone(), &rules);
+        let mut inc = RuleTrie::new(l.clone());
+        for r in &rules {
+            inc.insert(r.clone());
+        }
+        let q = Match::dst_prefix(&l, 0x40, 2);
+        let mut a: Vec<&Rule> = bulk.overlapping(&q).collect();
+        let mut b: Vec<&Rule> = inc.overlapping(&q).collect();
+        a.sort_by_key(|r| r.priority);
+        b.sort_by_key(|r| r.priority);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
     }
 
     #[test]

@@ -66,6 +66,7 @@ fn main() {
                 dests: vec![],
             },
         ],
+        tuning: flash_imt::ImtTuning::default(),
     });
 
     // ---- Initial data plane (Figure 2, left).

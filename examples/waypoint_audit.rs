@@ -50,6 +50,7 @@ fn main() {
             requirement,
             dests: vec![],
         }],
+        tuning: flash_imt::ImtTuning::default(),
     });
 
     // Synchronize devices one by one, printing the first verdict.
@@ -107,6 +108,7 @@ fn main() {
             ),
             dests: vec![],
         }],
+        tuning: flash_imt::ImtTuning::default(),
     });
     let blackhole = Rule::new(packet_space, 1_000, ACTION_DROP);
     let reports = verifier2.ingest_synchronized(src_tor, vec![RuleUpdate::insert(blackhole)]);

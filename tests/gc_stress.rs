@@ -62,6 +62,7 @@ fn manager(layout: &HeaderLayout, gc_node_threshold: usize) -> ModelManager {
         bst: usize::MAX,
         filter_updates: false,
         gc_node_threshold,
+        tuning: Default::default(),
     })
 }
 

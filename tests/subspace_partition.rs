@@ -33,6 +33,7 @@ fn subspace_models_agree_with_whole_space_model() {
                 bst: usize::MAX,
                 filter_updates: true,
                 gc_node_threshold: usize::MAX,
+        tuning: Default::default(),
             });
             for (d, u) in &seq {
                 m.submit(*d, [u.clone()]);
@@ -82,6 +83,7 @@ fn subspace_filter_reduces_work() {
         bst: usize::MAX,
         filter_updates: true,
         gc_node_threshold: usize::MAX,
+        tuning: Default::default(),
     });
     for (d, u) in &seq {
         sub.submit(*d, [u.clone()]);
@@ -125,6 +127,7 @@ fn parallel_runner_consistent_with_sequential_subspaces() {
             bst: usize::MAX,
             filter_updates: true,
             gc_node_threshold: usize::MAX,
+        tuning: Default::default(),
         });
         for (d, u) in &seq {
             m.submit(*d, [u.clone()]);
