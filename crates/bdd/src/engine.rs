@@ -118,7 +118,7 @@ impl OpStats {
 
 /// A point-in-time snapshot of everything the engine can tell you about
 /// where predicate time and memory went.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct EngineTelemetry {
     /// Total top-level predicate operations — the paper's Table 3 metric.
     pub ops: u64,

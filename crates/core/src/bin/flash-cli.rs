@@ -2,18 +2,30 @@
 //!
 //! ```text
 //! flash-cli check <network-file> [--classes] [--quiet]
+//! flash-cli journal <journal-file>
 //! ```
 //!
-//! Loads the topology, FIBs and requirements from the file (see
+//! `check` loads the topology, FIBs and requirements from the file (see
 //! `flash_core::adapter` for the format), streams every FIB through Fast
 //! IMT, runs consistent early detection after each device, and prints
 //! the verdicts plus model statistics. Exit code 1 when any property is
 //! violated.
+//!
+//! `journal` pretty-prints a durable epoch journal (a `worker-N.fjl`
+//! file written by `RecoveryOptions::journal_dir`): the checkpoint it
+//! leads with, the jobs journaled since, and whether the tail is clean
+//! or torn by a crash. Exit code 1 on a torn tail.
 
 use flash_core::adapter::{format_prefix, parse_network};
-use flash_core::{PropertyReport, SubspaceVerifier, SubspaceVerifierConfig};
+use flash_core::{
+    EpochJournal, JournalEntry, JournalTail, PropertyReport, SubspaceVerifier,
+    SubspaceVerifierConfig,
+};
 use flash_imt::SubspaceSpec;
 use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: flash-cli check <network-file> [--classes] [--quiet]\n       flash-cli journal <journal-file>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,8 +35,15 @@ fn main() -> ExitCode {
     let mut it = args.iter();
     match it.next().map(|s| s.as_str()) {
         Some("check") => {}
+        Some("journal") => {
+            let Some(path) = it.next() else {
+                eprintln!("{USAGE}");
+                return ExitCode::from(2);
+            };
+            return print_journal(path);
+        }
         _ => {
-            eprintln!("usage: flash-cli check <network-file> [--classes] [--quiet]");
+            eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     }
@@ -36,7 +55,7 @@ fn main() -> ExitCode {
         }
     }
     let Some(path) = files.first() else {
-        eprintln!("usage: flash-cli check <network-file> [--classes] [--quiet]");
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
 
@@ -133,6 +152,67 @@ fn main() -> ExitCode {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+/// Pretty-prints a durable epoch journal: checkpoint summary, journaled
+/// jobs, tail status.
+fn print_journal(path: &str) -> ExitCode {
+    let (entries, tail) = match EpochJournal::read_entries(path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("{path}: {} entries", entries.len());
+    for (i, e) in entries.iter().enumerate() {
+        match e {
+            JournalEntry::Checkpoint(cp) => {
+                let last = if cp.last_seq == u64::MAX {
+                    "-".to_string()
+                } else {
+                    cp.last_seq.to_string()
+                };
+                println!(
+                    "  [{i}] checkpoint worker={} last_seq={last} shards={} delivered={}",
+                    cp.worker,
+                    cp.shards.len(),
+                    cp.reported.len()
+                );
+                for s in &cp.shards {
+                    println!(
+                        "        shard {} built={} fib_rules={} synced={} classes={} \
+                         updates_accepted={}",
+                        s.shard,
+                        s.built,
+                        s.fibs.iter().map(|(_, rs)| rs.len()).sum::<usize>(),
+                        s.synced.len(),
+                        s.class_fingerprints.len(),
+                        s.stats.updates_accepted
+                    );
+                }
+            }
+            JournalEntry::Block(b) => {
+                println!(
+                    "  [{i}] block seq={} updates={} shards_touched={}",
+                    b.seq,
+                    b.updates.len(),
+                    b.routed.iter().filter(|r| !r.is_empty()).count()
+                );
+            }
+            JournalEntry::Collect => println!("  [{i}] collect"),
+        }
+    }
+    match tail {
+        JournalTail::Clean => {
+            println!("tail: clean");
+            ExitCode::SUCCESS
+        }
+        JournalTail::Torn(msg) => {
+            println!("tail: torn ({msg}) — entries above were recovered");
+            ExitCode::from(1)
+        }
     }
 }
 

@@ -1,0 +1,11 @@
+//! `flash-shardd` — the child half of `ShardMode::Process`.
+//!
+//! Spawned by the shard pool, never run by hand: it speaks the binary
+//! frame protocol of `flash_core::wire` over stdin/stdout (Hello, then
+//! Block/Collect/CheckpointReq/Restore) and exits when stdin closes.
+//! All logic lives in `flash_core::proc::shardd_main` so the library
+//! and the binary cannot drift apart.
+
+fn main() {
+    std::process::exit(flash_core::proc::shardd_main());
+}

@@ -23,6 +23,14 @@ pub enum FlashError {
     DrainTimeout { abandoned: Vec<usize> },
     /// An invalid service or fault-plan configuration.
     Config(String),
+    /// A durable epoch-journal operation failed (I/O or corruption
+    /// beyond the tolerated torn tail).
+    Journal(String),
+    /// A process-mode shard worker failed at the transport level
+    /// (spawn failure, EOF, corrupt frame, heartbeat loss, or a missed
+    /// per-epoch deadline). The supervisor kills and respawns; this is
+    /// what `last_error` reports while it does.
+    Process { worker: usize, msg: String },
 }
 
 impl FlashError {
@@ -57,6 +65,10 @@ impl std::fmt::Display for FlashError {
                 write!(f, "drain deadline expired; abandoned workers {abandoned:?}")
             }
             FlashError::Config(msg) => write!(f, "invalid configuration: {msg}"),
+            FlashError::Journal(msg) => write!(f, "journal: {msg}"),
+            FlashError::Process { worker, msg } => {
+                write!(f, "process worker {worker}: {msg}")
+            }
         }
     }
 }

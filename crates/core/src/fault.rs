@@ -35,6 +35,29 @@ pub struct KillSpec {
     pub after_batches: u64,
 }
 
+/// Stall one worker for `duration` after it has processed
+/// `after_batches` batches; fires exactly once. In thread mode the
+/// worker simply goes slow; in process mode the child stops heartbeating
+/// while stalled, so the hang is *detected* and the child is killed and
+/// respawned — the distinction the heartbeat exists to exercise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HangSpec {
+    pub worker: usize,
+    pub after_batches: u64,
+    pub duration: Duration,
+}
+
+/// Corrupt the Nth result frame a process-mode child writes (a byte is
+/// flipped *after* the checksum is computed, so the parent sees a CRC
+/// mismatch); fires exactly once. Ignored in thread mode — there is no
+/// wire to corrupt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CorruptSpec {
+    pub worker: usize,
+    /// 1-based index of the result frame to corrupt.
+    pub after_frames: u64,
+}
+
 /// A reproducible fault mix. Probabilities are per message in `[0, 1]`.
 #[derive(Clone, Debug)]
 pub struct FaultPlan {
@@ -51,6 +74,13 @@ pub struct FaultPlan {
     pub max_hold: usize,
     /// Workers to kill (each fires once).
     pub kill_workers: Vec<KillSpec>,
+    /// Workers to stall (each fires once).
+    pub hang_workers: Vec<HangSpec>,
+    /// Process-mode children to kill with a hard abort (no panic, no
+    /// unwinding — the process dies mid-protocol). Fires once each.
+    pub kill_process: Vec<KillSpec>,
+    /// Process-mode result frames to corrupt (each fires once).
+    pub corrupt_frames: Vec<CorruptSpec>,
     /// Minimum per-batch processing time (slow-consumer simulation).
     pub worker_delay: Option<Duration>,
 }
@@ -64,6 +94,9 @@ impl Default for FaultPlan {
             reorder_prob: 0.0,
             max_hold: 4,
             kill_workers: Vec::new(),
+            hang_workers: Vec::new(),
+            kill_process: Vec::new(),
+            corrupt_frames: Vec::new(),
             worker_delay: None,
         }
     }
@@ -90,6 +123,24 @@ impl FaultPlan {
                 k.worker, workers
             )));
         }
+        if let Some(h) = self.hang_workers.iter().find(|h| h.worker >= workers) {
+            return Err(crate::error::FlashError::Config(format!(
+                "hang target worker {} out of range (workers = {})",
+                h.worker, workers
+            )));
+        }
+        if let Some(k) = self.kill_process.iter().find(|k| k.worker >= workers) {
+            return Err(crate::error::FlashError::Config(format!(
+                "process-kill target worker {} out of range (workers = {})",
+                k.worker, workers
+            )));
+        }
+        if let Some(c) = self.corrupt_frames.iter().find(|c| c.worker >= workers) {
+            return Err(crate::error::FlashError::Config(format!(
+                "corrupt-frame target worker {} out of range (workers = {})",
+                c.worker, workers
+            )));
+        }
         Ok(())
     }
 
@@ -99,6 +150,30 @@ impl FaultPlan {
             .iter()
             .find(|k| k.worker == worker)
             .map(|k| k.after_batches)
+    }
+
+    /// The hang trigger for `worker`, if any.
+    pub(crate) fn hang_for(&self, worker: usize) -> Option<(u64, Duration)> {
+        self.hang_workers
+            .iter()
+            .find(|h| h.worker == worker)
+            .map(|h| (h.after_batches, h.duration))
+    }
+
+    /// The process-kill trigger for `worker`, if any.
+    pub(crate) fn kill_process_for(&self, worker: usize) -> Option<u64> {
+        self.kill_process
+            .iter()
+            .find(|k| k.worker == worker)
+            .map(|k| k.after_batches)
+    }
+
+    /// The frame-corruption trigger for `worker`, if any.
+    pub(crate) fn corrupt_for(&self, worker: usize) -> Option<u64> {
+        self.corrupt_frames
+            .iter()
+            .find(|c| c.worker == worker)
+            .map(|c| c.after_frames)
     }
 }
 

@@ -64,24 +64,30 @@ pub mod channel;
 pub mod dispatcher;
 pub mod error;
 pub mod fault;
+pub mod journal;
 pub mod live;
 pub mod parallel;
 mod pool;
+pub mod proc;
 pub mod shard;
 pub mod supervise;
 pub mod verifier;
+pub mod wire;
 
 pub use channel::{Backpressure, ChannelStats, SendOutcome};
 pub use dispatcher::{Dispatcher, DispatcherConfig, TimedReport};
 pub use error::FlashError;
-pub use fault::{FaultPlan, FaultStats, KillSpec};
+pub use fault::{CorruptSpec, FaultPlan, FaultStats, HangSpec, KillSpec};
+pub use journal::{EpochJournal, JournalEntry, JournalTail};
 pub use live::{
     DrainOutcome, LiveConfig, LiveMessage, LiveReport, LiveService, LiveVerifier,
     ServiceStats, WorkerStats,
 };
 pub use parallel::{parallel_model_construction, ParallelStats, SubspaceStats};
 pub use shard::{
-    EpochReport, ShardDrainOutcome, ShardPool, ShardPoolConfig, ShardResult, UpdateBlock,
+    DegradedShard, EpochReport, RecoveryOptions, ShardDrainOutcome, ShardMode, ShardPool,
+    ShardPoolConfig, ShardResult, UpdateBlock,
 };
 pub use supervise::{RestartPolicy, WorkerHealth};
 pub use verifier::{Property, PropertyReport, SubspaceVerifier, SubspaceVerifierConfig};
+pub use wire::{ChildFaults, ShardCheckpoint, WorkerCheckpoint};

@@ -112,8 +112,19 @@ pub struct WorkerStats {
     pub worker: usize,
     /// Respawns after panics.
     pub restarts: u32,
-    /// Messages processed, including epoch-replayed ones.
+    /// Messages processed, including epoch-replayed ones
+    /// (`processed + replayed`).
     pub batches: u64,
+    /// Fresh (live) messages processed, exactly once each.
+    pub processed: u64,
+    /// Messages re-processed during crash-recovery replay.
+    pub replayed: u64,
+    /// Rejoin attempts after entering the degraded state.
+    pub rejoins: u32,
+    /// Checkpoints taken (each one truncated the replay journal).
+    pub checkpoints: u64,
+    /// Jobs currently journaled since the last checkpoint.
+    pub journal_len: u64,
     pub health: WorkerHealth,
     /// Inbound channel counters (drops, peak depth, enqueued).
     pub channel: ChannelStats,
@@ -142,6 +153,13 @@ pub struct ServiceStats {
 impl ServiceStats {
     pub fn total_restarts(&self) -> u32 {
         self.workers.iter().map(|w| w.restarts).sum()
+    }
+
+    /// Total messages re-processed during crash-recovery replay, across
+    /// all workers. With checkpointing enabled this is bounded per
+    /// restart by the checkpoint interval.
+    pub fn total_replayed(&self) -> u64 {
+        self.workers.iter().map(|w| w.replayed).sum()
     }
 
     /// Service-wide predicate-engine snapshot: every worker's aggregate
@@ -231,6 +249,9 @@ struct DispatcherWorker {
 impl SupervisedWorker for DispatcherWorker {
     type Job = Arc<LiveMessage>;
     type State = Dispatcher;
+    // Dispatchers replay from genesis (their journals stay small: one
+    // live-service session is one epoch window); no checkpointing.
+    type Checkpoint = ();
 
     fn build(&mut self) -> Dispatcher {
         Dispatcher::new(self.cfg.clone())
@@ -332,6 +353,7 @@ impl LiveService {
             |w| WorkerFaults {
                 kill_after: faults.as_ref().and_then(|p| p.kill_for(w)),
                 delay: faults.as_ref().and_then(|p| p.worker_delay),
+                hang: faults.as_ref().and_then(|p| p.hang_for(w)),
             },
             |w| {
                 let my_subspaces: Vec<SubspaceSpec> = subspaces
@@ -744,6 +766,7 @@ mod tests {
                 max_restarts: 0,
                 backoff_base: Duration::from_millis(1),
                 backoff_cap: Duration::from_millis(2),
+                rejoin_backoff: None,
             },
             faults: Some(FaultPlan {
                 kill_workers: vec![KillSpec { worker: 0, after_batches: 1 }],

@@ -81,9 +81,19 @@ impl<J: Clone + Send + 'static> WorkerPool<J> {
     }
 
     /// Closing the channels is the drain signal: receivers hand out all
-    /// queued jobs before reporting disconnection.
+    /// queued jobs before reporting disconnection. Also raises each
+    /// worker's shutdown flag so in-flight backoff sleeps and degraded
+    /// waits are cut short instead of overshooting a drain deadline.
     pub fn close_inputs(&mut self) {
+        for ws in &self.shared {
+            ws.shutdown.store(true, Ordering::SeqCst);
+        }
         self.inputs.clear();
+    }
+
+    /// Current lifecycle state of worker `w`.
+    pub fn health(&self, w: usize) -> crate::supervise::WorkerHealth {
+        self.shared[w].health()
     }
 
     /// Per-worker counter snapshot.
@@ -93,6 +103,11 @@ impl<J: Clone + Send + 'static> WorkerPool<J> {
             worker: w,
             restarts: ws.restarts.load(Ordering::SeqCst),
             batches: ws.batches.load(Ordering::SeqCst),
+            processed: ws.processed.load(Ordering::SeqCst),
+            replayed: ws.replayed.load(Ordering::SeqCst),
+            rejoins: ws.rejoins.load(Ordering::SeqCst),
+            checkpoints: ws.checkpoints.load(Ordering::SeqCst),
+            journal_len: ws.journal_len.load(Ordering::SeqCst),
             health: ws.health(),
             channel: self.probes[w].stats(),
             depth: self.probes[w].depth(),

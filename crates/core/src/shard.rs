@@ -34,14 +34,17 @@
 use crate::channel::Backpressure;
 use crate::error::FlashError;
 use crate::fault::FaultPlan;
+use crate::journal::EpochJournal;
 use crate::live::WorkerStats;
 use crate::pool::{PoolConfig, WorkerPool};
-use crate::supervise::{OutputClosed, RestartPolicy, SupervisedWorker, WorkerFaults};
+use crate::supervise::{OutputClosed, RestartPolicy, SupervisedWorker, WorkerFaults, WorkerHealth};
 use crate::verifier::{Property, PropertyReport, SubspaceVerifier, SubspaceVerifierConfig};
+use crate::wire::{ShardCheckpoint, WorkerCheckpoint};
 use flash_bdd::EngineTelemetry;
 use flash_imt::{ImtTuning, SubspacePlan, UpdateStats};
 use flash_netmodel::{ActionTable, DeviceId, HeaderLayout, RuleUpdate, Topology};
 use std::collections::{HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -75,7 +78,7 @@ impl UpdateBlock {
 
 /// A job on a shard worker's queue.
 #[derive(Clone, Debug)]
-enum ShardJob {
+pub(crate) enum ShardJob {
     /// Apply (and verify) one routed update block.
     Block(Arc<UpdateBlock>),
     /// Force a mark-sweep collection on every warm engine.
@@ -116,12 +119,41 @@ pub struct ShardResult {
     pub stats: UpdateStats,
 }
 
+/// A shard whose result is missing from a partially released epoch
+/// because its owning worker is degraded (or abandoned).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegradedShard {
+    /// Global shard (subspace) index with no result for this epoch.
+    pub shard: usize,
+    /// The worker that owns the shard.
+    pub worker: usize,
+    /// First epoch this worker has been missing from — the start of its
+    /// degraded window.
+    pub since_seq: u64,
+}
+
 /// All shard results of one block, in shard order — the pool's
 /// per-epoch view.
+///
+/// Normally `shards` holds one result per shard of the plan. When a
+/// worker has exhausted its restart budget and is **degraded** (or
+/// abandoned), the aggregator releases the epoch *partially* instead of
+/// wedging: the missing shards are listed in `degraded` and the verdict
+/// stream is tagged via [`EpochReport::is_partial`]. A later successful
+/// rejoin replays the degraded worker's journal; its catch-up verdicts
+/// for already-released epochs arrive in a subsequent epoch's `late`
+/// list, so the *cumulative* verdict stream stays complete.
 #[derive(Clone, Debug)]
 pub struct EpochReport {
     pub seq: u64,
     pub shards: Vec<ShardResult>,
+    /// Shards with no result in this epoch (owning worker degraded or
+    /// abandoned). Empty for a complete epoch.
+    pub degraded: Vec<DegradedShard>,
+    /// Catch-up property reports `(shard, report)` from earlier,
+    /// partially released epochs, delivered by a worker that rejoined
+    /// after those epochs had already been released.
+    pub late: Vec<(usize, PropertyReport)>,
 }
 
 impl EpochReport {
@@ -169,11 +201,21 @@ impl EpochReport {
         self.shards.iter().map(|s| s.cpu).max().unwrap_or(Duration::ZERO)
     }
 
-    /// Every property report of the epoch, tagged with its shard.
+    /// True when this epoch was released without results from every
+    /// shard (some owning workers degraded/abandoned): its verdicts are
+    /// partial and excluded from exact-equivalence accounting.
+    pub fn is_partial(&self) -> bool {
+        !self.degraded.is_empty()
+    }
+
+    /// Every property report of the epoch, tagged with its shard —
+    /// including catch-up reports from earlier partial epochs, so the
+    /// cumulative stream over all released epochs is complete.
     pub fn reports(&self) -> impl Iterator<Item = (usize, &PropertyReport)> {
         self.shards
             .iter()
             .flat_map(|s| s.reports.iter().map(move |r| (s.shard, r)))
+            .chain(self.late.iter().map(|(s, r)| (*s, r)))
     }
 
     /// Folded predicate-engine telemetry across all shards.
@@ -184,6 +226,51 @@ impl EpochReport {
         }
         total
     }
+}
+
+/// How shard workers are hosted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ShardMode {
+    /// In-process OS threads under `catch_unwind` supervision (the
+    /// default; cheapest, but a worker that corrupts shared memory or
+    /// aborts takes the whole process with it).
+    #[default]
+    Thread,
+    /// One supervised child process per worker (`flash-shardd`),
+    /// speaking the [`crate::wire`] frame protocol over stdin/stdout.
+    /// The supervisor detects death (EOF/wait) *and* hangs (heartbeat
+    /// loss, per-epoch deadline), kills and respawns with the usual
+    /// backoff, and replays from the last checkpoint. Only
+    /// wire-encodable properties are supported
+    /// ([`Property::LoopFreedom`] or model-only).
+    Process,
+}
+
+/// Durability and isolation knobs of a [`ShardPool`].
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryOptions {
+    pub mode: ShardMode,
+    /// Take a per-worker checkpoint (and truncate the replay journal)
+    /// every this many jobs. `None` (default) disables checkpointing:
+    /// crash replay starts from genesis and the journal grows with the
+    /// stream, as before this option existed.
+    pub checkpoint_every: Option<u64>,
+    /// When set, every worker also appends its jobs to a durable,
+    /// checksummed journal file `worker-<w>.fjl` in this directory
+    /// (rotated at each checkpoint); inspectable with
+    /// `flash-cli journal`. Best-effort: journal I/O errors disable the
+    /// durable journal rather than failing verification.
+    pub journal_dir: Option<PathBuf>,
+    /// Path to the `flash-shardd` binary (process mode). Defaults to
+    /// the `FLASH_SHARDD` environment variable, then to a sibling of
+    /// the current executable.
+    pub shardd_path: Option<PathBuf>,
+    /// Process mode: max silence between child heartbeats before the
+    /// child is declared hung and killed. Default 1s.
+    pub heartbeat_timeout: Option<Duration>,
+    /// Process mode: max wall-clock time for one job round-trip before
+    /// the child is declared wedged and killed. Default 30s.
+    pub epoch_deadline: Option<Duration>,
 }
 
 /// Configuration of a [`ShardPool`].
@@ -214,6 +301,8 @@ pub struct ShardPoolConfig {
     pub faults: Option<FaultPlan>,
     /// Fast IMT performance knobs, passed to every shard verifier.
     pub tuning: ImtTuning,
+    /// Checkpointing, durable journaling, and process isolation.
+    pub recovery: RecoveryOptions,
 }
 
 impl ShardPoolConfig {
@@ -233,23 +322,111 @@ impl ShardPoolConfig {
             collect_class_keys: false,
             faults: None,
             tuning: ImtTuning::default(),
+            recovery: RecoveryOptions::default(),
+        }
+    }
+
+    /// The subset of the configuration a shard-verification core needs
+    /// (shared between in-thread workers and `flash-shardd` children).
+    pub(crate) fn core_config(&self) -> ShardCoreConfig {
+        ShardCoreConfig {
+            topo: self.topo.clone(),
+            actions: self.actions.clone(),
+            layout: self.layout.clone(),
+            plan: self.plan.clone(),
+            properties: self.properties.clone(),
+            bst: self.bst,
+            collect_class_keys: self.collect_class_keys,
+            tuning: self.tuning,
         }
     }
 }
 
-/// The worker body: the warm verifiers for this worker's shards.
-struct ShardWorker {
-    cfg: ShardPoolConfig,
-    /// Global shard indices this worker owns.
-    shards: Vec<usize>,
-    worker: usize,
-    out: mpsc::Sender<ShardResult>,
-    /// `(seq, shard)` pairs already delivered; survives restarts so
-    /// journal replay never double-reports an epoch to the aggregator.
-    reported: HashSet<(u64, usize)>,
+/// What a shard-verification core needs to run — shared between thread
+/// workers and `flash-shardd` child processes ([`crate::proc`]).
+#[derive(Clone)]
+pub(crate) struct ShardCoreConfig {
+    pub topo: Arc<Topology>,
+    pub actions: Arc<ActionTable>,
+    pub layout: HeaderLayout,
+    pub plan: SubspacePlan,
+    pub properties: Vec<Property>,
+    pub bst: usize,
+    pub collect_class_keys: bool,
+    pub tuning: ImtTuning,
 }
 
-impl ShardWorker {
+/// The host-agnostic verification core of one shard worker: the warm
+/// verifiers for its shards, plus checkpoint capture and restore. The
+/// thread-mode [`ShardWorker`] wraps it directly; in process mode the
+/// same struct runs inside a `flash-shardd` child.
+pub(crate) struct ShardCore {
+    cfg: ShardCoreConfig,
+    /// Global shard indices this core owns.
+    shards: Vec<usize>,
+    worker: usize,
+    /// One warm verifier slot per owned shard, parallel to `shards`.
+    /// `None` until the shard first has work.
+    slots: Vec<Option<SubspaceVerifier>>,
+}
+
+impl ShardCore {
+    pub fn new(cfg: ShardCoreConfig, shards: Vec<usize>, worker: usize) -> Self {
+        let slots = (0..shards.len()).map(|_| None).collect();
+        ShardCore { cfg, shards, worker, slots }
+    }
+
+    /// Rebuilds a core from a checkpoint. The inverse model is a
+    /// deterministic function of the current FIB set, so the checkpoint
+    /// stores per-device rule snapshots, not engine state: restore
+    /// re-ingests them into fresh verifiers, merges the checkpointed
+    /// emitted-verdict keys (suppressing every verdict that was already
+    /// delivered — consistent detection is deterministic, so anything
+    /// decidable now was decidable, and emitted, at checkpoint time),
+    /// and re-marks the synchronized devices via a detection pass.
+    pub fn restore(
+        cfg: ShardCoreConfig,
+        shards: Vec<usize>,
+        worker: usize,
+        cp: &WorkerCheckpoint,
+    ) -> Self {
+        let mut core = ShardCore::new(cfg, shards, worker);
+        for scp in &cp.shards {
+            if !scp.built {
+                continue;
+            }
+            let Some(local) = core.shards.iter().position(|&s| s == scp.shard) else {
+                continue;
+            };
+            let mut v = core.build_verifier(scp.shard);
+            for (dev, rules) in &scp.fibs {
+                let ups: Vec<RuleUpdate> =
+                    rules.iter().map(|r| RuleUpdate::insert(r.clone())).collect();
+                v.ingest_unsynchronized(*dev, ups);
+            }
+            v.merge_emitted(scp.emitted.iter().cloned());
+            if !core.cfg.properties.is_empty() && !scp.synced.is_empty() {
+                // Re-marks synchronization; all reports are suppressed
+                // by the merged emitted set.
+                let _ = v.detect(&scp.synced);
+            }
+            if core.cfg.collect_class_keys {
+                // Integrity check: the restored model must reproduce the
+                // checkpointed class fingerprints exactly.
+                let mut keys = v.manager().class_keys();
+                keys.sort_unstable();
+                keys.dedup();
+                assert_eq!(
+                    keys, scp.class_fingerprints,
+                    "restored shard {} diverges from its checkpoint",
+                    scp.shard
+                );
+            }
+            core.slots[local] = Some(v);
+        }
+        core
+    }
+
     fn build_verifier(&self, shard: usize) -> SubspaceVerifier {
         SubspaceVerifier::new(SubspaceVerifierConfig {
             topo: self.cfg.topo.clone(),
@@ -262,136 +439,281 @@ impl ShardWorker {
         })
     }
 
-    fn emit(&mut self, result: ShardResult) -> Result<(), OutputClosed> {
-        // Replay after a crash reprocesses the whole journal to rebuild
-        // warm state; only results the aggregator has not seen pass.
-        if self.reported.insert((result.seq, result.shard)) {
-            self.out.send(result).map_err(|_| OutputClosed)?;
+    /// Forces a mark-sweep collection on every warm engine.
+    pub fn collect(&mut self) {
+        for v in self.slots.iter_mut().flatten() {
+            v.manager_mut().engine_mut().collect();
+        }
+    }
+
+    /// Applies one routed block to every owned shard, handing each
+    /// [`ShardResult`] to `sink` (which owns delivery + deduplication).
+    pub fn apply_block(
+        &mut self,
+        block: &UpdateBlock,
+        mut sink: impl FnMut(ShardResult) -> Result<(), OutputClosed>,
+    ) -> Result<(), OutputClosed> {
+        let devices = block.devices();
+        let model_only = self.cfg.properties.is_empty();
+        for (local, slot) in self.slots.iter_mut().enumerate() {
+            let shard = self.shards[local];
+            let t0 = Instant::now();
+            let routed = &block.routed[shard];
+            if routed.is_empty() && model_only {
+                // Nothing routed here and nothing to verify: don't
+                // construct (or touch) the engine. Echo the previous
+                // state so aggregate counters stay meaningful.
+                let result = match &*slot {
+                    None => ShardResult {
+                        seq: block.seq,
+                        shard,
+                        worker: self.worker,
+                        skipped: true,
+                        cpu: t0.elapsed(),
+                        classes: 0,
+                        ops: 0,
+                        bytes: 0,
+                        engine: EngineTelemetry::default(),
+                        reports: Vec::new(),
+                        class_keys: Vec::new(),
+                        stats: UpdateStats::default(),
+                    },
+                    Some(v) => {
+                        let mgr = v.manager();
+                        ShardResult {
+                            seq: block.seq,
+                            shard,
+                            worker: self.worker,
+                            skipped: true,
+                            cpu: t0.elapsed(),
+                            classes: mgr.model().len(),
+                            ops: mgr.engine().op_count(),
+                            bytes: mgr.approx_bytes(),
+                            engine: mgr.engine().telemetry(),
+                            reports: Vec::new(),
+                            class_keys: if self.cfg.collect_class_keys {
+                                mgr.class_keys()
+                            } else {
+                                Vec::new()
+                            },
+                            stats: mgr.stats(),
+                        }
+                    }
+                };
+                sink(result)?;
+                continue;
+            }
+            if slot.is_none() {
+                *slot = Some(SubspaceVerifier::new(SubspaceVerifierConfig {
+                    topo: self.cfg.topo.clone(),
+                    actions: self.cfg.actions.clone(),
+                    layout: self.cfg.layout.clone(),
+                    subspace: self.cfg.plan.subspaces[shard],
+                    bst: self.cfg.bst,
+                    properties: self.cfg.properties.clone(),
+                    tuning: self.cfg.tuning,
+                }));
+            }
+            let v = slot.as_mut().expect("just built");
+            // The one real clone per update, at the applying shard.
+            for &i in routed {
+                let (d, u) = &block.updates[i as usize];
+                v.ingest(*d, vec![u.clone()]);
+            }
+            v.flush();
+            let reports = if model_only {
+                Vec::new()
+            } else {
+                // Synchronization is global: the block's devices
+                // completed their epoch FIBs in every subspace.
+                v.detect(&devices)
+            };
+            let mgr = v.manager();
+            let result = ShardResult {
+                seq: block.seq,
+                shard,
+                worker: self.worker,
+                skipped: false,
+                cpu: t0.elapsed(),
+                classes: mgr.model().len(),
+                ops: mgr.engine().op_count(),
+                bytes: mgr.approx_bytes(),
+                engine: mgr.engine().telemetry(),
+                reports,
+                class_keys: if self.cfg.collect_class_keys {
+                    mgr.class_keys()
+                } else {
+                    Vec::new()
+                },
+                stats: mgr.stats(),
+            };
+            sink(result)?;
         }
         Ok(())
+    }
+
+    /// Snapshots the core's recovery state: per-shard FIB rule
+    /// snapshots, synchronized devices, emitted-verdict keys, and class
+    /// fingerprints, plus the caller's delivery bookkeeping.
+    pub fn checkpoint(
+        &self,
+        last_seq: Option<u64>,
+        reported: &HashSet<(u64, usize)>,
+    ) -> WorkerCheckpoint {
+        let shards = self
+            .slots
+            .iter()
+            .enumerate()
+            .map(|(local, slot)| {
+                let shard = self.shards[local];
+                match slot {
+                    None => ShardCheckpoint { shard, ..ShardCheckpoint::default() },
+                    Some(v) => {
+                        let mut fingerprints = v.manager().class_keys();
+                        fingerprints.sort_unstable();
+                        fingerprints.dedup();
+                        ShardCheckpoint {
+                            shard,
+                            built: true,
+                            fibs: v.manager().fib_snapshot(),
+                            synced: v.synchronized_devices(),
+                            emitted: v.emitted_keys(),
+                            class_fingerprints: fingerprints,
+                            // Cumulative counters are recorded for
+                            // inspection; restored managers count from
+                            // their own incarnation (documented in
+                            // DESIGN.md §Fault model).
+                            stats: v.manager().stats(),
+                        }
+                    }
+                }
+            })
+            .collect();
+        let mut reported: Vec<(u64, u64)> =
+            reported.iter().map(|&(seq, shard)| (seq, shard as u64)).collect();
+        reported.sort_unstable();
+        WorkerCheckpoint {
+            worker: self.worker,
+            last_seq: last_seq.unwrap_or(u64::MAX),
+            reported,
+            shards,
+        }
+    }
+
+    pub fn telemetry(&self) -> EngineTelemetry {
+        let mut total = EngineTelemetry::default();
+        for v in self.slots.iter().flatten() {
+            total.absorb(&v.manager().engine().telemetry());
+        }
+        total
+    }
+}
+
+/// The thread-mode worker body: a [`ShardCore`] plus delivery
+/// deduplication and the optional durable journal. The struct itself
+/// lives outside the unwind boundary and survives restarts.
+struct ShardWorker {
+    cfg: ShardPoolConfig,
+    /// Global shard indices this worker owns.
+    shards: Vec<usize>,
+    worker: usize,
+    out: mpsc::Sender<ShardResult>,
+    /// `(seq, shard)` pairs already delivered; survives restarts so
+    /// journal replay never double-reports an epoch to the aggregator.
+    reported: HashSet<(u64, usize)>,
+    /// Highest block seq processed (checkpoint metadata).
+    last_seq: Option<u64>,
+    /// Durable frame journal, when [`RecoveryOptions::journal_dir`] is
+    /// set. Best-effort: disabled on the first I/O error.
+    journal: Option<EpochJournal>,
+}
+
+/// Opens the durable journal for worker `w` under `dir`, best-effort.
+fn open_worker_journal(dir: &Option<PathBuf>, w: usize) -> Option<EpochJournal> {
+    let dir = dir.as_ref()?;
+    match EpochJournal::create(dir.join(format!("worker-{w}.fjl"))) {
+        Ok(j) => Some(j),
+        Err(e) => {
+            eprintln!("flash: disabling durable journal for worker {w}: {e}");
+            None
+        }
+    }
+}
+
+impl ShardWorker {
+    fn journal_append(&mut self, job: &ShardJob) {
+        if let Some(j) = &mut self.journal {
+            let res = match job {
+                ShardJob::Block(b) => j.append_block(b),
+                ShardJob::Collect => j.append_collect(),
+            };
+            if let Err(e) = res {
+                eprintln!("flash: disabling durable journal: {e}");
+                self.journal = None;
+            }
+        }
     }
 }
 
 impl SupervisedWorker for ShardWorker {
     type Job = ShardJob;
-    /// One warm verifier slot per owned shard, parallel to
-    /// `ShardWorker::shards`. `None` until the shard first has work.
-    type State = Vec<Option<SubspaceVerifier>>;
+    type State = ShardCore;
+    type Checkpoint = WorkerCheckpoint;
 
-    fn build(&mut self) -> Self::State {
-        (0..self.shards.len()).map(|_| None).collect()
+    fn build(&mut self) -> ShardCore {
+        ShardCore::new(self.cfg.core_config(), self.shards.clone(), self.worker)
     }
 
-    fn process(&mut self, state: &mut Self::State, job: ShardJob) -> Result<(), OutputClosed> {
+    fn restore(&mut self, cp: &WorkerCheckpoint) -> ShardCore {
+        ShardCore::restore(self.cfg.core_config(), self.shards.clone(), self.worker, cp)
+    }
+
+    fn checkpoint_every(&self) -> Option<u64> {
+        self.cfg.recovery.checkpoint_every
+    }
+
+    fn take_checkpoint(&mut self, state: &mut ShardCore) -> Option<WorkerCheckpoint> {
+        Some(state.checkpoint(self.last_seq, &self.reported))
+    }
+
+    fn journal_job(&mut self, job: &ShardJob) {
+        self.journal_append(job);
+    }
+
+    fn journal_checkpoint(&mut self, cp: &WorkerCheckpoint) {
+        if let Some(j) = &mut self.journal {
+            if let Err(e) = j.rotate_checkpoint(cp) {
+                eprintln!("flash: disabling durable journal: {e}");
+                self.journal = None;
+            }
+        }
+    }
+
+    fn process(&mut self, state: &mut ShardCore, job: ShardJob) -> Result<(), OutputClosed> {
         match job {
             ShardJob::Collect => {
-                for v in state.iter_mut().flatten() {
-                    v.manager_mut().engine_mut().collect();
-                }
+                state.collect();
                 Ok(())
             }
             ShardJob::Block(block) => {
-                let devices = block.devices();
-                let model_only = self.cfg.properties.is_empty();
-                for (local, slot) in state.iter_mut().enumerate() {
-                    let shard = self.shards[local];
-                    let t0 = Instant::now();
-                    let routed = &block.routed[shard];
-                    if routed.is_empty() && model_only {
-                        // Nothing routed here and nothing to verify:
-                        // don't construct (or touch) the engine. Echo
-                        // the previous state so aggregate counters stay
-                        // meaningful.
-                        let result = match &*slot {
-                            None => ShardResult {
-                                seq: block.seq,
-                                shard,
-                                worker: self.worker,
-                                skipped: true,
-                                cpu: t0.elapsed(),
-                                classes: 0,
-                                ops: 0,
-                                bytes: 0,
-                                engine: EngineTelemetry::default(),
-                                reports: Vec::new(),
-                                class_keys: Vec::new(),
-                                stats: UpdateStats::default(),
-                            },
-                            Some(v) => {
-                                let mgr = v.manager();
-                                ShardResult {
-                                    seq: block.seq,
-                                    shard,
-                                    worker: self.worker,
-                                    skipped: true,
-                                    cpu: t0.elapsed(),
-                                    classes: mgr.model().len(),
-                                    ops: mgr.engine().op_count(),
-                                    bytes: mgr.approx_bytes(),
-                                    engine: mgr.engine().telemetry(),
-                                    reports: Vec::new(),
-                                    class_keys: if self.cfg.collect_class_keys {
-                                        mgr.class_keys()
-                                    } else {
-                                        Vec::new()
-                                    },
-                                    stats: mgr.stats(),
-                                }
-                            }
-                        };
-                        self.emit(result)?;
-                        continue;
+                self.last_seq = Some(block.seq);
+                let reported = &mut self.reported;
+                let out = &self.out;
+                state.apply_block(&block, |r| {
+                    // Replay after a crash reprocesses the journal to
+                    // rebuild warm state; only results the aggregator
+                    // has not seen pass.
+                    if reported.insert((r.seq, r.shard)) {
+                        out.send(r).map_err(|_| OutputClosed)?;
                     }
-                    if slot.is_none() {
-                        *slot = Some(self.build_verifier(shard));
-                    }
-                    let v = slot.as_mut().expect("just built");
-                    // The one real clone per update, at the applying
-                    // shard.
-                    for &i in routed {
-                        let (d, u) = &block.updates[i as usize];
-                        v.ingest(*d, vec![u.clone()]);
-                    }
-                    v.flush();
-                    let reports = if model_only {
-                        Vec::new()
-                    } else {
-                        // Synchronization is global: the block's devices
-                        // completed their epoch FIBs in every subspace.
-                        v.detect(&devices)
-                    };
-                    let mgr = v.manager();
-                    let result = ShardResult {
-                        seq: block.seq,
-                        shard,
-                        worker: self.worker,
-                        skipped: false,
-                        cpu: t0.elapsed(),
-                        classes: mgr.model().len(),
-                        ops: mgr.engine().op_count(),
-                        bytes: mgr.approx_bytes(),
-                        engine: mgr.engine().telemetry(),
-                        reports,
-                        class_keys: if self.cfg.collect_class_keys {
-                            mgr.class_keys()
-                        } else {
-                            Vec::new()
-                        },
-                        stats: mgr.stats(),
-                    };
-                    self.emit(result)?;
-                }
-                Ok(())
+                    Ok(())
+                })
             }
         }
     }
 
-    fn telemetry(&self, state: &Self::State) -> EngineTelemetry {
-        let mut total = EngineTelemetry::default();
-        for v in state.iter().flatten() {
-            total.absorb(&v.manager().engine().telemetry());
-        }
-        total
+    fn telemetry(&self, state: &ShardCore) -> EngineTelemetry {
+        state.telemetry()
     }
 }
 
@@ -400,6 +722,10 @@ impl SupervisedWorker for ShardWorker {
 pub struct ShardDrainOutcome {
     /// Every epoch that completed (all shards reported), in order.
     pub epochs: Vec<EpochReport>,
+    /// Late verdicts from rejoined workers that arrived after the last
+    /// epoch was released — `(shard, report)` pairs with no epoch left
+    /// to ride on. Fold these into cumulative verdict state.
+    pub late: Vec<(usize, PropertyReport)>,
     /// Workers that missed the deadline and were abandoned un-joined.
     pub abandoned: Vec<usize>,
     /// Final per-worker counters.
@@ -411,6 +737,8 @@ pub struct ShardPool {
     pool: WorkerPool<ShardJob>,
     plan: SubspacePlan,
     layout: HeaderLayout,
+    /// Worker count (shard `s` is owned by worker `s % workers`).
+    workers: usize,
     results_rx: Receiver<ShardResult>,
     next_seq: u64,
     /// Next epoch the aggregator will release.
@@ -419,6 +747,11 @@ pub struct ShardPool {
     pending: HashMap<u64, Vec<ShardResult>>,
     /// Blocks that targeted a worker whose channel had closed.
     lost_to_dead: u64,
+    /// worker → first epoch released without it (degraded window start).
+    degraded_since: HashMap<usize, u64>,
+    /// Catch-up reports from already-released partial epochs, attached
+    /// to the next released epoch.
+    late: Vec<(usize, PropertyReport)>,
 }
 
 impl std::fmt::Debug for ShardPool {
@@ -454,34 +787,72 @@ impl ShardPool {
         let faults = cfg.faults.clone();
         let plan = cfg.plan.clone();
         let layout = cfg.layout.clone();
-        let pool = WorkerPool::spawn(
-            PoolConfig {
-                workers,
-                capacity: cfg.capacity,
-                backpressure: cfg.backpressure,
-                restart: cfg.restart,
-            },
-            |w| WorkerFaults {
-                kill_after: faults.as_ref().and_then(|p| p.kill_for(w)),
-                delay: faults.as_ref().and_then(|p| p.worker_delay),
-            },
-            |w| ShardWorker {
+        let pool_cfg = PoolConfig {
+            workers,
+            capacity: cfg.capacity,
+            backpressure: cfg.backpressure,
+            restart: cfg.restart,
+        };
+        let worker_faults = |w: usize| WorkerFaults {
+            kill_after: faults.as_ref().and_then(|p| p.kill_for(w)),
+            delay: faults.as_ref().and_then(|p| p.worker_delay),
+            hang: faults.as_ref().and_then(|p| p.hang_for(w)),
+        };
+        let pool = match cfg.recovery.mode {
+            ShardMode::Thread => WorkerPool::spawn(pool_cfg, worker_faults, |w| ShardWorker {
                 cfg: cfg.clone(),
                 shards: (0..cfg.plan.len()).filter(|s| s % workers == w).collect(),
                 worker: w,
                 out: results_tx.clone(),
                 reported: HashSet::new(),
-            },
-        );
+                last_seq: None,
+                journal: open_worker_journal(&cfg.recovery.journal_dir, w),
+            }),
+            ShardMode::Process => {
+                if cfg
+                    .properties
+                    .iter()
+                    .any(|p| matches!(p, Property::Requirement { .. }))
+                {
+                    return Err(FlashError::Config(
+                        "process mode supports only wire-encodable properties \
+                         (LoopFreedom or model-only); Requirement needs thread mode"
+                            .into(),
+                    ));
+                }
+                let shardd = crate::proc::resolve_shardd(&cfg.recovery.shardd_path)?;
+                // Hangs are injected in the *child* (via the Hello's
+                // fault spec) so the parent's heartbeat detection is
+                // what catches them, not a sleeping supervisor.
+                let proc_faults = |w: usize| WorkerFaults {
+                    kill_after: faults.as_ref().and_then(|p| p.kill_for(w)),
+                    delay: faults.as_ref().and_then(|p| p.worker_delay),
+                    hang: None,
+                };
+                WorkerPool::spawn(pool_cfg, proc_faults, |w| {
+                    crate::proc::ProcShardWorker::new(
+                        &cfg,
+                        shardd.clone(),
+                        (0..cfg.plan.len()).filter(|s| s % workers == w).collect(),
+                        w,
+                        results_tx.clone(),
+                        open_worker_journal(&cfg.recovery.journal_dir, w),
+                    )
+                })
+            }
+        };
         Ok(ShardPool {
             pool,
             plan,
             layout,
+            workers,
             results_rx,
             next_seq: 0,
             next_deliver: 0,
             pending: HashMap::new(),
             lost_to_dead: 0,
+            degraded_since: HashMap::new(),
+            late: Vec::new(),
         })
     }
 
@@ -528,9 +899,20 @@ impl ShardPool {
     }
 
     fn absorb_result(&mut self, r: ShardResult) {
-        // Late results for epochs already delivered (possible only if a
-        // worker was abandoned mid-epoch and the epoch timed out) are
-        // dropped by the seq check in take_ready.
+        // Any result from a worker clears its degraded window: it is
+        // producing output again (rejoined, or back under its budget).
+        self.degraded_since.remove(&r.worker);
+        if r.seq < self.next_deliver {
+            // A stale result for an epoch already released partially: a
+            // rejoined worker replaying its journal. Its verdicts are
+            // delivered late, attached to the next released epoch, so
+            // the cumulative verdict stream stays complete. (This also
+            // stops stale results from accumulating in `pending`
+            // forever.)
+            self.late
+                .extend(r.reports.into_iter().map(|rep| (r.shard, rep)));
+            return;
+        }
         self.pending.entry(r.seq).or_default().push(r);
     }
 
@@ -546,25 +928,89 @@ impl ShardPool {
         shards.sort_by_key(|r| r.shard);
         let seq = self.next_deliver;
         self.next_deliver += 1;
-        Some(EpochReport { seq, shards })
+        Some(EpochReport {
+            seq,
+            shards,
+            degraded: Vec::new(),
+            late: std::mem::take(&mut self.late),
+        })
+    }
+
+    /// Graceful degradation: releases the next epoch *partially* when
+    /// every shard still missing from it belongs to a worker whose
+    /// health is [`WorkerHealth::Degraded`] or
+    /// [`WorkerHealth::Abandoned`] — the consumer keeps receiving
+    /// (tagged) verdicts instead of the pipeline wedging behind a dead
+    /// worker.
+    fn take_partial(&mut self) -> Option<EpochReport> {
+        if self.next_deliver >= self.next_seq {
+            return None; // nothing submitted for this seq yet
+        }
+        let present: HashSet<usize> = self
+            .pending
+            .get(&self.next_deliver)
+            .map(|v| v.iter().map(|r| r.shard).collect())
+            .unwrap_or_default();
+        let missing: Vec<usize> =
+            (0..self.plan.len()).filter(|s| !present.contains(s)).collect();
+        if missing.is_empty() {
+            return None; // complete — take_ready's job
+        }
+        let out_of_service = |w: usize| {
+            matches!(
+                self.pool.health(w),
+                WorkerHealth::Degraded | WorkerHealth::Abandoned
+            )
+        };
+        if !missing.iter().all(|&s| out_of_service(s % self.workers)) {
+            return None; // some missing shard's worker is merely slow
+        }
+        let seq = self.next_deliver;
+        self.next_deliver += 1;
+        let mut shards = self.pending.remove(&seq).unwrap_or_default();
+        shards.sort_by_key(|r| r.shard);
+        let degraded = missing
+            .into_iter()
+            .map(|shard| {
+                let worker = shard % self.workers;
+                let since_seq = *self.degraded_since.entry(worker).or_insert(seq);
+                DegradedShard { shard, worker, since_seq }
+            })
+            .collect();
+        Some(EpochReport {
+            seq,
+            shards,
+            degraded,
+            late: std::mem::take(&mut self.late),
+        })
     }
 
     /// Blocks until the next in-order epoch is complete (all shards
-    /// reported) or `timeout` elapses.
+    /// reported), or can be released partially (all missing shards on
+    /// degraded/abandoned workers), or `timeout` elapses.
     pub fn recv_epoch(&mut self, timeout: Duration) -> Option<EpochReport> {
         let deadline = Instant::now() + timeout;
         loop {
             if let Some(e) = self.take_ready() {
                 return Some(e);
             }
+            if let Some(e) = self.take_partial() {
+                return Some(e);
+            }
             let now = Instant::now();
             if now >= deadline {
                 return None;
             }
-            match self.results_rx.recv_timeout(deadline - now) {
+            // Short slices: worker-health transitions (Running →
+            // Degraded) don't send a result, so the partial-release
+            // check must be re-run even when nothing arrives.
+            let slice = (deadline - now).min(Duration::from_millis(25));
+            match self.results_rx.recv_timeout(slice) {
                 Ok(r) => self.absorb_result(r),
-                Err(RecvTimeoutError::Timeout) => return self.take_ready(),
-                Err(RecvTimeoutError::Disconnected) => return self.take_ready(),
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return self.take_ready().or_else(|| self.take_partial())
+                }
             }
         }
     }
@@ -574,7 +1020,7 @@ impl ShardPool {
         while let Ok(r) = self.results_rx.try_recv() {
             self.absorb_result(r);
         }
-        self.take_ready()
+        self.take_ready().or_else(|| self.take_partial())
     }
 
     /// Per-worker supervision/channel/engine counters.
@@ -587,6 +1033,11 @@ impl ShardPool {
         self.lost_to_dead
     }
 
+    /// Current lifecycle state of worker `w`.
+    pub fn worker_health(&self, w: usize) -> WorkerHealth {
+        self.pool.health(w)
+    }
+
     /// Graceful drain: closes the queues (workers flush everything
     /// already submitted, then exit), joins under `deadline`, and
     /// returns every epoch that completed, in order.
@@ -597,11 +1048,22 @@ impl ShardPool {
             self.absorb_result(r);
         }
         let mut epochs = Vec::new();
-        while let Some(e) = self.take_ready() {
-            epochs.push(e);
+        loop {
+            if let Some(e) = self.take_ready() {
+                epochs.push(e);
+                continue;
+            }
+            // Worker health is final after the join: epochs missing
+            // only degraded/abandoned shards are released partially.
+            if let Some(e) = self.take_partial() {
+                epochs.push(e);
+                continue;
+            }
+            break;
         }
         ShardDrainOutcome {
             epochs,
+            late: std::mem::take(&mut self.late),
             abandoned,
             stats: self.pool.all_stats(),
         }
@@ -651,6 +1113,7 @@ mod tests {
             collect_class_keys: true,
             faults: None,
             tuning: ImtTuning::default(),
+            recovery: RecoveryOptions::default(),
         }
     }
 

@@ -206,6 +206,39 @@ impl SubspaceVerifier {
             .map(|l| l.synchronized().len())
             .unwrap_or(0)
     }
+
+    /// The synchronized-device union across all property verifiers,
+    /// sorted — the set a checkpoint must record so a restored verifier
+    /// can re-mark them (via [`Self::detect`]) before going live.
+    pub fn synchronized_devices(&self) -> Vec<DeviceId> {
+        let mut set = std::collections::HashSet::new();
+        if let Some(lv) = &self.loop_verifier {
+            set.extend(lv.synchronized().iter().copied());
+        }
+        for rv in &self.regex_verifiers {
+            set.extend(rv.synchronized().iter().copied());
+        }
+        let mut v: Vec<DeviceId> = set.into_iter().collect();
+        v.sort_by_key(|d| d.0);
+        v
+    }
+
+    /// The deduplication keys of every verdict already emitted, sorted
+    /// (checkpoint capture).
+    pub fn emitted_keys(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.emitted.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Pre-seeds the emitted-verdict dedup set (checkpoint restore).
+    /// Merged *before* the restore-time [`Self::detect`] pass, so every
+    /// verdict that was already delivered at checkpoint time is
+    /// suppressed — consistent detection is deterministic, so a verdict
+    /// decidable at restore was decidable (and emitted) at checkpoint.
+    pub fn merge_emitted(&mut self, keys: impl IntoIterator<Item = String>) {
+        self.emitted.extend(keys);
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,1043 @@
+//! The compact wire format shared by the durable epoch journal
+//! ([`crate::journal`]) and the process-isolated shard workers
+//! ([`crate::proc`]).
+//!
+//! Everything a shard worker needs to run in another address space —
+//! header layouts, topologies, action tables, subspace plans, routed
+//! update blocks, shard results and recovery checkpoints — round-trips
+//! through a small length-prefixed frame encoding:
+//!
+//! ```text
+//! frame := kind:u8  len:u32le  payload:[u8; len]  crc:u32le
+//! ```
+//!
+//! where `crc` is CRC-32 (IEEE) over `kind` followed by the payload.
+//! The checksum turns torn writes and bit flips into detectable
+//! [`WireError`]s instead of silently corrupted models: the journal
+//! reader tolerates a torn tail (the crash happened mid-append), and
+//! the process supervisor treats a corrupt frame as a fatal child
+//! failure (kill + respawn + replay).
+//!
+//! Encoding is hand-rolled — little-endian fixed-width integers,
+//! length-prefixed strings and sequences — to keep the workspace
+//! dependency-free. It is a *transport* format, not an archival one:
+//! both ends are always the same build of this crate.
+
+use crate::verifier::PropertyReport;
+use flash_bdd::{EngineTelemetry, OpKind, OpStats};
+use flash_imt::{ImtTuning, ShadowStrategy, SubspaceSpec, UpdateStats};
+use flash_netmodel::{
+    Action, ActionId, DeviceId, FieldId, Match, MatchKind, Rewrite, Rule, RuleOp, RuleUpdate,
+};
+use std::io::{Read, Write};
+use std::time::Duration;
+
+/// Upper bound on a single frame's payload; anything larger is treated
+/// as corruption (a garbage length prefix), not a real frame.
+pub const MAX_FRAME_LEN: u32 = 256 * 1024 * 1024;
+
+/// A wire-level failure: truncated input, bad tag, checksum mismatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    pub msg: String,
+}
+
+impl WireError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        WireError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire: {}", self.msg)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::new(format!("io: {e}"))
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Cursor over a received payload.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::new(format!(
+                "truncated payload: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+/// A wire-encodable value.
+pub trait Wire: Sized {
+    fn put(&self, w: &mut Vec<u8>);
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+}
+
+macro_rules! wire_int {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn put(&self, w: &mut Vec<u8>) {
+                w.extend_from_slice(&self.to_le_bytes());
+            }
+            fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                let b = r.take(std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(b.try_into().expect("sized take")))
+            }
+        }
+    )*};
+}
+
+wire_int!(u8, u16, u32, u64, i64);
+
+impl Wire for usize {
+    fn put(&self, w: &mut Vec<u8>) {
+        (*self as u64).put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let v = u64::get(r)?;
+        usize::try_from(v).map_err(|_| WireError::new("usize overflow"))
+    }
+}
+
+impl Wire for bool {
+    fn put(&self, w: &mut Vec<u8>) {
+        w.push(*self as u8);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::get(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(WireError::new(format!("bad bool tag {t}"))),
+        }
+    }
+}
+
+impl Wire for f64 {
+    fn put(&self, w: &mut Vec<u8>) {
+        self.to_bits().put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(f64::from_bits(u64::get(r)?))
+    }
+}
+
+impl Wire for Duration {
+    fn put(&self, w: &mut Vec<u8>) {
+        // Nanoseconds, saturating at ~584 years: plenty for telemetry.
+        u64::try_from(self.as_nanos()).unwrap_or(u64::MAX).put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Duration::from_nanos(u64::get(r)?))
+    }
+}
+
+impl Wire for String {
+    fn put(&self, w: &mut Vec<u8>) {
+        self.len().put(w);
+        w.extend_from_slice(self.as_bytes());
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = usize::get(r)?;
+        let b = r.take(n)?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError::new("invalid utf-8"))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn put(&self, w: &mut Vec<u8>) {
+        self.len().put(w);
+        for v in self {
+            v.put(w);
+        }
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let n = usize::get(r)?;
+        let mut out = Vec::new();
+        for _ in 0..n {
+            out.push(T::get(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn put(&self, w: &mut Vec<u8>) {
+        match self {
+            None => w.push(0),
+            Some(v) => {
+                w.push(1);
+                v.put(w);
+            }
+        }
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::get(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::get(r)?)),
+            t => Err(WireError::new(format!("bad option tag {t}"))),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn put(&self, w: &mut Vec<u8>) {
+        self.0.put(w);
+        self.1.put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok((A::get(r)?, B::get(r)?))
+    }
+}
+
+impl Wire for DeviceId {
+    fn put(&self, w: &mut Vec<u8>) {
+        self.0.put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(DeviceId(u32::get(r)?))
+    }
+}
+
+impl Wire for ActionId {
+    fn put(&self, w: &mut Vec<u8>) {
+        self.0.put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ActionId(u32::get(r)?))
+    }
+}
+
+impl Wire for MatchKind {
+    fn put(&self, w: &mut Vec<u8>) {
+        match *self {
+            MatchKind::Any => w.push(0),
+            MatchKind::Exact(v) => {
+                w.push(1);
+                v.put(w);
+            }
+            MatchKind::Prefix { value, len } => {
+                w.push(2);
+                value.put(w);
+                len.put(w);
+            }
+            MatchKind::Suffix { value, len } => {
+                w.push(3);
+                value.put(w);
+                len.put(w);
+            }
+            MatchKind::Ternary { value, mask } => {
+                w.push(4);
+                value.put(w);
+                mask.put(w);
+            }
+            MatchKind::Range { lo, hi } => {
+                w.push(5);
+                lo.put(w);
+                hi.put(w);
+            }
+        }
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::get(r)? {
+            0 => MatchKind::Any,
+            1 => MatchKind::Exact(u64::get(r)?),
+            2 => MatchKind::Prefix { value: u64::get(r)?, len: u32::get(r)? },
+            3 => MatchKind::Suffix { value: u64::get(r)?, len: u32::get(r)? },
+            4 => MatchKind::Ternary { value: u64::get(r)?, mask: u64::get(r)? },
+            5 => MatchKind::Range { lo: u64::get(r)?, hi: u64::get(r)? },
+            t => return Err(WireError::new(format!("bad match tag {t}"))),
+        })
+    }
+}
+
+impl Wire for Match {
+    fn put(&self, w: &mut Vec<u8>) {
+        self.kinds().to_vec().put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Match::from_kinds(Vec::<MatchKind>::get(r)?))
+    }
+}
+
+impl Wire for Rule {
+    fn put(&self, w: &mut Vec<u8>) {
+        self.mat.put(w);
+        self.priority.put(w);
+        self.action.put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Rule::new(Match::get(r)?, i64::get(r)?, ActionId::get(r)?))
+    }
+}
+
+impl Wire for RuleOp {
+    fn put(&self, w: &mut Vec<u8>) {
+        w.push(match self {
+            RuleOp::Insert => 0,
+            RuleOp::Delete => 1,
+        });
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match u8::get(r)? {
+            0 => Ok(RuleOp::Insert),
+            1 => Ok(RuleOp::Delete),
+            t => Err(WireError::new(format!("bad rule-op tag {t}"))),
+        }
+    }
+}
+
+impl Wire for RuleUpdate {
+    fn put(&self, w: &mut Vec<u8>) {
+        self.op.put(w);
+        self.rule.put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let op = RuleOp::get(r)?;
+        let rule = Rule::get(r)?;
+        Ok(match op {
+            RuleOp::Insert => RuleUpdate::insert(rule),
+            RuleOp::Delete => RuleUpdate::delete(rule),
+        })
+    }
+}
+
+impl Wire for Rewrite {
+    fn put(&self, w: &mut Vec<u8>) {
+        self.field.put(w);
+        self.value.put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Rewrite { field: u32::get(r)?, value: u64::get(r)? })
+    }
+}
+
+impl Wire for Action {
+    fn put(&self, w: &mut Vec<u8>) {
+        match self {
+            Action::Drop => w.push(0),
+            Action::Forward(hops) => {
+                w.push(1);
+                hops.put(w);
+            }
+            Action::Tunnel { hops, rewrite } => {
+                w.push(2);
+                hops.put(w);
+                rewrite.put(w);
+            }
+        }
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::get(r)? {
+            0 => Action::Drop,
+            1 => Action::Forward(Vec::get(r)?),
+            2 => Action::Tunnel { hops: Vec::get(r)?, rewrite: Rewrite::get(r)? },
+            t => return Err(WireError::new(format!("bad action tag {t}"))),
+        })
+    }
+}
+
+impl Wire for SubspaceSpec {
+    fn put(&self, w: &mut Vec<u8>) {
+        self.field.0.put(w);
+        self.value.put(w);
+        self.len.put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(SubspaceSpec {
+            field: FieldId(u32::get(r)?),
+            value: u64::get(r)?,
+            len: u32::get(r)?,
+        })
+    }
+}
+
+impl Wire for ShadowStrategy {
+    fn put(&self, w: &mut Vec<u8>) {
+        w.push(match self {
+            ShadowStrategy::Auto => 0,
+            ShadowStrategy::Accumulated => 1,
+            ShadowStrategy::Trie => 2,
+        });
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::get(r)? {
+            0 => ShadowStrategy::Auto,
+            1 => ShadowStrategy::Accumulated,
+            2 => ShadowStrategy::Trie,
+            t => return Err(WireError::new(format!("bad shadow tag {t}"))),
+        })
+    }
+}
+
+impl Wire for ImtTuning {
+    fn put(&self, w: &mut Vec<u8>) {
+        self.match_memo_capacity.put(w);
+        self.shadow_strategy.put(w);
+        self.class_index.put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ImtTuning {
+            match_memo_capacity: usize::get(r)?,
+            shadow_strategy: ShadowStrategy::get(r)?,
+            class_index: bool::get(r)?,
+        })
+    }
+}
+
+impl Wire for PropertyReport {
+    fn put(&self, w: &mut Vec<u8>) {
+        match self {
+            PropertyReport::LoopFound { cycle } => {
+                w.push(0);
+                cycle.put(w);
+            }
+            PropertyReport::LoopFreedomHolds => w.push(1),
+            PropertyReport::Satisfied { requirement } => {
+                w.push(2);
+                requirement.put(w);
+            }
+            PropertyReport::Unsatisfied { requirement } => {
+                w.push(3);
+                requirement.put(w);
+            }
+        }
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(match u8::get(r)? {
+            0 => PropertyReport::LoopFound { cycle: Vec::get(r)? },
+            1 => PropertyReport::LoopFreedomHolds,
+            2 => PropertyReport::Satisfied { requirement: String::get(r)? },
+            3 => PropertyReport::Unsatisfied { requirement: String::get(r)? },
+            t => return Err(WireError::new(format!("bad report tag {t}"))),
+        })
+    }
+}
+
+impl Wire for OpStats {
+    fn put(&self, w: &mut Vec<u8>) {
+        self.calls.put(w);
+        self.cache_hits.put(w);
+        self.cache_misses.put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(OpStats {
+            calls: u64::get(r)?,
+            cache_hits: u64::get(r)?,
+            cache_misses: u64::get(r)?,
+        })
+    }
+}
+
+impl Wire for EngineTelemetry {
+    fn put(&self, w: &mut Vec<u8>) {
+        self.ops.put(w);
+        self.per_op.to_vec().put(w);
+        self.live_nodes.put(w);
+        self.allocated_nodes.put(w);
+        self.peak_live_nodes.put(w);
+        self.unique_entries.put(w);
+        self.occupancy.put(w);
+        self.roots_live.put(w);
+        self.gc_runs.put(w);
+        self.gc_reclaimed_nodes.put(w);
+        self.gc_pause_total.put(w);
+        self.gc_pause_max.put(w);
+        self.approx_bytes.put(w);
+        self.cache_evictions.put(w);
+        self.cache_capacity.put(w);
+        self.freelist_reuses.put(w);
+        self.cell_probes.put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let ops = u64::get(r)?;
+        let per: Vec<OpStats> = Vec::get(r)?;
+        if per.len() != OpKind::COUNT {
+            return Err(WireError::new(format!(
+                "per-op stats arity {} != {}",
+                per.len(),
+                OpKind::COUNT
+            )));
+        }
+        let mut per_op = [OpStats::default(); OpKind::COUNT];
+        per_op.copy_from_slice(&per);
+        Ok(EngineTelemetry {
+            ops,
+            per_op,
+            live_nodes: usize::get(r)?,
+            allocated_nodes: usize::get(r)?,
+            peak_live_nodes: usize::get(r)?,
+            unique_entries: usize::get(r)?,
+            occupancy: f64::get(r)?,
+            roots_live: usize::get(r)?,
+            gc_runs: u64::get(r)?,
+            gc_reclaimed_nodes: u64::get(r)?,
+            gc_pause_total: Duration::get(r)?,
+            gc_pause_max: Duration::get(r)?,
+            approx_bytes: usize::get(r)?,
+            cache_evictions: u64::get(r)?,
+            cache_capacity: usize::get(r)?,
+            freelist_reuses: u64::get(r)?,
+            cell_probes: u64::get(r)?,
+        })
+    }
+}
+
+impl Wire for UpdateStats {
+    fn put(&self, w: &mut Vec<u8>) {
+        self.updates_accepted.put(w);
+        self.updates_filtered.put(w);
+        self.flushes.put(w);
+        self.atomic_overwrites.put(w);
+        self.compact_overwrites.put(w);
+        self.match_memo_hits.put(w);
+        self.match_memo_misses.put(w);
+        self.classes_probed.put(w);
+        self.classes_pruned.put(w);
+        self.index_rebuilds.put(w);
+        self.shadow_acc_blocks.put(w);
+        self.shadow_trie_blocks.put(w);
+        self.engine.put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(UpdateStats {
+            updates_accepted: u64::get(r)?,
+            updates_filtered: u64::get(r)?,
+            flushes: u64::get(r)?,
+            atomic_overwrites: u64::get(r)?,
+            compact_overwrites: u64::get(r)?,
+            match_memo_hits: u64::get(r)?,
+            match_memo_misses: u64::get(r)?,
+            classes_probed: u64::get(r)?,
+            classes_pruned: u64::get(r)?,
+            index_rebuilds: u64::get(r)?,
+            shadow_acc_blocks: u64::get(r)?,
+            shadow_trie_blocks: u64::get(r)?,
+            engine: EngineTelemetry::get(r)?,
+        })
+    }
+}
+
+impl Wire for crate::shard::UpdateBlock {
+    fn put(&self, w: &mut Vec<u8>) {
+        self.seq.put(w);
+        self.updates.put(w);
+        self.routed.put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(crate::shard::UpdateBlock {
+            seq: u64::get(r)?,
+            updates: Vec::get(r)?,
+            routed: Vec::get(r)?,
+        })
+    }
+}
+
+impl Wire for crate::shard::ShardResult {
+    fn put(&self, w: &mut Vec<u8>) {
+        self.seq.put(w);
+        self.shard.put(w);
+        self.worker.put(w);
+        self.skipped.put(w);
+        self.cpu.put(w);
+        self.classes.put(w);
+        self.ops.put(w);
+        self.bytes.put(w);
+        self.engine.put(w);
+        self.reports.put(w);
+        self.class_keys.put(w);
+        self.stats.put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(crate::shard::ShardResult {
+            seq: u64::get(r)?,
+            shard: usize::get(r)?,
+            worker: usize::get(r)?,
+            skipped: bool::get(r)?,
+            cpu: Duration::get(r)?,
+            classes: usize::get(r)?,
+            ops: u64::get(r)?,
+            bytes: usize::get(r)?,
+            engine: EngineTelemetry::get(r)?,
+            reports: Vec::get(r)?,
+            class_keys: Vec::get(r)?,
+            stats: UpdateStats::get(r)?,
+        })
+    }
+}
+
+/// Recovery state of one shard at checkpoint time: the device FIBs
+/// (from which the inverse model is a deterministic function), the
+/// synchronized-device set, the verdict keys already emitted, the
+/// distinct class fingerprints (an integrity check for restore), and
+/// the cumulative model-manager work counters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ShardCheckpoint {
+    /// Global shard (subspace) index.
+    pub shard: usize,
+    /// Whether the shard's verifier had been constructed at all.
+    pub built: bool,
+    /// Per-device FIB rule snapshots, default wildcard omitted.
+    pub fibs: Vec<(DeviceId, Vec<Rule>)>,
+    /// Devices the loop verifier had marked synchronized.
+    pub synced: Vec<DeviceId>,
+    /// Verdict keys already emitted by the shard's verifier.
+    pub emitted: Vec<String>,
+    /// Sorted distinct class fingerprints at checkpoint time.
+    pub class_fingerprints: Vec<u64>,
+    /// Cumulative `ModelManager` work counters at checkpoint time.
+    pub stats: UpdateStats,
+}
+
+impl Wire for ShardCheckpoint {
+    fn put(&self, w: &mut Vec<u8>) {
+        self.shard.put(w);
+        self.built.put(w);
+        self.fibs.put(w);
+        self.synced.put(w);
+        self.emitted.put(w);
+        self.class_fingerprints.put(w);
+        self.stats.put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ShardCheckpoint {
+            shard: usize::get(r)?,
+            built: bool::get(r)?,
+            fibs: Vec::get(r)?,
+            synced: Vec::get(r)?,
+            emitted: Vec::get(r)?,
+            class_fingerprints: Vec::get(r)?,
+            stats: UpdateStats::get(r)?,
+        })
+    }
+}
+
+/// A whole worker's recovery state: one [`ShardCheckpoint`] per owned
+/// shard, the last block sequence folded in, and the `(seq, shard)`
+/// results already released to the aggregator (so a cold restore never
+/// double-reports).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorkerCheckpoint {
+    pub worker: usize,
+    /// Highest block seq reflected in the shard snapshots; `u64::MAX`
+    /// when no block had arrived yet.
+    pub last_seq: u64,
+    /// `(seq, shard)` results already delivered to the aggregator.
+    pub reported: Vec<(u64, u64)>,
+    pub shards: Vec<ShardCheckpoint>,
+}
+
+impl Wire for WorkerCheckpoint {
+    fn put(&self, w: &mut Vec<u8>) {
+        self.worker.put(w);
+        self.last_seq.put(w);
+        self.reported.put(w);
+        self.shards.put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(WorkerCheckpoint {
+            worker: usize::get(r)?,
+            last_seq: u64::get(r)?,
+            reported: Vec::get(r)?,
+            shards: Vec::get(r)?,
+        })
+    }
+}
+
+/// Deterministic faults a child process injects into itself (wired
+/// through the Hello frame; each fires at most once per pool run — the
+/// parent latches a fired fault out of subsequent Hellos).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChildFaults {
+    /// Abort the process at the start of this block ordinal (1-based).
+    pub kill_at_block: Option<u64>,
+    /// At this block ordinal, sleep for `.1` milliseconds while holding
+    /// the output lock (starves heartbeats: a detectable hang).
+    pub hang_at_block: Option<(u64, u64)>,
+    /// Corrupt the payload of this outbound result frame (1-based).
+    pub corrupt_frame: Option<u64>,
+}
+
+impl Wire for ChildFaults {
+    fn put(&self, w: &mut Vec<u8>) {
+        self.kill_at_block.put(w);
+        self.hang_at_block.put(w);
+        self.corrupt_frame.put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ChildFaults {
+            kill_at_block: Option::get(r)?,
+            hang_at_block: Option::get(r)?,
+            corrupt_frame: Option::get(r)?,
+        })
+    }
+}
+
+/// The configuration frame a `flash-shardd` child receives first: the
+/// network universe plus this worker's shard assignment.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProcHello {
+    pub worker: usize,
+    /// Global shard indices this worker owns.
+    pub shards: Vec<usize>,
+    /// Header layout: `(field name, width in bits)` in field order.
+    pub layout: Vec<(String, u32)>,
+    /// Devices in id order: `(name, is_external)`.
+    pub devices: Vec<(String, bool)>,
+    /// Directed links as `(from, to)` device ids.
+    pub links: Vec<(u32, u32)>,
+    /// Interned actions in id order.
+    pub actions: Vec<Action>,
+    /// The full subspace plan (indexed by global shard id).
+    pub subspaces: Vec<SubspaceSpec>,
+    /// Verify all-pair loop freedom (the only property the wire
+    /// supports; requirement ASTs stay in-process).
+    pub loop_freedom: bool,
+    pub bst: u64,
+    pub tuning: ImtTuning,
+    pub collect_class_keys: bool,
+    /// Interval at which the child emits heartbeat frames, in ms.
+    pub heartbeat_ms: u64,
+    pub faults: ChildFaults,
+}
+
+impl Wire for ProcHello {
+    fn put(&self, w: &mut Vec<u8>) {
+        self.worker.put(w);
+        self.shards.put(w);
+        self.layout.put(w);
+        self.devices.put(w);
+        self.links.put(w);
+        self.actions.put(w);
+        self.subspaces.put(w);
+        self.loop_freedom.put(w);
+        self.bst.put(w);
+        self.tuning.put(w);
+        self.collect_class_keys.put(w);
+        self.heartbeat_ms.put(w);
+        self.faults.put(w);
+    }
+    fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(ProcHello {
+            worker: usize::get(r)?,
+            shards: Vec::get(r)?,
+            layout: Vec::get(r)?,
+            devices: Vec::get(r)?,
+            links: Vec::get(r)?,
+            actions: Vec::get(r)?,
+            subspaces: Vec::get(r)?,
+            loop_freedom: bool::get(r)?,
+            bst: u64::get(r)?,
+            tuning: ImtTuning::get(r)?,
+            collect_class_keys: bool::get(r)?,
+            heartbeat_ms: u64::get(r)?,
+            faults: ChildFaults::get(r)?,
+        })
+    }
+}
+
+/// Frame type tags. Parent→child: `Hello`..`Shutdown`; child→parent:
+/// `Result`..`Heartbeat`. The journal reuses `Block`, `Collect` and
+/// `Checkpoint`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    Hello = 1,
+    Block = 2,
+    Collect = 3,
+    CheckpointReq = 4,
+    Restore = 5,
+    Shutdown = 6,
+    Result = 16,
+    Checkpoint = 17,
+    Heartbeat = 18,
+    CollectDone = 19,
+}
+
+impl FrameKind {
+    pub fn from_u8(b: u8) -> Option<Self> {
+        Some(match b {
+            1 => FrameKind::Hello,
+            2 => FrameKind::Block,
+            3 => FrameKind::Collect,
+            4 => FrameKind::CheckpointReq,
+            5 => FrameKind::Restore,
+            6 => FrameKind::Shutdown,
+            16 => FrameKind::Result,
+            17 => FrameKind::Checkpoint,
+            18 => FrameKind::Heartbeat,
+            19 => FrameKind::CollectDone,
+            _ => return None,
+        })
+    }
+}
+
+/// Serializes a frame: `kind, len, payload, crc32(kind ‖ payload)`.
+pub fn frame_bytes(kind: FrameKind, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 9);
+    out.push(kind as u8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let mut crc_input = Vec::with_capacity(payload.len() + 1);
+    crc_input.push(kind as u8);
+    crc_input.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(&crc_input).to_le_bytes());
+    out
+}
+
+/// Writes one frame.
+pub fn write_frame(w: &mut impl Write, kind: FrameKind, payload: &[u8]) -> Result<(), WireError> {
+    w.write_all(&frame_bytes(kind, payload))?;
+    Ok(())
+}
+
+/// Encodes `value` and writes it as one frame.
+pub fn write_value_frame<T: Wire>(
+    w: &mut impl Write,
+    kind: FrameKind,
+    value: &T,
+) -> Result<(), WireError> {
+    let mut payload = Vec::new();
+    value.put(&mut payload);
+    write_frame(w, kind, &payload)
+}
+
+/// How a frame read ended.
+pub enum FrameRead {
+    /// A complete, checksum-valid frame.
+    Frame(FrameKind, Vec<u8>),
+    /// Clean EOF at a frame boundary.
+    Eof,
+}
+
+/// Reads one frame. `Err` covers torn frames (EOF mid-frame), unknown
+/// kinds, oversized lengths, and checksum mismatches — the caller
+/// decides whether that is a tolerable journal tail or a fatal
+/// transport failure.
+pub fn read_frame(r: &mut impl Read) -> Result<FrameRead, WireError> {
+    let mut kind_byte = [0u8; 1];
+    match r.read(&mut kind_byte) {
+        Ok(0) => return Ok(FrameRead::Eof),
+        Ok(_) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => return read_frame(r),
+        Err(e) => return Err(e.into()),
+    }
+    let kind = FrameKind::from_u8(kind_byte[0])
+        .ok_or_else(|| WireError::new(format!("unknown frame kind {}", kind_byte[0])))?;
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)
+        .map_err(|e| WireError::new(format!("torn frame header: {e}")))?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::new(format!("frame length {len} exceeds cap")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|e| WireError::new(format!("torn frame payload: {e}")))?;
+    let mut crc_bytes = [0u8; 4];
+    r.read_exact(&mut crc_bytes)
+        .map_err(|e| WireError::new(format!("torn frame checksum: {e}")))?;
+    let mut crc_input = Vec::with_capacity(payload.len() + 1);
+    crc_input.push(kind_byte[0]);
+    crc_input.extend_from_slice(&payload);
+    if crc32(&crc_input) != u32::from_le_bytes(crc_bytes) {
+        return Err(WireError::new("frame checksum mismatch"));
+    }
+    Ok(FrameRead::Frame(kind, payload))
+}
+
+/// Decodes a full payload as one `T`, requiring it to be consumed
+/// exactly.
+pub fn decode<T: Wire>(payload: &[u8]) -> Result<T, WireError> {
+    let mut r = WireReader::new(payload);
+    let v = T::get(&mut r)?;
+    if !r.is_empty() {
+        return Err(WireError::new("trailing bytes after payload"));
+    }
+    Ok(v)
+}
+
+/// Encodes one `T` as a standalone payload.
+pub fn encode<T: Wire>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.put(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_netmodel::HeaderLayout;
+
+    fn roundtrip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = encode(&v);
+        let back: T = decode(&bytes).expect("decode");
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(true);
+        roundtrip(3.25f64);
+        roundtrip(String::from("dst"));
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Some(7u64));
+        roundtrip(Option::<u64>::None);
+        roundtrip(Duration::from_micros(1234));
+        roundtrip((DeviceId(3), 9u64));
+    }
+
+    #[test]
+    fn rules_and_updates_roundtrip() {
+        let layout = HeaderLayout::new(&[("dst", 8), ("src", 8)]);
+        let m = Match::any(&layout)
+            .with(FieldId(0), MatchKind::Prefix { value: 0xC0, len: 4 })
+            .with(FieldId(1), MatchKind::Range { lo: 2, hi: 9 });
+        roundtrip(m.clone());
+        roundtrip(Rule::new(m.clone(), -5, ActionId(3)));
+        roundtrip(RuleUpdate::insert(Rule::new(m.clone(), 1, ActionId(1))));
+        roundtrip(RuleUpdate::delete(Rule::new(m, 2, ActionId(2))));
+    }
+
+    #[test]
+    fn blocks_and_results_roundtrip() {
+        let layout = HeaderLayout::dst_only();
+        let block = crate::shard::UpdateBlock {
+            seq: 7,
+            updates: vec![(
+                DeviceId(1),
+                RuleUpdate::insert(Rule::new(Match::dst_prefix(&layout, 10, 8), 1, ActionId(2))),
+            )],
+            routed: vec![vec![0], vec![]],
+        };
+        let bytes = encode(&block);
+        let back: crate::shard::UpdateBlock = decode(&bytes).unwrap();
+        assert_eq!(back.seq, 7);
+        assert_eq!(back.updates, block.updates);
+        assert_eq!(back.routed, block.routed);
+
+        roundtrip(PropertyReport::LoopFound { cycle: vec![DeviceId(0), DeviceId(1)] });
+        roundtrip(PropertyReport::Satisfied { requirement: "r".into() });
+        roundtrip(UpdateStats::default());
+        roundtrip(EngineTelemetry::default());
+    }
+
+    #[test]
+    fn checkpoints_and_hello_roundtrip() {
+        let layout = HeaderLayout::dst_only();
+        let cp = WorkerCheckpoint {
+            worker: 1,
+            last_seq: 42,
+            reported: vec![(41, 0), (42, 2)],
+            shards: vec![ShardCheckpoint {
+                shard: 2,
+                built: true,
+                fibs: vec![(
+                    DeviceId(0),
+                    vec![Rule::new(Match::dst_prefix(&layout, 3, 8), 1, ActionId(1))],
+                )],
+                synced: vec![DeviceId(0), DeviceId(1)],
+                emitted: vec!["noloop".into()],
+                class_fingerprints: vec![1, 2, 3],
+                stats: UpdateStats::default(),
+            }],
+        };
+        roundtrip(cp);
+        roundtrip(ProcHello {
+            worker: 0,
+            shards: vec![0, 2],
+            layout: vec![("dst".into(), 8)],
+            devices: vec![("a".into(), false), ("x".into(), true)],
+            links: vec![(0, 1)],
+            actions: vec![Action::Drop, Action::Forward(vec![DeviceId(1)])],
+            subspaces: vec![SubspaceSpec::whole()],
+            loop_freedom: true,
+            bst: u64::MAX,
+            tuning: ImtTuning::default(),
+            collect_class_keys: true,
+            heartbeat_ms: 200,
+            faults: ChildFaults {
+                kill_at_block: Some(3),
+                hang_at_block: None,
+                corrupt_frame: Some(1),
+            },
+        });
+    }
+
+    #[test]
+    fn frames_roundtrip_and_detect_corruption() {
+        let payload = encode(&vec![1u64, 2, 3]);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, FrameKind::Block, &payload).unwrap();
+        write_frame(&mut buf, FrameKind::Collect, &[]).unwrap();
+
+        let mut cursor = std::io::Cursor::new(buf.clone());
+        match read_frame(&mut cursor).unwrap() {
+            FrameRead::Frame(FrameKind::Block, p) => assert_eq!(p, payload),
+            _ => panic!("expected block frame"),
+        }
+        match read_frame(&mut cursor).unwrap() {
+            FrameRead::Frame(FrameKind::Collect, p) => assert!(p.is_empty()),
+            _ => panic!("expected collect frame"),
+        }
+        assert!(matches!(read_frame(&mut cursor).unwrap(), FrameRead::Eof));
+
+        // Flip one payload byte: checksum must catch it.
+        let mut corrupt = buf.clone();
+        corrupt[7] ^= 0xFF;
+        let mut cursor = std::io::Cursor::new(corrupt);
+        assert!(read_frame(&mut cursor).is_err());
+
+        // Truncate mid-frame: torn, not EOF.
+        let torn = &buf[..buf.len() / 2];
+        let mut cursor = std::io::Cursor::new(torn.to_vec());
+        let first = read_frame(&mut cursor);
+        assert!(first.is_err() || matches!(first, Ok(FrameRead::Frame(..))));
+    }
+}

@@ -121,7 +121,7 @@ impl PhaseTimings {
 }
 
 /// Counters describing the work a manager has performed.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct UpdateStats {
     /// Native updates accepted (post subspace filter).
     pub updates_accepted: u64,
@@ -299,6 +299,29 @@ impl ModelManager {
     /// Devices with a tracked FIB snapshot.
     pub fn devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
         self.fibs.keys().copied()
+    }
+
+    /// Per-device FIB snapshots (non-default rules only), sorted by
+    /// device id — the recovery-checkpoint payload. The inverse model is
+    /// a deterministic function of the current FIB set, so re-ingesting
+    /// these rules into a fresh manager reconstructs an equivalent model
+    /// without serializing any predicate-engine state.
+    pub fn fib_snapshot(&self) -> Vec<(DeviceId, Vec<flash_netmodel::Rule>)> {
+        let mut out: Vec<(DeviceId, Vec<flash_netmodel::Rule>)> = self
+            .fibs
+            .iter()
+            .map(|(dev, fib)| {
+                let rules: Vec<flash_netmodel::Rule> = fib
+                    .rules()
+                    .iter()
+                    .filter(|r| !(r.priority == i64::MIN && r.mat.is_any()))
+                    .cloned()
+                    .collect();
+                (*dev, rules)
+            })
+            .collect();
+        out.sort_by_key(|(d, _)| d.0);
+        out
     }
 
     /// Approximate resident bytes of the verifier state (BDD arena + PAT

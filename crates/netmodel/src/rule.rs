@@ -131,6 +131,13 @@ impl Match {
         self
     }
 
+    /// Rebuilds a match from its per-field constraints (one entry per
+    /// layout field, in field order) — the wire-decoding counterpart of
+    /// [`Match::kinds`].
+    pub fn from_kinds(kinds: Vec<MatchKind>) -> Self {
+        Match { kinds }
+    }
+
     /// A destination-prefix match (field 0 by convention).
     pub fn dst_prefix(layout: &HeaderLayout, value: u64, len: u32) -> Self {
         Match::any(layout).with(FieldId(0), MatchKind::Prefix { value, len })

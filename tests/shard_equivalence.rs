@@ -181,6 +181,7 @@ fn run_pool_and_compare(threads: usize, tuning: ImtTuning) {
         collect_class_keys: true,
         faults: None,
         tuning,
+        recovery: Default::default(),
     })
     .unwrap();
     assert_eq!(pool.worker_count(), threads.min(shard_count));
