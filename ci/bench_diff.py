@@ -1,11 +1,15 @@
 #!/usr/bin/env python3
-"""Render a markdown delta table between two bench_predicates JSON reports.
+"""Render a markdown table from bench JSON reports.
 
-Usage: bench_diff.py <baseline.json> <fresh.json>
+Usage: bench_diff.py <baseline.json> <fresh.json>   delta table
+       bench_diff.py <report.json>                  single-report table
 
-Prints wall-clock, total-op and op_and-call deltas per scenario — meant
-for $GITHUB_STEP_SUMMARY in the non-gating quick-bench CI job, but works
-anywhere. Exit code is always 0: the table is a trend report, not a gate.
+With two reports, prints wall-clock, total-op and op_and-call deltas per
+scenario — meant for $GITHUB_STEP_SUMMARY in the non-gating quick-bench
+CI job, but works anywhere. With one report (e.g. BENCH_scale.json from
+the scale-smoke lane, which has no committed baseline), prints the
+scenarios of that report alone, plus peak RSS when the report carries
+it. Exit code is always 0: the table is a trend report, not a gate.
 """
 import json
 import sys
@@ -17,7 +21,30 @@ def pct(base, new):
     return f"{(new - base) / base * 100.0:+.1f}%"
 
 
+def render_single(path):
+    with open(path) as f:
+        report = json.load(f)
+    print(f"### Bench report: {path}")
+    print()
+    peak = report.get("peak_rss_bytes")
+    if peak:
+        print(f"Peak RSS: {peak / (1024.0 * 1024.0):.1f} MiB")
+        print()
+    print("| scenario | wall_ms | ops | detail |")
+    print("|---|---|---|---|")
+    for name, s in report.get("scenarios", {}).items():
+        detail = ", ".join(
+            f"{k}={v}"
+            for k, v in s.items()
+            if k not in ("wall_ms", "ops") and not isinstance(v, dict)
+        )
+        print(f"| {name} | {s['wall_ms']:.1f} | {s.get('ops', '')} | {detail} |")
+
+
 def main():
+    if len(sys.argv) == 2:
+        render_single(sys.argv[1])
+        return
     if len(sys.argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return

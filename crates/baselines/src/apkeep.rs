@@ -118,7 +118,7 @@ impl ApKeep {
             RuleOp::Insert => {
                 // Effective predicate of the new rule in the post-insert
                 // table, then one overwrite: eff → action.
-                if fib.insert(update.rule.clone()).is_err() {
+                if fib.insert(update.rule).is_err() {
                     return; // duplicate: ignore
                 }
                 let t0 = std::time::Instant::now();
@@ -230,7 +230,7 @@ mod tests {
         let low = Rule::new(Match::dst_prefix(&l, 0xA0, 4), 1, a1);
         let high = Rule::new(Match::dst_prefix(&l, 0xA0, 5), 2, a2);
         ap.apply(DeviceId(0), &RuleUpdate::insert(low));
-        ap.apply(DeviceId(0), &RuleUpdate::insert(high.clone()));
+        ap.apply(DeviceId(0), &RuleUpdate::insert(high));
         ap.apply(DeviceId(0), &RuleUpdate::delete(high));
         // Back to a single non-default class covering 0xA0/4 with a1.
         assert_eq!(ap.model().len(), 2);
@@ -275,7 +275,7 @@ mod tests {
                 {
                     continue;
                 }
-                installed.push((dev, r.clone()));
+                installed.push((dev, r));
                 batch.push((dev, RuleUpdate::insert(r)));
             }
         }
@@ -283,7 +283,7 @@ mod tests {
         // would see in order anyway — both consume the same sequence.
         ap.apply_all(&batch);
         for (d, u) in &batch {
-            mm.submit(*d, [u.clone()]);
+            mm.submit(*d, [*u]);
         }
         mm.flush();
         let flash_classes = mm.model().len();
@@ -323,7 +323,7 @@ mod tests {
         }
         ap.apply_all(&seq);
         for (d, u) in &seq {
-            mm.submit(*d, [u.clone()]);
+            mm.submit(*d, [*u]);
         }
         mm.flush();
         assert_eq!(ap.model().len(), mm.model().len());

@@ -270,7 +270,7 @@ impl DeltaNet {
                 let bucket = self.installed.entry(key).or_default();
                 match bucket.iter_mut().find(|(m, _)| *m == rule.mat) {
                     Some((_, slot)) => *slot = ivs.clone(),
-                    None => bucket.push((rule.mat.clone(), ivs.clone())),
+                    None => bucket.push((rule.mat, ivs.clone())),
                 }
                 ivs
             }
@@ -414,7 +414,7 @@ mod tests {
         let mut dn = DeltaNet::new(l.clone());
         let high = rule(&l, 0xA8, 5, 2, a2);
         dn.apply(DeviceId(0), &RuleUpdate::insert(rule(&l, 0xA0, 4, 1, a1))).unwrap();
-        dn.apply(DeviceId(0), &RuleUpdate::insert(high.clone())).unwrap();
+        dn.apply(DeviceId(0), &RuleUpdate::insert(high)).unwrap();
         dn.apply(DeviceId(0), &RuleUpdate::delete(high)).unwrap();
         assert_eq!(dn.action_at(DeviceId(0), 0xA9), a1);
     }
@@ -486,7 +486,7 @@ mod tests {
         // d1 → d0 for the overlapping 0xA8/5: loop on that span.
         let r1 = rule(&l, 0xA8, 5, 1, fwd_d0);
         let (witness, cycle) = dn
-            .apply_and_check(DeviceId(1), &RuleUpdate::insert(r1.clone()))
+            .apply_and_check(DeviceId(1), &RuleUpdate::insert(r1))
             .unwrap()
             .expect("loop expected");
         assert!((0xA8..0xB0).contains(&witness));
@@ -538,7 +538,7 @@ mod tests {
             if step % 5 == 4 && !installed.is_empty() {
                 let i = (next() as usize) % installed.len();
                 let (d, r) = installed.swap_remove(i);
-                dn.apply(d, &RuleUpdate::delete(r.clone())).unwrap();
+                dn.apply(d, &RuleUpdate::delete(r)).unwrap();
                 mm.submit(d, [RuleUpdate::delete(r)]);
             } else {
                 let len = 2 + (next() % 7) as u32;
@@ -550,8 +550,8 @@ mod tests {
                 if installed.iter().any(|(d2, r2)| *d2 == dev && r2.mat == r.mat && r2.priority == r.priority) {
                     continue;
                 }
-                dn.apply(dev, &RuleUpdate::insert(r.clone())).unwrap();
-                mm.submit(dev, [RuleUpdate::insert(r.clone())]);
+                dn.apply(dev, &RuleUpdate::insert(r)).unwrap();
+                mm.submit(dev, [RuleUpdate::insert(r)]);
                 installed.push((dev, r));
             }
             mm.flush();

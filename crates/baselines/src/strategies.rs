@@ -87,7 +87,7 @@ pub fn run_loop_checks(
         match strategy {
             VerificationStrategy::PerUpdate => {
                 for u in updates {
-                    mgr.submit(*dev, [u.clone()]);
+                    mgr.submit(*dev, [*u]);
                     mgr.flush();
                     check(&mut mgr, *at, &mut reports, &mut last_was_loop);
                 }
@@ -153,15 +153,15 @@ mod tests {
         let m = Match::dst_prefix(&layout, 0x10, 8);
         let stream = vec![
             // Initial state: a→b, b→c.
-            (0, a, vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_b))]),
-            (1, b, vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_c))]),
+            (0, a, vec![RuleUpdate::insert(Rule::new(m, 1, fwd_b))]),
+            (1, b, vec![RuleUpdate::insert(Rule::new(m, 1, fwd_c))]),
             // Link b-c dies: b reroutes via a FIRST (transient loop a↔b)…
             (
                 10,
                 b,
                 vec![
-                    RuleUpdate::delete(Rule::new(m.clone(), 1, fwd_c)),
-                    RuleUpdate::insert(Rule::new(m.clone(), 2, fwd_a)),
+                    RuleUpdate::delete(Rule::new(m, 1, fwd_c)),
+                    RuleUpdate::insert(Rule::new(m, 2, fwd_a)),
                 ],
             ),
             // …then a reroutes directly to c (loop resolves).
@@ -169,8 +169,8 @@ mod tests {
                 20,
                 a,
                 vec![
-                    RuleUpdate::delete(Rule::new(m.clone(), 1, fwd_b)),
-                    RuleUpdate::insert(Rule::new(m.clone(), 2, fwd_c)),
+                    RuleUpdate::delete(Rule::new(m, 1, fwd_b)),
+                    RuleUpdate::insert(Rule::new(m, 2, fwd_c)),
                 ],
             ),
         ];

@@ -41,7 +41,7 @@ fn phases_benches(c: &mut Criterion) {
                 },
                 |mut mm| {
                     for (d, u) in &seq {
-                        mm.submit(*d, [u.clone()]);
+                        mm.submit(*d, [*u]);
                     }
                     mm.flush();
                     std::hint::black_box(mm.model().len())

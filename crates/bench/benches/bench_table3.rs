@@ -26,7 +26,7 @@ fn bench_setting(c: &mut Criterion, name: SettingName, include_deltanet: bool) {
             || ModelManager::new(ModelManagerConfig::whole_space(setting.fibs.layout.clone())),
             |mut mm| {
                 for (d, u) in &seq {
-                    mm.submit(*d, [u.clone()]);
+                    mm.submit(*d, [*u]);
                 }
                 mm.flush();
                 std::hint::black_box(mm.model().len())

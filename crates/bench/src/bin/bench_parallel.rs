@@ -224,8 +224,17 @@ fn main() {
         (k, warm_k, cold_k, k2, warm_2, cold_2)
     });
 
+    let peak = flash_bench::peak_rss_bytes();
+    println!(
+        "peak RSS: {}",
+        peak.map_or("n/a".into(), |b| format!("{} MiB", flash_bench::mib(b)))
+    );
     let mut json = String::new();
     json.push_str(&format!("{{\n  \"quick\": {},\n", quick));
+    json.push_str(&format!(
+        "  \"peak_rss_bytes\": {},\n",
+        peak.map_or("null".to_string(), |b| b.to_string())
+    ));
     json.push_str(&format!(
         "  \"workload\": {{\"updates\": {}, \"devices\": 12, \"dst_bits\": 16, \"block_size\": {}, \"blocks\": {}}},\n",
         steps,

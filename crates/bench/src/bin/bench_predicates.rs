@@ -70,7 +70,7 @@ fn imt_churn(quick: bool) -> Scenario {
     });
     for chunk in updates.chunks(64) {
         for (d, u) in chunk {
-            mgr.submit(*d, [u.clone()]);
+            mgr.submit(*d, [*u]);
         }
         mgr.flush();
     }
@@ -132,7 +132,7 @@ fn ce2d_long_stream(quick: bool) -> Scenario {
     for chunk in updates.chunks(128) {
         let mut synced = Vec::new();
         for (d, u) in chunk {
-            mgr.submit(*d, [u.clone()]);
+            mgr.submit(*d, [*u]);
             if !synced.contains(d) {
                 synced.push(*d);
             }
@@ -234,10 +234,16 @@ fn main() {
         );
     }
 
+    let peak = flash_bench::peak_rss_bytes();
+    println!(
+        "peak RSS: {}",
+        peak.map_or("n/a".into(), |b| format!("{} MiB", flash_bench::mib(b)))
+    );
     let body: Vec<String> = scenarios.iter().map(scenario_json).collect();
     let json = format!(
-        "{{\n  \"quick\": {},\n  \"scenarios\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"quick\": {},\n  \"peak_rss_bytes\": {},\n  \"scenarios\": {{\n{}\n  }}\n}}\n",
         quick,
+        peak.map_or("null".to_string(), |b| b.to_string()),
         body.join(",\n")
     );
     match std::fs::write(&out_path, &json) {

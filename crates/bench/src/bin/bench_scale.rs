@@ -1,0 +1,269 @@
+//! `bench_scale` — hyper-scale streaming ingestion benchmark.
+//!
+//! ```text
+//! bench_scale [--k N] [--hostbits N] [--prefixes N] [--dir <path>] [--keep] [--out <path>]
+//! ```
+//!
+//! Exercises the full on-disk path at fat-tree scale: generate a
+//! HeTu-style dataset directory device by device (`flash_workloads::
+//! dataset`), load its header back, stream every route file through a
+//! whole-space [`SubspaceVerifier`] checking loop freedom, and report
+//! wall time per phase, per-device block latency percentiles, peak
+//! resident memory (`VmHWM`) and match-interning statistics.
+//!
+//! Defaults are the ISSUE acceptance scale: `--k 16 --prefixes 32`
+//! (320 devices, ~1.3M rules). CI's non-gating `scale-smoke` lane runs
+//! `--k 8`. Writes `BENCH_scale.json` in the same `{"scenarios": ...}`
+//! shape as `BENCH_predicates.json` so `ci/bench_diff.py` renders it.
+//! Exit code 1 if any property is violated (a correct fat-tree StdFIB
+//! must be loop free), 2 on I/O or dataset errors.
+
+use flash_bench::{mib, peak_rss_bytes, Stats};
+use flash_core::{Property, PropertyReport, SubspaceVerifier, SubspaceVerifierConfig};
+use flash_imt::{ImtTuning, SubspaceSpec};
+use flash_netmodel::{ActionTable, MatchTable, RuleUpdate};
+use flash_workloads::dataset;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Phase {
+    name: &'static str,
+    wall_ms: f64,
+    ops: u64,
+    extra: Vec<(&'static str, f64)>,
+}
+
+fn phase_json(p: &Phase) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "    \"{}\": {{\n      \"wall_ms\": {:.3},\n      \"ops\": {}",
+        p.name, p.wall_ms, p.ops
+    );
+    for (k, v) in &p.extra {
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            let _ = write!(out, ",\n      \"{}\": {}", k, *v as i64);
+        } else {
+            let _ = write!(out, ",\n      \"{}\": {:.3}", k, v);
+        }
+    }
+    out.push_str("\n    }");
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut k = 16u32;
+    let mut host_bits = 8u32;
+    let mut prefixes = 32u32;
+    let mut keep = false;
+    let mut dir: Option<PathBuf> = None;
+    let mut out_path = "BENCH_scale.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Option<&String> {
+            *i += 1;
+            args.get(*i)
+        };
+        match args[i].as_str() {
+            "--k" => k = take(&mut i).and_then(|v| v.parse().ok()).unwrap_or(k),
+            "--hostbits" => {
+                host_bits = take(&mut i).and_then(|v| v.parse().ok()).unwrap_or(host_bits)
+            }
+            "--prefixes" => {
+                prefixes = take(&mut i).and_then(|v| v.parse().ok()).unwrap_or(prefixes)
+            }
+            "--dir" => dir = take(&mut i).map(PathBuf::from),
+            "--keep" => keep = true,
+            "--out" => {
+                if let Some(p) = take(&mut i) {
+                    out_path = p.clone();
+                }
+            }
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let (dir, ephemeral) = match dir {
+        Some(d) => (d, false),
+        None => (
+            std::env::temp_dir().join(format!("flash-scale-{}", std::process::id())),
+            !keep,
+        ),
+    };
+
+    // Phase 1: generate the dataset device by device (nothing global is
+    // ever materialized — the writer streams each device's FIB to disk).
+    let t0 = Instant::now();
+    let summary = match dataset::generate_fat_tree_dataset(&dir, k, host_bits, prefixes) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("generate {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    let gen_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "generated k={k} fat tree at {}: {} devices, {} links, {} rules in {:.0}ms",
+        dir.display(),
+        summary.devices,
+        summary.links,
+        summary.rules,
+        gen_ms
+    );
+    let generate = Phase {
+        name: "dataset_generate",
+        wall_ms: gen_ms,
+        ops: summary.rules as u64,
+        extra: vec![
+            ("devices", summary.devices as f64),
+            ("links", summary.links as f64),
+            ("edge_devices", summary.edge_devices as f64),
+        ],
+    };
+
+    let run = run_verify(&dir, &mut Vec::new());
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let (load, verify, violated) = match run {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let peak = peak_rss_bytes();
+    let mt = MatchTable::global().stats();
+    println!(
+        "peak RSS: {}; {} distinct matches interned ({} hits, {} MiB table)",
+        peak.map_or("n/a".into(), |b| format!("{} MiB", mib(b))),
+        mt.distinct,
+        mt.hits,
+        mib(mt.approx_bytes)
+    );
+
+    let phases = [generate, load, verify];
+    let body: Vec<String> = phases.iter().map(phase_json).collect();
+    let json = format!(
+        "{{\n  \"k\": {},\n  \"prefixes_per_tor\": {},\n  \"peak_rss_bytes\": {},\n  \"interned_matches\": {},\n  \"intern_hits\": {},\n  \"intern_table_bytes\": {},\n  \"scenarios\": {{\n{}\n  }}\n}}\n",
+        k,
+        prefixes,
+        peak.map_or("null".to_string(), |b| b.to_string()),
+        mt.distinct,
+        mt.hits,
+        mt.approx_bytes,
+        body.join(",\n")
+    );
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("cannot write {out_path}: {e}");
+        return ExitCode::from(2);
+    }
+    println!("wrote {out_path}");
+    if violated {
+        eprintln!("FAIL: property violated on a generated fat-tree StdFIB");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Load + verify phases; `reports` collects violations for the caller.
+fn run_verify(
+    dir: &std::path::Path,
+    violations: &mut Vec<String>,
+) -> Result<(Phase, Phase, bool), dataset::DatasetError> {
+    // Phase 2: load the header and make pass 1 over the route files to
+    // intern every action (rules are parsed and dropped, never stored).
+    let t1 = Instant::now();
+    let header = dataset::load_header(dir)?;
+    let mut actions = ActionTable::new();
+    let total = header.stream_routes(&mut actions, |_, _| Ok(()))?;
+    let load_ms = t1.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "loaded header + actions: {} route files, {} rules, {} actions in {:.0}ms",
+        header.route_devices.len(),
+        total,
+        actions.len(),
+        load_ms
+    );
+    let load = Phase {
+        name: "dataset_load",
+        wall_ms: load_ms,
+        ops: total as u64,
+        extra: vec![("actions", actions.len() as f64)],
+    };
+
+    // Phase 3: pass 2 streams each device's FIB into the verifier as
+    // its block completes; per-device latency is the block figure.
+    let actions = std::sync::Arc::new(actions);
+    let mut verifier = SubspaceVerifier::new(SubspaceVerifierConfig {
+        topo: header.topo.clone(),
+        actions: actions.clone(),
+        layout: header.layout.clone(),
+        subspace: SubspaceSpec::whole(),
+        bst: usize::MAX,
+        properties: vec![Property::LoopFreedom],
+        tuning: ImtTuning::default(),
+    });
+    let mut per_block_ms = Stats::default();
+    let mut pass2 = ActionTable::new();
+    let topo = header.topo.clone();
+    let t2 = Instant::now();
+    header.stream_routes(&mut pass2, |dev, rules| {
+        let tb = Instant::now();
+        let updates = rules.into_iter().map(RuleUpdate::insert).collect();
+        for report in verifier.ingest_synchronized(dev, updates) {
+            match report {
+                PropertyReport::LoopFound { cycle } => {
+                    let names: Vec<&str> = cycle.iter().map(|d| topo.name(*d)).collect();
+                    violations.push(format!("loop: {}", names.join(" -> ")));
+                }
+                PropertyReport::Unsatisfied { requirement } => {
+                    violations.push(format!("unsatisfied: {requirement}"));
+                }
+                _ => {}
+            }
+        }
+        per_block_ms.push(tb.elapsed().as_secs_f64() * 1e3);
+        Ok(())
+    })?;
+    let verify_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+    let mgr = verifier.manager();
+    let stats = mgr.stats();
+    println!(
+        "verified {} rules in {:.0}ms: {} classes, block p50 {:.2}ms p99 {:.2}ms max {:.2}ms",
+        total,
+        verify_ms,
+        mgr.model().len(),
+        per_block_ms.percentile(50.0),
+        per_block_ms.percentile(99.0),
+        per_block_ms.max()
+    );
+    for v in violations.iter() {
+        println!("VIOLATION {v}");
+    }
+    let verify = Phase {
+        name: "stream_verify",
+        wall_ms: verify_ms,
+        ops: mgr.engine().op_count() as u64,
+        extra: vec![
+            ("rules", total as f64),
+            ("classes", mgr.model().len() as f64),
+            ("updates_accepted", stats.updates_accepted as f64),
+            ("compact_overwrites", stats.compact_overwrites as f64),
+            ("block_p50_ms", per_block_ms.percentile(50.0)),
+            ("block_p90_ms", per_block_ms.percentile(90.0)),
+            ("block_p99_ms", per_block_ms.percentile(99.0)),
+            ("block_max_ms", per_block_ms.max()),
+            ("violations", violations.len() as f64),
+        ],
+    };
+    Ok((load, verify, !violations.is_empty()))
+}

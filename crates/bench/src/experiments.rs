@@ -53,7 +53,7 @@ pub fn construction_compare(
     let mut mm = ModelManager::new(ModelManagerConfig::whole_space(fibs.layout.clone()));
     let t0 = Instant::now();
     for (d, u) in &seq {
-        mm.submit(*d, [u.clone()]);
+        mm.submit(*d, [*u]);
     }
     mm.flush();
     let flash = ConstructionResult {
@@ -157,7 +157,7 @@ pub fn fig7_sweep(fibs: &fibgen::GeneratedFibs, fractions: &[f64]) -> Vec<BstPoi
         });
         let t0 = Instant::now();
         for (d, u) in &seq {
-            mm.submit(*d, [u.clone()]);
+            mm.submit(*d, [*u]);
         }
         mm.flush();
         t0.elapsed()
@@ -363,10 +363,10 @@ pub fn longtail_trace_trials(trials: u64, dampened: usize, rules_per_device: usi
                 let mut v: Vec<RuleUpdate> =
                     f.rules.iter().cloned().map(RuleUpdate::insert).collect();
                 if f.device == chic {
-                    v.push(RuleUpdate::insert(Rule::new(loop_prefix.clone(), 1 << 30, to_kans)));
+                    v.push(RuleUpdate::insert(Rule::new(loop_prefix, 1 << 30, to_kans)));
                 }
                 if f.device == kans {
-                    v.push(RuleUpdate::insert(Rule::new(loop_prefix.clone(), 1 << 30, to_chic)));
+                    v.push(RuleUpdate::insert(Rule::new(loop_prefix, 1 << 30, to_chic)));
                 }
                 (f.device, v)
             })
@@ -446,7 +446,7 @@ pub fn fig11(scale: Scale) -> Fig11Breakdown {
             ..ModelManagerConfig::whole_space(setting.fibs.layout.clone())
         });
         for (d, u) in &seq {
-            mm.submit(*d, [u.clone()]);
+            mm.submit(*d, [*u]);
         }
         mm.flush();
         let t = mm.timings();
@@ -710,7 +710,7 @@ pub fn churn_workload(
             {
                 continue;
             }
-            installed.push((dev, r.clone()));
+            installed.push((dev, r));
             out.push((dev, RuleUpdate::insert(r)));
         }
     }

@@ -64,6 +64,20 @@ pub fn mib(bytes: usize) -> String {
     format!("{:.1}", bytes as f64 / (1024.0 * 1024.0))
 }
 
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`). Returns `None` on platforms without procfs or
+/// when the field is missing — callers report "n/a" rather than fail.
+pub fn peak_rss_bytes() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kib: usize = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kib * 1024);
+        }
+    }
+    None
+}
+
 /// Basic order statistics of a sample (written for printing CDFs).
 #[derive(Clone, Debug, Default)]
 pub struct Stats {
@@ -155,6 +169,18 @@ mod tests {
         let items: Vec<u32> = (0..10).collect();
         let t = run_with_deadline(&items, Duration::from_secs(5), 1, |_| {});
         assert!(!t.is_timeout());
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_on_linux() {
+        // On Linux procfs is always there; elsewhere None is the contract.
+        match peak_rss_bytes() {
+            Some(b) => assert!(b > 1024 * 1024, "peak RSS below 1 MiB: {b}"),
+            None => assert!(
+                !std::path::Path::new("/proc/self/status").exists(),
+                "procfs present but VmHWM not parsed"
+            ),
+        }
     }
 
     #[test]

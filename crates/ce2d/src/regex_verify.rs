@@ -546,7 +546,7 @@ mod tests {
         let layout = mgr.layout().clone();
         let mut at = (*actions).clone();
         let ab = at.fwd(m["B"]);
-        let r = Rule::new(Match::dst_prefix(&layout, 0x10, 8).clone(), 1, ab);
+        let r = Rule::new(Match::dst_prefix(&layout, 0x10, 8), 1, ab);
         // Only a sub-prefix:
         let sub = Rule::new(Match::dst_prefix(&layout, 0x10, 8), 2, ab);
         let _ = r;

@@ -231,8 +231,8 @@ mod tests {
         let fwd_c = at.fwd(c);
         let m_label0 = Match::any(&layout).with(FieldId(1), flash_netmodel::MatchKind::Exact(0));
         let m_label7 = Match::any(&layout).with(FieldId(1), flash_netmodel::MatchKind::Exact(7));
-        mgr.submit(a, [RuleUpdate::insert(Rule::new(m_label0.clone(), 1, t_ab))]);
-        mgr.submit(b, [RuleUpdate::insert(Rule::new(m_label7.clone(), 1, fwd_c))]);
+        mgr.submit(a, [RuleUpdate::insert(Rule::new(m_label0, 1, t_ab))]);
+        mgr.submit(b, [RuleUpdate::insert(Rule::new(m_label7, 1, fwd_c))]);
         mgr.flush();
 
         let tr = RewriteTraversal::new(topo, Arc::new(at), layout.clone());
@@ -254,8 +254,8 @@ mod tests {
         let fwd_b = at.fwd(b);
         let fwd_c = at.fwd(c);
         let m = Match::dst_prefix(&layout, 0b1010, 4);
-        mgr.submit(a, [RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_b))]);
-        mgr.submit(b, [RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_c))]);
+        mgr.submit(a, [RuleUpdate::insert(Rule::new(m, 1, fwd_b))]);
+        mgr.submit(b, [RuleUpdate::insert(Rule::new(m, 1, fwd_c))]);
         mgr.flush();
         let tr = RewriteTraversal::new(topo, Arc::new(at), layout.clone());
         let (engine, pat, model) = mgr.parts_mut();

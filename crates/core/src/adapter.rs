@@ -44,6 +44,23 @@ pub struct NetworkFile {
     pub properties: Vec<Property>,
 }
 
+/// The non-FIB portion of a network description: everything a verifier
+/// needs *before* rules start flowing. Produced by the streaming entry
+/// points, which hand each device's rules to a sink instead of
+/// materializing the whole `Vec<(DeviceId, Vec<Rule>)>` — at hyper scale
+/// the rule bodies dwarf the topology by orders of magnitude.
+#[derive(Debug)]
+pub struct NetworkHeader {
+    pub topo: Arc<Topology>,
+    pub actions: Arc<ActionTable>,
+    pub layout: HeaderLayout,
+    pub properties: Vec<Property>,
+    /// Devices with `fib` blocks, in file order (repeats allowed).
+    pub fib_devices: Vec<DeviceId>,
+    /// Total rules across all `fib` blocks.
+    pub total_rules: usize,
+}
+
 /// Adapter parse failures are [`FlashError::Parse`] values carrying the
 /// 1-based line number; this alias keeps the seed's name working.
 pub type AdapterError = FlashError;
@@ -92,18 +109,29 @@ pub fn format_prefix(value: u64, len: u32) -> String {
     )
 }
 
-/// Parses the full network file.
-pub fn parse_network(input: &str) -> Result<NetworkFile, FlashError> {
+/// The shared line-streaming parse core. Each completed `fib` block is
+/// flushed to `sink` the moment it ends (next directive or EOF), so only
+/// one device's rules are resident at a time; header state (topology,
+/// actions, requirements) accumulates normally.
+fn parse_lines<I, S, F>(lines: I, sink: &mut F) -> Result<NetworkHeader, FlashError>
+where
+    I: Iterator<Item = std::io::Result<S>>,
+    S: AsRef<str>,
+    F: FnMut(DeviceId, Vec<Rule>) -> Result<(), FlashError>,
+{
     let layout = HeaderLayout::dst_only();
     let mut topo = Topology::new();
     let mut actions = ActionTable::new();
-    let mut fibs: Vec<(DeviceId, Vec<Rule>)> = Vec::new();
     let mut requires: Vec<(usize, String)> = Vec::new();
-    let mut current_fib: Option<usize> = None;
+    let mut current: Option<(DeviceId, Vec<Rule>)> = None;
+    let mut fib_devices = Vec::new();
+    let mut total_rules = 0usize;
 
-    for (i, raw) in input.lines().enumerate() {
-        let lineno = i + 1;
-        let line = raw.split('#').next().unwrap_or("").trim();
+    let mut lineno = 0usize;
+    for raw in lines {
+        lineno += 1;
+        let raw = raw.map_err(|e| err(lineno, format!("io: {e}")))?;
+        let line = raw.as_ref().split('#').next().unwrap_or("").trim();
         if line.is_empty() {
             continue;
         }
@@ -113,9 +141,15 @@ pub fn parse_network(input: &str) -> Result<NetworkFile, FlashError> {
             // error beats a panic if the filtering ever changes.
             return Err(err(lineno, "empty directive"));
         };
+        // Any non-rule directive terminates the open fib block.
+        if keyword != "fib" && !keyword.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            if let Some((dev, rules)) = current.take() {
+                total_rules += rules.len();
+                sink(dev, rules)?;
+            }
+        }
         match keyword {
             "node" | "external" => {
-                current_fib = None;
                 let name = parts
                     .next()
                     .ok_or_else(|| err(lineno, "expected a node name"))?;
@@ -137,7 +171,6 @@ pub fn parse_network(input: &str) -> Result<NetworkFile, FlashError> {
                 }
             }
             "link" => {
-                current_fib = None;
                 let a = parts
                     .next()
                     .and_then(|n| topo.lookup(n))
@@ -149,22 +182,25 @@ pub fn parse_network(input: &str) -> Result<NetworkFile, FlashError> {
                 topo.add_bilink(a, b);
             }
             "fib" => {
+                if let Some((dev, rules)) = current.take() {
+                    total_rules += rules.len();
+                    sink(dev, rules)?;
+                }
                 let name = parts
                     .next()
                     .ok_or_else(|| err(lineno, "expected a device name"))?;
                 let dev = topo
                     .lookup(name)
                     .ok_or_else(|| err(lineno, format!("unknown device {name:?}")))?;
-                fibs.push((dev, Vec::new()));
-                current_fib = Some(fibs.len() - 1);
+                fib_devices.push(dev);
+                current = Some((dev, Vec::new()));
             }
             "require" => {
-                current_fib = None;
                 requires.push((lineno, line.to_string()));
             }
             _ => {
                 // Inside a fib block: "prefix priority action".
-                let Some(fi) = current_fib else {
+                let Some((_, rules)) = current.as_mut() else {
                     return Err(err(lineno, format!("unexpected directive {keyword:?}")));
                 };
                 let (value, len) = parse_prefix(keyword, lineno)?;
@@ -177,13 +213,17 @@ pub fn parse_network(input: &str) -> Result<NetworkFile, FlashError> {
                     .next()
                     .ok_or_else(|| err(lineno, "expected an action"))?;
                 let action = parse_action(action_str, &topo, &mut actions, lineno)?;
-                fibs[fi].1.push(Rule::new(
+                rules.push(Rule::new(
                     Match::dst_prefix(&layout, value, len),
                     priority,
                     action,
                 ));
             }
         }
+    }
+    if let Some((dev, rules)) = current.take() {
+        total_rules += rules.len();
+        sink(dev, rules)?;
     }
 
     // Requirements are parsed after the topology so names resolve.
@@ -192,13 +232,53 @@ pub fn parse_network(input: &str) -> Result<NetworkFile, FlashError> {
         properties.push(parse_require(&line, lineno, &topo, &layout)?);
     }
 
-    Ok(NetworkFile {
+    Ok(NetworkHeader {
         topo: Arc::new(topo),
         actions: Arc::new(actions),
         layout,
-        fibs,
         properties,
+        fib_devices,
+        total_rules,
     })
+}
+
+/// Parses the full network file into memory.
+pub fn parse_network(input: &str) -> Result<NetworkFile, FlashError> {
+    let mut fibs: Vec<(DeviceId, Vec<Rule>)> = Vec::new();
+    let header = parse_lines(input.lines().map(std::io::Result::Ok), &mut |dev, rules| {
+        fibs.push((dev, rules));
+        Ok(())
+    })?;
+    Ok(NetworkFile {
+        topo: header.topo,
+        actions: header.actions,
+        layout: header.layout,
+        fibs,
+        properties: header.properties,
+    })
+}
+
+/// First pass of the two-pass streaming ingest: parses the topology,
+/// actions and requirements, counting rules but dropping their bodies.
+/// The returned header carries everything needed to construct a verifier;
+/// a second pass over the same input via [`stream_network_fibs`] then
+/// feeds the rules through without ever materializing more than one
+/// device's FIB.
+pub fn parse_network_header(reader: impl std::io::BufRead) -> Result<NetworkHeader, FlashError> {
+    parse_lines(reader.lines(), &mut |_, _| Ok(()))
+}
+
+/// Second pass of the streaming ingest: re-parses the input, handing each
+/// device's rules to `sink` as its `fib` block completes. Parsing is
+/// deterministic, so the topology, action ids and device ids seen by the
+/// sink agree exactly with the header from [`parse_network_header`] on
+/// the same input.
+pub fn stream_network_fibs<R, F>(reader: R, mut sink: F) -> Result<NetworkHeader, FlashError>
+where
+    R: std::io::BufRead,
+    F: FnMut(DeviceId, Vec<Rule>) -> Result<(), FlashError>,
+{
+    parse_lines(reader.lines(), &mut sink)
 }
 
 fn parse_action(
@@ -364,6 +444,28 @@ require http-detour 10.0.1.0/24 from s3 path "s3 .* s1 a"
         assert_eq!(net.actions.next_hops(ecmp_rule.action).len(), 2);
         // loop-freedom + 1 requirement
         assert_eq!(net.properties.len(), 2);
+    }
+
+    #[test]
+    fn streaming_parse_agrees_with_batch() {
+        let net = parse_network(SAMPLE).unwrap();
+        // Pass 1: header only.
+        let header = parse_network_header(std::io::Cursor::new(SAMPLE)).unwrap();
+        assert_eq!(header.topo.device_count(), net.topo.device_count());
+        assert_eq!(header.total_rules, net.fibs.iter().map(|(_, r)| r.len()).sum::<usize>());
+        assert_eq!(
+            header.fib_devices,
+            net.fibs.iter().map(|(d, _)| *d).collect::<Vec<_>>()
+        );
+        assert_eq!(header.properties.len(), net.properties.len());
+        // Pass 2: streamed blocks arrive in file order with identical rules.
+        let mut streamed = Vec::new();
+        stream_network_fibs(std::io::Cursor::new(SAMPLE), |dev, rules| {
+            streamed.push((dev, rules));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(streamed, net.fibs);
     }
 
     #[test]

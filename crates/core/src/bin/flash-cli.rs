@@ -3,35 +3,48 @@
 //! ```text
 //! flash-cli check <network-file> [--classes] [--quiet]
 //! flash-cli journal <journal-file>
+//! flash-cli dataset generate <dir> [--k N] [--hostbits N] [--prefixes N] [--quiet]
+//! flash-cli dataset load <dir> [--classes] [--quiet]
 //! ```
 //!
-//! `check` loads the topology, FIBs and requirements from the file (see
-//! `flash_core::adapter` for the format), streams every FIB through Fast
-//! IMT, runs consistent early detection after each device, and prints
-//! the verdicts plus model statistics. Exit code 1 when any property is
-//! violated.
+//! `check` verifies a text network file (see `flash_core::adapter` for
+//! the format) with a two-pass streaming ingest: pass one parses the
+//! topology, actions and requirements (dropping rule bodies), pass two
+//! streams each device's FIB into Fast IMT as its block completes — the
+//! whole rule set is never resident. Consistent early detection runs
+//! after each device; verdicts plus model statistics are printed. Exit
+//! code 1 when any property is violated.
+//!
+//! `dataset generate` writes a fat-tree StdFIB dataset to a directory in
+//! the on-disk layout of `flash_workloads::dataset` (HeTu-style:
+//! `topology.json`, `packet_space.json`, `edge_devices`,
+//! `data/routes/<device>`), generating device by device. `dataset load`
+//! streams such a directory through the verifier.
 //!
 //! `journal` pretty-prints a durable epoch journal (a `worker-N.fjl`
 //! file written by `RecoveryOptions::journal_dir`): the checkpoint it
 //! leads with, the jobs journaled since, and whether the tail is clean
 //! or torn by a crash. Exit code 1 on a torn tail.
 
-use flash_core::adapter::{format_prefix, parse_network};
+use flash_core::adapter::{format_prefix, parse_network_header, stream_network_fibs};
 use flash_core::{
-    EpochJournal, JournalEntry, JournalTail, PropertyReport, SubspaceVerifier,
+    EpochJournal, JournalEntry, JournalTail, Property, PropertyReport, SubspaceVerifier,
     SubspaceVerifierConfig,
 };
 use flash_imt::SubspaceSpec;
+use flash_netmodel::{ActionTable, HeaderLayout, Topology};
+use flash_workloads::dataset;
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-const USAGE: &str =
-    "usage: flash-cli check <network-file> [--classes] [--quiet]\n       flash-cli journal <journal-file>";
+const USAGE: &str = "usage: flash-cli check <network-file> [--classes] [--quiet]\n       \
+     flash-cli journal <journal-file>\n       \
+     flash-cli dataset generate <dir> [--k N] [--hostbits N] [--prefixes N] [--quiet]\n       \
+     flash-cli dataset load <dir> [--classes] [--quiet]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut files = Vec::new();
-    let mut show_classes = false;
-    let mut quiet = false;
     let mut it = args.iter();
     match it.next().map(|s| s.as_str()) {
         Some("check") => {}
@@ -42,11 +55,15 @@ fn main() -> ExitCode {
             };
             return print_journal(path);
         }
+        Some("dataset") => return cmd_dataset(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     }
+    let mut files = Vec::new();
+    let mut show_classes = false;
+    let mut quiet = false;
     for a in it {
         match a.as_str() {
             "--classes" => show_classes = true,
@@ -58,16 +75,27 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    cmd_check(path, show_classes, quiet)
+}
 
-    let input = match std::fs::read_to_string(path) {
-        Ok(s) => s,
+fn open_reader(path: &str) -> Result<std::io::BufReader<std::fs::File>, ExitCode> {
+    match std::fs::File::open(path) {
+        Ok(f) => Ok(std::io::BufReader::new(f)),
         Err(e) => {
             eprintln!("cannot read {path}: {e}");
-            return ExitCode::from(2);
+            Err(ExitCode::from(2))
         }
+    }
+}
+
+fn cmd_check(path: &str, show_classes: bool, quiet: bool) -> ExitCode {
+    // Pass 1: header only — topology, actions, requirements, rule counts.
+    let reader = match open_reader(path) {
+        Ok(r) => r,
+        Err(c) => return c,
     };
-    let net = match parse_network(&input) {
-        Ok(n) => n,
+    let header = match parse_network_header(reader) {
+        Ok(h) => h,
         Err(e) => {
             eprintln!("{path}: {e}");
             return ExitCode::from(2);
@@ -75,79 +103,249 @@ fn main() -> ExitCode {
     };
     if !quiet {
         println!(
-            "loaded {}: {} devices, {} links, {} FIBs, {} properties",
+            "loaded {}: {} devices, {} links, {} FIBs ({} rules), {} properties",
             path,
-            net.topo.device_count(),
-            net.topo.link_count(),
-            net.fibs.len(),
-            net.properties.len()
+            header.topo.device_count(),
+            header.topo.link_count(),
+            header.fib_devices.len(),
+            header.total_rules,
+            header.properties.len()
         );
     }
 
     let mut verifier = SubspaceVerifier::new(SubspaceVerifierConfig {
-        topo: net.topo.clone(),
-        actions: net.actions.clone(),
-        layout: net.layout.clone(),
+        topo: header.topo.clone(),
+        actions: header.actions.clone(),
+        layout: header.layout.clone(),
         subspace: SubspaceSpec::whole(),
         bst: usize::MAX,
-        properties: net.properties.clone(),
+        properties: header.properties.clone(),
         tuning: flash_imt::ImtTuning::default(),
     });
 
+    // Pass 2: stream each device's FIB straight into the verifier.
+    let reader = match open_reader(path) {
+        Ok(r) => r,
+        Err(c) => return c,
+    };
     let mut violated = false;
     let t0 = std::time::Instant::now();
-    for (dev, rules) in &net.fibs {
+    let topo = header.topo.clone();
+    let streamed = stream_network_fibs(reader, |dev, rules| {
         let updates = rules
-            .iter()
-            .cloned()
+            .into_iter()
             .map(flash_netmodel::RuleUpdate::insert)
             .collect();
-        for report in verifier.ingest_synchronized(*dev, updates) {
-            match &report {
-                PropertyReport::LoopFound { cycle } => {
-                    violated = true;
-                    let names: Vec<&str> =
-                        cycle.iter().map(|d| net.topo.name(*d)).collect();
-                    println!("VIOLATION loop: {}", names.join(" -> "));
-                }
-                PropertyReport::Unsatisfied { requirement } => {
-                    violated = true;
-                    println!("VIOLATION requirement {requirement:?} cannot be satisfied");
-                }
-                PropertyReport::Satisfied { requirement } => {
-                    if !quiet {
-                        println!("ok: requirement {requirement:?} satisfied");
-                    }
-                }
-                PropertyReport::LoopFreedomHolds => {
-                    if !quiet {
-                        println!("ok: loop freedom holds");
-                    }
-                }
-            }
+        for report in verifier.ingest_synchronized(dev, updates) {
+            print_report(&report, &topo, quiet, &mut violated);
         }
+        Ok(())
+    });
+    if let Err(e) = streamed {
+        eprintln!("{path}: {e}");
+        return ExitCode::from(2);
     }
     let elapsed = t0.elapsed();
 
-    let mgr = verifier.manager();
-    if !quiet {
-        let stats = mgr.stats();
-        println!(
-            "model: {} equivalence classes from {} updates ({} atomic -> {} compact overwrites), \
-             {} predicate ops, {:.1?}",
-            mgr.model().len(),
-            stats.updates_accepted,
-            stats.atomic_overwrites,
-            stats.compact_overwrites,
-            mgr.engine().op_count(),
-            elapsed
-        );
-        println!("predicates: {}", stats.engine.summary());
-    }
+    print_model_stats(&verifier, quiet, elapsed);
     if show_classes {
-        print_classes(&mut verifier, &net);
+        print_classes(&mut verifier, &header.topo, &header.actions);
     }
 
+    if violated {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_report(
+    report: &PropertyReport,
+    topo: &Topology,
+    quiet: bool,
+    violated: &mut bool,
+) {
+    match report {
+        PropertyReport::LoopFound { cycle } => {
+            *violated = true;
+            let names: Vec<&str> = cycle.iter().map(|d| topo.name(*d)).collect();
+            println!("VIOLATION loop: {}", names.join(" -> "));
+        }
+        PropertyReport::Unsatisfied { requirement } => {
+            *violated = true;
+            println!("VIOLATION requirement {requirement:?} cannot be satisfied");
+        }
+        PropertyReport::Satisfied { requirement } => {
+            if !quiet {
+                println!("ok: requirement {requirement:?} satisfied");
+            }
+        }
+        PropertyReport::LoopFreedomHolds => {
+            if !quiet {
+                println!("ok: loop freedom holds");
+            }
+        }
+    }
+}
+
+fn print_model_stats(verifier: &SubspaceVerifier, quiet: bool, elapsed: std::time::Duration) {
+    if quiet {
+        return;
+    }
+    let mgr = verifier.manager();
+    let stats = mgr.stats();
+    println!(
+        "model: {} equivalence classes from {} updates ({} atomic -> {} compact overwrites), \
+         {} predicate ops, {:.1?}",
+        mgr.model().len(),
+        stats.updates_accepted,
+        stats.atomic_overwrites,
+        stats.compact_overwrites,
+        mgr.engine().op_count(),
+        elapsed
+    );
+    println!("predicates: {}", stats.engine.summary());
+    let mt = flash_netmodel::MatchTable::global().stats();
+    println!(
+        "matches: {} distinct interned ({} hits, ~{} KiB)",
+        mt.distinct,
+        mt.hits,
+        mt.approx_bytes / 1024
+    );
+}
+
+fn cmd_dataset(args: &[String]) -> ExitCode {
+    let mut it = args.iter();
+    let sub = it.next().map(|s| s.as_str());
+    let mut dirs = Vec::new();
+    let mut quiet = false;
+    let mut show_classes = false;
+    let mut k = 8u32;
+    let mut host_bits = 8u32;
+    let mut prefixes = 4u32;
+    let mut expect_num: Option<&str> = None;
+    for a in it {
+        if let Some(flag) = expect_num.take() {
+            let Ok(v) = a.parse::<u32>() else {
+                eprintln!("bad value for {flag}: {a:?}");
+                return ExitCode::from(2);
+            };
+            match flag {
+                "--k" => k = v,
+                "--hostbits" => host_bits = v,
+                "--prefixes" => prefixes = v,
+                _ => unreachable!(),
+            }
+            continue;
+        }
+        match a.as_str() {
+            "--quiet" => quiet = true,
+            "--classes" => show_classes = true,
+            "--k" | "--hostbits" | "--prefixes" => expect_num = Some(a.as_str()),
+            d => dirs.push(d.to_string()),
+        }
+    }
+    if expect_num.is_some() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    let Some(dir) = dirs.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match sub {
+        Some("generate") => {
+            if k < 2 || !k.is_multiple_of(2) {
+                eprintln!("--k must be even and >= 2");
+                return ExitCode::from(2);
+            }
+            match dataset::generate_fat_tree_dataset(Path::new(dir), k, host_bits, prefixes) {
+                Ok(s) => {
+                    if !quiet {
+                        println!(
+                            "generated {dir}: k={k} fat tree, {} devices, {} links, \
+                             {} edge devices, {} rules",
+                            s.devices, s.links, s.edge_devices, s.rules
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{dir}: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("load") => cmd_dataset_load(dir, show_classes, quiet),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_dataset_load(dir: &str, show_classes: bool, quiet: bool) -> ExitCode {
+    let header = match dataset::load_header(Path::new(dir)) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("{dir}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // Pass 1 over the route files: build the complete action table.
+    let mut actions = ActionTable::new();
+    let total = match header.stream_routes(&mut actions, |_, _| Ok(())) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{dir}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if !quiet {
+        println!(
+            "loaded {dir}: {} devices, {} links, {} route files, {} rules, {} edge devices",
+            header.topo.device_count(),
+            header.topo.link_count(),
+            header.route_devices.len(),
+            total,
+            header.edge_devices.len()
+        );
+    }
+    let actions = Arc::new(actions);
+    let layout: HeaderLayout = header.layout.clone();
+    let mut verifier = SubspaceVerifier::new(SubspaceVerifierConfig {
+        topo: header.topo.clone(),
+        actions: actions.clone(),
+        layout,
+        subspace: SubspaceSpec::whole(),
+        bst: usize::MAX,
+        properties: vec![Property::LoopFreedom],
+        tuning: flash_imt::ImtTuning::default(),
+    });
+    // Pass 2: stream rules into the verifier (ids agree with pass 1).
+    let mut violated = false;
+    let topo = header.topo.clone();
+    let t0 = std::time::Instant::now();
+    let mut pass2 = ActionTable::new();
+    let streamed = header.stream_routes(&mut pass2, |dev, rules| {
+        let updates = rules
+            .into_iter()
+            .map(flash_netmodel::RuleUpdate::insert)
+            .collect();
+        for report in verifier.ingest_synchronized(dev, updates) {
+            print_report(&report, &topo, quiet, &mut violated);
+        }
+        Ok(())
+    });
+    if let Err(e) = streamed {
+        eprintln!("{dir}: {e}");
+        return ExitCode::from(2);
+    }
+    let elapsed = t0.elapsed();
+    print_model_stats(&verifier, quiet, elapsed);
+    if show_classes {
+        print_classes(&mut verifier, &header.topo, &actions);
+    }
     if violated {
         ExitCode::from(1)
     } else {
@@ -218,9 +416,13 @@ fn print_journal(path: &str) -> ExitCode {
 
 /// Prints every equivalence class as a witness prefix plus its action
 /// vector.
-fn print_classes(verifier: &mut SubspaceVerifier, net: &flash_core::adapter::NetworkFile) {
-    let topo = net.topo.clone();
-    let actions = net.actions.clone();
+fn print_classes(
+    verifier: &mut SubspaceVerifier,
+    topo: &Arc<Topology>,
+    actions: &Arc<ActionTable>,
+) {
+    let topo = topo.clone();
+    let actions = actions.clone();
     let mgr = verifier.manager_mut();
     let (engine, pat, model) = mgr.parts_mut();
     println!("equivalence classes:");

@@ -254,7 +254,7 @@ mod tests {
         let mut d = dispatcher(&topo, &actions, &layout);
         let m = Match::dst_prefix(&layout, 10, 8);
         let (fwd_a, fwd_b) = (flash_netmodel::ActionId(1), flash_netmodel::ActionId(2));
-        d.on_message(0, ids[0], 77, vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_b))]);
+        d.on_message(0, ids[0], 77, vec![RuleUpdate::insert(Rule::new(m, 1, fwd_b))]);
         let r = d.on_message(5, ids[1], 77, vec![RuleUpdate::insert(Rule::new(m, 1, fwd_a))]);
         assert_eq!(r.len(), 1);
         assert!(matches!(r[0].report, PropertyReport::LoopFound { .. }));
@@ -273,9 +273,9 @@ mod tests {
         let (fwd_a, fwd_b, fwd_c) =
             (flash_netmodel::ActionId(1), flash_netmodel::ActionId(2), flash_netmodel::ActionId(3));
         // Epoch 1: a→b (b,c silent so far).
-        d.on_message(0, ids[0], 1, vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_b))]);
+        d.on_message(0, ids[0], 1, vec![RuleUpdate::insert(Rule::new(m, 1, fwd_b))]);
         // Epoch 2 arrives at b first: b→a. (In epoch 2, a will route to c.)
-        d.on_message(5, ids[1], 2, vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_a))]);
+        d.on_message(5, ids[1], 2, vec![RuleUpdate::insert(Rule::new(m, 1, fwd_a))]);
         // No deterministic loop may be reported: within epoch 1 only a is
         // synced; within epoch 2 only b is synced.
         assert!(d.reports().iter().all(|r| !matches!(r.report, PropertyReport::LoopFound { .. })));
@@ -285,8 +285,8 @@ mod tests {
             ids[0],
             2,
             vec![
-                RuleUpdate::delete(Rule::new(m.clone(), 1, fwd_b)),
-                RuleUpdate::insert(Rule::new(m.clone(), 2, fwd_c)),
+                RuleUpdate::delete(Rule::new(m, 1, fwd_b)),
+                RuleUpdate::insert(Rule::new(m, 2, fwd_c)),
             ],
         );
         let r = d.on_message(12, ids[2], 2, vec![]);
@@ -303,9 +303,9 @@ mod tests {
         let m = Match::dst_prefix(&layout, 10, 8);
         let (fwd_a, fwd_b) = (flash_netmodel::ActionId(1), flash_netmodel::ActionId(2));
         d.on_message(0, ids[0], 1, vec![]);
-        d.on_message(1, ids[0], 2, vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_b))]);
+        d.on_message(1, ids[0], 2, vec![RuleUpdate::insert(Rule::new(m, 1, fwd_b))]);
         // Epoch 1 is now inactive; c's stale message is queued only.
-        d.on_message(2, ids[2], 1, vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_a))]);
+        d.on_message(2, ids[2], 1, vec![RuleUpdate::insert(Rule::new(m, 1, fwd_a))]);
         assert_eq!(d.active_epochs(), vec![2]);
         // b reports epoch 2 with b→a: loop a→b? a→b and b→a: yes, loop —
         // proving a's epoch-2 rule was present.
@@ -341,14 +341,14 @@ mod tests {
         assert_eq!(d.active_epochs(), vec![2]);
         // c reports the dead epoch 1 with c→a: queued in history only —
         // no active verifier for epoch 1 exists anymore.
-        let r = d.on_message(2, ids[2], 1, vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_a))]);
+        let r = d.on_message(2, ids[2], 1, vec![RuleUpdate::insert(Rule::new(m, 1, fwd_a))]);
         assert!(r.is_empty(), "dead-epoch updates produce no immediate reports");
         assert_eq!(d.active_epochs(), vec![2]);
         // b activates epoch 3: the new verifier set is seeded by replay,
         // which must include c's dead-epoch rule (c unsynchronized).
         d.on_message(3, ids[1], 3, vec![]);
         // a joins epoch 3 with a→c; no loop yet — c is not synchronized.
-        let r = d.on_message(4, ids[0], 3, vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_c))]);
+        let r = d.on_message(4, ids[0], 3, vec![RuleUpdate::insert(Rule::new(m, 1, fwd_c))]);
         assert!(r.iter().all(|x| !matches!(x.report, PropertyReport::LoopFound { .. })));
         // c synchronizes into epoch 3 with no new updates: the loop
         // a→c→a closes using the rule that arrived on the dead epoch,

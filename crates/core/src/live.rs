@@ -553,7 +553,7 @@ mod tests {
             at: 1,
             device: ids[0],
             epoch: 42,
-            updates: vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_b))],
+            updates: vec![RuleUpdate::insert(Rule::new(m, 1, fwd_b))],
         });
         v.send(LiveMessage {
             at: 2,
@@ -595,7 +595,7 @@ mod tests {
             at: 1,
             device: ids[0],
             epoch: 7,
-            updates: vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_b))],
+            updates: vec![RuleUpdate::insert(Rule::new(m, 1, fwd_b))],
         });
         v.send(LiveMessage {
             at: 2,
@@ -733,7 +733,7 @@ mod tests {
             at: 1,
             device: ids[0],
             epoch: 5,
-            updates: vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_b))],
+            updates: vec![RuleUpdate::insert(Rule::new(m, 1, fwd_b))],
         });
         v.send(LiveMessage {
             at: 2,

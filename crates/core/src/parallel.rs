@@ -137,7 +137,7 @@ mod tests {
         // Sequential whole-space baseline.
         let mut mgr = ModelManager::new(ModelManagerConfig::whole_space(layout.clone()));
         for (d, u) in &updates {
-            mgr.submit(*d, [u.clone()]);
+            mgr.submit(*d, [*u]);
         }
         mgr.flush();
         let whole_classes = mgr.model().len();

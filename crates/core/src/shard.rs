@@ -401,7 +401,7 @@ impl ShardCore {
             let mut v = core.build_verifier(scp.shard);
             for (dev, rules) in &scp.fibs {
                 let ups: Vec<RuleUpdate> =
-                    rules.iter().map(|r| RuleUpdate::insert(r.clone())).collect();
+                    rules.iter().map(|r| RuleUpdate::insert(*r)).collect();
                 v.ingest_unsynchronized(*dev, ups);
             }
             v.merge_emitted(scp.emitted.iter().cloned());
@@ -518,7 +518,7 @@ impl ShardCore {
             // The one real clone per update, at the applying shard.
             for &i in routed {
                 let (d, u) = &block.updates[i as usize];
-                v.ingest(*d, vec![u.clone()]);
+                v.ingest(*d, vec![*u]);
             }
             v.flush();
             let reports = if model_only {
@@ -1128,7 +1128,7 @@ mod tests {
         for k in 0..3u64 {
             pool.submit(vec![(
                 ids[0],
-                RuleUpdate::insert(Rule::new(m.clone(), (k + 1) as i64, fwd_b)),
+                RuleUpdate::insert(Rule::new(m, (k + 1) as i64, fwd_b)),
             )]);
         }
         for k in 0..3u64 {
@@ -1152,7 +1152,7 @@ mod tests {
         let m = Match::dst_prefix(&layout, 10, 8); // low half of dst space
         let (fwd_a, fwd_b) = (flash_netmodel::ActionId(1), flash_netmodel::ActionId(2));
         pool.submit(vec![
-            (ids[0], RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_b))),
+            (ids[0], RuleUpdate::insert(Rule::new(m, 1, fwd_b))),
             (ids[1], RuleUpdate::insert(Rule::new(m, 1, fwd_a))),
         ]);
         let e = pool.recv_epoch(Duration::from_secs(10)).expect("epoch");
@@ -1203,7 +1203,7 @@ mod tests {
         let fwd_b = flash_netmodel::ActionId(2);
         pool.submit(vec![(
             ids[0],
-            RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_b)),
+            RuleUpdate::insert(Rule::new(m, 1, fwd_b)),
         )]);
         let e0 = pool.recv_epoch(Duration::from_secs(10)).expect("epoch 0");
         let ops_after_0 = e0.shards[0].ops;
@@ -1234,7 +1234,7 @@ mod tests {
         for k in 0..4u64 {
             pool.submit(vec![(
                 ids[(k % 3) as usize],
-                RuleUpdate::insert(Rule::new(m.clone(), (k + 1) as i64, fwd_b)),
+                RuleUpdate::insert(Rule::new(m, (k + 1) as i64, fwd_b)),
             )]);
         }
         for k in 0..4u64 {

@@ -286,7 +286,7 @@ mod tests {
         let m = Match::dst_prefix(&layout, 10, 8);
         let fwd_b = flash_netmodel::ActionId(2); // b is second device interned
         let fwd_a = flash_netmodel::ActionId(1);
-        let r1 = v.ingest_synchronized(ids[0], vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_b))]);
+        let r1 = v.ingest_synchronized(ids[0], vec![RuleUpdate::insert(Rule::new(m, 1, fwd_b))]);
         assert!(r1.is_empty());
         let r2 = v.ingest_synchronized(ids[1], vec![RuleUpdate::insert(Rule::new(m, 1, fwd_a))]);
         assert!(matches!(r2[0], PropertyReport::LoopFound { .. }));
@@ -298,7 +298,7 @@ mod tests {
         let mut v = SubspaceVerifier::new(config(&topo, &actions, &layout, vec![Property::LoopFreedom]));
         let m = Match::dst_prefix(&layout, 10, 8);
         let fwd_c = flash_netmodel::ActionId(3);
-        v.ingest_synchronized(ids[0], vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_c))]);
+        v.ingest_synchronized(ids[0], vec![RuleUpdate::insert(Rule::new(m, 1, fwd_c))]);
         v.ingest_synchronized(ids[1], vec![RuleUpdate::insert(Rule::new(m, 1, fwd_c))]);
         let r = v.ingest_synchronized(ids[2], vec![]);
         assert_eq!(r, vec![PropertyReport::LoopFreedomHolds]);
@@ -310,8 +310,8 @@ mod tests {
         let mut v = SubspaceVerifier::new(config(&topo, &actions, &layout, vec![Property::LoopFreedom]));
         let m = Match::dst_prefix(&layout, 10, 8);
         let (fwd_a, fwd_b) = (flash_netmodel::ActionId(1), flash_netmodel::ActionId(2));
-        v.ingest_synchronized(ids[0], vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_b))]);
-        let r2 = v.ingest_synchronized(ids[1], vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_a))]);
+        v.ingest_synchronized(ids[0], vec![RuleUpdate::insert(Rule::new(m, 1, fwd_b))]);
+        let r2 = v.ingest_synchronized(ids[1], vec![RuleUpdate::insert(Rule::new(m, 1, fwd_a))]);
         assert_eq!(r2.len(), 1);
         // Another ingest keeps the same loop: no duplicate report.
         let r3 = v.ingest_synchronized(ids[2], vec![]);
@@ -335,7 +335,7 @@ mod tests {
         ));
         let m = Match::dst_prefix(&layout, 10, 8);
         let fwd_c = flash_netmodel::ActionId(3);
-        v.ingest_synchronized(ids[0], vec![RuleUpdate::insert(Rule::new(m.clone(), 1, fwd_c))]);
+        v.ingest_synchronized(ids[0], vec![RuleUpdate::insert(Rule::new(m, 1, fwd_c))]);
         // c delivers locally (drop) — synchronize it so the path is final.
         let r = v.ingest_synchronized(
             ids[2],

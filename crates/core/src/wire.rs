@@ -554,18 +554,117 @@ impl Wire for UpdateStats {
     }
 }
 
+/// Per-frame match dictionary for rule-heavy frames.
+///
+/// A block or checkpoint routinely carries thousands of rules drawn from a
+/// far smaller set of distinct matches (every ToR prefix recurs once per
+/// device on the path). Instead of serializing each rule's full constraint
+/// vector, the encoder collects the distinct matches — cheap now that
+/// [`Match`] is an interned 4-byte handle, so dedup is a `MatchId` map
+/// probe — writes each structural form exactly once, and encodes rules as
+/// `u32` dictionary indices. Ids are process-local, so the *dictionary
+/// position* (dense, first-occurrence order) goes on the wire, never the
+/// raw `MatchId`; the decoder re-interns each entry into its own table.
+#[derive(Default)]
+struct MatchDict {
+    index: std::collections::HashMap<flash_netmodel::MatchId, u32>,
+    order: Vec<Match>,
+}
+
+impl MatchDict {
+    /// The dictionary index for `m`, assigning the next slot on first use.
+    fn index_of(&mut self, m: &Match) -> u32 {
+        *self.index.entry(m.id()).or_insert_with(|| {
+            self.order.push(*m);
+            (self.order.len() - 1) as u32
+        })
+    }
+
+    /// Encodes the table itself (each distinct match's structural form,
+    /// in index order). Must precede the rule body in the payload.
+    fn put(&self, w: &mut Vec<u8>) {
+        self.order.len().put(w);
+        for m in &self.order {
+            let kinds = m.kinds();
+            kinds.len().put(w);
+            for k in kinds {
+                k.put(w);
+            }
+        }
+    }
+
+    /// Decodes a table, re-interning every entry into this process's
+    /// global match table.
+    fn get_table(r: &mut WireReader<'_>) -> Result<Vec<Match>, WireError> {
+        let n = usize::get(r)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let k = usize::get(r)?;
+            let mut kinds = Vec::with_capacity(k);
+            for _ in 0..k {
+                kinds.push(MatchKind::get(r)?);
+            }
+            out.push(Match::from_kinds(kinds));
+        }
+        Ok(out)
+    }
+
+    fn lookup(table: &[Match], idx: u32) -> Result<Match, WireError> {
+        table
+            .get(idx as usize)
+            .copied()
+            .ok_or_else(|| WireError::new(format!("match dict index {idx} out of range")))
+    }
+}
+
+/// Encodes a rule against a frame dictionary: index + priority + action.
+fn put_rule_dicted(rule: &Rule, dict: &mut MatchDict, w: &mut Vec<u8>) {
+    dict.index_of(&rule.mat).put(w);
+    rule.priority.put(w);
+    rule.action.put(w);
+}
+
+fn get_rule_dicted(table: &[Match], r: &mut WireReader<'_>) -> Result<Rule, WireError> {
+    let mat = MatchDict::lookup(table, u32::get(r)?)?;
+    Ok(Rule::new(mat, i64::get(r)?, ActionId::get(r)?))
+}
+
 impl Wire for crate::shard::UpdateBlock {
     fn put(&self, w: &mut Vec<u8>) {
         self.seq.put(w);
-        self.updates.put(w);
+        // Rules reference the dictionary by index, but the dictionary is
+        // only known after walking them — encode the body to the side,
+        // then emit dict before body so the decoder reads it first.
+        let mut dict = MatchDict::default();
+        let mut body = Vec::new();
+        self.updates.len().put(&mut body);
+        for (dev, u) in &self.updates {
+            dev.put(&mut body);
+            u.op.put(&mut body);
+            put_rule_dicted(&u.rule, &mut dict, &mut body);
+        }
+        dict.put(w);
+        w.extend_from_slice(&body);
         self.routed.put(w);
     }
     fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        Ok(crate::shard::UpdateBlock {
-            seq: u64::get(r)?,
-            updates: Vec::get(r)?,
-            routed: Vec::get(r)?,
-        })
+        let seq = u64::get(r)?;
+        let table = MatchDict::get_table(r)?;
+        let n = usize::get(r)?;
+        let mut updates = Vec::with_capacity(n);
+        for _ in 0..n {
+            let dev = DeviceId::get(r)?;
+            let op = RuleOp::get(r)?;
+            let rule = get_rule_dicted(&table, r)?;
+            updates.push((
+                dev,
+                match op {
+                    RuleOp::Insert => RuleUpdate::insert(rule),
+                    RuleOp::Delete => RuleUpdate::delete(rule),
+                },
+            ));
+        }
+        Ok(crate::shard::UpdateBlock { seq, updates, routed: Vec::get(r)? })
     }
 }
 
@@ -629,17 +728,44 @@ impl Wire for ShardCheckpoint {
     fn put(&self, w: &mut Vec<u8>) {
         self.shard.put(w);
         self.built.put(w);
-        self.fibs.put(w);
+        // FIB snapshots dominate checkpoint size and repeat matches across
+        // devices; encode them against a per-checkpoint match dictionary.
+        let mut dict = MatchDict::default();
+        let mut body = Vec::new();
+        self.fibs.len().put(&mut body);
+        for (dev, rules) in &self.fibs {
+            dev.put(&mut body);
+            rules.len().put(&mut body);
+            for rule in rules {
+                put_rule_dicted(rule, &mut dict, &mut body);
+            }
+        }
+        dict.put(w);
+        w.extend_from_slice(&body);
         self.synced.put(w);
         self.emitted.put(w);
         self.class_fingerprints.put(w);
         self.stats.put(w);
     }
     fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let shard = usize::get(r)?;
+        let built = bool::get(r)?;
+        let table = MatchDict::get_table(r)?;
+        let nd = usize::get(r)?;
+        let mut fibs = Vec::with_capacity(nd);
+        for _ in 0..nd {
+            let dev = DeviceId::get(r)?;
+            let nr = usize::get(r)?;
+            let mut rules = Vec::with_capacity(nr);
+            for _ in 0..nr {
+                rules.push(get_rule_dicted(&table, r)?);
+            }
+            fibs.push((dev, rules));
+        }
         Ok(ShardCheckpoint {
-            shard: usize::get(r)?,
-            built: bool::get(r)?,
-            fibs: Vec::get(r)?,
+            shard,
+            built,
+            fibs,
             synced: Vec::get(r)?,
             emitted: Vec::get(r)?,
             class_fingerprints: Vec::get(r)?,
@@ -939,9 +1065,9 @@ mod tests {
         let m = Match::any(&layout)
             .with(FieldId(0), MatchKind::Prefix { value: 0xC0, len: 4 })
             .with(FieldId(1), MatchKind::Range { lo: 2, hi: 9 });
-        roundtrip(m.clone());
-        roundtrip(Rule::new(m.clone(), -5, ActionId(3)));
-        roundtrip(RuleUpdate::insert(Rule::new(m.clone(), 1, ActionId(1))));
+        roundtrip(m);
+        roundtrip(Rule::new(m, -5, ActionId(3)));
+        roundtrip(RuleUpdate::insert(Rule::new(m, 1, ActionId(1))));
         roundtrip(RuleUpdate::delete(Rule::new(m, 2, ActionId(2))));
     }
 
@@ -966,6 +1092,64 @@ mod tests {
         roundtrip(PropertyReport::Satisfied { requirement: "r".into() });
         roundtrip(UpdateStats::default());
         roundtrip(EngineTelemetry::default());
+    }
+
+    #[test]
+    fn match_dict_dedups_repeated_matches() {
+        // 256 updates drawn from 8 distinct matches: the dicted frame must
+        // round-trip exactly AND be markedly smaller than encoding every
+        // rule's full constraint vector inline (the pre-dictionary format,
+        // still used by the standalone `Rule` codec).
+        let layout = HeaderLayout::new(&[("dst", 32), ("src", 32)]);
+        let mats: Vec<Match> = (0..8u64)
+            .map(|i| {
+                Match::any(&layout)
+                    .with(FieldId(0), MatchKind::Prefix { value: i << 24, len: 8 })
+                    .with(FieldId(1), MatchKind::Range { lo: i, hi: i + 100 })
+            })
+            .collect();
+        let updates: Vec<(DeviceId, RuleUpdate)> = (0..256)
+            .map(|i| {
+                let rule = Rule::new(mats[i % 8], i as i64, ActionId((i % 5) as u32));
+                let u = if i % 3 == 0 {
+                    RuleUpdate::delete(rule)
+                } else {
+                    RuleUpdate::insert(rule)
+                };
+                (DeviceId((i % 16) as u32), u)
+            })
+            .collect();
+        let block =
+            crate::shard::UpdateBlock { seq: 9, updates: updates.clone(), routed: vec![vec![0]] };
+        let bytes = encode(&block);
+        let back: crate::shard::UpdateBlock = decode(&bytes).unwrap();
+        assert_eq!(back.seq, block.seq);
+        assert_eq!(back.updates, block.updates);
+        assert_eq!(back.routed, block.routed);
+
+        // Size of the legacy inline encoding: every update with its full match.
+        let inline: usize = updates
+            .iter()
+            .map(|(d, u)| encode(d).len() + encode(u).len())
+            .sum();
+        assert!(
+            bytes.len() * 2 < inline,
+            "dicted frame ({} B) should be well under half the inline form ({inline} B)",
+            bytes.len()
+        );
+
+        // Out-of-range dictionary index must be a decode error, not a panic.
+        let mut corrupt = Vec::new();
+        block.seq.put(&mut corrupt);
+        MatchDict::default().put(&mut corrupt); // empty dict
+        1usize.put(&mut corrupt);
+        DeviceId(0).put(&mut corrupt);
+        RuleOp::Insert.put(&mut corrupt);
+        7u32.put(&mut corrupt); // dangling index
+        0i64.put(&mut corrupt);
+        ActionId(0).put(&mut corrupt);
+        Vec::<Vec<usize>>::new().put(&mut corrupt);
+        assert!(decode::<crate::shard::UpdateBlock>(&corrupt).is_err());
     }
 
     #[test]

@@ -417,7 +417,7 @@ impl ModelManager {
             if let Some(trie) = self.tries.get_mut(&dev) {
                 for (op, rule) in &res.applied {
                     match op {
-                        RuleOp::Insert => trie.insert(rule.clone()),
+                        RuleOp::Insert => trie.insert(*rule),
                         RuleOp::Delete => {
                             trie.remove(rule);
                         }
@@ -621,7 +621,7 @@ mod tests {
         let layout = l();
         let mut m = mgr(usize::MAX);
         let r = Rule::new(Match::dst_prefix(&layout, 0xA0, 4), 1, a1);
-        m.submit(DeviceId(0), [RuleUpdate::insert(r.clone())]);
+        m.submit(DeviceId(0), [RuleUpdate::insert(r)]);
         m.flush();
         assert_eq!(m.model().len(), 2);
         m.submit(DeviceId(0), [RuleUpdate::delete(r)]);
@@ -639,7 +639,7 @@ mod tests {
         let r = Rule::new(Match::dst_prefix(&layout, 0xA0, 4), 1, a1);
         m.submit(
             DeviceId(0),
-            [RuleUpdate::insert(r.clone()), RuleUpdate::delete(r)],
+            [RuleUpdate::insert(r), RuleUpdate::delete(r)],
         );
         m.flush();
         assert_eq!(m.model().len(), 1);

@@ -4,11 +4,12 @@
 //! `calculate_atomic_overwrites` re-encodes `Match → Pred` for essentially
 //! the whole FIB on every update block — the same prefix compiled hundreds
 //! of times over a churn stream. A [`MatchMemo`] caches the *clipped*
-//! predicate `⟦m⟧ ∧ clip` keyed by the match itself, so each match is
-//! encoded once per FIB lifetime. Caching the clipped form is sound for
-//! both shadow strategies because `(m ∧ clip) ∖ (s ∧ clip) = (m ∧ clip) ∧
-//! ¬s`: accumulated-disjunction and trie-assisted shadows compute the
-//! identical node either way.
+//! predicate `⟦m⟧ ∧ clip` keyed by the match's interning handle
+//! ([`MatchId`]), so each match is encoded once per FIB lifetime and a
+//! lookup hashes 4 bytes instead of the whole constraint vector. Caching
+//! the clipped form is sound for both shadow strategies because `(m ∧
+//! clip) ∖ (s ∧ clip) = (m ∧ clip) ∧ ¬s`: accumulated-disjunction and
+//! trie-assisted shadows compute the identical node either way.
 //!
 //! Entries hold rooted [`Pred`] handles, so they survive `collect()`
 //! unchanged (the engine's mark-sweep is non-moving). The memo is
@@ -19,7 +20,7 @@
 //! reclaim the nodes of matches that will not recur.
 
 use flash_bdd::{Pred, PredEngine};
-use flash_netmodel::{HeaderLayout, Match};
+use flash_netmodel::{HeaderLayout, Match, MatchId};
 use std::collections::HashMap;
 
 struct MemoEntry {
@@ -28,10 +29,10 @@ struct MemoEntry {
     tick: u64,
 }
 
-/// A capacity-capped `Match → Pred` cache. `capacity == 0` disables
+/// A capacity-capped `MatchId → Pred` cache. `capacity == 0` disables
 /// caching entirely (every lookup encodes fresh, nothing is retained).
 pub struct MatchMemo {
-    map: HashMap<Match, MemoEntry>,
+    map: HashMap<MatchId, MemoEntry>,
     capacity: usize,
     tick: u64,
     hits: u64,
@@ -101,7 +102,7 @@ impl MatchMemo {
         }
         self.tick += 1;
         let tick = self.tick;
-        if let Some(e) = self.map.get_mut(mat) {
+        if let Some(e) = self.map.get_mut(&mat.id()) {
             e.tick = tick;
             self.hits += 1;
             return e.pred.clone();
@@ -111,14 +112,14 @@ impl MatchMemo {
         if self.map.len() >= self.capacity {
             self.evict_older_half();
         }
-        self.map.insert(mat.clone(), MemoEntry { pred: pred.clone(), tick });
+        self.map.insert(mat.id(), MemoEntry { pred: pred.clone(), tick });
         pred
     }
 
     /// Drops one match's entry (rule deleted: its nodes should become
     /// collectable rather than stay rooted forever).
     pub fn invalidate(&mut self, mat: &Match) {
-        self.map.remove(mat);
+        self.map.remove(&mat.id());
     }
 
     /// Drops everything (e.g. when the engine or clip changes).

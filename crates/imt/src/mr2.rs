@@ -55,48 +55,26 @@ pub struct Overwrite {
 /// both halves of the pair. Returns the surviving updates in input order.
 pub fn cancel_updates(block: &[RuleUpdate]) -> Vec<RuleUpdate> {
     // Net effect per rule in ONE pass: inserts count +1, deletes -1, and
-    // each distinct rule remembers the position of its last op. The map is
-    // keyed on the match hash only as a fast-path prefilter; the match
-    // itself is "interned" as the index of the rule's first occurrence in
-    // the block, so bucket entries need no `Match` clones and two distinct
-    // matches colliding in the 64-bit hash still cannot cancel each other.
-    struct NetEntry {
-        /// Index of the first update carrying this exact match (identity
-        /// representative — compares by `block[rep].rule.mat`).
-        rep: usize,
-        net: i64,
-        last_pos: usize,
-    }
-    let mut net: HashMap<(u64, i64, ActionId), Vec<NetEntry>> = HashMap::new();
+    // each distinct rule remembers the position of its last op. `Rule` is a
+    // packed 16-byte handle (interned match id + priority + action), so it
+    // keys the map directly: equality is an integer compare and hashing
+    // touches 16 bytes, never the underlying constraint vectors.
+    let mut net: HashMap<Rule, (i64, usize)> = HashMap::new();
     for (pos, u) in block.iter().enumerate() {
-        let key = (
-            flash_netmodel::fib::match_hash(&u.rule.mat),
-            u.rule.priority,
-            u.rule.action,
-        );
         let delta = match u.op {
             RuleOp::Insert => 1,
             RuleOp::Delete => -1,
         };
-        let bucket = net.entry(key).or_default();
-        match bucket
-            .iter_mut()
-            .find(|e| block[e.rep].rule.mat == u.rule.mat)
-        {
-            Some(e) => {
-                e.net += delta;
-                e.last_pos = pos;
-            }
-            None => bucket.push(NetEntry { rep: pos, net: delta, last_pos: pos }),
-        }
+        let e = net.entry(u.rule).or_insert((0, pos));
+        e.0 += delta;
+        e.1 = pos;
     }
     // Survivors: the final op of every rule with a non-zero net effect,
-    // re-emitted in input order. Only survivors are cloned.
+    // re-emitted in input order.
     let mut out: Vec<(usize, RuleUpdate)> = net
         .into_values()
-        .flatten()
-        .filter(|e| e.net != 0)
-        .map(|e| (e.last_pos, block[e.last_pos].clone()))
+        .filter(|&(net, _)| net != 0)
+        .map(|(_, last_pos)| (last_pos, block[last_pos]))
         .collect();
     out.sort_unstable_by_key(|(p, _)| *p);
     out.into_iter().map(|(_, u)| u).collect()
@@ -137,23 +115,23 @@ pub fn merge_block_and_diff(fib: &mut Fib, block: &[RuleUpdate]) -> MergeResult 
         while ri < old_rules.len() && rule_cmp(&old_rules[ri], &u.rule) == std::cmp::Ordering::Less
         {
             if higher_deleted {
-                diff.push(old_rules[ri].clone()); // may expand
+                diff.push(old_rules[ri]); // may expand
             }
-            new_rules.push(old_rules[ri].clone());
+            new_rules.push(old_rules[ri]);
             ri += 1;
         }
         match u.op {
             RuleOp::Insert => {
-                diff.push(u.rule.clone()); // new rules always expand
-                new_rules.push(u.rule.clone());
-                applied.push((RuleOp::Insert, u.rule.clone()));
+                diff.push(u.rule); // new rules always expand
+                new_rules.push(u.rule);
+                applied.push((RuleOp::Insert, u.rule));
             }
             RuleOp::Delete => {
                 // The deleted rule must be the current head of old_rules.
                 if ri < old_rules.len() && old_rules[ri] == u.rule {
                     ri += 1; // skip it: deleted
                     higher_deleted = true;
-                    applied.push((RuleOp::Delete, u.rule.clone()));
+                    applied.push((RuleOp::Delete, u.rule));
                 }
                 // A delete of a missing rule is ignored (robustness to
                 // out-of-sync feeds; the paper assumes well-formed blocks).
@@ -164,9 +142,9 @@ pub fn merge_block_and_diff(fib: &mut Fib, block: &[RuleUpdate]) -> MergeResult 
     // Tail of the old table.
     while ri < old_rules.len() {
         if higher_deleted {
-            diff.push(old_rules[ri].clone());
+            diff.push(old_rules[ri]);
         }
-        new_rules.push(old_rules[ri].clone());
+        new_rules.push(old_rules[ri]);
         ri += 1;
     }
 
@@ -380,16 +358,16 @@ mod tests {
         let mut at = ActionTable::new();
         let a1 = at.fwd(DeviceId(1));
         let r = rule(&l, 0xA0, 4, 1, a1);
-        let block = vec![RuleUpdate::insert(r.clone()), RuleUpdate::delete(r.clone())];
+        let block = vec![RuleUpdate::insert(r), RuleUpdate::delete(r)];
         assert!(cancel_updates(&block).is_empty());
         // delete-then-insert also cancels (net zero)
-        let block = vec![RuleUpdate::delete(r.clone()), RuleUpdate::insert(r.clone())];
+        let block = vec![RuleUpdate::delete(r), RuleUpdate::insert(r)];
         assert!(cancel_updates(&block).is_empty());
         // unbalanced: one insert survives
         let block = vec![
-            RuleUpdate::insert(r.clone()),
-            RuleUpdate::delete(r.clone()),
-            RuleUpdate::insert(r.clone()),
+            RuleUpdate::insert(r),
+            RuleUpdate::delete(r),
+            RuleUpdate::insert(r),
         ];
         let kept = cancel_updates(&block);
         assert_eq!(kept.len(), 1);
@@ -403,8 +381,8 @@ mod tests {
         let a1 = at.fwd(DeviceId(1));
         let mut fib = Fib::new(&l);
         let r = rule(&l, 0xA0, 4, 5, a1);
-        let res = merge_block_and_diff(&mut fib, &[RuleUpdate::insert(r.clone())]);
-        assert_eq!(res.diff, vec![r.clone()]);
+        let res = merge_block_and_diff(&mut fib, &[RuleUpdate::insert(r)]);
+        assert_eq!(res.diff, vec![r]);
         assert_eq!(fib.len(), 2);
         assert_eq!(fib.rules()[0], r);
     }
@@ -418,8 +396,8 @@ mod tests {
         let mut fib = Fib::new(&l);
         let high = rule(&l, 0xA0, 4, 10, a1);
         let low = rule(&l, 0xA0, 2, 5, a2);
-        fib.insert(high.clone()).unwrap();
-        fib.insert(low.clone()).unwrap();
+        fib.insert(high).unwrap();
+        fib.insert(low).unwrap();
         let res = merge_block_and_diff(&mut fib, &[RuleUpdate::delete(high)]);
         // Both the lower rule and the default rule may expand.
         assert_eq!(res.diff.len(), 2);
@@ -437,14 +415,14 @@ mod tests {
         let r1 = rule(&l, 0x80, 1, 10, a1);
         let r2 = rule(&l, 0x40, 2, 8, a1);
         let r3 = rule(&l, 0x20, 3, 6, a1);
-        fib.insert(r1.clone()).unwrap();
-        fib.insert(r2.clone()).unwrap();
-        fib.insert(r3.clone()).unwrap();
+        fib.insert(r1).unwrap();
+        fib.insert(r2).unwrap();
+        fib.insert(r3).unwrap();
         // Delete r2 and insert a new rule between r2 and r3.
         let rnew = rule(&l, 0x60, 3, 7, a2);
         let res = merge_block_and_diff(
             &mut fib,
-            &[RuleUpdate::delete(r2.clone()), RuleUpdate::insert(rnew.clone())],
+            &[RuleUpdate::delete(r2), RuleUpdate::insert(rnew)],
         );
         // rnew expands (new); r3 and default expand (below deleted r2).
         assert_eq!(res.diff.len(), 3);
@@ -605,12 +583,12 @@ mod tests {
         let subnet2 = Match::dst_prefix(&l, 0x20, 8); // "10.0.2.0/24"
 
         let init: Vec<(usize, Rule)> = vec![
-            (0, Rule::new(subnet1.clone(), 2, a_to_a)),
-            (0, Rule::new(subnet2.clone(), 1, a_to_a)),
+            (0, Rule::new(subnet1, 2, a_to_a)),
+            (0, Rule::new(subnet2, 1, a_to_a)),
             (0, Rule::new(Match::any(&l), 0, a_to_s3)),
             (1, Rule::new(Match::any(&l), 0, a_to_s1)),
-            (2, Rule::new(subnet1.clone(), 2, a_to_s1)),
-            (2, Rule::new(subnet2.clone(), 1, a_to_s1)),
+            (2, Rule::new(subnet1, 2, a_to_s1)),
+            (2, Rule::new(subnet2, 1, a_to_s1)),
             (2, Rule::new(Match::any(&l), 0, a_to_gw)),
         ];
         for (dev, r) in init {
@@ -629,7 +607,7 @@ mod tests {
 
         // The update block: +HTTP rules on all 3 switches (Figure 2 right).
         let mk_http = |m: &Match| {
-            m.clone().with(
+            (*m).with(
                 flash_netmodel::FieldId(1),
                 flash_netmodel::MatchKind::Exact(http),
             )

@@ -41,7 +41,7 @@ fn churn_stream(
         if installed.is_empty() || rng.gen_range(0u32..10) < 6 {
             let d = DeviceId(rng.gen_range(0u32..devs));
             let r = random_rule(&mut rng, layout);
-            installed.push((d, r.clone()));
+            installed.push((d, r));
             out.push((d, RuleUpdate::insert(r)));
         } else {
             let i = rng.gen_range(0usize..installed.len());
@@ -73,8 +73,8 @@ fn indexed_manager_matches_linear_manager_on_random_churn() {
     let stream = churn_stream(&layout, 8, 1200, 0xD1CE_2024);
     for (chunk_no, chunk) in stream.chunks(48).enumerate() {
         for (d, u) in chunk {
-            fast.submit(*d, [u.clone()]);
-            slow.submit(*d, [u.clone()]);
+            fast.submit(*d, [*u]);
+            slow.submit(*d, [*u]);
         }
         fast.flush();
         slow.flush();

@@ -89,7 +89,7 @@ fn kernelized_overwrites_match_binary_fold_on_random_block() {
         if !seen.insert((value, len)) {
             continue;
         }
-        installed.push(rule.clone());
+        installed.push(rule);
         seed_block.push(RuleUpdate::insert(rule));
     }
     let mut fib = Fib::new(&layout);

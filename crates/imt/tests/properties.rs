@@ -134,7 +134,7 @@ proptest! {
                 {
                     continue;
                 }
-                installed.push((u.dev, rule.clone()));
+                installed.push((u.dev, rule));
                 seq.push((DeviceId(u.dev), RuleUpdate::insert(rule)));
             } else if let Some(pos) = installed.iter().position(|(d, _)| *d == u.dev) {
                 let (d, r) = installed.swap_remove(pos);
@@ -148,7 +148,7 @@ proptest! {
                 ..ModelManagerConfig::whole_space(layout.clone())
             });
             for (d, u) in &seq {
-                mm.submit(*d, [u.clone()]);
+                mm.submit(*d, [*u]);
             }
             mm.flush();
             mm

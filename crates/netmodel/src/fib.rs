@@ -11,8 +11,6 @@ use crate::action::{ActionId, ACTION_DROP};
 use crate::header::HeaderLayout;
 use crate::rule::{Match, Rule, RuleOp, RuleUpdate};
 use std::cmp::Ordering;
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
 
 /// Errors surfaced by FIB mutation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,10 +36,12 @@ impl std::fmt::Display for FibError {
 impl std::error::Error for FibError {}
 
 /// Deterministic 64-bit hash used to totally order same-priority rules.
+/// Precomputed at intern time — an O(1) table read, but still *structural*
+/// (never interning-order-dependent), so the order agrees across
+/// processes: checkpoint restore and the process-isolated shard workers
+/// replay FIBs in fresh processes and must sort them identically.
 pub fn match_hash(m: &Match) -> u64 {
-    let mut h = DefaultHasher::new();
-    m.hash(&mut h);
-    h.finish()
+    m.hash64()
 }
 
 /// Total order on rules: higher priority first; ties by match hash, then
@@ -126,7 +126,7 @@ impl Fib {
     pub fn apply(&mut self, updates: &[RuleUpdate]) -> Result<(), FibError> {
         for u in updates {
             match u.op {
-                RuleOp::Insert => self.insert(u.rule.clone())?,
+                RuleOp::Insert => self.insert(u.rule)?,
                 RuleOp::Delete => self.delete(&u.rule)?,
             }
         }
@@ -204,7 +204,7 @@ mod tests {
         let a1 = at.fwd(DeviceId(1));
         let mut fib = Fib::new(&l);
         let r = Rule::new(Match::dst_prefix(&l, 0x10, 4), 1, a1);
-        fib.insert(r.clone()).unwrap();
+        fib.insert(r).unwrap();
         assert_eq!(fib.insert(r), Err(FibError::DuplicateInsert));
     }
 
@@ -214,7 +214,7 @@ mod tests {
         let a1 = at.fwd(DeviceId(1));
         let mut fib = Fib::new(&l);
         let r = Rule::new(Match::dst_prefix(&l, 0x10, 4), 1, a1);
-        fib.insert(r.clone()).unwrap();
+        fib.insert(r).unwrap();
         assert_eq!(fib.len(), 2);
         fib.delete(&r).unwrap();
         assert_eq!(fib.len(), 1);
@@ -225,7 +225,7 @@ mod tests {
     fn default_rule_immutable() {
         let (l, _) = setup();
         let mut fib = Fib::new(&l);
-        let default = fib.rules()[0].clone();
+        let default = fib.rules()[0];
         assert_eq!(fib.delete(&default), Err(FibError::DefaultImmutable));
     }
 
@@ -253,8 +253,8 @@ mod tests {
         let r1 = Rule::new(Match::dst_prefix(&l, 0x10, 4), 1, a1);
         let r2 = Rule::new(Match::dst_prefix(&l, 0x20, 4), 2, a1);
         fib.apply(&[
-            RuleUpdate::insert(r1.clone()),
-            RuleUpdate::insert(r2.clone()),
+            RuleUpdate::insert(r1),
+            RuleUpdate::insert(r2),
             RuleUpdate::delete(r1),
         ])
         .unwrap();

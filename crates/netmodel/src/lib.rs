@@ -19,6 +19,7 @@
 pub mod action;
 pub mod fib;
 pub mod header;
+pub mod intern;
 pub mod rule;
 pub mod topology;
 pub mod trie;
@@ -26,6 +27,7 @@ pub mod trie;
 pub use action::{Action, ActionId, ActionTable, Rewrite, ACTION_DROP};
 pub use fib::{Fib, FibError};
 pub use header::{FieldId, FieldSpec, HeaderLayout};
+pub use intern::{MatchId, MatchTable, MatchTableStats};
 pub use rule::{Match, MatchKind, Rule, RuleOp, RuleUpdate, UpdateBlock};
 pub use topology::{DeviceId, Link, PortId, Topology};
 pub use trie::{OverlapTrie, RuleTrie};

@@ -8,6 +8,7 @@
 
 use crate::action::ActionId;
 use crate::header::{FieldId, HeaderLayout};
+use crate::intern::{MatchId, MatchTable};
 use flash_bdd::{Bdd, NodeId};
 
 /// A constraint on a single header field.
@@ -111,31 +112,56 @@ fn top_bits(value: u64, w: u32, len: u32) -> u64 {
     }
 }
 
-/// A multi-field match: one [`MatchKind`] per layout field.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+/// A multi-field match: one [`MatchKind`] per layout field, interned into
+/// the process-global [`MatchTable`].
+///
+/// A `Match` is a 4-byte `Copy` handle; the per-field constraints live
+/// exactly once in the table's packed pool. Equality is an id compare
+/// (sound: the table dedups on structure) and hashing uses the
+/// precomputed structural hash, so `Match` keys cost O(1) regardless of
+/// field count. Handles are only meaningful within the interning process
+/// — serialization goes through [`Match::kinds`] / [`Match::from_kinds`].
+#[derive(Clone, Copy, PartialEq, Eq)]
 pub struct Match {
-    kinds: Vec<MatchKind>,
+    id: MatchId,
+}
+
+impl std::hash::Hash for Match {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash64());
+    }
+}
+
+impl std::fmt::Debug for Match {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Match").field("kinds", &self.kinds()).finish()
+    }
 }
 
 impl Match {
     /// The all-wildcard match over `layout`.
     pub fn any(layout: &HeaderLayout) -> Self {
-        Match {
-            kinds: vec![MatchKind::Any; layout.field_count()],
-        }
+        Match::intern(&vec![MatchKind::Any; layout.field_count()])
     }
 
-    /// Sets the constraint for one field (builder style).
-    pub fn with(mut self, field: FieldId, kind: MatchKind) -> Self {
-        self.kinds[field.0 as usize] = kind;
-        self
+    /// Interns a match from one [`MatchKind`] per layout field.
+    pub fn intern(kinds: &[MatchKind]) -> Self {
+        Match { id: MatchTable::global().intern(kinds) }
+    }
+
+    /// Sets the constraint for one field (builder style). Re-interns: the
+    /// original entry is untouched (matches are immutable values).
+    pub fn with(self, field: FieldId, kind: MatchKind) -> Self {
+        let mut kinds = self.kinds().to_vec();
+        kinds[field.0 as usize] = kind;
+        Match::intern(&kinds)
     }
 
     /// Rebuilds a match from its per-field constraints (one entry per
     /// layout field, in field order) — the wire-decoding counterpart of
     /// [`Match::kinds`].
     pub fn from_kinds(kinds: Vec<MatchKind>) -> Self {
-        Match { kinds }
+        Match::intern(&kinds)
     }
 
     /// A destination-prefix match (field 0 by convention).
@@ -143,24 +169,38 @@ impl Match {
         Match::any(layout).with(FieldId(0), MatchKind::Prefix { value, len })
     }
 
-    pub fn kind(&self, field: FieldId) -> &MatchKind {
-        &self.kinds[field.0 as usize]
+    /// This match's interning handle — the key consumers (the match memo,
+    /// the wire codec's per-frame dictionaries) index on.
+    pub fn id(&self) -> MatchId {
+        self.id
     }
 
-    pub fn kinds(&self) -> &[MatchKind] {
-        &self.kinds
+    /// The precomputed structural hash (`DefaultHasher` over the kinds).
+    /// Deterministic across processes; used for same-priority FIB
+    /// tie-breaks.
+    pub fn hash64(&self) -> u64 {
+        MatchTable::global().entry(self.id).hash
     }
 
-    /// True when every field is a wildcard.
+    pub fn kind(&self, field: FieldId) -> &'static MatchKind {
+        &self.kinds()[field.0 as usize]
+    }
+
+    pub fn kinds(&self) -> &'static [MatchKind] {
+        MatchTable::global().entry(self.id).kinds
+    }
+
+    /// True when every field is a wildcard (precomputed at intern time).
     pub fn is_any(&self) -> bool {
-        self.kinds.iter().all(|k| matches!(k, MatchKind::Any))
+        MatchTable::global().entry(self.id).is_any
     }
 
     /// Compiles the match into a BDD predicate under `layout`.
     pub fn to_bdd(&self, layout: &HeaderLayout, bdd: &mut Bdd) -> NodeId {
+        let kinds = self.kinds();
         let mut acc = flash_bdd::TRUE;
         for (fid, spec) in layout.fields() {
-            let kind = &self.kinds[fid.0 as usize];
+            let kind = &kinds[fid.0 as usize];
             let p = match *kind {
                 MatchKind::Any => continue,
                 MatchKind::Exact(v) => bdd.exact(spec.offset, spec.width, v),
@@ -187,9 +227,13 @@ impl Match {
 
     /// Conservative overlap test used by the prefix trie to prune.
     pub fn may_overlap(&self, other: &Match, layout: &HeaderLayout) -> bool {
+        if self.id == other.id {
+            return true; // a match always overlaps itself
+        }
+        let (a, b) = (self.kinds(), other.kinds());
         for (fid, spec) in layout.fields() {
             let i = fid.0 as usize;
-            if !self.kinds[i].may_overlap(&other.kinds[i], spec.width) {
+            if !a[i].may_overlap(&b[i], spec.width) {
                 return false;
             }
         }
@@ -208,13 +252,14 @@ impl Match {
     pub fn to_intervals(&self, layout: &HeaderLayout, cap: usize) -> Option<Vec<(u128, u128)>> {
         // Process fields from last (least significant) to first, tracking
         // the interval set over the suffix of fields seen so far.
+        let kinds = self.kinds();
         let mut suffix: Vec<(u128, u128)> = vec![(0, 1)]; // [0,1): zero-width
         let mut suffix_bits: u32 = 0;
         let mut suffix_full = true;
 
         for (fid, spec) in layout.fields().collect::<Vec<_>>().into_iter().rev() {
             let w = spec.width;
-            let field_ivs = field_intervals(&self.kinds[fid.0 as usize], w);
+            let field_ivs = field_intervals(&kinds[fid.0 as usize], w);
             let field_full =
                 field_ivs.len() == 1 && field_ivs[0] == (0, 1u128 << w);
             let mut next: Vec<(u128, u128)> = Vec::new();
@@ -319,12 +364,20 @@ fn field_intervals(kind: &MatchKind, w: u32) -> Vec<(u128, u128)> {
 }
 
 /// A forwarding rule: `⟨match, priority, action⟩`.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+///
+/// With the interned match handle this is a packed 16-byte `Copy` value
+/// (`u32` match id + `i64` priority + `u32` action id); a [`crate::Fib`]
+/// stores its rules as one contiguous `Vec<Rule>`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Rule {
     pub mat: Match,
     pub priority: i64,
     pub action: ActionId,
 }
+
+// The packed layout is a load-bearing part of the scale story: a million
+// rules are 16 MB of contiguous FIB storage.
+const _: () = assert!(std::mem::size_of::<Rule>() == 16);
 
 impl Rule {
     pub fn new(mat: Match, priority: i64, action: ActionId) -> Self {
@@ -344,7 +397,7 @@ pub enum RuleOp {
 }
 
 /// One native rule update for one device.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct RuleUpdate {
     pub op: RuleOp,
     pub rule: Rule,

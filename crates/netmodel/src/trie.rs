@@ -213,7 +213,7 @@ impl RuleTrie {
     pub fn from_rules<'a, I: IntoIterator<Item = &'a Rule>>(layout: HeaderLayout, rules: I) -> Self {
         let mut t = Self::new(layout);
         for r in rules {
-            t.insert(r.clone());
+            t.insert(*r);
         }
         t
     }
@@ -235,8 +235,8 @@ impl RuleTrie {
                 (self.rules.len() - 1) as RuleRef
             }
         };
-        self.trie.insert(h, rule.mat.clone());
-        self.by_rule.entry(rule.clone()).or_default().push(h);
+        self.trie.insert(h, rule.mat);
+        self.by_rule.entry(rule).or_default().push(h);
         self.rules[h as usize] = Some(rule);
     }
 
@@ -318,7 +318,7 @@ mod tests {
         let m2 = Match::dst_prefix(&l, 0xA0, 4)
             .with(FieldId(1), MatchKind::Prefix { value: 0x80, len: 1 });
         t.insert(1, m1);
-        t.insert(2, m2.clone());
+        t.insert(2, m2);
         // Query constrained to src top-half only overlaps m2.
         assert_eq!(t.overlapping(&m2), vec![2]);
     }
@@ -329,7 +329,7 @@ mod tests {
         let l = l8();
         let mut t = OverlapTrie::new(l.clone());
         let sfx = Match::any(&l).with(FieldId(0), MatchKind::Suffix { value: 1, len: 1 });
-        t.insert(7, sfx.clone());
+        t.insert(7, sfx);
         t.insert(8, Match::dst_prefix(&l, 0xA0, 4));
         let q = Match::dst_prefix(&l, 0xB0, 4);
         // suffix rule may overlap anything; prefix 0xA0/4 doesn't overlap 0xB0/4
@@ -344,7 +344,7 @@ mod tests {
         let l = l8();
         let mut t = OverlapTrie::new(l.clone());
         let m = Match::dst_prefix(&l, 0xA0, 4);
-        t.insert(0, m.clone());
+        t.insert(0, m);
         assert_eq!(t.len(), 1);
         assert!(t.remove(0, &m));
         assert_eq!(t.len(), 0);
@@ -358,9 +358,9 @@ mod tests {
         let mut t = RuleTrie::new(l.clone());
         let r1 = Rule::new(Match::dst_prefix(&l, 0xA0, 4), 4, ActionId(1));
         let r2 = Rule::new(Match::dst_prefix(&l, 0xA8, 5), 5, ActionId(2));
-        t.insert(r1.clone());
-        t.insert(r1.clone()); // duplicate: its own handle
-        t.insert(r2.clone());
+        t.insert(r1);
+        t.insert(r1); // duplicate: its own handle
+        t.insert(r2);
         assert_eq!(t.len(), 3);
         let q = Match::dst_prefix(&l, 0xA8, 5);
         let hits: Vec<&Rule> = t.overlapping(&q).collect();
@@ -372,8 +372,8 @@ mod tests {
         assert_eq!(t.len(), 1);
         // Freed handles are reused: inserting again keeps the slot count.
         let slots = t.rules.len();
-        t.insert(r1.clone());
-        t.insert(r1.clone());
+        t.insert(r1);
+        t.insert(r1);
         assert_eq!(t.rules.len(), slots);
         assert_eq!(t.overlapping(&q).count(), 3);
     }
@@ -388,7 +388,7 @@ mod tests {
         let bulk = RuleTrie::from_rules(l.clone(), &rules);
         let mut inc = RuleTrie::new(l.clone());
         for r in &rules {
-            inc.insert(r.clone());
+            inc.insert(*r);
         }
         let q = Match::dst_prefix(&l, 0x40, 2);
         let mut a: Vec<&Rule> = bulk.overlapping(&q).collect();

@@ -69,7 +69,7 @@ proptest! {
             .map(|(d, s)| build_match(&l, d, s))
             .collect();
         for (i, m) in matches.iter().enumerate() {
-            trie.insert(i as u32, m.clone());
+            trie.insert(i as u32, *m);
         }
         let q = build_match(&l, &query.0, &query.1);
         let candidates = trie.overlapping(&q);
@@ -98,7 +98,7 @@ proptest! {
             .map(|(d, s)| build_match(&l, d, s))
             .collect();
         for (i, m) in matches.iter().enumerate() {
-            trie.insert(i as u32, m.clone());
+            trie.insert(i as u32, *m);
         }
         // Remove the even-indexed rules; queries must never return them.
         for (i, m) in matches.iter().enumerate() {

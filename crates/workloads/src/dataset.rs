@@ -1,0 +1,850 @@
+//! HeTu-style on-disk datasets: a directory layout for hyper-scale data
+//! planes that can be generated, archived, and re-verified without ever
+//! holding the whole rule set in memory.
+//!
+//! # Layout
+//!
+//! ```text
+//! <dir>/topology.json       devices (name, external, labels) + links
+//! <dir>/packet_space.json   header fields: [{"name","bits"}, …]
+//! <dir>/edge_devices        newline-separated edge (ToR) device names
+//! <dir>/data/routes/<dev>   per-device route file, one rule per line:
+//!                           <hex-value>/<len> <priority> <action>
+//! ```
+//!
+//! where `<action>` is `drop`, a next-hop device name, or
+//! `ecmp(a,b,…)`. Prefix values are hex over the `dst` field's width
+//! (field widths here are not limited to IPv4's 32 bits), so route files
+//! stay byte-stable across layouts.
+//!
+//! The loader is two-phase by design, mirroring
+//! `flash_core::adapter`'s streaming ingest: [`load_header`] reads the
+//! (small) topology and packet-space files; [`DatasetHeader::stream_routes`]
+//! then walks the per-device route files handing each device's rules to a
+//! sink — only one device's FIB is resident at a time. Calling it once
+//! with a discarding sink builds the complete [`ActionTable`] for verifier
+//! construction; the second call re-interns identically (same files, same
+//! order) so action ids agree across the two passes.
+//!
+//! JSON is hand-rolled — written directly, parsed with the minimal
+//! recursive-descent reader at the bottom of this module — to keep the
+//! workspace dependency-free.
+
+use crate::fabric::{fat_tree, FatTree};
+use crate::fibgen::apsp_stream;
+use flash_netmodel::{
+    Action, ActionTable, DeviceId, FieldId, HeaderLayout, MatchKind, Rule, Topology,
+};
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Dataset I/O or format failure.
+#[derive(Debug)]
+pub enum DatasetError {
+    Io(std::io::Error),
+    /// Malformed file contents; carries file and explanation.
+    Parse(String),
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::Io(e) => write!(f, "dataset io: {e}"),
+            DatasetError::Parse(m) => write!(f, "dataset: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+fn perr(msg: impl Into<String>) -> DatasetError {
+    DatasetError::Parse(msg.into())
+}
+
+/// What a generated or exported dataset contains.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DatasetSummary {
+    pub devices: usize,
+    pub links: usize,
+    pub edge_devices: usize,
+    pub rules: usize,
+}
+
+/// The in-memory header of an on-disk dataset: everything except the
+/// rules.
+#[derive(Debug)]
+pub struct DatasetHeader {
+    dir: PathBuf,
+    pub topo: Arc<Topology>,
+    pub layout: HeaderLayout,
+    /// Edge (ToR) devices — the roots the subspace planner carves by.
+    pub edge_devices: Vec<DeviceId>,
+    /// Devices that have a route file, in device-id order.
+    pub route_devices: Vec<DeviceId>,
+}
+
+// ---------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_topology_json(path: &Path, topo: &Topology) -> Result<(), DatasetError> {
+    let mut s = String::new();
+    s.push_str("{\n  \"format\": \"flash-dataset-v1\",\n  \"devices\": [\n");
+    for dev in topo.devices() {
+        s.push_str("    {\"name\": \"");
+        s.push_str(&json_escape(topo.name(dev)));
+        s.push_str("\", \"external\": ");
+        s.push_str(if topo.is_external(dev) { "true" } else { "false" });
+        for key in ["tier", "pod"] {
+            if let Some(v) = topo.label(dev, key) {
+                let _ = write!(s, ", \"{key}\": \"{}\"", json_escape(v));
+            }
+        }
+        s.push('}');
+        if dev.index() + 1 < topo.device_count() {
+            s.push(',');
+        }
+        s.push('\n');
+    }
+    s.push_str("  ],\n  \"links\": [\n");
+    let mut first = true;
+    for dev in topo.devices() {
+        for &next in topo.successors(dev) {
+            if !first {
+                s.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(s, "    [{}, {}]", dev.0, next.0);
+        }
+    }
+    s.push_str("\n  ]\n}\n");
+    std::fs::write(path, s)?;
+    Ok(())
+}
+
+fn write_packet_space_json(path: &Path, layout: &HeaderLayout) -> Result<(), DatasetError> {
+    let mut s = String::new();
+    s.push_str("{\n  \"fields\": [\n");
+    for (i, (_, f)) in layout.fields().enumerate() {
+        if i > 0 {
+            s.push_str(",\n");
+        }
+        let _ = write!(s, "    {{\"name\": \"{}\", \"bits\": {}}}", json_escape(&f.name), f.width);
+    }
+    s.push_str("\n  ]\n}\n");
+    std::fs::write(path, s)?;
+    Ok(())
+}
+
+/// Streaming per-device route-file writer.
+pub struct RouteWriter {
+    out: std::io::BufWriter<std::fs::File>,
+    rules: usize,
+}
+
+impl RouteWriter {
+    /// Appends one rule. Only plain dst-prefix (or all-wildcard) matches
+    /// are expressible in the route-file grammar.
+    pub fn rule(
+        &mut self,
+        topo: &Topology,
+        actions: &ActionTable,
+        rule: &Rule,
+    ) -> Result<(), DatasetError> {
+        let (value, len) = match *rule.mat.kind(FieldId(0)) {
+            MatchKind::Prefix { value, len } => (value, len),
+            MatchKind::Any => (0, 0),
+            ref other => return Err(perr(format!("match {other:?} not expressible as a prefix"))),
+        };
+        let action = match actions.get(rule.action) {
+            Action::Drop => "drop".to_string(),
+            Action::Forward(hops) if hops.len() == 1 => topo.name(hops[0]).to_string(),
+            Action::Forward(hops) => format!(
+                "ecmp({})",
+                hops.iter().map(|h| topo.name(*h)).collect::<Vec<_>>().join(",")
+            ),
+            Action::Tunnel { .. } => return Err(perr("tunnel actions not expressible")),
+        };
+        writeln!(self.out, "{value:x}/{len} {} {action}", rule.priority)?;
+        self.rules += 1;
+        Ok(())
+    }
+
+    pub fn finish(mut self) -> Result<usize, DatasetError> {
+        self.out.flush()?;
+        Ok(self.rules)
+    }
+}
+
+/// Creates the dataset directory skeleton and writes the header files.
+/// Route files are then written one device at a time via [`route_writer`].
+pub fn write_dataset_header(
+    dir: &Path,
+    topo: &Topology,
+    layout: &HeaderLayout,
+    edge_devices: &[DeviceId],
+) -> Result<(), DatasetError> {
+    std::fs::create_dir_all(dir.join("data/routes"))?;
+    write_topology_json(&dir.join("topology.json"), topo)?;
+    write_packet_space_json(&dir.join("packet_space.json"), layout)?;
+    let mut edges = String::new();
+    for &d in edge_devices {
+        edges.push_str(topo.name(d));
+        edges.push('\n');
+    }
+    std::fs::write(dir.join("edge_devices"), edges)?;
+    Ok(())
+}
+
+/// Opens the route file for one device (truncating any previous one).
+pub fn route_writer(dir: &Path, topo: &Topology, dev: DeviceId) -> Result<RouteWriter, DatasetError> {
+    let path = dir.join("data/routes").join(topo.name(dev));
+    Ok(RouteWriter {
+        out: std::io::BufWriter::new(std::fs::File::create(path)?),
+        rules: 0,
+    })
+}
+
+/// Generates a `k`-ary fat-tree StdFIB dataset on disk, streaming: each
+/// device's rules are generated, written, and dropped before the next
+/// device's begin. Returns the summary (device/rule counts).
+pub fn generate_fat_tree_dataset(
+    dir: &Path,
+    k: u32,
+    host_bits: u32,
+    prefixes_per_tor: u32,
+) -> Result<DatasetSummary, DatasetError> {
+    let ft = fat_tree(k, host_bits);
+    generate_fat_tree_dataset_from(dir, &ft, prefixes_per_tor)
+}
+
+/// As [`generate_fat_tree_dataset`], over an existing [`FatTree`].
+pub fn generate_fat_tree_dataset_from(
+    dir: &Path,
+    ft: &FatTree,
+    prefixes_per_tor: u32,
+) -> Result<DatasetSummary, DatasetError> {
+    let layout = HeaderLayout::new(&[("dst", ft.dst_bits)]);
+    let edge: Vec<DeviceId> = ft.all_tors();
+    write_dataset_header(dir, &ft.topo, &layout, &edge)?;
+    let mut actions = ActionTable::new();
+    let (_, rules) =
+        apsp_stream::<DatasetError, _>(ft, prefixes_per_tor, &mut actions, |table, dev, rules| {
+            let mut w = route_writer(dir, &ft.topo, dev)?;
+            for r in &rules {
+                w.rule(&ft.topo, table, r)?;
+            }
+            w.finish()?;
+            Ok(())
+        })?;
+    Ok(DatasetSummary {
+        devices: ft.topo.device_count(),
+        links: ft.topo.link_count(),
+        edge_devices: edge.len(),
+        rules,
+    })
+}
+
+/// Exports an in-memory [`crate::GeneratedFibs`]-shaped data plane (any
+/// iterator of per-device rule lists) to a dataset directory.
+pub fn export_dataset<'a>(
+    dir: &Path,
+    topo: &Topology,
+    layout: &HeaderLayout,
+    actions: &ActionTable,
+    edge_devices: &[DeviceId],
+    fibs: impl IntoIterator<Item = (DeviceId, &'a [Rule])>,
+) -> Result<DatasetSummary, DatasetError> {
+    write_dataset_header(dir, topo, layout, edge_devices)?;
+    let mut rules = 0usize;
+    let mut devices_with_routes = 0usize;
+    for (dev, dev_rules) in fibs {
+        let mut w = route_writer(dir, topo, dev)?;
+        for r in dev_rules {
+            w.rule(topo, actions, r)?;
+        }
+        rules += w.finish()?;
+        devices_with_routes += 1;
+    }
+    let _ = devices_with_routes;
+    Ok(DatasetSummary {
+        devices: topo.device_count(),
+        links: topo.link_count(),
+        edge_devices: edge_devices.len(),
+        rules,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Load
+// ---------------------------------------------------------------------
+
+/// Reads the dataset header files (`topology.json`, `packet_space.json`,
+/// `edge_devices`) and indexes the route files, without touching any
+/// rule bodies.
+pub fn load_header(dir: &Path) -> Result<DatasetHeader, DatasetError> {
+    let topo_text = std::fs::read_to_string(dir.join("topology.json"))
+        .map_err(|e| perr(format!("topology.json: {e}")))?;
+    let topo_json = json::parse(&topo_text).map_err(|e| perr(format!("topology.json: {e}")))?;
+    let mut topo = Topology::new();
+    let devices = topo_json
+        .get("devices")
+        .and_then(json::Value::as_array)
+        .ok_or_else(|| perr("topology.json: missing \"devices\" array"))?;
+    for d in devices {
+        let name = d
+            .get("name")
+            .and_then(json::Value::as_str)
+            .ok_or_else(|| perr("topology.json: device without \"name\""))?;
+        let external = d.get("external").and_then(json::Value::as_bool).unwrap_or(false);
+        let id = if external {
+            topo.add_external(name)
+        } else {
+            topo.add_device(name)
+        };
+        for key in ["tier", "pod"] {
+            if let Some(v) = d.get(key).and_then(json::Value::as_str) {
+                topo.set_label(id, key, v);
+            }
+        }
+    }
+    let links = topo_json
+        .get("links")
+        .and_then(json::Value::as_array)
+        .ok_or_else(|| perr("topology.json: missing \"links\" array"))?;
+    let n = topo.device_count() as u64;
+    for l in links {
+        let pair = l.as_array().ok_or_else(|| perr("topology.json: link is not a pair"))?;
+        let (a, b) = match pair {
+            [a, b] => (
+                a.as_u64().ok_or_else(|| perr("topology.json: bad link endpoint"))?,
+                b.as_u64().ok_or_else(|| perr("topology.json: bad link endpoint"))?,
+            ),
+            _ => return Err(perr("topology.json: link is not a pair")),
+        };
+        if a >= n || b >= n {
+            return Err(perr(format!("topology.json: link [{a}, {b}] out of range")));
+        }
+        topo.add_link(DeviceId(a as u32), DeviceId(b as u32));
+    }
+
+    let space_text = std::fs::read_to_string(dir.join("packet_space.json"))
+        .map_err(|e| perr(format!("packet_space.json: {e}")))?;
+    let space = json::parse(&space_text).map_err(|e| perr(format!("packet_space.json: {e}")))?;
+    let fields = space
+        .get("fields")
+        .and_then(json::Value::as_array)
+        .ok_or_else(|| perr("packet_space.json: missing \"fields\""))?;
+    let mut specs: Vec<(String, u32)> = Vec::new();
+    for f in fields {
+        let name = f
+            .get("name")
+            .and_then(json::Value::as_str)
+            .ok_or_else(|| perr("packet_space.json: field without \"name\""))?;
+        let bits = f
+            .get("bits")
+            .and_then(json::Value::as_u64)
+            .ok_or_else(|| perr("packet_space.json: field without \"bits\""))?;
+        specs.push((name.to_string(), bits as u32));
+    }
+    if specs.is_empty() {
+        return Err(perr("packet_space.json: empty field list"));
+    }
+    let spec_refs: Vec<(&str, u32)> = specs.iter().map(|(n, b)| (n.as_str(), *b)).collect();
+    let layout = HeaderLayout::new(&spec_refs);
+
+    let mut edge_devices = Vec::new();
+    let edges_text = std::fs::read_to_string(dir.join("edge_devices"))
+        .map_err(|e| perr(format!("edge_devices: {e}")))?;
+    for name in edges_text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        edge_devices.push(
+            topo.lookup(name)
+                .ok_or_else(|| perr(format!("edge_devices: unknown device {name:?}")))?,
+        );
+    }
+
+    // Deterministic route order: device-id order, skipping devices with
+    // no route file (externals typically have none).
+    let routes_dir = dir.join("data/routes");
+    let route_devices: Vec<DeviceId> = topo
+        .devices()
+        .filter(|&d| routes_dir.join(topo.name(d)).is_file())
+        .collect();
+
+    Ok(DatasetHeader {
+        dir: dir.to_path_buf(),
+        topo: Arc::new(topo),
+        layout,
+        edge_devices,
+        route_devices,
+    })
+}
+
+impl DatasetHeader {
+    /// Streams every device's route file through `sink`, interning actions
+    /// into `actions` as they are first seen. Returns the total rule
+    /// count.
+    ///
+    /// Two-pass usage: call once with a discarding sink to populate the
+    /// action table for verifier construction, then once more with a
+    /// fresh table and the real sink — route files are read in the same
+    /// order both times, so the interned ids agree.
+    pub fn stream_routes<F>(
+        &self,
+        actions: &mut ActionTable,
+        mut sink: F,
+    ) -> Result<usize, DatasetError>
+    where
+        F: FnMut(DeviceId, Vec<Rule>) -> Result<(), DatasetError>,
+    {
+        let routes_dir = self.dir.join("data/routes");
+        let width = self.layout.field(FieldId(0)).width;
+        let mut total = 0usize;
+        for &dev in &self.route_devices {
+            let name = self.topo.name(dev);
+            let file = std::fs::File::open(routes_dir.join(name))?;
+            let mut rules = Vec::new();
+            for (i, line) in std::io::BufReader::new(file).lines().enumerate() {
+                let line = line?;
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let rule = parse_route_line(line, width, &self.layout, &self.topo, actions)
+                    .map_err(|m| perr(format!("routes/{name}:{}: {m}", i + 1)))?;
+                rules.push(rule);
+            }
+            total += rules.len();
+            sink(dev, rules)?;
+        }
+        Ok(total)
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+/// Parses `"<hex>/<len> <priority> <action>"`.
+fn parse_route_line(
+    line: &str,
+    width: u32,
+    layout: &HeaderLayout,
+    topo: &Topology,
+    actions: &mut ActionTable,
+) -> Result<Rule, String> {
+    let mut parts = line.split_whitespace();
+    let prefix = parts.next().ok_or("expected a prefix")?;
+    let (value_s, len_s) = prefix.split_once('/').ok_or("expected <hex>/<len>")?;
+    let value = u64::from_str_radix(value_s, 16).map_err(|_| format!("bad hex value {value_s:?}"))?;
+    let len: u32 = len_s.parse().map_err(|_| format!("bad prefix length {len_s:?}"))?;
+    if len > width {
+        return Err(format!("prefix length {len} > field width {width}"));
+    }
+    let priority: i64 = parts
+        .next()
+        .ok_or("expected a priority")?
+        .parse()
+        .map_err(|_| "bad priority".to_string())?;
+    let action_s = parts.next().ok_or("expected an action")?;
+    let action = if action_s == "drop" {
+        flash_netmodel::ACTION_DROP
+    } else if let Some(inner) = action_s.strip_prefix("ecmp(").and_then(|r| r.strip_suffix(')')) {
+        let mut hops = Vec::new();
+        for h in inner.split(',') {
+            hops.push(
+                topo.lookup(h.trim())
+                    .ok_or_else(|| format!("unknown next hop {h:?}"))?,
+            );
+        }
+        if hops.is_empty() {
+            return Err("empty ecmp() set".to_string());
+        }
+        actions.ecmp(hops)
+    } else {
+        actions.fwd(
+            topo.lookup(action_s)
+                .ok_or_else(|| format!("unknown next hop {action_s:?}"))?,
+        )
+    };
+    Ok(Rule::new(
+        flash_netmodel::Match::dst_prefix(layout, value, len),
+        priority,
+        action,
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader
+// ---------------------------------------------------------------------
+
+/// A tiny recursive-descent JSON reader covering exactly what the
+/// dataset header files use: objects, arrays, strings (with basic
+/// escapes), non-negative integers, booleans, and null.
+pub(crate) mod json {
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(v) => Some(v),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn as_bool(&self) -> Option<bool> {
+            match self {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            }
+        }
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let b = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        skip_ws(b, pos);
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, *pos))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b'{') => {
+                *pos += 1;
+                let mut pairs = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = parse_string(b, pos)?;
+                    expect(b, pos, b':')?;
+                    pairs.push((key, parse_value(b, pos)?));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(pairs));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Value::Str(parse_string(b, pos)?)),
+            Some(b't') if b[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if b[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if b[*pos..].starts_with(b"null") => {
+                *pos += 4;
+                Ok(Value::Null)
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len()
+                    && (b[*pos].is_ascii_digit()
+                        || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+                {
+                    *pos += 1;
+                }
+                std::str::from_utf8(&b[start..*pos])
+                    .ok()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .map(Value::Num)
+                    .ok_or_else(|| format!("bad number at byte {start}"))
+            }
+            _ => Err(format!("unexpected character at byte {}", *pos)),
+        }
+    }
+
+    fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected string at byte {}", *pos));
+        }
+        *pos += 1;
+        let mut out = String::new();
+        while let Some(&c) = b.get(*pos) {
+            *pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = b.get(*pos).copied().ok_or("truncated escape")?;
+                    *pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'u' => {
+                            let hex = b
+                                .get(*pos..*pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                            *pos += 4;
+                            out.push(char::from_u32(cp).ok_or("bad unicode scalar")?);
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                c if c < 0x80 => out.push(c as char),
+                _ => {
+                    // Multi-byte UTF-8: find the full char from the source.
+                    let start = *pos - 1;
+                    let s = std::str::from_utf8(&b[start..])
+                        .map_err(|_| "invalid utf-8 in string")?;
+                    let ch = s.chars().next().ok_or("truncated string")?;
+                    out.push(ch);
+                    *pos = start + ch.len_utf8();
+                }
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fibgen::{generate, FibDiscipline};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "flash-dataset-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn json_parser_handles_dataset_shapes() {
+        let v = json::parse(
+            r#"{"format": "flash-dataset-v1", "devices": [{"name": "a", "external": false}], "links": [[0, 1]], "n": 12}"#,
+        )
+        .unwrap();
+        assert_eq!(v.get("format").and_then(json::Value::as_str), Some("flash-dataset-v1"));
+        let devs = v.get("devices").and_then(json::Value::as_array).unwrap();
+        assert_eq!(devs[0].get("name").and_then(json::Value::as_str), Some("a"));
+        assert_eq!(devs[0].get("external").and_then(json::Value::as_bool), Some(false));
+        assert_eq!(v.get("n").and_then(json::Value::as_u64), Some(12));
+        assert!(json::parse("{\"a\": }").is_err());
+        assert!(json::parse("[1, 2").is_err());
+        assert!(json::parse("{} extra").is_err());
+        assert_eq!(
+            json::parse(r#""a\"bA""#).unwrap(),
+            json::Value::Str("a\"bA".to_string())
+        );
+    }
+
+    #[test]
+    fn generate_load_roundtrip_preserves_everything() {
+        let dir = tmpdir("roundtrip");
+        let summary = generate_fat_tree_dataset(&dir, 4, 8, 2).unwrap();
+        assert_eq!(summary.devices, 20);
+        assert_eq!(summary.edge_devices, 8);
+        // apsp with 2 sub-prefixes: 2 × 8 prefixes × 19 other devices.
+        assert_eq!(summary.rules, 2 * 8 * 19);
+
+        let header = load_header(&dir).unwrap();
+        assert_eq!(header.topo.device_count(), 20);
+        assert_eq!(header.edge_devices.len(), 8);
+        assert_eq!(header.route_devices.len(), 20);
+        assert_eq!(header.layout.field(FieldId(0)).name, "dst");
+
+        // Streamed rules must match an in-memory generation exactly
+        // (same fat tree, same discipline parameters).
+        let ft = fat_tree(4, 8);
+        let g = generate(&ft, FibDiscipline::Apsp, 2);
+        let mut actions = ActionTable::new();
+        let mut loaded: Vec<(DeviceId, Vec<Rule>)> = Vec::new();
+        let total = header
+            .stream_routes(&mut actions, |d, r| {
+                loaded.push((d, r));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(total, summary.rules);
+        for (got, want) in loaded.iter().zip(&g.fibs) {
+            // Device names were written in topology order, so ids agree.
+            assert_eq!(got.0, want.device);
+            assert_eq!(got.1.len(), want.rules.len());
+            for (a, b) in got.1.iter().zip(&want.rules) {
+                assert_eq!(a.mat, b.mat);
+                assert_eq!(a.priority, b.priority);
+                assert_eq!(actions.next_hops(a.action), g.actions.next_hops(b.action));
+            }
+        }
+        // Topology structure survives: same link count, labels intact.
+        assert_eq!(header.topo.link_count(), ft.topo.link_count());
+        let t = header.topo.lookup("tor-2-1").unwrap();
+        assert_eq!(header.topo.label(t, "tier"), Some("tor"));
+        assert_eq!(header.topo.label(t, "pod"), Some("2"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn two_pass_action_ids_agree() {
+        let dir = tmpdir("twopass");
+        generate_fat_tree_dataset(&dir, 4, 8, 1).unwrap();
+        let header = load_header(&dir).unwrap();
+        let mut first = ActionTable::new();
+        header.stream_routes(&mut first, |_, _| Ok(())).unwrap();
+        let mut second = ActionTable::new();
+        let mut max_id = 0u32;
+        header
+            .stream_routes(&mut second, |_, rules| {
+                for r in &rules {
+                    max_id = max_id.max(r.action.0);
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(first.len(), second.len());
+        assert!((max_id as usize) < first.len());
+        for i in 0..first.len() as u32 {
+            assert_eq!(
+                first.get(flash_netmodel::ActionId(i)),
+                second.get(flash_netmodel::ActionId(i))
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn export_dataset_matches_generator_output() {
+        let dir = tmpdir("export");
+        let ft = fat_tree(4, 8);
+        let g = generate(&ft, FibDiscipline::Apsp, 1);
+        let edge = ft.all_tors();
+        let summary = export_dataset(
+            &dir,
+            &ft.topo,
+            &g.layout,
+            &g.actions,
+            &edge,
+            g.fibs.iter().map(|f| (f.device, f.rules.as_slice())),
+        )
+        .unwrap();
+        assert_eq!(summary.rules, g.total_rules());
+        let header = load_header(&dir).unwrap();
+        let mut actions = ActionTable::new();
+        let total = header.stream_routes(&mut actions, |_, _| Ok(())).unwrap();
+        assert_eq!(total, g.total_rules());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_errors_are_descriptive() {
+        let dir = tmpdir("errs");
+        assert!(matches!(load_header(&dir), Err(DatasetError::Parse(_))));
+        std::fs::write(dir.join("topology.json"), "{\"devices\": [").unwrap();
+        let e = load_header(&dir).unwrap_err();
+        assert!(e.to_string().contains("topology.json"), "{e}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

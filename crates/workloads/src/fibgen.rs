@@ -235,6 +235,70 @@ pub fn generate(ft: &FatTree, discipline: FibDiscipline, prefixes_per_tor: u32) 
     }
 }
 
+/// Streaming StdFIB (`apsp`) generation: produces each device's rules and
+/// hands them to `sink` one device at a time, so a hyper-scale fabric
+/// (k=16: hundreds of devices, millions of rules) never materializes the
+/// whole data plane. Per-ToR BFS distance tables are computed once up
+/// front — `O(tors × devices)` ints — and every device's FIB is then a
+/// pure function of those tables.
+///
+/// Rule order per device matches [`generate`] with `FibDiscipline::Apsp`
+/// (tor-major, sub-prefix-minor); action *ids* may differ because the
+/// interning order differs, but the denoted next hops are identical.
+pub fn apsp_stream<E, F>(
+    ft: &FatTree,
+    prefixes_per_tor: u32,
+    actions: &mut ActionTable,
+    mut sink: F,
+) -> Result<(HeaderLayout, usize), E>
+where
+    F: FnMut(&ActionTable, DeviceId, Vec<Rule>) -> Result<(), E>,
+{
+    let layout = HeaderLayout::new(&[("dst", ft.dst_bits)]);
+    let topo = &ft.topo;
+    let sub_bits = 32 - (prefixes_per_tor.max(2) - 1).leading_zeros();
+    let dists: Vec<Vec<u32>> = ft
+        .tor_prefix
+        .iter()
+        .map(|&(tor, _, _)| distances(topo, tor))
+        .collect();
+    let mut total = 0usize;
+    for dev in topo.devices() {
+        let mut rules = Vec::new();
+        for (ti, &(tor, value, len)) in ft.tor_prefix.iter().enumerate() {
+            if dev == tor {
+                continue;
+            }
+            let hops = next_hops(topo, dev, &dists[ti]);
+            if hops.is_empty() {
+                continue;
+            }
+            let host_bits = ft.dst_bits - len;
+            assert!(sub_bits <= host_bits, "prefixes_per_tor too large");
+            for s in 0..prefixes_per_tor as u64 {
+                // Global sub-prefix index, as in `generate`: rotation across
+                // equal-cost hops keeps sub-prefixes in distinct classes.
+                let sub_idx = ti * prefixes_per_tor as usize + s as usize;
+                let act = actions.fwd(hops[sub_idx % hops.len()]);
+                rules.push(Rule::new(
+                    Match::dst_prefix(
+                        &layout,
+                        value | (s << (host_bits - sub_bits)),
+                        len + sub_bits,
+                    ),
+                    (len + sub_bits) as i64,
+                    act,
+                ));
+            }
+        }
+        total += rules.len();
+        // The sink sees the table read-only (e.g. to render action names
+        // while exporting); interning resumes on the next device.
+        sink(actions, dev, rules)?;
+    }
+    Ok((layout, total))
+}
+
 fn prefix_mask(width: u32, len: u32) -> u64 {
     if len == 0 {
         0
@@ -397,6 +461,37 @@ mod tests {
                 dist[fib.device.index()],
                 "next hop decreases distance"
             );
+        }
+    }
+
+    #[test]
+    fn apsp_stream_matches_batch() {
+        let ft = fat_tree(4, 8);
+        let g = generate(&ft, FibDiscipline::Apsp, 4);
+        let mut actions = ActionTable::new();
+        let mut streamed: Vec<(DeviceId, Vec<Rule>)> = Vec::new();
+        let (layout, total) = apsp_stream::<std::convert::Infallible, _>(
+            &ft,
+            4,
+            &mut actions,
+            |_, d, r| {
+                streamed.push((d, r));
+                Ok(())
+            },
+        )
+        .unwrap();
+        assert_eq!(total, g.total_rules());
+        assert_eq!(layout.total_bits(), g.layout.total_bits());
+        assert_eq!(streamed.len(), g.fibs.len());
+        for (got, want) in streamed.iter().zip(&g.fibs) {
+            assert_eq!(got.0, want.device);
+            assert_eq!(got.1.len(), want.rules.len());
+            for (a, b) in got.1.iter().zip(&want.rules) {
+                assert_eq!(a.mat, b.mat);
+                assert_eq!(a.priority, b.priority);
+                // Interning order differs, so compare denoted hops not ids.
+                assert_eq!(actions.next_hops(a.action), g.actions.next_hops(b.action));
+            }
         }
     }
 

@@ -21,6 +21,7 @@
 //! * [`settings`] — a registry tying every Table 2 row to its scaled
 //!   parameters here.
 
+pub mod dataset;
 pub mod fabric;
 pub mod export;
 pub mod fibgen;
@@ -28,6 +29,7 @@ pub mod planning;
 pub mod settings;
 pub mod updates;
 
+pub use dataset::{DatasetError, DatasetHeader, DatasetSummary};
 pub use fabric::{fat_tree, FatTree};
 pub use fibgen::{DeviceFib, FibDiscipline, GeneratedFibs};
 pub use settings::{Setting, SettingName};

@@ -67,7 +67,7 @@ pub fn pod_addition(k: u32, p: u32) -> (PlanningRow, Vec<(DeviceId, RuleUpdate)>
     for fib in &full.fibs {
         for r in &fib.rules {
             if is_new_rule(fib.device, r) {
-                delta.push((fib.device, RuleUpdate::insert(r.clone())));
+                delta.push((fib.device, RuleUpdate::insert(*r)));
             }
         }
     }

@@ -23,12 +23,12 @@ pub fn insert_then_delete(fibs: &GeneratedFibs) -> Vec<(DeviceId, RuleUpdate)> {
     let mut out = Vec::with_capacity(fibs.total_rules() * 2);
     for f in &fibs.fibs {
         for r in &f.rules {
-            out.push((f.device, RuleUpdate::insert(r.clone())));
+            out.push((f.device, RuleUpdate::insert(*r)));
         }
     }
     for f in &fibs.fibs {
         for r in &f.rules {
-            out.push((f.device, RuleUpdate::delete(r.clone())));
+            out.push((f.device, RuleUpdate::delete(*r)));
         }
     }
     out
@@ -39,7 +39,7 @@ pub fn insert_all(fibs: &GeneratedFibs) -> Vec<(DeviceId, RuleUpdate)> {
     let mut out = Vec::with_capacity(fibs.total_rules());
     for f in &fibs.fibs {
         for r in &f.rules {
-            out.push((f.device, RuleUpdate::insert(r.clone())));
+            out.push((f.device, RuleUpdate::insert(*r)));
         }
     }
     out

@@ -42,7 +42,7 @@ fn main() {
 
     let subnet1 = Match::dst_prefix(&layout, 0x10, 8); // "10.0.1.0/24"
     let subnet2 = Match::dst_prefix(&layout, 0x20, 8); // "10.0.2.0/24"
-    let http = |m: &Match| m.clone().with(FieldId(1), MatchKind::Exact(0x8));
+    let http = |m: &Match| (*m).with(FieldId(1), MatchKind::Exact(0x8));
 
     // ---- The operator's requirement: HTTP traffic to subnet 1 entering
     // at S3 must traverse S2 before reaching S1 (the Figure 2 policy).
@@ -75,8 +75,8 @@ fn main() {
         (
             s1,
             vec![
-                Rule::new(subnet1.clone(), 2, to_a),
-                Rule::new(subnet2.clone(), 1, to_a),
+                Rule::new(subnet1, 2, to_a),
+                Rule::new(subnet2, 1, to_a),
                 Rule::new(Match::any(&layout), 0, to_s3),
             ],
         ),
@@ -84,8 +84,8 @@ fn main() {
         (
             s3,
             vec![
-                Rule::new(subnet1.clone(), 2, to_s1),
-                Rule::new(subnet2.clone(), 1, to_s1),
+                Rule::new(subnet1, 2, to_s1),
+                Rule::new(subnet2, 1, to_s1),
                 Rule::new(Match::any(&layout), 0, to_gw),
             ],
         ),

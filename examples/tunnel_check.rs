@@ -37,8 +37,8 @@ fn main() {
     let tunneled = Match::any(&layout).with(FieldId(1), MatchKind::Exact(42));
 
     let mut mgr = ModelManager::new(ModelManagerConfig::whole_space(layout.clone()));
-    mgr.submit(ingress, [RuleUpdate::insert(Rule::new(untunneled.clone(), 1, encap))]);
-    mgr.submit(core, [RuleUpdate::insert(Rule::new(tunneled.clone(), 1, fwd_egress))]);
+    mgr.submit(ingress, [RuleUpdate::insert(Rule::new(untunneled, 1, encap))]);
+    mgr.submit(core, [RuleUpdate::insert(Rule::new(tunneled, 1, fwd_egress))]);
     mgr.flush();
 
     println!("== tunnel: ingress encapsulates (label 42), core carries it");

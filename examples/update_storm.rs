@@ -34,7 +34,7 @@ fn main() {
     let t0 = Instant::now();
     let mut mgr = ModelManager::new(ModelManagerConfig::whole_space(fibs.layout.clone()));
     for (d, u) in &storm {
-        mgr.submit(*d, [u.clone()]);
+        mgr.submit(*d, [*u]);
     }
     mgr.flush();
     let flash_time = t0.elapsed();
@@ -53,7 +53,7 @@ fn main() {
         ..ModelManagerConfig::whole_space(fibs.layout.clone())
     });
     for (d, u) in &storm {
-        per.submit(*d, [u.clone()]);
+        per.submit(*d, [*u]);
     }
     per.flush();
     let per_time = t1.elapsed();

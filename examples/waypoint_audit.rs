@@ -34,7 +34,7 @@ fn main() {
     let expr = parse_path_expr("[tier=tor] [tier=agg] [tier=core] [tier=agg] [tier=tor]").unwrap();
     let requirement = Requirement::new(
         "tor-agg-core-agg-tor",
-        packet_space.clone(),
+        packet_space,
         vec![src_tor],
         expr,
     );
@@ -101,7 +101,7 @@ fn main() {
         properties: vec![Property::Requirement {
             requirement: Requirement::new(
                 "tor-agg-core-agg-tor",
-                packet_space.clone(),
+                packet_space,
                 vec![src_tor],
                 parse_path_expr("[tier=tor] [tier=agg] [tier=core] [tier=agg] [tier=tor]")
                     .unwrap(),

@@ -48,7 +48,7 @@ fn churn(
             {
                 continue;
             }
-            installed.push((dev, r.clone()));
+            installed.push((dev, r));
             out.push((dev, RuleUpdate::insert(r)));
         }
     }
@@ -77,8 +77,8 @@ fn tight_gc_budget_reproduces_the_uncollected_model() {
     let mut lax = manager(&layout, usize::MAX);
     for (chunk_no, chunk) in updates.chunks(64).enumerate() {
         for (d, u) in chunk {
-            tight.submit(*d, [u.clone()]);
-            lax.submit(*d, [u.clone()]);
+            tight.submit(*d, [*u]);
+            lax.submit(*d, [*u]);
         }
         tight.flush();
         lax.flush();
@@ -154,7 +154,7 @@ fn ce2d_verifier_verdicts_survive_ten_thousand_updates_of_gc() {
         for chunk in updates.chunks(128) {
             let mut synced = Vec::new();
             for (d, u) in chunk {
-                mgr.submit(*d, [u.clone()]);
+                mgr.submit(*d, [*u]);
                 if !synced.contains(d) {
                     synced.push(*d);
                 }

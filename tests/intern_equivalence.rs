@@ -1,0 +1,241 @@
+//! Interned-representation equivalence: the default Fast IMT pipeline
+//! (match memoization keyed on `MatchId`, class overlap index, auto
+//! shadow dispatch — all riding on the global match-interning table)
+//! must produce byte-identical class fingerprints and verdict streams
+//! to the legacy reference configuration (no memo, no index, forced
+//! accumulated shadows) on randomized insert/delete churn, including
+//! across explicit predicate-engine collections.
+
+use flash_core::{Property, PropertyReport, SubspaceVerifier, SubspaceVerifierConfig};
+use flash_imt::{ImtTuning, ModelManager, ModelManagerConfig, ShadowStrategy, SubspaceSpec};
+use flash_netmodel::{
+    ActionId, ActionTable, DeviceId, HeaderLayout, Match, Rule, RuleUpdate, Topology,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// The pre-interning reference path: every optimization that the packed
+/// representation enables is switched off.
+fn legacy_tuning() -> ImtTuning {
+    ImtTuning {
+        match_memo_capacity: 0,
+        shadow_strategy: ShadowStrategy::Accumulated,
+        class_index: false,
+    }
+}
+
+/// Randomized churn: random prefix inserts, with each insert later
+/// deleted with probability ~1/2, over `devices` devices and `actions`
+/// distinct forwarding actions (ids 1..=actions; 0 is drop).
+fn churn(
+    layout: &HeaderLayout,
+    devices: u32,
+    actions: u32,
+    steps: usize,
+    seed: u64,
+) -> Vec<(DeviceId, RuleUpdate)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<(DeviceId, Rule)> = Vec::new();
+    let mut seq = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        if !live.is_empty() && rng.gen_bool(0.4) {
+            let i = rng.gen_range(0..live.len());
+            let (d, r) = live.swap_remove(i);
+            seq.push((d, RuleUpdate::delete(r)));
+            continue;
+        }
+        let len = rng.gen_range(3..=10u32);
+        let value = rng.gen_range(0..(1u64 << len));
+        let dev = DeviceId(rng.gen_range(0..devices));
+        let rule = Rule::new(
+            Match::dst_prefix(layout, value, len),
+            len as i64,
+            ActionId(rng.gen_range(0..=actions)),
+        );
+        live.push((dev, rule));
+        seq.push((dev, RuleUpdate::insert(rule)));
+    }
+    seq
+}
+
+fn sorted_keys(mm: &ModelManager) -> Vec<u64> {
+    let mut k = mm.class_keys();
+    k.sort_unstable();
+    k
+}
+
+fn manager(layout: &HeaderLayout, tuning: ImtTuning) -> ModelManager {
+    ModelManager::new(ModelManagerConfig {
+        layout: layout.clone(),
+        subspace: SubspaceSpec::whole(),
+        bst: usize::MAX,
+        filter_updates: false,
+        gc_node_threshold: 2048,
+        tuning,
+    })
+}
+
+#[test]
+fn churn_fingerprints_match_legacy_reference() {
+    let layout = HeaderLayout::new(&[("dst", 12)]);
+    let seq = churn(&layout, 10, 6, 3000, 0x1D7E);
+    let mut fast = manager(&layout, ImtTuning::default());
+    let mut legacy = manager(&layout, legacy_tuning());
+    for (blk, chunk) in seq.chunks(250).enumerate() {
+        for (d, u) in chunk {
+            fast.submit(*d, [*u]);
+            legacy.submit(*d, [*u]);
+        }
+        fast.flush();
+        legacy.flush();
+        assert_eq!(
+            sorted_keys(&fast),
+            sorted_keys(&legacy),
+            "class fingerprints diverged at block {blk}"
+        );
+        // An explicit collection mid-stream must not perturb the model.
+        if blk % 3 == 2 {
+            let before = sorted_keys(&fast);
+            fast.engine_mut().collect();
+            legacy.engine_mut().collect();
+            assert_eq!(sorted_keys(&fast), before, "collect changed fingerprints");
+        }
+    }
+    assert_eq!(fast.model().len(), legacy.model().len());
+}
+
+#[test]
+fn churn_fingerprints_stable_across_seeds() {
+    // Three seeds so a lucky churn shape cannot mask a divergence.
+    let layout = HeaderLayout::new(&[("dst", 10)]);
+    for seed in [7u64, 99, 0xABCD] {
+        let seq = churn(&layout, 6, 4, 1200, seed);
+        let mut fast = manager(&layout, ImtTuning::default());
+        let mut legacy = manager(&layout, legacy_tuning());
+        for (d, u) in &seq {
+            fast.submit(*d, [*u]);
+            legacy.submit(*d, [*u]);
+        }
+        fast.flush();
+        legacy.flush();
+        assert_eq!(sorted_keys(&fast), sorted_keys(&legacy), "seed {seed}");
+    }
+}
+
+/// A fully "uphill"-linked topology: device `i` can only ever forward
+/// to devices `j > i`, so no rule set can form a loop. With loops ruled
+/// out by construction, every verdict a verifier can emit (loop freedom,
+/// requirement satisfied/unsatisfied) is a deterministic function of the
+/// model — loop *witness cycles* are not compared because which cycle is
+/// reported first legitimately depends on class traversal order, which
+/// the tunings are allowed to change.
+fn uphill(n: u32) -> (Arc<Topology>, Vec<DeviceId>, Arc<ActionTable>) {
+    let mut t = Topology::new();
+    let ids: Vec<DeviceId> = (0..n).map(|i| t.add_device(format!("u{i}"))).collect();
+    for i in 0..n as usize {
+        for j in i + 1..n as usize {
+            t.add_bilink(ids[i], ids[j]);
+        }
+    }
+    let mut at = ActionTable::new();
+    for &d in &ids {
+        at.fwd(d);
+    }
+    (Arc::new(t), ids, Arc::new(at))
+}
+
+/// Randomized churn that only installs uphill-forwarding rules:
+/// device `i` forwards to a random `j > i` (action id `j + 1`; 0 is
+/// drop and the last device only drops).
+fn churn_acyclic(
+    layout: &HeaderLayout,
+    devices: u32,
+    steps: usize,
+    seed: u64,
+) -> Vec<(DeviceId, RuleUpdate)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<(DeviceId, Rule)> = Vec::new();
+    let mut seq = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        if !live.is_empty() && rng.gen_bool(0.4) {
+            let i = rng.gen_range(0..live.len());
+            let (d, r) = live.swap_remove(i);
+            seq.push((d, RuleUpdate::delete(r)));
+            continue;
+        }
+        let len = rng.gen_range(3..=10u32);
+        let value = rng.gen_range(0..(1u64 << len));
+        let di = rng.gen_range(0..devices);
+        let action = if di + 1 == devices {
+            flash_netmodel::ACTION_DROP
+        } else {
+            ActionId(rng.gen_range(di + 1..devices) + 1)
+        };
+        let rule = Rule::new(Match::dst_prefix(layout, value, len), len as i64, action);
+        live.push((DeviceId(di), rule));
+        seq.push((DeviceId(di), RuleUpdate::insert(rule)));
+    }
+    seq
+}
+
+#[test]
+fn verdict_streams_match_legacy_reference() {
+    let (topo, ids, actions) = uphill(6);
+    let layout = HeaderLayout::new(&[("dst", 10)]);
+    let seq = churn_acyclic(&layout, 6, 1500, 0xFEED);
+    let req = flash_spec::Requirement::new(
+        "u0-reaches-u5",
+        Match::any(&layout),
+        vec![ids[0]],
+        flash_spec::parse_path_expr("u0 .* u5").unwrap(),
+    );
+    let mk = |tuning| {
+        SubspaceVerifier::new(SubspaceVerifierConfig {
+            topo: topo.clone(),
+            actions: actions.clone(),
+            layout: layout.clone(),
+            subspace: SubspaceSpec::whole(),
+            bst: usize::MAX,
+            properties: vec![
+                Property::LoopFreedom,
+                Property::Requirement {
+                    requirement: req.clone(),
+                    dests: vec![],
+                },
+            ],
+            tuning,
+        })
+    };
+    let mut fast = mk(ImtTuning::default());
+    let mut legacy = mk(legacy_tuning());
+    let mut fast_stream: Vec<PropertyReport> = Vec::new();
+    let mut legacy_stream: Vec<PropertyReport> = Vec::new();
+    for (blk, chunk) in seq.chunks(100).enumerate() {
+        // Group the chunk per device so both verifiers sync devices in
+        // the same order.
+        let mut per_dev: Vec<(DeviceId, Vec<RuleUpdate>)> = Vec::new();
+        for (d, u) in chunk {
+            match per_dev.iter_mut().find(|(pd, _)| pd == d) {
+                Some((_, v)) => v.push(*u),
+                None => per_dev.push((*d, vec![*u])),
+            }
+        }
+        for (d, ups) in per_dev {
+            fast_stream.extend(fast.ingest_synchronized(d, ups.clone()));
+            legacy_stream.extend(legacy.ingest_synchronized(d, ups));
+        }
+        assert_eq!(
+            fast_stream, legacy_stream,
+            "verdict streams diverged at block {blk}"
+        );
+        if blk % 4 == 3 {
+            fast.manager_mut().engine_mut().collect();
+            legacy.manager_mut().engine_mut().collect();
+        }
+    }
+    assert!(
+        !fast_stream.is_empty(),
+        "churn over a ring should decide at least one verdict"
+    );
+}

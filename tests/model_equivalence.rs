@@ -21,7 +21,7 @@ fn check_equivalence(
     // Flash: single block.
     let mut mm = ModelManager::new(ModelManagerConfig::whole_space(layout.clone()));
     for (d, u) in seq {
-        mm.submit(*d, [u.clone()]);
+        mm.submit(*d, [*u]);
     }
     mm.flush();
 
@@ -86,7 +86,7 @@ fn apsp_insert_then_delete_returns_to_default() {
     let seq = updates::insert_then_delete(&fibs);
     let mut mm = ModelManager::new(ModelManagerConfig::whole_space(fibs.layout.clone()));
     for (d, u) in &seq {
-        mm.submit(*d, [u.clone()]);
+        mm.submit(*d, [*u]);
     }
     mm.flush();
     assert_eq!(mm.model().len(), 1, "insert-then-delete must cancel out");
@@ -125,7 +125,7 @@ fn shuffled_arrival_order_gives_same_model() {
     let build = |seq: &[(DeviceId, flash_netmodel::RuleUpdate)]| {
         let mut mm = ModelManager::new(ModelManagerConfig::whole_space(fibs.layout.clone()));
         for (d, u) in seq {
-            mm.submit(*d, [u.clone()]);
+            mm.submit(*d, [*u]);
         }
         mm.flush();
         mm
@@ -162,7 +162,7 @@ fn bst_value_does_not_change_the_model() {
             ..ModelManagerConfig::whole_space(fibs.layout.clone())
         });
         for (d, u) in &seq {
-            mm.submit(*d, [u.clone()]);
+            mm.submit(*d, [*u]);
         }
         mm.flush();
         let (engine, _, model) = mm.parts_mut();
@@ -184,7 +184,7 @@ fn model_invariants_hold_on_all_disciplines() {
         let seq = updates::insert_all(&fibs);
         let mut mm = ModelManager::new(ModelManagerConfig::whole_space(fibs.layout.clone()));
         for (d, u) in &seq {
-            mm.submit(*d, [u.clone()]);
+            mm.submit(*d, [*u]);
         }
         mm.flush();
         let (engine, _, model) = mm.parts_mut();

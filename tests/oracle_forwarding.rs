@@ -99,8 +99,8 @@ proptest! {
                     len as i64,
                     a,
                 );
-                if oracle[di].insert(r.clone()).is_ok() {
-                    installed.push((di, r.clone()));
+                if oracle[di].insert(r).is_ok() {
+                    installed.push((di, r));
                     mm.submit(devices[di], [flash_netmodel::RuleUpdate::insert(r)]);
                 }
             }

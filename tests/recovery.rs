@@ -164,7 +164,7 @@ fn whole_space_reference(net: &Net, stream: &[Vec<(DeviceId, RuleUpdate)>]) -> R
     for block in stream {
         let mut devs = Vec::new();
         for (d, u) in block {
-            v.ingest(*d, vec![u.clone()]);
+            v.ingest(*d, vec![*u]);
             if !devs.contains(d) {
                 devs.push(*d);
             }
@@ -484,7 +484,7 @@ fn durable_journal_is_bounded_and_checkpoint_matches_genesis_replay() {
             });
             for block in stream.iter().take(cp.last_seq as usize + 1) {
                 for (d, u) in block {
-                    v.ingest(*d, vec![u.clone()]);
+                    v.ingest(*d, vec![*u]);
                 }
                 v.flush();
             }

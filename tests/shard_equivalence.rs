@@ -137,7 +137,7 @@ fn whole_space_reference(net: &Net, stream: &[Vec<(DeviceId, RuleUpdate)>]) -> R
     for block in stream {
         let mut devs = Vec::new();
         for (d, u) in block {
-            v.ingest(*d, vec![u.clone()]);
+            v.ingest(*d, vec![*u]);
             if !devs.contains(d) {
                 devs.push(*d);
             }

@@ -18,7 +18,7 @@ fn subspace_models_agree_with_whole_space_model() {
     // Whole-space model.
     let mut whole = ModelManager::new(ModelManagerConfig::whole_space(layout.clone()));
     for (d, u) in &seq {
-        whole.submit(*d, [u.clone()]);
+        whole.submit(*d, [*u]);
     }
     whole.flush();
 
@@ -36,7 +36,7 @@ fn subspace_models_agree_with_whole_space_model() {
         tuning: Default::default(),
             });
             for (d, u) in &seq {
-                m.submit(*d, [u.clone()]);
+                m.submit(*d, [*u]);
             }
             m.flush();
             m
@@ -86,7 +86,7 @@ fn subspace_filter_reduces_work() {
         tuning: Default::default(),
     });
     for (d, u) in &seq {
-        sub.submit(*d, [u.clone()]);
+        sub.submit(*d, [*u]);
     }
     sub.flush();
     let stats = sub.stats();
@@ -100,7 +100,7 @@ fn subspace_filter_reduces_work() {
 
     let mut whole = ModelManager::new(ModelManagerConfig::whole_space(fibs.layout.clone()));
     for (d, u) in &seq {
-        whole.submit(*d, [u.clone()]);
+        whole.submit(*d, [*u]);
     }
     whole.flush();
     assert!(
@@ -130,7 +130,7 @@ fn parallel_runner_consistent_with_sequential_subspaces() {
         tuning: Default::default(),
         });
         for (d, u) in &seq {
-            m.submit(*d, [u.clone()]);
+            m.submit(*d, [*u]);
         }
         m.flush();
         seq_classes.push(m.model().len());
