@@ -1,15 +1,19 @@
 #!/usr/bin/env python3
 """Render a markdown table from bench JSON reports.
 
-Usage: bench_diff.py <baseline.json> <fresh.json>   delta table
-       bench_diff.py <report.json>                  single-report table
+Usage: bench_diff.py [--threshold PCT] <baseline.json> <fresh.json>
+       bench_diff.py <report.json>
 
 With two reports, prints wall-clock, total-op and op_and-call deltas per
 scenario — meant for $GITHUB_STEP_SUMMARY in the non-gating quick-bench
-CI job, but works anywhere. With one report (e.g. BENCH_scale.json from
-the scale-smoke lane, which has no committed baseline), prints the
-scenarios of that report alone, plus peak RSS when the report carries
-it. Exit code is always 0: the table is a trend report, not a gate.
+CI job, but works anywhere. `--threshold PCT` (default off) flags any
+scenario whose wall clock regressed by more than PCT percent with a
+warning marker and a trailing summary line; the exit code stays 0
+either way — the table is a trend report, not a gate.
+
+With one report (e.g. BENCH_scale.json from the scale-smoke lane, which
+has no committed baseline), prints the scenarios of that report alone,
+plus peak RSS when the report carries it.
 """
 import json
 import sys
@@ -36,36 +40,39 @@ def render_single(path):
         detail = ", ".join(
             f"{k}={v}"
             for k, v in s.items()
-            if k not in ("wall_ms", "ops") and not isinstance(v, dict)
+            if k not in ("wall_ms", "ops") and not isinstance(v, (dict, list))
         )
         print(f"| {name} | {s['wall_ms']:.1f} | {s.get('ops', '')} | {detail} |")
 
 
-def main():
-    if len(sys.argv) == 2:
-        render_single(sys.argv[1])
-        return
-    if len(sys.argv) != 3:
-        print(__doc__.strip(), file=sys.stderr)
-        return
-    with open(sys.argv[1]) as f:
+def render_diff(base_path, fresh_path, threshold):
+    with open(base_path) as f:
         base = json.load(f)["scenarios"]
-    with open(sys.argv[2]) as f:
+    with open(fresh_path) as f:
         fresh = json.load(f)["scenarios"]
 
     print("### Quick predicate bench vs committed baseline")
     print()
     print("| scenario | wall_ms | Δwall | ops | Δops | op_and calls | Δop_and |")
     print("|---|---|---|---|---|---|---|")
+    regressions = []
     for name, b in base.items():
         n = fresh.get(name)
         if n is None:
             print(f"| {name} | {b['wall_ms']:.1f} → gone | | | | | |")
             continue
+        mark = ""
+        if (
+            threshold is not None
+            and b["wall_ms"]
+            and (n["wall_ms"] - b["wall_ms"]) / b["wall_ms"] * 100.0 > threshold
+        ):
+            mark = " ⚠️"
+            regressions.append((name, b["wall_ms"], n["wall_ms"]))
         b_and = b.get("op_and", {}).get("calls", 0)
         n_and = n.get("op_and", {}).get("calls", 0)
         print(
-            f"| {name} "
+            f"| {name}{mark} "
             f"| {b['wall_ms']:.1f} → {n['wall_ms']:.1f} | {pct(b['wall_ms'], n['wall_ms'])} "
             f"| {b['ops']} → {n['ops']} | {pct(b['ops'], n['ops'])} "
             f"| {b_and} → {n_and} | {pct(b_and, n_and)} |"
@@ -73,6 +80,38 @@ def main():
     for name in fresh:
         if name not in base:
             print(f"| {name} (new) | {fresh[name]['wall_ms']:.1f} | | {fresh[name]['ops']} | | | |")
+    if threshold is not None:
+        print()
+        if regressions:
+            rows = ", ".join(
+                f"{name} ({b:.0f}ms → {n:.0f}ms)" for name, b, n in regressions
+            )
+            print(
+                f"⚠️ **{len(regressions)} scenario(s) regressed more than "
+                f"{threshold:.0f}% wall clock**: {rows} — non-gating, but worth a look."
+            )
+        else:
+            print(f"No scenario regressed more than {threshold:.0f}% wall clock.")
+
+
+def main():
+    args = sys.argv[1:]
+    threshold = None
+    if "--threshold" in args:
+        i = args.index("--threshold")
+        try:
+            threshold = float(args[i + 1])
+        except (IndexError, ValueError):
+            print("--threshold needs a numeric percent", file=sys.stderr)
+            sys.exit(2)
+        del args[i : i + 2]
+    if len(args) == 1:
+        render_single(args[0])
+        return
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return
+    render_diff(args[0], args[1], threshold)
 
 
 if __name__ == "__main__":

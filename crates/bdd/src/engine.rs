@@ -23,6 +23,7 @@
 //! an operation — only at handle-creation boundaries.
 
 use crate::manager::{Bdd, CacheConfig, NodeId, FALSE, TRUE};
+use crate::order::VarOrder;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -150,6 +151,15 @@ pub struct EngineTelemetry {
     pub approx_bytes: usize,
     /// Computed-cache probe-window evictions (replacement-policy churn).
     pub cache_evictions: u64,
+    /// Insertions the admission policy turned away because the incumbent
+    /// entry in both ways had a higher reuse stamp. High rejects with a
+    /// high hit rate means admission is protecting the working set; high
+    /// rejects with a *low* hit rate means the cache is undersized.
+    pub cache_admission_rejects: u64,
+    /// Live computed-cache entries per operation kind, indexed by
+    /// `OpKind as usize` (kinds without a cache tag stay 0). Shows which
+    /// op family owns the cache under a given workload.
+    pub cache_occupancy_by_op: [u64; OpKind::COUNT],
     /// Computed-cache slot count (summed across engines by `absorb`).
     pub cache_capacity: usize,
     /// Allocations satisfied from the swept-slot free list instead of
@@ -158,6 +168,10 @@ pub struct EngineTelemetry {
     /// Cell-occupancy probes answered for the class overlap index
     /// (see [`Bdd::cell_mask`]); probes are cheap and never allocate.
     pub cell_probes: u64,
+    /// Differences answered by the disjoint-diff kernel
+    /// ([`PredEngine::diff_assuming_disjoint`]) without recursing — each
+    /// one is an `op_diff` the overlap index proved unnecessary.
+    pub disjoint_skips: u64,
 }
 
 impl EngineTelemetry {
@@ -207,23 +221,35 @@ impl EngineTelemetry {
         self.gc_pause_max = self.gc_pause_max.max(other.gc_pause_max);
         self.approx_bytes += other.approx_bytes;
         self.cache_evictions += other.cache_evictions;
+        self.cache_admission_rejects += other.cache_admission_rejects;
+        for (mine, theirs) in self
+            .cache_occupancy_by_op
+            .iter_mut()
+            .zip(other.cache_occupancy_by_op.iter())
+        {
+            *mine += theirs;
+        }
         self.cache_capacity += other.cache_capacity;
         self.freelist_reuses += other.freelist_reuses;
         self.cell_probes += other.cell_probes;
+        self.disjoint_skips += other.disjoint_skips;
     }
 
     /// One-line human-readable digest, used by `flash-cli` and examples.
     pub fn summary(&self) -> String {
         format!(
-            "{} ops ({:.1}% cache hit, {} slots, {} evictions) | \
-             {} cell probes | nodes {} live / {} peak ({:.0}% occupancy) | \
+            "{} ops ({:.1}% cache hit, {} slots, {} evictions, {} rejects) | \
+             {} cell probes, {} disjoint skips | \
+             nodes {} live / {} peak ({:.0}% occupancy) | \
              {} roots | gc: {} runs, {} reclaimed, {} slot reuses, \
              {:.2} ms max pause | ~{:.1} MiB",
             self.ops,
-            self.cell_probes,
             self.cache_hit_rate() * 100.0,
             self.cache_capacity,
             self.cache_evictions,
+            self.cache_admission_rejects,
+            self.cell_probes,
+            self.disjoint_skips,
             self.live_nodes,
             self.peak_live_nodes,
             self.occupancy * 100.0,
@@ -423,10 +449,22 @@ impl PredEngine {
     }
 
     /// Creates an engine with explicit GC-threshold and computed-cache
-    /// sizing.
+    /// sizing (identity variable order).
     pub fn with_config(num_vars: u32, threshold: usize, cache: CacheConfig) -> Self {
+        Self::with_var_order(num_vars, threshold, cache, VarOrder::identity(num_vars))
+    }
+
+    /// Creates an engine with a non-default static [`VarOrder`]. The order
+    /// is fixed for the engine's lifetime; all handles share it. Semantics
+    /// are order-independent — only diagram shape (node counts) changes.
+    pub fn with_var_order(
+        num_vars: u32,
+        threshold: usize,
+        cache: CacheConfig,
+        order: VarOrder,
+    ) -> Self {
         PredEngine {
-            bdd: Bdd::with_cache_config(num_vars, cache),
+            bdd: Bdd::with_config(num_vars, cache, order),
             roots: Rc::new(RefCell::new(RootSet::default())),
             id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
             generation: 0,
@@ -443,6 +481,29 @@ impl PredEngine {
     /// Number of header bits this engine reasons about.
     pub fn num_vars(&self) -> u32 {
         self.bdd.num_vars()
+    }
+
+    /// The static variable order this engine was built with.
+    pub fn var_order(&self) -> &VarOrder {
+        self.bdd.var_order()
+    }
+
+    /// Reads `FLASH_GC_THRESHOLD` (a live-node count; `max` or `off`
+    /// disables auto-GC), falling back to `default` when unset or
+    /// unparsable. Lets bench bins and `flash-cli` tune collection
+    /// pressure without a rebuild.
+    pub fn gc_threshold_from_env(default: usize) -> usize {
+        match std::env::var("FLASH_GC_THRESHOLD") {
+            Ok(v) => {
+                let v = v.trim();
+                if v.eq_ignore_ascii_case("max") || v.eq_ignore_ascii_case("off") {
+                    usize::MAX
+                } else {
+                    v.parse().unwrap_or(default)
+                }
+            }
+            Err(_) => default,
+        }
     }
 
     #[inline]
@@ -607,6 +668,32 @@ impl PredEngine {
         self.check(b);
         let n = self.bdd.diff(a.node, b.node);
         self.finish(n)
+    }
+
+    /// Difference `a ∧ ¬b` under the caller's proof that `a ∧ b = ∅` —
+    /// returns `a` without recursing. Counts as a `Diff` operation and
+    /// bumps the `disjoint_skips` telemetry counter. Debug builds verify
+    /// the disjointness claim and panic on misuse; release builds trust
+    /// the caller (the point of the kernel is to skip the traversal).
+    ///
+    /// Callers typically establish the proof with
+    /// [`PredEngine::provably_disjoint`] or an external overlap index.
+    pub fn diff_assuming_disjoint(&mut self, a: &Pred, b: &Pred) -> Pred {
+        self.check(a);
+        self.check(b);
+        let n = self.bdd.diff_assuming_disjoint(a.node, b.node);
+        self.finish(n)
+    }
+
+    /// Cheap sound-but-incomplete disjointness proof: compares the
+    /// cell-occupancy masks of `a` and `b` over the `k` bits at `offset`.
+    /// An empty mask intersection proves `a ∧ b = ∅` (the union law of
+    /// [`Bdd::cell_mask`]); a non-empty one proves nothing. Never
+    /// allocates nodes.
+    pub fn provably_disjoint(&mut self, a: &Pred, b: &Pred, offset: u32, k: u32) -> bool {
+        self.check(a);
+        self.check(b);
+        self.bdd.cell_mask(a.node, offset, k) & self.bdd.cell_mask(b.node, offset, k) == 0
     }
 
     /// Exclusive or `a ⊕ b`.
@@ -813,9 +900,12 @@ impl PredEngine {
             gc_pause_max: self.gc_pause_max,
             approx_bytes: self.bdd.approx_bytes(),
             cache_evictions: self.bdd.cache_evictions(),
+            cache_admission_rejects: self.bdd.cache_admission_rejects(),
+            cache_occupancy_by_op: self.bdd.cache_occupancy(),
             cache_capacity: self.bdd.cache_capacity(),
             freelist_reuses: self.bdd.freelist_reuses(),
             cell_probes: self.bdd.cell_probes(),
+            disjoint_skips: self.bdd.disjoint_skips(),
         }
     }
 

@@ -45,12 +45,14 @@
 mod encode;
 mod engine;
 mod manager;
+mod order;
 
 pub use engine::{
     EngineTelemetry, OpCounterGuard, OpKind, OpStats, Pred, PredEngine, RawPred, StaleHandle,
     DEFAULT_GC_NODE_THRESHOLD,
 };
 pub use manager::{Bdd, BddStats, CacheConfig, NodeId, FALSE, TRUE};
+pub use order::VarOrder;
 
 #[cfg(test)]
 mod tests;

@@ -1,12 +1,35 @@
-//! The BDD manager: node arena, unique table, computed caches, Boolean
+//! The BDD manager: fused node arena, computed cache, Boolean
 //! operations, model counting and garbage collection.
 //!
 //! This is the *raw* layer: node ids are plain integers with no lifetime
 //! tracking. Consumers outside this crate should use the rooted-handle
 //! wrapper in [`crate::engine`] ([`crate::PredEngine`]), which keeps the
 //! ids below alive across automatic mark-sweep collections.
+//!
+//! ## Storage layout
+//!
+//! Nodes live in a single open-addressed arena of 16-byte [`Slot`]s that
+//! fuses what used to be three side tables:
+//!
+//! ```text
+//!   Slot (16 bytes)
+//!   +--------+--------+----------------------+--------+
+//!   |  low   |  high  |        meta          |  next  |
+//!   |  u32   |  u32   | var:16 born:15 mark:1|  u32   |
+//!   +--------+--------+----------------------+--------+
+//! ```
+//!
+//! `next` threads the slot into its unique-table bucket chain (heads in
+//! [`Bdd::heads`]) — or into the free list once swept. `meta` packs the
+//! decision variable (16 bits; `0xFFFF` marks a terminal, `0xFFFE` a
+//! freed slot), the 15-bit GC generation the occupant was born in, and
+//! the mark bit used by [`Bdd::sweep`]. A `mk()` probe therefore walks a
+//! short chain of single-cache-line slots instead of fetching a node
+//! *and* chasing a `HashMap` entry, and collections need no side
+//! allocations at all.
 
 use crate::engine::{OpKind, OpStats};
+use crate::order::VarOrder;
 use std::collections::HashMap;
 
 /// Index of a BDD node inside a [`Bdd`] manager.
@@ -21,18 +44,57 @@ pub const FALSE: NodeId = 0;
 /// The constant-true predicate (full header space).
 pub const TRUE: NodeId = 1;
 
-/// Sentinel variable index used by the two terminal nodes.
-const TERMINAL_VAR: u32 = u32::MAX;
+/// Null link in bucket chains and the free list.
+const NIL: u32 = u32::MAX;
 
-/// Sentinel variable index marking a swept (reusable) arena slot.
-const FREE_VAR: u32 = u32::MAX - 1;
+/// Low 16 bits of `meta`: the decision variable.
+const VAR_MASK: u32 = 0xFFFF;
+/// Sentinel variable marking the two terminal nodes.
+const TERMINAL_VAR: u32 = 0xFFFF;
+/// Sentinel variable marking a swept (reusable) arena slot.
+const FREE_VAR: u32 = 0xFFFE;
+/// 15-bit birth-generation field of `meta` (bits 16..31).
+const BORN_MASK: u32 = 0x7FFF;
+/// Sweep mark bit (bit 31 of `meta`).
+const MARK_BIT: u32 = 1 << 31;
 
-/// A single decision node: test `var`; follow `low` on 0, `high` on 1.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-struct Node {
-    var: u32,
+/// A fused arena slot: decision node, unique-table chain link, birth
+/// stamp and mark bit in 16 bytes (see the module docs for the diagram).
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+struct Slot {
     low: NodeId,
     high: NodeId,
+    /// `var:16 | born:15 | mark:1`.
+    meta: u32,
+    /// Unique-table bucket chain link, or free-list link once swept.
+    next: u32,
+}
+
+const _: () = assert!(std::mem::size_of::<Slot>() == 16);
+
+impl Slot {
+    #[inline]
+    fn var(&self) -> u32 {
+        self.meta & VAR_MASK
+    }
+
+    #[inline]
+    fn born(&self) -> u32 {
+        (self.meta >> 16) & BORN_MASK
+    }
+}
+
+/// Multiplicative mix of a node key `(var, low, high)` for the
+/// unique-table bucket chains. No DoS resistance needed.
+#[inline]
+fn node_hash(var: u32, low: NodeId, high: NodeId) -> u64 {
+    let mut h = (((low as u64) << 32) | high as u64) ^ ((var as u64) << 17);
+    h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h ^= h >> 29;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 32;
+    h
 }
 
 /// Operation tags for computed-cache keys. Tag 0 marks an empty slot, so
@@ -44,6 +106,8 @@ const TAG_XOR: u8 = 3;
 const TAG_DIFF: u8 = 4;
 const TAG_NOT: u8 = 5;
 const TAG_EXISTS: u8 = 6;
+/// Number of distinct tags (including `TAG_FREE`).
+const NUM_TAGS: usize = 7;
 
 /// Sizing knobs for the computed cache (see [`ComputedCache`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -63,56 +127,45 @@ impl Default for CacheConfig {
     }
 }
 
-/// One computed-cache slot: `op(a, b, c) = result`, stamped with the GC
-/// generation (`Bdd::gcs`) at insertion time.
+impl CacheConfig {
+    /// The default config with `FLASH_CACHE_CAP` (a slot-count ceiling)
+    /// applied when set and parseable. The initial capacity is clamped
+    /// under the ceiling so a small cap takes effect immediately.
+    pub fn from_env() -> Self {
+        let mut c = CacheConfig::default();
+        if let Ok(v) = std::env::var("FLASH_CACHE_CAP") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                c.max_capacity = n.max(2);
+                c.initial_capacity = c.initial_capacity.min(c.max_capacity);
+            }
+        }
+        c
+    }
+}
+
+/// One computed-cache entry: `op(a, b, c) = result`, stamped with the GC
+/// generation at insertion time (`gen`) and a saturating reuse counter
+/// (`stamp`) that drives 2-way admission. 20 bytes.
 ///
 /// For binary ops `c` is unused (0 = the FALSE terminal, always live); for
 /// `exists` the `b`/`c` words hold the quantified variable range, not node
 /// ids.
+#[repr(C)]
 #[derive(Clone, Copy)]
 struct CacheEntry {
-    tag: u8,
     a: NodeId,
     b: NodeId,
     c: NodeId,
     result: NodeId,
-    gen: u32,
+    gen: u16,
+    tag: u8,
+    /// Saturating hit counter: bumped on every honoured lookup, decayed
+    /// when the entry survives an admission challenge.
+    stamp: u8,
 }
 
 const EMPTY_ENTRY: CacheEntry =
-    CacheEntry { tag: TAG_FREE, a: 0, b: 0, c: 0, result: 0, gen: 0 };
-
-/// Number of slots probed before the insert path evicts.
-const PROBE_LIMIT: usize = 8;
-
-/// The computed cache: a power-of-two, open-addressed table with op-tagged
-/// 3-operand keys and bounded linear probing.
-///
-/// Unlike a `HashMap`, lookups and inserts never allocate and never chase
-/// SipHash; a miss costs at most [`PROBE_LIMIT`] contiguous slot reads.
-/// When an insert finds no free slot in its probe window it **evicts** the
-/// first slot (a plain replacement cache — stale results are harmless,
-/// wrong results are impossible because keys are compared in full). Heavy
-/// eviction churn doubles the table up to `max_capacity`.
-///
-/// Staleness across mark-sweep collections is handled *lazily*: every
-/// entry records the GC generation it was inserted in, and every arena
-/// slot records the generation its current occupant was born in
-/// (`Bdd::born`). A hit is honoured only if every referenced node is
-/// still live **and** was born no later than the entry — i.e. the slot
-/// has not been swept and reused since the result was computed. Sweeps
-/// therefore never scan the cache; invalid entries simply stop matching
-/// and age out under eviction pressure.
-struct ComputedCache {
-    entries: Vec<CacheEntry>,
-    /// `entries.len() - 1`; `entries.len()` is always a power of two.
-    mask: usize,
-    max_capacity: usize,
-    /// Cumulative evictions over the cache's lifetime (telemetry).
-    evictions: u64,
-    /// Evictions since the last resize, driving the growth heuristic.
-    evictions_since_grow: u64,
-}
+    CacheEntry { a: 0, b: 0, c: 0, result: 0, gen: 0, tag: TAG_FREE, stamp: 0 };
 
 /// True when a cache entry is still trustworthy: every node it references
 /// is live and was born in a generation no later than the entry's — i.e.
@@ -120,10 +173,10 @@ struct ComputedCache {
 /// computed. `exists` entries pack a variable range (not node ids) into
 /// `b`/`c`, so only `a` and `result` are checked for them.
 #[inline]
-fn entry_valid(e: &CacheEntry, nodes: &[Node], born: &[u32]) -> bool {
+fn entry_valid(e: &CacheEntry, slots: &[Slot]) -> bool {
     let ok = |n: NodeId| {
-        let s = n as usize;
-        s < nodes.len() && nodes[s].var != FREE_VAR && born[s] <= e.gen
+        let i = n as usize;
+        i < slots.len() && slots[i].var() != FREE_VAR && slots[i].born() as u16 <= e.gen
     };
     match e.tag {
         TAG_EXISTS => ok(e.a) && ok(e.result),
@@ -134,7 +187,7 @@ fn entry_valid(e: &CacheEntry, nodes: &[Node], born: &[u32]) -> bool {
 #[inline]
 fn cache_hash(tag: u8, a: NodeId, b: NodeId, c: NodeId) -> u64 {
     // splitmix64-style finalizer over the packed key; cheap and well mixed.
-    let mut h = ((a as u64) << 32 | b as u64) ^ ((c as u64) << 8) ^ tag as u64;
+    let mut h = (((a as u64) << 32) | b as u64) ^ ((c as u64) << 8) ^ tag as u64;
     h = h.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     h ^= h >> 30;
     h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -142,16 +195,61 @@ fn cache_hash(tag: u8, a: NodeId, b: NodeId, c: NodeId) -> u64 {
     h
 }
 
+/// The computed cache: a power-of-two table of 2-entry buckets with
+/// op-tagged 3-operand keys and **admission-aware replacement**.
+///
+/// Lookups and inserts never allocate and touch exactly one bucket (two
+/// adjacent 20-byte entries — one cache line). When an insert finds its
+/// bucket full of valid entries, it challenges the way with the lower
+/// reuse `stamp`: a never-reused victim (stamp 0) is evicted; a reused
+/// one survives with its stamp decayed and the insert is **rejected**
+/// instead (counted in `admission_rejects`). Long streams therefore
+/// stop evicting their own working set: entries that keep hitting keep
+/// their seats, transient results lose the challenge.
+///
+/// Sizing is **workload-driven**: only admission rejects count as
+/// growth pressure. A reject means both ways held entries that have
+/// demonstrably hit before — contention among the *useful* working
+/// set, which a bigger table would retain. Evicting a never-reused
+/// (stamp-0) victim is costless churn and does not grow the table, so
+/// high-turnover streams keep a small, cache-resident table while
+/// reuse-heavy workloads double up to `max_capacity`.
+///
+/// Staleness across mark-sweep collections is handled *lazily*: every
+/// entry records the GC generation it was inserted in, and every arena
+/// slot records the generation its current occupant was born in. A hit
+/// is honoured only if every referenced node is still live **and** was
+/// born no later than the entry — i.e. the slot has not been swept and
+/// reused since the result was computed. Sweeps therefore never scan
+/// the cache; invalid entries are reclaimed when next touched.
+struct ComputedCache {
+    entries: Vec<CacheEntry>,
+    /// `entries.len() / 2 - 1`; the bucket count is a power of two.
+    bucket_mask: usize,
+    max_capacity: usize,
+    /// Cumulative evictions (valid entries displaced) over the lifetime.
+    evictions: u64,
+    /// Inserts rejected because the incumbent won the admission challenge.
+    admission_rejects: u64,
+    /// Admission rejects since the last resize, driving growth.
+    pressure_since_grow: u64,
+    /// Live entries per tag (approximate: entries invalidated by a sweep
+    /// stay counted until their slot is reclaimed).
+    occupancy: [u64; NUM_TAGS],
+}
+
 impl ComputedCache {
     fn new(config: CacheConfig) -> Self {
-        let cap = config.initial_capacity.max(PROBE_LIMIT).next_power_of_two();
+        let cap = config.initial_capacity.max(2).next_power_of_two();
         let max = config.max_capacity.max(cap).next_power_of_two();
         ComputedCache {
             entries: vec![EMPTY_ENTRY; cap],
-            mask: cap - 1,
+            bucket_mask: cap / 2 - 1,
             max_capacity: max,
             evictions: 0,
-            evictions_since_grow: 0,
+            admission_rejects: 0,
+            pressure_since_grow: 0,
+            occupancy: [0; NUM_TAGS],
         }
     }
 
@@ -159,45 +257,35 @@ impl ComputedCache {
         self.entries.len()
     }
 
-    fn evictions(&self) -> u64 {
-        self.evictions
-    }
-
     fn approx_bytes(&self) -> usize {
         self.entries.len() * std::mem::size_of::<CacheEntry>()
     }
 
-    /// Looks up `op(a, b, c)`, validating the entry against the current
-    /// arena state via [`entry_valid`].
+    /// Looks up `op(a, b, c)`, validating any key match against the
+    /// current arena state via [`entry_valid`]. Hits bump the entry's
+    /// reuse stamp; stale matches are reclaimed on the spot.
     #[inline]
-    fn get(
-        &self,
-        tag: u8,
-        a: NodeId,
-        b: NodeId,
-        c: NodeId,
-        nodes: &[Node],
-        born: &[u32],
-    ) -> Option<NodeId> {
-        let h = cache_hash(tag, a, b, c) as usize;
-        for i in 0..PROBE_LIMIT {
-            let e = &self.entries[(h + i) & self.mask];
-            if e.tag == TAG_FREE {
-                return None;
-            }
+    fn get(&mut self, tag: u8, a: NodeId, b: NodeId, c: NodeId, slots: &[Slot]) -> Option<NodeId> {
+        let i0 = ((cache_hash(tag, a, b, c) as usize) & self.bucket_mask) << 1;
+        for idx in [i0, i0 | 1] {
+            let e = self.entries[idx];
             if e.tag == tag && e.a == a && e.b == b && e.c == c {
-                return if entry_valid(e, nodes, born) { Some(e.result) } else { None };
+                if entry_valid(&e, slots) {
+                    self.entries[idx].stamp = e.stamp.saturating_add(1);
+                    return Some(e.result);
+                }
+                self.occupancy[e.tag as usize] -= 1;
+                self.entries[idx] = EMPTY_ENTRY;
+                return None;
             }
         }
         None
     }
 
-    /// Inserts `op(a, b, c) = result`. Slots holding entries invalidated
-    /// by a sweep (see [`entry_valid`]) are reclaimed here, on the insert
-    /// probe path — the lazy counterpart of the old sweep-time cache scan,
-    /// paying only where there is actual pressure.
+    /// Inserts `op(a, b, c) = result` under the admission policy
+    /// described on the type.
     #[inline]
-    #[allow(clippy::too_many_arguments)] // a hot-path key tuple + arena views; a struct would just rename the problem
+    #[allow(clippy::too_many_arguments)]
     fn insert(
         &mut self,
         tag: u8,
@@ -205,102 +293,97 @@ impl ComputedCache {
         b: NodeId,
         c: NodeId,
         result: NodeId,
-        gen: u32,
-        nodes: &[Node],
-        born: &[u32],
+        gen: u16,
+        slots: &[Slot],
     ) {
-        let h = cache_hash(tag, a, b, c) as usize;
-        let entry = CacheEntry { tag, a, b, c, result, gen };
-        for i in 0..PROBE_LIMIT {
-            let idx = (h + i) & self.mask;
+        let i0 = ((cache_hash(tag, a, b, c) as usize) & self.bucket_mask) << 1;
+        let i1 = i0 | 1;
+        // Same key already seated: refresh in place, keeping its stamp.
+        for idx in [i0, i1] {
             let e = &mut self.entries[idx];
-            if e.tag == TAG_FREE
-                || (e.tag == tag && e.a == a && e.b == b && e.c == c)
-                || !entry_valid(e, nodes, born)
-            {
-                *e = entry;
+            if e.tag == tag && e.a == a && e.b == b && e.c == c {
+                e.result = result;
+                e.gen = gen;
                 return;
             }
         }
-        // Probe window full: replace the home slot.
-        self.entries[h & self.mask] = entry;
-        self.evictions += 1;
-        self.evictions_since_grow += 1;
-        if self.evictions_since_grow > self.entries.len() as u64
-            && self.entries.len() < self.max_capacity
-        {
-            self.grow();
+        let fresh = CacheEntry { a, b, c, result, gen, tag, stamp: 0 };
+        // A free or sweep-invalidated way: take the seat.
+        for idx in [i0, i1] {
+            let e = self.entries[idx];
+            if e.tag == TAG_FREE {
+                self.entries[idx] = fresh;
+                self.occupancy[tag as usize] += 1;
+                return;
+            }
+            if !entry_valid(&e, slots) {
+                self.occupancy[e.tag as usize] -= 1;
+                self.entries[idx] = fresh;
+                self.occupancy[tag as usize] += 1;
+                return;
+            }
+        }
+        // Bucket full of valid entries: challenge the lower-stamp way.
+        let victim = if self.entries[i0].stamp <= self.entries[i1].stamp { i0 } else { i1 };
+        let v = self.entries[victim];
+        if v.stamp == 0 {
+            self.occupancy[v.tag as usize] -= 1;
+            self.entries[victim] = fresh;
+            self.occupancy[tag as usize] += 1;
+            self.evictions += 1;
+        } else {
+            self.entries[victim].stamp = v.stamp - 1;
+            self.admission_rejects += 1;
+            self.pressure_since_grow += 1;
+            if self.pressure_since_grow > self.entries.len() as u64
+                && self.entries.len() < self.max_capacity
+            {
+                self.grow();
+            }
         }
     }
 
-    /// Doubles the table, rehashing surviving entries. Entries that lose
-    /// the slot race in the new table are simply dropped — it is a cache.
+    /// Doubles the table, rehashing surviving entries bucket-by-bucket.
+    /// When two rehashed entries land in the same full bucket the lower
+    /// reuse stamp loses — it is a cache, dropping is safe.
     fn grow(&mut self) {
-        let old = std::mem::replace(&mut self.entries, vec![EMPTY_ENTRY; (self.mask + 1) * 2]);
-        self.mask = self.entries.len() - 1;
-        self.evictions_since_grow = 0;
+        let old = std::mem::replace(
+            &mut self.entries,
+            vec![EMPTY_ENTRY; (self.bucket_mask + 1) * 4],
+        );
+        self.bucket_mask = self.entries.len() / 2 - 1;
+        self.pressure_since_grow = 0;
+        self.occupancy = [0; NUM_TAGS];
         for e in old {
             if e.tag == TAG_FREE {
                 continue;
             }
-            let h = cache_hash(e.tag, e.a, e.b, e.c) as usize;
-            for i in 0..PROBE_LIMIT {
-                let idx = (h + i) & self.mask;
-                if self.entries[idx].tag == TAG_FREE {
-                    self.entries[idx] = e;
-                    break;
+            let i0 = ((cache_hash(e.tag, e.a, e.b, e.c) as usize) & self.bucket_mask) << 1;
+            let i1 = i0 | 1;
+            let seat = if self.entries[i0].tag == TAG_FREE {
+                i0
+            } else if self.entries[i1].tag == TAG_FREE {
+                i1
+            } else {
+                let victim =
+                    if self.entries[i0].stamp <= self.entries[i1].stamp { i0 } else { i1 };
+                if self.entries[victim].stamp >= e.stamp {
+                    continue;
                 }
-            }
+                self.occupancy[self.entries[victim].tag as usize] -= 1;
+                victim
+            };
+            self.occupancy[e.tag as usize] += 1;
+            self.entries[seat] = e;
         }
     }
 
     /// Drops every entry (used when node ids are remapped wholesale).
     fn clear(&mut self) {
         self.entries.fill(EMPTY_ENTRY);
-    }
-
-}
-
-/// A multiplicative hasher for the unique table (FxHash-style). `Node`
-/// keys are three `u32` writes; SipHash is measurable overhead on the
-/// `mk` hot path, and hash-consing needs no DoS resistance.
-#[derive(Clone, Copy, Default)]
-pub(crate) struct FxHasher {
-    hash: u64,
-}
-
-const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
-
-impl std::hash::Hasher for FxHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.hash
-    }
-
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.hash = (self.hash.rotate_left(5) ^ b as u64).wrapping_mul(FX_SEED);
-        }
-    }
-
-    #[inline]
-    fn write_u32(&mut self, v: u32) {
-        self.hash = (self.hash.rotate_left(5) ^ v as u64).wrapping_mul(FX_SEED);
-    }
-
-    #[inline]
-    fn write_u64(&mut self, v: u64) {
-        self.hash = (self.hash.rotate_left(5) ^ v).wrapping_mul(FX_SEED);
-    }
-
-    #[inline]
-    fn write_usize(&mut self, v: usize) {
-        self.write_u64(v as u64);
+        self.occupancy = [0; NUM_TAGS];
     }
 }
-
-pub(crate) type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
 
 /// Counters describing the size and activity of a manager.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -312,7 +395,7 @@ pub struct BddStats {
     pub ops: u64,
     /// Number of garbage collections performed.
     pub gcs: u64,
-    /// Approximate resident bytes (arena + unique table + caches).
+    /// Approximate resident bytes (arena + bucket heads + caches).
     pub approx_bytes: usize,
 }
 
@@ -323,23 +406,31 @@ pub struct BddStats {
 /// verifier its own manager, mirroring the paper's one-verifier-per-subspace
 /// design, so no locking is needed on the hot path.
 pub struct Bdd {
-    nodes: Vec<Node>,
-    /// GC generation (`gcs` at the time) in which each arena slot's current
-    /// occupant was created; parallel to `nodes`. Lets the computed cache
-    /// detect slot reuse without being scanned at sweep time.
-    born: Vec<u32>,
-    unique: HashMap<Node, NodeId, FxBuildHasher>,
+    /// The fused arena: nodes, unique-table chains, free list, birth
+    /// stamps and mark bits, all in 16 bytes per slot.
+    slots: Vec<Slot>,
+    /// Unique-table bucket heads; always a power of two, chains run
+    /// through `Slot::next`.
+    heads: Vec<u32>,
     cache: ComputedCache,
-    /// Arena slots reclaimed by [`Bdd::sweep`], reused by [`Bdd::mk`].
-    free: Vec<NodeId>,
+    /// Head of the free list threaded through `Slot::next`.
+    free_head: u32,
+    free_count: usize,
     /// Times `mk` satisfied an allocation from the free list instead of
     /// growing the arena.
     freelist_reuses: u64,
     /// Coarse cell-occupancy probes answered (see [`Bdd::cell_mask`]).
     cell_probes: u64,
+    /// Full `diff` recursions skipped by [`Bdd::diff_assuming_disjoint`].
+    disjoint_skips: u64,
     num_vars: u32,
+    /// Logical↔physical variable permutation (identity by default).
+    order: VarOrder,
     ops: u64,
     gcs: u64,
+    /// 15-bit birth/validity stamp, bumped per sweep; wraps via a rare
+    /// epoch reset (see [`Bdd::bump_stamp`]).
+    stamp: u32,
     /// While > 0, top-level operations are not added to the paper's
     /// "#predicate operations" metric (see [`crate::OpCounterGuard`]).
     quiet_depth: u32,
@@ -356,31 +447,56 @@ impl Bdd {
 
     /// Creates a manager with explicit computed-cache sizing.
     pub fn with_cache_config(num_vars: u32, cache: CacheConfig) -> Self {
+        Self::with_config(num_vars, cache, VarOrder::identity(num_vars))
+    }
+
+    /// Creates a manager with explicit cache sizing and variable order.
+    pub fn with_config(num_vars: u32, cache: CacheConfig, order: VarOrder) -> Self {
+        assert!(num_vars <= FREE_VAR, "at most {FREE_VAR} variables supported");
+        assert_eq!(order.num_vars(), num_vars, "VarOrder covers a different bit count");
         let mut bdd = Bdd {
-            nodes: Vec::with_capacity(1 << 12),
-            born: Vec::with_capacity(1 << 12),
-            unique: HashMap::with_capacity_and_hasher(1 << 12, FxBuildHasher::default()),
+            slots: Vec::with_capacity(1 << 12),
+            heads: vec![NIL; 1 << 13],
             cache: ComputedCache::new(cache),
-            free: Vec::new(),
+            free_head: NIL,
+            free_count: 0,
             freelist_reuses: 0,
             cell_probes: 0,
+            disjoint_skips: 0,
             num_vars,
+            order,
             ops: 0,
             gcs: 0,
+            stamp: 0,
             quiet_depth: 0,
             tally: [OpStats::default(); OpKind::COUNT],
         };
-        // Terminal nodes occupy slots 0 (false) and 1 (true).
-        bdd.nodes.push(Node { var: TERMINAL_VAR, low: 0, high: 0 });
-        bdd.nodes.push(Node { var: TERMINAL_VAR, low: 1, high: 1 });
-        bdd.born.push(0);
-        bdd.born.push(0);
+        bdd.genesis();
         bdd
+    }
+
+    /// The single genesis site: resets the arena to exactly the two
+    /// terminal slots with empty bucket chains and free list. Callers
+    /// must have dropped or remapped every outstanding `NodeId` and
+    /// cleared the computed cache.
+    fn genesis(&mut self) {
+        self.slots.clear();
+        self.slots.push(Slot { low: 0, high: 0, meta: TERMINAL_VAR, next: NIL });
+        self.slots.push(Slot { low: 1, high: 1, meta: TERMINAL_VAR, next: NIL });
+        self.heads.fill(NIL);
+        self.free_head = NIL;
+        self.free_count = 0;
+        self.stamp = 0;
     }
 
     /// Number of header bits this manager reasons about.
     pub fn num_vars(&self) -> u32 {
         self.num_vars
+    }
+
+    /// The logical↔physical variable order in force.
+    pub fn var_order(&self) -> &VarOrder {
+        &self.order
     }
 
     /// Snapshot of size/activity counters.
@@ -395,17 +511,18 @@ impl Bdd {
 
     /// Number of live nodes (arena slots minus swept free slots).
     pub(crate) fn live_count(&self) -> usize {
-        self.nodes.len() - self.free.len()
+        self.slots.len() - self.free_count
     }
 
     /// Total arena slots allocated so far (live + reusable).
     pub(crate) fn allocated_count(&self) -> usize {
-        self.nodes.len()
+        self.slots.len()
     }
 
-    /// Entries in the unique (hash-consing) table.
+    /// Entries in the unique (hash-consing) chains: every live decision
+    /// node. Terminals are not chained.
     pub(crate) fn unique_len(&self) -> usize {
-        self.unique.len()
+        self.live_count() - 2
     }
 
     /// Per-op-kind call / cache tallies.
@@ -413,14 +530,31 @@ impl Bdd {
         &self.tally
     }
 
-    /// Cumulative computed-cache evictions (probe-window replacements).
+    /// Cumulative computed-cache evictions (valid entries displaced).
     pub fn cache_evictions(&self) -> u64 {
-        self.cache.evictions()
+        self.cache.evictions
+    }
+
+    /// Inserts the admission policy rejected in favour of the incumbent.
+    pub fn cache_admission_rejects(&self) -> u64 {
+        self.cache.admission_rejects
     }
 
     /// Current computed-cache slot count.
     pub fn cache_capacity(&self) -> usize {
         self.cache.capacity()
+    }
+
+    /// Approximate live computed-cache entries per op kind.
+    pub fn cache_occupancy(&self) -> [u64; OpKind::COUNT] {
+        let mut by_op = [0u64; OpKind::COUNT];
+        by_op[OpKind::And as usize] = self.cache.occupancy[TAG_AND as usize];
+        by_op[OpKind::Or as usize] = self.cache.occupancy[TAG_OR as usize];
+        by_op[OpKind::Xor as usize] = self.cache.occupancy[TAG_XOR as usize];
+        by_op[OpKind::Diff as usize] = self.cache.occupancy[TAG_DIFF as usize];
+        by_op[OpKind::Not as usize] = self.cache.occupancy[TAG_NOT as usize];
+        by_op[OpKind::Exists as usize] = self.cache.occupancy[TAG_EXISTS as usize];
+        by_op
     }
 
     /// Times `mk` reused a swept arena slot instead of growing the arena.
@@ -431,6 +565,11 @@ impl Bdd {
     /// Cell-occupancy probes answered by [`Bdd::cell_mask`].
     pub fn cell_probes(&self) -> u64 {
         self.cell_probes
+    }
+
+    /// Full `diff` recursions skipped by [`Bdd::diff_assuming_disjoint`].
+    pub fn disjoint_skips(&self) -> u64 {
+        self.disjoint_skips
     }
 
     pub(crate) fn quiet_enter(&mut self) {
@@ -463,12 +602,12 @@ impl Bdd {
         self.tally[k as usize].cache_misses += 1;
     }
 
-    /// Approximate memory footprint in bytes: the node arena plus the hash
-    /// tables. Used for the "Memory Usage" column of Table 3.
+    /// Approximate memory footprint in bytes: the fused arena plus the
+    /// bucket heads plus the computed cache. Used for the "Memory Usage"
+    /// column of Table 3.
     pub fn approx_bytes(&self) -> usize {
-        self.nodes.len() * (std::mem::size_of::<Node>() + std::mem::size_of::<u32>())
-            + self.unique.capacity()
-                * (std::mem::size_of::<Node>() + std::mem::size_of::<NodeId>() + 8)
+        self.slots.len() * std::mem::size_of::<Slot>()
+            + self.heads.len() * std::mem::size_of::<u32>()
             + self.cache.approx_bytes()
     }
 
@@ -484,57 +623,91 @@ impl Bdd {
 
     #[inline]
     fn var_of(&self, n: NodeId) -> u32 {
-        self.nodes[n as usize].var
+        self.slots[n as usize].var()
     }
 
     #[inline]
     fn low_of(&self, n: NodeId) -> NodeId {
-        self.nodes[n as usize].low
+        self.slots[n as usize].low
     }
 
     #[inline]
     fn high_of(&self, n: NodeId) -> NodeId {
-        self.nodes[n as usize].high
+        self.slots[n as usize].high
     }
 
     /// Hash-consing constructor: returns the canonical node for
-    /// `if var then high else low`, applying the reduction rule.
+    /// `if var then high else low`, applying the reduction rule. `var`
+    /// is a **physical** level; public entry points translate through
+    /// the [`VarOrder`] before calling down here.
     pub(crate) fn mk(&mut self, var: u32, low: NodeId, high: NodeId) -> NodeId {
         if low == high {
             return low;
         }
-        let node = Node { var, low, high };
-        if let Some(&id) = self.unique.get(&node) {
-            return id;
+        let h = (node_hash(var, low, high) as usize) & (self.heads.len() - 1);
+        let mut cur = self.heads[h];
+        while cur != NIL {
+            let s = &self.slots[cur as usize];
+            if s.low == low && s.high == high && s.var() == var {
+                return cur;
+            }
+            cur = s.next;
         }
-        let id = if let Some(id) = self.free.pop() {
-            debug_assert_eq!(self.nodes[id as usize].var, FREE_VAR);
-            self.nodes[id as usize] = node;
+        let meta = var | (self.stamp << 16);
+        let id = if self.free_head != NIL {
+            let id = self.free_head;
+            let s = &mut self.slots[id as usize];
+            debug_assert_eq!(s.var(), FREE_VAR);
+            self.free_head = s.next;
+            self.free_count -= 1;
+            self.freelist_reuses += 1;
             // Restamping the slot's birth generation is what invalidates
             // any computed-cache entry minted against its old occupant.
-            self.born[id as usize] = self.gcs as u32;
-            self.freelist_reuses += 1;
+            *s = Slot { low, high, meta, next: self.heads[h] };
             id
         } else {
-            let id = self.nodes.len() as NodeId;
-            self.nodes.push(node);
-            self.born.push(self.gcs as u32);
+            let id = self.slots.len() as NodeId;
+            self.slots.push(Slot { low, high, meta, next: self.heads[h] });
             id
         };
-        self.unique.insert(node, id);
+        self.heads[h] = id;
+        if self.live_count() > self.heads.len() {
+            self.grow_buckets();
+        }
         id
     }
 
-    /// The predicate "bit `var` is 1".
-    pub fn var(&mut self, var: u32) -> NodeId {
-        debug_assert!(var < self.num_vars, "variable out of range");
-        self.mk(var, FALSE, TRUE)
+    /// Doubles the bucket array and rebuilds every chain with one linear
+    /// pass over the arena. Free-list links are untouched.
+    fn grow_buckets(&mut self) {
+        let new_len = self.heads.len() * 2;
+        self.heads.clear();
+        self.heads.resize(new_len, NIL);
+        let mask = new_len - 1;
+        for i in 2..self.slots.len() {
+            if self.slots[i].var() >= FREE_VAR {
+                continue;
+            }
+            let h = (node_hash(self.slots[i].var(), self.slots[i].low, self.slots[i].high)
+                as usize)
+                & mask;
+            self.slots[i].next = self.heads[h];
+            self.heads[h] = i as u32;
+        }
     }
 
-    /// The predicate "bit `var` is 0".
+    /// The predicate "bit `var` is 1" (logical bit index).
+    pub fn var(&mut self, var: u32) -> NodeId {
+        debug_assert!(var < self.num_vars, "variable out of range");
+        let p = self.order.phys(var);
+        self.mk(p, FALSE, TRUE)
+    }
+
+    /// The predicate "bit `var` is 0" (logical bit index).
     pub fn nvar(&mut self, var: u32) -> NodeId {
         debug_assert!(var < self.num_vars, "variable out of range");
-        self.mk(var, TRUE, FALSE)
+        let p = self.order.phys(var);
+        self.mk(p, TRUE, FALSE)
     }
 
     /// Conjunction `a ∧ b`. Counts as one predicate operation.
@@ -560,6 +733,31 @@ impl Bdd {
     pub fn diff(&mut self, a: NodeId, b: NodeId) -> NodeId {
         self.count_op(OpKind::Diff);
         self.diff_rec(a, b)
+    }
+
+    /// Difference `a ∧ ¬b` for operands already **proved** disjoint
+    /// (`a ∧ b = FALSE`), in which case the answer is `a` itself and the
+    /// whole `op_diff` recursion is skipped. Soundness is the caller's
+    /// obligation — e.g. via non-overlapping [`Bdd::cell_mask`]s, whose
+    /// intersection law (`cell_mask(a ∧ b) ⊆ cell_mask(a) &
+    /// cell_mask(b)`) makes an empty mask intersection a proof. Debug
+    /// builds verify the claim; release builds trust it. Counts as one
+    /// predicate operation (it replaces a diff).
+    pub fn diff_assuming_disjoint(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        self.count_op(OpKind::Diff);
+        self.disjoint_skips += 1;
+        #[cfg(debug_assertions)]
+        {
+            self.quiet_enter();
+            let inter = self.and_rec(a, b);
+            self.quiet_exit();
+            assert_eq!(
+                inter, FALSE,
+                "diff_assuming_disjoint called on overlapping operands"
+            );
+        }
+        let _ = b;
+        a
     }
 
     /// Exclusive or `a ⊕ b`. Counts as one predicate operation.
@@ -682,7 +880,7 @@ impl Bdd {
             return a;
         }
         let (a, b) = if a < b { (a, b) } else { (b, a) };
-        if let Some(r) = self.cache.get(TAG_AND, a, b, 0, &self.nodes, &self.born) {
+        if let Some(r) = self.cache.get(TAG_AND, a, b, 0, &self.slots) {
             self.cache_hit(OpKind::And);
             return r;
         }
@@ -702,7 +900,8 @@ impl Bdd {
         let low = self.and_rec(a0, b0);
         let high = self.and_rec(a1, b1);
         let r = self.mk(top, low, high);
-        self.cache.insert(TAG_AND, a, b, 0, r, self.gcs as u32, &self.nodes, &self.born);
+        let gen = self.stamp as u16;
+        self.cache.insert(TAG_AND, a, b, 0, r, gen, &self.slots);
         r
     }
 
@@ -720,7 +919,7 @@ impl Bdd {
             return a;
         }
         let (a, b) = if a < b { (a, b) } else { (b, a) };
-        if let Some(r) = self.cache.get(TAG_OR, a, b, 0, &self.nodes, &self.born) {
+        if let Some(r) = self.cache.get(TAG_OR, a, b, 0, &self.slots) {
             self.cache_hit(OpKind::Or);
             return r;
         }
@@ -740,7 +939,8 @@ impl Bdd {
         let low = self.or_rec(a0, b0);
         let high = self.or_rec(a1, b1);
         let r = self.mk(top, low, high);
-        self.cache.insert(TAG_OR, a, b, 0, r, self.gcs as u32, &self.nodes, &self.born);
+        let gen = self.stamp as u16;
+        self.cache.insert(TAG_OR, a, b, 0, r, gen, &self.slots);
         r
     }
 
@@ -750,7 +950,7 @@ impl Bdd {
             TRUE => return FALSE,
             _ => {}
         }
-        if let Some(r) = self.cache.get(TAG_NOT, a, 0, 0, &self.nodes, &self.born) {
+        if let Some(r) = self.cache.get(TAG_NOT, a, 0, 0, &self.slots) {
             self.cache_hit(OpKind::Not);
             return r;
         }
@@ -760,8 +960,9 @@ impl Bdd {
         let low = self.not_rec(l);
         let high = self.not_rec(h);
         let r = self.mk(var, low, high);
-        self.cache.insert(TAG_NOT, a, 0, 0, r, self.gcs as u32, &self.nodes, &self.born);
-        self.cache.insert(TAG_NOT, r, 0, 0, a, self.gcs as u32, &self.nodes, &self.born);
+        let gen = self.stamp as u16;
+        self.cache.insert(TAG_NOT, a, 0, 0, r, gen, &self.slots);
+        self.cache.insert(TAG_NOT, r, 0, 0, a, gen, &self.slots);
         r
     }
 
@@ -775,7 +976,7 @@ impl Bdd {
         if a == TRUE {
             return self.not_rec(b);
         }
-        if let Some(r) = self.cache.get(TAG_DIFF, a, b, 0, &self.nodes, &self.born) {
+        if let Some(r) = self.cache.get(TAG_DIFF, a, b, 0, &self.slots) {
             self.cache_hit(OpKind::Diff);
             return r;
         }
@@ -795,7 +996,8 @@ impl Bdd {
         let low = self.diff_rec(a0, b0);
         let high = self.diff_rec(a1, b1);
         let r = self.mk(top, low, high);
-        self.cache.insert(TAG_DIFF, a, b, 0, r, self.gcs as u32, &self.nodes, &self.born);
+        let gen = self.stamp as u16;
+        self.cache.insert(TAG_DIFF, a, b, 0, r, gen, &self.slots);
         r
     }
 
@@ -816,7 +1018,7 @@ impl Bdd {
             return self.not_rec(a);
         }
         let (a, b) = if a < b { (a, b) } else { (b, a) };
-        if let Some(r) = self.cache.get(TAG_XOR, a, b, 0, &self.nodes, &self.born) {
+        if let Some(r) = self.cache.get(TAG_XOR, a, b, 0, &self.slots) {
             self.cache_hit(OpKind::Xor);
             return r;
         }
@@ -836,19 +1038,30 @@ impl Bdd {
         let low = self.xor_rec(a0, b0);
         let high = self.xor_rec(a1, b1);
         let r = self.mk(top, low, high);
-        self.cache.insert(TAG_XOR, a, b, 0, r, self.gcs as u32, &self.nodes, &self.born);
+        let gen = self.stamp as u16;
+        self.cache.insert(TAG_XOR, a, b, 0, r, gen, &self.slots);
         r
     }
 
-    /// Existential quantification of a contiguous variable range:
-    /// `∃ x_offset … x_{offset+width-1}. a` — the header set reachable by
-    /// assigning the field arbitrarily. This is the primitive behind
-    /// header-rewrite support (NAT/tunnels): rewriting a field first
-    /// forgets its old value, then constrains the new one. Counts as one
-    /// predicate operation.
+    /// Existential quantification of a contiguous **logical** variable
+    /// range: `∃ x_offset … x_{offset+width-1}. a` — the header set
+    /// reachable by assigning the field arbitrarily. This is the
+    /// primitive behind header-rewrite support (NAT/tunnels): rewriting a
+    /// field first forgets its old value, then constrains the new one.
+    /// Under a non-identity order the field's physical levels may be
+    /// scattered; the range is quantified one maximal physical run at a
+    /// time. Counts as one predicate operation.
     pub fn exists_range(&mut self, a: NodeId, offset: u32, width: u32) -> NodeId {
         self.count_op(OpKind::Exists);
-        self.exists_rec(a, offset, offset + width)
+        if self.order.is_identity() {
+            return self.exists_rec(a, offset, offset + width);
+        }
+        let runs = self.order.phys_runs(offset, width);
+        let mut acc = a;
+        for (lo, hi) in runs {
+            acc = self.exists_rec(acc, lo, hi);
+        }
+        acc
     }
 
     fn exists_rec(&mut self, a: NodeId, lo: u32, hi: u32) -> NodeId {
@@ -863,7 +1076,7 @@ impl Bdd {
         // Shared-cache memoization keyed on the variable range (not node
         // ids in `b`/`c`), so repeated quantifications of the same field —
         // the rewrite_field hot path — hit across calls.
-        if let Some(r) = self.cache.get(TAG_EXISTS, a, lo, hi, &self.nodes, &self.born) {
+        if let Some(r) = self.cache.get(TAG_EXISTS, a, lo, hi, &self.slots) {
             self.cache_hit(OpKind::Exists);
             return r;
         }
@@ -877,7 +1090,8 @@ impl Bdd {
         } else {
             self.mk(var, low, high)
         };
-        self.cache.insert(TAG_EXISTS, a, lo, hi, r, self.gcs as u32, &self.nodes, &self.born);
+        let gen = self.stamp as u16;
+        self.cache.insert(TAG_EXISTS, a, lo, hi, r, gen, &self.slots);
         r
     }
 
@@ -936,8 +1150,8 @@ impl Bdd {
     }
 
     /// Extracts one satisfying assignment as a bit vector (length
-    /// `num_vars`), or `None` when the predicate is false. Unconstrained
-    /// bits are reported as `false`.
+    /// `num_vars`, indexed by **logical** bit), or `None` when the
+    /// predicate is false. Unconstrained bits are reported as `false`.
     pub fn any_sat(&self, a: NodeId) -> Option<Vec<bool>> {
         if a == FALSE {
             return None;
@@ -945,7 +1159,7 @@ impl Bdd {
         let mut bits = vec![false; self.num_vars as usize];
         let mut cur = a;
         while cur != TRUE {
-            let v = self.var_of(cur) as usize;
+            let v = self.order.log(self.var_of(cur)) as usize;
             if self.low_of(cur) != FALSE {
                 bits[v] = false;
                 cur = self.low_of(cur);
@@ -957,30 +1171,43 @@ impl Bdd {
         Some(bits)
     }
 
-    /// Evaluates the predicate on a concrete header given as a bit vector.
+    /// Evaluates the predicate on a concrete header given as a bit vector
+    /// indexed by **logical** bit.
     pub fn eval(&self, a: NodeId, bits: &[bool]) -> bool {
         let mut cur = a;
         while cur != TRUE && cur != FALSE {
-            let v = self.var_of(cur) as usize;
+            let v = self.order.log(self.var_of(cur)) as usize;
             cur = if bits[v] { self.high_of(cur) } else { self.low_of(cur) };
         }
         cur == TRUE
     }
 
-    /// Coarse cell-occupancy probe: partitions the `k` header bits starting
-    /// at variable `offset` into `2^k` cells and returns a bitmask whose bit
-    /// `c` is set iff the predicate is satisfiable somewhere in cell `c`
-    /// (i.e. for some assignment of the remaining bits). `k` is capped at 6
-    /// so the mask fits in a `u64`.
+    /// Coarse cell-occupancy probe: partitions the `k` **logical** header
+    /// bits starting at `offset` into `2^k` cells and returns a bitmask
+    /// whose bit `c` is set iff the predicate is satisfiable somewhere in
+    /// cell `c` (i.e. for some assignment of the remaining bits). `k` is
+    /// capped at 6 so the mask fits in a `u64`.
     ///
-    /// The walk never descends past variable `offset + k - 1`, so it visits
-    /// at most `O(2^k · k)` node/depth pairs regardless of predicate size —
-    /// far cheaper than even one `and` against a real operand. Exact laws
-    /// the overlap index relies on: `cell_mask(a ∨ b) = cell_mask(a) |
-    /// cell_mask(b)` and `cell_mask(a ∧ b) ⊆ cell_mask(a) & cell_mask(b)`.
+    /// The walk visits cell variables in ascending **physical** order
+    /// (which fixes each cell's bit position; consistent for every
+    /// predicate of one manager) and never descends past the last of
+    /// them, so it touches at most `O(2^k · k)` node/depth pairs
+    /// regardless of predicate size — far cheaper than even one `and`
+    /// against a real operand. Exact laws the overlap index relies on:
+    /// `cell_mask(a ∨ b) = cell_mask(a) | cell_mask(b)` and
+    /// `cell_mask(a ∧ b) ⊆ cell_mask(a) & cell_mask(b)` — so an empty
+    /// intersection of masks **proves** the predicates disjoint.
     pub fn cell_mask(&mut self, a: NodeId, offset: u32, k: u32) -> u64 {
         debug_assert!((1..=6).contains(&k), "cell mask width must be 1..=6");
         self.cell_probes += 1;
+        // The physical levels carrying the cell bits, ascending. Under the
+        // identity order this is just offset..offset+k.
+        let mut cv = [0u32; 6];
+        for i in 0..k {
+            cv[i as usize] = self.order.phys(offset + i);
+        }
+        cv[..k as usize].sort_unstable();
+        let last = cv[(k - 1) as usize];
         // All cells under `prefix` at `depth`: `span` consecutive bits.
         let fill = |prefix: u64, depth: u32| -> u64 {
             let span = 1u64 << (k - depth);
@@ -1000,21 +1227,21 @@ impl Bdd {
                 mask |= 1u64 << prefix;
                 continue;
             }
-            let v = self.var_of(n); // TRUE has TERMINAL_VAR, beyond any range
-            if v >= offset + k {
+            let v = self.var_of(n); // terminals sit beyond any real level
+            if v > last {
                 // Tests nothing in the remaining cell bits and is not FALSE:
                 // satisfiable in every cell under this prefix.
                 mask |= fill(prefix, depth);
-            } else if v < offset + depth {
-                // Variable above the cell range (offset > 0): both branches
-                // continue at the same depth.
+            } else if v < cv[depth as usize] {
+                // A non-cell variable before the next cell bit: both
+                // branches continue at the same depth.
                 stack.push((self.low_of(n), depth, prefix));
                 stack.push((self.high_of(n), depth, prefix));
-            } else if v == offset + depth {
+            } else if v == cv[depth as usize] {
                 stack.push((self.low_of(n), depth + 1, prefix << 1));
                 stack.push((self.high_of(n), depth + 1, (prefix << 1) | 1));
             } else {
-                // Node skips bit `offset + depth`: unconstrained on it.
+                // Node skips this cell bit: unconstrained on it.
                 stack.push((n, depth + 1, prefix << 1));
                 stack.push((n, depth + 1, (prefix << 1) | 1));
             }
@@ -1022,9 +1249,9 @@ impl Bdd {
         mask
     }
 
-    /// The support set of `a`: the sorted list of variables tested anywhere
-    /// in the diagram. Used to decide whether a predicate is constrained on
-    /// the indexed field at all.
+    /// The support set of `a`: the sorted list of **logical** variables
+    /// tested anywhere in the diagram. Used to decide whether a predicate
+    /// is constrained on the indexed field at all.
     pub fn support(&self, a: NodeId) -> Vec<u32> {
         let mut seen = std::collections::HashSet::new();
         let mut vars = std::collections::BTreeSet::new();
@@ -1033,7 +1260,7 @@ impl Bdd {
             if n <= TRUE || !seen.insert(n) {
                 continue;
             }
-            vars.insert(self.var_of(n));
+            vars.insert(self.order.log(self.var_of(n)));
             stack.push(self.low_of(n));
             stack.push(self.high_of(n));
         }
@@ -1058,23 +1285,15 @@ impl Bdd {
     /// Mark-compact garbage collection.
     ///
     /// Retains exactly the nodes reachable from `roots`, rebuilds the arena
-    /// and unique table, drops the operation caches, and returns the new ids
-    /// of the roots (in input order). Every `NodeId` not passed as a root is
-    /// invalidated.
+    /// and unique chains via [`Bdd::genesis`], drops the operation caches,
+    /// and returns the new ids of the roots (in input order). Every
+    /// `NodeId` not passed as a root is invalidated.
     pub fn gc(&mut self, roots: &[NodeId]) -> Vec<NodeId> {
         self.gcs += 1;
-        let old_nodes = std::mem::take(&mut self.nodes);
-        self.unique.clear();
+        let old = std::mem::take(&mut self.slots);
         // Node ids are remapped wholesale, so no cached result survives.
         self.cache.clear();
-        // The arena is rebuilt densely, so any free-list slots vanish.
-        self.free.clear();
-        self.born.clear();
-
-        self.nodes.push(Node { var: TERMINAL_VAR, low: 0, high: 0 });
-        self.nodes.push(Node { var: TERMINAL_VAR, low: 1, high: 1 });
-        self.born.push(0);
-        self.born.push(0);
+        self.genesis();
 
         let mut remap: HashMap<NodeId, NodeId> = HashMap::new();
         remap.insert(FALSE, FALSE);
@@ -1087,19 +1306,19 @@ impl Bdd {
                 if remap.contains_key(&n) {
                     continue;
                 }
-                let node = old_nodes[n as usize];
+                let s = old[n as usize];
                 if expanded {
-                    let low = remap[&node.low];
-                    let high = remap[&node.high];
-                    let id = self.mk(node.var, low, high);
+                    let low = remap[&s.low];
+                    let high = remap[&s.high];
+                    let id = self.mk(s.var(), low, high);
                     remap.insert(n, id);
                 } else {
                     stack.push((n, true));
-                    if !remap.contains_key(&node.high) {
-                        stack.push((node.high, false));
+                    if !remap.contains_key(&s.high) {
+                        stack.push((s.high, false));
                     }
-                    if !remap.contains_key(&node.low) {
-                        stack.push((node.low, false));
+                    if !remap.contains_key(&s.low) {
+                        stack.push((s.low, false));
                     }
                 }
             }
@@ -1109,43 +1328,84 @@ impl Bdd {
 
     /// Non-moving mark-sweep garbage collection: the in-place counterpart of
     /// [`Bdd::gc`] used by the [`crate::PredEngine`]. Nodes reachable from
-    /// `roots` keep their ids; every other decision node is removed from the
-    /// unique table, poisoned with a sentinel variable, and queued on the
-    /// free list for reuse by `mk`. The computed cache is **not** scanned:
-    /// entries over surviving ids keep their semantics (the hit rate no
-    /// longer resets at every collection), while entries over swept or
-    /// later-reused slots are rejected lazily at lookup time by the
-    /// generation check in [`ComputedCache::get`] — the generation bump
-    /// below is what arms that check. Returns the number of reclaimed
-    /// nodes.
+    /// `roots` keep their ids; every other decision node is poisoned with
+    /// the `FREE` sentinel and threaded onto the free list for reuse by
+    /// `mk`. Marking uses the in-slot mark bits and the sweep is one
+    /// linear pass that also rebuilds every unique-table chain — no side
+    /// allocations. The computed cache is **not** scanned: entries over
+    /// surviving ids keep their semantics (the hit rate no longer resets
+    /// at every collection), while entries over swept or later-reused
+    /// slots are rejected lazily at lookup time by the generation check in
+    /// [`ComputedCache::get`] — the stamp bump below is what arms that
+    /// check. Returns the number of reclaimed nodes.
     pub(crate) fn sweep(&mut self, roots: &[NodeId]) -> usize {
         self.gcs += 1;
-        let mut live = vec![false; self.nodes.len()];
-        live[FALSE as usize] = true;
-        live[TRUE as usize] = true;
-        let mut stack: Vec<NodeId> = roots.to_vec();
+        // Mark phase: set in-slot mark bits on everything reachable.
+        let mut stack: Vec<NodeId> = Vec::with_capacity(256);
+        for &r in roots {
+            if r > TRUE {
+                stack.push(r);
+            }
+        }
         while let Some(n) = stack.pop() {
-            let slot = &mut live[n as usize];
-            if *slot {
+            let s = &mut self.slots[n as usize];
+            if s.meta & MARK_BIT != 0 {
                 continue;
             }
-            *slot = true;
-            debug_assert_ne!(self.nodes[n as usize].var, FREE_VAR, "root into freed node");
-            stack.push(self.nodes[n as usize].low);
-            stack.push(self.nodes[n as usize].high);
+            debug_assert_ne!(s.var(), FREE_VAR, "root into freed node");
+            s.meta |= MARK_BIT;
+            let (l, h) = (s.low, s.high);
+            if l > TRUE {
+                stack.push(l);
+            }
+            if h > TRUE {
+                stack.push(h);
+            }
         }
+        // Sweep phase: one linear pass rebuilds the bucket chains from the
+        // survivors and threads everything else onto the free list.
+        self.heads.fill(NIL);
+        self.free_head = NIL;
+        self.free_count = 0;
+        let mask = self.heads.len() - 1;
         let mut reclaimed = 0;
-        for (i, alive) in live.iter().enumerate().skip(2) {
-            let node = self.nodes[i];
-            if *alive || node.var == FREE_VAR {
-                continue;
+        for i in (2..self.slots.len()).rev() {
+            let s = self.slots[i];
+            if s.meta & MARK_BIT != 0 {
+                let h = (node_hash(s.var(), s.low, s.high) as usize) & mask;
+                self.slots[i].meta &= !MARK_BIT;
+                self.slots[i].next = self.heads[h];
+                self.heads[h] = i as u32;
+            } else {
+                if s.var() != FREE_VAR {
+                    reclaimed += 1;
+                }
+                self.slots[i].meta = (s.meta & !(MARK_BIT | (BORN_MASK << 16) | VAR_MASK))
+                    | FREE_VAR
+                    | (s.born() << 16);
+                self.slots[i].next = self.free_head;
+                self.free_head = i as u32;
+                self.free_count += 1;
             }
-            self.unique.remove(&node);
-            self.nodes[i].var = FREE_VAR;
-            self.free.push(i as NodeId);
-            reclaimed += 1;
         }
+        self.bump_stamp();
         reclaimed
+    }
+
+    /// Advances the 15-bit birth/validity stamp after a sweep. On the
+    /// rare wrap (once per 32767 collections) the cache is dropped and
+    /// every birth stamp rewound to zero — an epoch reset that keeps the
+    /// `born <= gen` comparison exact without wider fields.
+    fn bump_stamp(&mut self) {
+        if self.stamp >= BORN_MASK {
+            self.cache.clear();
+            for s in self.slots.iter_mut() {
+                s.meta &= !(BORN_MASK << 16);
+            }
+            self.stamp = 0;
+        } else {
+            self.stamp += 1;
+        }
     }
 }
 
@@ -1153,7 +1413,7 @@ impl std::fmt::Debug for Bdd {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Bdd")
             .field("num_vars", &self.num_vars)
-            .field("nodes", &self.nodes.len())
+            .field("slots", &self.slots.len())
             .field("ops", &self.ops)
             .finish()
     }

@@ -1,0 +1,189 @@
+//! Static variable ordering: a pluggable permutation layer between the
+//! logical header bits consumers talk about and the physical BDD levels
+//! the manager stores.
+//!
+//! Every public `Bdd`/[`crate::PredEngine`] entry point that names a
+//! variable — encoders, quantification, `cell_mask`, `eval`, `any_sat`,
+//! `support` — speaks **logical** bit indices (bit `i` of the header
+//! layout). The manager translates through a [`VarOrder`] exactly once
+//! at the API boundary; recursion and hash-consing below it see only
+//! physical levels. Semantics are therefore order-independent: two
+//! engines with different orders build different diagrams (different
+//! node counts) for the same predicate, but agree on every query.
+//!
+//! The default is the identity order. [`VarOrder::interleaved`] builds
+//! the domain-aware alternative for Flash's multi-field header layouts:
+//! round-robin across fields (dst bit 0, src bit 0, dst bit 1, …), which
+//! keeps correlated per-field prefixes adjacent instead of separated by
+//! a whole field's worth of levels.
+
+/// A bijection between logical header bits and physical BDD levels.
+///
+/// Construct with [`VarOrder::identity`], [`VarOrder::interleaved`], or
+/// [`VarOrder::from_logical_to_physical`], then hand to
+/// [`crate::PredEngine::with_var_order`]. All handles from one engine
+/// share its order; orders are fixed for the engine's lifetime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarOrder {
+    /// `to_phys[logical] = physical`.
+    to_phys: Vec<u32>,
+    /// `to_log[physical] = logical`.
+    to_log: Vec<u32>,
+    /// True when the permutation is the identity — the hot paths skip
+    /// translation entirely.
+    identity: bool,
+}
+
+impl VarOrder {
+    /// The identity order over `num_vars` bits (logical = physical).
+    pub fn identity(num_vars: u32) -> Self {
+        VarOrder {
+            to_phys: (0..num_vars).collect(),
+            to_log: (0..num_vars).collect(),
+            identity: true,
+        }
+    }
+
+    /// An explicit logical→physical permutation. Panics unless `map` is
+    /// a permutation of `0..map.len()`.
+    pub fn from_logical_to_physical(map: Vec<u32>) -> Self {
+        let n = map.len();
+        let mut to_log = vec![u32::MAX; n];
+        for (log, &phys) in map.iter().enumerate() {
+            assert!(
+                (phys as usize) < n && to_log[phys as usize] == u32::MAX,
+                "VarOrder map is not a permutation of 0..{n}"
+            );
+            to_log[phys as usize] = log as u32;
+        }
+        let identity = map.iter().enumerate().all(|(i, &p)| i as u32 == p);
+        VarOrder { to_phys: map, to_log, identity }
+    }
+
+    /// Domain-aware order for a multi-field header: fields occupy
+    /// consecutive logical ranges (`widths[0]` bits, then `widths[1]`,
+    /// …), and the physical order round-robins one bit from each field
+    /// in turn. With a single field this is the identity.
+    pub fn interleaved(field_widths: &[u32]) -> Self {
+        let total: u32 = field_widths.iter().sum();
+        let mut offsets = Vec::with_capacity(field_widths.len());
+        let mut off = 0;
+        for &w in field_widths {
+            offsets.push(off);
+            off += w;
+        }
+        let mut to_phys = vec![u32::MAX; total as usize];
+        let max_width = field_widths.iter().copied().max().unwrap_or(0);
+        let mut phys = 0;
+        for bit in 0..max_width {
+            for (f, &w) in field_widths.iter().enumerate() {
+                if bit < w {
+                    to_phys[(offsets[f] + bit) as usize] = phys;
+                    phys += 1;
+                }
+            }
+        }
+        Self::from_logical_to_physical(to_phys)
+    }
+
+    /// Number of bits the order covers.
+    pub fn num_vars(&self) -> u32 {
+        self.to_phys.len() as u32
+    }
+
+    pub fn is_identity(&self) -> bool {
+        self.identity
+    }
+
+    /// Logical bit → physical level.
+    #[inline]
+    pub fn phys(&self, logical: u32) -> u32 {
+        if self.identity {
+            logical
+        } else {
+            self.to_phys[logical as usize]
+        }
+    }
+
+    /// Physical level → logical bit.
+    #[inline]
+    pub fn log(&self, physical: u32) -> u32 {
+        if self.identity {
+            physical
+        } else {
+            self.to_log[physical as usize]
+        }
+    }
+
+    /// The physical levels of the logical range `[offset, offset+width)`,
+    /// sorted ascending and grouped into maximal contiguous runs
+    /// `(start, end_exclusive)` — the shape `exists_range` quantifies one
+    /// run at a time.
+    pub(crate) fn phys_runs(&self, offset: u32, width: u32) -> Vec<(u32, u32)> {
+        let mut phys: Vec<u32> = (offset..offset + width).map(|v| self.phys(v)).collect();
+        phys.sort_unstable();
+        let mut runs: Vec<(u32, u32)> = Vec::new();
+        for p in phys {
+            match runs.last_mut() {
+                Some((_, end)) if *end == p => *end = p + 1,
+                _ => runs.push((p, p + 1)),
+            }
+        }
+        runs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_maps_straight_through() {
+        let o = VarOrder::identity(8);
+        assert!(o.is_identity());
+        for v in 0..8 {
+            assert_eq!(o.phys(v), v);
+            assert_eq!(o.log(v), v);
+        }
+        assert_eq!(o.phys_runs(2, 4), vec![(2, 6)]);
+    }
+
+    #[test]
+    fn interleaved_round_robins_fields() {
+        // dst:4 + src:4 → dst0 src0 dst1 src1 dst2 src2 dst3 src3.
+        let o = VarOrder::interleaved(&[4, 4]);
+        assert!(!o.is_identity());
+        assert_eq!(o.num_vars(), 8);
+        for bit in 0..4 {
+            assert_eq!(o.phys(bit), 2 * bit); // dst field at logical 0..4
+            assert_eq!(o.phys(4 + bit), 2 * bit + 1); // src field at 4..8
+        }
+        // Round trip.
+        for v in 0..8 {
+            assert_eq!(o.log(o.phys(v)), v);
+        }
+        // The dst field's physical levels are the even ones: four runs.
+        assert_eq!(o.phys_runs(0, 4), vec![(0, 1), (2, 3), (4, 5), (6, 7)]);
+    }
+
+    #[test]
+    fn interleaved_uneven_widths() {
+        let o = VarOrder::interleaved(&[3, 1]);
+        // f0b0 f1b0 f0b1 f0b2.
+        assert_eq!(o.phys(0), 0);
+        assert_eq!(o.phys(3), 1);
+        assert_eq!(o.phys(1), 2);
+        assert_eq!(o.phys(2), 3);
+    }
+
+    #[test]
+    fn single_field_interleave_is_identity() {
+        assert!(VarOrder::interleaved(&[16]).is_identity());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn rejects_non_permutation() {
+        VarOrder::from_logical_to_physical(vec![0, 0, 1]);
+    }
+}

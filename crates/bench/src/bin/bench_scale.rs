@@ -210,6 +210,10 @@ fn run_verify(
         bst: usize::MAX,
         properties: vec![Property::LoopFreedom],
         tuning: ImtTuning::default(),
+        gc_node_threshold: flash_bdd::PredEngine::gc_threshold_from_env(
+            flash_bdd::DEFAULT_GC_NODE_THRESHOLD,
+        ),
+        cache: flash_bdd::CacheConfig::from_env(),
     });
     let mut per_block_ms = Stats::default();
     let mut pass2 = ActionTable::new();

@@ -121,6 +121,10 @@ fn cmd_check(path: &str, show_classes: bool, quiet: bool) -> ExitCode {
         bst: usize::MAX,
         properties: header.properties.clone(),
         tuning: flash_imt::ImtTuning::default(),
+        gc_node_threshold: flash_bdd::PredEngine::gc_threshold_from_env(
+            flash_bdd::DEFAULT_GC_NODE_THRESHOLD,
+        ),
+        cache: flash_bdd::CacheConfig::from_env(),
     });
 
     // Pass 2: stream each device's FIB straight into the verifier.
@@ -321,6 +325,10 @@ fn cmd_dataset_load(dir: &str, show_classes: bool, quiet: bool) -> ExitCode {
         bst: usize::MAX,
         properties: vec![Property::LoopFreedom],
         tuning: flash_imt::ImtTuning::default(),
+        gc_node_threshold: flash_bdd::PredEngine::gc_threshold_from_env(
+            flash_bdd::DEFAULT_GC_NODE_THRESHOLD,
+        ),
+        cache: flash_bdd::CacheConfig::from_env(),
     });
     // Pass 2: stream rules into the verifier (ids agree with pass 1).
     let mut violated = false;

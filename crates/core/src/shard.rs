@@ -436,6 +436,10 @@ impl ShardCore {
             bst: self.cfg.bst,
             properties: self.cfg.properties.clone(),
             tuning: self.cfg.tuning,
+            gc_node_threshold: flash_bdd::PredEngine::gc_threshold_from_env(
+                flash_bdd::DEFAULT_GC_NODE_THRESHOLD,
+            ),
+            cache: flash_bdd::CacheConfig::from_env(),
         })
     }
 
@@ -512,6 +516,10 @@ impl ShardCore {
                     bst: self.cfg.bst,
                     properties: self.cfg.properties.clone(),
                     tuning: self.cfg.tuning,
+                    gc_node_threshold: flash_bdd::PredEngine::gc_threshold_from_env(
+                        flash_bdd::DEFAULT_GC_NODE_THRESHOLD,
+                    ),
+                    cache: flash_bdd::CacheConfig::from_env(),
                 }));
             }
             let v = slot.as_mut().expect("just built");

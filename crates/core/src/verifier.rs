@@ -48,6 +48,12 @@ pub struct SubspaceVerifierConfig {
     pub properties: Vec<Property>,
     /// Fast IMT performance knobs, passed through to the model manager.
     pub tuning: ImtTuning,
+    /// Live-node count that triggers engine auto-GC (`usize::MAX`
+    /// disables). `flash-cli` seeds this from `FLASH_GC_THRESHOLD`.
+    pub gc_node_threshold: usize,
+    /// Computed-cache sizing, passed through to the predicate engine.
+    /// `flash-cli` seeds this from `FLASH_CACHE_CAP`.
+    pub cache: flash_bdd::CacheConfig,
 }
 
 /// One subspace verifier: model manager + CE2D verifiers.
@@ -85,8 +91,9 @@ impl SubspaceVerifier {
             subspace: config.subspace,
             bst: config.bst,
             filter_updates: config.subspace.len > 0,
-            gc_node_threshold: flash_bdd::DEFAULT_GC_NODE_THRESHOLD,
+            gc_node_threshold: config.gc_node_threshold,
             tuning: config.tuning,
+            cache: config.cache,
         });
         let mut loop_verifier = None;
         let mut regex_verifiers = Vec::new();
@@ -276,6 +283,8 @@ mod tests {
             bst: 1,
             properties,
             tuning: ImtTuning::default(),
+            gc_node_threshold: flash_bdd::DEFAULT_GC_NODE_THRESHOLD,
+            cache: flash_bdd::CacheConfig::default(),
         }
     }
 

@@ -481,9 +481,12 @@ impl Wire for EngineTelemetry {
         self.gc_pause_max.put(w);
         self.approx_bytes.put(w);
         self.cache_evictions.put(w);
+        self.cache_admission_rejects.put(w);
+        self.cache_occupancy_by_op.to_vec().put(w);
         self.cache_capacity.put(w);
         self.freelist_reuses.put(w);
         self.cell_probes.put(w);
+        self.disjoint_skips.put(w);
     }
     fn get(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         let ops = u64::get(r)?;
@@ -497,24 +500,50 @@ impl Wire for EngineTelemetry {
         }
         let mut per_op = [OpStats::default(); OpKind::COUNT];
         per_op.copy_from_slice(&per);
+        let live_nodes = usize::get(r)?;
+        let allocated_nodes = usize::get(r)?;
+        let peak_live_nodes = usize::get(r)?;
+        let unique_entries = usize::get(r)?;
+        let occupancy = f64::get(r)?;
+        let roots_live = usize::get(r)?;
+        let gc_runs = u64::get(r)?;
+        let gc_reclaimed_nodes = u64::get(r)?;
+        let gc_pause_total = Duration::get(r)?;
+        let gc_pause_max = Duration::get(r)?;
+        let approx_bytes = usize::get(r)?;
+        let cache_evictions = u64::get(r)?;
+        let cache_admission_rejects = u64::get(r)?;
+        let occ: Vec<u64> = Vec::get(r)?;
+        if occ.len() != OpKind::COUNT {
+            return Err(WireError::new(format!(
+                "cache-occupancy arity {} != {}",
+                occ.len(),
+                OpKind::COUNT
+            )));
+        }
+        let mut cache_occupancy_by_op = [0u64; OpKind::COUNT];
+        cache_occupancy_by_op.copy_from_slice(&occ);
         Ok(EngineTelemetry {
             ops,
             per_op,
-            live_nodes: usize::get(r)?,
-            allocated_nodes: usize::get(r)?,
-            peak_live_nodes: usize::get(r)?,
-            unique_entries: usize::get(r)?,
-            occupancy: f64::get(r)?,
-            roots_live: usize::get(r)?,
-            gc_runs: u64::get(r)?,
-            gc_reclaimed_nodes: u64::get(r)?,
-            gc_pause_total: Duration::get(r)?,
-            gc_pause_max: Duration::get(r)?,
-            approx_bytes: usize::get(r)?,
-            cache_evictions: u64::get(r)?,
+            live_nodes,
+            allocated_nodes,
+            peak_live_nodes,
+            unique_entries,
+            occupancy,
+            roots_live,
+            gc_runs,
+            gc_reclaimed_nodes,
+            gc_pause_total,
+            gc_pause_max,
+            approx_bytes,
+            cache_evictions,
+            cache_admission_rejects,
+            cache_occupancy_by_op,
             cache_capacity: usize::get(r)?,
             freelist_reuses: u64::get(r)?,
             cell_probes: u64::get(r)?,
+            disjoint_skips: u64::get(r)?,
         })
     }
 }

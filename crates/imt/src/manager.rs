@@ -86,6 +86,9 @@ pub struct ModelManagerConfig {
     pub gc_node_threshold: usize,
     /// Performance knobs (memoization, overlap index, shadow strategy).
     pub tuning: ImtTuning,
+    /// Computed-cache sizing for the predicate engine. Bins typically pass
+    /// [`flash_bdd::CacheConfig::from_env`] so `FLASH_CACHE_CAP` applies.
+    pub cache: flash_bdd::CacheConfig,
 }
 
 impl ModelManagerConfig {
@@ -99,6 +102,7 @@ impl ModelManagerConfig {
             filter_updates: false,
             gc_node_threshold: flash_bdd::DEFAULT_GC_NODE_THRESHOLD,
             tuning: ImtTuning::default(),
+            cache: flash_bdd::CacheConfig::default(),
         }
     }
 }
@@ -200,9 +204,10 @@ const OVERLAP_EWMA_INIT: f64 = 8.0;
 
 impl ModelManager {
     pub fn new(config: ModelManagerConfig) -> Self {
-        let mut engine = PredEngine::with_gc_threshold(
+        let mut engine = PredEngine::with_config(
             config.layout.total_bits(),
             config.gc_node_threshold,
+            config.cache,
         );
         let clip = config.subspace.universe(&config.layout, &mut engine);
         let mut model = InverseModel::new(clip.clone());
@@ -571,6 +576,7 @@ mod tests {
             filter_updates: true,
             gc_node_threshold: usize::MAX,
             tuning: ImtTuning::default(),
+            cache: flash_bdd::CacheConfig::default(),
         });
         let inside = Rule::new(Match::dst_prefix(&layout, 0xA0, 4), 1, a1);
         let outside = Rule::new(Match::dst_prefix(&layout, 0x20, 4), 1, a1);
@@ -598,6 +604,7 @@ mod tests {
             filter_updates: false,
             gc_node_threshold: usize::MAX,
             tuning: ImtTuning::default(),
+            cache: flash_bdd::CacheConfig::default(),
         });
         // A wildcard-ish rule crossing the subspace boundary is clipped.
         let r = Rule::new(Match::dst_prefix(&layout, 0x80, 0), 1, a1); // /0 = any dst

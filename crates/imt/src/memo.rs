@@ -27,6 +27,10 @@ struct MemoEntry {
     pred: Pred,
     /// Logical access time for the evict-half-by-recency policy.
     tick: u64,
+    /// Lazily-probed cell mask over the engine's canonical index cells
+    /// (`offset 0`, `k = num_vars.min(6)`), for the disjoint-diff
+    /// shortcut. `None` until a masked lookup asks for it.
+    mask: Option<u64>,
 }
 
 /// A capacity-capped `MatchId → Pred` cache. `capacity == 0` disables
@@ -112,8 +116,62 @@ impl MatchMemo {
         if self.map.len() >= self.capacity {
             self.evict_older_half();
         }
-        self.map.insert(mat.id(), MemoEntry { pred: pred.clone(), tick });
+        self.map.insert(mat.id(), MemoEntry { pred: pred.clone(), tick, mask: None });
         pred
+    }
+
+    /// Like [`MatchMemo::get_or_encode`], but also returns the predicate's
+    /// cell-occupancy mask over the engine's canonical cells (`offset 0`,
+    /// `k = num_vars.min(6)` — the same convention as the class overlap
+    /// index). The mask is probed at most once per cached entry, so a
+    /// churn stream pays one probe per distinct match, not one per block.
+    pub fn get_or_encode_with_mask(
+        &mut self,
+        engine: &mut PredEngine,
+        layout: &HeaderLayout,
+        mat: &Match,
+        clip: &Pred,
+    ) -> (Pred, u64) {
+        let k = engine.num_vars().min(6);
+        if self.capacity == 0 || k == 0 {
+            let pred = self.get_or_encode(engine, layout, mat, clip);
+            let mask = if k == 0 { u64::MAX } else { engine.cell_mask(&pred, 0, k) };
+            return (pred, mask);
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        // Single-lookup hot path: the cursor in `calculate_atomic_overwrites`
+        // calls this once per FIB rule per block, so a second map probe here
+        // would show up in profiles.
+        if let Some(e) = self.map.get_mut(&mat.id()) {
+            e.tick = tick;
+            self.hits += 1;
+            let pred = e.pred.clone();
+            if let Some(m) = e.mask {
+                return (pred, m);
+            }
+            let m = engine.cell_mask(&pred, 0, k);
+            if let Some(e) = self.map.get_mut(&mat.id()) {
+                e.mask = Some(m);
+            }
+            return (pred, m);
+        }
+        self.misses += 1;
+        let pred = {
+            let m = mat.to_pred(layout, engine);
+            if clip.is_true() {
+                m
+            } else {
+                engine.and(&m, clip)
+            }
+        };
+        let mask = engine.cell_mask(&pred, 0, k);
+        if self.map.len() >= self.capacity {
+            self.evict_older_half();
+        }
+        self.map
+            .insert(mat.id(), MemoEntry { pred: pred.clone(), tick, mask: Some(mask) });
+        (pred, mask)
     }
 
     /// Drops one match's entry (rule deleted: its nodes should become

@@ -301,11 +301,25 @@ impl InverseModel {
         let mut touched = 0usize;
         let mut moved: Vec<(PatId, Pred)> = Vec::new();
         let mut remaining = ow.pred.clone();
-        for idx in cand {
+        // Cells the still-unmatched remainder can occupy. Re-probed (one
+        // cheap cell walk, never past the cell bits) each time a class
+        // consumes part of the overwrite; candidates whose mask misses
+        // the shrunk remainder are pruned without an `and`.
+        let mut remaining_mask = ow_mask;
+        let n_cand = cand.len();
+        for (pos, idx) in cand.into_iter().enumerate() {
             if remaining.is_false() {
                 break;
             }
             let i = idx as usize;
+            let class_mask = match &self.index {
+                Some(ix) => ix.masks[i],
+                None => u64::MAX,
+            };
+            if class_mask & remaining_mask == 0 {
+                self.index_stats.pruned += 1;
+                continue;
+            }
             let (e_pred, e_vector) = {
                 let e = &self.entries[i];
                 (e.pred.clone(), e.vector)
@@ -316,6 +330,12 @@ impl InverseModel {
             }
             touched += 1;
             remaining = engine.diff(&remaining, &inter);
+            // Re-probe only while later candidates could still be pruned
+            // by the shrunk mask (typical overwrites touch one class, and
+            // it is usually the last candidate — no probe at all then).
+            if pos + 1 < n_cand {
+                remaining_mask = engine.cell_mask(&remaining, offset, k);
+            }
             let new_vec = pat.overwrite(e_vector, &ow.writes);
             if new_vec == e_vector {
                 continue;

@@ -176,6 +176,12 @@ pub fn calculate_atomic_overwrites(
     let rules = fib.rules();
     let mut out = Vec::with_capacity(diff.len());
     let mut p = engine.false_pred(); // accumulated union of higher-priority matches
+    // Exact cell-occupancy mask of `p`, maintained incrementally via the
+    // union law `cell_mask(a ∨ b) = cell_mask(a) | cell_mask(b)`. When an
+    // expanding match's mask misses every cell of `p`, the shadow
+    // subtraction is provably a no-op and the disjoint-diff kernel
+    // returns `m` without recursing.
+    let mut p_mask = 0u64;
     let mut ri = 0usize;
     // Incremental suffix reuse: each rule's shadow extends the previous
     // one via a single batched `or` over the matches the cursor skipped,
@@ -185,7 +191,9 @@ pub fn calculate_atomic_overwrites(
         // Advance the cursor until we reach rd's slot in R'.
         batch.clear();
         while ri < rules.len() && rule_cmp(&rules[ri], rd) == std::cmp::Ordering::Less {
-            batch.push(memo.get_or_encode(engine, layout, &rules[ri].mat, clip));
+            let (mp, mm) = memo.get_or_encode_with_mask(engine, layout, &rules[ri].mat, clip);
+            p_mask |= mm;
+            batch.push(mp);
             ri += 1;
         }
         if !batch.is_empty() {
@@ -196,8 +204,12 @@ pub fn calculate_atomic_overwrites(
             ri < rules.len() && rules[ri] == *rd,
             "expanding rule must be present in R'"
         );
-        let m = memo.get_or_encode(engine, layout, &rd.mat, clip);
-        let eff = engine.diff(&m, &p);
+        let (m, m_mask) = memo.get_or_encode_with_mask(engine, layout, &rd.mat, clip);
+        let eff = if m_mask & p_mask == 0 {
+            engine.diff_assuming_disjoint(&m, &p)
+        } else {
+            engine.diff(&m, &p)
+        };
         if !eff.is_false() {
             out.push(AtomicOverwrite {
                 pred: eff,

@@ -68,6 +68,8 @@ fn verify_stream(
         bst: usize::MAX,
         properties: vec![Property::LoopFreedom],
         tuning: ImtTuning::default(),
+        gc_node_threshold: flash_bdd::DEFAULT_GC_NODE_THRESHOLD,
+        cache: flash_bdd::CacheConfig::default(),
     });
     let mut reports = Vec::new();
     for (dev, rules) in blocks {

@@ -63,6 +63,7 @@ fn manager(layout: &HeaderLayout, gc_node_threshold: usize) -> ModelManager {
         filter_updates: false,
         gc_node_threshold,
         tuning: Default::default(),
+        cache: flash_bdd::CacheConfig::default(),
     })
 }
 

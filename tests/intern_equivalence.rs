@@ -73,6 +73,7 @@ fn manager(layout: &HeaderLayout, tuning: ImtTuning) -> ModelManager {
         filter_updates: false,
         gc_node_threshold: 2048,
         tuning,
+        cache: flash_bdd::CacheConfig::default(),
     })
 }
 
@@ -205,6 +206,8 @@ fn verdict_streams_match_legacy_reference() {
                 },
             ],
             tuning,
+            gc_node_threshold: flash_bdd::DEFAULT_GC_NODE_THRESHOLD,
+            cache: flash_bdd::CacheConfig::default(),
         })
     };
     let mut fast = mk(ImtTuning::default());

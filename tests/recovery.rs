@@ -158,6 +158,8 @@ fn whole_space_reference(net: &Net, stream: &[Vec<(DeviceId, RuleUpdate)>]) -> R
         bst: usize::MAX,
         properties: vec![Property::LoopFreedom],
         tuning: ImtTuning::default(),
+        gc_node_threshold: flash_bdd::DEFAULT_GC_NODE_THRESHOLD,
+        cache: flash_bdd::CacheConfig::default(),
     });
     let mut cycles = HashSet::new();
     let mut st = RefState { cycles_by_block: Vec::new(), classes_by_block: Vec::new() };
@@ -481,6 +483,8 @@ fn durable_journal_is_bounded_and_checkpoint_matches_genesis_replay() {
                 bst: usize::MAX,
                 properties: vec![Property::LoopFreedom],
                 tuning: ImtTuning::default(),
+                gc_node_threshold: flash_bdd::DEFAULT_GC_NODE_THRESHOLD,
+                cache: flash_bdd::CacheConfig::default(),
             });
             for block in stream.iter().take(cp.last_seq as usize + 1) {
                 for (d, u) in block {

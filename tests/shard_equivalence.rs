@@ -126,6 +126,8 @@ fn whole_space_reference(net: &Net, stream: &[Vec<(DeviceId, RuleUpdate)>]) -> R
         bst: usize::MAX,
         properties: vec![Property::LoopFreedom],
         tuning: ImtTuning::default(),
+        gc_node_threshold: flash_bdd::DEFAULT_GC_NODE_THRESHOLD,
+        cache: flash_bdd::CacheConfig::default(),
     });
     let mut cycles = HashSet::new();
     let mut holds = false;

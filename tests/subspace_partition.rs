@@ -34,6 +34,7 @@ fn subspace_models_agree_with_whole_space_model() {
                 filter_updates: true,
                 gc_node_threshold: usize::MAX,
         tuning: Default::default(),
+        cache: flash_bdd::CacheConfig::default(),
             });
             for (d, u) in &seq {
                 m.submit(*d, [*u]);
@@ -84,6 +85,7 @@ fn subspace_filter_reduces_work() {
         filter_updates: true,
         gc_node_threshold: usize::MAX,
         tuning: Default::default(),
+        cache: flash_bdd::CacheConfig::default(),
     });
     for (d, u) in &seq {
         sub.submit(*d, [*u]);
@@ -128,6 +130,7 @@ fn parallel_runner_consistent_with_sequential_subspaces() {
             filter_updates: true,
             gc_node_threshold: usize::MAX,
         tuning: Default::default(),
+        cache: flash_bdd::CacheConfig::default(),
         });
         for (d, u) in &seq {
             m.submit(*d, [*u]);
