@@ -1,7 +1,8 @@
 //! `bench_scale` — hyper-scale streaming ingestion benchmark.
 //!
 //! ```text
-//! bench_scale [--k N] [--hostbits N] [--prefixes N] [--dir <path>] [--keep] [--out <path>]
+//! bench_scale [--k N] [--hostbits N] [--prefixes N] [--ingest-threads N]
+//!             [--dir <path>] [--keep] [--out <path>]
 //! ```
 //!
 //! Exercises the full on-disk path at fat-tree scale: generate a
@@ -11,12 +12,23 @@
 //! wall time per phase, per-device block latency percentiles, peak
 //! resident memory (`VmHWM`) and match-interning statistics.
 //!
+//! `--ingest-threads N >= 1` selects the pipelined snapshot path: N
+//! reader threads parse and resolve route files in parallel
+//! (`stream_routes_parallel`) while the main thread buffers them through
+//! the verifier's bulk-load fast path, sealed by one global snapshot
+//! apply + one consistent detection. `--ingest-threads 0` (default) is
+//! the legacy sequential path that flushes and re-verifies per device.
+//! The verify scenario records the parse/ingest vs seal wall split and
+//! end-to-end rules/s either way.
+//!
 //! Defaults are the ISSUE acceptance scale: `--k 16 --prefixes 32`
 //! (320 devices, ~1.3M rules). CI's non-gating `scale-smoke` lane runs
-//! `--k 8`. Writes `BENCH_scale.json` in the same `{"scenarios": ...}`
-//! shape as `BENCH_predicates.json` so `ci/bench_diff.py` renders it.
-//! Exit code 1 if any property is violated (a correct fat-tree StdFIB
-//! must be loop free), 2 on I/O or dataset errors.
+//! `--k 8 --ingest-threads 2`. Writes `BENCH_scale.json` in the same
+//! `{"scenarios": ...}` shape as `BENCH_predicates.json` so
+//! `ci/bench_diff.py` renders it; scenario names are prefixed `k<N>_`
+//! so entries from different scales never collide in a diff. Exit code
+//! 1 if any property is violated (a correct fat-tree StdFIB must be
+//! loop free), 2 on I/O or dataset errors.
 
 use flash_bench::{mib, peak_rss_bytes, Stats};
 use flash_core::{Property, PropertyReport, SubspaceVerifier, SubspaceVerifierConfig};
@@ -29,7 +41,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 struct Phase {
-    name: &'static str,
+    name: String,
     wall_ms: f64,
     ops: u64,
     extra: Vec<(&'static str, f64)>,
@@ -59,6 +71,7 @@ fn main() -> ExitCode {
     let mut host_bits = 8u32;
     let mut prefixes = 32u32;
     let mut keep = false;
+    let mut ingest_threads = 0usize;
     let mut dir: Option<PathBuf> = None;
     let mut out_path = "BENCH_scale.json".to_string();
     let mut i = 0;
@@ -74,6 +87,11 @@ fn main() -> ExitCode {
             }
             "--prefixes" => {
                 prefixes = take(&mut i).and_then(|v| v.parse().ok()).unwrap_or(prefixes)
+            }
+            "--ingest-threads" => {
+                ingest_threads = take(&mut i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(ingest_threads)
             }
             "--dir" => dir = take(&mut i).map(PathBuf::from),
             "--keep" => keep = true,
@@ -117,7 +135,7 @@ fn main() -> ExitCode {
         gen_ms
     );
     let generate = Phase {
-        name: "dataset_generate",
+        name: format!("k{k}_dataset_generate"),
         wall_ms: gen_ms,
         ops: summary.rules as u64,
         extra: vec![
@@ -127,7 +145,7 @@ fn main() -> ExitCode {
         ],
     };
 
-    let run = run_verify(&dir, &mut Vec::new());
+    let run = run_verify(&dir, &mut Vec::new(), k, ingest_threads);
     if ephemeral {
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -152,9 +170,10 @@ fn main() -> ExitCode {
     let phases = [generate, load, verify];
     let body: Vec<String> = phases.iter().map(phase_json).collect();
     let json = format!(
-        "{{\n  \"k\": {},\n  \"prefixes_per_tor\": {},\n  \"peak_rss_bytes\": {},\n  \"interned_matches\": {},\n  \"intern_hits\": {},\n  \"intern_table_bytes\": {},\n  \"scenarios\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"k\": {},\n  \"prefixes_per_tor\": {},\n  \"ingest_threads\": {},\n  \"peak_rss_bytes\": {},\n  \"interned_matches\": {},\n  \"intern_hits\": {},\n  \"intern_table_bytes\": {},\n  \"scenarios\": {{\n{}\n  }}\n}}\n",
         k,
         prefixes,
+        ingest_threads,
         peak.map_or("null".to_string(), |b| b.to_string()),
         mt.distinct,
         mt.hits,
@@ -177,6 +196,8 @@ fn main() -> ExitCode {
 fn run_verify(
     dir: &std::path::Path,
     violations: &mut Vec<String>,
+    k: u32,
+    ingest_threads: usize,
 ) -> Result<(Phase, Phase, bool), dataset::DatasetError> {
     // Phase 2: load the header and make pass 1 over the route files to
     // intern every action (rules are parsed and dropped, never stored).
@@ -193,7 +214,7 @@ fn run_verify(
         load_ms
     );
     let load = Phase {
-        name: "dataset_load",
+        name: format!("k{k}_dataset_load"),
         wall_ms: load_ms,
         ops: total as u64,
         extra: vec![("actions", actions.len() as f64)],
@@ -216,35 +237,67 @@ fn run_verify(
         cache: flash_bdd::CacheConfig::from_env(),
     });
     let mut per_block_ms = Stats::default();
-    let mut pass2 = ActionTable::new();
     let topo = header.topo.clone();
-    let t2 = Instant::now();
-    header.stream_routes(&mut pass2, |dev, rules| {
-        let tb = Instant::now();
-        let updates = rules.into_iter().map(RuleUpdate::insert).collect();
-        for report in verifier.ingest_synchronized(dev, updates) {
-            match report {
-                PropertyReport::LoopFound { cycle } => {
-                    let names: Vec<&str> = cycle.iter().map(|d| topo.name(*d)).collect();
-                    violations.push(format!("loop: {}", names.join(" -> ")));
-                }
-                PropertyReport::Unsatisfied { requirement } => {
-                    violations.push(format!("unsatisfied: {requirement}"));
-                }
-                _ => {}
-            }
+    let record = |report: PropertyReport, violations: &mut Vec<String>| match report {
+        PropertyReport::LoopFound { cycle } => {
+            let names: Vec<&str> = cycle.iter().map(|d| topo.name(*d)).collect();
+            violations.push(format!("loop: {}", names.join(" -> ")));
         }
-        per_block_ms.push(tb.elapsed().as_secs_f64() * 1e3);
-        Ok(())
-    })?;
+        PropertyReport::Unsatisfied { requirement } => {
+            violations.push(format!("unsatisfied: {requirement}"));
+        }
+        _ => {}
+    };
+    let t2 = Instant::now();
+    let (ingest_ms, seal_ms);
+    if ingest_threads >= 1 {
+        // Pipelined snapshot path: readers parse + resolve in parallel,
+        // the consumer buffers through the bulk-load fast path, and one
+        // seal applies the whole snapshot + runs detection once.
+        header.stream_routes_parallel(
+            &actions,
+            ingest_threads,
+            |_, rules| rules.into_iter().map(RuleUpdate::insert).collect::<Vec<_>>(),
+            |dev, updates| {
+                let tb = Instant::now();
+                verifier.ingest_bulk(dev, updates);
+                per_block_ms.push(tb.elapsed().as_secs_f64() * 1e3);
+                Ok(())
+            },
+        )?;
+        ingest_ms = t2.elapsed().as_secs_f64() * 1e3;
+        let ts = Instant::now();
+        for report in verifier.seal_bulk(&header.route_devices) {
+            record(report, violations);
+        }
+        seal_ms = ts.elapsed().as_secs_f64() * 1e3;
+    } else {
+        // Legacy sequential path: flush + re-verify after every device.
+        header.stream_routes_resolved(&actions, |dev, rules| {
+            let tb = Instant::now();
+            let updates = rules.into_iter().map(RuleUpdate::insert).collect();
+            for report in verifier.ingest_synchronized(dev, updates) {
+                record(report, violations);
+            }
+            per_block_ms.push(tb.elapsed().as_secs_f64() * 1e3);
+            Ok(())
+        })?;
+        ingest_ms = t2.elapsed().as_secs_f64() * 1e3;
+        seal_ms = 0.0;
+    }
     let verify_ms = t2.elapsed().as_secs_f64() * 1e3;
 
     let mgr = verifier.manager();
     let stats = mgr.stats();
     println!(
-        "verified {} rules in {:.0}ms: {} classes, block p50 {:.2}ms p99 {:.2}ms max {:.2}ms",
+        "verified {} rules in {:.0}ms ({:.0}ms ingest + {:.0}ms seal, {} threads, \
+         {:.0} rules/s): {} classes, block p50 {:.2}ms p99 {:.2}ms max {:.2}ms",
         total,
         verify_ms,
+        ingest_ms,
+        seal_ms,
+        ingest_threads,
+        total as f64 / (verify_ms / 1e3),
         mgr.model().len(),
         per_block_ms.percentile(50.0),
         per_block_ms.percentile(99.0),
@@ -254,11 +307,15 @@ fn run_verify(
         println!("VIOLATION {v}");
     }
     let verify = Phase {
-        name: "stream_verify",
+        name: format!("k{k}_stream_verify"),
         wall_ms: verify_ms,
         ops: mgr.engine().op_count() as u64,
         extra: vec![
             ("rules", total as f64),
+            ("rules_per_sec", (total as f64 / (verify_ms / 1e3)).round()),
+            ("ingest_threads", ingest_threads as f64),
+            ("ingest_ms", ingest_ms),
+            ("seal_ms", seal_ms),
             ("classes", mgr.model().len() as f64),
             ("updates_accepted", stats.updates_accepted as f64),
             ("compact_overwrites", stats.compact_overwrites as f64),

@@ -1,19 +1,26 @@
 //! `flash-cli` — verify a network described in the text adapter format.
 //!
 //! ```text
-//! flash-cli check <network-file> [--classes] [--quiet]
+//! flash-cli check <network-file> [--classes] [--quiet] [--ingest-threads N]
 //! flash-cli journal <journal-file>
 //! flash-cli dataset generate <dir> [--k N] [--hostbits N] [--prefixes N] [--quiet]
-//! flash-cli dataset load <dir> [--classes] [--quiet]
+//! flash-cli dataset load <dir> [--classes] [--quiet] [--ingest-threads N]
 //! ```
 //!
 //! `check` verifies a text network file (see `flash_core::adapter` for
 //! the format) with a two-pass streaming ingest: pass one parses the
 //! topology, actions and requirements (dropping rule bodies), pass two
 //! streams each device's FIB into Fast IMT as its block completes — the
-//! whole rule set is never resident. Consistent early detection runs
-//! after each device; verdicts plus model statistics are printed. Exit
-//! code 1 when any property is violated.
+//! whole rule set is never resident. Verdicts plus model statistics are
+//! printed. Exit code 1 when any property is violated.
+//!
+//! With `--ingest-threads N >= 1` (the default: the machine's available
+//! parallelism, or the `FLASH_INGEST_THREADS` env var), pass two runs
+//! the pipelined snapshot path: N reader threads parse and resolve the
+//! FIB blocks in parallel while the main thread buffers them through the
+//! bulk-load fast path, and consistent detection runs once over the
+//! sealed snapshot. `--ingest-threads 0` forces the legacy sequential
+//! path, which re-verifies after every device.
 //!
 //! `dataset generate` writes a fat-tree StdFIB dataset to a directory in
 //! the on-disk layout of `flash_workloads::dataset` (HeTu-style:
@@ -26,7 +33,9 @@
 //! leads with, the jobs journaled since, and whether the tail is clean
 //! or torn by a crash. Exit code 1 on a torn tail.
 
-use flash_core::adapter::{format_prefix, parse_network_header, stream_network_fibs};
+use flash_core::adapter::{
+    format_prefix, parse_network_header, stream_network_fibs, stream_network_fibs_parallel,
+};
 use flash_core::{
     EpochJournal, JournalEntry, JournalTail, Property, PropertyReport, SubspaceVerifier,
     SubspaceVerifierConfig,
@@ -38,10 +47,28 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
-const USAGE: &str = "usage: flash-cli check <network-file> [--classes] [--quiet]\n       \
+const USAGE: &str =
+    "usage: flash-cli check <network-file> [--classes] [--quiet] [--ingest-threads N]\n       \
      flash-cli journal <journal-file>\n       \
      flash-cli dataset generate <dir> [--k N] [--hostbits N] [--prefixes N] [--quiet]\n       \
-     flash-cli dataset load <dir> [--classes] [--quiet]";
+     flash-cli dataset load <dir> [--classes] [--quiet] [--ingest-threads N]";
+
+/// Resolves the ingest-thread count: explicit flag, then the
+/// `FLASH_INGEST_THREADS` environment variable, then the machine's
+/// available parallelism (the shard-pool default). `0` selects the
+/// legacy sequential per-device path.
+fn resolve_ingest_threads(flag: Option<usize>) -> usize {
+    flag.or_else(|| {
+        std::env::var("FLASH_INGEST_THREADS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    })
+    .unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -64,18 +91,37 @@ fn main() -> ExitCode {
     let mut files = Vec::new();
     let mut show_classes = false;
     let mut quiet = false;
+    let mut ingest_threads: Option<usize> = None;
+    let mut expect_threads = false;
     for a in it {
+        if expect_threads {
+            expect_threads = false;
+            let Ok(v) = a.parse::<usize>() else {
+                eprintln!("bad value for --ingest-threads: {a:?}");
+                return ExitCode::from(2);
+            };
+            ingest_threads = Some(v);
+            continue;
+        }
         match a.as_str() {
             "--classes" => show_classes = true,
             "--quiet" => quiet = true,
+            "--ingest-threads" => expect_threads = true,
             f => files.push(f.to_string()),
         }
     }
     let Some(path) = files.first() else {
+        if expect_threads {
+            eprintln!("--ingest-threads needs a value");
+        }
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
-    cmd_check(path, show_classes, quiet)
+    if expect_threads {
+        eprintln!("--ingest-threads needs a value");
+        return ExitCode::from(2);
+    }
+    cmd_check(path, show_classes, quiet, resolve_ingest_threads(ingest_threads))
 }
 
 fn open_reader(path: &str) -> Result<std::io::BufReader<std::fs::File>, ExitCode> {
@@ -88,7 +134,7 @@ fn open_reader(path: &str) -> Result<std::io::BufReader<std::fs::File>, ExitCode
     }
 }
 
-fn cmd_check(path: &str, show_classes: bool, quiet: bool) -> ExitCode {
+fn cmd_check(path: &str, show_classes: bool, quiet: bool, ingest_threads: usize) -> ExitCode {
     // Pass 1: header only — topology, actions, requirements, rule counts.
     let reader = match open_reader(path) {
         Ok(r) => r,
@@ -127,24 +173,54 @@ fn cmd_check(path: &str, show_classes: bool, quiet: bool) -> ExitCode {
         cache: flash_bdd::CacheConfig::from_env(),
     });
 
-    // Pass 2: stream each device's FIB straight into the verifier.
-    let reader = match open_reader(path) {
-        Ok(r) => r,
-        Err(c) => return c,
-    };
+    // Pass 2: stream each device's FIB straight into the verifier —
+    // pipelined through the bulk-load snapshot path, or sequentially
+    // with per-device detection when --ingest-threads 0.
     let mut violated = false;
     let t0 = std::time::Instant::now();
     let topo = header.topo.clone();
-    let streamed = stream_network_fibs(reader, |dev, rules| {
-        let updates = rules
-            .into_iter()
-            .map(flash_netmodel::RuleUpdate::insert)
-            .collect();
-        for report in verifier.ingest_synchronized(dev, updates) {
-            print_report(&report, &topo, quiet, &mut violated);
-        }
-        Ok(())
-    });
+    let streamed = if ingest_threads >= 1 {
+        stream_network_fibs_parallel(
+            || std::fs::File::open(path).map(std::io::BufReader::new),
+            &header,
+            ingest_threads,
+            |_, rules| {
+                rules
+                    .into_iter()
+                    .map(flash_netmodel::RuleUpdate::insert)
+                    .collect::<Vec<_>>()
+            },
+            |dev, updates| {
+                verifier.ingest_bulk(dev, updates);
+                Ok(())
+            },
+        )
+        .map(|_| ())
+        .map(|()| {
+            let mut synced = header.fib_devices.clone();
+            synced.sort_unstable();
+            synced.dedup();
+            for report in verifier.seal_bulk(&synced) {
+                print_report(&report, &topo, quiet, &mut violated);
+            }
+        })
+    } else {
+        let reader = match open_reader(path) {
+            Ok(r) => r,
+            Err(c) => return c,
+        };
+        stream_network_fibs(reader, |dev, rules| {
+            let updates = rules
+                .into_iter()
+                .map(flash_netmodel::RuleUpdate::insert)
+                .collect();
+            for report in verifier.ingest_synchronized(dev, updates) {
+                print_report(&report, &topo, quiet, &mut violated);
+            }
+            Ok(())
+        })
+        .map(|_| ())
+    };
     if let Err(e) = streamed {
         eprintln!("{path}: {e}");
         return ExitCode::from(2);
@@ -227,6 +303,7 @@ fn cmd_dataset(args: &[String]) -> ExitCode {
     let mut k = 8u32;
     let mut host_bits = 8u32;
     let mut prefixes = 4u32;
+    let mut ingest_threads: Option<usize> = None;
     let mut expect_num: Option<&str> = None;
     for a in it {
         if let Some(flag) = expect_num.take() {
@@ -238,6 +315,7 @@ fn cmd_dataset(args: &[String]) -> ExitCode {
                 "--k" => k = v,
                 "--hostbits" => host_bits = v,
                 "--prefixes" => prefixes = v,
+                "--ingest-threads" => ingest_threads = Some(v as usize),
                 _ => unreachable!(),
             }
             continue;
@@ -245,7 +323,9 @@ fn cmd_dataset(args: &[String]) -> ExitCode {
         match a.as_str() {
             "--quiet" => quiet = true,
             "--classes" => show_classes = true,
-            "--k" | "--hostbits" | "--prefixes" => expect_num = Some(a.as_str()),
+            "--k" | "--hostbits" | "--prefixes" | "--ingest-threads" => {
+                expect_num = Some(a.as_str())
+            }
             d => dirs.push(d.to_string()),
         }
     }
@@ -280,7 +360,9 @@ fn cmd_dataset(args: &[String]) -> ExitCode {
                 }
             }
         }
-        Some("load") => cmd_dataset_load(dir, show_classes, quiet),
+        Some("load") => {
+            cmd_dataset_load(dir, show_classes, quiet, resolve_ingest_threads(ingest_threads))
+        }
         _ => {
             eprintln!("{USAGE}");
             ExitCode::from(2)
@@ -288,7 +370,12 @@ fn cmd_dataset(args: &[String]) -> ExitCode {
     }
 }
 
-fn cmd_dataset_load(dir: &str, show_classes: bool, quiet: bool) -> ExitCode {
+fn cmd_dataset_load(
+    dir: &str,
+    show_classes: bool,
+    quiet: bool,
+    ingest_threads: usize,
+) -> ExitCode {
     let header = match dataset::load_header(Path::new(dir)) {
         Ok(h) => h,
         Err(e) => {
@@ -330,21 +417,48 @@ fn cmd_dataset_load(dir: &str, show_classes: bool, quiet: bool) -> ExitCode {
         ),
         cache: flash_bdd::CacheConfig::from_env(),
     });
-    // Pass 2: stream rules into the verifier (ids agree with pass 1).
+    // Pass 2: stream rules into the verifier (ids agree with pass 1) —
+    // parallel readers resolving actions read-only, feeding the
+    // bulk-load snapshot path; or the legacy per-device sequential path
+    // when --ingest-threads 0.
     let mut violated = false;
     let topo = header.topo.clone();
     let t0 = std::time::Instant::now();
-    let mut pass2 = ActionTable::new();
-    let streamed = header.stream_routes(&mut pass2, |dev, rules| {
-        let updates = rules
-            .into_iter()
-            .map(flash_netmodel::RuleUpdate::insert)
-            .collect();
-        for report in verifier.ingest_synchronized(dev, updates) {
-            print_report(&report, &topo, quiet, &mut violated);
-        }
-        Ok(())
-    });
+    let streamed = if ingest_threads >= 1 {
+        header
+            .stream_routes_parallel(
+                &actions,
+                ingest_threads,
+                |_, rules| {
+                    rules
+                        .into_iter()
+                        .map(flash_netmodel::RuleUpdate::insert)
+                        .collect::<Vec<_>>()
+                },
+                |dev, updates| {
+                    verifier.ingest_bulk(dev, updates);
+                    Ok(())
+                },
+            )
+            .map(|_| {
+                for report in verifier.seal_bulk(&header.route_devices) {
+                    print_report(&report, &topo, quiet, &mut violated);
+                }
+            })
+    } else {
+        header
+            .stream_routes_resolved(&actions, |dev, rules| {
+                let updates = rules
+                    .into_iter()
+                    .map(flash_netmodel::RuleUpdate::insert)
+                    .collect();
+                for report in verifier.ingest_synchronized(dev, updates) {
+                    print_report(&report, &topo, quiet, &mut violated);
+                }
+                Ok(())
+            })
+            .map(|_| ())
+    };
     if let Err(e) = streamed {
         eprintln!("{dir}: {e}");
         return ExitCode::from(2);
@@ -408,6 +522,16 @@ fn print_journal(path: &str) -> ExitCode {
                 );
             }
             JournalEntry::Collect => println!("  [{i}] collect"),
+            JournalEntry::Ingest(b) => {
+                println!(
+                    "  [{i}] ingest updates={} shards_touched={}",
+                    b.updates.len(),
+                    b.routed.iter().filter(|r| !r.is_empty()).count()
+                );
+            }
+            JournalEntry::Seal { seq, devices } => {
+                println!("  [{i}] seal seq={seq} devices={}", devices.len());
+            }
         }
     }
     match tail {

@@ -81,6 +81,15 @@ pub enum JournalEntry {
     Block(UpdateBlock),
     Collect,
     Checkpoint(WorkerCheckpoint),
+    /// A bulk-ingestion block (seq is the `u64::MAX` sentinel; results
+    /// are deferred to the closing [`JournalEntry::Seal`]).
+    Ingest(UpdateBlock),
+    /// Ends a bulk-ingestion snapshot at epoch `seq`, marking `devices`
+    /// synchronized.
+    Seal {
+        seq: u64,
+        devices: Vec<flash_netmodel::DeviceId>,
+    },
 }
 
 /// What `read_entries` found after the last valid frame.
@@ -138,6 +147,22 @@ impl EpochJournal {
             .map_err(|e| journal_err(&self.path, "append collect", e))
     }
 
+    /// Appends one bulk-ingestion block frame.
+    pub fn append_ingest(&mut self, block: &UpdateBlock) -> Result<(), FlashError> {
+        write_value_frame(&mut self.file, FrameKind::Ingest, block)
+            .map_err(|e| journal_err(&self.path, "append ingest", e))
+    }
+
+    /// Appends one seal marker closing a bulk-ingestion snapshot.
+    pub fn append_seal(
+        &mut self,
+        seq: u64,
+        devices: &[flash_netmodel::DeviceId],
+    ) -> Result<(), FlashError> {
+        write_value_frame(&mut self.file, FrameKind::Seal, &(seq, devices.to_vec()))
+            .map_err(|e| journal_err(&self.path, "append seal", e))
+    }
+
     /// Checkpoint rotation: writes `cp` as the sole frame of a fresh
     /// journal and atomically renames it over the old one — the durable
     /// twin of [`ReplayJournal::install`]. On-disk size is henceforth
@@ -179,6 +204,16 @@ impl EpochJournal {
                             Err(e) => return Ok((entries, JournalTail::Torn(e.to_string()))),
                         },
                         FrameKind::Collect => JournalEntry::Collect,
+                        FrameKind::Ingest => match wire::decode::<UpdateBlock>(&payload) {
+                            Ok(b) => JournalEntry::Ingest(b),
+                            Err(e) => return Ok((entries, JournalTail::Torn(e.to_string()))),
+                        },
+                        FrameKind::Seal => {
+                            match wire::decode::<(u64, Vec<flash_netmodel::DeviceId>)>(&payload) {
+                                Ok((seq, devices)) => JournalEntry::Seal { seq, devices },
+                                Err(e) => return Ok((entries, JournalTail::Torn(e.to_string()))),
+                            }
+                        }
                         FrameKind::Checkpoint => {
                             match wire::decode::<WorkerCheckpoint>(&payload) {
                                 Ok(cp) => JournalEntry::Checkpoint(cp),
@@ -287,6 +322,24 @@ mod tests {
         assert_eq!(cp_back.map(|c| c.last_seq), Some(1));
         assert_eq!(jobs.len(), 1);
         assert!(matches!(&jobs[0], JournalEntry::Block(b) if b.seq == 2));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ingest_and_seal_frames_roundtrip() {
+        let path = tmp("ingest");
+        let mut j = EpochJournal::create(&path).unwrap();
+        let mut b = block(0);
+        b.seq = u64::MAX;
+        j.append_ingest(&b).unwrap();
+        j.append_seal(3, &[DeviceId(1), DeviceId(2)]).unwrap();
+        let (entries, tail) = EpochJournal::read_entries(&path).unwrap();
+        assert_eq!(tail, JournalTail::Clean);
+        assert_eq!(entries.len(), 2);
+        assert!(matches!(&entries[0], JournalEntry::Ingest(b) if b.seq == u64::MAX));
+        assert!(
+            matches!(&entries[1], JournalEntry::Seal { seq: 3, devices } if devices.len() == 2)
+        );
         let _ = std::fs::remove_file(&path);
     }
 

@@ -295,6 +295,11 @@ impl ProcShardWorker {
         let res = match job {
             ShardJob::Block(b) => write_value_frame(&mut handle.stdin, FrameKind::Block, &**b),
             ShardJob::Collect => write_frame(&mut handle.stdin, FrameKind::Collect, &[]),
+            // Gated at the ShardPool API: bulk-ingestion jobs are never
+            // routed to process-mode workers.
+            ShardJob::Ingest(_) | ShardJob::Seal { .. } => {
+                unreachable!("bulk-ingestion jobs are thread-mode only")
+            }
         };
         if let Err(e) = res {
             self.transport_panic(format!("job write failed: {e}"));
@@ -349,6 +354,8 @@ impl SupervisedWorker for ProcShardWorker {
             let res = match job {
                 ShardJob::Block(b) => j.append_block(b),
                 ShardJob::Collect => j.append_collect(),
+                ShardJob::Ingest(b) => j.append_ingest(b),
+                ShardJob::Seal { seq, devices } => j.append_seal(*seq, devices),
             };
             if let Err(e) = res {
                 eprintln!("flash: disabling durable journal: {e}");
@@ -398,6 +405,9 @@ impl SupervisedWorker for ProcShardWorker {
                 }
                 self.telemetry = telemetry;
                 Ok(())
+            }
+            ShardJob::Ingest(_) | ShardJob::Seal { .. } => {
+                unreachable!("bulk-ingestion jobs are thread-mode only")
             }
         }
     }

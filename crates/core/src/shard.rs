@@ -76,6 +76,11 @@ impl UpdateBlock {
     }
 }
 
+/// Sentinel sequence number carried by bulk-ingestion blocks: they
+/// consume no aggregator epoch (no results are emitted until the
+/// closing [`ShardJob::Seal`], which has a real seq).
+pub const INGEST_SEQ: u64 = u64::MAX;
+
 /// A job on a shard worker's queue.
 #[derive(Clone, Debug)]
 pub(crate) enum ShardJob {
@@ -83,6 +88,13 @@ pub(crate) enum ShardJob {
     Block(Arc<UpdateBlock>),
     /// Force a mark-sweep collection on every warm engine.
     Collect,
+    /// Buffer one routed bulk-ingestion block (seq = [`INGEST_SEQ`]);
+    /// no flush, no verification, no results.
+    Ingest(Arc<UpdateBlock>),
+    /// Close a bulk-ingestion snapshot: bulk-load everything buffered,
+    /// mark `devices` synchronized, verify, and emit one
+    /// [`ShardResult`] per owned shard under the real epoch `seq`.
+    Seal { seq: u64, devices: Arc<Vec<DeviceId>> },
 }
 
 /// What one shard produced for one block.
@@ -560,6 +572,110 @@ impl ShardCore {
         Ok(())
     }
 
+    /// Buffers one routed bulk-ingestion block into the owned shards'
+    /// verifiers — no flush, no verification, no results. Consecutive
+    /// same-device runs in the routed list are batched into one
+    /// `ingest_bulk` call each.
+    pub fn ingest_block(&mut self, block: &UpdateBlock) {
+        for local in 0..self.slots.len() {
+            let shard = self.shards[local];
+            let routed = &block.routed[shard];
+            if routed.is_empty() {
+                continue;
+            }
+            if self.slots[local].is_none() {
+                self.slots[local] = Some(self.build_verifier(shard));
+            }
+            let v = self.slots[local].as_mut().expect("just built");
+            let mut run_dev: Option<DeviceId> = None;
+            let mut run: Vec<RuleUpdate> = Vec::new();
+            for &i in routed {
+                let (d, u) = &block.updates[i as usize];
+                if run_dev != Some(*d) {
+                    if let Some(dev) = run_dev.take() {
+                        v.ingest_bulk(dev, std::mem::take(&mut run));
+                    }
+                    run_dev = Some(*d);
+                }
+                run.push(*u);
+            }
+            if let Some(dev) = run_dev {
+                v.ingest_bulk(dev, run);
+            }
+        }
+    }
+
+    /// True while any owned shard still buffers bulk-ingested updates
+    /// (between an `Ingest` and its `Seal`): a checkpoint taken now
+    /// would silently drop the buffered rules, so the worker skips the
+    /// opportunity instead.
+    pub fn has_pending(&self) -> bool {
+        self.slots
+            .iter()
+            .flatten()
+            .any(|v| v.manager().pending_len() > 0)
+    }
+
+    /// Closes a bulk-ingestion snapshot: bulk-loads every owned shard's
+    /// buffered updates, marks `devices` synchronized, verifies, and
+    /// emits one result per owned shard under the real epoch `seq`.
+    pub fn seal(
+        &mut self,
+        seq: u64,
+        devices: &[DeviceId],
+        mut sink: impl FnMut(ShardResult) -> Result<(), OutputClosed>,
+    ) -> Result<(), OutputClosed> {
+        let model_only = self.cfg.properties.is_empty();
+        for local in 0..self.slots.len() {
+            let shard = self.shards[local];
+            let t0 = Instant::now();
+            if self.slots[local].is_none() && model_only {
+                // Never touched and nothing to verify: echo an empty
+                // skipped result so the aggregator's epoch completes.
+                sink(ShardResult {
+                    seq,
+                    shard,
+                    worker: self.worker,
+                    skipped: true,
+                    cpu: t0.elapsed(),
+                    classes: 0,
+                    ops: 0,
+                    bytes: 0,
+                    engine: EngineTelemetry::default(),
+                    reports: Vec::new(),
+                    class_keys: Vec::new(),
+                    stats: UpdateStats::default(),
+                })?;
+                continue;
+            }
+            if self.slots[local].is_none() {
+                self.slots[local] = Some(self.build_verifier(shard));
+            }
+            let v = self.slots[local].as_mut().expect("just built");
+            let reports = v.seal_bulk(devices);
+            let mgr = v.manager();
+            sink(ShardResult {
+                seq,
+                shard,
+                worker: self.worker,
+                skipped: false,
+                cpu: t0.elapsed(),
+                classes: mgr.model().len(),
+                ops: mgr.engine().op_count(),
+                bytes: mgr.approx_bytes(),
+                engine: mgr.engine().telemetry(),
+                reports,
+                class_keys: if self.cfg.collect_class_keys {
+                    mgr.class_keys()
+                } else {
+                    Vec::new()
+                },
+                stats: mgr.stats(),
+            })?;
+        }
+        Ok(())
+    }
+
     /// Snapshots the core's recovery state: per-shard FIB rule
     /// snapshots, synchronized devices, emitted-verdict keys, and class
     /// fingerprints, plus the caller's delivery bookkeeping.
@@ -654,6 +770,8 @@ impl ShardWorker {
             let res = match job {
                 ShardJob::Block(b) => j.append_block(b),
                 ShardJob::Collect => j.append_collect(),
+                ShardJob::Ingest(b) => j.append_ingest(b),
+                ShardJob::Seal { seq, devices } => j.append_seal(*seq, devices),
             };
             if let Err(e) = res {
                 eprintln!("flash: disabling durable journal: {e}");
@@ -681,6 +799,13 @@ impl SupervisedWorker for ShardWorker {
     }
 
     fn take_checkpoint(&mut self, state: &mut ShardCore) -> Option<WorkerCheckpoint> {
+        if state.has_pending() {
+            // Mid-bulk-ingestion: buffered updates are not yet in the
+            // FIB snapshots. Skip this opportunity — the journal keeps
+            // the Ingest frames until the post-seal checkpoint
+            // truncates it.
+            return None;
+        }
         Some(state.checkpoint(self.last_seq, &self.reported))
     }
 
@@ -717,6 +842,22 @@ impl SupervisedWorker for ShardWorker {
                     Ok(())
                 })
             }
+            ShardJob::Ingest(block) => {
+                // Buffered only; results (and last_seq) wait for Seal.
+                state.ingest_block(&block);
+                Ok(())
+            }
+            ShardJob::Seal { seq, devices } => {
+                self.last_seq = Some(seq);
+                let reported = &mut self.reported;
+                let out = &self.out;
+                state.seal(seq, &devices, |r| {
+                    if reported.insert((r.seq, r.shard)) {
+                        out.send(r).map_err(|_| OutputClosed)?;
+                    }
+                    Ok(())
+                })
+            }
         }
     }
 
@@ -740,11 +881,43 @@ pub struct ShardDrainOutcome {
     pub stats: Vec<WorkerStats>,
 }
 
+/// Routes update batches against the subspace plan away from the pool:
+/// reader threads clone one `BlockRouter` each and route their parsed
+/// batches themselves, handing the pre-routed result to
+/// [`ShardPool::ingest_routed`] — routing of batch k+1 overlaps
+/// verification of batch k even when the pool handle is busy.
+#[derive(Clone, Debug)]
+pub struct BlockRouter {
+    plan: SubspacePlan,
+    layout: HeaderLayout,
+}
+
+impl BlockRouter {
+    /// Routes one batch into per-shard index lists.
+    pub fn route(&self, updates: Vec<(DeviceId, RuleUpdate)>) -> RoutedBatch {
+        let mut routed: Vec<Vec<u32>> = vec![Vec::new(); self.plan.len()];
+        for (i, (_, u)) in updates.iter().enumerate() {
+            for s in self.plan.route(&u.rule.mat, &self.layout) {
+                routed[s].push(i as u32);
+            }
+        }
+        RoutedBatch { updates, routed }
+    }
+}
+
+/// A pre-routed update batch produced by a [`BlockRouter`].
+#[derive(Debug)]
+pub struct RoutedBatch {
+    updates: Vec<(DeviceId, RuleUpdate)>,
+    routed: Vec<Vec<u32>>,
+}
+
 /// Handle to a running persistent sharded verification pipeline.
 pub struct ShardPool {
     pool: WorkerPool<ShardJob>,
     plan: SubspacePlan,
     layout: HeaderLayout,
+    mode: ShardMode,
     /// Worker count (shard `s` is owned by worker `s % workers`).
     workers: usize,
     results_rx: Receiver<ShardResult>,
@@ -787,6 +960,7 @@ impl ShardPool {
         if cfg.plan.is_empty() {
             return Err(FlashError::Config("subspace plan is empty".into()));
         }
+        let mode = cfg.recovery.mode;
         let workers = cfg.threads.max(1).min(cfg.plan.len());
         if let Some(plan) = &cfg.faults {
             plan.validate(workers)?;
@@ -853,6 +1027,7 @@ impl ShardPool {
             pool,
             plan,
             layout,
+            mode,
             workers,
             results_rx,
             next_seq: 0,
@@ -894,6 +1069,68 @@ impl ShardPool {
             }
         }
         seq
+    }
+
+    /// A routing handle for producer threads (see [`BlockRouter`]).
+    pub fn router(&self) -> BlockRouter {
+        BlockRouter { plan: self.plan.clone(), layout: self.layout.clone() }
+    }
+
+    /// Buffers one bulk-ingestion batch into every worker. No epoch is
+    /// consumed and no results are emitted until [`Self::seal_snapshot`]
+    /// closes the snapshot; workers intern the rules into their pending
+    /// queues without flushing, so the expensive model construction
+    /// runs once over the full FIB instead of once per batch.
+    ///
+    /// Thread mode only: the wire protocol would ship blocks to
+    /// process-mode children eagerly, defeating the bulk path.
+    pub fn ingest(&mut self, updates: Vec<(DeviceId, RuleUpdate)>) -> Result<(), FlashError> {
+        let batch = self.router().route(updates);
+        self.ingest_routed(batch)
+    }
+
+    /// [`Self::ingest`] for batches already routed by a [`BlockRouter`]
+    /// (typically on a reader thread).
+    pub fn ingest_routed(&mut self, batch: RoutedBatch) -> Result<(), FlashError> {
+        if self.mode == ShardMode::Process {
+            return Err(FlashError::Config(
+                "bulk ingestion requires thread mode (ShardMode::Thread)".into(),
+            ));
+        }
+        let block = Arc::new(UpdateBlock {
+            seq: INGEST_SEQ,
+            updates: batch.updates,
+            routed: batch.routed,
+        });
+        for w in 0..self.pool.worker_count() {
+            if self.pool.send(w, ShardJob::Ingest(Arc::clone(&block))).is_err() {
+                self.lost_to_dead += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Closes the bulk-ingestion snapshot: every buffered update is
+    /// bulk-loaded into the shard models, `devices` are marked
+    /// synchronized, and one epoch's worth of results — the returned
+    /// sequence number — is emitted. Subsequent [`Self::submit`] blocks
+    /// continue incrementally from the loaded snapshot.
+    pub fn seal_snapshot(&mut self, devices: Vec<DeviceId>) -> Result<u64, FlashError> {
+        if self.mode == ShardMode::Process {
+            return Err(FlashError::Config(
+                "bulk ingestion requires thread mode (ShardMode::Thread)".into(),
+            ));
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let devices = Arc::new(devices);
+        for w in 0..self.pool.worker_count() {
+            let job = ShardJob::Seal { seq, devices: Arc::clone(&devices) };
+            if self.pool.send(w, job).is_err() {
+                self.lost_to_dead += 1;
+            }
+        }
+        Ok(seq)
     }
 
     /// Forces a mark-sweep collection on every warm shard engine (the
@@ -1256,6 +1493,145 @@ mod tests {
         assert!(out.abandoned.is_empty());
         assert_eq!(out.stats[0].restarts, 1, "worker 0 was respawned");
         assert!(out.epochs.is_empty(), "no duplicate epochs after replay");
+    }
+
+    /// Sorted distinct class fingerprints across an epoch's shards.
+    fn epoch_keys(e: &EpochReport) -> Vec<u64> {
+        let mut k: Vec<u64> =
+            e.shards.iter().flat_map(|s| s.class_keys.iter().copied()).collect();
+        k.sort_unstable();
+        k.dedup();
+        k
+    }
+
+    /// Sorted `(shard, report)` strings of an epoch.
+    fn epoch_reports(e: &EpochReport) -> Vec<String> {
+        let mut r: Vec<String> = e.reports().map(|(s, r)| format!("{s}:{r:?}")).collect();
+        r.sort();
+        r
+    }
+
+    #[test]
+    fn bulk_ingest_seal_matches_submit() {
+        let (topo, ids, actions, layout) = triangle();
+        let plan = SubspacePlan::by_prefix_bits(&layout, FieldId(0), 2);
+        let mut seq_pool =
+            ShardPool::spawn(pool_config(&topo, &actions, &layout, plan.clone(), 2)).unwrap();
+        let mut bulk_pool =
+            ShardPool::spawn(pool_config(&topo, &actions, &layout, plan, 2)).unwrap();
+        let m1 = Match::dst_prefix(&layout, 10, 8);
+        let m2 = Match::dst_prefix(&layout, 200, 8);
+        let (fwd_b, fwd_c) = (flash_netmodel::ActionId(2), flash_netmodel::ActionId(3));
+        let updates = vec![
+            (ids[0], RuleUpdate::insert(Rule::new(m1, 1, fwd_b))),
+            (ids[1], RuleUpdate::insert(Rule::new(m1, 1, fwd_c))),
+            (ids[0], RuleUpdate::insert(Rule::new(m2, 2, fwd_c))),
+        ];
+        seq_pool.submit(updates.clone());
+        let e_seq = seq_pool.recv_epoch(Duration::from_secs(10)).expect("submit epoch");
+
+        // The same snapshot in two ingest batches (one pre-routed on a
+        // "reader thread", one routed by the pool) plus a seal.
+        let router = bulk_pool.router();
+        bulk_pool.ingest_routed(router.route(updates[..2].to_vec())).unwrap();
+        bulk_pool.ingest(updates[2..].to_vec()).unwrap();
+        let seq = bulk_pool.seal_snapshot(vec![ids[0], ids[1]]).unwrap();
+        assert_eq!(seq, 0, "ingest batches consume no epochs");
+        let e_bulk = bulk_pool.recv_epoch(Duration::from_secs(10)).expect("seal epoch");
+        assert_eq!(e_bulk.seq, 0);
+        assert_eq!(e_bulk.shards.len(), 4, "one result per shard at the seal");
+        assert_eq!(epoch_keys(&e_bulk), epoch_keys(&e_seq), "identical models");
+        assert_eq!(epoch_reports(&e_bulk), epoch_reports(&e_seq), "identical verdicts");
+
+        // Incremental updates keep flowing after the seal.
+        bulk_pool.submit(vec![(ids[2], RuleUpdate::insert(Rule::new(m2, 3, fwd_b)))]);
+        let e1 = bulk_pool.recv_epoch(Duration::from_secs(10)).expect("post-seal epoch");
+        assert_eq!(e1.seq, 1);
+        seq_pool.drain(Duration::from_secs(10));
+        bulk_pool.drain(Duration::from_secs(10));
+    }
+
+    #[test]
+    fn killed_worker_replays_bulk_ingest() {
+        let (topo, ids, actions, layout) = triangle();
+        let plan = SubspacePlan::by_prefix_bits(&layout, FieldId(0), 2);
+        let mut clean_cfg = pool_config(&topo, &actions, &layout, plan.clone(), 2);
+        let mut cfg = pool_config(&topo, &actions, &layout, plan, 2);
+        cfg.faults = Some(FaultPlan {
+            kill_workers: vec![KillSpec { worker: 0, after_batches: 2 }],
+            ..FaultPlan::default()
+        });
+        clean_cfg.faults = None;
+        let mut clean = ShardPool::spawn(clean_cfg).unwrap();
+        let mut pool = ShardPool::spawn(cfg).unwrap();
+        let m = Match::dst_prefix(&layout, 10, 8);
+        let fwd_b = flash_netmodel::ActionId(2);
+        let batches: Vec<Vec<(DeviceId, RuleUpdate)>> = (0..3u64)
+            .map(|k| {
+                vec![(
+                    ids[(k % 3) as usize],
+                    RuleUpdate::insert(Rule::new(m, (k + 1) as i64, fwd_b)),
+                )]
+            })
+            .collect();
+        for p in [&mut clean, &mut pool] {
+            for b in &batches {
+                p.ingest(b.clone()).unwrap();
+            }
+            p.seal_snapshot(ids.clone()).unwrap();
+        }
+        let e_clean = clean.recv_epoch(Duration::from_secs(10)).expect("clean seal");
+        // Worker 0 dies on its second ingest job; the journal replays
+        // the buffered blocks and the seal still completes identically.
+        let e = pool.recv_epoch(Duration::from_secs(10)).expect("seal survives the crash");
+        assert_eq!(e.shards.len(), 4);
+        assert_eq!(epoch_keys(&e), epoch_keys(&e_clean));
+        assert_eq!(epoch_reports(&e), epoch_reports(&e_clean));
+        let out = pool.drain(Duration::from_secs(10));
+        assert_eq!(out.stats[0].restarts, 1, "worker 0 was respawned");
+        clean.drain(Duration::from_secs(10));
+    }
+
+    #[test]
+    fn checkpoints_defer_until_seal() {
+        let (topo, ids, actions, layout) = triangle();
+        // One worker owning both shards: the routed shard's pending
+        // bulk queue must hold back the whole worker's checkpoint.
+        let plan = SubspacePlan::by_prefix_bits(&layout, FieldId(0), 1);
+        let mut cfg = pool_config(&topo, &actions, &layout, plan, 1);
+        cfg.recovery.checkpoint_every = Some(1);
+        let mut pool = ShardPool::spawn(cfg).unwrap();
+        let m = Match::dst_prefix(&layout, 10, 8);
+        let fwd_b = flash_netmodel::ActionId(2);
+        for k in 0..3i64 {
+            pool.ingest(vec![(
+                ids[0],
+                RuleUpdate::insert(Rule::new(m, k + 1, fwd_b)),
+            )])
+            .unwrap();
+        }
+        pool.seal_snapshot(vec![ids[0]]).unwrap();
+        pool.recv_epoch(Duration::from_secs(10)).expect("seal epoch");
+        // With checkpoint_every=1, every ingest job is a checkpoint
+        // opportunity — all skipped while bulk updates are pending. The
+        // first checkpoint lands right after the seal.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let stats = pool.stats();
+            if stats.iter().all(|s| s.checkpoints >= 1) {
+                for s in &stats {
+                    assert_eq!(
+                        s.checkpoints, 1,
+                        "worker {} checkpointed mid-bulk",
+                        s.worker
+                    );
+                }
+                break;
+            }
+            assert!(Instant::now() < deadline, "no checkpoint after the seal");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        pool.drain(Duration::from_secs(10));
     }
 
     #[test]

@@ -166,6 +166,24 @@ impl SubspaceVerifier {
         self.mgr.flush();
     }
 
+    /// Buffers part of an initial snapshot without applying it — the
+    /// bulk-load companion of [`Self::ingest`]. Nothing is flushed (the
+    /// BST does not apply) until [`Self::seal_bulk`] releases the whole
+    /// buffer through the model manager's snapshot fast path.
+    pub fn ingest_bulk(&mut self, dev: DeviceId, updates: Vec<RuleUpdate>) {
+        self.mgr.submit_bulk(dev, updates);
+    }
+
+    /// Seals a bulk snapshot: applies every buffered update through
+    /// [`ModelManager::bulk_load`] (falling back to the incremental
+    /// pipeline when the buffer is not a pure snapshot), marks `synced`
+    /// as synchronized, and runs consistent early detection once over
+    /// the finished snapshot. Returns any new deterministic reports.
+    pub fn seal_bulk(&mut self, synced: &[DeviceId]) -> Vec<PropertyReport> {
+        self.mgr.bulk_load();
+        self.detect(synced)
+    }
+
     /// Runs early detection after `newly_synced` completed their FIBs.
     pub fn detect(&mut self, newly_synced: &[DeviceId]) -> Vec<PropertyReport> {
         let mut out = Vec::new();
@@ -354,6 +372,27 @@ mod tests {
             r,
             vec![PropertyReport::Satisfied { requirement: "a-reaches-c".into() }]
         );
+    }
+
+    #[test]
+    fn bulk_seal_matches_sequential_verdicts() {
+        let (topo, ids, actions, layout) = triangle();
+        let m = Match::dst_prefix(&layout, 10, 8);
+        let fwd_c = flash_netmodel::ActionId(3);
+        // Clean snapshot: all devices at once, one detect.
+        let mut v = SubspaceVerifier::new(config(&topo, &actions, &layout, vec![Property::LoopFreedom]));
+        v.ingest_bulk(ids[0], vec![RuleUpdate::insert(Rule::new(m, 1, fwd_c))]);
+        v.ingest_bulk(ids[1], vec![RuleUpdate::insert(Rule::new(m, 1, fwd_c))]);
+        let r = v.seal_bulk(&ids);
+        assert_eq!(r, vec![PropertyReport::LoopFreedomHolds]);
+        // Loopy snapshot reports the loop exactly once.
+        let (fwd_a, fwd_b) = (flash_netmodel::ActionId(1), flash_netmodel::ActionId(2));
+        let mut v = SubspaceVerifier::new(config(&topo, &actions, &layout, vec![Property::LoopFreedom]));
+        v.ingest_bulk(ids[0], vec![RuleUpdate::insert(Rule::new(m, 1, fwd_b))]);
+        v.ingest_bulk(ids[1], vec![RuleUpdate::insert(Rule::new(m, 1, fwd_a))]);
+        let r = v.seal_bulk(&[ids[0], ids[1]]);
+        assert!(matches!(r[0], PropertyReport::LoopFound { .. }), "{r:?}");
+        assert!(v.seal_bulk(&[ids[2]]).iter().all(|p| !matches!(p, PropertyReport::LoopFound { .. })));
     }
 
     #[test]

@@ -928,8 +928,8 @@ impl Wire for ProcHello {
 }
 
 /// Frame type tags. Parent→child: `Hello`..`Shutdown`; child→parent:
-/// `Result`..`Heartbeat`. The journal reuses `Block`, `Collect` and
-/// `Checkpoint`.
+/// `Result`..`Heartbeat`. The journal reuses `Block`, `Collect`,
+/// `Checkpoint`, `Ingest` and `Seal`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(u8)]
 pub enum FrameKind {
@@ -939,6 +939,12 @@ pub enum FrameKind {
     CheckpointReq = 4,
     Restore = 5,
     Shutdown = 6,
+    /// A bulk-ingestion block (buffered, no results until `Seal`).
+    /// Payload is an [`crate::shard::UpdateBlock`] with the sentinel
+    /// seq `u64::MAX`.
+    Ingest = 7,
+    /// Ends a bulk-ingestion snapshot: payload is `(seq, devices)`.
+    Seal = 8,
     Result = 16,
     Checkpoint = 17,
     Heartbeat = 18,
@@ -954,6 +960,8 @@ impl FrameKind {
             4 => FrameKind::CheckpointReq,
             5 => FrameKind::Restore,
             6 => FrameKind::Shutdown,
+            7 => FrameKind::Ingest,
+            8 => FrameKind::Seal,
             16 => FrameKind::Result,
             17 => FrameKind::Checkpoint,
             18 => FrameKind::Heartbeat,

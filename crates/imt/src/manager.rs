@@ -369,6 +369,115 @@ impl ModelManager {
         self.pending.len()
     }
 
+    /// Buffers updates for a device without ever auto-flushing — the
+    /// bulk-load companion of [`Self::submit`]. The same subspace filter
+    /// applies; the buffered updates are released by [`Self::bulk_load`]
+    /// (snapshot fast path) or [`Self::flush`] (incremental pipeline).
+    pub fn submit_bulk(&mut self, dev: DeviceId, updates: impl IntoIterator<Item = RuleUpdate>) {
+        for u in updates {
+            if self.config.filter_updates
+                && !self.config.subspace.admits(&u.rule.mat, &self.config.layout)
+            {
+                self.stats.updates_filtered += 1;
+                continue;
+            }
+            self.stats.updates_accepted += 1;
+            self.pending.push((dev, u));
+        }
+    }
+
+    /// Applies every buffered update through the bulk snapshot path:
+    /// each device's FIB is constructed in one sorted pass
+    /// ([`Fib::from_sorted`]) and its whole rule set is the MR² diff, so
+    /// the per-update merge/cancel/trie bookkeeping of [`Self::flush`] —
+    /// pure overhead when every rule is new — is skipped. Reduce I runs
+    /// per device (it groups by `(device, action)`, so per-device calls
+    /// are equivalent to one global call and keep transient atomic
+    /// predicates bounded); Reduce II and the model apply run once over
+    /// the whole snapshot, which is where the cross-device compaction
+    /// the incremental path never sees comes from.
+    ///
+    /// Falls back to [`Self::flush`] — identical semantics, incremental
+    /// cost — unless every buffered update is an insert targeting a
+    /// device whose FIB is still absent or default-only. Bulk load is an
+    /// optimization of the initial snapshot, never a semantic fork.
+    pub fn bulk_load(&mut self) -> Vec<DeviceId> {
+        if self.pending.is_empty() {
+            return Vec::new();
+        }
+        let eligible = self.pending.iter().all(|(dev, u)| {
+            u.op == RuleOp::Insert && self.fibs.get(dev).is_none_or(|f| f.len() == 1)
+        });
+        if !eligible {
+            return self.flush();
+        }
+        self.stats.flushes += 1;
+        let pending = std::mem::take(&mut self.pending);
+
+        let mut per_device: HashMap<DeviceId, Vec<flash_netmodel::Rule>> = HashMap::new();
+        let mut order: Vec<DeviceId> = Vec::new();
+        for (dev, u) in pending {
+            let e = per_device.entry(dev).or_default();
+            if e.is_empty() {
+                order.push(dev);
+            }
+            e.push(u.rule);
+        }
+
+        let clip = self.clip.clone();
+        let layout = self.config.layout.clone();
+        let mut reduced: Vec<AtomicOverwrite> = Vec::new();
+        for &dev in &order {
+            let t0 = Instant::now();
+            let mut rules = per_device.remove(&dev).expect("device in order");
+            rules.sort_by(flash_netmodel::fib::rule_cmp);
+            // `cancel_updates` nets duplicate inserts of one rule to a
+            // single surviving insert; deduping exact-equal rules here
+            // preserves that semantics.
+            rules.dedup();
+            // Keep the device's default rule (it may carry a non-drop
+            // default action from `Fib::with_default`).
+            let default = match self.fibs.get(&dev) {
+                Some(f) => *f.rules().last().expect("fib default"),
+                None => Fib::new(&layout).rules()[0],
+            };
+            let mut full = rules.clone();
+            full.push(default);
+            let fib = Fib::from_sorted(full);
+            let atomics = calculate_atomic_overwrites(
+                &mut self.engine,
+                &layout,
+                dev,
+                &fib,
+                &rules,
+                &clip,
+                &mut self.memo,
+            );
+            self.stats.shadow_acc_blocks += 1;
+            self.stats.atomic_overwrites += atomics.len() as u64;
+            self.fibs.insert(dev, fib);
+            // Any mirror trie was seeded from the pre-bulk (empty) FIB;
+            // drop it so the first incremental block reseeds from the
+            // post-bulk snapshot.
+            self.tries.remove(&dev);
+            self.timings.compute_atomic += t0.elapsed();
+            let t1 = Instant::now();
+            reduced.extend(reduce_by_action(&mut self.engine, &atomics));
+            self.timings.aggregate += t1.elapsed();
+        }
+
+        let t1 = Instant::now();
+        let compact = reduce_by_predicate(&reduced);
+        self.timings.aggregate += t1.elapsed();
+        self.stats.compact_overwrites += compact.len() as u64;
+
+        let t2 = Instant::now();
+        self.model
+            .apply_overwrites(&mut self.engine, &mut self.pat, &compact);
+        self.timings.apply += t2.elapsed();
+        order
+    }
+
     /// Applies all buffered updates through the MR² pipeline. Returns the
     /// devices whose FIB changed.
     pub fn flush(&mut self) -> Vec<DeviceId> {
@@ -651,6 +760,80 @@ mod tests {
         m.flush();
         assert_eq!(m.model().len(), 1);
         assert_eq!(m.stats().atomic_overwrites, 0);
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental_replay() {
+        let mut at = ActionTable::new();
+        let layout = l();
+        let mut rules: Vec<(DeviceId, Rule)> = Vec::new();
+        for d in 0..3u32 {
+            for i in 0..8u64 {
+                let a = at.fwd(DeviceId(100 + ((d as u64 + i) % 5) as u32));
+                rules.push((
+                    DeviceId(d),
+                    Rule::new(Match::dst_prefix(&layout, (i << 5) & 0xE0, 3), (i % 4) as i64, a),
+                ));
+            }
+        }
+        // Incremental reference: one flush per device.
+        let mut inc = mgr(usize::MAX);
+        for (d, r) in &rules {
+            inc.submit(*d, [RuleUpdate::insert(*r)]);
+        }
+        inc.flush();
+        // Bulk path, with a duplicate insert thrown in (cancels to one).
+        let mut bulk = mgr(usize::MAX);
+        for (d, r) in &rules {
+            bulk.submit_bulk(*d, [RuleUpdate::insert(*r)]);
+        }
+        bulk.submit_bulk(rules[0].0, [RuleUpdate::insert(rules[0].1)]);
+        let touched = bulk.bulk_load();
+        assert_eq!(touched.len(), 3);
+        assert_eq!(bulk.pending_len(), 0);
+        assert_eq!(bulk.model().len(), inc.model().len());
+        let mut a = inc.class_keys();
+        let mut b = bulk.class_keys();
+        a.sort_unstable();
+        a.dedup();
+        b.sort_unstable();
+        b.dedup();
+        assert_eq!(a, b, "bulk and incremental models have identical classes");
+        assert_eq!(bulk.fib_snapshot(), inc.fib_snapshot());
+        let (engine, _, model) = bulk.parts_mut();
+        model.check_invariants(engine).unwrap();
+    }
+
+    #[test]
+    fn bulk_load_falls_back_for_non_snapshot_blocks() {
+        let mut at = ActionTable::new();
+        let a1 = at.fwd(DeviceId(9));
+        let layout = l();
+        let r1 = Rule::new(Match::dst_prefix(&layout, 0xA0, 4), 1, a1);
+        let r2 = Rule::new(Match::dst_prefix(&layout, 0xB0, 4), 1, a1);
+        // Device already has a non-default FIB: bulk must fall back.
+        let mut m = mgr(usize::MAX);
+        m.submit(DeviceId(0), [RuleUpdate::insert(r1)]);
+        m.flush();
+        m.submit_bulk(DeviceId(0), [RuleUpdate::insert(r2)]);
+        m.bulk_load();
+        assert_eq!(m.pending_len(), 0);
+        assert_eq!(m.fib(DeviceId(0)).len(), 3, "both rules + default");
+        // A delete in the buffer also forces the incremental pipeline.
+        let mut m = mgr(usize::MAX);
+        m.submit_bulk(DeviceId(1), [RuleUpdate::insert(r1), RuleUpdate::delete(r1)]);
+        m.bulk_load();
+        assert_eq!(m.model().len(), 1, "insert+delete cancel to a no-op");
+        // Incremental updates after a bulk load reseed the trie mirror
+        // from the post-bulk FIB and stay consistent.
+        let mut m = mgr(usize::MAX);
+        m.submit_bulk(DeviceId(2), [RuleUpdate::insert(r1)]);
+        m.bulk_load();
+        m.submit(DeviceId(2), [RuleUpdate::insert(r2), RuleUpdate::delete(r1)]);
+        m.flush();
+        let (engine, _, model) = m.parts_mut();
+        model.check_invariants(engine).unwrap();
+        assert_eq!(m.fib(DeviceId(2)).len(), 2);
     }
 
     #[test]

@@ -143,6 +143,15 @@ impl ActionTable {
         self.intern(Action::ecmp(hops))
     }
 
+    /// Read-only index probe: the id of `action` if it is already
+    /// interned. The probe does not normalize — pass actions in
+    /// normalized form (`Action::ecmp` / `Action::fwd` outputs are).
+    /// Lets concurrent readers resolve actions against a completed table
+    /// (the two-pass streaming loaders) without `&mut` access.
+    pub fn lookup(&self, action: &Action) -> Option<ActionId> {
+        self.index.get(action).copied()
+    }
+
     pub fn get(&self, id: ActionId) -> &Action {
         &self.actions[id.0 as usize]
     }
@@ -208,6 +217,17 @@ mod tests {
         let a = t.ecmp(vec![DeviceId(1), DeviceId(2)]);
         let b = t.fwd(DeviceId(1));
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lookup_resolves_normalized_actions_without_mutation() {
+        let mut t = ActionTable::new();
+        let a = t.ecmp(vec![DeviceId(2), DeviceId(1)]);
+        let len = t.len();
+        assert_eq!(t.lookup(&Action::ecmp(vec![DeviceId(1), DeviceId(2)])), Some(a));
+        assert_eq!(t.lookup(&Action::Drop), Some(ACTION_DROP));
+        assert_eq!(t.lookup(&Action::fwd(DeviceId(77))), None);
+        assert_eq!(t.len(), len);
     }
 
     #[test]

@@ -19,16 +19,23 @@
 //! boundary (the wire codec, checkpoints, the journal) serializes the
 //! structural form and re-interns on decode.
 //!
-//! Concurrency: interning takes a mutex; reads (`kinds`, the precomputed
-//! structural hash, `is_any`) are lock-free — entries are published
-//! through `OnceLock` slots in size-doubling chunks whose addresses never
-//! move, so a handle received from another thread dereferences without
-//! synchronization beyond the hand-off itself.
+//! Concurrency: the write side is sharded — the structural hash of the
+//! kinds picks one of [`INTERN_SHARDS`] independent mutexes, each owning
+//! its own dedup map and bump pool, so N parallel parsers only contend
+//! when they intern structurally equal matches at the same instant (and
+//! equal matches *must* serialize through the same shard, which is what
+//! makes the dedup sound). Ids come from one atomic counter; uniqueness
+//! needs no coordination beyond `fetch_add`. Reads (`kinds`, the
+//! precomputed structural hash, `is_any`) are lock-free — entries are
+//! published through `OnceLock` slots in size-doubling chunks whose
+//! addresses never move, so a handle received from another thread
+//! dereferences without synchronization beyond the hand-off itself.
 
 use crate::rule::MatchKind;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
 /// Packed handle to an interned match: an index into the process-global
@@ -57,6 +64,10 @@ const MAX_CHUNKS: usize = 17;
 /// Packed-pool allocation unit (in `MatchKind` slots).
 const POOL_CHUNK: usize = 8192;
 
+/// Write-side lock shards. Power of two so shard selection is a mask on
+/// the structural hash.
+pub const INTERN_SHARDS: usize = 16;
+
 type Chunk = Box<[OnceLock<MatchEntry>]>;
 
 fn split_id(id: u32) -> (usize, usize) {
@@ -76,28 +87,41 @@ pub struct MatchTableStats {
     pub distinct: usize,
     /// Intern calls answered from the dedup map (no new entry).
     pub hits: u64,
-    /// `MatchKind` slots allocated in the packed pool (including the
-    /// unused remainder of the current chunk).
+    /// `MatchKind` slots allocated in the packed pools (including the
+    /// unused remainder of each shard's current chunk).
     pub pool_kinds: usize,
-    /// Approximate resident bytes of the table (pool + entries + dedup).
+    /// Approximate resident bytes of the table (pools + entries + dedup).
     pub approx_bytes: usize,
+    /// Intern calls that found their lock shard already held and had to
+    /// block — the write-contention signal with parallel parsers.
+    pub write_contention: u64,
+    /// Pool-chunk allocations across all shards (each one `Box::leak` of
+    /// `POOL_CHUNK` packed `MatchKind` slots).
+    pub batch_flushes: u64,
 }
 
-struct Interner {
+/// One write shard: its own dedup map and bump pool, guarded by its own
+/// mutex. Structurally equal matches always hash to the same shard.
+struct InternShard {
     dedup: HashMap<&'static [MatchKind], u32>,
-    len: u32,
-    /// Bump-allocation remainder of the current pool chunk. Interning
-    /// splits rule slices off the front; when a match does not fit, the
-    /// (tiny) remainder is abandoned and a fresh chunk is leaked.
+    /// Bump-allocation remainder of this shard's current pool chunk.
+    /// Interning splits rule slices off the front; when a match does not
+    /// fit, the (tiny) remainder is abandoned and a fresh chunk is leaked.
     pool: &'static mut [MatchKind],
     pool_kinds: usize,
     hits: u64,
+    batch_flushes: u64,
 }
 
 /// The process-global, append-only match-interning table.
 pub struct MatchTable {
     chunks: [OnceLock<Chunk>; MAX_CHUNKS],
-    inner: Mutex<Interner>,
+    shards: [Mutex<InternShard>; INTERN_SHARDS],
+    /// Next id. Incremented under a shard lock, so `len` can momentarily
+    /// run ahead of *other* shards' published entries but never ahead of
+    /// an id any caller holds.
+    len: AtomicU32,
+    contention: AtomicU64,
 }
 
 static GLOBAL: OnceLock<MatchTable> = OnceLock::new();
@@ -106,13 +130,17 @@ impl MatchTable {
     fn new() -> Self {
         MatchTable {
             chunks: std::array::from_fn(|_| OnceLock::new()),
-            inner: Mutex::new(Interner {
-                dedup: HashMap::new(),
-                len: 0,
-                pool: &mut [],
-                pool_kinds: 0,
-                hits: 0,
+            shards: std::array::from_fn(|_| {
+                Mutex::new(InternShard {
+                    dedup: HashMap::new(),
+                    pool: &mut [],
+                    pool_kinds: 0,
+                    hits: 0,
+                    batch_flushes: 0,
+                })
             }),
+            len: AtomicU32::new(0),
+            contention: AtomicU64::new(0),
         }
     }
 
@@ -124,22 +152,32 @@ impl MatchTable {
     /// Interns a match given as one [`MatchKind`] per layout field,
     /// returning its (possibly pre-existing) handle.
     pub fn intern(&self, kinds: &[MatchKind]) -> MatchId {
-        let mut g = self.inner.lock().expect("match table poisoned");
+        // Structural hash up front: it selects the lock shard *and* is
+        // the entry hash, so equal kinds always serialize through the
+        // same shard (what makes the sharded dedup sound).
+        let mut h = DefaultHasher::new();
+        kinds.hash(&mut h);
+        let hash = h.finish();
+        let shard = &self.shards[(hash as usize) & (INTERN_SHARDS - 1)];
+        let mut g = match shard.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                shard.lock().expect("match table poisoned")
+            }
+            Err(std::sync::TryLockError::Poisoned(_)) => panic!("match table poisoned"),
+        };
         if let Some(&id) = g.dedup.get(kinds) {
             g.hits += 1;
             return MatchId(id);
         }
-        let id = g.len;
-        assert!(
-            (id as usize) < BASE * ((1usize << MAX_CHUNKS) - 1),
-            "match table capacity exhausted"
-        );
-        // Copy the kinds into the packed pool: stable addresses, one
-        // allocation per POOL_CHUNK matches instead of one per match.
+        // Copy the kinds into the shard's packed pool: stable addresses,
+        // one allocation per POOL_CHUNK matches instead of one per match.
         if g.pool.len() < kinds.len() {
             let cap = POOL_CHUNK.max(kinds.len());
             g.pool = Box::leak(vec![MatchKind::Any; cap].into_boxed_slice());
             g.pool_kinds += cap;
+            g.batch_flushes += 1;
         }
         let pool = std::mem::take(&mut g.pool);
         let (slot, rest) = pool.split_at_mut(kinds.len());
@@ -147,13 +185,19 @@ impl MatchTable {
         g.pool = rest;
         let slice: &'static [MatchKind] = slot;
 
-        let mut h = DefaultHasher::new();
-        slice.hash(&mut h);
         let entry = MatchEntry {
             kinds: slice,
-            hash: h.finish(),
+            hash,
             is_any: slice.iter().all(|k| matches!(k, MatchKind::Any)),
         };
+        // Allocate the id while holding the shard lock: ids stay unique
+        // (fetch_add) and an id is never observable before its entry —
+        // `intern` publishes the entry before returning the handle.
+        let id = self.len.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            (id as usize) < BASE * ((1usize << MAX_CHUNKS) - 1),
+            "match table capacity exhausted"
+        );
         let (ci, si) = split_id(id);
         let chunk = self.chunks[ci].get_or_init(|| {
             (0..chunk_len(ci))
@@ -163,7 +207,6 @@ impl MatchTable {
         });
         chunk[si].set(entry).expect("entry slot written twice");
         g.dedup.insert(slice, id);
-        g.len = id + 1;
         MatchId(id)
     }
 
@@ -179,7 +222,7 @@ impl MatchTable {
 
     /// Distinct matches interned so far.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("match table poisoned").len as usize
+        self.len.load(Ordering::Acquire) as usize
     }
 
     pub fn is_empty(&self) -> bool {
@@ -187,16 +230,29 @@ impl MatchTable {
     }
 
     pub fn stats(&self) -> MatchTableStats {
-        let g = self.inner.lock().expect("match table poisoned");
-        let entry_bytes = g.len as usize * std::mem::size_of::<OnceLock<MatchEntry>>();
-        let pool_bytes = g.pool_kinds * std::mem::size_of::<MatchKind>();
-        let dedup_bytes = g.dedup.capacity()
+        let len = self.len();
+        let mut hits = 0u64;
+        let mut pool_kinds = 0usize;
+        let mut batch_flushes = 0u64;
+        let mut dedup_cap = 0usize;
+        for shard in &self.shards {
+            let g = shard.lock().expect("match table poisoned");
+            hits += g.hits;
+            pool_kinds += g.pool_kinds;
+            batch_flushes += g.batch_flushes;
+            dedup_cap += g.dedup.capacity();
+        }
+        let entry_bytes = len * std::mem::size_of::<OnceLock<MatchEntry>>();
+        let pool_bytes = pool_kinds * std::mem::size_of::<MatchKind>();
+        let dedup_bytes = dedup_cap
             * (std::mem::size_of::<&'static [MatchKind]>() + std::mem::size_of::<u32>() + 8);
         MatchTableStats {
-            distinct: g.len as usize,
-            hits: g.hits,
-            pool_kinds: g.pool_kinds,
+            distinct: len,
+            hits,
+            pool_kinds,
             approx_bytes: entry_bytes + pool_bytes + dedup_bytes,
+            write_contention: self.contention.load(Ordering::Relaxed),
+            batch_flushes,
         }
     }
 }
@@ -252,6 +308,22 @@ mod tests {
             let start: usize = (0..c).map(chunk_len).sum();
             assert_eq!(start + s, id as usize);
         }
+    }
+
+    #[test]
+    fn stats_track_sharded_write_side() {
+        let t = MatchTable::global();
+        let before = t.stats();
+        // Fresh kinds force a pool write in some shard; repeats are hits.
+        let kinds = [MatchKind::Range { lo: 414243, hi: 515253 }];
+        t.intern(&kinds);
+        t.intern(&kinds);
+        let after = t.stats();
+        assert!(after.distinct > before.distinct);
+        assert!(after.hits > before.hits);
+        assert!(after.batch_flushes >= 1, "first intern allocates a pool chunk");
+        assert!(after.write_contention >= before.write_contention);
+        assert_eq!(after.distinct, t.len());
     }
 
     #[test]

@@ -23,8 +23,14 @@
 //! then walks the per-device route files handing each device's rules to a
 //! sink — only one device's FIB is resident at a time. Calling it once
 //! with a discarding sink builds the complete [`ActionTable`] for verifier
-//! construction; the second call re-interns identically (same files, same
-//! order) so action ids agree across the two passes.
+//! construction; the second pass resolves actions read-only against that
+//! completed table ([`DatasetHeader::stream_routes_resolved`]), so action
+//! ids agree across the two passes by construction — which also makes the
+//! second pass partitionable: [`DatasetHeader::stream_routes_parallel`]
+//! fans the route files out over N reader threads (each parsing and
+//! mapping its slice with only a shared `&ActionTable`) while the caller
+//! consumes devices strictly in device-id order through a bounded reorder
+//! window.
 //!
 //! JSON is hand-rolled — written directly, parsed with the minimal
 //! recursive-descent reader at the bottom of this module — to keep the
@@ -411,9 +417,9 @@ impl DatasetHeader {
     /// count.
     ///
     /// Two-pass usage: call once with a discarding sink to populate the
-    /// action table for verifier construction, then once more with a
-    /// fresh table and the real sink — route files are read in the same
-    /// order both times, so the interned ids agree.
+    /// action table for verifier construction, then stream the rules with
+    /// [`Self::stream_routes_resolved`] (or in parallel with
+    /// [`Self::stream_routes_parallel`]) against the completed table.
     pub fn stream_routes<F>(
         &self,
         actions: &mut ActionTable,
@@ -422,31 +428,320 @@ impl DatasetHeader {
     where
         F: FnMut(DeviceId, Vec<Rule>) -> Result<(), DatasetError>,
     {
-        let routes_dir = self.dir.join("data/routes");
-        let width = self.layout.field(FieldId(0)).width;
+        let mut parser = RouteParser::intern(&self.layout, &self.topo, actions);
         let mut total = 0usize;
         for &dev in &self.route_devices {
-            let name = self.topo.name(dev);
-            let file = std::fs::File::open(routes_dir.join(name))?;
-            let mut rules = Vec::new();
-            for (i, line) in std::io::BufReader::new(file).lines().enumerate() {
-                let line = line?;
-                let line = line.trim();
-                if line.is_empty() || line.starts_with('#') {
-                    continue;
-                }
-                let rule = parse_route_line(line, width, &self.layout, &self.topo, actions)
-                    .map_err(|m| perr(format!("routes/{name}:{}: {m}", i + 1)))?;
-                rules.push(rule);
-            }
+            let rules = self.read_device(dev, &mut parser)?;
             total += rules.len();
             sink(dev, rules)?;
         }
         Ok(total)
     }
 
+    /// As [`Self::stream_routes`], but resolves actions read-only against
+    /// a completed table (built by a pass-1 `stream_routes` over the same
+    /// files). A route line whose action is absent from the table is a
+    /// parse error — it means the files changed between the passes.
+    pub fn stream_routes_resolved<F>(
+        &self,
+        actions: &ActionTable,
+        mut sink: F,
+    ) -> Result<usize, DatasetError>
+    where
+        F: FnMut(DeviceId, Vec<Rule>) -> Result<(), DatasetError>,
+    {
+        let mut parser = RouteParser::resolve(&self.layout, &self.topo, actions);
+        let mut total = 0usize;
+        for &dev in &self.route_devices {
+            let rules = self.read_device(dev, &mut parser)?;
+            total += rules.len();
+            sink(dev, rules)?;
+        }
+        Ok(total)
+    }
+
+    /// Parallel second pass: `threads` reader threads each own the route
+    /// files of device indices `i % threads == t`, parse them with a
+    /// thread-local [`RouteParser`] (read-only action resolution against
+    /// `actions`), and run `map` on each device's rules — parse, intern,
+    /// and any routing work inside `map` for device d+1 all overlap with
+    /// the caller consuming device d. The caller's `sink` still sees
+    /// devices in strict device-id order: mapped results park in a
+    /// reorder window bounded to ~2 batches per reader, which is also the
+    /// pipeline's backpressure (readers sleep when the consumer falls
+    /// behind). `threads <= 1` degrades to the sequential resolved pass.
+    pub fn stream_routes_parallel<T, M, F>(
+        &self,
+        actions: &ActionTable,
+        threads: usize,
+        map: M,
+        mut sink: F,
+    ) -> Result<usize, DatasetError>
+    where
+        T: Send,
+        M: Fn(DeviceId, Vec<Rule>) -> T + Sync,
+        F: FnMut(DeviceId, T) -> Result<(), DatasetError>,
+    {
+        if threads <= 1 {
+            let mut total = 0usize;
+            let mut parser = RouteParser::resolve(&self.layout, &self.topo, actions);
+            for &dev in &self.route_devices {
+                let rules = self.read_device(dev, &mut parser)?;
+                total += rules.len();
+                sink(dev, map(dev, rules))?;
+            }
+            return Ok(total);
+        }
+
+        let window = threads * 2;
+        let shared = ReorderWindow::<T>::new();
+        let devices = &self.route_devices;
+        let mut consumed = Ok(0usize);
+        std::thread::scope(|scope| {
+            for t in 0..threads.min(devices.len()) {
+                let shared = &shared;
+                let map = &map;
+                scope.spawn(move || {
+                    let mut parser = RouteParser::resolve(&self.layout, &self.topo, actions);
+                    let mut i = t;
+                    while i < devices.len() {
+                        if !shared.wait_for_slot(i, window) {
+                            return; // aborted by an error elsewhere
+                        }
+                        let dev = devices[i];
+                        match self.read_device(dev, &mut parser) {
+                            Ok(rules) => {
+                                let count = rules.len();
+                                shared.publish(i, count, map(dev, rules));
+                            }
+                            Err(e) => {
+                                shared.fail(e);
+                                return;
+                            }
+                        }
+                        i += threads;
+                    }
+                });
+            }
+            // Consumer: the caller's thread drains the window in order.
+            let mut total = 0usize;
+            for (i, &dev) in devices.iter().enumerate() {
+                match shared.take(i) {
+                    Ok((count, item)) => {
+                        total += count;
+                        if let Err(e) = sink(dev, item) {
+                            shared.abort();
+                            consumed = Err(e);
+                            return;
+                        }
+                    }
+                    Err(e) => {
+                        consumed = Err(e);
+                        return;
+                    }
+                }
+            }
+            consumed = Ok(total);
+        });
+        consumed
+    }
+
+    /// Reads and parses one device's route file. The parser's scratch
+    /// line buffer and hop set are reused across lines and devices — the
+    /// steady-state loop performs no per-line allocation beyond the rule
+    /// vector itself.
+    fn read_device(
+        &self,
+        dev: DeviceId,
+        parser: &mut RouteParser<'_>,
+    ) -> Result<Vec<Rule>, DatasetError> {
+        let name = self.topo.name(dev);
+        let path = self.dir.join("data/routes").join(name);
+        let file = std::fs::File::open(path)?;
+        let mut reader = std::io::BufReader::new(file);
+        let mut rules = Vec::new();
+        let mut lineno = 0usize;
+        loop {
+            parser.buf.clear();
+            if reader.read_line(&mut parser.buf)? == 0 {
+                break;
+            }
+            lineno += 1;
+            let line = parser.buf.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            // The parser borrows the line out of its own buffer; split
+            // here so the borrow checker sees disjoint fields.
+            let rule = parse_route_line(line, parser.width, parser.layout, parser.topo, &mut parser.actions)
+                .map_err(|m| perr(format!("routes/{name}:{lineno}: {m}")))?;
+            rules.push(rule);
+        }
+        Ok(rules)
+    }
+
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+}
+
+/// Bounded reorder window between parallel readers and the in-order
+/// consumer. Slot `i` holds device index `i`'s mapped batch until the
+/// consumer has emitted every earlier device.
+struct ReorderWindow<T> {
+    state: std::sync::Mutex<ReorderState<T>>,
+    cv: std::sync::Condvar,
+}
+
+struct ReorderState<T> {
+    slots: std::collections::HashMap<usize, (usize, T)>,
+    next_emit: usize,
+    error: Option<DatasetError>,
+    aborted: bool,
+}
+
+impl<T> ReorderWindow<T> {
+    fn new() -> Self {
+        ReorderWindow {
+            state: std::sync::Mutex::new(ReorderState {
+                slots: std::collections::HashMap::new(),
+                next_emit: 0,
+                error: None,
+                aborted: false,
+            }),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks until index `i` is within `window` of the consumer (the
+    /// backpressure bound). Returns false if the pipeline was aborted.
+    fn wait_for_slot(&self, i: usize, window: usize) -> bool {
+        let mut g = self.state.lock().expect("reorder window poisoned");
+        while !g.aborted && g.error.is_none() && i >= g.next_emit + window {
+            g = self.cv.wait(g).expect("reorder window poisoned");
+        }
+        !g.aborted && g.error.is_none()
+    }
+
+    fn publish(&self, i: usize, count: usize, item: T) {
+        let mut g = self.state.lock().expect("reorder window poisoned");
+        g.slots.insert(i, (count, item));
+        self.cv.notify_all();
+    }
+
+    fn fail(&self, e: DatasetError) {
+        let mut g = self.state.lock().expect("reorder window poisoned");
+        if g.error.is_none() {
+            g.error = Some(e);
+        }
+        self.cv.notify_all();
+    }
+
+    fn abort(&self) {
+        let mut g = self.state.lock().expect("reorder window poisoned");
+        g.aborted = true;
+        self.cv.notify_all();
+    }
+
+    fn take(&self, i: usize) -> Result<(usize, T), DatasetError> {
+        let mut g = self.state.lock().expect("reorder window poisoned");
+        loop {
+            if let Some(e) = g.error.take() {
+                g.aborted = true;
+                self.cv.notify_all();
+                return Err(e);
+            }
+            if let Some(v) = g.slots.remove(&i) {
+                g.next_emit = i + 1;
+                self.cv.notify_all();
+                return Ok(v);
+            }
+            g = self.cv.wait(g).expect("reorder window poisoned");
+        }
+    }
+}
+
+/// Per-reader parsing state: layout/topology borrows, the reused line
+/// buffer, and the action sink (interning or read-only resolution).
+struct RouteParser<'a> {
+    width: u32,
+    layout: &'a HeaderLayout,
+    topo: &'a Topology,
+    actions: ActionSink<'a>,
+    buf: String,
+}
+
+impl<'a> RouteParser<'a> {
+    fn intern(layout: &'a HeaderLayout, topo: &'a Topology, actions: &'a mut ActionTable) -> Self {
+        RouteParser {
+            width: layout.field(FieldId(0)).width,
+            layout,
+            topo,
+            actions: ActionSink::intern(actions),
+            buf: String::new(),
+        }
+    }
+
+    fn resolve(layout: &'a HeaderLayout, topo: &'a Topology, actions: &'a ActionTable) -> Self {
+        RouteParser {
+            width: layout.field(FieldId(0)).width,
+            layout,
+            topo,
+            actions: ActionSink::resolve(actions),
+            buf: String::new(),
+        }
+    }
+}
+
+enum ActionMode<'a> {
+    Intern(&'a mut ActionTable),
+    Resolve(&'a ActionTable),
+}
+
+/// Action resolution for route parsing. Hop sets are built in a reused
+/// scratch `Forward` action, normalized in place, and probed with the
+/// read-only [`ActionTable::lookup`]; the interning mode only clones the
+/// scratch into the table on a genuine miss (once per *distinct* action,
+/// not per line), and the resolve mode never mutates the table at all —
+/// which is what lets parallel readers share one completed table.
+struct ActionSink<'a> {
+    mode: ActionMode<'a>,
+    scratch: Action,
+}
+
+impl<'a> ActionSink<'a> {
+    fn intern(t: &'a mut ActionTable) -> Self {
+        ActionSink { mode: ActionMode::Intern(t), scratch: Action::Forward(Vec::new()) }
+    }
+
+    fn resolve(t: &'a ActionTable) -> Self {
+        ActionSink { mode: ActionMode::Resolve(t), scratch: Action::Forward(Vec::new()) }
+    }
+
+    /// The scratch hop set; fill it, then call [`Self::finish_forward`].
+    fn begin_hops(&mut self) -> &mut Vec<DeviceId> {
+        let Action::Forward(hops) = &mut self.scratch else { unreachable!() };
+        hops.clear();
+        hops
+    }
+
+    fn finish_forward(&mut self) -> Result<flash_netmodel::ActionId, String> {
+        let Action::Forward(hops) = &mut self.scratch else { unreachable!() };
+        hops.sort_unstable();
+        hops.dedup();
+        let table: &ActionTable = match &self.mode {
+            ActionMode::Intern(t) => t,
+            ActionMode::Resolve(t) => t,
+        };
+        if let Some(id) = table.lookup(&self.scratch) {
+            return Ok(id);
+        }
+        match &mut self.mode {
+            ActionMode::Intern(t) => Ok(t.intern(self.scratch.clone())),
+            ActionMode::Resolve(_) => {
+                Err("action not in the pass-1 table (files changed between passes?)".to_string())
+            }
+        }
     }
 }
 
@@ -456,7 +751,7 @@ fn parse_route_line(
     width: u32,
     layout: &HeaderLayout,
     topo: &Topology,
-    actions: &mut ActionTable,
+    actions: &mut ActionSink<'_>,
 ) -> Result<Rule, String> {
     let mut parts = line.split_whitespace();
     let prefix = parts.next().ok_or("expected a prefix")?;
@@ -475,22 +770,21 @@ fn parse_route_line(
     let action = if action_s == "drop" {
         flash_netmodel::ACTION_DROP
     } else if let Some(inner) = action_s.strip_prefix("ecmp(").and_then(|r| r.strip_suffix(')')) {
-        let mut hops = Vec::new();
+        let hops = actions.begin_hops();
         for h in inner.split(',') {
-            hops.push(
-                topo.lookup(h.trim())
-                    .ok_or_else(|| format!("unknown next hop {h:?}"))?,
-            );
+            let h = h.trim();
+            hops.push(topo.lookup(h).ok_or_else(|| format!("unknown next hop {h:?}"))?);
         }
         if hops.is_empty() {
             return Err("empty ecmp() set".to_string());
         }
-        actions.ecmp(hops)
+        actions.finish_forward()?
     } else {
-        actions.fwd(
-            topo.lookup(action_s)
-                .ok_or_else(|| format!("unknown next hop {action_s:?}"))?,
-        )
+        let next = topo
+            .lookup(action_s)
+            .ok_or_else(|| format!("unknown next hop {action_s:?}"))?;
+        actions.begin_hops().push(next);
+        actions.finish_forward()?
     };
     Ok(Rule::new(
         flash_netmodel::Match::dst_prefix(layout, value, len),
@@ -812,6 +1106,63 @@ mod tests {
                 second.get(flash_netmodel::ActionId(i))
             );
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parallel_stream_matches_sequential_in_order() {
+        let dir = tmpdir("parstream");
+        generate_fat_tree_dataset(&dir, 4, 8, 2).unwrap();
+        let header = load_header(&dir).unwrap();
+        let mut actions = ActionTable::new();
+        header.stream_routes(&mut actions, |_, _| Ok(())).unwrap();
+
+        let mut seq: Vec<(DeviceId, Vec<Rule>)> = Vec::new();
+        let seq_total = header
+            .stream_routes_resolved(&actions, |d, r| {
+                seq.push((d, r));
+                Ok(())
+            })
+            .unwrap();
+        for threads in [1usize, 2, 4, 7] {
+            let mut par: Vec<(DeviceId, Vec<Rule>)> = Vec::new();
+            let total = header
+                .stream_routes_parallel(&actions, threads, |_, rules| rules, |d, r| {
+                    par.push((d, r));
+                    Ok(())
+                })
+                .unwrap();
+            assert_eq!(total, seq_total, "{threads} threads");
+            assert_eq!(par, seq, "{threads} threads: same devices, same order, same rules");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parallel_stream_propagates_sink_and_parse_errors() {
+        let dir = tmpdir("parerr");
+        generate_fat_tree_dataset(&dir, 4, 8, 1).unwrap();
+        let header = load_header(&dir).unwrap();
+        let mut actions = ActionTable::new();
+        header.stream_routes(&mut actions, |_, _| Ok(())).unwrap();
+
+        // Sink error after a few devices aborts the readers cleanly.
+        let mut n = 0;
+        let err = header
+            .stream_routes_parallel(&actions, 3, |_, r| r, |_, _| {
+                n += 1;
+                if n == 3 { Err(perr("sink says stop")) } else { Ok(()) }
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("sink says stop"), "{err}");
+
+        // A resolve miss (action absent from the pass-1 table) is a parse
+        // error naming the file.
+        let empty = ActionTable::new();
+        let err = header
+            .stream_routes_parallel(&empty, 2, |_, r| r, |_, _| Ok(()))
+            .unwrap_err();
+        assert!(err.to_string().contains("pass-1"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
