@@ -25,6 +25,13 @@ def pct(base, new):
     return f"{(new - base) / base * 100.0:+.1f}%"
 
 
+def scenarios_of(report):
+    """Scenario table of a report: the bench_predicates/bench_scale/
+    bench_query `scenarios` shape, or bench_parallel's `runs` (whose
+    entries carry wall_ms but no ops)."""
+    return report.get("scenarios") or report.get("runs") or {}
+
+
 def render_single(path):
     with open(path) as f:
         report = json.load(f)
@@ -36,7 +43,7 @@ def render_single(path):
         print()
     print("| scenario | wall_ms | ops | detail |")
     print("|---|---|---|---|")
-    for name, s in report.get("scenarios", {}).items():
+    for name, s in scenarios_of(report).items():
         detail = ", ".join(
             f"{k}={v}"
             for k, v in s.items()
@@ -47,11 +54,11 @@ def render_single(path):
 
 def render_diff(base_path, fresh_path, threshold):
     with open(base_path) as f:
-        base = json.load(f)["scenarios"]
+        base = scenarios_of(json.load(f))
     with open(fresh_path) as f:
-        fresh = json.load(f)["scenarios"]
+        fresh = scenarios_of(json.load(f))
 
-    print("### Quick predicate bench vs committed baseline")
+    print(f"### Bench diff: {fresh_path} vs committed {base_path}")
     print()
     print("| scenario | wall_ms | Δwall | ops | Δops | op_and calls | Δop_and |")
     print("|---|---|---|---|---|---|---|")
@@ -74,12 +81,15 @@ def render_diff(base_path, fresh_path, threshold):
         print(
             f"| {name}{mark} "
             f"| {b['wall_ms']:.1f} → {n['wall_ms']:.1f} | {pct(b['wall_ms'], n['wall_ms'])} "
-            f"| {b['ops']} → {n['ops']} | {pct(b['ops'], n['ops'])} "
+            f"| {b.get('ops', 0)} → {n.get('ops', 0)} | {pct(b.get('ops', 0), n.get('ops', 0))} "
             f"| {b_and} → {n_and} | {pct(b_and, n_and)} |"
         )
     for name in fresh:
         if name not in base:
-            print(f"| {name} (new) | {fresh[name]['wall_ms']:.1f} | | {fresh[name]['ops']} | | | |")
+            print(
+                f"| {name} (new) | {fresh[name]['wall_ms']:.1f} | "
+                f"| {fresh[name].get('ops', 0)} | | | |"
+            )
     if threshold is not None:
         print()
         if regressions:

@@ -22,7 +22,7 @@
 //! result. This is safe because the engine never collects in the middle of
 //! an operation — only at handle-creation boundaries.
 
-use crate::manager::{Bdd, CacheConfig, NodeId, FALSE, TRUE};
+use crate::manager::{Bdd, CacheConfig, NodeId, NodeView, FALSE, TRUE};
 use crate::order::VarOrder;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -930,6 +930,22 @@ impl PredEngine {
     /// them.
     pub fn with_bdd<R>(&mut self, f: impl FnOnce(&mut Bdd) -> R) -> R {
         f(&mut self.bdd)
+    }
+
+    /// A frozen, `Send + Sync` read view over this engine's node store,
+    /// for serving queries on other threads without copying any BDD
+    /// structure.
+    ///
+    /// The view is only meaningful for node ids whose predicates stay
+    /// **rooted here** (live [`Pred`] clones — e.g. a published
+    /// snapshot's pins) for as long as the view is consulted: rooted
+    /// nodes survive this engine's mark-sweep collections with ids and
+    /// structure intact, while unrooted ids may be reclaimed and reused
+    /// at any time (memory-safe, but the answers would be garbage). Pair
+    /// it with [`PredEngine::export`]ed raw nodes to ship `(view, root)`
+    /// pairs across threads.
+    pub fn node_view(&self) -> NodeView {
+        self.bdd.node_view()
     }
 
     /// Exports a copyable, unrooted snapshot of `p`, stamped with this

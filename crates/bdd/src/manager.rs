@@ -27,10 +27,28 @@
 //! short chain of single-cache-line slots instead of fetching a node
 //! *and* chasing a `HashMap` entry, and collections need no side
 //! allocations at all.
+//!
+//! ## Concurrent snapshot reads
+//!
+//! Slots live in a **chunked, non-moving** arena ([`SlotArena`]): a fixed
+//! spine of geometrically-sized chunks published through `OnceLock`, the
+//! same lock-free-read idiom as the netmodel's match intern table. A slot,
+//! once allocated, never moves, and all four words are relaxed atomics —
+//! so a [`NodeView`] handed to another thread can traverse nodes while
+//! the owning engine keeps mutating, under one contract: the reader only
+//! visits nodes kept *rooted* in the owning [`crate::PredEngine`] (a
+//! snapshot pin). Rooted-reachable slots are never freed or restamped by
+//! the non-moving sweep, their `low`/`high` words are written exactly
+//! once at creation (before the view is published), and the only
+//! concurrent writes they see are mark/born bits inside `meta` — which
+//! readers mask off. The publish handoff (a lock or channel) provides the
+//! release/acquire edge that makes creation-time writes visible.
 
 use crate::engine::{OpKind, OpStats};
 use crate::order::VarOrder;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering::Relaxed};
+use std::sync::{Arc, OnceLock};
 
 /// Index of a BDD node inside a [`Bdd`] manager.
 ///
@@ -60,28 +78,267 @@ const MARK_BIT: u32 = 1 << 31;
 
 /// A fused arena slot: decision node, unique-table chain link, birth
 /// stamp and mark bit in 16 bytes (see the module docs for the diagram).
+///
+/// All four words are relaxed atomics so a [`NodeView`] on another
+/// thread may read `low`/`high`/`meta` of *rooted* nodes while the
+/// owning engine mutates the arena. Relaxed suffices: rooted slots'
+/// `low`/`high` are written once before the view is published (the
+/// publish handoff is the release/acquire edge), and the only racing
+/// `meta` writes flip mark/born bits the reader masks off. The mutator
+/// itself stays single-threaded, so its own reads always see its own
+/// writes.
 #[repr(C)]
-#[derive(Clone, Copy, Debug)]
 struct Slot {
-    low: NodeId,
-    high: NodeId,
+    low: AtomicU32,
+    high: AtomicU32,
     /// `var:16 | born:15 | mark:1`.
-    meta: u32,
+    meta: AtomicU32,
     /// Unique-table bucket chain link, or free-list link once swept.
-    next: u32,
+    /// Never read through a [`NodeView`].
+    next: AtomicU32,
 }
 
 const _: () = assert!(std::mem::size_of::<Slot>() == 16);
 
 impl Slot {
     #[inline]
+    fn low(&self) -> NodeId {
+        self.low.load(Relaxed)
+    }
+
+    #[inline]
+    fn high(&self) -> NodeId {
+        self.high.load(Relaxed)
+    }
+
+    #[inline]
+    fn meta(&self) -> u32 {
+        self.meta.load(Relaxed)
+    }
+
+    #[inline]
+    fn next(&self) -> u32 {
+        self.next.load(Relaxed)
+    }
+
+    #[inline]
     fn var(&self) -> u32 {
-        self.meta & VAR_MASK
+        self.meta() & VAR_MASK
     }
 
     #[inline]
     fn born(&self) -> u32 {
-        (self.meta >> 16) & BORN_MASK
+        (self.meta() >> 16) & BORN_MASK
+    }
+
+    #[inline]
+    fn store(&self, low: NodeId, high: NodeId, meta: u32, next: u32) {
+        self.low.store(low, Relaxed);
+        self.high.store(high, Relaxed);
+        self.meta.store(meta, Relaxed);
+        self.next.store(next, Relaxed);
+    }
+}
+
+/// Chunk 0 holds `2^SPINE_BASE_BITS` slots; chunk `k >= 1` holds
+/// `2^(SPINE_BASE_BITS + k - 1)`, so chunk boundaries land on powers of
+/// two and [`locate`] is a couple of bit ops. 20 chunks cover the full
+/// 32-bit id space.
+const SPINE_BASE_BITS: u32 = 13;
+const SPINE_MAX_CHUNKS: usize = 20;
+
+/// Splits a node id into `(chunk, index-within-chunk)`.
+#[inline]
+fn locate(id: NodeId) -> (usize, usize) {
+    let top = id >> SPINE_BASE_BITS;
+    if top == 0 {
+        (0, id as usize)
+    } else {
+        let k = 32 - top.leading_zeros();
+        (k as usize, (id - (1u32 << (SPINE_BASE_BITS + k - 1))) as usize)
+    }
+}
+
+/// Slot count of chunk `c` (see [`SPINE_BASE_BITS`]).
+#[inline]
+fn chunk_len(c: usize) -> usize {
+    if c == 0 {
+        1 << SPINE_BASE_BITS
+    } else {
+        1 << (SPINE_BASE_BITS as usize + c - 1)
+    }
+}
+
+/// The fixed spine behind a [`SlotArena`]: geometrically-sized chunks
+/// published through `OnceLock` (the same grow-by-appending-chunks,
+/// never-move idiom as the netmodel match intern table). Shared with
+/// [`NodeView`] readers via `Arc`; a chunk, once initialized, is never
+/// freed or reallocated for the spine's lifetime.
+struct Spine {
+    chunks: [OnceLock<Box<[Slot]>>; SPINE_MAX_CHUNKS],
+}
+
+impl Spine {
+    fn new() -> Self {
+        Spine { chunks: std::array::from_fn(|_| OnceLock::new()) }
+    }
+
+    /// The slot for `id`. The caller must only pass ids below the owning
+    /// arena's `len` (or, for views, ids reachable from a pinned root),
+    /// which guarantees the chunk is initialized.
+    #[inline]
+    fn slot(&self, id: NodeId) -> &Slot {
+        let (c, i) = locate(id);
+        debug_assert!(
+            self.chunks[c].get().is_some_and(|ch| i < ch.len()),
+            "slot id {id} beyond allocated chunks"
+        );
+        // SAFETY: `SlotArena::push` initializes a chunk before handing out
+        // any id inside it, `c < SPINE_MAX_CHUNKS` by construction of
+        // `locate` over u32, and `i < chunk_len(c)` for any allocated id.
+        unsafe {
+            let chunk = self.chunks.get_unchecked(c).get().unwrap_unchecked();
+            chunk.get_unchecked(i)
+        }
+    }
+}
+
+/// The chunked, non-moving slot store: a bump-allocated prefix of the
+/// [`Spine`]. Only the owning [`Bdd`] can push; concurrent [`NodeView`]
+/// readers share the spine read-only.
+struct SlotArena {
+    spine: Arc<Spine>,
+    len: usize,
+}
+
+impl SlotArena {
+    fn new() -> Self {
+        SlotArena { spine: Arc::new(Spine::new()), len: 0 }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn slot(&self, id: NodeId) -> &Slot {
+        debug_assert!((id as usize) < self.len, "slot id {id} out of bounds");
+        self.spine.slot(id)
+    }
+
+    /// Appends a slot, initializing its chunk on first touch.
+    fn push(&mut self, low: NodeId, high: NodeId, meta: u32, next: u32) -> NodeId {
+        assert!(self.len < u32::MAX as usize, "node arena exhausted");
+        let id = self.len as NodeId;
+        let (c, i) = locate(id);
+        let chunk = self.spine.chunks[c].get_or_init(|| {
+            (0..chunk_len(c))
+                .map(|_| Slot {
+                    low: AtomicU32::new(0),
+                    high: AtomicU32::new(0),
+                    meta: AtomicU32::new(FREE_VAR),
+                    next: AtomicU32::new(NIL),
+                })
+                .collect()
+        });
+        chunk[i].store(low, high, meta, next);
+        self.len += 1;
+        id
+    }
+
+    /// Rewinds to exactly the two terminal slots, keeping chunk memory.
+    /// The terminals' words are rewritten, so any outstanding id — and
+    /// any [`NodeView`] over this spine — is invalidated.
+    fn reset_to_terminals(&mut self) {
+        self.len = 0;
+        self.push(0, 0, TERMINAL_VAR, NIL);
+        self.push(1, 1, TERMINAL_VAR, NIL);
+    }
+}
+
+/// A frozen, `Send + Sync` read surface over one manager's node store.
+///
+/// Obtained from [`crate::PredEngine::node_view`]; pairs with raw
+/// [`NodeId`]s (e.g. exported snapshot roots) to let reader threads
+/// traverse predicates **without copying any BDD structure** while the
+/// owning engine keeps ingesting.
+///
+/// ## Safety contract
+///
+/// A view may only be asked about nodes that are **rooted in the owning
+/// engine** (a live [`crate::Pred`] clone pins them) for the view's
+/// whole useful life. Rooted nodes survive the engine's non-moving
+/// mark-sweep with ids and `low`/`high` words intact; unrooted ids may
+/// be swept and reused at any time, in which case a reader would walk
+/// into unrelated (but allocated, hence memory-safe) nodes and return
+/// garbage answers. The one operation that does invalidate a view
+/// wholesale is the raw mark-compact [`Bdd::gc`], which remaps ids onto
+/// a fresh spine — [`crate::PredEngine`] never calls it, and holders of
+/// raw `Bdd`s must not mix it with live views.
+#[derive(Clone)]
+pub struct NodeView {
+    spine: Arc<Spine>,
+    order: VarOrder,
+    num_vars: u32,
+}
+
+impl NodeView {
+    /// Number of logical header bits the owning manager reasons about.
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Evaluates the predicate rooted at `a` on a concrete header given
+    /// as a bit vector indexed by **logical** bit.
+    pub fn eval(&self, a: NodeId, bits: &[bool]) -> bool {
+        debug_assert!(bits.len() >= self.num_vars as usize);
+        let mut cur = a;
+        while cur > TRUE {
+            let s = self.spine.slot(cur);
+            let v = self.order.log(s.var()) as usize;
+            cur = if bits[v] { s.high() } else { s.low() };
+        }
+        cur == TRUE
+    }
+
+    /// True when the predicate rooted at `a` is satisfiable under the
+    /// partial assignment `constraint` (indexed by **logical** bit;
+    /// `None` leaves the bit free). This is the snapshot query tier's
+    /// "does this class intersect this prefix" primitive: a guided DFS
+    /// that forces constrained bits and explores both branches of free
+    /// ones, memoizing visited nodes — satisfiability under a
+    /// per-variable constraint is a function of the node alone, so the
+    /// visited set is sound and the walk is linear in reachable nodes.
+    pub fn intersects(&self, a: NodeId, constraint: &[Option<bool>]) -> bool {
+        debug_assert!(constraint.len() >= self.num_vars as usize);
+        if a == FALSE {
+            return false;
+        }
+        if a == TRUE {
+            return true;
+        }
+        let mut visited = std::collections::HashSet::new();
+        let mut stack = vec![a];
+        while let Some(n) = stack.pop() {
+            if n == TRUE {
+                return true;
+            }
+            if n == FALSE || !visited.insert(n) {
+                continue;
+            }
+            let s = self.spine.slot(n);
+            let v = self.order.log(s.var()) as usize;
+            match constraint[v] {
+                Some(true) => stack.push(s.high()),
+                Some(false) => stack.push(s.low()),
+                None => {
+                    stack.push(s.low());
+                    stack.push(s.high());
+                }
+            }
+        }
+        false
     }
 }
 
@@ -173,10 +430,12 @@ const EMPTY_ENTRY: CacheEntry =
 /// computed. `exists` entries pack a variable range (not node ids) into
 /// `b`/`c`, so only `a` and `result` are checked for them.
 #[inline]
-fn entry_valid(e: &CacheEntry, slots: &[Slot]) -> bool {
+fn entry_valid(e: &CacheEntry, slots: &SlotArena) -> bool {
     let ok = |n: NodeId| {
-        let i = n as usize;
-        i < slots.len() && slots[i].var() != FREE_VAR && slots[i].born() as u16 <= e.gen
+        (n as usize) < slots.len() && {
+            let s = slots.slot(n);
+            s.var() != FREE_VAR && s.born() as u16 <= e.gen
+        }
     };
     match e.tag {
         TAG_EXISTS => ok(e.a) && ok(e.result),
@@ -265,7 +524,14 @@ impl ComputedCache {
     /// current arena state via [`entry_valid`]. Hits bump the entry's
     /// reuse stamp; stale matches are reclaimed on the spot.
     #[inline]
-    fn get(&mut self, tag: u8, a: NodeId, b: NodeId, c: NodeId, slots: &[Slot]) -> Option<NodeId> {
+    fn get(
+        &mut self,
+        tag: u8,
+        a: NodeId,
+        b: NodeId,
+        c: NodeId,
+        slots: &SlotArena,
+    ) -> Option<NodeId> {
         let i0 = ((cache_hash(tag, a, b, c) as usize) & self.bucket_mask) << 1;
         for idx in [i0, i0 | 1] {
             let e = self.entries[idx];
@@ -294,7 +560,7 @@ impl ComputedCache {
         c: NodeId,
         result: NodeId,
         gen: u16,
-        slots: &[Slot],
+        slots: &SlotArena,
     ) {
         let i0 = ((cache_hash(tag, a, b, c) as usize) & self.bucket_mask) << 1;
         let i1 = i0 | 1;
@@ -407,8 +673,9 @@ pub struct BddStats {
 /// design, so no locking is needed on the hot path.
 pub struct Bdd {
     /// The fused arena: nodes, unique-table chains, free list, birth
-    /// stamps and mark bits, all in 16 bytes per slot.
-    slots: Vec<Slot>,
+    /// stamps and mark bits, all in 16 bytes per slot; chunked and
+    /// non-moving so [`NodeView`] readers stay valid across growth.
+    slots: SlotArena,
     /// Unique-table bucket heads; always a power of two, chains run
     /// through `Slot::next`.
     heads: Vec<u32>,
@@ -455,7 +722,7 @@ impl Bdd {
         assert!(num_vars <= FREE_VAR, "at most {FREE_VAR} variables supported");
         assert_eq!(order.num_vars(), num_vars, "VarOrder covers a different bit count");
         let mut bdd = Bdd {
-            slots: Vec::with_capacity(1 << 12),
+            slots: SlotArena::new(),
             heads: vec![NIL; 1 << 13],
             cache: ComputedCache::new(cache),
             free_head: NIL,
@@ -480,9 +747,7 @@ impl Bdd {
     /// must have dropped or remapped every outstanding `NodeId` and
     /// cleared the computed cache.
     fn genesis(&mut self) {
-        self.slots.clear();
-        self.slots.push(Slot { low: 0, high: 0, meta: TERMINAL_VAR, next: NIL });
-        self.slots.push(Slot { low: 1, high: 1, meta: TERMINAL_VAR, next: NIL });
+        self.slots.reset_to_terminals();
         self.heads.fill(NIL);
         self.free_head = NIL;
         self.free_count = 0;
@@ -623,17 +888,27 @@ impl Bdd {
 
     #[inline]
     fn var_of(&self, n: NodeId) -> u32 {
-        self.slots[n as usize].var()
+        self.slots.slot(n).var()
     }
 
     #[inline]
     fn low_of(&self, n: NodeId) -> NodeId {
-        self.slots[n as usize].low
+        self.slots.slot(n).low()
     }
 
     #[inline]
     fn high_of(&self, n: NodeId) -> NodeId {
-        self.slots[n as usize].high
+        self.slots.slot(n).high()
+    }
+
+    /// A frozen, thread-safe read view of this manager's node store.
+    /// See [`NodeView`] for the rooted-nodes-only safety contract.
+    pub(crate) fn node_view(&self) -> NodeView {
+        NodeView {
+            spine: self.slots.spine.clone(),
+            order: self.order.clone(),
+            num_vars: self.num_vars,
+        }
     }
 
     /// Hash-consing constructor: returns the canonical node for
@@ -647,28 +922,26 @@ impl Bdd {
         let h = (node_hash(var, low, high) as usize) & (self.heads.len() - 1);
         let mut cur = self.heads[h];
         while cur != NIL {
-            let s = &self.slots[cur as usize];
-            if s.low == low && s.high == high && s.var() == var {
+            let s = self.slots.slot(cur);
+            if s.low() == low && s.high() == high && s.var() == var {
                 return cur;
             }
-            cur = s.next;
+            cur = s.next();
         }
         let meta = var | (self.stamp << 16);
         let id = if self.free_head != NIL {
             let id = self.free_head;
-            let s = &mut self.slots[id as usize];
+            let s = self.slots.slot(id);
             debug_assert_eq!(s.var(), FREE_VAR);
-            self.free_head = s.next;
+            self.free_head = s.next();
             self.free_count -= 1;
             self.freelist_reuses += 1;
             // Restamping the slot's birth generation is what invalidates
             // any computed-cache entry minted against its old occupant.
-            *s = Slot { low, high, meta, next: self.heads[h] };
+            s.store(low, high, meta, self.heads[h]);
             id
         } else {
-            let id = self.slots.len() as NodeId;
-            self.slots.push(Slot { low, high, meta, next: self.heads[h] });
-            id
+            self.slots.push(low, high, meta, self.heads[h])
         };
         self.heads[h] = id;
         if self.live_count() > self.heads.len() {
@@ -684,15 +957,14 @@ impl Bdd {
         self.heads.clear();
         self.heads.resize(new_len, NIL);
         let mask = new_len - 1;
-        for i in 2..self.slots.len() {
-            if self.slots[i].var() >= FREE_VAR {
+        for i in 2..self.slots.len() as u32 {
+            let s = self.slots.slot(i);
+            if s.var() >= FREE_VAR {
                 continue;
             }
-            let h = (node_hash(self.slots[i].var(), self.slots[i].low, self.slots[i].high)
-                as usize)
-                & mask;
-            self.slots[i].next = self.heads[h];
-            self.heads[h] = i as u32;
+            let h = (node_hash(s.var(), s.low(), s.high()) as usize) & mask;
+            s.next.store(self.heads[h], Relaxed);
+            self.heads[h] = i;
         }
     }
 
@@ -1290,7 +1562,9 @@ impl Bdd {
     /// `NodeId` not passed as a root is invalidated.
     pub fn gc(&mut self, roots: &[NodeId]) -> Vec<NodeId> {
         self.gcs += 1;
-        let old = std::mem::take(&mut self.slots);
+        // A fresh spine: ids are remapped wholesale, so any outstanding
+        // [`NodeView`] over the old spine is invalidated (see its docs).
+        let old = std::mem::replace(&mut self.slots, SlotArena::new());
         // Node ids are remapped wholesale, so no cached result survives.
         self.cache.clear();
         self.genesis();
@@ -1306,19 +1580,20 @@ impl Bdd {
                 if remap.contains_key(&n) {
                     continue;
                 }
-                let s = old[n as usize];
+                let s = old.slot(n);
+                let (l, h, var) = (s.low(), s.high(), s.var());
                 if expanded {
-                    let low = remap[&s.low];
-                    let high = remap[&s.high];
-                    let id = self.mk(s.var(), low, high);
+                    let low = remap[&l];
+                    let high = remap[&h];
+                    let id = self.mk(var, low, high);
                     remap.insert(n, id);
                 } else {
                     stack.push((n, true));
-                    if !remap.contains_key(&s.high) {
-                        stack.push((s.high, false));
+                    if !remap.contains_key(&h) {
+                        stack.push((h, false));
                     }
-                    if !remap.contains_key(&s.low) {
-                        stack.push((s.low, false));
+                    if !remap.contains_key(&l) {
+                        stack.push((l, false));
                     }
                 }
             }
@@ -1348,13 +1623,14 @@ impl Bdd {
             }
         }
         while let Some(n) = stack.pop() {
-            let s = &mut self.slots[n as usize];
-            if s.meta & MARK_BIT != 0 {
+            let s = self.slots.slot(n);
+            let meta = s.meta();
+            if meta & MARK_BIT != 0 {
                 continue;
             }
-            debug_assert_ne!(s.var(), FREE_VAR, "root into freed node");
-            s.meta |= MARK_BIT;
-            let (l, h) = (s.low, s.high);
+            debug_assert_ne!(meta & VAR_MASK, FREE_VAR, "root into freed node");
+            s.meta.store(meta | MARK_BIT, Relaxed);
+            let (l, h) = (s.low(), s.high());
             if l > TRUE {
                 stack.push(l);
             }
@@ -1369,22 +1645,22 @@ impl Bdd {
         self.free_count = 0;
         let mask = self.heads.len() - 1;
         let mut reclaimed = 0;
-        for i in (2..self.slots.len()).rev() {
-            let s = self.slots[i];
-            if s.meta & MARK_BIT != 0 {
-                let h = (node_hash(s.var(), s.low, s.high) as usize) & mask;
-                self.slots[i].meta &= !MARK_BIT;
-                self.slots[i].next = self.heads[h];
-                self.heads[h] = i as u32;
+        for i in (2..self.slots.len() as u32).rev() {
+            let s = self.slots.slot(i);
+            let meta = s.meta();
+            if meta & MARK_BIT != 0 {
+                let h = (node_hash(meta & VAR_MASK, s.low(), s.high()) as usize) & mask;
+                s.meta.store(meta & !MARK_BIT, Relaxed);
+                s.next.store(self.heads[h], Relaxed);
+                self.heads[h] = i;
             } else {
-                if s.var() != FREE_VAR {
+                if meta & VAR_MASK != FREE_VAR {
                     reclaimed += 1;
                 }
-                self.slots[i].meta = (s.meta & !(MARK_BIT | (BORN_MASK << 16) | VAR_MASK))
-                    | FREE_VAR
-                    | (s.born() << 16);
-                self.slots[i].next = self.free_head;
-                self.free_head = i as u32;
+                // Clears mark + var, keeps the born stamp in place.
+                s.meta.store((meta & !(MARK_BIT | VAR_MASK)) | FREE_VAR, Relaxed);
+                s.next.store(self.free_head, Relaxed);
+                self.free_head = i;
                 self.free_count += 1;
             }
         }
@@ -1399,8 +1675,9 @@ impl Bdd {
     fn bump_stamp(&mut self) {
         if self.stamp >= BORN_MASK {
             self.cache.clear();
-            for s in self.slots.iter_mut() {
-                s.meta &= !(BORN_MASK << 16);
+            for i in 0..self.slots.len() as u32 {
+                let s = self.slots.slot(i);
+                s.meta.store(s.meta() & !(BORN_MASK << 16), Relaxed);
             }
             self.stamp = 0;
         } else {

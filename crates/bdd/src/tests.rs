@@ -290,3 +290,68 @@ fn multifield_layout() {
     let s: u64 = (8..16).fold(0, |acc, i| (acc << 1) | w[i] as u64);
     assert_eq!((d, s), (0x12, 0x34));
 }
+
+#[test]
+fn node_view_is_send_sync_and_agrees_with_eval() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<crate::NodeView>();
+
+    let mut eng = crate::PredEngine::new(16);
+    let p = eng.encode(|b| b.prefix(0, 8, 0x12, 8));
+    let view = eng.node_view();
+    let raw = eng.export(&p);
+    for hdr in [0x12u8, 0x13, 0x00, 0xff] {
+        let bits: Vec<bool> = (0..16).map(|i| i < 8 && (hdr >> (7 - i)) & 1 == 1).collect();
+        let expect = eng.with_bdd(|b| b.eval(raw.node(), &bits));
+        assert_eq!(view.eval(raw.node(), &bits), expect, "hdr {hdr:#x}");
+    }
+}
+
+#[test]
+fn node_view_survives_collect_and_cross_thread_reads() {
+    let mut eng = crate::PredEngine::new(16);
+    let pinned = eng.encode(|b| b.prefix(0, 8, 0x12, 8));
+    let raw = eng.export(&pinned);
+    let view = eng.node_view();
+    // Unpinned garbage churn plus a forced collection: the pinned root
+    // must keep its id and structure through the non-moving sweep.
+    for v in 0u64..200 {
+        let _ = eng.encode(|b| b.exact(8, 8, v & 0xff));
+    }
+    eng.collect();
+    let handle = std::thread::spawn(move || {
+        let mut hits = 0;
+        for hdr in 0u32..256 {
+            let bits: Vec<bool> =
+                (0..16).map(|i| i < 8 && (hdr >> (7 - i)) & 1 == 1).collect();
+            if view.eval(raw.node(), &bits) {
+                hits += 1;
+            }
+        }
+        hits
+    });
+    assert_eq!(handle.join().unwrap(), 1); // exactly 0x12 matches the /8 exact prefix
+    drop(pinned);
+}
+
+#[test]
+fn node_view_intersects_under_partial_assignment() {
+    let mut eng = crate::PredEngine::new(16);
+    // dst in 0x10/4 (top nibble = 1)
+    let p = eng.encode(|b| b.prefix(0, 8, 0x10, 4));
+    let raw = eng.export(&p);
+    let view = eng.node_view();
+    let mut free = vec![None; 16];
+    assert!(view.intersects(raw.node(), &free));
+    // Constrain the top nibble to 0001 -> intersects.
+    for (i, bit) in [false, false, false, true].into_iter().enumerate() {
+        free[i] = Some(bit);
+    }
+    assert!(view.intersects(raw.node(), &free));
+    // Constrain the top nibble to 0010 -> disjoint.
+    free[2] = Some(true);
+    free[3] = Some(false);
+    assert!(!view.intersects(raw.node(), &free));
+    assert!(!view.intersects(crate::FALSE, &[None; 16]));
+    assert!(view.intersects(crate::TRUE, &[None; 16]));
+}

@@ -71,6 +71,7 @@ pub mod live;
 pub mod parallel;
 mod pool;
 pub mod proc;
+pub mod query;
 pub mod shard;
 pub mod supervise;
 pub mod verifier;
@@ -86,6 +87,10 @@ pub use live::{
     ServiceStats, WorkerStats,
 };
 pub use parallel::{parallel_model_construction, ParallelStats, SubspaceStats};
+pub use query::{
+    AnswerKind, PendingAnswer, Query, QueryAnswer, QueryHub, QueryRejected, QueryService,
+    QueryServiceConfig, QuerySession, TenantStats,
+};
 pub use shard::{
     DegradedShard, EpochReport, RecoveryOptions, ShardDrainOutcome, ShardMode, ShardPool,
     ShardPoolConfig, ShardResult, UpdateBlock,

@@ -315,6 +315,12 @@ pub struct ShardPoolConfig {
     pub tuning: ImtTuning,
     /// Checkpointing, durable journaling, and process isolation.
     pub recovery: RecoveryOptions,
+    /// Snapshot exchange for the concurrent query tier: when set, every
+    /// worker publishes one [`flash_imt::EpochSnapshot`] per built shard
+    /// into this hub after each applied block and each bulk-ingestion
+    /// seal. Thread mode only — process-isolated workers cannot share
+    /// the node arenas the snapshots reference.
+    pub query_hub: Option<Arc<crate::query::QueryHub>>,
 }
 
 impl ShardPoolConfig {
@@ -335,6 +341,7 @@ impl ShardPoolConfig {
             faults: None,
             tuning: ImtTuning::default(),
             recovery: RecoveryOptions::default(),
+            query_hub: None,
         }
     }
 
@@ -380,12 +387,26 @@ pub(crate) struct ShardCore {
     /// One warm verifier slot per owned shard, parallel to `shards`.
     /// `None` until the shard first has work.
     slots: Vec<Option<SubspaceVerifier>>,
+    /// Query-tier snapshot hub (thread mode only; see
+    /// [`ShardCore::set_query_hub`]).
+    query_hub: Option<Arc<crate::query::QueryHub>>,
 }
 
 impl ShardCore {
     pub fn new(cfg: ShardCoreConfig, shards: Vec<usize>, worker: usize) -> Self {
         let slots = (0..shards.len()).map(|_| None).collect();
-        ShardCore { cfg, shards, worker, slots }
+        ShardCore { cfg, shards, worker, slots, query_hub: None }
+    }
+
+    /// Attaches the query-tier snapshot hub: every subsequent applied
+    /// block and bulk-ingestion seal publishes one
+    /// [`flash_imt::EpochSnapshot`] per built shard, *before* the
+    /// shard's result is emitted — once an epoch completes at the
+    /// aggregator, the hub holds that epoch (or newer) for every shard
+    /// the epoch routed to. Thread mode only (the snapshots share node
+    /// arenas with the verifiers).
+    pub fn set_query_hub(&mut self, hub: Arc<crate::query::QueryHub>) {
+        self.query_hub = Some(hub);
     }
 
     /// Rebuilds a core from a checkpoint. The inverse model is a
@@ -548,6 +569,11 @@ impl ShardCore {
                 // completed their epoch FIBs in every subspace.
                 v.detect(&devices)
             };
+            // Publish before emitting the result: an epoch the
+            // aggregator reports complete is already queryable.
+            if let Some(hub) = &self.query_hub {
+                hub.publish(shard, v.manager_mut().publish_snapshot(block.seq));
+            }
             let mgr = v.manager();
             let result = ShardResult {
                 seq: block.seq,
@@ -653,6 +679,9 @@ impl ShardCore {
             }
             let v = self.slots[local].as_mut().expect("just built");
             let reports = v.seal_bulk(devices);
+            if let Some(hub) = &self.query_hub {
+                hub.publish(shard, v.manager_mut().publish_snapshot(seq));
+            }
             let mgr = v.manager();
             sink(ShardResult {
                 seq,
@@ -787,11 +816,20 @@ impl SupervisedWorker for ShardWorker {
     type Checkpoint = WorkerCheckpoint;
 
     fn build(&mut self) -> ShardCore {
-        ShardCore::new(self.cfg.core_config(), self.shards.clone(), self.worker)
+        let mut core = ShardCore::new(self.cfg.core_config(), self.shards.clone(), self.worker);
+        if let Some(hub) = &self.cfg.query_hub {
+            core.set_query_hub(hub.clone());
+        }
+        core
     }
 
     fn restore(&mut self, cp: &WorkerCheckpoint) -> ShardCore {
-        ShardCore::restore(self.cfg.core_config(), self.shards.clone(), self.worker, cp)
+        let mut core =
+            ShardCore::restore(self.cfg.core_config(), self.shards.clone(), self.worker, cp);
+        if let Some(hub) = &self.cfg.query_hub {
+            core.set_query_hub(hub.clone());
+        }
+        core
     }
 
     fn checkpoint_every(&self) -> Option<u64> {
@@ -959,6 +997,22 @@ impl ShardPool {
         }
         if cfg.plan.is_empty() {
             return Err(FlashError::Config("subspace plan is empty".into()));
+        }
+        if let Some(hub) = &cfg.query_hub {
+            if cfg.recovery.mode == ShardMode::Process {
+                return Err(FlashError::Config(
+                    "the snapshot query tier requires thread mode (ShardMode::Thread): \
+                     process-isolated workers cannot share snapshot node arenas"
+                        .into(),
+                ));
+            }
+            if hub.shard_count() != cfg.plan.len() {
+                return Err(FlashError::Config(format!(
+                    "query hub has {} shards but the subspace plan has {}",
+                    hub.shard_count(),
+                    cfg.plan.len()
+                )));
+            }
         }
         let mode = cfg.recovery.mode;
         let workers = cfg.threads.max(1).min(cfg.plan.len());
@@ -1359,6 +1413,7 @@ mod tests {
             faults: None,
             tuning: ImtTuning::default(),
             recovery: RecoveryOptions::default(),
+            query_hub: None,
         }
     }
 

@@ -29,6 +29,7 @@ pub mod memo;
 pub mod model;
 pub mod mr2;
 pub mod pat;
+pub mod snapshot;
 pub mod subspace;
 
 pub use manager::{
@@ -38,4 +39,5 @@ pub use memo::MatchMemo;
 pub use model::{IndexStats, InverseModel, ModelEntry};
 pub use mr2::{AtomicOverwrite, Overwrite};
 pub use pat::{PatId, PatStore, PAT_NIL};
+pub use snapshot::{EpochSnapshot, SnapshotClass};
 pub use subspace::{SubspacePlan, SubspaceSpec};

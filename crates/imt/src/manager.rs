@@ -19,11 +19,14 @@ use crate::mr2::{
     cancel_updates, merge_block_and_diff, reduce_by_action, reduce_by_predicate,
     AtomicOverwrite,
 };
-use crate::pat::PatStore;
+use crate::pat::{PatId, PatStore};
+use crate::snapshot::{EpochSnapshot, SnapshotClass, SnapshotPin};
 use crate::subspace::SubspaceSpec;
 use flash_bdd::{EngineTelemetry, Pred, PredEngine};
-use flash_netmodel::{DeviceId, Fib, HeaderLayout, RuleOp, RuleTrie, RuleUpdate};
+use flash_netmodel::{ActionId, DeviceId, Fib, HeaderLayout, RuleOp, RuleTrie, RuleUpdate};
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How the map phase computes shadow (higher-priority) predicates for the
@@ -177,6 +180,10 @@ impl UpdateStats {
     }
 }
 
+/// A decoded, device-sorted PAT action vector, shared with every
+/// snapshot that publishes the class.
+type SharedActionVector = Arc<Vec<(DeviceId, ActionId)>>;
+
 /// The model manager: FIB snapshots + inverse model + MR² driver.
 pub struct ModelManager {
     config: ModelManagerConfig,
@@ -196,6 +203,18 @@ pub struct ModelManager {
     pending: Vec<(DeviceId, RuleUpdate)>,
     timings: PhaseTimings,
     stats: UpdateStats,
+    /// Memoized [`Self::class_keys`] result, keyed on the model's
+    /// class-composition version; `RefCell` so the getters stay `&self`.
+    class_keys_cache: RefCell<Option<(u64, Arc<Vec<u64>>)>>,
+    /// Per-`PatId` class fingerprints. `PatId`s are stable in the
+    /// append-only PAT arena, so entries never invalidate.
+    fingerprint_memo: RefCell<HashMap<PatId, u64>>,
+    /// Per-`PatId` decoded action vectors for snapshot publication
+    /// (stable for the same reason).
+    vector_memo: RefCell<HashMap<PatId, SharedActionVector>>,
+    /// Live snapshot pins: `Pred` clones keeping published epochs'
+    /// roots alive until every snapshot holder is gone.
+    snapshot_pins: Vec<SnapshotPin>,
 }
 
 /// Initial overlap-degree estimate before any measurement: pessimistic
@@ -226,6 +245,10 @@ impl ModelManager {
             pending: Vec::new(),
             timings: PhaseTimings::default(),
             stats: UpdateStats::default(),
+            class_keys_cache: RefCell::new(None),
+            fingerprint_memo: RefCell::new(HashMap::new()),
+            vector_memo: RefCell::new(HashMap::new()),
+            snapshot_pins: Vec::new(),
         }
     }
 
@@ -257,16 +280,106 @@ impl ModelManager {
     /// engines, so the *distinct union* of `class_keys` over the models
     /// of a partition equals the whole-space class count — the
     /// cross-shard consistency check used by the sharded pipeline.
+    /// Both the per-`PatId` fingerprints and the assembled key vector are
+    /// memoized: fingerprints are permanent (`PatId`s never move in the
+    /// append-only PAT arena) and the vector is keyed on the model's
+    /// class-composition version, so repeated calls between class
+    /// add/remove events — per-epoch shard equivalence checks, snapshot
+    /// publication — are O(1) instead of O(n log n) hashing.
     pub fn class_keys(&self) -> Vec<u64> {
-        use std::hash::{Hash, Hasher};
-        self.model
-            .entries()
+        self.class_keys_arc().as_ref().clone()
+    }
+
+    /// Allocation-free variant of [`Self::class_keys`]: the memoized key
+    /// vector behind a shared handle.
+    pub fn class_keys_arc(&self) -> Arc<Vec<u64>> {
+        let version = self.model.version();
+        if let Some((v, keys)) = self.class_keys_cache.borrow().as_ref() {
+            if *v == version {
+                return keys.clone();
+            }
+        }
+        let mut fp = self.fingerprint_memo.borrow_mut();
+        let keys: Arc<Vec<u64>> = Arc::new(
+            self.model
+                .entries()
+                .iter()
+                .map(|e| {
+                    *fp.entry(e.vector).or_insert_with(|| {
+                        use std::hash::{Hash, Hasher};
+                        let mut h = std::collections::hash_map::DefaultHasher::new();
+                        self.pat.entries(e.vector).hash(&mut h);
+                        h.finish()
+                    })
+                })
+                .collect(),
+        );
+        *self.class_keys_cache.borrow_mut() = Some((version, keys.clone()));
+        keys
+    }
+
+    /// Publishes an immutable [`EpochSnapshot`] of the current model under
+    /// epoch sequence `seq`, for concurrent query serving.
+    ///
+    /// Cheap: O(classes) `Pred` clones plus one decoded vector per
+    /// distinct `PatId` ever published (memoized) — **no BDD structure is
+    /// copied**. The manager pins every class predicate (clone-rooted in
+    /// the engine) so collections here never reclaim snapshot nodes; the
+    /// pin is released automatically once every `Arc<EpochSnapshot>` is
+    /// dropped (dead pins are pruned at the next publish, or explicitly
+    /// via [`Self::retire_snapshots`]).
+    ///
+    /// Call between flushes: the snapshot then observes exactly one
+    /// sealed epoch (no partially-applied block).
+    pub fn publish_snapshot(&mut self, seq: u64) -> Arc<EpochSnapshot> {
+        self.retire_snapshots();
+        let keys = self.class_keys_arc();
+        let mut vec_memo = self.vector_memo.borrow_mut();
+        let mut preds = Vec::with_capacity(self.model.len());
+        let mut classes = Vec::with_capacity(self.model.len());
+        for (e, &fingerprint) in self.model.entries().iter().zip(keys.iter()) {
+            let vector = vec_memo
+                .entry(e.vector)
+                .or_insert_with(|| Arc::new(self.pat.entries(e.vector)))
+                .clone();
+            classes.push(SnapshotClass {
+                root: self.engine.export(&e.pred).node(),
+                fingerprint,
+                vector,
+            });
+            preds.push(e.pred.clone());
+        }
+        drop(vec_memo);
+        let alive = Arc::new(());
+        self.snapshot_pins.push(SnapshotPin {
+            seq,
+            _preds: preds,
+            alive: Arc::downgrade(&alive),
+        });
+        Arc::new(EpochSnapshot::new(
+            seq,
+            self.config.subspace,
+            self.config.layout.clone(),
+            self.engine.node_view(),
+            classes,
+            alive,
+        ))
+    }
+
+    /// Drops the pins of snapshots no holder references anymore, letting
+    /// the next collection reclaim their exclusive nodes. Returns the
+    /// number of still-pinned snapshots.
+    pub fn retire_snapshots(&mut self) -> usize {
+        self.snapshot_pins.retain(|p| p.alive.strong_count() > 0);
+        self.snapshot_pins.len()
+    }
+
+    /// Epoch sequences currently pinned by live snapshots.
+    pub fn pinned_epochs(&self) -> Vec<u64> {
+        self.snapshot_pins
             .iter()
-            .map(|e| {
-                let mut h = std::collections::hash_map::DefaultHasher::new();
-                self.pat.entries(e.vector).hash(&mut h);
-                h.finish()
-            })
+            .filter(|p| p.alive.strong_count() > 0)
+            .map(|p| p.seq)
             .collect()
     }
 
@@ -884,6 +997,147 @@ mod tests {
         m.flush();
         let t = m.timings();
         assert!(t.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn class_keys_memo_tracks_model_changes() {
+        let mut at = ActionTable::new();
+        let layout = l();
+        let mut m = mgr(usize::MAX);
+        for i in 0..8u64 {
+            let a = at.fwd(DeviceId(100 + i as u32));
+            m.submit(DeviceId(0), [RuleUpdate::insert(Rule::new(
+                Match::dst_prefix(&layout, i << 5, 3),
+                1,
+                a,
+            ))]);
+        }
+        m.flush();
+        let k1 = m.class_keys_arc();
+        let k2 = m.class_keys_arc();
+        assert!(Arc::ptr_eq(&k1, &k2), "unchanged model returns the cached keys");
+        // A model-changing flush must invalidate the memo.
+        let a = at.fwd(DeviceId(42));
+        m.submit(DeviceId(1), [RuleUpdate::insert(Rule::new(
+            Match::dst_prefix(&layout, 0xA0, 4),
+            1,
+            a,
+        ))]);
+        m.flush();
+        let k3 = m.class_keys();
+        assert_ne!(k1.as_ref(), &k3, "new class changes the key set");
+        // Memoized keys equal a from-scratch recomputation.
+        use std::hash::{Hash, Hasher};
+        let fresh: Vec<u64> = m
+            .model()
+            .entries()
+            .iter()
+            .map(|e| {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                m.pat().entries(e.vector).hash(&mut h);
+                h.finish()
+            })
+            .collect();
+        assert_eq!(k3, fresh);
+    }
+
+    #[test]
+    fn snapshot_classifies_like_live_model() {
+        let mut at = ActionTable::new();
+        let layout = l();
+        let mut m = mgr(usize::MAX);
+        for i in 0..8u64 {
+            let a = at.fwd(DeviceId(100 + i as u32));
+            m.submit(DeviceId(0), [RuleUpdate::insert(Rule::new(
+                Match::dst_prefix(&layout, i << 5, 3),
+                1,
+                a,
+            ))]);
+        }
+        m.flush();
+        let snap = m.publish_snapshot(1);
+        assert_eq!(snap.seq, 1);
+        assert_eq!(snap.classes.len(), m.model().len());
+        for hdr in 0..=255u64 {
+            let bits: Vec<bool> = (0..8).map(|i| (hdr >> (7 - i)) & 1 == 1).collect();
+            let live = m.model().classify(m.engine(), &bits).map(|e| m.pat().entries(e.vector));
+            let snapshot = snap.classify(&bits).map(|c| c.vector.as_ref().clone());
+            assert_eq!(live, snapshot, "header {hdr:#x}");
+        }
+    }
+
+    #[test]
+    fn snapshot_survives_churn_and_collection() {
+        let mut at = ActionTable::new();
+        let layout = l();
+        let mut m = mgr(usize::MAX);
+        let a = at.fwd(DeviceId(9));
+        let r = Rule::new(Match::dst_prefix(&layout, 0xA0, 4), 1, a);
+        m.submit(DeviceId(0), [RuleUpdate::insert(r)]);
+        m.flush();
+        let snap = m.publish_snapshot(1);
+        let before: Vec<u64> = snap.classes.iter().map(|c| c.fingerprint).collect();
+        // Churn the live model (including deleting the snapshot's rule)
+        // and force collections: the pinned snapshot must keep answering
+        // from its sealed epoch.
+        m.submit(DeviceId(0), [RuleUpdate::delete(r)]);
+        m.flush();
+        for i in 0..16u64 {
+            let a = at.fwd(DeviceId(200 + i as u32));
+            m.submit(DeviceId(1), [RuleUpdate::insert(Rule::new(
+                Match::dst_prefix(&layout, i << 4, 4),
+                1,
+                a,
+            ))]);
+            m.flush();
+            m.gc();
+        }
+        let bits: Vec<bool> = (0..8).map(|i| (0xA5u64 >> (7 - i)) & 1 == 1).collect();
+        let c = snap.classify(&bits).expect("snapshot classifies its epoch");
+        assert_eq!(c.action_at(DeviceId(0)), Some(a0_of(&snap, 0xA5)));
+        let after: Vec<u64> = snap.classes.iter().map(|c| c.fingerprint).collect();
+        assert_eq!(before, after, "snapshot is immutable under live churn");
+        assert_eq!(m.pinned_epochs(), vec![1]);
+        drop(snap);
+        assert_eq!(m.retire_snapshots(), 0, "dropping the holder releases the pin");
+    }
+
+    // The action the sealed epoch (rule 0xA0/4 → device 9) forwards
+    // header `hdr` to at device 0.
+    fn a0_of(snap: &crate::snapshot::EpochSnapshot, hdr: u64) -> flash_netmodel::ActionId {
+        let bits: Vec<bool> = (0..8).map(|i| (hdr >> (7 - i)) & 1 == 1).collect();
+        snap.classify(&bits).unwrap().vector[0].1
+    }
+
+    #[test]
+    fn what_if_reports_touched_classes_without_mutating() {
+        let mut at = ActionTable::new();
+        let layout = l();
+        let mut m = mgr(usize::MAX);
+        for i in 0..4u64 {
+            let a = at.fwd(DeviceId(100 + i as u32));
+            m.submit(DeviceId(0), [RuleUpdate::insert(Rule::new(
+                Match::dst_prefix(&layout, i << 6, 2),
+                1,
+                a,
+            ))]);
+        }
+        m.flush();
+        let snap = m.publish_snapshot(7);
+        let before: Vec<u64> = snap.classes.iter().map(|c| c.fingerprint).collect();
+        let a9 = at.fwd(DeviceId(9));
+        // An update inside the 0b01 quarter touches exactly that class.
+        let u = RuleUpdate::insert(Rule::new(Match::dst_prefix(&layout, 0x50, 4), 9, a9));
+        let touched = snap.what_if(&[u]);
+        assert_eq!(touched.len(), 1);
+        // Insert+delete cancel: nothing touched.
+        let r = Rule::new(Match::dst_prefix(&layout, 0x50, 4), 9, a9);
+        assert!(snap
+            .what_if(&[RuleUpdate::insert(r), RuleUpdate::delete(r)])
+            .is_empty());
+        let after: Vec<u64> = snap.classes.iter().map(|c| c.fingerprint).collect();
+        assert_eq!(before, after, "what-if is a dry run");
+        assert_eq!(snap.classes.len(), m.model().len(), "live model untouched");
     }
 
     #[test]

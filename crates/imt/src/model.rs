@@ -83,6 +83,11 @@ pub struct InverseModel {
     index: Option<OverlapIndex>,
     index_enabled: bool,
     index_stats: IndexStats,
+    /// Bumped whenever the **class composition** changes (an entry added
+    /// or removed). Predicate-only mutations (splits/merges that keep the
+    /// vector set) do not bump it: consumers key caches of
+    /// per-class-vector data (e.g. fingerprints) off this counter.
+    version: u64,
 }
 
 impl InverseModel {
@@ -98,7 +103,14 @@ impl InverseModel {
             index: None,
             index_enabled: true,
             index_stats: IndexStats::default(),
+            version: 0,
         }
+    }
+
+    /// Monotonic class-composition version: changes exactly when an entry
+    /// is added or removed (not on predicate-only splits/merges).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Enables or disables the class overlap index. Disabling drops the
@@ -416,6 +428,7 @@ impl InverseModel {
     }
 
     fn remove_at(&mut self, i: usize) {
+        self.version += 1;
         let removed = self.entries.swap_remove(i);
         self.by_vector.remove(&removed.vector);
         if i < self.entries.len() {
@@ -475,6 +488,7 @@ impl InverseModel {
                 }
             }
             None => {
+                self.version += 1;
                 let j = self.entries.len();
                 self.by_vector.insert(vec, j);
                 self.entries.push(ModelEntry { pred, vector: vec });

@@ -241,6 +241,7 @@ fn pool(
         faults: None,
         tuning: ImtTuning::default(),
         recovery: Default::default(),
+        query_hub: None,
     })
     .unwrap()
 }

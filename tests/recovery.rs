@@ -200,6 +200,7 @@ fn base_config(net: &Net, threads: usize) -> ShardPoolConfig {
         faults: None,
         tuning: ImtTuning::default(),
         recovery: RecoveryOptions::default(),
+        query_hub: None,
     }
 }
 

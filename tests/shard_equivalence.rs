@@ -184,6 +184,7 @@ fn run_pool_and_compare(threads: usize, tuning: ImtTuning) {
         faults: None,
         tuning,
         recovery: Default::default(),
+        query_hub: None,
     })
     .unwrap();
     assert_eq!(pool.worker_count(), threads.min(shard_count));
